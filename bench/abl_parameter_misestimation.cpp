@@ -1,0 +1,55 @@
+// Ablation: robustness to parameter misestimation.
+//
+// Section 7.2's robustness argument, quantified: "a user has a much higher
+// chance of obtaining close-to-optimum performance by using the restart
+// strategy ... even if some key parameters that are used to derive
+// T_opt^rs are misevaluated."  We compute each strategy's period from a
+// *misestimated* MTBF or checkpoint cost (off by 1/4x .. 4x), simulate
+// against the true parameters, and report the overhead penalty relative to
+// the correctly-informed period.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace repcheck;
+  util::FlagSet flags("abl_parameter_misestimation",
+                      "overhead penalty when T is derived from wrong parameters");
+  const auto common = bench::CommonFlags::add_to(flags, /*default_runs=*/40);
+  const auto* n_flag = flags.add_int64("procs", 200000, "platform size (2b)");
+  const auto* c_flag = flags.add_double("c", 600.0, "true checkpoint cost");
+  const auto* mtbf_years = flags.add_double("mtbf-years", 5.0, "true individual MTBF");
+
+  return bench::run_bench(flags, argc, argv, common.csv, [&] {
+    const auto n = static_cast<std::uint64_t>(*n_flag);
+    const std::uint64_t b = n / 2;
+    const double c = *c_flag;
+    const double mu = model::years(*mtbf_years);
+    const auto runs = static_cast<std::uint64_t>(*common.runs);
+    const auto periods = static_cast<std::uint64_t>(*common.periods);
+    const auto seed = static_cast<std::uint64_t>(*common.seed);
+    const auto source = bench::exponential_source(n, mu);
+
+    const auto overhead_at = [&](const sim::StrategySpec& strategy) {
+      return bench::simulated_overhead(bench::replicated_config(n, c, 1.0, strategy, periods),
+                                       source, runs, seed);
+    };
+    const double h_rs_true = overhead_at(sim::StrategySpec::restart(model::t_opt_rs(c, b, mu)));
+    const double h_no_true =
+        overhead_at(sim::StrategySpec::no_restart(model::t_mtti_no(c, b, mu)));
+
+    util::Table table({"mis_param", "factor", "restart_overhead", "restart_penalty",
+                       "norestart_overhead", "norestart_penalty"});
+    for (const bool mis_mtbf : {true, false}) {
+      for (const double factor : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+        const double mu_assumed = mis_mtbf ? factor * mu : mu;
+        const double c_assumed = mis_mtbf ? c : factor * c;
+        const double h_rs = overhead_at(
+            sim::StrategySpec::restart(model::t_opt_rs(c_assumed, b, mu_assumed)));
+        const double h_no = overhead_at(
+            sim::StrategySpec::no_restart(model::t_mtti_no(c_assumed, b, mu_assumed)));
+        table.add_row({std::string(mis_mtbf ? "mtbf" : "checkpoint_cost"), factor, h_rs,
+                       h_rs / h_rs_true, h_no, h_no / h_no_true});
+      }
+    }
+    return table;
+  });
+}

@@ -1,0 +1,85 @@
+// Shared scaffolding for the figure-reproduction binaries.
+//
+// Every bench accepts the same core flags (--runs, --periods, --seed,
+// --csv, ...) with defaults scaled so the full `for b in build/bench/*`
+// sweep completes in minutes on one laptop core; crank --runs up to the
+// paper's 1000 for publication-grade error bars.
+#pragma once
+
+#include <cstdio>
+#include <exception>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/repcheck.hpp"
+#include "util/flags.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace repcheck::bench {
+
+struct CommonFlags {
+  const std::int64_t* runs;
+  const std::int64_t* periods;
+  const std::int64_t* seed;
+  const bool* csv;
+
+  static CommonFlags add_to(util::FlagSet& flags, std::int64_t default_runs,
+                            std::int64_t default_periods = 100) {
+    CommonFlags c;
+    c.runs = flags.add_int64("runs", default_runs, "Monte-Carlo runs per data point");
+    c.periods = flags.add_int64("periods", default_periods, "checkpointing periods per run");
+    c.seed = flags.add_int64("seed", 42, "master seed (same seed => same output)");
+    c.csv = flags.add_bool("csv", false, "emit CSV instead of aligned columns");
+    return c;
+  }
+};
+
+inline sim::SourceFactory exponential_source(std::uint64_t n_procs, double mtbf_proc) {
+  return [n_procs, mtbf_proc] {
+    return std::make_unique<failures::ExponentialFailureSource>(n_procs, mtbf_proc);
+  };
+}
+
+/// Builds the SimConfig used by most figures: full replication, uniform
+/// cost model, fixed-periods measurement.
+inline sim::SimConfig replicated_config(std::uint64_t n_procs, double c, double cr_over_c,
+                                        const sim::StrategySpec& strategy,
+                                        std::uint64_t periods) {
+  sim::SimConfig config;
+  config.platform = platform::Platform::fully_replicated(n_procs);
+  config.cost = platform::CostModel::uniform(c, cr_over_c);
+  config.strategy = strategy;
+  config.spec.mode = sim::RunSpec::Mode::kFixedPeriods;
+  config.spec.n_periods = periods;
+  return config;
+}
+
+/// Mean simulated overhead for a config (convenience wrapper).
+inline double simulated_overhead(const sim::SimConfig& config, const sim::SourceFactory& source,
+                                 std::uint64_t runs, std::uint64_t seed) {
+  const auto summary = sim::run_monte_carlo(config, source, runs, seed);
+  return summary.overhead.count() > 0 ? summary.overhead.mean() : -1.0;
+}
+
+/// Standard main() wrapper: parse flags, run the body, print the table,
+/// report wall time on stderr, convert exceptions to exit code 1.
+template <typename Body>
+int run_bench(util::FlagSet& flags, int argc, char** argv, const bool* csv, Body&& body) {
+  try {
+    if (!flags.parse(argc, argv)) return 0;  // --help
+    util::Stopwatch watch;
+    util::Table table = body();
+    table.print(std::cout, *csv);
+    std::fprintf(stderr, "[bench] completed in %.1f s\n", watch.seconds());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace repcheck::bench

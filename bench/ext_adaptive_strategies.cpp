@@ -1,0 +1,57 @@
+// Extension: the conclusion's future-work strategies.
+//
+//   "In the future, we plan to evaluate, at least experimentally,
+//    non-periodic checkpointing strategies that rejuvenate failed
+//    processors after a given number of failures is reached or after a
+//    given time interval is exceeded."
+//
+// Figure 11 covered the failure-count variant; this bench covers the other
+// two directions:
+//   * restart-interval: rejuvenate at the first checkpoint after delta
+//     seconds without a fully-alive platform (delta swept as multiples of
+//     T_opt^rs);
+//   * adaptive no-restart: a state-dependent period T(k) = sqrt(2 M_k C)
+//     driven by the remaining MTTI with k degraded pairs.
+// Baselines: plain restart at T_opt^rs and plain no-restart at T_MTTI^no.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace repcheck;
+  util::FlagSet flags("ext_adaptive_strategies",
+                      "interval rejuvenation and state-adaptive periods");
+  const auto common = bench::CommonFlags::add_to(flags, /*default_runs=*/30,
+                                                 /*default_periods=*/200);
+  const auto* n_flag = flags.add_int64("procs", 20000, "platform size (2b)");
+  const auto* c_flag = flags.add_double("c", 120.0, "checkpoint cost C = C^R");
+
+  return bench::run_bench(flags, argc, argv, common.csv, [&] {
+    const auto n = static_cast<std::uint64_t>(*n_flag);
+    const std::uint64_t b = n / 2;
+    const double c = *c_flag;
+    const auto runs = static_cast<std::uint64_t>(*common.runs);
+    const auto periods = static_cast<std::uint64_t>(*common.periods);
+    const auto seed = static_cast<std::uint64_t>(*common.seed);
+
+    util::Table table({"mtbf_years", "restart_topt", "interval_1x", "interval_3x",
+                       "interval_10x", "adaptive_norestart", "norestart_tmtti"});
+    for (const double mtbf_years : {0.1, 0.3, 1.0, 3.0, 10.0}) {
+      const double mu = model::years(mtbf_years);
+      const double t_rs = model::t_opt_rs(c, b, mu);
+      const double t_no = model::t_mtti_no(c, b, mu);
+      const auto source = bench::exponential_source(n, mu);
+      const auto h = [&](const sim::StrategySpec& strategy) {
+        return bench::simulated_overhead(bench::replicated_config(n, c, 1.0, strategy, periods),
+                                         source, runs, seed);
+      };
+
+      table.add_numeric_row({mtbf_years,
+                             h(sim::StrategySpec::restart(t_rs)),
+                             h(sim::StrategySpec::restart_interval(t_rs, 1.0 * t_rs)),
+                             h(sim::StrategySpec::restart_interval(t_rs, 3.0 * t_rs)),
+                             h(sim::StrategySpec::restart_interval(t_rs, 10.0 * t_rs)),
+                             h(sim::StrategySpec::adaptive_no_restart(c, mu)),
+                             h(sim::StrategySpec::no_restart(t_no))});
+    }
+    return table;
+  });
+}

@@ -1,0 +1,61 @@
+// Extended-report experiment: energy overheads.
+//
+// The companion report states that the restart strategy's gains carry over
+// from time to energy.  We integrate a three-state power model (static /
+// compute / I/O draw per processor) over the simulated time breakdowns and
+// report the energy overhead of Restart(T_opt^rs), NoRestart(T_MTTI^no) and
+// restart-on-failure across an MTBF sweep.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace repcheck;
+  util::FlagSet flags("ext_energy_overhead", "Extended report: energy overhead comparison");
+  const auto common = bench::CommonFlags::add_to(flags, /*default_runs=*/15,
+                                                 /*default_periods=*/60);
+  const auto* n_flag = flags.add_int64("procs", 200000, "platform size (2b)");
+  const auto* c_flag = flags.add_double("c", 60.0, "checkpoint cost C = C^R");
+  const auto* static_w = flags.add_double("static-watts", 100.0, "static draw per processor");
+  const auto* compute_w = flags.add_double("compute-watts", 120.0, "compute draw");
+  const auto* io_w = flags.add_double("io-watts", 30.0, "checkpoint/recovery draw");
+
+  return bench::run_bench(flags, argc, argv, common.csv, [&] {
+    const auto n = static_cast<std::uint64_t>(*n_flag);
+    const std::uint64_t b = n / 2;
+    const double c = *c_flag;
+    const auto runs = static_cast<std::uint64_t>(*common.runs);
+    const auto periods = static_cast<std::uint64_t>(*common.periods);
+    const auto seed = static_cast<std::uint64_t>(*common.seed);
+
+    util::Table table({"mtbf_years", "energy_oh_restart", "energy_oh_e_optimal",
+                       "energy_oh_norestart", "energy_oh_restart_on_failure",
+                       "time_oh_restart", "time_oh_norestart"});
+    const model::PowerModel power{*static_w, *compute_w, *io_w};
+    for (const double mtbf_years : {1.0, 2.0, 5.0, 10.0, 20.0}) {
+      const double mu = model::years(mtbf_years);
+      const double t_rs = model::t_opt_rs(c, b, mu);
+      const double t_no = model::t_mtti_no(c, b, mu);
+      const double t_energy = model::energy_optimal_period_rs(power, c, b, mu);
+
+      const auto measure = [&](const sim::StrategySpec& strategy, bool fixed_work) {
+        sim::SimConfig config = bench::replicated_config(n, c, 1.0, strategy, periods);
+        config.power = model::PowerModel{*static_w, *compute_w, *io_w};
+        if (fixed_work) {
+          config.spec.mode = sim::RunSpec::Mode::kFixedWork;
+          config.spec.total_work_time = static_cast<double>(periods) * t_rs;
+        }
+        return sim::run_monte_carlo(config, bench::exponential_source(n, mu), runs, seed);
+      };
+
+      const auto rs = measure(sim::StrategySpec::restart(t_rs), false);
+      const auto rs_energy = measure(sim::StrategySpec::restart(t_energy), false);
+      const auto no = measure(sim::StrategySpec::no_restart(t_no), false);
+      const auto rof = measure(sim::StrategySpec::restart_on_failure(), true);
+
+      table.add_numeric_row({mtbf_years, rs.energy_overhead.mean(),
+                             rs_energy.energy_overhead.mean(), no.energy_overhead.mean(),
+                             rof.energy_overhead.mean(), rs.overhead.mean(),
+                             no.overhead.mean()});
+    }
+    return table;
+  });
+}

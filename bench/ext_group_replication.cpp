@@ -1,0 +1,53 @@
+// Extension: process replication vs group replication (Benoit et al. [4]).
+//
+// Group replication duplicates the whole application as a black box: two
+// instances of N/2 processors, where any failure kills its instance; the
+// application is interrupted when both instances fail within a period.
+// The system is exactly one replica pair of "super-processors" with MTBF
+// 2μ/N, so the single-pair machinery simulates it directly.  Process
+// replication's MTTI advantage is Θ(√b); this bench shows what that buys
+// in overhead across an MTBF sweep.
+#include "bench_common.hpp"
+
+#include "model/group_replication.hpp"
+
+int main(int argc, char** argv) {
+  using namespace repcheck;
+  util::FlagSet flags("ext_group_replication", "process vs group replication under restart");
+  const auto common = bench::CommonFlags::add_to(flags, /*default_runs=*/40);
+  const auto* n_flag = flags.add_int64("procs", 200000, "platform size");
+  const auto* c_flag = flags.add_double("c", 60.0, "checkpoint cost C = C^R");
+
+  return bench::run_bench(flags, argc, argv, common.csv, [&] {
+    const auto n = static_cast<std::uint64_t>(*n_flag);
+    const std::uint64_t b = n / 2;
+    const double c = *c_flag;
+    const auto runs = static_cast<std::uint64_t>(*common.runs);
+    const auto periods = static_cast<std::uint64_t>(*common.periods);
+    const auto seed = static_cast<std::uint64_t>(*common.seed);
+
+    util::Table table({"mtbf_years", "mtti_ratio_proc_over_group", "h_process_sim",
+                       "h_process_model", "h_group_sim", "h_group_model"});
+    for (const double mtbf_years : {1.0, 2.0, 5.0, 10.0, 20.0}) {
+      const double mu = model::years(mtbf_years);
+
+      // Process replication: b pairs.
+      const double t_proc = model::t_opt_rs(c, b, mu);
+      const double h_proc = bench::simulated_overhead(
+          bench::replicated_config(n, c, 1.0, sim::StrategySpec::restart(t_proc), periods),
+          bench::exponential_source(n, mu), runs, seed);
+
+      // Group replication: one pair of instance super-processors.
+      const double mu_inst = model::group_instance_mtbf(n, mu);
+      const double t_group = model::group_replication_t_opt(c, n, mu);
+      const double h_group = bench::simulated_overhead(
+          bench::replicated_config(2, c, 1.0, sim::StrategySpec::restart(t_group), periods),
+          bench::exponential_source(2, mu_inst), runs, seed);
+
+      table.add_numeric_row({mtbf_years, model::process_over_group_mtti_ratio(n, mu), h_proc,
+                             model::overhead_restart(c, t_proc, b, mu), h_group,
+                             model::group_replication_overhead(c, t_group, n, mu)});
+    }
+    return table;
+  });
+}

@@ -1,0 +1,76 @@
+// Extension: fleet-level I/O congestion (Section 7.5 end-to-end).
+//
+// "This second property is critical for machines where a large number of
+// applications are running concurrently, and for which, with high
+// probability, the checkpoint times are longer than expected because of
+// I/O congestion."
+//
+// We simulate fleets of identical applications sharing one PFS
+// (processor-shared bandwidth), all running either the restart strategy at
+// T_opt^rs or no-restart at T_MTTI^no, and report the mean checkpoint
+// stretch factor (actual/nominal transfer time) and the mean per-app
+// overhead as the fleet grows.  The restart fleet's longer periods lower
+// both the checkpoint frequency and the collision probability — the
+// congestion benefit compounds across the machine.
+#include "bench_common.hpp"
+
+#include "congestion/shared_pfs.hpp"
+#include "stats/welford.hpp"
+
+int main(int argc, char** argv) {
+  using namespace repcheck;
+  util::FlagSet flags("ext_io_congestion", "multi-application shared-PFS congestion");
+  const auto common = bench::CommonFlags::add_to(flags, /*default_runs=*/10);
+  const auto* app_procs = flags.add_int64("app-procs", 20000, "processors per application");
+  const auto* c_flag = flags.add_double("c", 600.0, "solo checkpoint transfer time");
+  const auto* mtbf_years = flags.add_double("mtbf-years", 1.0, "per-processor MTBF");
+  const auto* work_flag = flags.add_double("work", 3e5, "useful seconds per application");
+
+  return bench::run_bench(flags, argc, argv, common.csv, [&] {
+    const auto n = static_cast<std::uint64_t>(*app_procs);
+    const std::uint64_t b = n / 2;
+    const double mu = model::years(*mtbf_years);
+    const double c = *c_flag;
+    const auto runs = static_cast<std::uint64_t>(*common.runs);
+    const auto seed = static_cast<std::uint64_t>(*common.seed);
+
+    util::Table table({"fleet_size", "strategy", "mean_stretch", "mean_overhead",
+                       "pfs_busy_frac", "busy_concurrency"});
+    for (const std::size_t fleet_size : {1u, 2u, 4u, 8u, 16u, 32u}) {
+      for (const bool restart : {true, false}) {
+        const double t =
+            restart ? model::t_opt_rs(c, b, mu) : model::t_mtti_no(c, b, mu);
+        stats::RunningStats stretch, overhead, busy_frac, concurrency;
+        for (std::uint64_t run = 0; run < runs; ++run) {
+          // Staggered arrivals (see AppConfig::initial_offset).
+          prng::Xoshiro256pp offsets(sim::derive_run_seed(seed ^ 0xF1EE7, run));
+          std::vector<congestion::AppConfig> apps;
+          for (std::size_t i = 0; i < fleet_size; ++i) {
+            congestion::AppConfig app;
+            app.platform = platform::Platform::fully_replicated(n);
+            app.cost = platform::CostModel::uniform(c);
+            app.strategy =
+                restart ? sim::StrategySpec::restart(t) : sim::StrategySpec::no_restart(t);
+            app.total_work_time = *work_flag;
+            app.initial_offset = (0.05 + 0.95 * offsets.uniform01()) * t;
+            apps.push_back(app);
+          }
+          const congestion::SharedPfsSimulator simulator(apps);
+          const auto fleet = simulator.run(
+              [&](std::size_t) {
+                return std::make_unique<failures::ExponentialFailureSource>(n, mu);
+              },
+              sim::derive_run_seed(seed, run));
+          stretch.push(fleet.mean_stretch());
+          overhead.push(fleet.mean_overhead());
+          busy_frac.push(fleet.pfs_busy_time / fleet.makespan);
+          concurrency.push(fleet.mean_busy_concurrency());
+        }
+        table.add_row({static_cast<std::int64_t>(fleet_size),
+                       std::string(restart ? "restart" : "no-restart"), stretch.mean(),
+                       overhead.mean(), busy_frac.mean(), concurrency.mean()});
+      }
+    }
+    return table;
+  });
+}

@@ -1,0 +1,88 @@
+// Extension: two-level (buddy + PFS) checkpointing under restart.
+//
+// Section 2 argues buddy/in-memory checkpointing makes the restart
+// strategy's C^R ≈ C, but the buddy copy lives in the replica pair: when a
+// pair double-dies the checkpoint dies with it, so a durable PFS level is
+// still needed.  This bench sweeps the flush cadence k at the jointly
+// optimized period and compares against single-level baselines:
+//   pfs-only   — every checkpoint written to the PFS (C = C_b + C_p)
+//   buddy-only — (hypothetical) crash-proof buddy level, the paper's
+//                implicit best case
+// across an MTBF sweep, with the analytic H(T, k*) beside the simulation.
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "core/two_level.hpp"
+#include "stats/welford.hpp"
+
+namespace {
+
+using namespace repcheck;
+
+double simulate_two_level(const model::TwoLevelCosts& costs, std::uint64_t n, double mu,
+                          double t, std::uint64_t k, double work, std::uint64_t runs,
+                          std::uint64_t seed) {
+  const sim::TwoLevelEngine engine(platform::Platform::fully_replicated(n), costs, t, k);
+  failures::ExponentialFailureSource source(n, mu);
+  sim::RunSpec spec;
+  spec.mode = sim::RunSpec::Mode::kFixedWork;
+  spec.total_work_time = work;
+  stats::RunningStats h;
+  for (std::uint64_t run = 0; run < runs; ++run) {
+    const auto result = engine.run(source, spec, sim::derive_run_seed(seed, run));
+    if (!result.progress_stalled) h.push(result.overhead());
+  }
+  return h.count() > 0 ? h.mean() : -1.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace repcheck;
+  util::FlagSet flags("ext_multilevel_checkpoint",
+                      "buddy + PFS two-level checkpointing: flush cadence sweep");
+  const auto common = bench::CommonFlags::add_to(flags, /*default_runs=*/60);
+  const auto* n_flag = flags.add_int64("procs", 200000, "platform size (2b)");
+  const auto* cb_flag = flags.add_double("cb", 60.0, "buddy checkpoint cost");
+  const auto* cp_flag = flags.add_double("cp", 600.0, "PFS flush cost");
+
+  return bench::run_bench(flags, argc, argv, common.csv, [&] {
+    const auto n = static_cast<std::uint64_t>(*n_flag);
+    const std::uint64_t b = n / 2;
+    const auto runs = static_cast<std::uint64_t>(*common.runs);
+    const auto periods = static_cast<std::uint64_t>(*common.periods);
+    const auto seed = static_cast<std::uint64_t>(*common.seed);
+
+    model::TwoLevelCosts costs;
+    costs.buddy_checkpoint = *cb_flag;
+    costs.pfs_flush = *cp_flag;
+    costs.pfs_recovery = *cp_flag;
+
+    util::Table table({"mtbf_years", "k", "t_s", "sim_overhead", "model_overhead",
+                       "pfs_only_sim", "buddy_only_model"});
+    for (const double mtbf_years : {1.0, 5.0, 20.0}) {
+      const double mu = model::years(mtbf_years);
+      const auto plan = model::optimize_two_level(costs, b, mu);
+      const double work = static_cast<double>(periods) * plan.period;
+
+      // Single-level baselines.
+      const double t_pfs = model::t_opt_rs(costs.buddy_checkpoint + costs.pfs_flush, b, mu);
+      const double pfs_only =
+          simulate_two_level(costs, n, mu, t_pfs, 1, work, runs, seed);
+      const double buddy_only = model::h_opt_rs(costs.buddy_checkpoint, b, mu);
+
+      for (const std::uint64_t k :
+           {std::uint64_t{1}, std::uint64_t{2},
+            static_cast<std::uint64_t>(std::lround(plan.flush_every)), std::uint64_t{20},
+            std::uint64_t{100}}) {
+        table.add_numeric_row(
+            {mtbf_years, static_cast<double>(k), plan.period,
+             simulate_two_level(costs, n, mu, plan.period, k, work, runs, seed),
+             model::two_level_overhead(costs, plan.period, static_cast<double>(k), b, mu),
+             pfs_only, buddy_only});
+      }
+    }
+    return table;
+  });
+}

@@ -1,0 +1,60 @@
+// Extension: replication degree — duplication vs triplication.
+//
+// The paper's related work (Benoit et al. [4]) studies triplication; our
+// model/degree.hpp generalizes the restart analysis to groups of r replicas
+// (T_opt = Θ(μ^{r/(r+1)})).  This bench sweeps the MTBF and reports, for
+// r = 2 and r = 3 on the same N processors: the Monte-Carlo MTTI, the
+// restart-optimal period, the simulated overhead at that period, and the
+// Amdahl time-to-solution (throughput N/r) — showing where, if anywhere,
+// sacrificing a third of the machine's throughput for reliability pays.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace repcheck;
+  util::FlagSet flags("ext_replication_degree", "duplication vs triplication under restart");
+  const auto common = bench::CommonFlags::add_to(flags, /*default_runs=*/20);
+  const auto* n_flag = flags.add_int64("procs", 199998, "platform size (divisible by 6)");
+  const auto* c_flag = flags.add_double("c", 600.0, "checkpoint cost C = C^R");
+  const auto* gamma_flag = flags.add_double("gamma", 1e-5, "Amdahl sequential fraction");
+  const auto* alpha_flag = flags.add_double("alpha", 0.2, "replication slowdown");
+
+  return bench::run_bench(flags, argc, argv, common.csv, [&] {
+    const auto n = static_cast<std::uint64_t>(*n_flag);
+    if (n % 6 != 0) throw std::invalid_argument("--procs must be divisible by 6");
+    const double c = *c_flag;
+    const auto runs = static_cast<std::uint64_t>(*common.runs);
+    const auto periods = static_cast<std::uint64_t>(*common.periods);
+    const auto seed = static_cast<std::uint64_t>(*common.seed);
+    const double w_seq = model::kSecondsPerWeek / (*gamma_flag + (1.0 - *gamma_flag) / 1e5);
+
+    util::Table table({"mtbf_years", "degree", "mtti_days", "t_opt_s", "sim_overhead",
+                       "model_overhead", "tts_days"});
+    for (const double mtbf_years : {0.05, 0.2, 1.0, 5.0, 20.0}) {
+      const double mu = model::years(mtbf_years);
+      for (const std::uint32_t r : {2u, 3u}) {
+        const std::uint64_t groups = n / r;
+        const double t = model::t_opt_rs_degree(c, groups, mu, r);
+
+        sim::SimConfig config;
+        config.platform = platform::Platform::replicated_degree(n, r);
+        config.cost = platform::CostModel::uniform(c);
+        config.strategy = sim::StrategySpec::restart(t);
+        config.spec.n_periods = periods;
+        const auto summary =
+            sim::run_monte_carlo(config, bench::exponential_source(n, mu), runs, seed);
+
+        const double h = summary.overhead.count() > 0 ? summary.overhead.mean() : -1.0;
+        const double work = (1.0 + *alpha_flag) *
+                            model::parallel_time(w_seq, groups, *gamma_flag);
+        const double tts = h >= 0.0 ? work * (1.0 + h) : -1.0;
+        const double mtti =
+            model::mtti_degree_monte_carlo(groups, r, mu, /*samples=*/2000, seed + r);
+        table.add_row({mtbf_years, static_cast<std::int64_t>(r),
+                       mtti / model::kSecondsPerDay, t, h,
+                       model::overhead_restart_degree(c, t, groups, mu, r),
+                       tts >= 0.0 ? util::Cell{tts / model::kSecondsPerDay} : util::Cell{}});
+      }
+    }
+    return table;
+  });
+}

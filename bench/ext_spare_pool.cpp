@@ -1,0 +1,61 @@
+// Extension: how many spares does the restart strategy need?
+//
+// The paper assumes spares are always on hand ("using spare processes,
+// this allocation time can be very small").  With a finite standby pool —
+// each revival consumes a spare that returns only after the node's repair
+// time — the restart strategy degrades gracefully toward no-restart as the
+// pool shrinks.  The steady-state demand is (failure rate) x (repair
+// time) = N·repair/μ outstanding repairs; the sweep shows the overhead
+// staying at the unlimited-spares optimum down to roughly that size, then
+// climbing to the no-restart level at zero.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace repcheck;
+  util::FlagSet flags("ext_spare_pool", "restart-strategy overhead vs spare-pool size");
+  const auto common = bench::CommonFlags::add_to(flags, /*default_runs=*/25);
+  const auto* n_flag = flags.add_int64("procs", 200000, "platform size (2b)");
+  const auto* c_flag = flags.add_double("c", 60.0, "checkpoint cost C = C^R");
+  const auto* mtbf_years = flags.add_double("mtbf-years", 5.0, "per-processor MTBF");
+  const auto* repair_days = flags.add_double("repair-days", 1.0, "node repair time");
+
+  return bench::run_bench(flags, argc, argv, common.csv, [&] {
+    const auto n = static_cast<std::uint64_t>(*n_flag);
+    const std::uint64_t b = n / 2;
+    const double mu = model::years(*mtbf_years);
+    const double c = *c_flag;
+    const double repair = *repair_days * model::kSecondsPerDay;
+    const auto runs = static_cast<std::uint64_t>(*common.runs);
+    const auto periods = static_cast<std::uint64_t>(*common.periods);
+    const auto seed = static_cast<std::uint64_t>(*common.seed);
+    const double t_rs = model::t_opt_rs(c, b, mu);
+
+    const double demand = static_cast<double>(n) / mu * repair;
+    std::fprintf(stderr, "[ext_spare_pool] steady-state repair demand ~= %.0f nodes\n", demand);
+
+    const auto overhead_with = [&](std::optional<platform::SparePool> pool) {
+      sim::SimConfig config =
+          bench::replicated_config(n, c, 1.0, sim::StrategySpec::restart(t_rs), periods);
+      config.spares = pool;
+      return bench::simulated_overhead(config, bench::exponential_source(n, mu), runs, seed);
+    };
+
+    util::Table table({"spares", "overhead", "vs_unlimited"});
+    const double unlimited = overhead_with(std::nullopt);
+    table.add_row({std::string("unlimited"), unlimited, 1.0});
+    for (const double factor : {4.0, 2.0, 1.0, 0.5, 0.25, 0.0}) {
+      const auto capacity = static_cast<std::uint64_t>(factor * demand);
+      const double h =
+          overhead_with(platform::SparePool{capacity, repair});
+      table.add_row({std::int64_t(capacity), h, h / unlimited});
+    }
+    // Reference: where no-restart sits.
+    const double h_no = bench::simulated_overhead(
+        bench::replicated_config(n, c, 1.0,
+                                 sim::StrategySpec::no_restart(model::t_mtti_no(c, b, mu)),
+                                 periods),
+        bench::exponential_source(n, mu), runs, seed);
+    table.add_row({std::string("no-restart ref"), h_no, h_no / unlimited});
+    return table;
+  });
+}

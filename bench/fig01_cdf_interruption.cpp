@@ -1,0 +1,103 @@
+// Figure 1: CDFs of the time to application interruption, with and without
+// replication.
+//
+// Panel (a): one processor, two parallel processors, one replicated pair.
+// Panel (b): 100,000 parallel processors, 200,000 parallel processors, and
+// 100,000 replicated pairs.  Individual MTBF 5 years.
+//
+// For each configuration we print the MTTI, the analytic time to reach a
+// 90% interruption probability, a Monte-Carlo estimate of the same
+// quantile, and the KS distance between the Monte-Carlo sample and the
+// analytic CDF (validating Theorem 4.1's distributional picture), plus the
+// analytic CDF evaluated on a small time grid so the curves can be
+// re-plotted.
+#include "bench_common.hpp"
+
+#include "stats/ecdf.hpp"
+
+namespace {
+
+using namespace repcheck;
+
+struct Config {
+  const char* panel;
+  const char* label;
+  std::uint64_t n_procs;
+  bool replicated;
+};
+
+/// Samples the interruption time: first failure for parallel platforms,
+/// first pair double-kill for replicated ones.
+std::vector<double> sample_interruption_times(const Config& config, double mtbf,
+                                              std::uint64_t samples, std::uint64_t seed) {
+  std::vector<double> times;
+  times.reserve(samples);
+  failures::ExponentialFailureSource source(config.n_procs, mtbf);
+  const auto platform = config.replicated
+                            ? platform::Platform::fully_replicated(config.n_procs)
+                            : platform::Platform::not_replicated(config.n_procs);
+  for (std::uint64_t run = 0; run < samples; ++run) {
+    source.reset(sim::derive_run_seed(seed, run));
+    platform::FailureState state(platform);
+    for (;;) {
+      const auto f = source.next();
+      if (state.record_failure(f.proc) == platform::FailureEffect::kFatal) {
+        times.push_back(f.time);
+        break;
+      }
+    }
+  }
+  return times;
+}
+
+double analytic_cdf(const Config& config, double mtbf, double t) {
+  return config.replicated ? model::cdf_pairs(t, mtbf, config.n_procs / 2)
+                           : model::cdf_parallel(t, mtbf, config.n_procs);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace repcheck;
+  util::FlagSet flags("fig01_cdf_interruption",
+                      "Figure 1: interruption-time CDFs with and without replication");
+  const auto common = bench::CommonFlags::add_to(flags, /*default_runs=*/2000);
+  const auto* mtbf_years = flags.add_double("mtbf-years", 5.0, "individual processor MTBF");
+  const auto* big_n = flags.add_int64("big-n", 200000, "panel (b) platform size");
+
+  return bench::run_bench(flags, argc, argv, common.csv, [&] {
+    const double mtbf = model::years(*mtbf_years);
+    const auto n_large = static_cast<std::uint64_t>(*big_n);
+    const Config configs[] = {
+        {"a", "1 processor", 1, false},
+        {"a", "2 parallel processors", 2, false},
+        {"a", "1 processor pair", 2, true},
+        {"b", "N/2 parallel processors", n_large / 2, false},
+        {"b", "N parallel processors", n_large, false},
+        {"b", "N/2 processor pairs", n_large, true},
+    };
+
+    util::Table table({"panel", "configuration", "mtti_days", "t90_model_days", "t90_mc_days",
+                       "ks_mc_vs_model", "cdf@0.5*t90", "cdf@t90", "cdf@2*t90"});
+    for (const auto& config : configs) {
+      const double t90 =
+          config.replicated
+              ? model::time_to_failure_probability_pairs(0.9, mtbf, config.n_procs / 2)
+              : model::time_to_failure_probability_parallel(0.9, mtbf, config.n_procs);
+      const double mtti = config.replicated ? model::mtti(config.n_procs / 2, mtbf)
+                                            : mtbf / static_cast<double>(config.n_procs);
+      const auto samples = sample_interruption_times(
+          config, mtbf, static_cast<std::uint64_t>(*common.runs),
+          static_cast<std::uint64_t>(*common.seed));
+      stats::EmpiricalCdf ecdf(samples);
+      const double ks =
+          ecdf.ks_distance([&](double t) { return analytic_cdf(config, mtbf, t); });
+      table.add_row({std::string(config.panel), std::string(config.label),
+                     mtti / model::kSecondsPerDay, t90 / model::kSecondsPerDay,
+                     ecdf.quantile(0.9) / model::kSecondsPerDay, ks,
+                     analytic_cdf(config, mtbf, 0.5 * t90), analytic_cdf(config, mtbf, t90),
+                     analytic_cdf(config, mtbf, 2.0 * t90)});
+    }
+    return table;
+  });
+}

@@ -1,0 +1,62 @@
+// Figure 2: one processor pair — non-periodic no-restart variants and the
+// restart strategy vs periodic no-restart.
+//
+// Strategies (C = C^R = 60 s):
+//   baseline     NoRestart(T_MTTI^no = sqrt(3 mu C))
+//   nonperiodic1 NonPeriodic(T1 = sqrt(3 mu C),        T2 = sqrt(2 mu C))
+//   nonperiodic2 NonPeriodic(T1 = (3/4 C mu^2)^{1/3},  T2 = sqrt(2 mu C))
+//   restart      Restart(T_opt^rs = (3/4 C mu^2)^{1/3})
+//
+// We report each strategy's time-to-solution divided by the baseline's
+// (the figure's y-axis; < 1 means better than periodic no-restart), plus
+// the overhead ratio, across an MTBF sweep.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace repcheck;
+  util::FlagSet flags("fig02_nonperiodic_single_pair",
+                      "Figure 2: non-periodic strategies vs no-restart, one pair");
+  const auto common = bench::CommonFlags::add_to(flags, /*default_runs=*/400,
+                                                 /*default_periods=*/400);
+  const auto* c_flag = flags.add_double("c", 60.0, "checkpoint cost C = C^R (seconds)");
+
+  return bench::run_bench(flags, argc, argv, common.csv, [&] {
+    const double c = *c_flag;
+    util::Table table({"mtbf_s", "tts_nonperiodic1", "tts_nonperiodic2", "tts_restart",
+                       "oh_nonperiodic1", "oh_nonperiodic2", "oh_restart"});
+
+    for (const double mu : {3e4, 1e5, 3e5, 1e6, 3e6, 1e7}) {
+      const double t_mtti = model::t_mtti_no(c, 1, mu);          // sqrt(3 mu C)
+      const double t_rs = model::t_opt_rs(c, 1, mu);             // (3/4 C mu^2)^(1/3)
+      const double t_yd = model::young_daly_period(c, mu);       // sqrt(2 mu C)
+
+      sim::RunSpec spec;
+      spec.mode = sim::RunSpec::Mode::kFixedWork;
+      spec.total_work_time = static_cast<double>(*common.periods) * t_rs;
+
+      const auto measure = [&](const sim::StrategySpec& strategy) {
+        sim::SimConfig config = bench::replicated_config(2, c, 1.0, strategy, 0);
+        config.spec = spec;
+        const auto summary = sim::run_monte_carlo(
+            config, bench::exponential_source(2, mu),
+            static_cast<std::uint64_t>(*common.runs),
+            static_cast<std::uint64_t>(*common.seed));
+        return summary;
+      };
+
+      const auto baseline = measure(sim::StrategySpec::no_restart(t_mtti));
+      const auto np1 = measure(sim::StrategySpec::non_periodic(t_mtti, t_yd));
+      const auto np2 = measure(sim::StrategySpec::non_periodic(t_rs, t_yd));
+      const auto restart = measure(sim::StrategySpec::restart(t_rs));
+
+      const double base_tts = baseline.makespan.mean();
+      const double base_oh = baseline.overhead.mean();
+      table.add_numeric_row({mu, np1.makespan.mean() / base_tts,
+                             np2.makespan.mean() / base_tts,
+                             restart.makespan.mean() / base_tts,
+                             np1.overhead.mean() / base_oh, np2.overhead.mean() / base_oh,
+                             restart.overhead.mean() / base_oh});
+    }
+    return table;
+  });
+}

@@ -1,0 +1,56 @@
+// Figure 6: Restart(T_opt^rs) vs restart-on-failure as the MTBF varies.
+//
+// restart-on-failure checkpoints (and restores the failed processor) after
+// every single failure; no rollback is ever needed in practice, but the
+// per-failure checkpoints dominate as failures become frequent — the very
+// regime replication is deployed for.  Fixed-work measurement.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace repcheck;
+  util::FlagSet flags("fig06_restart_on_failure",
+                      "Figure 6: restart-on-failure vs periodic restart");
+  const auto common = bench::CommonFlags::add_to(flags, /*default_runs=*/15,
+                                                 /*default_periods=*/40);
+  const auto* n_flag = flags.add_int64("procs", 200000, "platform size (2b)");
+  const auto* c_flag = flags.add_double("c", 60.0, "checkpoint cost C = C^R");
+
+  return bench::run_bench(flags, argc, argv, common.csv, [&] {
+    const auto n = static_cast<std::uint64_t>(*n_flag);
+    const std::uint64_t b = n / 2;
+    const double c = *c_flag;
+    const auto runs = static_cast<std::uint64_t>(*common.runs);
+    const auto seed = static_cast<std::uint64_t>(*common.seed);
+
+    util::Table table(
+        {"mtbf_years", "oh_restart_topt", "oh_restart_on_failure", "rof_model",
+         "rof_ckpts_per_hour", "rof_rollbacks"});
+    for (const double mtbf_years : {1.0, 2.0, 5.0, 10.0, 20.0, 50.0}) {
+      const double mu = model::years(mtbf_years);
+      const double t_rs = model::t_opt_rs(c, b, mu);
+
+      sim::RunSpec spec;
+      spec.mode = sim::RunSpec::Mode::kFixedWork;
+      spec.total_work_time = static_cast<double>(*common.periods) * t_rs;
+
+      sim::SimConfig restart = bench::replicated_config(n, c, 1.0,
+                                                        sim::StrategySpec::restart(t_rs), 0);
+      restart.spec = spec;
+      const auto rs = sim::run_monte_carlo(restart, bench::exponential_source(n, mu), runs,
+                                           seed);
+
+      sim::SimConfig rof = restart;
+      rof.strategy = sim::StrategySpec::restart_on_failure();
+      const auto rof_summary =
+          sim::run_monte_carlo(rof, bench::exponential_source(n, mu), runs, seed);
+
+      table.add_numeric_row(
+          {mtbf_years, rs.overhead.mean(), rof_summary.overhead.mean(),
+           model::overhead_restart_on_failure(c, n, mu),
+           rof_summary.checkpoints.mean() /
+               (rof_summary.makespan.mean() / model::kSecondsPerHour),
+           rof_summary.fatal_failures.mean()});
+    }
+    return table;
+  });
+}

@@ -1,0 +1,57 @@
+// Figure 8: period length (and hence I/O pressure) as a function of the
+// MTBF, for C = 60 s and C = 600 s, b = 100,000 pairs.
+//
+// We print the two periods T_opt^rs and T_MTTI^no, their ratio, and —
+// going beyond the paper's figure — the measured checkpoint frequency and
+// checkpoint I/O volume per day of execution for both strategies, which is
+// the actual "I/O pressure" argument of Section 7.5.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace repcheck;
+  util::FlagSet flags("fig08_io_pressure", "Figure 8: period lengths and I/O pressure vs MTBF");
+  const auto common = bench::CommonFlags::add_to(flags, /*default_runs=*/10);
+  const auto* n_flag = flags.add_int64("procs", 200000, "platform size (2b)");
+  const auto* gb_flag =
+      flags.add_double("gb-per-proc", 1.0, "checkpoint volume per effective processor (GB)");
+
+  return bench::run_bench(flags, argc, argv, common.csv, [&] {
+    const auto n = static_cast<std::uint64_t>(*n_flag);
+    const std::uint64_t b = n / 2;
+    const auto runs = static_cast<std::uint64_t>(*common.runs);
+    const auto seed = static_cast<std::uint64_t>(*common.seed);
+
+    util::Table table({"c_s", "mtbf_years", "t_opt_rs_s", "t_mtti_no_s", "ratio",
+                       "rs_ckpts_per_day", "no_ckpts_per_day", "rs_io_tb_per_day",
+                       "no_io_tb_per_day"});
+    for (const double c : {60.0, 600.0}) {
+      for (const double mtbf_years : {1.0, 2.0, 5.0, 10.0, 20.0, 50.0}) {
+        const double mu = model::years(mtbf_years);
+        const double t_rs = model::t_opt_rs(c, b, mu);
+        const double t_no = model::t_mtti_no(c, b, mu);
+
+        sim::RunSpec spec;
+        spec.mode = sim::RunSpec::Mode::kFixedWork;
+        spec.total_work_time = 2.0 * model::kSecondsPerDay;
+
+        const auto measure = [&](const sim::StrategySpec& strategy) {
+          sim::SimConfig config = bench::replicated_config(n, c, 1.0, strategy, 0);
+          config.cost.bytes_per_proc = *gb_flag * 1e9;
+          config.spec = spec;
+          return sim::run_monte_carlo(config, bench::exponential_source(n, mu), runs, seed);
+        };
+        const auto rs = measure(sim::StrategySpec::restart(t_rs));
+        const auto no = measure(sim::StrategySpec::no_restart(t_no));
+
+        const double rs_days = rs.makespan.mean() / model::kSecondsPerDay;
+        const double no_days = no.makespan.mean() / model::kSecondsPerDay;
+        table.add_numeric_row({c, mtbf_years, t_rs, t_no, t_rs / t_no,
+                               rs.checkpoints.mean() / rs_days,
+                               no.checkpoints.mean() / no_days,
+                               rs.io_gbytes.mean() / 1000.0 / rs_days,
+                               no.io_gbytes.mean() / 1000.0 / no_days});
+      }
+    }
+    return table;
+  });
+}

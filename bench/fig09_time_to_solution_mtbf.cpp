@@ -1,0 +1,96 @@
+// Figure 9: time-to-solution for N = 200,000 processors as a function of
+// the individual MTBF — no replication vs full replication (restart and
+// no-restart) vs partial replication (90% and 50%).
+//
+// Amdahl application with gamma = 1e-5, alpha = 0.2; T_seq chosen so the
+// job lasts one week on 100,000 processors without replication; C^R = C in
+// {60, 600} s.  A "-" entry means the configuration could not make progress
+// (the paper: "simulations without replication or with partial replication
+// would not complete") — replication is mandatory there.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace repcheck;
+
+util::Cell tts_cell(const sim::MonteCarloSummary& summary) {
+  if (summary.stalled_runs > 0 || summary.makespan.count() == 0) return util::Cell{};
+  return util::Cell{summary.makespan.mean() / model::kSecondsPerDay};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace repcheck;
+  util::FlagSet flags("fig09_time_to_solution_mtbf",
+                      "Figure 9: time-to-solution vs MTBF, full/partial/no replication");
+  const auto common = bench::CommonFlags::add_to(flags, /*default_runs=*/8);
+  const auto* n_flag = flags.add_int64("procs", 200000, "platform size N");
+  const auto* gamma_flag = flags.add_double("gamma", 1e-5, "Amdahl sequential fraction");
+  const auto* alpha_flag = flags.add_double("alpha", 0.2, "replication slowdown");
+
+  return bench::run_bench(flags, argc, argv, common.csv, [&] {
+    const auto n = static_cast<std::uint64_t>(*n_flag);
+    const std::uint64_t b = n / 2;
+    const double gamma = *gamma_flag;
+    const double alpha = *alpha_flag;
+    const auto runs = static_cast<std::uint64_t>(*common.runs);
+    const auto seed = static_cast<std::uint64_t>(*common.seed);
+
+    // T_seq: one week on 100,000 processors without replication.
+    const double w_seq = model::kSecondsPerWeek / (gamma + (1.0 - gamma) / 1e5);
+
+    util::Table table({"c_s", "mtbf_s", "tts_norep_days", "tts_partial50_days",
+                       "tts_partial90_days", "tts_norestart_days", "tts_restart_days"});
+    for (const double c : {60.0, 600.0}) {
+      for (const double mu : {3e6, 1e7, 3e7, 1e8, 3e8, 1e9, 1e10}) {
+        const auto source = bench::exponential_source(n, mu);
+        const auto measure = [&](const platform::Platform& platform,
+                                 const sim::StrategySpec& strategy, double work) {
+          sim::SimConfig config;
+          config.platform = platform;
+          config.cost = platform::CostModel::uniform(c);
+          config.strategy = strategy;
+          config.spec.mode = sim::RunSpec::Mode::kFixedWork;
+          config.spec.total_work_time = work;
+          // Configurations that cannot progress are reported as stalled
+          // rather than simulated to absurd lengths.
+          config.spec.max_attempts_per_period = 2000;
+          config.spec.max_failures = 5'000'000;
+          return sim::run_monte_carlo(config, source, runs, seed);
+        };
+
+        const auto norep = measure(
+            platform::Platform::not_replicated(n),
+            sim::StrategySpec::no_replication(model::young_daly_period_parallel(c, mu, n)),
+            model::parallel_time(w_seq, n, gamma));
+
+        const auto p50_platform = platform::Platform::partially_replicated(n, 0.5);
+        const auto partial50 = measure(
+            p50_platform,
+            sim::StrategySpec::no_restart(model::t_mtti_no(c, p50_platform.n_pairs(), mu)),
+            model::partial_replicated_parallel_time(w_seq, p50_platform.n_pairs(),
+                                                    p50_platform.n_standalone(), gamma, alpha));
+
+        const auto p90_platform = platform::Platform::partially_replicated(n, 0.9);
+        const auto partial90 = measure(
+            p90_platform,
+            sim::StrategySpec::restart(model::t_opt_rs(c, p90_platform.n_pairs(), mu)),
+            model::partial_replicated_parallel_time(w_seq, p90_platform.n_pairs(),
+                                                    p90_platform.n_standalone(), gamma, alpha));
+
+        const double full_work = model::replicated_parallel_time(w_seq, n, gamma, alpha);
+        const auto norestart =
+            measure(platform::Platform::fully_replicated(n),
+                    sim::StrategySpec::no_restart(model::t_mtti_no(c, b, mu)), full_work);
+        const auto restart =
+            measure(platform::Platform::fully_replicated(n),
+                    sim::StrategySpec::restart(model::t_opt_rs(c, b, mu)), full_work);
+
+        table.add_row({c, mu, tts_cell(norep), tts_cell(partial50), tts_cell(partial90),
+                       tts_cell(norestart), tts_cell(restart)});
+      }
+    }
+    return table;
+  });
+}

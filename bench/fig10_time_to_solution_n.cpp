@@ -1,0 +1,93 @@
+// Figure 10: time-to-solution as a function of the platform size N, with a
+// 5-year individual MTBF — the "when does replication pay off" crossover.
+//
+// Same application model and strategies as Figure 9; T_seq again sized for
+// one week on 100,000 non-replicated processors.  The paper's crossovers:
+// replication wins from N >= 2e5 at C = 60 s and from N >= 2.5e4 at
+// C = 600 s.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace repcheck;
+
+util::Cell tts_cell(const sim::MonteCarloSummary& summary) {
+  if (summary.stalled_runs > 0 || summary.makespan.count() == 0) return util::Cell{};
+  return util::Cell{summary.makespan.mean() / model::kSecondsPerDay};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace repcheck;
+  util::FlagSet flags("fig10_time_to_solution_n",
+                      "Figure 10: time-to-solution vs platform size N");
+  const auto common = bench::CommonFlags::add_to(flags, /*default_runs=*/8);
+  const auto* mtbf_years = flags.add_double("mtbf-years", 5.0, "individual MTBF");
+  const auto* gamma_flag = flags.add_double("gamma", 1e-5, "Amdahl sequential fraction");
+  const auto* alpha_flag = flags.add_double("alpha", 0.2, "replication slowdown");
+
+  return bench::run_bench(flags, argc, argv, common.csv, [&] {
+    const double mu = model::years(*mtbf_years);
+    const double gamma = *gamma_flag;
+    const double alpha = *alpha_flag;
+    const auto runs = static_cast<std::uint64_t>(*common.runs);
+    const auto seed = static_cast<std::uint64_t>(*common.seed);
+    const double w_seq = model::kSecondsPerWeek / (gamma + (1.0 - gamma) / 1e5);
+
+    util::Table table({"c_s", "n_procs", "tts_norep_days", "tts_partial50_days",
+                       "tts_partial90_days", "tts_norestart_days", "tts_restart_days",
+                       "failure_free_norep_days"});
+    for (const double c : {60.0, 600.0}) {
+      for (const std::uint64_t n :
+           {10000ULL, 25000ULL, 50000ULL, 100000ULL, 200000ULL, 400000ULL, 1000000ULL}) {
+        const std::uint64_t b = n / 2;
+        const auto source = bench::exponential_source(n, mu);
+        const auto measure = [&](const platform::Platform& platform,
+                                 const sim::StrategySpec& strategy, double work) {
+          sim::SimConfig config;
+          config.platform = platform;
+          config.cost = platform::CostModel::uniform(c);
+          config.strategy = strategy;
+          config.spec.mode = sim::RunSpec::Mode::kFixedWork;
+          config.spec.total_work_time = work;
+          config.spec.max_attempts_per_period = 2000;
+          config.spec.max_failures = 5'000'000;
+          return sim::run_monte_carlo(config, source, runs, seed);
+        };
+
+        const auto norep = measure(
+            platform::Platform::not_replicated(n),
+            sim::StrategySpec::no_replication(model::young_daly_period_parallel(c, mu, n)),
+            model::parallel_time(w_seq, n, gamma));
+
+        const auto p50_platform = platform::Platform::partially_replicated(n, 0.5);
+        const auto partial50 = measure(
+            p50_platform,
+            sim::StrategySpec::no_restart(model::t_mtti_no(c, p50_platform.n_pairs(), mu)),
+            model::partial_replicated_parallel_time(w_seq, p50_platform.n_pairs(),
+                                                    p50_platform.n_standalone(), gamma, alpha));
+
+        const auto p90_platform = platform::Platform::partially_replicated(n, 0.9);
+        const auto partial90 = measure(
+            p90_platform,
+            sim::StrategySpec::restart(model::t_opt_rs(c, p90_platform.n_pairs(), mu)),
+            model::partial_replicated_parallel_time(w_seq, p90_platform.n_pairs(),
+                                                    p90_platform.n_standalone(), gamma, alpha));
+
+        const double full_work = model::replicated_parallel_time(w_seq, n, gamma, alpha);
+        const auto norestart =
+            measure(platform::Platform::fully_replicated(n),
+                    sim::StrategySpec::no_restart(model::t_mtti_no(c, b, mu)), full_work);
+        const auto restart =
+            measure(platform::Platform::fully_replicated(n),
+                    sim::StrategySpec::restart(model::t_opt_rs(c, b, mu)), full_work);
+
+        table.add_row({c, static_cast<std::int64_t>(n), tts_cell(norep), tts_cell(partial50),
+                       tts_cell(partial90), tts_cell(norestart), tts_cell(restart),
+                       model::parallel_time(w_seq, n, gamma) / model::kSecondsPerDay});
+      }
+    }
+    return table;
+  });
+}

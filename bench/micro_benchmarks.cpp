@@ -1,0 +1,197 @@
+// Micro-benchmarks for the library's hot paths (google-benchmark).
+//
+// The figure benches run millions of simulated failures; these benchmarks
+// track the per-event costs that make that feasible: RNG draws, failure
+// sources, dead/alive bookkeeping, whole-period simulation, and the special
+// functions behind the analytic model.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/repcheck.hpp"
+#include "math/beta.hpp"
+#include "math/lambert_w.hpp"
+#include "math/roots.hpp"
+
+namespace {
+
+using namespace repcheck;
+
+void BM_Xoshiro256ppNext(benchmark::State& state) {
+  prng::Xoshiro256pp rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng());
+  }
+}
+BENCHMARK(BM_Xoshiro256ppNext);
+
+void BM_ExponentialSample(benchmark::State& state) {
+  prng::Xoshiro256pp rng(1);
+  const prng::ExponentialSampler sampler(1e-8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler(rng));
+  }
+}
+BENCHMARK(BM_ExponentialSample);
+
+void BM_ExponentialSourceNext(benchmark::State& state) {
+  failures::ExponentialFailureSource source(static_cast<std::uint64_t>(state.range(0)),
+                                            model::years(5.0), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(source.next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExponentialSourceNext)->Arg(1000)->Arg(200000);
+
+void BM_RenewalSourceNext(benchmark::State& state) {
+  const prng::WeibullSampler law(0.7, model::years(5.0));
+  failures::RenewalFailureSource source(
+      static_cast<std::uint64_t>(state.range(0)),
+      [law](prng::Xoshiro256pp& rng) { return law(rng); }, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(source.next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RenewalSourceNext)->Arg(1000)->Arg(200000);
+
+void BM_TraceSourceNext(benchmark::State& state) {
+  auto trace = traces::make_lanl2_like(1);
+  traces::GroupedTraceSchedule schedule(std::move(trace), 200000, 64);
+  failures::TraceFailureSource source(schedule, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(source.next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceSourceNext);
+
+void BM_FailureStateRecord(benchmark::State& state) {
+  platform::FailureState fs(platform::Platform::fully_replicated(200000));
+  prng::Xoshiro256pp rng(1);
+  const prng::UniformIndexSampler pick(200000);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fs.record_failure(pick(rng)));
+    if (++i % 64 == 0) fs.restart_all();  // keep the dead set small
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FailureStateRecord);
+
+void BM_RestartAllEpochTrick(benchmark::State& state) {
+  platform::FailureState fs(platform::Platform::fully_replicated(200000));
+  for (auto _ : state) {
+    fs.restart_all();
+  }
+}
+BENCHMARK(BM_RestartAllEpochTrick);
+
+void BM_SimulateHundredPeriodsPaperScale(benchmark::State& state) {
+  const std::uint64_t n = 200000;
+  const double mu = model::years(5.0);
+  const double t = model::t_opt_rs(60.0, n / 2, mu);
+  const sim::PeriodicEngine engine(platform::Platform::fully_replicated(n),
+                                   platform::CostModel::uniform(60.0),
+                                   sim::StrategySpec::restart(t));
+  failures::ExponentialFailureSource source(n, mu);
+  sim::RunSpec spec;
+  spec.n_periods = 100;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(source, spec, ++seed));
+  }
+}
+BENCHMARK(BM_SimulateHundredPeriodsPaperScale);
+
+void BM_NFailClosedForm(benchmark::State& state) {
+  std::uint64_t b = 100000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::nfail_closed_form(b));
+  }
+}
+BENCHMARK(BM_NFailClosedForm);
+
+void BM_NFailRecursive(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::nfail_recursive(static_cast<std::uint64_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_NFailRecursive)->Arg(1000)->Arg(100000);
+
+void BM_IncompleteBeta(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(math::regularized_incomplete_beta(1e5, 1e5 + 1.0, 0.5));
+  }
+}
+BENCHMARK(BM_IncompleteBeta);
+
+void BM_LambertW(benchmark::State& state) {
+  double x = 0.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(math::lambert_w0(x));
+    x = x < 1e6 ? x * 1.001 : 0.5;
+  }
+}
+BENCHMARK(BM_LambertW);
+
+void BM_ExactPeriodOptimization(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model::exact_single_pair_restart_period(60.0, 0.0, 60.0, model::years(5.0)));
+  }
+}
+BENCHMARK(BM_ExactPeriodOptimization);
+
+void BM_TwoLevelRunPaperScale(benchmark::State& state) {
+  model::TwoLevelCosts costs;
+  const auto plan = model::optimize_two_level(costs, 100000, model::years(5.0));
+  const sim::TwoLevelEngine engine(platform::Platform::fully_replicated(200000), costs,
+                                   plan.period, 8);
+  failures::ExponentialFailureSource source(200000, model::years(5.0));
+  sim::RunSpec spec;
+  spec.mode = sim::RunSpec::Mode::kFixedWork;
+  spec.total_work_time = 100.0 * plan.period;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(source, spec, ++seed));
+  }
+}
+BENCHMARK(BM_TwoLevelRunPaperScale);
+
+void BM_CongestionFleetRun(benchmark::State& state) {
+  const std::uint64_t n = 20000;
+  const double mu = model::years(1.0);
+  const double t = model::t_opt_rs(600.0, n / 2, mu);
+  std::vector<congestion::AppConfig> apps;
+  for (int i = 0; i < 8; ++i) {
+    congestion::AppConfig app;
+    app.platform = platform::Platform::fully_replicated(n);
+    app.cost = platform::CostModel::uniform(600.0);
+    app.strategy = sim::StrategySpec::restart(t);
+    app.total_work_time = 3e5;
+    app.initial_offset = (0.1 + 0.1 * i) * t;
+    apps.push_back(app);
+  }
+  const congestion::SharedPfsSimulator fleet(apps);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fleet.run(
+        [&](std::size_t) { return std::make_unique<failures::ExponentialFailureSource>(n, mu); },
+        ++seed));
+  }
+}
+BENCHMARK(BM_CongestionFleetRun);
+
+void BM_MeasureMtti(benchmark::State& state) {
+  failures::ExponentialFailureSource source(2000, 1e8);
+  const auto platform = platform::Platform::fully_replicated(2000);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::measure_mtti(source, platform, 10, ++seed));
+  }
+}
+BENCHMARK(BM_MeasureMtti);
+
+}  // namespace

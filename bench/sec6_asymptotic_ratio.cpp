@@ -1,0 +1,54 @@
+// Section 6: asymptotic restart/no-restart ratio under C = x · MTTI.
+//
+// Analytically, R(x) = ((9/8 π x²)^{1/3} + 1)/(√(2x) + 1), independent of N
+// and μ.  We print R(x) over a grid, the break-even x* ≈ 0.64, the best x
+// and the maximum gain ≈ 8.4%, and validate with simulations at matched
+// C = x·M for a mid-size platform.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace repcheck;
+  util::FlagSet flags("sec6_asymptotic_ratio",
+                      "Section 6: asymptotic time-to-solution ratio R(x)");
+  const auto common = bench::CommonFlags::add_to(flags, /*default_runs=*/20,
+                                                 /*default_periods=*/30);
+  const auto* n_flag = flags.add_int64("procs", 20000, "platform size for validation sims");
+  const auto* mtbf_years = flags.add_double("mtbf-years", 5.0, "individual MTBF");
+
+  return bench::run_bench(flags, argc, argv, common.csv, [&] {
+    const auto n = static_cast<std::uint64_t>(*n_flag);
+    const std::uint64_t b = n / 2;
+    const double mu = model::years(*mtbf_years);
+    const double m = model::mtti(b, mu);
+    const auto runs = static_cast<std::uint64_t>(*common.runs);
+    const auto seed = static_cast<std::uint64_t>(*common.seed);
+
+    std::fprintf(stderr, "[sec6] breakeven x* = %.4f, best x = %.4f, max gain = %.2f%%\n",
+                 model::asymptotic_breakeven_x(), model::asymptotic_best_x(),
+                 100.0 * model::asymptotic_max_gain());
+
+    util::Table table({"x", "ratio_model", "ratio_sim", "h_rs_sim", "h_no_sim"});
+    for (const double x : {0.02, 0.05, 0.08, 0.1, 0.15, 0.25, 0.4, 0.64, 0.8, 1.0}) {
+      const double c = x * m;
+      const double t_rs = model::t_opt_rs(c, b, mu);
+      const double t_no = model::t_mtti_no(c, b, mu);
+
+      sim::RunSpec spec;
+      spec.mode = sim::RunSpec::Mode::kFixedWork;
+      spec.total_work_time = static_cast<double>(*common.periods) * t_rs;
+
+      const auto measure = [&](const sim::StrategySpec& strategy) {
+        sim::SimConfig config = bench::replicated_config(n, c, 1.0, strategy, 0);
+        config.spec = spec;
+        return sim::run_monte_carlo(config, bench::exponential_source(n, mu), runs, seed);
+      };
+      const auto rs = measure(sim::StrategySpec::restart(t_rs));
+      const auto no = measure(sim::StrategySpec::no_restart(t_no));
+
+      table.add_numeric_row({x, model::asymptotic_ratio(x),
+                             rs.makespan.mean() / no.makespan.mean(), rs.overhead.mean(),
+                             no.overhead.mean()});
+    }
+    return table;
+  });
+}

@@ -1,0 +1,91 @@
+// Capacity planner: "should my application be replicated, and with which
+// checkpointing period?"
+//
+// The scenario the paper's conclusion addresses: an operator has N
+// processors, an estimate of per-processor reliability and checkpoint
+// costs, and a job of a given sequential length.  The Advisor compares
+//   (a) all N processors, Young/Daly checkpointing;
+//   (b) N/2 replicated pairs, no-restart at T_MTTI^no (prior art);
+//   (c) N/2 replicated pairs, restart at T_opt^rs (the paper);
+// analytically, then validates the choice with simulations.
+//
+//   $ ./capacity_planner --procs 200000 --mtbf-years 2 --c 600 --job-days 7
+#include <cstdio>
+
+#include "core/repcheck.hpp"
+#include "util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace repcheck;
+  util::FlagSet flags("capacity_planner", "replicate or not, and at which period?");
+  const auto* procs = flags.add_int64("procs", 200000, "available processors");
+  const auto* mtbf_years = flags.add_double("mtbf-years", 2.0, "per-processor MTBF");
+  const auto* c = flags.add_double("c", 600.0, "checkpoint cost C (seconds)");
+  const auto* cr = flags.add_double("cr", 0.0, "checkpoint+restart cost C^R (default: = C)");
+  const auto* gamma = flags.add_double("gamma", 1e-5, "Amdahl sequential fraction");
+  const auto* alpha = flags.add_double("alpha", 0.2, "replication communication slowdown");
+  const auto* job_days =
+      flags.add_double("job-days", 7.0, "failure-free job length on procs/2 processors");
+  const auto* runs = flags.add_int64("validate-runs", 8, "simulation runs (0 = analytic only)");
+
+  try {
+    if (!flags.parse(argc, argv)) return 0;
+
+    model::PlatformSpec spec;
+    spec.n_procs = static_cast<std::uint64_t>(*procs);
+    spec.mtbf_proc = model::years(*mtbf_years);
+    spec.checkpoint_cost = *c;
+    spec.restart_checkpoint_cost = *cr > 0.0 ? *cr : *c;
+    spec.recovery_cost = *c;
+    const model::AmdahlApp app{*gamma, *alpha};
+
+    // Sequential work such that the job lasts `job_days` on half the
+    // processors (a deliberately plan-neutral sizing).
+    const double half = static_cast<double>(spec.n_procs) / 2.0;
+    const double w_seq =
+        *job_days * model::kSecondsPerDay / (app.gamma + (1.0 - app.gamma) / half);
+
+    const auto advice = sim::Advisor::recommend(spec, app, w_seq);
+    const bool replicate = advice.plan == model::Plan::kReplicatedRestart;
+    std::printf("Analytic recommendation: %s\n",
+                replicate ? "REPLICATE (restart strategy)" : "DO NOT replicate");
+    std::printf("  checkpoint period        : %.0f s (%.2f h)\n", advice.period,
+                advice.period / model::kSecondsPerHour);
+    std::printf("  predicted time-to-solution (days):\n");
+    std::printf("    no replication         : %.2f\n",
+                advice.tts_noreplication / model::kSecondsPerDay);
+    std::printf("    replication, no-restart: %.2f   (prior art)\n",
+                advice.tts_replicated_norestart / model::kSecondsPerDay);
+    std::printf("    replication, restart   : %.2f   (this library)\n",
+                advice.tts_replicated_restart / model::kSecondsPerDay);
+    std::printf("  winner's advantage       : %.1f%% faster than runner-up\n",
+                100.0 * (1.0 - advice.advantage));
+
+    if (*runs > 0) {
+      std::printf("\nValidating with %lld simulation runs per plan...\n",
+                  static_cast<long long>(*runs));
+      const auto validated = sim::Advisor::recommend_validated(
+          spec, app, w_seq, static_cast<std::uint64_t>(*runs), 42);
+      const auto show = [](const char* label, double tts, std::uint64_t stalled) {
+        if (stalled > 0 || tts <= 0.0) {
+          std::printf("    %-22s : DID NOT COMPLETE (replication is mandatory here)\n", label);
+        } else {
+          std::printf("    %-22s : %.2f days\n", label, tts / 86400.0);
+        }
+      };
+      show("no replication", validated.simulated_tts_noreplication,
+           validated.stalled_noreplication);
+      show("replication, no-restart", validated.simulated_tts_norestart,
+           validated.stalled_norestart);
+      show("replication, restart", validated.simulated_tts_restart, validated.stalled_restart);
+      std::printf("  simulated winner         : %s\n",
+                  validated.simulated_winner == model::Plan::kReplicatedRestart
+                      ? "replication + restart"
+                      : "no replication");
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

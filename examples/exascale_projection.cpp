@@ -1,0 +1,59 @@
+// Exascale projection: how far can checkpoint/restart carry us, and where
+// does the restart strategy move the wall?
+//
+// Section 6's design constraint made concrete: a coordinated protocol
+// cannot progress once the time between interruptions approaches the
+// checkpoint time.  We sweep platform sizes to 10^7 processors and report,
+// with and without replication, the interruption scale (platform MTBF vs
+// MTTI), the optimal periods, and the predicted overheads — flagging where
+// each approach stops being viable (overhead > 100% or period < C).
+//
+//   $ ./exascale_projection --mtbf-years 5 --c 60
+#include <cstdio>
+
+#include "core/repcheck.hpp"
+#include "util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace repcheck;
+  util::FlagSet flags("exascale_projection", "viability of C/R vs replication at scale");
+  const auto* mtbf_years = flags.add_double("mtbf-years", 5.0, "per-processor MTBF");
+  const auto* c_flag = flags.add_double("c", 60.0, "checkpoint cost (seconds)");
+
+  try {
+    if (!flags.parse(argc, argv)) return 0;
+    const double mu = model::years(*mtbf_years);
+    const double c = *c_flag;
+
+    std::printf("%10s %14s %14s %12s %12s %12s %12s\n", "procs", "platform_mtbf", "mtti_pairs",
+                "T_yd", "H_norep", "T_opt^rs", "H_restart");
+    for (const double nd : {1e4, 1e5, 1e6, 2e6, 1e7}) {
+      const auto n = static_cast<std::uint64_t>(nd);
+      const std::uint64_t b = n / 2;
+      const double platform_mtbf = mu / nd;
+      const double m = model::mtti(b, mu);
+      const double t_yd = model::young_daly_period_parallel(c, mu, n);
+      const double h_norep = model::h_opt_noreplication(c, mu, n);
+      const double t_rs = model::t_opt_rs(c, b, mu);
+      const double h_rs = model::h_opt_rs(c, b, mu);
+
+      const bool norep_viable = h_norep < 1.0 && t_yd > c;
+      const bool rs_viable = h_rs < 1.0 && t_rs > c;
+      std::printf("%10.0f %13.0fs %13.0fs %11.0fs %11.2f%%%s %11.0fs %10.2f%%%s\n", nd,
+                  platform_mtbf, m, t_yd, 100.0 * h_norep, norep_viable ? " " : "!",
+                  t_rs, 100.0 * h_rs, rs_viable ? " " : "!");
+    }
+    std::printf("\n('!' marks configurations past the viability wall: overhead above 100%%\n"
+                " or period shorter than the checkpoint itself.)\n");
+
+    // Section 6's summary numbers for the asymptotic regime.
+    std::printf("\nIf checkpointing keeps pace with scale (C = x * MTTI):\n"
+                "  restart beats no-restart for x < %.3f, by up to %.1f%% (at x = %.3f).\n",
+                model::asymptotic_breakeven_x(), 100.0 * model::asymptotic_max_gain(),
+                model::asymptotic_best_x());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

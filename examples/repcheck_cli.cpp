@@ -1,0 +1,210 @@
+// repcheck_cli — the library's model and advisor as a command-line tool.
+//
+// Subcommands:
+//   mtti      platform reliability numbers (MTBF, n_fail, MTTI, t90)
+//   period    checkpointing periods for every strategy
+//   overhead  predicted overheads at those periods
+//   advise    replicate-or-not decision with time-to-solution predictions
+//   breakeven crossover MTBF / N / gamma / C for the current platform
+//   simulate  quick Monte-Carlo validation of the chosen strategy
+//
+//   $ ./repcheck_cli advise --procs 200000 --mtbf-years 2 --c 600
+//   $ ./repcheck_cli simulate --strategy restart --runs 200
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/repcheck.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+using namespace repcheck;
+
+struct Inputs {
+  std::uint64_t n = 0;
+  double mtbf = 0.0;
+  double c = 0.0;
+  double cr = 0.0;
+  model::AmdahlApp app;
+  double job_days = 0.0;
+  std::string strategy;
+  std::uint64_t runs = 0;
+  std::uint64_t seed = 0;
+
+  [[nodiscard]] model::PlatformSpec spec() const {
+    model::PlatformSpec s;
+    s.n_procs = n;
+    s.mtbf_proc = mtbf;
+    s.checkpoint_cost = c;
+    s.restart_checkpoint_cost = cr;
+    s.recovery_cost = c;
+    return s;
+  }
+};
+
+int cmd_mtti(const Inputs& in) {
+  const std::uint64_t b = in.n / 2;
+  std::printf("platform MTBF      : %.1f s\n", in.mtbf / static_cast<double>(in.n));
+  std::printf("n_fail(2b)         : %.1f\n", model::nfail_closed_form(b));
+  std::printf("MTTI (replicated)  : %.0f s (%.2f days)\n", model::mtti(b, in.mtbf),
+              model::mtti(b, in.mtbf) / model::kSecondsPerDay);
+  std::printf("t90 no replication : %.1f s\n",
+              model::time_to_failure_probability_parallel(0.9, in.mtbf, in.n));
+  std::printf("t90 replicated     : %.0f s (%.2f days)\n",
+              model::time_to_failure_probability_pairs(0.9, in.mtbf, b),
+              model::time_to_failure_probability_pairs(0.9, in.mtbf, b) /
+                  model::kSecondsPerDay);
+  return 0;
+}
+
+int cmd_period(const Inputs& in) {
+  const std::uint64_t b = in.n / 2;
+  std::printf("Young/Daly (no replication) : %.1f s\n",
+              model::young_daly_period_parallel(in.c, in.mtbf, in.n));
+  std::printf("exact Daly (Lambert)        : %.1f s\n",
+              model::daly_exact_period(in.c, in.mtbf / static_cast<double>(in.n)));
+  std::printf("T_MTTI^no (prior art)       : %.0f s\n", model::t_mtti_no(in.c, b, in.mtbf));
+  std::printf("T_opt^rs (restart, Eq. 20)  : %.0f s\n", model::t_opt_rs(in.cr, b, in.mtbf));
+  std::printf("T_opt^rs triplication       : %.0f s\n",
+              model::t_opt_rs_degree(in.cr, in.n / 3, in.mtbf, 3));
+  return 0;
+}
+
+int cmd_overhead(const Inputs& in) {
+  const std::uint64_t b = in.n / 2;
+  const double t_rs = model::t_opt_rs(in.cr, b, in.mtbf);
+  const double t_no = model::t_mtti_no(in.c, b, in.mtbf);
+  std::printf("no replication (exact)   : %.3f%%\n",
+              100.0 * model::overhead_noreplication_exact(
+                          in.c, 0.0, in.c, in.mtbf / static_cast<double>(in.n),
+                          model::exact_noreplication_period(
+                              in.c, 0.0, in.c, in.mtbf / static_cast<double>(in.n))));
+  std::printf("restart at T_opt^rs      : %.3f%%\n",
+              100.0 * model::overhead_restart(in.cr, t_rs, b, in.mtbf));
+  std::printf("no-restart at T_MTTI^no  : %.3f%%\n",
+              100.0 * model::overhead_no_restart(in.c, t_no, b, in.mtbf));
+  return 0;
+}
+
+int cmd_advise(const Inputs& in) {
+  const double half = static_cast<double>(in.n) / 2.0;
+  const double w_seq =
+      in.job_days * model::kSecondsPerDay / (in.app.gamma + (1.0 - in.app.gamma) / half);
+  const auto advice = sim::Advisor::recommend(in.spec(), in.app, w_seq);
+  std::printf("recommendation : %s\n", advice.plan == model::Plan::kReplicatedRestart
+                                           ? "replicate + restart strategy"
+                                           : "no replication");
+  std::printf("period         : %.0f s\n", advice.period);
+  std::printf("tts no-rep     : %.2f days\n", advice.tts_noreplication / model::kSecondsPerDay);
+  std::printf("tts no-restart : %.2f days\n",
+              advice.tts_replicated_norestart / model::kSecondsPerDay);
+  std::printf("tts restart    : %.2f days\n",
+              advice.tts_replicated_restart / model::kSecondsPerDay);
+  return 0;
+}
+
+int cmd_breakeven(const Inputs& in) {
+  const auto spec = in.spec();
+  std::printf("break-even MTBF   : %.3g s (replicate below this)\n",
+              model::breakeven_mtbf(spec, in.app));
+  std::printf("break-even N      : %.3g processors (replicate above this)\n",
+              model::breakeven_n(spec, in.app));
+  std::printf("break-even gamma  : %.3g (replicate above this)\n",
+              model::breakeven_gamma(spec, in.app));
+  std::printf("break-even C      : %.3g s (replicate above this)\n",
+              model::breakeven_checkpoint_cost(spec, in.app));
+  return 0;
+}
+
+int cmd_simulate(const Inputs& in) {
+  const std::uint64_t b = in.n / 2;
+  sim::SimConfig config;
+  config.cost = platform::CostModel::uniform(in.c, in.cr / in.c);
+  config.spec.n_periods = 100;
+  if (in.strategy == "restart") {
+    config.platform = platform::Platform::fully_replicated(in.n);
+    config.strategy = sim::StrategySpec::restart(model::t_opt_rs(in.cr, b, in.mtbf));
+  } else if (in.strategy == "no-restart") {
+    config.platform = platform::Platform::fully_replicated(in.n);
+    config.strategy = sim::StrategySpec::no_restart(model::t_mtti_no(in.c, b, in.mtbf));
+  } else if (in.strategy == "none") {
+    config.platform = platform::Platform::not_replicated(in.n);
+    config.strategy = sim::StrategySpec::no_replication(
+        model::young_daly_period_parallel(in.c, in.mtbf, in.n));
+  } else {
+    std::fprintf(stderr, "unknown --strategy '%s' (restart | no-restart | none)\n",
+                 in.strategy.c_str());
+    return 1;
+  }
+  const std::uint64_t n = in.n;
+  const double mtbf = in.mtbf;
+  const auto summary = sim::run_monte_carlo(
+      config,
+      [n, mtbf] { return std::make_unique<failures::ExponentialFailureSource>(n, mtbf); },
+      in.runs, in.seed);
+  const auto ci = summary.overhead_ci();
+  std::printf("strategy    : %s\n", config.strategy.name().c_str());
+  std::printf("overhead    : %.4f%%  [%.4f, %.4f] (95%% CI, %llu runs)\n",
+              100.0 * summary.overhead.mean(), 100.0 * ci.lo, 100.0 * ci.hi,
+              static_cast<unsigned long long>(summary.runs));
+  std::printf("crashes/run : %.2f\n", summary.fatal_failures.mean());
+  std::printf("ckpts/run   : %.1f (restarting: %.1f)\n", summary.checkpoints.mean(),
+              summary.restart_checkpoints.mean());
+  if (summary.stalled_runs > 0) {
+    std::printf("STALLED     : %llu runs could not progress\n",
+                static_cast<unsigned long long>(summary.stalled_runs));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "--help") == 0 || std::strcmp(argv[1], "-h") == 0) {
+    std::fprintf(stderr,
+                 "usage: repcheck_cli <mtti|period|overhead|advise|breakeven|simulate> "
+                 "[flags]\n       repcheck_cli <subcommand> --help\n");
+    return argc < 2 ? 1 : 0;
+  }
+  const std::string command = argv[1];
+
+  util::FlagSet flags("repcheck_cli " + command, "checkpoint/replication planning");
+  const auto* procs = flags.add_int64("procs", 200000, "platform size");
+  const auto* mtbf_years = flags.add_double("mtbf-years", 5.0, "per-processor MTBF");
+  const auto* c = flags.add_double("c", 60.0, "checkpoint cost C (seconds)");
+  const auto* cr = flags.add_double("cr", 0.0, "checkpoint+restart cost C^R (default = C)");
+  const auto* gamma = flags.add_double("gamma", 1e-5, "Amdahl sequential fraction");
+  const auto* alpha = flags.add_double("alpha", 0.2, "replication slowdown");
+  const auto* job_days = flags.add_double("job-days", 7.0, "job length for advise");
+  const auto* strategy = flags.add_string("strategy", "restart", "simulate: strategy");
+  const auto* runs = flags.add_int64("runs", 100, "simulate: Monte-Carlo runs");
+  const auto* seed = flags.add_int64("seed", 42, "simulate: master seed");
+
+  try {
+    if (!flags.parse(argc - 1, argv + 1)) return 0;
+    Inputs in;
+    in.n = static_cast<std::uint64_t>(*procs);
+    in.mtbf = model::years(*mtbf_years);
+    in.c = *c;
+    in.cr = *cr > 0.0 ? *cr : *c;
+    in.app = model::AmdahlApp{*gamma, *alpha};
+    in.job_days = *job_days;
+    in.strategy = *strategy;
+    in.runs = static_cast<std::uint64_t>(*runs);
+    in.seed = static_cast<std::uint64_t>(*seed);
+
+    if (command == "mtti") return cmd_mtti(in);
+    if (command == "period") return cmd_period(in);
+    if (command == "overhead") return cmd_overhead(in);
+    if (command == "advise") return cmd_advise(in);
+    if (command == "breakeven") return cmd_breakeven(in);
+    if (command == "simulate") return cmd_simulate(in);
+    std::fprintf(stderr, "unknown subcommand: %s\n", command.c_str());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

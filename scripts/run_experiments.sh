@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Regenerates every experiment into results/ as CSV (plus the raw aligned
+# text), with a manifest of parameters.  Usage:
+#
+#   scripts/run_experiments.sh [build-dir] [results-dir] [extra bench flags...]
+#
+# e.g. paper-grade error bars:  scripts/run_experiments.sh build results --runs 1000
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+RESULTS_DIR="${2:-results}"
+shift $(( $# >= 2 ? 2 : $# )) || true
+EXTRA_FLAGS=("$@")
+
+if [[ ! -d "$BUILD_DIR/bench" ]]; then
+  echo "error: $BUILD_DIR/bench not found — build first (cmake -B $BUILD_DIR && cmake --build $BUILD_DIR)" >&2
+  exit 1
+fi
+
+mkdir -p "$RESULTS_DIR"
+manifest="$RESULTS_DIR/MANIFEST.txt"
+{
+  echo "# repcheck experiment manifest"
+  echo "date: $(date -u +%Y-%m-%dT%H:%M:%SZ)"
+  echo "extra flags: ${EXTRA_FLAGS[*]:-(none)}"
+} > "$manifest"
+
+for bench in "$BUILD_DIR"/bench/*; do
+  name="$(basename "$bench")"
+  [[ "$name" == "micro_benchmarks" ]] && continue
+  [[ -x "$bench" ]] || continue
+  echo "== $name"
+  start=$(date +%s)
+  "$bench" --csv "${EXTRA_FLAGS[@]}" > "$RESULTS_DIR/$name.csv" 2> "$RESULTS_DIR/$name.log"
+  "$bench" "${EXTRA_FLAGS[@]}" > "$RESULTS_DIR/$name.txt" 2>> "$RESULTS_DIR/$name.log"
+  echo "$name: $(( $(date +%s) - start ))s" >> "$manifest"
+done
+
+echo "== micro_benchmarks"
+"$BUILD_DIR"/bench/micro_benchmarks --benchmark_format=csv \
+  > "$RESULTS_DIR/micro_benchmarks.csv" 2> "$RESULTS_DIR/micro_benchmarks.log" || true
+
+echo "done: $(ls "$RESULTS_DIR" | wc -l) files in $RESULTS_DIR/"

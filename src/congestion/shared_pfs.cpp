@@ -1,0 +1,269 @@
+#include "congestion/shared_pfs.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "core/montecarlo.hpp"  // derive_run_seed
+#include "platform/state.hpp"
+
+namespace repcheck::congestion {
+
+namespace {
+
+constexpr double kNever = std::numeric_limits<double>::infinity();
+constexpr std::uint64_t kMaxFleetFailures = 500'000'000;
+
+enum class Phase { kWorking, kCheckpointing, kRecovering, kDone };
+
+struct App {
+  const AppConfig* config = nullptr;
+  std::unique_ptr<failures::FailureSource> source;
+  std::unique_ptr<platform::FailureState> state;
+
+  Phase phase = Phase::kWorking;
+  double useful = 0.0;
+  double period_work = 0.0;       ///< work length of the period in flight
+  double period_start = 0.0;      ///< when the current work segment began
+  double recover_end = 0.0;
+
+  // Checkpoint transfer in flight.
+  double io_remaining = 0.0;      ///< seconds of solo-bandwidth work left
+  double io_nominal = 0.0;
+  double io_start = 0.0;
+  bool io_restarting = false;
+  std::uint64_t io_dead_at_start = 0;
+
+  failures::Failure pending{};
+
+  AppOutcome outcome;
+  double stretch_sum = 0.0;
+
+  [[nodiscard]] double next_phase_event(double now, std::size_t active_io) const {
+    switch (phase) {
+      case Phase::kWorking:
+        return period_start + period_work;
+      case Phase::kCheckpointing:
+        return now + io_remaining * static_cast<double>(active_io);
+      case Phase::kRecovering:
+        return recover_end;
+      case Phase::kDone:
+        return kNever;
+    }
+    return kNever;
+  }
+};
+
+}  // namespace
+
+double FleetOutcome::mean_overhead() const {
+  if (apps.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& a : apps) sum += a.run.overhead();
+  return sum / static_cast<double>(apps.size());
+}
+
+double FleetOutcome::mean_stretch() const {
+  if (apps.empty()) return 1.0;
+  double sum = 0.0;
+  for (const auto& a : apps) sum += a.mean_checkpoint_stretch;
+  return sum / static_cast<double>(apps.size());
+}
+
+SharedPfsSimulator::SharedPfsSimulator(std::vector<AppConfig> apps) : apps_(std::move(apps)) {
+  if (apps_.empty()) throw std::invalid_argument("fleet needs at least one application");
+  for (const auto& app : apps_) {
+    app.cost.validate();
+    if (!(app.total_work_time > 0.0)) {
+      throw std::invalid_argument("every application needs a positive work target");
+    }
+    if (app.strategy.kind != sim::StrategySpec::Kind::kRestart &&
+        app.strategy.kind != sim::StrategySpec::Kind::kNoRestart &&
+        app.strategy.kind != sim::StrategySpec::Kind::kNoReplication) {
+      throw std::invalid_argument(
+          "the congestion simulator supports restart / no-restart / no-replication");
+    }
+    if (app.strategy.kind == sim::StrategySpec::Kind::kNoReplication &&
+        app.platform.uses_replication()) {
+      throw std::invalid_argument("no-replication strategy requires a pair-free platform");
+    }
+    if (app.initial_offset < 0.0 || app.initial_offset > app.strategy.period) {
+      throw std::invalid_argument("initial offset must lie in [0, period]");
+    }
+  }
+}
+
+FleetOutcome SharedPfsSimulator::run(const AppSourceFactory& make_source,
+                                     std::uint64_t run_seed) const {
+  if (!make_source) throw std::invalid_argument("source factory must be callable");
+
+  std::vector<App> apps(apps_.size());
+  for (std::size_t i = 0; i < apps_.size(); ++i) {
+    auto& app = apps[i];
+    app.config = &apps_[i];
+    app.source = make_source(i);
+    if (!app.source || app.source->n_procs() != apps_[i].platform.n_procs()) {
+      throw std::invalid_argument("application source does not match its platform");
+    }
+    app.source->reset(sim::derive_run_seed(run_seed, i));
+    app.state = std::make_unique<platform::FailureState>(apps_[i].platform);
+    app.pending = app.source->next();
+    const double first =
+        apps_[i].initial_offset > 0.0 ? apps_[i].initial_offset : apps_[i].strategy.period;
+    app.period_work = std::min(first, apps_[i].total_work_time);
+    app.period_start = 0.0;
+  }
+
+  FleetOutcome fleet;
+  double now = 0.0;
+  std::size_t active_io = 0;
+  std::uint64_t total_failures = 0;
+
+  const auto begin_recovery = [&](App& app, double fail_time) {
+    app.outcome.run.time_down += app.config->cost.downtime;
+    app.outcome.run.time_recovering += app.config->cost.recovery;
+    app.recover_end = fail_time + app.config->cost.downtime + app.config->cost.recovery;
+    app.phase = Phase::kRecovering;
+    ++app.outcome.run.n_fatal;
+  };
+
+  const auto start_period = [&](App& app, double start) {
+    app.phase = Phase::kWorking;
+    app.period_start = start;
+    app.period_work = std::min(app.config->strategy.period,
+                               app.config->total_work_time - app.useful);
+  };
+
+  // Advances all in-flight transfers by `elapsed` wall seconds of
+  // processor-shared bandwidth.
+  const auto progress_io = [&](double elapsed) {
+    if (elapsed <= 0.0) return;
+    if (active_io > 0) {
+      fleet.pfs_busy_time += elapsed;
+      fleet.pfs_job_seconds += elapsed * static_cast<double>(active_io);
+      const double each = elapsed / static_cast<double>(active_io);
+      for (auto& app : apps) {
+        if (app.phase == Phase::kCheckpointing) {
+          app.io_remaining = std::max(0.0, app.io_remaining - each);
+        }
+      }
+    }
+  };
+
+  for (;;) {
+    // --- pick the earliest event across the fleet ---
+    double t_event = kNever;
+    App* actor = nullptr;
+    bool is_failure = false;
+    for (auto& app : apps) {
+      if (app.phase == Phase::kDone) continue;
+      const double phase_t = app.next_phase_event(now, active_io);
+      if (phase_t < t_event) {
+        t_event = phase_t;
+        actor = &app;
+        is_failure = false;
+      }
+      if (app.pending.time < t_event) {
+        t_event = app.pending.time;
+        actor = &app;
+        is_failure = true;
+      }
+    }
+    if (actor == nullptr) break;  // every application done
+    if (total_failures >= kMaxFleetFailures) {
+      for (auto& app : apps) {
+        if (app.phase != Phase::kDone) app.outcome.run.progress_stalled = true;
+      }
+      break;
+    }
+
+    progress_io(t_event - now);
+    now = t_event;
+    App& app = *actor;
+
+    if (is_failure) {
+      const auto f = app.pending;
+      app.pending = app.source->next();
+      ++app.outcome.run.n_failures;
+      ++total_failures;
+      if (app.phase == Phase::kRecovering || app.phase == Phase::kDone) {
+        continue;  // consumed without effect
+      }
+      if (app.state->record_failure(f.proc) != platform::FailureEffect::kFatal) continue;
+
+      if (app.phase == Phase::kWorking) {
+        app.outcome.run.time_working += f.time - app.period_start;
+      } else {  // checkpointing: the transfer aborts, bandwidth freed
+        app.outcome.run.time_working += app.period_work;
+        app.outcome.run.time_checkpointing += f.time - app.io_start;
+        --active_io;
+      }
+      app.state->restart_all();
+      begin_recovery(app, f.time);
+      continue;
+    }
+
+    // --- phase transition ---
+    switch (app.phase) {
+      case Phase::kWorking: {
+        // Work segment complete: submit the checkpoint transfer.
+        const bool wants_restart =
+            app.config->strategy.kind == sim::StrategySpec::Kind::kRestart &&
+            app.state->dead_count() > 0;
+        app.io_dead_at_start = app.state->dead_count();
+        app.outcome.run.sum_dead_at_checkpoint += app.state->dead_count();
+        if (wants_restart) {
+          app.outcome.run.n_procs_restarted += app.state->dead_count();
+          app.state->restart_all();
+        }
+        app.io_restarting = wants_restart;
+        app.io_nominal = app.config->cost.checkpoint_cost(wants_restart);
+        app.io_remaining = app.io_nominal;
+        app.io_start = now;
+        app.phase = Phase::kCheckpointing;
+        ++active_io;
+        break;
+      }
+      case Phase::kCheckpointing: {
+        // Transfer complete: commit the period.
+        --active_io;
+        const double duration = now - app.io_start;
+        app.outcome.run.time_working += app.period_work;
+        app.outcome.run.time_checkpointing += duration;
+        app.useful += app.period_work;
+        app.outcome.run.useful_time = app.useful;
+        ++app.outcome.run.n_checkpoints;
+        ++app.outcome.run.completed_periods;
+        if (app.io_restarting) ++app.outcome.run.n_restart_checkpoints;
+        app.stretch_sum += duration / app.io_nominal;
+        if (app.useful >= app.config->total_work_time) {
+          app.phase = Phase::kDone;
+          app.outcome.run.makespan = now;
+          fleet.makespan = std::max(fleet.makespan, now);
+        } else {
+          start_period(app, now);
+        }
+        break;
+      }
+      case Phase::kRecovering:
+        app.state->restart_all();
+        start_period(app, app.recover_end);
+        break;
+      case Phase::kDone:
+        break;
+    }
+  }
+
+  fleet.apps.reserve(apps.size());
+  for (auto& app : apps) {
+    app.outcome.run.useful_time = app.useful;
+    if (app.outcome.run.n_checkpoints > 0) {
+      app.outcome.mean_checkpoint_stretch =
+          app.stretch_sum / static_cast<double>(app.outcome.run.n_checkpoints);
+    }
+    fleet.apps.push_back(std::move(app.outcome));
+  }
+  return fleet;
+}
+
+}  // namespace repcheck::congestion

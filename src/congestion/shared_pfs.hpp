@@ -1,0 +1,93 @@
+// Multi-application I/O congestion simulator (Section 7.5's claim, made
+// testable).
+//
+// Several applications share one parallel file system.  Each runs its own
+// periodic checkpoint/replication protocol on its own processors; when m
+// applications checkpoint concurrently, the PFS is processor-shared and
+// every transfer progresses at 1/m of full bandwidth, so a checkpoint that
+// takes C seconds alone stretches to up to m·C under contention.  The
+// paper's argument — the restart strategy's longer periods reduce both the
+// number of checkpoints and the probability of collisions, easing I/O
+// congestion for everyone — becomes measurable as the mean *stretch
+// factor* (actual / nominal checkpoint duration) and the per-app overhead.
+//
+// Semantics per application (matching the single-app PeriodicEngine):
+//  * work segments of length T (truncated to the remaining fixed-work
+//    target), each ending in a checkpoint submitted to the shared PFS;
+//  * the restart strategy revives failed processors at checkpoint start
+//    (cost C^R as extra transfer volume), no-restart never does;
+//  * a fatal failure during work or checkpointing aborts the period (an
+//    in-flight transfer is cancelled, releasing bandwidth) and triggers a
+//    fixed downtime + recovery (recovery reads are NOT bandwidth-shared —
+//    a deliberate simplification, documented here);
+//  * an application that completes its work leaves the machine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/result.hpp"
+#include "core/strategy.hpp"
+#include "failures/source.hpp"
+#include "platform/cost.hpp"
+#include "platform/platform.hpp"
+
+namespace repcheck::congestion {
+
+struct AppConfig {
+  platform::Platform platform = platform::Platform::fully_replicated(2);
+  platform::CostModel cost;
+  /// kRestart or kNoRestart with a fixed period.
+  sim::StrategySpec strategy;
+  /// Fixed-work target (useful seconds).
+  double total_work_time = 0.0;
+  /// Length of the *first* work segment, in (0, period]; 0 means a full
+  /// period.  Real fleets arrive staggered — identical applications all
+  /// starting at t = 0 would phase-lock their checkpoints and overstate
+  /// contention enormously; give each application a random offset.
+  double initial_offset = 0.0;
+};
+
+struct AppOutcome {
+  sim::RunResult run;
+  /// Mean (completed checkpoint duration) / (nominal cost): 1 = no
+  /// contention, m = fully overlapped with m-1 other transfers.
+  double mean_checkpoint_stretch = 1.0;
+};
+
+struct FleetOutcome {
+  std::vector<AppOutcome> apps;
+  double makespan = 0.0;           ///< last application completion
+  double pfs_busy_time = 0.0;      ///< wall time with >= 1 active transfer
+  double pfs_job_seconds = 0.0;    ///< integral of (active transfers) dt
+  /// Mean concurrency while the PFS is busy.
+  [[nodiscard]] double mean_busy_concurrency() const {
+    return pfs_busy_time > 0.0 ? pfs_job_seconds / pfs_busy_time : 0.0;
+  }
+  /// Fleet-mean overhead across applications.
+  [[nodiscard]] double mean_overhead() const;
+  [[nodiscard]] double mean_stretch() const;
+};
+
+/// Builds the failure source for application `index` (each application has
+/// its own processors, hence its own stream).
+using AppSourceFactory =
+    std::function<std::unique_ptr<failures::FailureSource>(std::size_t index)>;
+
+class SharedPfsSimulator {
+ public:
+  explicit SharedPfsSimulator(std::vector<AppConfig> apps);
+
+  /// One fleet run; per-app streams are seeded from (run_seed, app index).
+  [[nodiscard]] FleetOutcome run(const AppSourceFactory& make_source,
+                                 std::uint64_t run_seed) const;
+
+  [[nodiscard]] std::size_t n_apps() const { return apps_.size(); }
+
+ private:
+  std::vector<AppConfig> apps_;
+};
+
+}  // namespace repcheck::congestion

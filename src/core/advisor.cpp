@@ -1,0 +1,120 @@
+#include "core/advisor.hpp"
+
+#include <stdexcept>
+
+#include "failures/exponential_source.hpp"
+#include "model/amdahl.hpp"
+#include "model/periods.hpp"
+
+namespace repcheck::sim {
+
+model::Advice Advisor::recommend(const model::PlatformSpec& platform, const model::AmdahlApp& app,
+                                 double w_seq) {
+  return model::decide(platform, app, w_seq);
+}
+
+namespace {
+
+/// Mean simulated time-to-solution for one plan; `work` is the failure-free
+/// parallel duration (the fixed-work target).
+struct PlanOutcome {
+  double mean_tts = 0.0;
+  std::uint64_t stalled = 0;
+};
+
+PlanOutcome simulate_plan(const SimConfig& config, const model::PlatformSpec& spec,
+                          std::uint64_t runs, std::uint64_t seed, util::ThreadPool* pool) {
+  const std::uint64_t n = spec.n_procs;
+  const double mtbf = spec.mtbf_proc;
+  const auto summary = run_monte_carlo(
+      config, [n, mtbf] { return std::make_unique<failures::ExponentialFailureSource>(n, mtbf); },
+      runs, seed, pool);
+  PlanOutcome outcome;
+  outcome.stalled = summary.stalled_runs;
+  if (summary.makespan.count() > 0) outcome.mean_tts = summary.makespan.mean();
+  return outcome;
+}
+
+}  // namespace
+
+ValidatedAdvice Advisor::recommend_validated(const model::PlatformSpec& platform,
+                                             const model::AmdahlApp& app, double w_seq,
+                                             std::uint64_t runs, std::uint64_t seed,
+                                             util::ThreadPool* pool) {
+  if (runs == 0) throw std::invalid_argument("validation needs at least one run");
+  ValidatedAdvice result;
+  result.analytic = recommend(platform, app, w_seq);
+
+  const std::uint64_t n = platform.n_procs;
+  const std::uint64_t pairs = n / 2;
+  const auto cost = [&] {
+    platform::CostModel m;
+    m.checkpoint = platform.checkpoint_cost;
+    m.restart_checkpoint = platform.restart_checkpoint_cost;
+    m.recovery = platform.recovery_cost;
+    m.downtime = platform.downtime;
+    m.validate();
+    return m;
+  }();
+
+  RunSpec spec;
+  spec.mode = RunSpec::Mode::kFixedWork;
+
+  // Plan A: no replication, Young/Daly period.
+  {
+    SimConfig config;
+    config.platform = platform::Platform::not_replicated(n);
+    config.cost = cost;
+    config.strategy = StrategySpec::no_replication(
+        model::young_daly_period_parallel(platform.checkpoint_cost, platform.mtbf_proc, n));
+    spec.total_work_time = model::parallel_time(w_seq, n, app.gamma);
+    config.spec = spec;
+    const auto outcome = simulate_plan(config, platform, runs, seed, pool);
+    result.simulated_tts_noreplication = outcome.mean_tts;
+    result.stalled_noreplication = outcome.stalled;
+  }
+
+  // Plans B and C share the replicated platform and work target.
+  spec.total_work_time = model::replicated_parallel_time(w_seq, n, app.gamma, app.alpha);
+
+  // Plan B: replication + no-restart at T_MTTI^no (prior art).
+  {
+    SimConfig config;
+    config.platform = platform::Platform::fully_replicated(n);
+    config.cost = cost;
+    config.strategy = StrategySpec::no_restart(
+        model::t_mtti_no(platform.checkpoint_cost, pairs, platform.mtbf_proc));
+    config.spec = spec;
+    const auto outcome = simulate_plan(config, platform, runs, seed + 1, pool);
+    result.simulated_tts_norestart = outcome.mean_tts;
+    result.stalled_norestart = outcome.stalled;
+  }
+
+  // Plan C: replication + restart at T_opt^rs (this paper).
+  {
+    SimConfig config;
+    config.platform = platform::Platform::fully_replicated(n);
+    config.cost = cost;
+    config.strategy = StrategySpec::restart(
+        model::t_opt_rs(platform.restart_checkpoint_cost, pairs, platform.mtbf_proc));
+    config.spec = spec;
+    const auto outcome = simulate_plan(config, platform, runs, seed + 2, pool);
+    result.simulated_tts_restart = outcome.mean_tts;
+    result.stalled_restart = outcome.stalled;
+  }
+
+  const bool norep_viable =
+      result.stalled_noreplication == 0 && result.simulated_tts_noreplication > 0.0;
+  const bool restart_viable = result.stalled_restart == 0 && result.simulated_tts_restart > 0.0;
+  if (!norep_viable && restart_viable) {
+    result.simulated_winner = model::Plan::kReplicatedRestart;
+  } else if (norep_viable && restart_viable &&
+             result.simulated_tts_restart < result.simulated_tts_noreplication) {
+    result.simulated_winner = model::Plan::kReplicatedRestart;
+  } else {
+    result.simulated_winner = model::Plan::kNoReplication;
+  }
+  return result;
+}
+
+}  // namespace repcheck::sim

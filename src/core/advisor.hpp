@@ -1,0 +1,50 @@
+// Advisor: the library's "what should I run?" front door.
+//
+// Wraps the analytic decision of Section 7's summary (model::decide) and
+// optionally validates it with simulations: given the platform, the
+// application, and a sequential work estimate, it reports the predicted and
+// simulated time-to-solution of (a) no replication with the Young/Daly
+// period, (b) full replication with no-restart at T_MTTI^no (prior art), and
+// (c) full replication with restart at T_opt^rs (this paper), and picks the
+// winner.
+#pragma once
+
+#include <cstdint>
+
+#include "core/montecarlo.hpp"
+#include "model/decision.hpp"
+#include "util/thread_pool.hpp"
+
+namespace repcheck::sim {
+
+struct ValidatedAdvice {
+  model::Advice analytic;
+  /// Mean simulated time-to-solution per plan (seconds); 0 when the plan
+  /// could not complete (stalled) — which itself is Figure 9's
+  /// "replication becomes mandatory" signal.
+  double simulated_tts_noreplication = 0.0;
+  double simulated_tts_restart = 0.0;
+  double simulated_tts_norestart = 0.0;
+  std::uint64_t stalled_noreplication = 0;
+  std::uint64_t stalled_restart = 0;
+  std::uint64_t stalled_norestart = 0;
+  /// The plan with the best *simulated* time-to-solution.
+  model::Plan simulated_winner = model::Plan::kNoReplication;
+};
+
+class Advisor {
+ public:
+  /// Analytic recommendation only (first-order formulas; instant).
+  [[nodiscard]] static model::Advice recommend(const model::PlatformSpec& platform,
+                                               const model::AmdahlApp& app, double w_seq);
+
+  /// Analytic recommendation cross-checked by `runs` IID-exponential
+  /// simulations per candidate plan.
+  [[nodiscard]] static ValidatedAdvice recommend_validated(const model::PlatformSpec& platform,
+                                                           const model::AmdahlApp& app,
+                                                           double w_seq, std::uint64_t runs,
+                                                           std::uint64_t seed,
+                                                           util::ThreadPool* pool = nullptr);
+};
+
+}  // namespace repcheck::sim

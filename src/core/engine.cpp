@@ -1,0 +1,211 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <cmath>
+#include <stdexcept>
+
+#include "prng/distributions.hpp"
+#include "prng/xoshiro.hpp"
+
+namespace repcheck::sim {
+
+namespace {
+
+/// Pull-based view over the failure stream with one-failure lookahead.
+class FailureCursor {
+ public:
+  explicit FailureCursor(failures::FailureSource& source) : source_(source) {}
+
+  [[nodiscard]] double peek_time() {
+    fill();
+    return pending_.time;
+  }
+
+  failures::Failure take() {
+    fill();
+    has_pending_ = false;
+    return pending_;
+  }
+
+ private:
+  void fill() {
+    if (!has_pending_) {
+      pending_ = source_.next();
+      has_pending_ = true;
+    }
+  }
+
+  failures::FailureSource& source_;
+  failures::Failure pending_{};
+  bool has_pending_ = false;
+};
+
+}  // namespace
+
+PeriodicEngine::PeriodicEngine(platform::Platform platform, platform::CostModel cost,
+                               StrategySpec strategy,
+                               std::optional<platform::SparePool> spares)
+    : platform_(platform), cost_(cost), strategy_(strategy), spares_(spares) {
+  cost_.validate();
+  if (spares_) spares_->validate();
+  if (strategy_.kind == StrategySpec::Kind::kRestartOnFailure) {
+    throw std::invalid_argument("use RestartOnFailureEngine for restart-on-failure");
+  }
+  if (strategy_.kind == StrategySpec::Kind::kNoReplication && platform_.uses_replication()) {
+    throw std::invalid_argument("no-replication strategy requires a pair-free platform");
+  }
+  policy_ = make_policy(strategy_, platform_);
+}
+
+RunResult PeriodicEngine::run(failures::FailureSource& source, const RunSpec& spec,
+                              std::uint64_t run_seed) const {
+  if (source.n_procs() != platform_.n_procs()) {
+    throw std::invalid_argument("failure source and platform disagree on processor count");
+  }
+  if (spec.mode == RunSpec::Mode::kFixedWork && !(spec.total_work_time > 0.0)) {
+    throw std::invalid_argument("fixed-work mode needs a positive work target");
+  }
+  if (spec.mode == RunSpec::Mode::kFixedPeriods && spec.n_periods == 0) {
+    throw std::invalid_argument("fixed-periods mode needs at least one period");
+  }
+
+  source.reset(run_seed);
+  platform::FailureState state(platform_);
+  FailureCursor cursor(source);
+  RunResult result;
+  double now = 0.0;
+  double last_all_alive = 0.0;  // last instant every processor was alive
+
+  // Dedicated stream for checkpoint-duration jitter, decoupled from the
+  // failure stream so enabling jitter does not perturb the failure times.
+  prng::Xoshiro256pp jitter_rng(run_seed ^ 0x9e3779b97f4a7c15ULL);
+  const double sigma = cost_.checkpoint_jitter_sigma;
+  const auto stretched = [&](double nominal) {
+    if (sigma == 0.0) return nominal;
+    // Lognormal with unit median: exp(sigma * N(0,1)).
+    return nominal * std::exp(sigma * prng::sample_standard_normal(jitter_rng));
+  };
+
+  // Repair-queue bookkeeping for the finite spare pool: completion times of
+  // nodes being repaired, non-decreasing (constant repair time).
+  std::deque<double> repairs;
+
+  // Applies downtime + recovery after a fatal failure at `fail_time`;
+  // failures landing inside the D+R window hit processors that are being
+  // redeployed anyway and are consumed without effect.
+  const auto recover = [&](double fail_time) {
+    repairs.clear();  // application crash: global redeployment, pool reset
+    result.time_down += cost_.downtime;
+    result.time_recovering += cost_.recovery;
+    const double end = fail_time + cost_.downtime + cost_.recovery;
+    while (cursor.peek_time() < end) {
+      cursor.take();
+      ++result.n_failures;
+    }
+    state.restart_all();
+    ++result.n_fatal;
+    now = end;
+    last_all_alive = end;  // recovery rejuvenates the whole platform
+  };
+
+  const auto done = [&] {
+    return spec.mode == RunSpec::Mode::kFixedPeriods
+               ? result.completed_periods >= spec.n_periods
+               : result.useful_time >= spec.total_work_time;
+  };
+
+  while (!done()) {
+    bool period_done = false;
+    for (std::uint64_t attempt = 0; !period_done; ++attempt) {
+      if (attempt >= spec.max_attempts_per_period || result.n_failures >= spec.max_failures) {
+        result.progress_stalled = true;
+        result.makespan = now;
+        return result;
+      }
+
+      // Recomputed per attempt: a crash rejuvenates the platform, which can
+      // change a state-dependent policy's period (e.g. NonPeriodic).
+      double t = policy_->period_length(PolicyContext{state, now, last_all_alive});
+      if (spec.mode == RunSpec::Mode::kFixedWork) {
+        t = std::min(t, spec.total_work_time - result.useful_time);
+      }
+
+      // --- work segment [now, now + t) ---
+      const double work_start = now;
+      const double work_end = now + t;
+      bool fatal = false;
+      while (cursor.peek_time() < work_end) {
+        const auto f = cursor.take();
+        ++result.n_failures;
+        if (state.record_failure(f.proc) == platform::FailureEffect::kFatal) {
+          result.time_working += f.time - work_start;  // wasted progress
+          recover(f.time);
+          fatal = true;
+          break;
+        }
+      }
+      if (fatal) continue;  // retry the period from the recovered state
+
+      // --- checkpoint (with optional processor restart) ---
+      const std::uint64_t dead_at_checkpoint = state.dead_count();
+      const bool wants_restart =
+          dead_at_checkpoint > 0 &&
+          policy_->restart_at_checkpoint(PolicyContext{state, work_end, last_all_alive});
+      std::uint64_t to_revive = wants_restart ? state.dead_count() : 0;
+      if (wants_restart && spares_) {
+        while (!repairs.empty() && repairs.front() <= work_end) repairs.pop_front();
+        const std::uint64_t available = spares_->capacity - repairs.size();
+        to_revive = std::min(to_revive, available);
+      }
+      const bool needs_restart = to_revive > 0;
+      const bool charge_restart = needs_restart || spec.charge_restart_cost_always;
+      const double ckpt_cost = stretched(cost_.checkpoint_cost(charge_restart));
+      const double ckpt_end = work_end + ckpt_cost;
+      if (needs_restart) {
+        result.n_procs_restarted += to_revive;
+        if (to_revive == state.dead_count()) {
+          state.restart_all();  // revived as of the checkpoint start
+        } else {
+          const auto dead = state.dead_processors();
+          for (std::uint64_t i = 0; i < to_revive; ++i) state.revive(dead[i]);
+        }
+        if (spares_) {
+          for (std::uint64_t i = 0; i < to_revive; ++i) {
+            repairs.push_back(work_end + spares_->repair_time);
+          }
+        }
+      }
+      if (state.dead_count() == 0) last_all_alive = work_end;
+      while (cursor.peek_time() < ckpt_end) {
+        const auto f = cursor.take();
+        ++result.n_failures;
+        if (state.record_failure(f.proc) == platform::FailureEffect::kFatal) {
+          // The checkpoint never completed: the whole period re-executes.
+          result.time_working += t;
+          result.time_checkpointing += f.time - work_end;
+          recover(f.time);
+          fatal = true;
+          break;
+        }
+      }
+      if (fatal) continue;
+
+      // --- success ---
+      result.time_working += t;
+      result.useful_time += t;
+      result.time_checkpointing += ckpt_cost;
+      result.sum_dead_at_checkpoint += dead_at_checkpoint;
+      ++result.n_checkpoints;
+      if (needs_restart) ++result.n_restart_checkpoints;
+      ++result.completed_periods;
+      now = ckpt_end;
+      period_done = true;
+    }
+  }
+
+  result.makespan = now;
+  return result;
+}
+
+}  // namespace repcheck::sim

@@ -1,0 +1,65 @@
+// The periodic checkpoint/replication simulator.
+//
+// One engine drives every periodic strategy (no-replication, no-restart,
+// restart, restart-threshold, non-periodic): the policy object decides the
+// period length and whether a checkpoint revives dead processors; the engine
+// owns the clock, the failure stream, the rollback mechanics, and the
+// accounting.
+//
+// Semantics (matching Section 2 and the paper's simulation setup):
+//  * Failures strike at any time, including during checkpoints (the paper's
+//    analysis assumes error-free checkpoints; its simulations do not — and
+//    neither do ours, which is exactly the model-accuracy gap Figure 3
+//    measures).  A failure during a checkpoint that turns fatal forces
+//    re-execution of the whole period.
+//  * A fatal failure costs the work done since the period start, plus
+//    downtime D and recovery R; recovery rejuvenates every processor
+//    (the whole application is redeployed from the last checkpoint).
+//  * A checkpoint that revives processors costs C^R, a plain one costs C
+//    (RunSpec::charge_restart_cost_always switches to Eq. (13)'s "always
+//    C^R" accounting).  Processors are revived as of the checkpoint start;
+//    failures striking during the checkpoint window land on the refreshed
+//    state and carry into the next period.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/result.hpp"
+#include "core/strategy.hpp"
+#include "failures/source.hpp"
+#include "platform/cost.hpp"
+#include "platform/platform.hpp"
+#include "platform/spares.hpp"
+
+namespace repcheck::sim {
+
+class PeriodicEngine {
+ public:
+  /// `spares` bounds checkpoint-time revivals: each revived processor
+  /// consumes a spare that only returns after its repair time; with the
+  /// pool empty a restart checkpoint revives as many processors as it can.
+  /// No pool (nullopt) = the paper's unlimited-spares assumption.
+  /// Application crashes redeploy from the whole machine and reset the
+  /// pool (global re-allocation, not the job's standby spares).
+  PeriodicEngine(platform::Platform platform, platform::CostModel cost, StrategySpec strategy,
+                 std::optional<platform::SparePool> spares = std::nullopt);
+
+  /// Simulates one run; deterministic given (source state after
+  /// reset(run_seed), spec).
+  [[nodiscard]] RunResult run(failures::FailureSource& source, const RunSpec& spec,
+                              std::uint64_t run_seed) const;
+
+  [[nodiscard]] const platform::Platform& platform() const { return platform_; }
+  [[nodiscard]] const platform::CostModel& cost() const { return cost_; }
+  [[nodiscard]] const StrategySpec& strategy() const { return strategy_; }
+
+ private:
+  platform::Platform platform_;
+  platform::CostModel cost_;
+  StrategySpec strategy_;
+  std::optional<platform::SparePool> spares_;
+  std::unique_ptr<PeriodicPolicy> policy_;  // immutable after construction
+};
+
+}  // namespace repcheck::sim

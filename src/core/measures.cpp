@@ -1,0 +1,54 @@
+#include "core/measures.hpp"
+
+#include <stdexcept>
+
+#include "core/montecarlo.hpp"
+#include "platform/state.hpp"
+
+namespace repcheck::sim {
+
+namespace {
+
+template <typename Extract>
+stats::RunningStats measure(failures::FailureSource& source,
+                            const platform::Platform& platform, std::uint64_t samples,
+                            std::uint64_t master_seed, Extract extract) {
+  if (samples == 0) throw std::invalid_argument("need at least one sample");
+  if (source.n_procs() != platform.n_procs()) {
+    throw std::invalid_argument("failure source and platform disagree on processor count");
+  }
+  stats::RunningStats result;
+  platform::FailureState state(platform);
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    source.reset(derive_run_seed(master_seed, s));
+    state.restart_all();
+    std::uint64_t hits = 0;
+    for (;;) {
+      const auto f = source.next();
+      ++hits;
+      if (state.record_failure(f.proc) == platform::FailureEffect::kFatal) {
+        result.push(extract(f.time, hits));
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+stats::RunningStats measure_mtti(failures::FailureSource& source,
+                                 const platform::Platform& platform, std::uint64_t samples,
+                                 std::uint64_t master_seed) {
+  return measure(source, platform, samples, master_seed,
+                 [](double time, std::uint64_t) { return time; });
+}
+
+stats::RunningStats measure_nfail(failures::FailureSource& source,
+                                  const platform::Platform& platform, std::uint64_t samples,
+                                  std::uint64_t master_seed) {
+  return measure(source, platform, samples, master_seed,
+                 [](double, std::uint64_t hits) { return static_cast<double>(hits); });
+}
+
+}  // namespace repcheck::sim

@@ -1,0 +1,32 @@
+// Direct measurements on failure sources (no checkpointing protocol).
+//
+// measure_mtti feeds a source's stream into the platform bookkeeping until
+// the application would be interrupted, over many replicates — the
+// empirical MTTI under *any* failure law or trace, where Theorem 4.1 only
+// covers IID exponential.  Lets users quantify how non-exponential
+// reliability (infant mortality, wear-out, cascades) shifts the MTTI their
+// period calculations should use.
+#pragma once
+
+#include <cstdint>
+
+#include "failures/source.hpp"
+#include "platform/platform.hpp"
+#include "stats/welford.hpp"
+
+namespace repcheck::sim {
+
+/// Mean (and spread, via the returned accumulator) of the time to the
+/// first application-fatal failure, over `samples` independent replays.
+[[nodiscard]] stats::RunningStats measure_mtti(failures::FailureSource& source,
+                                               const platform::Platform& platform,
+                                               std::uint64_t samples, std::uint64_t master_seed);
+
+/// Empirical n_fail: failures consumed (wasted hits included) until the
+/// fatal one, matching Section 4.1's counting.
+[[nodiscard]] stats::RunningStats measure_nfail(failures::FailureSource& source,
+                                                const platform::Platform& platform,
+                                                std::uint64_t samples,
+                                                std::uint64_t master_seed);
+
+}  // namespace repcheck::sim

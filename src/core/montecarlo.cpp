@@ -1,0 +1,105 @@
+#include "core/montecarlo.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "prng/splitmix64.hpp"
+
+namespace repcheck::sim {
+
+std::uint64_t derive_run_seed(std::uint64_t master_seed, std::uint64_t index) {
+  prng::SplitMix64 mix(master_seed ^ (index * 0x9e3779b97f4a7c15ULL));
+  (void)mix();  // decorrelate nearby indices
+  return mix();
+}
+
+namespace {
+
+struct LaneAccumulator {
+  MonteCarloSummary summary;
+
+  void add(const RunResult& result, const SimConfig& config) {
+    ++summary.runs;
+    if (result.progress_stalled) {
+      ++summary.stalled_runs;
+      return;
+    }
+    summary.overhead.push(result.overhead());
+    summary.makespan.push(result.makespan);
+    summary.useful_time.push(result.useful_time);
+    summary.checkpoints.push(static_cast<double>(result.n_checkpoints));
+    summary.restart_checkpoints.push(static_cast<double>(result.n_restart_checkpoints));
+    summary.fatal_failures.push(static_cast<double>(result.n_fatal));
+    summary.failures_seen.push(static_cast<double>(result.n_failures));
+    summary.procs_restarted.push(static_cast<double>(result.n_procs_restarted));
+    summary.dead_at_checkpoint.push(result.mean_dead_at_checkpoint());
+    summary.io_gbytes.push(result.checkpoint_io_bytes(config.cost.bytes_per_proc,
+                                                      config.platform.effective_procs()) /
+                           1e9);
+    summary.energy_overhead.push(model::energy_overhead(
+        config.power, result.time_breakdown(), config.platform.n_procs(), result.useful_time));
+  }
+
+  void merge(const LaneAccumulator& other) {
+    summary.overhead.merge(other.summary.overhead);
+    summary.makespan.merge(other.summary.makespan);
+    summary.useful_time.merge(other.summary.useful_time);
+    summary.checkpoints.merge(other.summary.checkpoints);
+    summary.restart_checkpoints.merge(other.summary.restart_checkpoints);
+    summary.fatal_failures.merge(other.summary.fatal_failures);
+    summary.failures_seen.merge(other.summary.failures_seen);
+    summary.procs_restarted.merge(other.summary.procs_restarted);
+    summary.dead_at_checkpoint.merge(other.summary.dead_at_checkpoint);
+    summary.io_gbytes.merge(other.summary.io_gbytes);
+    summary.energy_overhead.merge(other.summary.energy_overhead);
+    summary.runs += other.summary.runs;
+    summary.stalled_runs += other.summary.stalled_runs;
+  }
+};
+
+RunResult run_one(const SimConfig& config, failures::FailureSource& source,
+                  std::uint64_t run_seed) {
+  if (config.strategy.kind == StrategySpec::Kind::kRestartOnFailure) {
+    const RestartOnFailureEngine engine(config.platform, config.cost);
+    return engine.run(source, config.spec, run_seed);
+  }
+  const PeriodicEngine engine(config.platform, config.cost, config.strategy, config.spares);
+  return engine.run(source, config.spec, run_seed);
+}
+
+}  // namespace
+
+MonteCarloSummary run_monte_carlo(const SimConfig& config, const SourceFactory& make_source,
+                                  std::uint64_t n_runs, std::uint64_t master_seed,
+                                  util::ThreadPool* pool) {
+  if (n_runs == 0) throw std::invalid_argument("need at least one Monte-Carlo run");
+  if (!make_source) throw std::invalid_argument("source factory must be callable");
+
+  const auto run_range = [&](std::size_t begin, std::size_t end, LaneAccumulator& acc) {
+    const auto source = make_source();
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto seed = derive_run_seed(master_seed, i);
+      acc.add(run_one(config, *source, seed), config);
+    }
+  };
+
+  if (pool == nullptr || pool->size() == 0) {
+    LaneAccumulator acc;
+    run_range(0, n_runs, acc);
+    return acc.summary;
+  }
+
+  const std::size_t lanes = pool->size() + 1;
+  std::vector<LaneAccumulator> accumulators(lanes);
+  std::atomic<std::size_t> next_lane{0};
+  pool->parallel_for(n_runs, [&](std::size_t begin, std::size_t end) {
+    const std::size_t lane = next_lane.fetch_add(1);
+    run_range(begin, end, accumulators.at(lane));
+  });
+  LaneAccumulator total;
+  for (const auto& acc : accumulators) total.merge(acc);
+  return total.summary;
+}
+
+}  // namespace repcheck::sim

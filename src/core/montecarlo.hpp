@@ -1,0 +1,68 @@
+// Monte-Carlo driver: replicate runs, parallel lanes, aggregated statistics.
+//
+// Each replicate gets a deterministic seed derived from (master seed,
+// replicate index), so results are bit-identical regardless of thread count
+// or scheduling; lanes keep private accumulators merged at the end.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "core/engine.hpp"
+#include "core/restart_on_failure.hpp"
+#include "core/result.hpp"
+#include "model/energy.hpp"
+#include "stats/ci.hpp"
+#include "stats/welford.hpp"
+#include "util/thread_pool.hpp"
+
+namespace repcheck::sim {
+
+/// Everything needed to reproduce one experimental point.
+struct SimConfig {
+  platform::Platform platform = platform::Platform::fully_replicated(2);
+  platform::CostModel cost;
+  StrategySpec strategy;
+  RunSpec spec;
+  model::PowerModel power;  ///< for the energy accounting
+  /// Finite spare pool bounding checkpoint-time revivals (periodic
+  /// strategies only); nullopt = unlimited spares (the paper's setting).
+  std::optional<platform::SparePool> spares;
+};
+
+/// Builds a fresh FailureSource per lane (sources are not thread-safe).
+using SourceFactory = std::function<std::unique_ptr<failures::FailureSource>()>;
+
+struct MonteCarloSummary {
+  stats::RunningStats overhead;
+  stats::RunningStats makespan;
+  stats::RunningStats useful_time;
+  stats::RunningStats checkpoints;
+  stats::RunningStats restart_checkpoints;
+  stats::RunningStats fatal_failures;
+  stats::RunningStats failures_seen;
+  stats::RunningStats procs_restarted;
+  stats::RunningStats dead_at_checkpoint;  ///< per-run mean dead at ckpt start
+  stats::RunningStats io_gbytes;
+  stats::RunningStats energy_overhead;
+  std::uint64_t runs = 0;
+  std::uint64_t stalled_runs = 0;
+
+  [[nodiscard]] stats::ConfidenceInterval overhead_ci(double confidence = 0.95) const {
+    return stats::mean_confidence_interval(overhead, confidence);
+  }
+};
+
+/// Deterministic per-replicate seed derivation (two SplitMix64 rounds).
+[[nodiscard]] std::uint64_t derive_run_seed(std::uint64_t master_seed, std::uint64_t index);
+
+/// Runs `n_runs` replicates of `config`; uses `pool` when given (each lane
+/// builds its own source via the factory).  Stalled runs contribute to
+/// `stalled_runs` but not to the statistics.
+[[nodiscard]] MonteCarloSummary run_monte_carlo(const SimConfig& config,
+                                                const SourceFactory& make_source,
+                                                std::uint64_t n_runs, std::uint64_t master_seed,
+                                                util::ThreadPool* pool = nullptr);
+
+}  // namespace repcheck::sim

@@ -1,0 +1,46 @@
+// Umbrella header: the repcheck public API.
+//
+// #include "core/repcheck.hpp" pulls in everything a downstream user needs:
+//
+//   model::*     — analytic results (n_fail, MTTI, periods, overheads,
+//                  Amdahl time-to-solution, asymptotics, energy, decide)
+//   platform::*  — Platform layout, CostModel, FailureState
+//   failures::*  — failure sources (exponential, renewal, trace-driven)
+//   traces::*    — trace container, synthetic LANL-like generators, scaling
+//   sim::*       — PeriodicEngine, RestartOnFailureEngine, StrategySpec,
+//                  run_monte_carlo, Advisor
+//   stats/prng/util — supporting toolkits
+#pragma once
+
+#include "congestion/shared_pfs.hpp"
+#include "core/advisor.hpp"
+#include "core/engine.hpp"
+#include "core/measures.hpp"
+#include "core/montecarlo.hpp"
+#include "core/restart_on_failure.hpp"
+#include "core/result.hpp"
+#include "core/strategy.hpp"
+#include "core/two_level.hpp"
+#include "failures/exponential_source.hpp"
+#include "failures/heterogeneous_source.hpp"
+#include "failures/renewal_source.hpp"
+#include "failures/trace_source.hpp"
+#include "model/amdahl.hpp"
+#include "model/asymptotic.hpp"
+#include "model/breakeven.hpp"
+#include "model/decision.hpp"
+#include "model/group_replication.hpp"
+#include "model/degree.hpp"
+#include "model/energy.hpp"
+#include "model/mtti.hpp"
+#include "model/multilevel.hpp"
+#include "model/nfail.hpp"
+#include "model/overhead.hpp"
+#include "model/periods.hpp"
+#include "model/units.hpp"
+#include "platform/cost.hpp"
+#include "platform/platform.hpp"
+#include "platform/state.hpp"
+#include "traces/scaling.hpp"
+#include "traces/synthetic.hpp"
+#include "traces/trace.hpp"

@@ -1,0 +1,110 @@
+#include "core/restart_on_failure.hpp"
+
+#include <stdexcept>
+
+#include "platform/state.hpp"
+
+namespace repcheck::sim {
+
+RestartOnFailureEngine::RestartOnFailureEngine(platform::Platform platform,
+                                               platform::CostModel cost)
+    : platform_(platform), cost_(cost) {
+  cost_.validate();
+  if (platform_.n_standalone() != 0) {
+    throw std::invalid_argument("restart-on-failure requires a fully replicated platform");
+  }
+}
+
+RunResult RestartOnFailureEngine::run(failures::FailureSource& source, const RunSpec& spec,
+                                      std::uint64_t run_seed) const {
+  if (spec.mode != RunSpec::Mode::kFixedWork || !(spec.total_work_time > 0.0)) {
+    throw std::invalid_argument("restart-on-failure runs in fixed-work mode only");
+  }
+  if (source.n_procs() != platform_.n_procs()) {
+    throw std::invalid_argument("failure source and platform disagree on processor count");
+  }
+
+  source.reset(run_seed);
+  platform::FailureState state(platform_);
+  RunResult result;
+  double now = 0.0;
+  double useful = 0.0;
+  double saved_useful = 0.0;  // work captured by the last completed checkpoint
+
+  failures::Failure pending = source.next();
+
+  while (useful < spec.total_work_time) {
+    if (result.n_failures >= spec.max_failures) {
+      result.progress_stalled = true;
+      break;
+    }
+
+    const double remaining = spec.total_work_time - useful;
+    if (pending.time >= now + remaining) {
+      // The application finishes before the next failure.
+      result.time_working += remaining;
+      useful += remaining;
+      now += remaining;
+      break;
+    }
+
+    // Work until the failure strikes.
+    const double progress = pending.time - now;
+    result.time_working += progress;
+    useful += progress;
+    now = pending.time;
+    ++result.n_failures;
+
+    // Global checkpoint+restart wave over [now, now + C^R).
+    state.restart_all();
+    if (state.record_failure(pending.proc) == platform::FailureEffect::kFatal) {
+      throw std::logic_error("first failure of a wave cannot be fatal on a replicated platform");
+    }
+    const double window_end = now + cost_.restart_checkpoint;
+    bool fatal = false;
+    double fatal_time = 0.0;
+    pending = source.next();
+    while (pending.time < window_end) {
+      ++result.n_failures;
+      if (state.record_failure(pending.proc) == platform::FailureEffect::kFatal) {
+        fatal = true;
+        fatal_time = pending.time;
+        break;
+      }
+      pending = source.next();
+    }
+
+    if (fatal) {
+      // The in-flight checkpoint is lost; roll back to the previous one.
+      result.time_checkpointing += fatal_time - now;
+      result.time_down += cost_.downtime;
+      result.time_recovering += cost_.recovery;
+      const double end = fatal_time + cost_.downtime + cost_.recovery;
+      pending = source.next();
+      while (pending.time < end) {
+        ++result.n_failures;
+        pending = source.next();
+      }
+      state.restart_all();
+      ++result.n_fatal;
+      useful = saved_useful;
+      now = end;
+      continue;
+    }
+
+    // Wave completed: every processor alive again, work saved as of `now`.
+    result.time_checkpointing += cost_.restart_checkpoint;
+    ++result.n_checkpoints;
+    ++result.n_restart_checkpoints;
+    result.n_procs_restarted += state.dead_count();
+    state.restart_all();
+    saved_useful = useful;
+    now = window_end;
+  }
+
+  result.useful_time = useful;
+  result.makespan = now;
+  return result;
+}
+
+}  // namespace repcheck::sim

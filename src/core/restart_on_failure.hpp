@@ -1,0 +1,37 @@
+// The restart-on-failure strategy (Sections 1 and 7.3).
+//
+// No periodic checkpoints: after every failure, all surviving processors
+// checkpoint (cost C^R) while a spare reloads the failed processor's state,
+// so execution always resumes with every pair complete.  The only way to
+// lose work is a second failure completing a pair *during* the checkpoint
+// window — rare, but the per-failure checkpoint cost dominates at scale,
+// which is exactly what Figure 6 shows.
+//
+// Work progresses between failures; nothing progresses during checkpoint,
+// downtime or recovery windows.  The run completes a fixed amount of useful
+// work (the strategy has no notion of a period count).
+#pragma once
+
+#include "core/result.hpp"
+#include "failures/source.hpp"
+#include "platform/cost.hpp"
+#include "platform/platform.hpp"
+
+namespace repcheck::sim {
+
+class RestartOnFailureEngine {
+ public:
+  /// Requires a fully replicated platform (the strategy is defined in terms
+  /// of replica pairs).
+  RestartOnFailureEngine(platform::Platform platform, platform::CostModel cost);
+
+  /// `spec.mode` must be kFixedWork.
+  [[nodiscard]] RunResult run(failures::FailureSource& source, const RunSpec& spec,
+                              std::uint64_t run_seed) const;
+
+ private:
+  platform::Platform platform_;
+  platform::CostModel cost_;
+};
+
+}  // namespace repcheck::sim

@@ -1,0 +1,88 @@
+// Run specification and measurement record.
+//
+// Two measurement modes mirror the paper's experiments:
+//   * kFixedPeriods — run until `n_periods` work segments complete
+//     (Section 7.1: "100 periods, averaged over 1000 runs"); overhead is
+//     makespan/useful − 1.
+//   * kFixedWork — run until `total_work_time` seconds of useful execution
+//     complete (time-to-solution experiments, Figures 9–10); the final
+//     period is truncated to the remaining work.
+#pragma once
+
+#include <cstdint>
+
+#include "model/energy.hpp"
+
+namespace repcheck::sim {
+
+struct RunSpec {
+  enum class Mode { kFixedPeriods, kFixedWork };
+
+  Mode mode = Mode::kFixedPeriods;
+  std::uint64_t n_periods = 100;   ///< kFixedPeriods target
+  double total_work_time = 0.0;    ///< kFixedWork target (useful seconds)
+
+  /// Charge C^R at every checkpoint even when nothing needs restarting
+  /// (matches Eq. (13)'s model exactly; default charges C^R only when a
+  /// restart actually happens, which is what a real system would pay).
+  bool charge_restart_cost_always = false;
+
+  /// Runaway guards: a configuration that cannot progress (e.g. MTBF
+  /// shorter than the checkpoint, Figure 9's "would not complete" regime)
+  /// is cut off and reported with progress_stalled = true.
+  std::uint64_t max_failures = 200'000'000;
+  std::uint64_t max_attempts_per_period = 100'000;
+};
+
+struct RunResult {
+  double makespan = 0.0;     ///< wall-clock seconds simulated
+  double useful_time = 0.0;  ///< completed work-segment seconds
+  std::uint64_t completed_periods = 0;
+
+  std::uint64_t n_failures = 0;          ///< failures consumed (incl. wasted hits)
+  std::uint64_t n_fatal = 0;             ///< application interruptions (rollbacks)
+  std::uint64_t n_checkpoints = 0;       ///< completed checkpoints
+  std::uint64_t n_restart_checkpoints = 0;  ///< checkpoints that also restarted
+  std::uint64_t n_flush_checkpoints = 0;    ///< two-level: checkpoints that flushed to PFS
+  std::uint64_t n_procs_restarted = 0;   ///< processors revived at checkpoints
+  /// Sum over completed checkpoints of the dead-processor count observed
+  /// when the checkpoint began (before any revival) — Section 7.7's
+  /// "how many processors does a period lose" statistic.
+  std::uint64_t sum_dead_at_checkpoint = 0;
+
+  double time_working = 0.0;        ///< useful + re-executed work
+  double time_checkpointing = 0.0;  ///< completed and aborted checkpoint time
+  double time_recovering = 0.0;
+  double time_down = 0.0;
+
+  bool progress_stalled = false;  ///< a runaway guard tripped
+
+  [[nodiscard]] double overhead() const {
+    return useful_time > 0.0 ? makespan / useful_time - 1.0 : 0.0;
+  }
+
+  /// Mean dead processors found at each completed checkpoint.
+  [[nodiscard]] double mean_dead_at_checkpoint() const {
+    return n_checkpoints > 0
+               ? static_cast<double>(sum_dead_at_checkpoint) / static_cast<double>(n_checkpoints)
+               : 0.0;
+  }
+
+  /// Bytes written to the checkpoint store (Section 7.5's I/O pressure).
+  [[nodiscard]] double checkpoint_io_bytes(double bytes_per_proc,
+                                           std::uint64_t effective_procs) const {
+    return static_cast<double>(n_checkpoints) * bytes_per_proc *
+           static_cast<double>(effective_procs);
+  }
+
+  /// Wall-clock time breakdown for the energy model (per processor).
+  [[nodiscard]] model::TimeBreakdown time_breakdown() const {
+    model::TimeBreakdown b;
+    b.compute = time_working;
+    b.io = time_checkpointing + time_recovering;
+    b.idle = time_down;
+    return b;
+  }
+};
+
+}  // namespace repcheck::sim

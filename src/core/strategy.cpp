@@ -1,0 +1,234 @@
+#include "core/strategy.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "model/nfail.hpp"
+
+namespace repcheck::sim {
+
+namespace {
+
+void require_period(double t) {
+  if (!(t > 0.0)) throw std::invalid_argument("strategy period must be positive");
+}
+
+/// Fixed period; restart decision delegated to a dead-count threshold.
+class FixedPeriodPolicy final : public PeriodicPolicy {
+ public:
+  FixedPeriodPolicy(double period, std::uint64_t restart_threshold)
+      : period_(period), restart_threshold_(restart_threshold) {}
+
+  [[nodiscard]] double period_length(const PolicyContext&) const override { return period_; }
+
+  [[nodiscard]] bool restart_at_checkpoint(const PolicyContext& ctx) const override {
+    return restart_threshold_ > 0 && ctx.state.dead_count() >= restart_threshold_;
+  }
+
+ private:
+  double period_;
+  std::uint64_t restart_threshold_;  ///< 0 disables checkpoint-time restarts
+};
+
+/// Fig. 2's two-period policy: T1 while all processors are alive, T2 once
+/// any processor is dead; processors only come back via application crashes.
+class NonPeriodicPolicy final : public PeriodicPolicy {
+ public:
+  NonPeriodicPolicy(double healthy_period, double degraded_period)
+      : healthy_(healthy_period), degraded_(degraded_period) {}
+
+  [[nodiscard]] double period_length(const PolicyContext& ctx) const override {
+    return ctx.state.dead_count() == 0 ? healthy_ : degraded_;
+  }
+
+  [[nodiscard]] bool restart_at_checkpoint(const PolicyContext&) const override { return false; }
+
+ private:
+  double healthy_;
+  double degraded_;
+};
+
+/// Conclusion extension: rejuvenate once `delta` seconds have elapsed since
+/// the platform was last fully alive.
+class RestartIntervalPolicy final : public PeriodicPolicy {
+ public:
+  RestartIntervalPolicy(double period, double delta) : period_(period), delta_(delta) {}
+
+  [[nodiscard]] double period_length(const PolicyContext&) const override { return period_; }
+
+  [[nodiscard]] bool restart_at_checkpoint(const PolicyContext& ctx) const override {
+    return ctx.now - ctx.last_all_alive >= delta_;
+  }
+
+ private:
+  double period_;
+  double delta_;
+};
+
+/// Conclusion extension: no-restart with a state-dependent period
+/// T(k) = sqrt(2 M_k C), where M_k = N(k)·μ/(2b) is the remaining MTTI
+/// with k degraded pairs (N(k) from the Theorem 4.1 recursion).  As
+/// damage accumulates the crash risk grows, so checkpoints tighten —
+/// the multi-pair generalization of Figure 2's two-period variant.
+class AdaptiveNoRestartPolicy final : public PeriodicPolicy {
+ public:
+  AdaptiveNoRestartPolicy(double checkpoint_cost, double mtbf_proc, std::uint64_t pairs) {
+    if (!(checkpoint_cost > 0.0)) throw std::invalid_argument("checkpoint cost must be positive");
+    if (!(mtbf_proc > 0.0)) throw std::invalid_argument("MTBF must be positive");
+    if (pairs == 0) {
+      throw std::invalid_argument("adaptive no-restart requires a replicated platform");
+    }
+    const auto nfail = model::nfail_from_degraded(pairs);
+    periods_.reserve(nfail.size());
+    for (const double n_k : nfail) {
+      const double mtti_k = n_k * mtbf_proc / (2.0 * static_cast<double>(pairs));
+      periods_.push_back(std::sqrt(2.0 * mtti_k * checkpoint_cost));
+    }
+  }
+
+  [[nodiscard]] double period_length(const PolicyContext& ctx) const override {
+    // Damaged pairs determine the remaining MTTI; dead standalone
+    // processors cannot exist here (their failures are fatal).
+    const std::uint64_t k = ctx.state.degraded_groups();
+    return periods_[k < periods_.size() ? k : periods_.size() - 1];
+  }
+
+  [[nodiscard]] bool restart_at_checkpoint(const PolicyContext&) const override { return false; }
+
+ private:
+  std::vector<double> periods_;  ///< T(k), k = 0..b
+};
+
+}  // namespace
+
+StrategySpec StrategySpec::no_replication(double t) {
+  require_period(t);
+  StrategySpec spec;
+  spec.kind = Kind::kNoReplication;
+  spec.period = t;
+  spec.n_bound = 0;
+  return spec;
+}
+
+StrategySpec StrategySpec::no_restart(double t) {
+  require_period(t);
+  StrategySpec spec;
+  spec.kind = Kind::kNoRestart;
+  spec.period = t;
+  spec.n_bound = 0;
+  return spec;
+}
+
+StrategySpec StrategySpec::restart(double t) {
+  require_period(t);
+  StrategySpec spec;
+  spec.kind = Kind::kRestart;
+  spec.period = t;
+  spec.n_bound = 1;
+  return spec;
+}
+
+StrategySpec StrategySpec::restart_threshold(double t, std::uint64_t n_bound) {
+  require_period(t);
+  if (n_bound == 0) throw std::invalid_argument("restart threshold must be at least 1");
+  StrategySpec spec;
+  spec.kind = Kind::kRestartThreshold;
+  spec.period = t;
+  spec.n_bound = n_bound;
+  return spec;
+}
+
+StrategySpec StrategySpec::non_periodic(double t1, double t2) {
+  require_period(t1);
+  require_period(t2);
+  StrategySpec spec;
+  spec.kind = Kind::kNonPeriodic;
+  spec.period = t1;
+  spec.degraded_period = t2;
+  spec.n_bound = 0;
+  return spec;
+}
+
+StrategySpec StrategySpec::restart_interval(double t, double delta) {
+  require_period(t);
+  if (!(delta >= 0.0)) throw std::invalid_argument("rejuvenation interval must be non-negative");
+  StrategySpec spec;
+  spec.kind = Kind::kRestartInterval;
+  spec.period = t;
+  spec.interval = delta;
+  spec.n_bound = 0;
+  return spec;
+}
+
+StrategySpec StrategySpec::adaptive_no_restart(double checkpoint_cost, double mtbf_proc) {
+  if (!(checkpoint_cost > 0.0)) throw std::invalid_argument("checkpoint cost must be positive");
+  if (!(mtbf_proc > 0.0)) throw std::invalid_argument("MTBF must be positive");
+  StrategySpec spec;
+  spec.kind = Kind::kAdaptiveNoRestart;
+  spec.period = 1.0;  // placeholder; the policy derives T(k) itself
+  spec.checkpoint_cost = checkpoint_cost;
+  spec.mtbf_proc = mtbf_proc;
+  spec.n_bound = 0;
+  return spec;
+}
+
+StrategySpec StrategySpec::restart_on_failure() {
+  StrategySpec spec;
+  spec.kind = Kind::kRestartOnFailure;
+  spec.period = 0.0;
+  spec.n_bound = 0;
+  return spec;
+}
+
+std::string StrategySpec::name() const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::kNoReplication: os << "NoReplication(T=" << period << ")"; break;
+    case Kind::kNoRestart: os << "NoRestart(T=" << period << ")"; break;
+    case Kind::kRestart: os << "Restart(T=" << period << ")"; break;
+    case Kind::kRestartThreshold:
+      os << "RestartEvery" << n_bound << "(T=" << period << ")";
+      break;
+    case Kind::kNonPeriodic:
+      os << "NonPeriodic(T1=" << period << ",T2=" << degraded_period << ")";
+      break;
+    case Kind::kRestartInterval:
+      os << "RestartInterval(T=" << period << ",delta=" << interval << ")";
+      break;
+    case Kind::kAdaptiveNoRestart:
+      os << "AdaptiveNoRestart(C=" << checkpoint_cost << ")";
+      break;
+    case Kind::kRestartOnFailure: os << "RestartOnFailure"; break;
+  }
+  return os.str();
+}
+
+std::unique_ptr<PeriodicPolicy> make_policy(const StrategySpec& spec,
+                                            const platform::Platform& platform) {
+  switch (spec.kind) {
+    case StrategySpec::Kind::kNoReplication:
+    case StrategySpec::Kind::kNoRestart:
+      return std::make_unique<FixedPeriodPolicy>(spec.period, 0);
+    case StrategySpec::Kind::kRestart:
+      return std::make_unique<FixedPeriodPolicy>(spec.period, 1);
+    case StrategySpec::Kind::kRestartThreshold:
+      return std::make_unique<FixedPeriodPolicy>(spec.period, spec.n_bound);
+    case StrategySpec::Kind::kNonPeriodic:
+      return std::make_unique<NonPeriodicPolicy>(spec.period, spec.degraded_period);
+    case StrategySpec::Kind::kRestartInterval:
+      return std::make_unique<RestartIntervalPolicy>(spec.period, spec.interval);
+    case StrategySpec::Kind::kAdaptiveNoRestart:
+      if (platform.degree() != 2) {
+        throw std::invalid_argument("adaptive no-restart is derived for pair replication");
+      }
+      return std::make_unique<AdaptiveNoRestartPolicy>(spec.checkpoint_cost, spec.mtbf_proc,
+                                                       platform.n_groups());
+    case StrategySpec::Kind::kRestartOnFailure:
+      throw std::invalid_argument("restart-on-failure is not a periodic strategy");
+  }
+  throw std::logic_error("unknown strategy kind");
+}
+
+}  // namespace repcheck::sim

@@ -1,0 +1,94 @@
+// Checkpoint/restart strategies (Sections 1, 4, 7.7 and the conclusion's
+// future-work extensions).
+//
+// All periodic strategies answer two questions per period:
+//   * how long is the next work segment?
+//   * are failed processors restarted at the next checkpoint?
+// given a PolicyContext (platform damage state + clock).  The built-ins:
+//
+//   no-replication    fixed T, every failure fatal (Section 3)
+//   no-restart        fixed T, never restart until an app crash (prior art)
+//   restart           fixed T, restart at every checkpoint (the paper)
+//   restart-threshold fixed T, restart once >= n_bound processors are dead
+//                     (Section 7.7)
+//   non-periodic      T1 while all alive, T2 once degraded (Figure 2)
+//   restart-interval  fixed T, restart at the first checkpoint after delta
+//                     seconds since the platform was last fully alive (the
+//                     conclusion's "rejuvenate after a given time interval")
+//   adaptive-norestart state-dependent period T(k) = sqrt(2·M_k·C) where
+//                     M_k is the remaining MTTI with k degraded pairs (the
+//                     conclusion's non-periodic direction, made concrete
+//                     via the N(k) recursion behind Theorem 4.1)
+//
+// restart-on-failure (Section 7.3) is not periodic and has its own engine.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "platform/state.hpp"
+
+namespace repcheck::sim {
+
+/// What a policy can see when deciding: the damage state and the clock.
+struct PolicyContext {
+  const platform::FailureState& state;
+  double now = 0.0;                ///< absolute simulation time
+  double last_all_alive = 0.0;     ///< last instant the platform was whole
+};
+
+/// Value-type description of a strategy; what experiments sweep over and
+/// what the Monte-Carlo driver copies into every lane.
+struct StrategySpec {
+  enum class Kind {
+    kNoReplication,
+    kNoRestart,
+    kRestart,
+    kRestartThreshold,
+    kNonPeriodic,
+    kRestartInterval,
+    kAdaptiveNoRestart,
+    kRestartOnFailure,
+  };
+
+  Kind kind = Kind::kRestart;
+  double period = 0.0;           ///< work-segment length T (seconds)
+  double degraded_period = 0.0;  ///< T2 for kNonPeriodic
+  std::uint64_t n_bound = 1;     ///< threshold for kRestartThreshold
+  double interval = 0.0;         ///< rejuvenation interval for kRestartInterval
+  double checkpoint_cost = 0.0;  ///< C for kAdaptiveNoRestart's T(k)
+  double mtbf_proc = 0.0;        ///< per-processor MTBF for kAdaptiveNoRestart
+
+  [[nodiscard]] static StrategySpec no_replication(double t);
+  [[nodiscard]] static StrategySpec no_restart(double t);
+  [[nodiscard]] static StrategySpec restart(double t);
+  [[nodiscard]] static StrategySpec restart_threshold(double t, std::uint64_t n_bound);
+  [[nodiscard]] static StrategySpec non_periodic(double t1, double t2);
+  [[nodiscard]] static StrategySpec restart_interval(double t, double delta);
+  [[nodiscard]] static StrategySpec adaptive_no_restart(double checkpoint_cost,
+                                                        double mtbf_proc);
+  [[nodiscard]] static StrategySpec restart_on_failure();
+
+  [[nodiscard]] std::string name() const;
+};
+
+/// Per-period decision interface for the periodic engine.
+class PeriodicPolicy {
+ public:
+  virtual ~PeriodicPolicy() = default;
+
+  /// Work-segment length for the period about to start.
+  [[nodiscard]] virtual double period_length(const PolicyContext& ctx) const = 0;
+
+  /// Whether dead processors are revived at the upcoming checkpoint.
+  [[nodiscard]] virtual bool restart_at_checkpoint(const PolicyContext& ctx) const = 0;
+};
+
+/// Builds the policy for a periodic spec (the platform is needed by
+/// state-dependent policies); throws for kRestartOnFailure (drive it
+/// through RestartOnFailureEngine instead).
+[[nodiscard]] std::unique_ptr<PeriodicPolicy> make_policy(const StrategySpec& spec,
+                                                          const platform::Platform& platform);
+
+}  // namespace repcheck::sim

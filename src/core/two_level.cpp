@@ -1,0 +1,130 @@
+#include "core/two_level.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "platform/state.hpp"
+
+namespace repcheck::sim {
+
+TwoLevelEngine::TwoLevelEngine(platform::Platform platform, model::TwoLevelCosts costs,
+                               double period, std::uint64_t flush_every)
+    : platform_(platform), costs_(costs), period_(period), flush_every_(flush_every) {
+  if (!(period_ > 0.0)) throw std::invalid_argument("period must be positive");
+  if (flush_every_ == 0) throw std::invalid_argument("flush cadence must be at least 1");
+  if (!platform_.uses_replication() || platform_.n_standalone() != 0) {
+    throw std::invalid_argument("two-level buddy checkpointing requires full replication");
+  }
+  if (!(costs_.buddy_checkpoint > 0.0) || !(costs_.pfs_flush >= 0.0) ||
+      !(costs_.pfs_recovery >= 0.0) || !(costs_.downtime >= 0.0)) {
+    throw std::invalid_argument("invalid two-level cost model");
+  }
+}
+
+RunResult TwoLevelEngine::run(failures::FailureSource& source, const RunSpec& spec,
+                              std::uint64_t run_seed) const {
+  if (spec.mode != RunSpec::Mode::kFixedWork || !(spec.total_work_time > 0.0)) {
+    throw std::invalid_argument("the two-level engine runs in fixed-work mode only");
+  }
+  if (source.n_procs() != platform_.n_procs()) {
+    throw std::invalid_argument("failure source and platform disagree on processor count");
+  }
+
+  source.reset(run_seed);
+  platform::FailureState state(platform_);
+  RunResult result;
+  double now = 0.0;
+  double useful = 0.0;
+  double pfs_useful = 0.0;           // work durable on the PFS level
+  std::uint64_t since_flush = 0;     // buddy checkpoints since the last flush
+
+  failures::Failure pending = source.next();
+  const auto take = [&] {
+    const auto f = pending;
+    pending = source.next();
+    ++result.n_failures;
+    return f;
+  };
+
+  // PFS-level recovery after a crash at `fail_time`: everything since the
+  // last flush is gone.
+  const auto recover_from_pfs = [&](double fail_time) {
+    result.time_down += costs_.downtime;
+    result.time_recovering += costs_.pfs_recovery;
+    const double end = fail_time + costs_.downtime + costs_.pfs_recovery;
+    while (pending.time < end) (void)take();
+    state.restart_all();
+    ++result.n_fatal;
+    useful = pfs_useful;
+    since_flush = 0;
+    now = end;
+  };
+
+  while (useful < spec.total_work_time) {
+    if (result.n_failures >= spec.max_failures ||
+        result.n_fatal >= spec.max_attempts_per_period) {
+      result.progress_stalled = true;
+      break;
+    }
+
+    const double t = std::min(period_, spec.total_work_time - useful);
+
+    // --- work segment ---
+    const double work_start = now;
+    const double work_end = now + t;
+    bool fatal = false;
+    while (pending.time < work_end) {
+      const auto f = take();
+      if (state.record_failure(f.proc) == platform::FailureEffect::kFatal) {
+        result.time_working += f.time - work_start;
+        recover_from_pfs(f.time);
+        fatal = true;
+        break;
+      }
+    }
+    if (fatal) continue;
+
+    // --- buddy checkpoint (+ flush every k-th), with processor restart ---
+    const bool flush = since_flush + 1 >= flush_every_;
+    const double ckpt_cost = costs_.buddy_checkpoint + (flush ? costs_.pfs_flush : 0.0);
+    const double ckpt_end = work_end + ckpt_cost;
+    result.sum_dead_at_checkpoint += state.dead_count();
+    if (state.dead_count() > 0) {
+      result.n_procs_restarted += state.dead_count();
+      ++result.n_restart_checkpoints;
+      state.restart_all();
+    }
+    while (pending.time < ckpt_end) {
+      const auto f = take();
+      if (state.record_failure(f.proc) == platform::FailureEffect::kFatal) {
+        result.time_working += t;
+        result.time_checkpointing += f.time - work_end;
+        recover_from_pfs(f.time);
+        fatal = true;
+        break;
+      }
+    }
+    if (fatal) continue;
+
+    // --- success ---
+    result.time_working += t;
+    result.time_checkpointing += ckpt_cost;
+    useful += t;
+    ++result.completed_periods;
+    ++result.n_checkpoints;
+    if (flush) {
+      ++result.n_flush_checkpoints;
+      pfs_useful = useful;
+      since_flush = 0;
+    } else {
+      ++since_flush;
+    }
+    now = ckpt_end;
+  }
+
+  result.useful_time = useful;
+  result.makespan = now;
+  return result;
+}
+
+}  // namespace repcheck::sim

@@ -1,0 +1,47 @@
+// Two-level checkpoint simulator (buddy + PFS) under the restart strategy.
+//
+// Semantics (Section 2's multi-level discussion made concrete):
+//  * Every period ends with a buddy-level checkpoint of cost C_b that also
+//    restarts any failed processors (the replica *is* the buddy, so restart
+//    overlaps with the copy: C^R = C_b).
+//  * Every k-th checkpoint additionally flushes to the parallel file
+//    system at extra cost C_p.
+//  * A non-fatal failure is absorbed as usual.  A *fatal* failure (both
+//    replicas of a pair dead) also destroys that pair's buddy checkpoint,
+//    so recovery must come from the last PFS flush: all work since that
+//    flush — up to k−1 completed periods plus the failing one — is lost,
+//    and the recovery costs D + R_p.
+//
+// Runs in fixed-work mode (rollbacks can undo completed periods, so a
+// fixed-period count is ill-defined).
+#pragma once
+
+#include "core/result.hpp"
+#include "failures/source.hpp"
+#include "model/multilevel.hpp"
+#include "platform/platform.hpp"
+
+namespace repcheck::sim {
+
+class TwoLevelEngine {
+ public:
+  /// `flush_every` = k >= 1 (flush on every k-th checkpoint).
+  TwoLevelEngine(platform::Platform platform, model::TwoLevelCosts costs, double period,
+                 std::uint64_t flush_every);
+
+  /// `spec.mode` must be kFixedWork.  n_flush_checkpoints counts the PFS
+  /// flushes; time spent flushing is part of time_checkpointing.
+  [[nodiscard]] RunResult run(failures::FailureSource& source, const RunSpec& spec,
+                              std::uint64_t run_seed) const;
+
+  [[nodiscard]] double period() const { return period_; }
+  [[nodiscard]] std::uint64_t flush_every() const { return flush_every_; }
+
+ private:
+  platform::Platform platform_;
+  model::TwoLevelCosts costs_;
+  double period_;
+  std::uint64_t flush_every_;
+};
+
+}  // namespace repcheck::sim

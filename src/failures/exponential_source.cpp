@@ -1,0 +1,26 @@
+#include "failures/exponential_source.hpp"
+
+#include <stdexcept>
+
+namespace repcheck::failures {
+
+ExponentialFailureSource::ExponentialFailureSource(std::uint64_t n_procs, double mtbf_proc,
+                                                   std::uint64_t run_seed)
+    : proc_rate_((mtbf_proc > 0.0)
+                     ? 1.0 / mtbf_proc
+                     : throw std::invalid_argument("MTBF must be positive")),
+      gap_(static_cast<double>(n_procs) * proc_rate_),
+      proc_picker_(n_procs),
+      rng_(run_seed) {}
+
+Failure ExponentialFailureSource::next() {
+  now_ += gap_(rng_);
+  return {now_, proc_picker_(rng_)};
+}
+
+void ExponentialFailureSource::reset(std::uint64_t run_seed) {
+  rng_ = prng::Xoshiro256pp(run_seed);
+  now_ = 0.0;
+}
+
+}  // namespace repcheck::failures

@@ -1,0 +1,34 @@
+// IID exponential failures — the paper's analytic model.
+//
+// Per-processor exp(λ) failures superpose into a platform-wide Poisson
+// process of rate Nλ with uniformly random processor assignment; sampling
+// the superposition directly is exact and O(1) per failure regardless of N,
+// which is what makes 200,000-processor simulations cheap.
+#pragma once
+
+#include "failures/source.hpp"
+#include "prng/distributions.hpp"
+#include "prng/xoshiro.hpp"
+
+namespace repcheck::failures {
+
+class ExponentialFailureSource final : public FailureSource {
+ public:
+  /// `mtbf_proc` is the individual-processor MTBF in seconds.
+  ExponentialFailureSource(std::uint64_t n_procs, double mtbf_proc, std::uint64_t run_seed = 0);
+
+  [[nodiscard]] Failure next() override;
+  void reset(std::uint64_t run_seed) override;
+  [[nodiscard]] std::uint64_t n_procs() const override { return proc_picker_.bound(); }
+
+  [[nodiscard]] double mtbf_proc() const { return 1.0 / proc_rate_; }
+
+ private:
+  double proc_rate_;
+  prng::ExponentialSampler gap_;
+  prng::UniformIndexSampler proc_picker_;
+  prng::Xoshiro256pp rng_;
+  double now_ = 0.0;
+};
+
+}  // namespace repcheck::failures

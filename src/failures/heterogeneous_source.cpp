@@ -1,0 +1,44 @@
+#include "failures/heterogeneous_source.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace repcheck::failures {
+
+HeterogeneousExponentialSource::HeterogeneousExponentialSource(
+    std::vector<ProcessorClass> classes, std::uint64_t run_seed)
+    : classes_(std::move(classes)), rng_(run_seed) {
+  if (classes_.empty()) throw std::invalid_argument("need at least one processor class");
+  cumulative_rate_.reserve(classes_.size());
+  class_base_.reserve(classes_.size());
+  for (const auto& c : classes_) {
+    if (c.count == 0) throw std::invalid_argument("processor class must not be empty");
+    if (!(c.mtbf > 0.0)) throw std::invalid_argument("class MTBF must be positive");
+    class_base_.push_back(n_procs_);
+    n_procs_ += c.count;
+    total_rate_ += static_cast<double>(c.count) / c.mtbf;
+    cumulative_rate_.push_back(total_rate_);
+  }
+}
+
+Failure HeterogeneousExponentialSource::next() {
+  // Superposed Poisson: exponential gap at the total rate...
+  now_ += -std::log(1.0 - rng_.uniform01()) / total_rate_;
+  // ...then the class proportionally to its rate share...
+  const double u = rng_.uniform01() * total_rate_;
+  const auto it = std::upper_bound(cumulative_rate_.begin(), cumulative_rate_.end(), u);
+  const auto idx = static_cast<std::size_t>(
+      std::min<std::ptrdiff_t>(it - cumulative_rate_.begin(),
+                               static_cast<std::ptrdiff_t>(classes_.size()) - 1));
+  // ...and the processor uniformly within the class.
+  const prng::UniformIndexSampler pick(classes_[idx].count);
+  return {now_, class_base_[idx] + pick(rng_)};
+}
+
+void HeterogeneousExponentialSource::reset(std::uint64_t run_seed) {
+  rng_ = prng::Xoshiro256pp(run_seed);
+  now_ = 0.0;
+}
+
+}  // namespace repcheck::failures

@@ -1,0 +1,50 @@
+// Heterogeneous exponential failures: processor classes with distinct MTBFs.
+//
+// Hussain et al. [25] — the partial-replication work the paper compares
+// against — motivate partial replication with *non-uniform* node
+// reliabilities; the paper confirms partial replication never pays on
+// homogeneous platforms and leaves heterogeneity "outside the scope of
+// this study."  This source enables exactly that study: contiguous classes
+// of processors, each with its own exponential failure law.  The
+// superposition is still Poisson (rate = Σ n_i λ_i), with the target class
+// drawn proportionally to its rate and the processor uniformly within it.
+#pragma once
+
+#include <vector>
+
+#include "failures/source.hpp"
+#include "prng/distributions.hpp"
+#include "prng/xoshiro.hpp"
+
+namespace repcheck::failures {
+
+struct ProcessorClass {
+  std::uint64_t count = 0;  ///< processors in this class (laid out contiguously)
+  double mtbf = 0.0;        ///< per-processor MTBF, seconds
+};
+
+class HeterogeneousExponentialSource final : public FailureSource {
+ public:
+  /// Classes occupy processor indices in order: class 0 gets [0, n_0),
+  /// class 1 gets [n_0, n_0 + n_1), ...
+  explicit HeterogeneousExponentialSource(std::vector<ProcessorClass> classes,
+                                          std::uint64_t run_seed = 0);
+
+  [[nodiscard]] Failure next() override;
+  void reset(std::uint64_t run_seed) override;
+  [[nodiscard]] std::uint64_t n_procs() const override { return n_procs_; }
+
+  [[nodiscard]] double total_rate() const { return total_rate_; }
+  [[nodiscard]] const std::vector<ProcessorClass>& classes() const { return classes_; }
+
+ private:
+  std::vector<ProcessorClass> classes_;
+  std::vector<double> cumulative_rate_;  ///< prefix sums of class rates
+  std::vector<std::uint64_t> class_base_;
+  std::uint64_t n_procs_ = 0;
+  double total_rate_ = 0.0;
+  prng::Xoshiro256pp rng_;
+  double now_ = 0.0;
+};
+
+}  // namespace repcheck::failures

@@ -1,0 +1,38 @@
+#include "failures/renewal_source.hpp"
+
+#include <stdexcept>
+
+namespace repcheck::failures {
+
+RenewalFailureSource::RenewalFailureSource(std::uint64_t n_procs, InterArrivalSampler sampler,
+                                           std::uint64_t run_seed)
+    : n_procs_(n_procs), sampler_(std::move(sampler)), rng_(run_seed) {
+  if (n_procs_ == 0) throw std::invalid_argument("need at least one processor");
+  if (!sampler_) throw std::invalid_argument("inter-arrival sampler must be callable");
+  prime();
+}
+
+void RenewalFailureSource::prime() {
+  heap_ = {};
+  std::vector<Entry> initial;
+  initial.reserve(n_procs_);
+  for (std::uint64_t p = 0; p < n_procs_; ++p) {
+    initial.push_back({sampler_(rng_), p});
+  }
+  heap_ = std::priority_queue<Entry, std::vector<Entry>, std::greater<>>(std::greater<>{},
+                                                                          std::move(initial));
+}
+
+Failure RenewalFailureSource::next() {
+  Entry top = heap_.top();
+  heap_.pop();
+  heap_.push({top.time + sampler_(rng_), top.proc});
+  return {top.time, top.proc};
+}
+
+void RenewalFailureSource::reset(std::uint64_t run_seed) {
+  rng_ = prng::Xoshiro256pp(run_seed);
+  prime();
+}
+
+}  // namespace repcheck::failures

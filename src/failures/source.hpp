@@ -1,0 +1,43 @@
+// FailureSource: the stream of fail-stop errors driving a simulation.
+//
+// A source emits an infinite sequence of (time, processor) failures with
+// non-decreasing times.  Failures strike *processor slots* regardless of the
+// slot's current dead/alive status — a hit on an already-dead processor is
+// wasted — matching the MTTI model of Section 4.1 and the paper's simulator
+// (dead processors are physical nodes that keep their failure law; the
+// simulation layer decides the effect of each hit).
+//
+// reset(run_seed) rewinds the stream for a new Monte-Carlo replicate; two
+// resets with the same seed must reproduce the identical stream.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+namespace repcheck::failures {
+
+struct Failure {
+  double time = 0.0;
+  std::uint64_t proc = 0;
+};
+
+class FailureSource {
+ public:
+  virtual ~FailureSource() = default;
+
+  /// Next failure; times are non-decreasing between resets.
+  [[nodiscard]] virtual Failure next() = 0;
+
+  /// Rewinds the stream deterministically for replicate `run_seed`.
+  virtual void reset(std::uint64_t run_seed) = 0;
+
+  /// Number of processor slots the stream covers.
+  [[nodiscard]] virtual std::uint64_t n_procs() const = 0;
+};
+
+/// Factory signature used by the Monte-Carlo driver: each parallel lane
+/// builds its own source instance (sources are stateful and not
+/// thread-safe).
+using SourceFactory = std::unique_ptr<FailureSource> (*)();
+
+}  // namespace repcheck::failures

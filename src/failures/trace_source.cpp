@@ -1,0 +1,92 @@
+#include "failures/trace_source.hpp"
+
+#include <algorithm>
+
+#include "prng/distributions.hpp"
+
+namespace repcheck::failures {
+
+namespace {
+// First record index whose time is >= rotation (n if none), i.e. the head of
+// the rotated replay order.
+std::size_t start_index(const std::vector<traces::FailureRecord>& records, double rotation) {
+  const auto it = std::lower_bound(
+      records.begin(), records.end(), rotation,
+      [](const traces::FailureRecord& r, double t) { return r.time < t; });
+  return static_cast<std::size_t>(it - records.begin());
+}
+}  // namespace
+
+TraceFailureSource::TraceFailureSource(traces::GroupedTraceSchedule schedule,
+                                       std::uint64_t run_seed, NodeAssignment assignment)
+    : schedule_(std::move(schedule)), assignment_(assignment), rng_(run_seed) {
+  prime(run_seed);
+}
+
+TraceFailureSource::Cursor TraceFailureSource::make_cursor(std::uint32_t group,
+                                                           double rotation) const {
+  const auto& records = schedule_.trace().records();
+  std::size_t idx = start_index(records, rotation);
+  std::uint64_t wraps = 0;
+  if (idx == records.size()) {  // rotation past the last record: wrap at once
+    idx = 0;
+    wraps = 0;  // records before the rotation still belong to cycle zero
+  }
+  Cursor cursor;
+  cursor.group = group;
+  cursor.index = idx;
+  cursor.wraps = wraps;
+  const double horizon = schedule_.trace().horizon();
+  const double t = records[idx].time;
+  const double base = t >= rotation ? t - rotation : t - rotation + horizon;
+  cursor.time = base + static_cast<double>(wraps) * horizon;
+  return cursor;
+}
+
+TraceFailureSource::Cursor TraceFailureSource::advance(const Cursor& cursor) const {
+  const auto& records = schedule_.trace().records();
+  const double horizon = schedule_.trace().horizon();
+  const double rotation = rotations_[cursor.group];
+  Cursor next = cursor;
+  next.index = (cursor.index + 1) % records.size();
+  // One cycle of the rotated order runs start_index .. n-1, 0 .. start-1;
+  // re-entering the head means a full horizon has elapsed.
+  std::size_t head = start_index(records, rotation);
+  if (head == records.size()) head = 0;
+  if (next.index == head) ++next.wraps;
+  const double t = records[next.index].time;
+  const double base = t >= rotation ? t - rotation : t - rotation + horizon;
+  next.time = base + static_cast<double>(next.wraps) * horizon;
+  return next;
+}
+
+void TraceFailureSource::prime(std::uint64_t run_seed) {
+  rng_ = prng::Xoshiro256pp(run_seed);
+  rotations_.assign(schedule_.n_groups(), 0.0);
+  std::vector<Cursor> initial;
+  initial.reserve(schedule_.n_groups());
+  const double horizon = schedule_.trace().horizon();
+  for (std::uint32_t g = 0; g < schedule_.n_groups(); ++g) {
+    rotations_[g] = rng_.uniform01() * horizon;
+    initial.push_back(make_cursor(g, rotations_[g]));
+  }
+  heap_ = std::priority_queue<Cursor, std::vector<Cursor>, std::greater<>>(std::greater<>{},
+                                                                            std::move(initial));
+}
+
+Failure TraceFailureSource::next() {
+  Cursor top = heap_.top();
+  heap_.pop();
+  heap_.push(advance(top));
+  if (assignment_ == NodeAssignment::kUniformPerFailure) {
+    const std::uint64_t base = static_cast<std::uint64_t>(top.group) * schedule_.group_size();
+    const prng::UniformIndexSampler pick(schedule_.group_size());
+    return {top.time, base + pick(rng_)};
+  }
+  const auto node = schedule_.trace().records()[top.index].node;
+  return {top.time, schedule_.map_node(top.group, node)};
+}
+
+void TraceFailureSource::reset(std::uint64_t run_seed) { prime(run_seed); }
+
+}  // namespace repcheck::failures

@@ -1,0 +1,74 @@
+#include "math/beta.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "math/gamma.hpp"
+
+namespace repcheck::math {
+
+namespace {
+
+/// Continued fraction for the incomplete beta (Lentz's method).
+double beta_continued_fraction(double a, double b, double x) {
+  constexpr int kMaxIterations = 500;
+  constexpr double kEps = 1e-16;
+  constexpr double kTiny = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) return h;
+  }
+  throw std::runtime_error("incomplete beta continued fraction did not converge");
+}
+
+}  // namespace
+
+double log_beta(double a, double b) {
+  if (!(a > 0.0) || !(b > 0.0)) throw std::domain_error("log_beta requires a, b > 0");
+  return log_gamma(a) + log_gamma(b) - log_gamma(a + b);
+}
+
+double regularized_incomplete_beta(double a, double b, double x) {
+  if (!(a > 0.0) || !(b > 0.0)) {
+    throw std::domain_error("regularized_incomplete_beta requires a, b > 0");
+  }
+  if (x < 0.0 || x > 1.0) throw std::domain_error("regularized_incomplete_beta requires x in [0,1]");
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  const double log_front = a * std::log(x) + b * std::log1p(-x) - log_beta(a, b);
+  // Use the continued fraction on the side where it converges fast.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return std::exp(log_front) * beta_continued_fraction(a, b, x) / a;
+  }
+  return 1.0 - std::exp(log_front) * beta_continued_fraction(b, a, 1.0 - x) / b;
+}
+
+double incomplete_beta(double a, double b, double x) {
+  return regularized_incomplete_beta(a, b, x) * std::exp(log_beta(a, b));
+}
+
+}  // namespace repcheck::math

@@ -1,0 +1,25 @@
+#include "math/gamma.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace repcheck::math {
+
+double log_gamma(double x) {
+  if (!(x > 0.0)) throw std::domain_error("log_gamma requires x > 0");
+  return std::lgamma(x);
+}
+
+double log_factorial(std::uint64_t n) { return log_gamma(static_cast<double>(n) + 1.0); }
+
+double log_binomial(std::uint64_t n, std::uint64_t k) {
+  if (k > n) throw std::domain_error("log_binomial requires k <= n");
+  return log_factorial(n) - log_factorial(k) - log_factorial(n - k);
+}
+
+double binomial(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return 0.0;
+  return std::exp(log_binomial(n, k));
+}
+
+}  // namespace repcheck::math

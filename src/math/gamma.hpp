@@ -1,0 +1,25 @@
+// Log-gamma based combinatorics.
+//
+// The closed-form n_fail(2b) = 1 + 4^b / C(2b, b) (Theorem 4.1) overflows
+// doubles at b ≈ 500 if computed naively; everything here works in log space
+// so the model modules stay exact up to b ~ 10^15.
+#pragma once
+
+#include <cstdint>
+
+namespace repcheck::math {
+
+/// ln Γ(x) for x > 0.
+[[nodiscard]] double log_gamma(double x);
+
+/// ln n! for n ≥ 0.
+[[nodiscard]] double log_factorial(std::uint64_t n);
+
+/// ln C(n, k); requires k ≤ n.
+[[nodiscard]] double log_binomial(std::uint64_t n, std::uint64_t k);
+
+/// C(n, k) as a double (may overflow to +inf for large n; prefer
+/// log_binomial for model code).
+[[nodiscard]] double binomial(std::uint64_t n, std::uint64_t k);
+
+}  // namespace repcheck::math

@@ -1,0 +1,62 @@
+#include "math/integrate.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace repcheck::math {
+
+namespace {
+
+double simpson(double a, double fa, double b, double fb, double fm) {
+  return (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+}
+
+double adaptive(const std::function<double(double)>& f, double a, double fa, double b, double fb,
+                double fm, double whole, double tol, int depth) {
+  const double m = 0.5 * (a + b);
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = f(lm);
+  const double frm = f(rm);
+  const double left = simpson(a, fa, m, fm, flm);
+  const double right = simpson(m, fm, b, fb, frm);
+  const double delta = left + right - whole;
+  if (depth <= 0 || std::fabs(delta) <= 15.0 * tol) {
+    return left + right + delta / 15.0;
+  }
+  return adaptive(f, a, fa, m, fm, flm, left, tol / 2.0, depth - 1) +
+         adaptive(f, m, fm, b, fb, frm, right, tol / 2.0, depth - 1);
+}
+
+}  // namespace
+
+double integrate(const std::function<double(double)>& f, double a, double b, double tol,
+                 int max_depth) {
+  if (a == b) return 0.0;
+  if (a > b) return -integrate(f, b, a, tol, max_depth);
+  const double fa = f(a);
+  const double fb = f(b);
+  const double m = 0.5 * (a + b);
+  const double fm = f(m);
+  return adaptive(f, a, fa, b, fb, fm, simpson(a, fa, b, fb, fm), tol, max_depth);
+}
+
+double integrate_to_infinity(const std::function<double(double)>& f, double a,
+                             double initial_width, double tol) {
+  if (!(initial_width > 0.0)) {
+    throw std::invalid_argument("integrate_to_infinity requires positive initial width");
+  }
+  double total = 0.0;
+  double left = a;
+  double width = initial_width;
+  for (int i = 0; i < 200; ++i) {
+    const double piece = integrate(f, left, left + width, tol / 4.0);
+    total += piece;
+    left += width;
+    width *= 2.0;
+    if (std::fabs(piece) < tol * (1.0 + std::fabs(total))) return total;
+  }
+  throw std::runtime_error("integrate_to_infinity did not converge (integrand decays too slowly)");
+}
+
+}  // namespace repcheck::math

@@ -1,0 +1,21 @@
+// Adaptive Simpson quadrature.
+//
+// Used to evaluate Eq. (9)'s integral form of n_fail and the exact MTTI
+// integral ∫ survival(t) dt, as independent cross-checks of the closed-form
+// results in the test suite.
+#pragma once
+
+#include <functional>
+
+namespace repcheck::math {
+
+/// ∫_a^b f(t) dt with adaptive Simpson refinement to absolute tolerance.
+[[nodiscard]] double integrate(const std::function<double(double)>& f, double a, double b,
+                               double tol = 1e-10, int max_depth = 50);
+
+/// ∫_a^∞ f(t) dt for integrable decaying f, via interval doubling until the
+/// marginal contribution falls below tol.
+[[nodiscard]] double integrate_to_infinity(const std::function<double(double)>& f, double a,
+                                           double initial_width, double tol = 1e-10);
+
+}  // namespace repcheck::math

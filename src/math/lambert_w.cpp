@@ -1,0 +1,67 @@
+#include "math/lambert_w.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace repcheck::math {
+
+namespace {
+
+constexpr double kInvE = 0.36787944117144233;  // 1/e
+
+/// Halley refinement of w·e^w = x starting from w0.
+double halley(double x, double w) {
+  for (int i = 0; i < 64; ++i) {
+    const double ew = std::exp(w);
+    const double f = w * ew - x;
+    const double denom = ew * (w + 1.0) - (w + 2.0) * f / (2.0 * w + 2.0);
+    const double next = w - f / denom;
+    if (!std::isfinite(next)) break;
+    if (std::fabs(next - w) <= 1e-15 * (1.0 + std::fabs(next))) return next;
+    w = next;
+  }
+  return w;
+}
+
+}  // namespace
+
+double lambert_w0(double x) {
+  if (x < -kInvE) throw std::domain_error("lambert_w0 requires x >= -1/e");
+  if (x == 0.0) return 0.0;
+  double w;
+  if (x < -kInvE + 1e-4) {
+    // Series around the branch point x = -1/e.
+    const double p = std::sqrt(2.0 * (std::exp(1.0) * x + 1.0));
+    w = -1.0 + p - p * p / 3.0 + 11.0 * p * p * p / 72.0;
+  } else if (x < 1.0) {
+    // Series around zero: W(x) ≈ x - x² + 3x³/2.
+    w = x * (1.0 - x * (1.0 - 1.5 * x));
+  } else if (x < 3.0) {
+    // Mid range, where neither the series nor ln x - ln ln x is safe
+    // (ln ln x blows up near x = 1); a crude start suffices for Halley.
+    w = 0.6 * std::log1p(x);
+  } else {
+    // Asymptotic: W(x) ≈ ln x - ln ln x.
+    const double l1 = std::log(x);
+    const double l2 = std::log(l1);
+    w = l1 - l2 + l2 / l1;
+  }
+  return halley(x, w);
+}
+
+double lambert_wm1(double x) {
+  if (x < -kInvE || x >= 0.0) throw std::domain_error("lambert_wm1 requires x in [-1/e, 0)");
+  double w;
+  if (x > -1e-6) {
+    // Near zero from below: W-1(x) ≈ ln(-x) - ln(-ln(-x)).
+    const double l1 = std::log(-x);
+    const double l2 = std::log(-l1);
+    w = l1 - l2;
+  } else {
+    const double p = -std::sqrt(2.0 * (std::exp(1.0) * x + 1.0));
+    w = -1.0 + p - p * p / 3.0 + 11.0 * p * p * p / 72.0;
+  }
+  return halley(x, w);
+}
+
+}  // namespace repcheck::math

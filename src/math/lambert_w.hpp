@@ -1,0 +1,17 @@
+// Lambert W function, principal branch W0.
+//
+// Daly's exact optimal period (the non-first-order solution of Section 3)
+// involves the Lambert function; we expose W0 so the model module can report
+// the exact optimizer alongside the first-order √(2μC) approximation.
+#pragma once
+
+namespace repcheck::math {
+
+/// W0(x): the real solution w ≥ -1 of w·e^w = x, for x ≥ -1/e.
+/// Accurate to ~1e-14 (Halley iterations from a series/log initial guess).
+[[nodiscard]] double lambert_w0(double x);
+
+/// W-1(x): the real solution w ≤ -1 of w·e^w = x, for x in [-1/e, 0).
+[[nodiscard]] double lambert_wm1(double x);
+
+}  // namespace repcheck::math

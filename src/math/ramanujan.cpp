@@ -1,0 +1,28 @@
+#include "math/ramanujan.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace repcheck::math {
+
+double ramanujan_q(std::uint64_t n) {
+  if (n == 0) throw std::domain_error("ramanujan_q requires n >= 1");
+  const double nd = static_cast<double>(n);
+  double term = 1.0;
+  double sum = 0.0;
+  for (std::uint64_t k = 1; k <= n; ++k) {
+    term *= (nd - static_cast<double>(k) + 1.0) / nd;
+    sum += term;
+    if (term < 1e-18 * sum) break;  // remaining terms are negligible
+  }
+  return sum;
+}
+
+double ramanujan_q_asymptotic(std::uint64_t n) {
+  const double nd = static_cast<double>(n);
+  return std::sqrt(std::numbers::pi * nd / 2.0) - 1.0 / 3.0 +
+         std::sqrt(std::numbers::pi / (2.0 * nd)) / 12.0;
+}
+
+}  // namespace repcheck::math

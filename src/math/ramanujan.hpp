@@ -1,0 +1,21 @@
+// Ramanujan Q-function.
+//
+// Prior work [Ferreira et al., Riesen et al.] estimated the failures-to-
+// interruption count through a birthday-problem analogy, n_fail ≈ 1 + Q(b),
+// with Q the Ramanujan function; the paper shows this undercounts by ~40%.
+// We implement Q so the benches can plot the superseded estimate next to
+// Theorem 4.1's exact value.
+#pragma once
+
+#include <cstdint>
+
+namespace repcheck::math {
+
+/// Q(n) = Σ_{k=1..n} n! / ((n-k)! n^k), computed by the stable product
+/// recurrence term_k = term_{k-1} · (n - k + 1)/n.
+[[nodiscard]] double ramanujan_q(std::uint64_t n);
+
+/// First terms of Ramanujan's asymptotic: Q(n) ≈ √(πn/2) - 1/3 + ...
+[[nodiscard]] double ramanujan_q_asymptotic(std::uint64_t n);
+
+}  // namespace repcheck::math

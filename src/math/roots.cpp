@@ -1,0 +1,131 @@
+#include "math/roots.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace repcheck::math {
+
+MinimizeResult brent_minimize(const std::function<double(double)>& f, double a, double b,
+                              double tol, int max_iter) {
+  if (!(a < b)) throw std::invalid_argument("brent_minimize requires a < b");
+  constexpr double kGolden = 0.3819660112501051;  // (3 - sqrt(5)) / 2
+  double x = a + kGolden * (b - a);
+  double w = x, v = x;
+  double fx = f(x), fw = fx, fv = fx;
+  double d = 0.0, e = 0.0;
+
+  int iter = 0;
+  for (; iter < max_iter; ++iter) {
+    const double m = 0.5 * (a + b);
+    const double tol1 = tol + 1e-15 * std::fabs(x);
+    const double tol2 = 2.0 * tol1;
+    if (std::fabs(x - m) <= tol2 - 0.5 * (b - a)) break;
+
+    bool use_golden = true;
+    if (std::fabs(e) > tol1) {
+      // Parabolic interpolation through x, v, w.
+      const double r = (x - w) * (fx - fv);
+      double q = (x - v) * (fx - fw);
+      double p = (x - v) * q - (x - w) * r;
+      q = 2.0 * (q - r);
+      if (q > 0.0) p = -p;
+      q = std::fabs(q);
+      const double e_old = e;
+      e = d;
+      if (std::fabs(p) < std::fabs(0.5 * q * e_old) && p > q * (a - x) && p < q * (b - x)) {
+        d = p / q;
+        const double u = x + d;
+        if (u - a < tol2 || b - u < tol2) d = (x < m) ? tol1 : -tol1;
+        use_golden = false;
+      }
+    }
+    if (use_golden) {
+      e = (x < m) ? b - x : a - x;
+      d = kGolden * e;
+    }
+    const double u = (std::fabs(d) >= tol1) ? x + d : x + ((d > 0.0) ? tol1 : -tol1);
+    const double fu = f(u);
+    if (fu <= fx) {
+      if (u < x) {
+        b = x;
+      } else {
+        a = x;
+      }
+      v = w;
+      fv = fw;
+      w = x;
+      fw = fx;
+      x = u;
+      fx = fu;
+    } else {
+      if (u < x) {
+        a = u;
+      } else {
+        b = u;
+      }
+      if (fu <= fw || w == x) {
+        v = w;
+        fv = fw;
+        w = u;
+        fw = fu;
+      } else if (fu <= fv || v == x || v == w) {
+        v = u;
+        fv = fu;
+      }
+    }
+  }
+  return {x, fx, iter};
+}
+
+double bisect_root(const std::function<double(double)>& f, double a, double b, double tol,
+                   int max_iter) {
+  double fa = f(a);
+  double fb = f(b);
+  if (fa == 0.0) return a;
+  if (fb == 0.0) return b;
+  if (fa * fb > 0.0) throw std::invalid_argument("bisect_root requires a sign change on [a, b]");
+  for (int i = 0; i < max_iter && (b - a) > tol; ++i) {
+    const double m = 0.5 * (a + b);
+    const double fm = f(m);
+    if (fm == 0.0) return m;
+    if (fa * fm < 0.0) {
+      b = m;
+      fb = fm;
+    } else {
+      a = m;
+      fa = fm;
+    }
+  }
+  (void)fb;
+  return 0.5 * (a + b);
+}
+
+MinimizeResult minimize_unbounded(const std::function<double(double)>& f, double seed, double tol) {
+  if (!(seed > 0.0)) throw std::invalid_argument("minimize_unbounded requires a positive seed");
+  double lo = seed / 2.0;
+  double hi = seed * 2.0;
+  double flo = f(lo);
+  double fhi = f(hi);
+  double fmid = f(seed);
+  // Grow the bracket until the middle is at or below both edges.
+  for (int i = 0; i < 200 && !(fmid <= flo && fmid <= fhi); ++i) {
+    if (flo < fmid) {
+      hi = seed;
+      fhi = fmid;
+      seed = lo;
+      fmid = flo;
+      lo /= 2.0;
+      flo = f(lo);
+    } else {
+      lo = seed;
+      flo = fmid;
+      seed = hi;
+      fmid = fhi;
+      hi *= 2.0;
+      fhi = f(hi);
+    }
+  }
+  return brent_minimize(f, lo, hi, tol);
+}
+
+}  // namespace repcheck::math

@@ -1,0 +1,32 @@
+// Scalar optimization and root finding.
+//
+// The model module minimizes exact (non-first-order) overhead expressions to
+// cross-check the paper's closed-form periods; Brent's golden-section/
+// parabolic minimizer and a bisection root finder cover everything needed.
+#pragma once
+
+#include <functional>
+
+namespace repcheck::math {
+
+struct MinimizeResult {
+  double x;   ///< argmin
+  double fx;  ///< f(argmin)
+  int iterations;
+};
+
+/// Brent's method on [a, b]; `tol` is the absolute x tolerance.
+[[nodiscard]] MinimizeResult brent_minimize(const std::function<double(double)>& f, double a,
+                                            double b, double tol = 1e-10, int max_iter = 200);
+
+/// Bisection for f(x) = 0 on [a, b] with f(a)·f(b) ≤ 0.
+[[nodiscard]] double bisect_root(const std::function<double(double)>& f, double a, double b,
+                                 double tol = 1e-12, int max_iter = 200);
+
+/// Expands [a, b] geometrically around a seed until it brackets a minimum
+/// (f(mid) below both ends), then runs Brent.  Used when the scale of the
+/// optimum is unknown a priori.
+[[nodiscard]] MinimizeResult minimize_unbounded(const std::function<double(double)>& f,
+                                                double seed, double tol = 1e-10);
+
+}  // namespace repcheck::math

@@ -1,0 +1,70 @@
+#include "model/amdahl.hpp"
+
+#include <stdexcept>
+
+namespace repcheck::model {
+
+namespace {
+void require_params(double w, double gamma) {
+  if (!(w >= 0.0)) throw std::domain_error("work must be non-negative");
+  if (!(gamma >= 0.0) || !(gamma <= 1.0)) throw std::domain_error("gamma must be in [0, 1]");
+}
+
+double amdahl_factor(std::uint64_t effective_procs, double gamma) {
+  if (effective_procs == 0) throw std::domain_error("need at least one effective processor");
+  return gamma + (1.0 - gamma) / static_cast<double>(effective_procs);
+}
+}  // namespace
+
+double parallel_time(double w_seq, std::uint64_t n, double gamma) {
+  require_params(w_seq, gamma);
+  return amdahl_factor(n, gamma) * w_seq;
+}
+
+double replicated_parallel_time(double w_seq, std::uint64_t n, double gamma, double alpha) {
+  require_params(w_seq, gamma);
+  if (n % 2 != 0) throw std::domain_error("full replication requires an even processor count");
+  if (!(alpha >= 0.0)) throw std::domain_error("alpha must be non-negative");
+  return (1.0 + alpha) * amdahl_factor(n / 2, gamma) * w_seq;
+}
+
+double partial_replicated_parallel_time(double w_seq, std::uint64_t pairs,
+                                        std::uint64_t standalone, double gamma, double alpha) {
+  require_params(w_seq, gamma);
+  if (!(alpha >= 0.0)) throw std::domain_error("alpha must be non-negative");
+  const double slowdown = pairs > 0 ? 1.0 + alpha : 1.0;
+  return slowdown * amdahl_factor(pairs + standalone, gamma) * w_seq;
+}
+
+double time_to_solution_noreplication(double w_seq, std::uint64_t n, double gamma,
+                                      double overhead) {
+  if (!(overhead >= 0.0)) throw std::domain_error("overhead must be non-negative");
+  return parallel_time(w_seq, n, gamma) * (overhead + 1.0);
+}
+
+double time_to_solution_replicated(double w_seq, std::uint64_t n, double gamma, double alpha,
+                                   double overhead) {
+  if (!(overhead >= 0.0)) throw std::domain_error("overhead must be non-negative");
+  return replicated_parallel_time(w_seq, n, gamma, alpha) * (overhead + 1.0);
+}
+
+double time_to_solution_partial(double w_seq, std::uint64_t pairs, std::uint64_t standalone,
+                                double gamma, double alpha, double overhead) {
+  if (!(overhead >= 0.0)) throw std::domain_error("overhead must be non-negative");
+  return partial_replicated_parallel_time(w_seq, pairs, standalone, gamma, alpha) *
+         (overhead + 1.0);
+}
+
+double work_per_period_noreplication(double period, std::uint64_t n, double gamma) {
+  if (!(period > 0.0)) throw std::domain_error("period must be positive");
+  return period / amdahl_factor(n, gamma);
+}
+
+double work_per_period_replicated(double period, std::uint64_t n, double gamma, double alpha) {
+  if (!(period > 0.0)) throw std::domain_error("period must be positive");
+  if (n % 2 != 0) throw std::domain_error("full replication requires an even processor count");
+  if (!(alpha >= 0.0)) throw std::domain_error("alpha must be non-negative");
+  return period / ((1.0 + alpha) * amdahl_factor(n / 2, gamma));
+}
+
+}  // namespace repcheck::model

@@ -1,0 +1,53 @@
+// Amdahl's-law application model and time-to-solution (Section 5).
+//
+// An application with sequential fraction gamma runs W units of work on n
+// effective processors in (gamma + (1-gamma)/n)·W seconds; active
+// replication additionally slows execution by (1+alpha) (message
+// duplication).  The time-to-solution formulas are Eqs. (22)/(23).
+#pragma once
+
+#include <cstdint>
+
+namespace repcheck::model {
+
+/// Application description; paper defaults are gamma = 1e-5, alpha in {0, 0.2}.
+struct AmdahlApp {
+  double gamma = 1e-5;  ///< inherently sequential fraction
+  double alpha = 0.2;   ///< active-replication communication slowdown
+};
+
+/// Failure-free time to run `w_seq` sequential-equivalent work on n
+/// non-replicated processors.
+[[nodiscard]] double parallel_time(double w_seq, std::uint64_t n, double gamma);
+
+/// Same with full replication on n = 2b processors (b effective) plus the
+/// (1+alpha) replication slowdown.
+[[nodiscard]] double replicated_parallel_time(double w_seq, std::uint64_t n, double gamma,
+                                              double alpha);
+
+/// Partial replication: `pairs` replicated pairs + `standalone` plain
+/// processors give pairs + standalone effective processors, still paying
+/// the (1+alpha) slowdown when pairs > 0.
+[[nodiscard]] double partial_replicated_parallel_time(double w_seq, std::uint64_t pairs,
+                                                      std::uint64_t standalone, double gamma,
+                                                      double alpha);
+
+/// Eq. (22): time-to-solution without replication at overhead H.
+[[nodiscard]] double time_to_solution_noreplication(double w_seq, std::uint64_t n, double gamma,
+                                                    double overhead);
+
+/// Eq. (23): time-to-solution with full replication (N = 2b processors).
+[[nodiscard]] double time_to_solution_replicated(double w_seq, std::uint64_t n, double gamma,
+                                                 double alpha, double overhead);
+
+/// Partial-replication time-to-solution at overhead H.
+[[nodiscard]] double time_to_solution_partial(double w_seq, std::uint64_t pairs,
+                                              std::uint64_t standalone, double gamma, double alpha,
+                                              double overhead);
+
+/// Section 5's W_opt: work units between checkpoints for a given period.
+[[nodiscard]] double work_per_period_noreplication(double period, std::uint64_t n, double gamma);
+[[nodiscard]] double work_per_period_replicated(double period, std::uint64_t n, double gamma,
+                                                double alpha);
+
+}  // namespace repcheck::model

@@ -1,0 +1,31 @@
+#include "model/asymptotic.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "math/roots.hpp"
+
+namespace repcheck::model {
+
+double asymptotic_ratio(double x) {
+  if (!(x > 0.0)) throw std::domain_error("asymptotic_ratio requires x > 0");
+  const double numerator = std::cbrt(9.0 / 8.0 * std::numbers::pi * x * x) + 1.0;
+  const double denominator = std::sqrt(2.0 * x) + 1.0;
+  return numerator / denominator;
+}
+
+double asymptotic_breakeven_x() {
+  // R(0.01) < 1 and R(10) > 1 bracket the nontrivial root.
+  return math::bisect_root([](double x) { return asymptotic_ratio(x) - 1.0; }, 0.01, 10.0, 1e-12);
+}
+
+double asymptotic_best_x() {
+  const auto result =
+      math::brent_minimize([](double x) { return asymptotic_ratio(x); }, 1e-6, 1.0, 1e-12);
+  return result.x;
+}
+
+double asymptotic_max_gain() { return 1.0 - asymptotic_ratio(asymptotic_best_x()); }
+
+}  // namespace repcheck::model

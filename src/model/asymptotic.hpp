@@ -1,0 +1,27 @@
+// Section 6: asymptotic restart vs no-restart comparison.
+//
+// Assuming checkpoint technology keeps pace with scale, C = x·M_N for a
+// constant x < 1; then the time-to-solution ratio of restart over no-restart
+// is independent of N and mu:
+//
+//     R(x) = ( (9/8 · pi · x²)^{1/3} + 1 ) / ( sqrt(2x) + 1 ).
+//
+// The paper's headline: restart is up to 8.4% faster, and wins whenever the
+// checkpoint takes less than ~2/3 of the MTTI (x < 0.64).
+#pragma once
+
+namespace repcheck::model {
+
+/// R(x) for x > 0.
+[[nodiscard]] double asymptotic_ratio(double x);
+
+/// The break-even x* where R(x*) = 1 (≈ 0.639); restart wins below it.
+[[nodiscard]] double asymptotic_breakeven_x();
+
+/// argmin of R — the checkpoint/MTTI ratio with the largest restart gain.
+[[nodiscard]] double asymptotic_best_x();
+
+/// 1 − min R: the maximum fractional gain of restart (≈ 0.084).
+[[nodiscard]] double asymptotic_max_gain();
+
+}  // namespace repcheck::model

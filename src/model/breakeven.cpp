@@ -1,0 +1,80 @@
+#include "model/breakeven.hpp"
+
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "math/roots.hpp"
+
+namespace repcheck::model {
+
+namespace {
+
+/// tts_noreplication − tts_replicated_restart: positive when replication
+/// wins.  w_seq cancels in the sign, so any positive value works.
+double replication_margin(const PlatformSpec& platform, const AmdahlApp& app) {
+  const auto advice = decide(platform, app, /*w_seq=*/1.0);
+  return advice.tts_noreplication - advice.tts_replicated_restart;
+}
+
+/// Bisects `margin` over [lo, hi] after checking for a sign change; NaN if
+/// one side dominates the whole range.
+double solve(const std::function<double(double)>& margin, double lo, double hi) {
+  const double at_lo = margin(lo);
+  const double at_hi = margin(hi);
+  if (at_lo == 0.0) return lo;
+  if (at_hi == 0.0) return hi;
+  if (at_lo * at_hi > 0.0) return std::numeric_limits<double>::quiet_NaN();
+  return math::bisect_root(margin, lo, hi, 1e-6 * (hi - lo));
+}
+
+}  // namespace
+
+double breakeven_mtbf(const PlatformSpec& platform, const AmdahlApp& app, double lo, double hi) {
+  return solve(
+      [&](double mtbf) {
+        PlatformSpec p = platform;
+        p.mtbf_proc = mtbf;
+        return replication_margin(p, app);
+      },
+      lo, hi);
+}
+
+double breakeven_n(const PlatformSpec& platform, const AmdahlApp& app, std::uint64_t lo,
+                   std::uint64_t hi) {
+  const double threshold = solve(
+      [&](double n) {
+        PlatformSpec p = platform;
+        p.n_procs = 2 * static_cast<std::uint64_t>(n / 2.0);  // even
+        return replication_margin(p, app);
+      },
+      static_cast<double>(lo), static_cast<double>(hi));
+  if (std::isnan(threshold)) return threshold;
+  return 2.0 * std::round(threshold / 2.0);
+}
+
+double breakeven_gamma(const PlatformSpec& platform, const AmdahlApp& app) {
+  return solve(
+      [&](double gamma) {
+        AmdahlApp a = app;
+        a.gamma = gamma;
+        return replication_margin(platform, a);
+      },
+      1e-9, 0.5);
+}
+
+double breakeven_checkpoint_cost(const PlatformSpec& platform, const AmdahlApp& app, double lo,
+                                 double hi) {
+  const double cr_ratio = platform.restart_checkpoint_cost / platform.checkpoint_cost;
+  return solve(
+      [&](double c) {
+        PlatformSpec p = platform;
+        p.checkpoint_cost = c;
+        p.restart_checkpoint_cost = cr_ratio * c;
+        p.recovery_cost = c;
+        return replication_margin(p, app);
+      },
+      lo, hi);
+}
+
+}  // namespace repcheck::model

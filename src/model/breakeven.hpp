@@ -1,0 +1,39 @@
+// Break-even solvers: where replication starts to pay.
+//
+// Figures 9 and 10 locate the crossovers empirically ("replication becomes
+// more efficient ... for an MTBF shorter than 1.8e8 s", "for N >= 2e5
+// processors").  These functions compute the same crossovers analytically
+// by solving tts_replicated_restart = tts_noreplication for one parameter
+// with the others fixed, using the first-order overhead models.  Each
+// returns the threshold value, or a quiet NaN when no crossover exists in
+// the searched range (one side dominates everywhere).
+#pragma once
+
+#include <cstdint>
+
+#include "model/amdahl.hpp"
+#include "model/decision.hpp"
+
+namespace repcheck::model {
+
+/// Individual-processor MTBF below which full replication + restart beats
+/// no replication (searches mtbf in [lo, hi] seconds).
+[[nodiscard]] double breakeven_mtbf(const PlatformSpec& platform, const AmdahlApp& app,
+                                    double lo = 1e4, double hi = 1e12);
+
+/// Platform size above which replication wins, at fixed MTBF (searches n
+/// in [lo, hi]; result rounded to an even processor count).
+[[nodiscard]] double breakeven_n(const PlatformSpec& platform, const AmdahlApp& app,
+                                 std::uint64_t lo = 1000, std::uint64_t hi = 100000000);
+
+/// Sequential fraction gamma above which replication wins (searches
+/// [1e-9, 0.5]); large gamma makes halving the processors cheap.
+[[nodiscard]] double breakeven_gamma(const PlatformSpec& platform, const AmdahlApp& app);
+
+/// Checkpoint cost above which replication wins (C^R tracks C at the same
+/// ratio as in `platform`; searches [lo, hi] seconds).
+[[nodiscard]] double breakeven_checkpoint_cost(const PlatformSpec& platform,
+                                               const AmdahlApp& app, double lo = 1.0,
+                                               double hi = 1e5);
+
+}  // namespace repcheck::model

@@ -1,0 +1,58 @@
+#include "model/decision.hpp"
+
+#include <stdexcept>
+
+#include "model/overhead.hpp"
+#include "model/periods.hpp"
+
+namespace repcheck::model {
+
+Advice decide(const PlatformSpec& platform, const AmdahlApp& app, double w_seq) {
+  if (platform.n_procs == 0 || platform.n_procs % 2 != 0) {
+    throw std::domain_error("decide requires a positive even processor count");
+  }
+  if (!(platform.mtbf_proc > 0.0)) throw std::domain_error("MTBF must be positive");
+  if (!(platform.restart_checkpoint_cost >= platform.checkpoint_cost)) {
+    throw std::domain_error("C^R must be at least C");
+  }
+  const std::uint64_t n = platform.n_procs;
+  const std::uint64_t pairs = n / 2;
+
+  Advice advice;
+  // No-replication side: the first-order sqrt(2CNλ) badly underestimates
+  // once λ(T+C) is not small — exactly the regime where the decision
+  // matters (Figs. 9/10 crossovers) — so use the exact expected-time model
+  // with its numerically optimized period.
+  const double domain_mtbf = platform.mtbf_proc / static_cast<double>(n);
+  const double t_norep = exact_noreplication_period(
+      platform.checkpoint_cost, platform.downtime, platform.recovery_cost, domain_mtbf);
+  advice.overhead_noreplication =
+      overhead_noreplication_exact(platform.checkpoint_cost, platform.downtime,
+                                   platform.recovery_cost, domain_mtbf, t_norep);
+  advice.overhead_replicated_restart =
+      h_opt_rs(platform.restart_checkpoint_cost, pairs, platform.mtbf_proc);
+
+  advice.tts_noreplication =
+      time_to_solution_noreplication(w_seq, n, app.gamma, advice.overhead_noreplication);
+  advice.tts_replicated_restart = time_to_solution_replicated(
+      w_seq, n, app.gamma, app.alpha, advice.overhead_replicated_restart);
+
+  const double t_no = t_mtti_no(platform.checkpoint_cost, pairs, platform.mtbf_proc);
+  const double h_no = overhead_no_restart(platform.checkpoint_cost, t_no, pairs,
+                                          platform.mtbf_proc);
+  advice.tts_replicated_norestart =
+      time_to_solution_replicated(w_seq, n, app.gamma, app.alpha, h_no);
+
+  if (advice.tts_replicated_restart < advice.tts_noreplication) {
+    advice.plan = Plan::kReplicatedRestart;
+    advice.period = t_opt_rs(platform.restart_checkpoint_cost, pairs, platform.mtbf_proc);
+    advice.advantage = advice.tts_replicated_restart / advice.tts_noreplication;
+  } else {
+    advice.plan = Plan::kNoReplication;
+    advice.period = t_norep;
+    advice.advantage = advice.tts_noreplication / advice.tts_replicated_restart;
+  }
+  return advice;
+}
+
+}  // namespace repcheck::model

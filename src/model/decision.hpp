@@ -1,0 +1,52 @@
+// The paper's bottom line as an API (Section 7 summary):
+//
+//   "The main decision is still to decide whether the application should be
+//    replicated or not.  However, whenever it should be (which is favored by
+//    a large ratio of sequential tasks gamma, a large checkpointing cost C,
+//    or a short MTBF), we are now able to determine the best strategy: use
+//    full replication, restart dead processors at each checkpoint, and use
+//    T_opt^rs for the checkpointing period."
+//
+// `decide` compares the predicted time-to-solution of running N plain
+// processors with the Young/Daly period against N/2 replicated pairs with
+// the restart strategy and T_opt^rs, and returns the winning configuration
+// with its period and predictions.
+#pragma once
+
+#include <cstdint>
+
+#include "model/amdahl.hpp"
+
+namespace repcheck::model {
+
+struct PlatformSpec {
+  std::uint64_t n_procs = 200'000;      ///< total processors available (even)
+  double mtbf_proc = 0.0;               ///< individual-processor MTBF, seconds
+  double checkpoint_cost = 60.0;        ///< C, seconds
+  double restart_checkpoint_cost = 60.0;///< C^R in [C, 2C], seconds
+  double recovery_cost = 60.0;          ///< R, seconds
+  double downtime = 0.0;                ///< D, seconds
+};
+
+enum class Plan { kNoReplication, kReplicatedRestart };
+
+struct Advice {
+  Plan plan = Plan::kNoReplication;
+  /// Recommended checkpointing period for the winning plan, seconds.
+  double period = 0.0;
+  /// Predicted overheads and time-to-solutions for both candidate plans.
+  double overhead_noreplication = 0.0;
+  double overhead_replicated_restart = 0.0;
+  double tts_noreplication = 0.0;
+  double tts_replicated_restart = 0.0;
+  /// Reference point: prior art (no-restart at T_MTTI^no) time-to-solution.
+  double tts_replicated_norestart = 0.0;
+  /// tts_winner / tts_runner_up (< 1 when the winner is strictly better).
+  double advantage = 1.0;
+};
+
+/// Chooses between "no replication + Young/Daly" and "full replication +
+/// restart + T_opt^rs" for an application of `w_seq` sequential work.
+[[nodiscard]] Advice decide(const PlatformSpec& platform, const AmdahlApp& app, double w_seq);
+
+}  // namespace repcheck::model

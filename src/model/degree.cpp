@@ -1,0 +1,104 @@
+#include "model/degree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "prng/distributions.hpp"
+#include "prng/xoshiro.hpp"
+
+namespace repcheck::model {
+
+namespace {
+void require(std::uint64_t groups, double mtbf, std::uint32_t degree) {
+  if (groups == 0) throw std::domain_error("need at least one replica group");
+  if (!(mtbf > 0.0)) throw std::domain_error("MTBF must be positive");
+  if (degree < 2) throw std::domain_error("replication degree must be at least 2");
+}
+}  // namespace
+
+double overhead_restart_degree(double restart_checkpoint_cost, double t, std::uint64_t groups,
+                               double mtbf_proc, std::uint32_t degree) {
+  require(groups, mtbf_proc, degree);
+  if (!(t > 0.0)) throw std::domain_error("period must be positive");
+  if (!(restart_checkpoint_cost > 0.0)) {
+    throw std::domain_error("checkpoint+restart cost must be positive");
+  }
+  const double r = static_cast<double>(degree);
+  const double lambda_t = t / mtbf_proc;
+  return restart_checkpoint_cost / t +
+         r / (r + 1.0) * static_cast<double>(groups) * std::pow(lambda_t, r);
+}
+
+double t_opt_rs_degree(double restart_checkpoint_cost, std::uint64_t groups, double mtbf_proc,
+                       std::uint32_t degree) {
+  require(groups, mtbf_proc, degree);
+  if (!(restart_checkpoint_cost > 0.0)) {
+    throw std::domain_error("checkpoint+restart cost must be positive");
+  }
+  const double r = static_cast<double>(degree);
+  const double lambda = 1.0 / mtbf_proc;
+  const double numerator = restart_checkpoint_cost * (r + 1.0);
+  const double denominator = r * r * static_cast<double>(groups) * std::pow(lambda, r);
+  return std::pow(numerator / denominator, 1.0 / (r + 1.0));
+}
+
+double h_opt_rs_degree(double restart_checkpoint_cost, std::uint64_t groups, double mtbf_proc,
+                       std::uint32_t degree) {
+  const double t = t_opt_rs_degree(restart_checkpoint_cost, groups, mtbf_proc, degree);
+  return overhead_restart_degree(restart_checkpoint_cost, t, groups, mtbf_proc, degree);
+}
+
+double nfail_degree_monte_carlo(std::uint64_t groups, std::uint32_t degree,
+                                std::uint64_t samples, std::uint64_t seed) {
+  if (groups == 0) throw std::domain_error("need at least one replica group");
+  if (degree < 2) throw std::domain_error("replication degree must be at least 2");
+  if (samples == 0) throw std::domain_error("need at least one sample");
+
+  prng::Xoshiro256pp rng(seed);
+  const std::uint64_t slots = groups * degree;
+  const prng::UniformIndexSampler pick(slots);
+
+  // Epoch-versioned death marks, reused across samples (same trick as
+  // platform::FailureState, without constructing platforms).
+  std::vector<std::uint32_t> dead_epoch(slots, 0);
+  std::vector<std::uint32_t> group_dead(groups, 0);
+  std::vector<std::uint32_t> group_epoch(groups, 0);
+  std::uint32_t epoch = 0;
+
+  double total = 0.0;
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    ++epoch;
+    if (epoch == 0) {
+      std::fill(dead_epoch.begin(), dead_epoch.end(), 0);
+      std::fill(group_epoch.begin(), group_epoch.end(), 0);
+      epoch = 1;
+    }
+    std::uint64_t hits = 0;
+    for (;;) {
+      ++hits;
+      const std::uint64_t slot = pick(rng);
+      if (dead_epoch[slot] == epoch) continue;  // wasted hit
+      const std::uint64_t group = slot / degree;
+      const std::uint32_t dead_here = group_epoch[group] == epoch ? group_dead[group] : 0;
+      if (dead_here + 1 == degree) break;  // group wiped out
+      dead_epoch[slot] = epoch;
+      group_dead[group] = dead_here + 1;
+      group_epoch[group] = epoch;
+    }
+    total += static_cast<double>(hits);
+  }
+  return total / static_cast<double>(samples);
+}
+
+double mtti_degree_monte_carlo(std::uint64_t groups, std::uint32_t degree, double mtbf_proc,
+                               std::uint64_t samples, std::uint64_t seed) {
+  require(groups, mtbf_proc, degree);
+  const double nfail = nfail_degree_monte_carlo(groups, degree, samples, seed);
+  // Failures strike the whole platform every μ/(r·g) seconds on average;
+  // Wald's identity turns the expected hit count into the expected time.
+  return nfail * mtbf_proc / (static_cast<double>(degree) * static_cast<double>(groups));
+}
+
+}  // namespace repcheck::model

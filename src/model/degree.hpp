@@ -1,0 +1,52 @@
+// Generalization of the restart analysis to replication degree r.
+//
+// The paper analyzes duplication (r = 2); its related work (Benoit et
+// al. [4]) studies triplication.  Repeating the Section 4.3 derivation for
+// groups of r replicas: a group dies when all r members die within the
+// period, which happens with probability (λT)^r per group (first order);
+// the r deaths are equally spaced in expectation, so the loss is
+// r·T/(r+1).  Hence
+//
+//   H^rs_r(T)  = C^R/T + (r/(r+1)) · g · λ^r · T^r,
+//   T_opt^rs_r = ( C^R (r+1) / (r² g λ^r) )^{1/(r+1)}  = Θ(μ^{r/(r+1)}),
+//
+// which reduces exactly to Eqs. (19)/(20) at r = 2.  Higher degrees trade
+// throughput (N/r effective processors) for rarer interruptions and even
+// longer checkpoint periods.
+//
+// No closed form is known for n_fail at r ≥ 3 (the r = 2 closed form is
+// Theorem 4.1); we provide a Monte-Carlo estimator over the same
+// failure-slot model instead, hence a Monte-Carlo MTTI.
+#pragma once
+
+#include <cstdint>
+
+namespace repcheck::model {
+
+/// First-order restart overhead at period T with `groups` groups of
+/// `degree` replicas, per-processor MTBF `mtbf_proc`.
+[[nodiscard]] double overhead_restart_degree(double restart_checkpoint_cost, double t,
+                                             std::uint64_t groups, double mtbf_proc,
+                                             std::uint32_t degree);
+
+/// Restart-optimal period for degree-r replication (reduces to Eq. (20)
+/// at degree 2).
+[[nodiscard]] double t_opt_rs_degree(double restart_checkpoint_cost, std::uint64_t groups,
+                                     double mtbf_proc, std::uint32_t degree);
+
+/// Optimal first-order overhead at T_opt^rs_r.
+[[nodiscard]] double h_opt_rs_degree(double restart_checkpoint_cost, std::uint64_t groups,
+                                     double mtbf_proc, std::uint32_t degree);
+
+/// Monte-Carlo estimate of the expected number of failures (counting
+/// wasted hits on dead processors, as in Section 4.1) until some group of
+/// `degree` replicas loses all members.
+[[nodiscard]] double nfail_degree_monte_carlo(std::uint64_t groups, std::uint32_t degree,
+                                              std::uint64_t samples, std::uint64_t seed);
+
+/// Monte-Carlo MTTI for degree-r replication: n_fail · μ / (r·g).
+[[nodiscard]] double mtti_degree_monte_carlo(std::uint64_t groups, std::uint32_t degree,
+                                             double mtbf_proc, std::uint64_t samples,
+                                             std::uint64_t seed);
+
+}  // namespace repcheck::model

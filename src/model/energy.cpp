@@ -1,0 +1,65 @@
+#include "model/energy.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "model/periods.hpp"
+
+namespace repcheck::model {
+
+double energy_joules(const PowerModel& power, const TimeBreakdown& breakdown,
+                     std::uint64_t n_procs) {
+  if (n_procs == 0) throw std::domain_error("need at least one processor");
+  if (!(breakdown.compute >= 0.0) || !(breakdown.io >= 0.0) || !(breakdown.idle >= 0.0)) {
+    throw std::domain_error("time breakdown components must be non-negative");
+  }
+  const double per_proc = power.static_watts * breakdown.total() +
+                          power.compute_watts * breakdown.compute +
+                          power.io_watts * breakdown.io;
+  return per_proc * static_cast<double>(n_procs);
+}
+
+double energy_overhead(const PowerModel& power, const TimeBreakdown& breakdown,
+                       std::uint64_t n_procs, double useful_compute) {
+  if (!(useful_compute > 0.0)) throw std::domain_error("useful compute time must be positive");
+  const double actual = energy_joules(power, breakdown, n_procs);
+  const TimeBreakdown ideal{useful_compute, 0.0, 0.0};
+  const double baseline = energy_joules(power, ideal, n_procs);
+  return actual / baseline - 1.0;
+}
+
+double io_power_ratio(const PowerModel& power) {
+  const double compute_draw = power.static_watts + power.compute_watts;
+  if (!(compute_draw > 0.0)) throw std::domain_error("compute power draw must be positive");
+  const double io_draw = power.static_watts + power.io_watts;
+  if (!(io_draw >= 0.0)) throw std::domain_error("I/O power draw must be non-negative");
+  return io_draw / compute_draw;
+}
+
+double energy_optimal_period_rs(const PowerModel& power, double restart_checkpoint_cost,
+                                std::uint64_t pairs, double mtbf_proc) {
+  // Minimize ρ·C^R/T + (2/3) b λ² T²: same cube-root structure as Eq. (20)
+  // with C^R scaled by ρ.
+  const double rho = io_power_ratio(power);
+  if (!(rho > 0.0)) {
+    throw std::domain_error("energy-optimal period undefined for zero I/O draw");
+  }
+  return t_opt_rs(rho * restart_checkpoint_cost, pairs, mtbf_proc);
+}
+
+double energy_overhead_rs(const PowerModel& power, double restart_checkpoint_cost, double t,
+                          std::uint64_t pairs, double mtbf_proc) {
+  if (!(t > 0.0)) throw std::domain_error("period must be positive");
+  if (!(restart_checkpoint_cost > 0.0)) {
+    throw std::domain_error("checkpoint+restart cost must be positive");
+  }
+  if (pairs == 0) throw std::domain_error("need at least one pair");
+  if (!(mtbf_proc > 0.0)) throw std::domain_error("MTBF must be positive");
+  const double rho = io_power_ratio(power);
+  const double lambda = 1.0 / mtbf_proc;
+  // Re-executed work burns compute power (weight 1), checkpoints burn ρ.
+  return rho * restart_checkpoint_cost / t +
+         2.0 / 3.0 * static_cast<double>(pairs) * lambda * lambda * t * t;
+}
+
+}  // namespace repcheck::model

@@ -1,0 +1,56 @@
+// Energy model (extended-report feature).
+//
+// The companion research report shows that the restart strategy's gains
+// carry over to energy overheads.  We model per-processor power in three
+// states — static (always drawn while powered), compute (added while
+// executing application work), and I/O (added while checkpointing or
+// recovering) — and integrate over a run's time breakdown.
+#pragma once
+
+#include <cstdint>
+
+namespace repcheck::model {
+
+struct PowerModel {
+  double static_watts = 100.0;   ///< drawn whenever the node is powered
+  double compute_watts = 120.0;  ///< additional draw while computing
+  double io_watts = 30.0;        ///< additional draw during checkpoint/recovery
+};
+
+/// How a run's wall-clock decomposes per processor (seconds).  `compute`
+/// includes re-executed (wasted) work — it draws compute power either way.
+struct TimeBreakdown {
+  double compute = 0.0;
+  double io = 0.0;    ///< checkpoints + recoveries
+  double idle = 0.0;  ///< downtime and waiting
+  [[nodiscard]] double total() const { return compute + io + idle; }
+};
+
+/// Total Joules for `n_procs` processors with the given breakdown.
+[[nodiscard]] double energy_joules(const PowerModel& power, const TimeBreakdown& breakdown,
+                                   std::uint64_t n_procs);
+
+/// Energy overhead relative to an ideal run: `useful_compute` seconds of
+/// pure computation on the same processors with no I/O, idle or re-execution.
+[[nodiscard]] double energy_overhead(const PowerModel& power, const TimeBreakdown& breakdown,
+                                     std::uint64_t n_procs, double useful_compute);
+
+/// Energy-optimal restart period.  Checkpointing draws less power than
+/// computing (I/O draw < compute draw), so a checkpoint-second costs only
+/// ρ = (P_static + P_io)/(P_static + P_compute) of a compute-second; the
+/// first-order energy overhead is ρ·C^R/T + (2/3)·b·λ²·T² and its optimum
+/// is the time-optimal period scaled by ρ^{1/3} — checkpoint *more* often
+/// when minimizing Joules.
+[[nodiscard]] double energy_optimal_period_rs(const PowerModel& power,
+                                              double restart_checkpoint_cost,
+                                              std::uint64_t pairs, double mtbf_proc);
+
+/// First-order energy overhead of the restart strategy at period T (extra
+/// Joules per Joule of useful computation).
+[[nodiscard]] double energy_overhead_rs(const PowerModel& power, double restart_checkpoint_cost,
+                                        double t, std::uint64_t pairs, double mtbf_proc);
+
+/// The I/O-vs-compute power ratio ρ used above.
+[[nodiscard]] double io_power_ratio(const PowerModel& power);
+
+}  // namespace repcheck::model

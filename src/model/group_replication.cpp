@@ -1,0 +1,46 @@
+#include "model/group_replication.hpp"
+
+#include <stdexcept>
+
+#include "model/mtti.hpp"
+#include "model/overhead.hpp"
+#include "model/periods.hpp"
+
+namespace repcheck::model {
+
+namespace {
+void require(std::uint64_t n_procs, double mtbf) {
+  if (n_procs < 2 || n_procs % 2 != 0) {
+    throw std::domain_error("group replication needs an even processor count >= 2");
+  }
+  if (!(mtbf > 0.0)) throw std::domain_error("MTBF must be positive");
+}
+}  // namespace
+
+double group_instance_mtbf(std::uint64_t n_procs, double mtbf_proc) {
+  require(n_procs, mtbf_proc);
+  return mtbf_proc / (static_cast<double>(n_procs) / 2.0);
+}
+
+double group_replication_mtti(std::uint64_t n_procs, double mtbf_proc) {
+  // One "pair" of instance super-processors: M = 3/2 · instance MTBF.
+  return mtti(1, group_instance_mtbf(n_procs, mtbf_proc));
+}
+
+double group_replication_t_opt(double restart_checkpoint_cost, std::uint64_t n_procs,
+                               double mtbf_proc) {
+  return t_opt_rs(restart_checkpoint_cost, 1, group_instance_mtbf(n_procs, mtbf_proc));
+}
+
+double group_replication_overhead(double restart_checkpoint_cost, double t,
+                                  std::uint64_t n_procs, double mtbf_proc) {
+  return overhead_restart(restart_checkpoint_cost, t, 1,
+                          group_instance_mtbf(n_procs, mtbf_proc));
+}
+
+double process_over_group_mtti_ratio(std::uint64_t n_procs, double mtbf_proc) {
+  require(n_procs, mtbf_proc);
+  return mtti(n_procs / 2, mtbf_proc) / group_replication_mtti(n_procs, mtbf_proc);
+}
+
+}  // namespace repcheck::model

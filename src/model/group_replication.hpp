@@ -1,0 +1,43 @@
+// Group replication (related work: Benoit et al. [4]).
+//
+// Instead of pairing individual processes ("process replication", the
+// paper's setting), the *whole application* is duplicated as a black box:
+// two instances of N/2 processors each execute the same work, checkpoint
+// coordinately, and the application is interrupted only when both
+// instances have failed within the same period.
+//
+// An instance fails whenever any of its N/2 processors fails, so it is an
+// exponential "super-processor" with MTBF 2μ/N — and the whole system is
+// exactly ONE replica pair of such super-processors.  All of Section 4.2's
+// single-pair results apply with λ_inst = N λ / 2:
+//
+//   MTTI_group   = 3 μ / N                       (vs ≈ √(πb)·μ/N for pairs)
+//   T_opt^group  = (3 C^R / (4 λ_inst²))^{1/3}
+//
+// Process replication's MTTI advantage is Θ(√b) — the reason the paper's
+// per-process pairing is the right granularity.
+#pragma once
+
+#include <cstdint>
+
+namespace repcheck::model {
+
+/// MTBF of one application instance spanning `n_procs`/2 processors.
+[[nodiscard]] double group_instance_mtbf(std::uint64_t n_procs, double mtbf_proc);
+
+/// MTTI of the duplicated application: 3/2 of the instance MTBF.
+[[nodiscard]] double group_replication_mtti(std::uint64_t n_procs, double mtbf_proc);
+
+/// Restart-optimal period for group replication (Eq. 16 at the instance
+/// failure rate).
+[[nodiscard]] double group_replication_t_opt(double restart_checkpoint_cost,
+                                             std::uint64_t n_procs, double mtbf_proc);
+
+/// First-order restart overhead of group replication at period T.
+[[nodiscard]] double group_replication_overhead(double restart_checkpoint_cost, double t,
+                                                std::uint64_t n_procs, double mtbf_proc);
+
+/// MTTI ratio process/group — Θ(√b); ≈ √(π N/2)/3 for large N.
+[[nodiscard]] double process_over_group_mtti_ratio(std::uint64_t n_procs, double mtbf_proc);
+
+}  // namespace repcheck::model

@@ -1,0 +1,91 @@
+#include "model/mtti.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "math/integrate.hpp"
+#include "model/nfail.hpp"
+
+namespace repcheck::model {
+
+namespace {
+void require_positive_mtbf(double mtbf) {
+  if (!(mtbf > 0.0)) throw std::domain_error("MTBF must be positive");
+}
+void require_probability(double p) {
+  if (!(p > 0.0) || !(p < 1.0)) throw std::domain_error("probability must be in (0, 1)");
+}
+}  // namespace
+
+double mtti(std::uint64_t pairs, double mtbf_proc) {
+  require_positive_mtbf(mtbf_proc);
+  return nfail_closed_form(pairs) * mtbf_proc / (2.0 * static_cast<double>(pairs));
+}
+
+double mtti_integral(std::uint64_t pairs, double mtbf_proc) {
+  require_positive_mtbf(mtbf_proc);
+  // Interruption times concentrate around the MTTI scale; integrate outwards
+  // from a window of that size.
+  const double scale = mtti(pairs, mtbf_proc);
+  return math::integrate_to_infinity(
+      [pairs, mtbf_proc](double t) { return survival_pairs(t, mtbf_proc, pairs); }, 0.0,
+      scale, 1e-9 * scale);
+}
+
+double mtti_degraded(std::uint64_t pairs, std::uint64_t degraded, double mtbf_proc) {
+  require_positive_mtbf(mtbf_proc);
+  if (degraded > pairs) throw std::domain_error("degraded pair count exceeds pair count");
+  const auto table = nfail_from_degraded(pairs);
+  return table[degraded] * mtbf_proc / (2.0 * static_cast<double>(pairs));
+}
+
+double survival_single(double t, double mtbf_proc) {
+  require_positive_mtbf(mtbf_proc);
+  return std::exp(-t / mtbf_proc);
+}
+
+double survival_parallel(double t, double mtbf_proc, std::uint64_t n) {
+  require_positive_mtbf(mtbf_proc);
+  return std::exp(-static_cast<double>(n) * t / mtbf_proc);
+}
+
+double survival_pairs(double t, double mtbf_proc, std::uint64_t pairs) {
+  require_positive_mtbf(mtbf_proc);
+  if (pairs == 0) throw std::domain_error("survival_pairs requires pairs >= 1");
+  const double q = -std::expm1(-t / mtbf_proc);  // P(one processor dead by t)
+  // log-space for large b: (1 - q^2)^b
+  return std::exp(static_cast<double>(pairs) * std::log1p(-q * q));
+}
+
+double cdf_single(double t, double mtbf_proc) { return 1.0 - survival_single(t, mtbf_proc); }
+
+double cdf_parallel(double t, double mtbf_proc, std::uint64_t n) {
+  return 1.0 - survival_parallel(t, mtbf_proc, n);
+}
+
+double cdf_pairs(double t, double mtbf_proc, std::uint64_t pairs) {
+  return 1.0 - survival_pairs(t, mtbf_proc, pairs);
+}
+
+double time_to_failure_probability_single(double p, double mtbf_proc) {
+  require_positive_mtbf(mtbf_proc);
+  require_probability(p);
+  return -mtbf_proc * std::log1p(-p);
+}
+
+double time_to_failure_probability_parallel(double p, double mtbf_proc, std::uint64_t n) {
+  if (n == 0) throw std::domain_error("need at least one processor");
+  return time_to_failure_probability_single(p, mtbf_proc) / static_cast<double>(n);
+}
+
+double time_to_failure_probability_pairs(double p, double mtbf_proc, std::uint64_t pairs) {
+  require_positive_mtbf(mtbf_proc);
+  require_probability(p);
+  if (pairs == 0) throw std::domain_error("need at least one pair");
+  // Invert (1 - q^2)^b = 1 - p:  q = sqrt(1 - (1-p)^{1/b}),  t = -mu ln(1 - q).
+  const double inner = std::exp(std::log1p(-p) / static_cast<double>(pairs));
+  const double q = std::sqrt(1.0 - inner);
+  return -mtbf_proc * std::log1p(-q);
+}
+
+}  // namespace repcheck::model

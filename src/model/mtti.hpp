@@ -1,0 +1,50 @@
+// Mean Time To Interruption and interruption-time distributions.
+//
+// Implements Eq. (8), M_2b = n_fail(2b)·mu/(2b), plus the exact survival /
+// CDF curves that Figure 1 plots: a single processor, n parallel processors
+// (any failure is fatal), and b replicated pairs (a pair must lose both).
+#pragma once
+
+#include <cstdint>
+
+namespace repcheck::model {
+
+/// Application MTTI with `pairs` replicated pairs, per-processor MTBF
+/// `mtbf_proc` seconds (Eq. 8 with the Theorem 4.1 closed form).
+[[nodiscard]] double mtti(std::uint64_t pairs, double mtbf_proc);
+
+/// Cross-check: MTTI as ∫_0^∞ survival_pairs(t) dt by quadrature.
+[[nodiscard]] double mtti_integral(std::uint64_t pairs, double mtbf_proc);
+
+/// Remaining MTTI of a platform whose state already has `degraded` pairs
+/// with one dead replica each: N(degraded)·μ/(2b).  mtti_degraded(b, 0, μ)
+/// equals mtti(b, μ); the value shrinks as damage accumulates — the basis
+/// of the adaptive no-restart period extension.
+[[nodiscard]] double mtti_degraded(std::uint64_t pairs, std::uint64_t degraded,
+                                   double mtbf_proc);
+
+/// P(no fatal failure by time t) for one processor of MTBF mtbf_proc.
+[[nodiscard]] double survival_single(double t, double mtbf_proc);
+
+/// P(no fatal failure by t) for n parallel (non-replicated) processors:
+/// any single failure interrupts the application.
+[[nodiscard]] double survival_parallel(double t, double mtbf_proc, std::uint64_t n);
+
+/// P(no fatal failure by t) for b replicated pairs:
+/// (1 - (1 - e^{-lambda t})^2)^b.
+[[nodiscard]] double survival_pairs(double t, double mtbf_proc, std::uint64_t pairs);
+
+/// CDFs (1 - survival) of the time to application interruption.
+[[nodiscard]] double cdf_single(double t, double mtbf_proc);
+[[nodiscard]] double cdf_parallel(double t, double mtbf_proc, std::uint64_t n);
+[[nodiscard]] double cdf_pairs(double t, double mtbf_proc, std::uint64_t pairs);
+
+/// Time at which the interruption probability reaches p (closed forms);
+/// e.g. Fig. 1's "time to reach 90% chance of fatal failure".
+[[nodiscard]] double time_to_failure_probability_single(double p, double mtbf_proc);
+[[nodiscard]] double time_to_failure_probability_parallel(double p, double mtbf_proc,
+                                                          std::uint64_t n);
+[[nodiscard]] double time_to_failure_probability_pairs(double p, double mtbf_proc,
+                                                       std::uint64_t pairs);
+
+}  // namespace repcheck::model

@@ -1,0 +1,65 @@
+#include "model/multilevel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "math/roots.hpp"
+#include "model/periods.hpp"
+
+namespace repcheck::model {
+
+namespace {
+void validate(const TwoLevelCosts& costs, std::uint64_t pairs, double mtbf) {
+  if (!(costs.buddy_checkpoint > 0.0)) throw std::domain_error("buddy cost must be positive");
+  if (!(costs.pfs_flush >= 0.0)) throw std::domain_error("flush cost must be non-negative");
+  if (!(costs.pfs_recovery >= 0.0)) throw std::domain_error("recovery must be non-negative");
+  if (!(costs.downtime >= 0.0)) throw std::domain_error("downtime must be non-negative");
+  if (pairs == 0) throw std::domain_error("need at least one pair");
+  if (!(mtbf > 0.0)) throw std::domain_error("MTBF must be positive");
+}
+}  // namespace
+
+double two_level_overhead(const TwoLevelCosts& costs, double t, double k, std::uint64_t pairs,
+                          double mtbf_proc) {
+  validate(costs, pairs, mtbf_proc);
+  if (!(t > 0.0)) throw std::domain_error("period must be positive");
+  if (!(k >= 1.0)) throw std::domain_error("flush cadence must be at least 1");
+  const double lambda = 1.0 / mtbf_proc;
+  const double crash_rate = static_cast<double>(pairs) * lambda * lambda * t;  // per work-second
+  const double loss = 2.0 * t / 3.0 + (k - 1.0) * (t + costs.buddy_checkpoint) / 2.0 +
+                      costs.pfs_recovery + costs.downtime;
+  return (costs.buddy_checkpoint + costs.pfs_flush / k) / t + crash_rate * loss;
+}
+
+double two_level_flush_interval(const TwoLevelCosts& costs, double t, std::uint64_t pairs,
+                                double mtbf_proc) {
+  validate(costs, pairs, mtbf_proc);
+  if (!(t > 0.0)) throw std::domain_error("period must be positive");
+  if (costs.pfs_flush == 0.0) return 1.0;  // flushes are free: flush always
+  const double lambda = 1.0 / mtbf_proc;
+  const double k = std::sqrt(2.0 * costs.pfs_flush /
+                             (static_cast<double>(pairs) * lambda * lambda * t * t *
+                              (t + costs.buddy_checkpoint)));
+  return std::max(1.0, k);
+}
+
+TwoLevelPlan optimize_two_level(const TwoLevelCosts& costs, std::uint64_t pairs,
+                                double mtbf_proc) {
+  validate(costs, pairs, mtbf_proc);
+  // Seed with the single-level optimum at the buddy cost, then minimize the
+  // T -> H(T, k*(T)) profile (k eliminated by its closed form).
+  const double seed = t_opt_rs(costs.buddy_checkpoint, pairs, mtbf_proc);
+  const auto profile = [&](double t) {
+    const double k = two_level_flush_interval(costs, t, pairs, mtbf_proc);
+    return two_level_overhead(costs, t, k, pairs, mtbf_proc);
+  };
+  const auto best = math::minimize_unbounded(profile, seed, 1e-4 * seed);
+  TwoLevelPlan plan;
+  plan.period = best.x;
+  plan.flush_every = two_level_flush_interval(costs, best.x, pairs, mtbf_proc);
+  plan.predicted_overhead = best.fx;
+  return plan;
+}
+
+}  // namespace repcheck::model

@@ -1,0 +1,58 @@
+// Two-level (buddy + PFS) checkpointing under the restart strategy.
+//
+// Section 2: production checkpoint stacks (FTI, VeloC) write a cheap
+// first-level copy — for replicated processes, *the replica's memory is the
+// buddy copy* — and periodically flush to the reliable parallel file
+// system, "to manage the risk of losing the checkpoint in case of failure
+// of two buddy processes."  With replication that risk is precisely an
+// application crash: when both replicas of a pair die, their in-memory
+// checkpoint dies with them, so every crash recovers from the last PFS
+// flush, losing up to k−1 periods.
+//
+// First-order analysis (extending Eq. 19): flushing every k-th checkpoint,
+//
+//   H(T, k) = (C_b + C_p/k)/T
+//           + b λ² T · ( 2T/3 + (k−1)(T + C_b)/2 + R_p + D )
+//
+// where the first term is the failure-free cost and the second multiplies
+// the per-period crash probability b(λT)² by the expected loss: two thirds
+// of the failing period, half the flush interval's completed periods, and
+// the PFS recovery.  For fixed T the optimal flush cadence is
+//
+//   k* = sqrt( 2 C_p / (b λ² T² (T + C_b)) ),
+//
+// and T itself is re-optimized numerically under C_eff = C_b + C_p/k.
+#pragma once
+
+#include <cstdint>
+
+namespace repcheck::model {
+
+struct TwoLevelCosts {
+  double buddy_checkpoint = 60.0;  ///< C_b: in-memory/buddy level
+  double pfs_flush = 600.0;        ///< C_p: additional cost of a flush checkpoint
+  double pfs_recovery = 600.0;     ///< R_p: recovery from the PFS level
+  double downtime = 0.0;           ///< D
+};
+
+/// First-order overhead of the restart strategy with period T and a PFS
+/// flush every k-th checkpoint.
+[[nodiscard]] double two_level_overhead(const TwoLevelCosts& costs, double t, double k,
+                                        std::uint64_t pairs, double mtbf_proc);
+
+/// Optimal (continuous) flush cadence for a fixed period T; at least 1.
+[[nodiscard]] double two_level_flush_interval(const TwoLevelCosts& costs, double t,
+                                              std::uint64_t pairs, double mtbf_proc);
+
+struct TwoLevelPlan {
+  double period = 0.0;          ///< T
+  double flush_every = 1.0;     ///< k (continuous optimum; round for use)
+  double predicted_overhead = 0.0;
+};
+
+/// Jointly optimizes (T, k) by alternating the closed-form k*(T) with a
+/// 1-D numeric minimization over T.
+[[nodiscard]] TwoLevelPlan optimize_two_level(const TwoLevelCosts& costs, std::uint64_t pairs,
+                                              double mtbf_proc);
+
+}  // namespace repcheck::model

@@ -1,0 +1,82 @@
+#include "model/nfail.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+#include "math/beta.hpp"
+#include "math/gamma.hpp"
+#include "math/ramanujan.hpp"
+
+namespace repcheck::model {
+
+namespace {
+void require_pairs(std::uint64_t pairs) {
+  if (pairs == 0) throw std::domain_error("n_fail requires at least one processor pair");
+}
+}  // namespace
+
+double nfail_closed_form(std::uint64_t pairs) {
+  require_pairs(pairs);
+  const double b = static_cast<double>(pairs);
+  const double log_term = b * std::log(4.0) - math::log_binomial(2 * pairs, pairs);
+  return 1.0 + std::exp(log_term);
+}
+
+double nfail_recursive(std::uint64_t pairs) {
+  require_pairs(pairs);
+  const double n = static_cast<double>(2 * pairs);
+  // N(k) = expected failures until interruption given k degraded pairs:
+  //   N(k) = 1 + (k/n)·N(k)  + ((n-2k)/n)·N(k+1),   N evaluated backwards
+  // (the k/n "fatal" branch contributes only the final failure itself).
+  double next = 0.0;  // N(b) computed in the first iteration below
+  for (std::uint64_t k = pairs;; --k) {
+    const double kd = static_cast<double>(k);
+    const double fresh = (n - 2.0 * kd) / n;
+    const double wasted = kd / n;
+    next = (1.0 + fresh * next) / (1.0 - wasted);
+    if (k == 0) break;
+  }
+  return next;
+}
+
+double nfail_integral(std::uint64_t pairs) {
+  require_pairs(pairs);
+  const double b = static_cast<double>(pairs);
+  // 2b·4^b·B(1/2; b, b+1), with the incomplete Beta in log space:
+  // B(x; a, c) = I_x(a, c) · B(a, c).
+  const double reg = math::regularized_incomplete_beta(b, b + 1.0, 0.5);
+  const double log_value =
+      std::log(2.0 * b) + b * std::log(4.0) + std::log(reg) + math::log_beta(b, b + 1.0);
+  return std::exp(log_value);
+}
+
+std::vector<double> nfail_from_degraded(std::uint64_t pairs) {
+  require_pairs(pairs);
+  const double n = static_cast<double>(2 * pairs);
+  // Same recursion as nfail_recursive, keeping every intermediate N(k).
+  std::vector<double> table(pairs + 1, 0.0);
+  double next = 0.0;
+  for (std::uint64_t k = pairs;; --k) {
+    const double kd = static_cast<double>(k);
+    const double fresh = (n - 2.0 * kd) / n;
+    const double wasted = kd / n;
+    next = (1.0 + fresh * next) / (1.0 - wasted);
+    table[k] = next;
+    if (k == 0) break;
+  }
+  return table;
+}
+
+double nfail_asymptotic(std::uint64_t pairs) {
+  require_pairs(pairs);
+  return std::sqrt(std::numbers::pi * static_cast<double>(pairs));
+}
+
+double nfail_birthday_estimate(std::uint64_t pairs) {
+  require_pairs(pairs);
+  return 1.0 + math::ramanujan_q(pairs);
+}
+
+}  // namespace repcheck::model

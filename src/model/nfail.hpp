@@ -1,0 +1,45 @@
+// Expected number of failures to application interruption, n_fail(2b).
+//
+// With b replicated processor pairs, failures strike the 2b processor slots
+// uniformly (a hit on an already-dead processor is wasted); the application
+// is interrupted when both processors of some pair are dead.  The paper's
+// Theorem 4.1 gives the closed form
+//
+//     n_fail(2b) = 1 + 4^b / C(2b, b)  ≈  sqrt(pi * b),
+//
+// superseding the birthday-problem estimate 1 + Q(b) ≈ sqrt(pi*b/2) of
+// Ferreira et al. (40% too low).  We expose four independent evaluations —
+// closed form, the recursive formulation of Casanova et al. [12], the
+// integral of Eq. (9), and the asymptotic — which the test suite checks
+// against each other.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace repcheck::model {
+
+/// Theorem 4.1 closed form, evaluated in log space (exact up to b ~ 1e15).
+[[nodiscard]] double nfail_closed_form(std::uint64_t pairs);
+
+/// Recursive evaluation (O(b)): with k degraded pairs, the next failure is
+/// fatal w.p. k/2b, wasted w.p. k/2b, and degrades a fresh pair otherwise.
+[[nodiscard]] double nfail_recursive(std::uint64_t pairs);
+
+/// Eq. (9): n_fail(2b) = 2b·4^b ∫_0^{1/2} x^{b-1}(1-x)^b dx, via the
+/// incomplete Beta function.
+[[nodiscard]] double nfail_integral(std::uint64_t pairs);
+
+/// Stirling asymptotic sqrt(pi * b).
+[[nodiscard]] double nfail_asymptotic(std::uint64_t pairs);
+
+/// The superseded birthday-problem estimate 1 + Q(b) used in prior work.
+[[nodiscard]] double nfail_birthday_estimate(std::uint64_t pairs);
+
+/// N(k) for k = 0..b: expected further failures until interruption given
+/// that k pairs are already degraded (one replica dead).  N(0) is
+/// n_fail(2b); N(b) = 2 (every pair degraded: the next non-wasted hit is
+/// fatal).  Drives the state-adaptive no-restart period extension.
+[[nodiscard]] std::vector<double> nfail_from_degraded(std::uint64_t pairs);
+
+}  // namespace repcheck::model

@@ -1,0 +1,109 @@
+#include "model/overhead.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "model/mtti.hpp"
+
+namespace repcheck::model {
+
+namespace {
+void require_positive(double v, const char* what) {
+  if (!(v > 0.0)) throw std::domain_error(std::string(what) + " must be positive");
+}
+}  // namespace
+
+double overhead_no_restart(double checkpoint_cost, double t, std::uint64_t pairs,
+                           double mtbf_proc) {
+  require_positive(t, "period");
+  require_positive(checkpoint_cost, "checkpoint cost");
+  return checkpoint_cost / t + t / (2.0 * mtti(pairs, mtbf_proc));
+}
+
+double overhead_restart(double restart_checkpoint_cost, double t, std::uint64_t pairs,
+                        double mtbf_proc) {
+  require_positive(t, "period");
+  require_positive(restart_checkpoint_cost, "checkpoint+restart cost");
+  require_positive(mtbf_proc, "MTBF");
+  if (pairs == 0) throw std::domain_error("need at least one pair");
+  const double lambda = 1.0 / mtbf_proc;
+  return restart_checkpoint_cost / t +
+         2.0 / 3.0 * static_cast<double>(pairs) * lambda * lambda * t * t;
+}
+
+double overhead_noreplication(double checkpoint_cost, double t, double mtbf_proc,
+                              std::uint64_t n) {
+  require_positive(t, "period");
+  require_positive(checkpoint_cost, "checkpoint cost");
+  require_positive(mtbf_proc, "MTBF");
+  if (n == 0) throw std::domain_error("need at least one processor");
+  return checkpoint_cost / t + static_cast<double>(n) * t / (2.0 * mtbf_proc);
+}
+
+double expected_time_lost_single_pair(double mtbf_proc, double t) {
+  require_positive(mtbf_proc, "MTBF");
+  require_positive(t, "period");
+  const double lambda = 1.0 / mtbf_proc;
+  const double y = lambda * t;
+  if (y < 1e-5) {
+    // Taylor form 2T/3·(1 + O(y)) avoids 0/0 for tiny rates.
+    return 2.0 * t / 3.0;
+  }
+  const double e1 = std::exp(-y);
+  const double e2 = std::exp(-2.0 * y);
+  const double u = (2.0 * e2 - 4.0 * e1) * y + e2 - 4.0 * e1 + 3.0;
+  const double v = (1.0 - e1) * (1.0 - e1);
+  return u / (2.0 * lambda * v);
+}
+
+double expected_period_time_single_pair(double restart_checkpoint_cost, double downtime,
+                                        double recovery_cost, double mtbf_proc, double t) {
+  require_positive(t, "period");
+  const double lambda = 1.0 / mtbf_proc;
+  const double y = lambda * t;
+  // p1 / (1 - p1) with p1 = (1 - e^{-y})^2, in the numerically stable form
+  // (e^y - 1)^2 / (2 e^y - 1).
+  const double em1 = std::expm1(y);
+  const double ratio = em1 * em1 / (2.0 * std::exp(y) - 1.0);
+  const double t_lost = expected_time_lost_single_pair(mtbf_proc, t);
+  return t + restart_checkpoint_cost + (downtime + recovery_cost + t_lost) * ratio;
+}
+
+double overhead_restart_single_pair_exact(double restart_checkpoint_cost, double downtime,
+                                          double recovery_cost, double mtbf_proc, double t) {
+  return expected_period_time_single_pair(restart_checkpoint_cost, downtime, recovery_cost,
+                                          mtbf_proc, t) /
+             t -
+         1.0;
+}
+
+double overhead_noreplication_exact(double checkpoint_cost, double downtime, double recovery_cost,
+                                    double domain_mtbf, double t) {
+  require_positive(t, "period");
+  require_positive(domain_mtbf, "MTBF");
+  const double lambda = 1.0 / domain_mtbf;
+  const double expected = std::exp(lambda * recovery_cost) * (domain_mtbf + downtime) *
+                          std::expm1(lambda * (t + checkpoint_cost));
+  return expected / t - 1.0;
+}
+
+double overhead_restart_on_failure(double restart_checkpoint_cost, std::uint64_t n_procs,
+                                   double mtbf_proc) {
+  require_positive(restart_checkpoint_cost, "checkpoint+restart cost");
+  require_positive(mtbf_proc, "MTBF");
+  if (n_procs == 0) throw std::domain_error("need at least one processor");
+  return static_cast<double>(n_procs) * restart_checkpoint_cost / mtbf_proc;
+}
+
+double overhead_to_waste(double h) {
+  if (h < 0.0) throw std::domain_error("overhead must be non-negative");
+  return h / (1.0 + h);
+}
+
+double waste_to_overhead(double w) {
+  if (!(w >= 0.0) || !(w < 1.0)) throw std::domain_error("waste must be in [0, 1)");
+  return w / (1.0 - w);
+}
+
+}  // namespace repcheck::model

@@ -1,0 +1,60 @@
+// Time-overhead models H(T) = E(T)/T − 1.
+//
+// The figures plot three families:
+//   H^no(T)  = C/T + T/(2 M_2b)                        (Eq. 12, literature)
+//   H^rs(T)  = C^R/T + (2/3) b λ² T²                   (Eq. 19, this paper)
+//   exact single-pair restart overhead from Eq. (14)   (validation)
+// plus the classical no-replication overheads with and without the
+// first-order approximation.
+#pragma once
+
+#include <cstdint>
+
+namespace repcheck::model {
+
+/// Eq. (12): first-order no-restart overhead at period T.
+[[nodiscard]] double overhead_no_restart(double checkpoint_cost, double t, std::uint64_t pairs,
+                                         double mtbf_proc);
+
+/// Eq. (19): first-order restart overhead at period T with b pairs.
+[[nodiscard]] double overhead_restart(double restart_checkpoint_cost, double t,
+                                      std::uint64_t pairs, double mtbf_proc);
+
+/// Eq. (7): first-order no-replication overhead C/T + N T / (2 μ).
+[[nodiscard]] double overhead_noreplication(double checkpoint_cost, double t, double mtbf_proc,
+                                            std::uint64_t n);
+
+/// Exact single-pair restart overhead from Eq. (14) (no first-order
+/// truncation; assumes failures spare checkpoint/recovery, as in the paper).
+[[nodiscard]] double overhead_restart_single_pair_exact(double restart_checkpoint_cost,
+                                                        double downtime, double recovery_cost,
+                                                        double mtbf_proc, double t);
+
+/// Exact expected period completion time for a single pair (Eq. 14).
+[[nodiscard]] double expected_period_time_single_pair(double restart_checkpoint_cost,
+                                                      double downtime, double recovery_cost,
+                                                      double mtbf_proc, double t);
+
+/// Expected time lost when both replicas of a pair die within T (exact form
+/// derived in Section 4.2); tends to 2T/3 as λT → 0.
+[[nodiscard]] double expected_time_lost_single_pair(double mtbf_proc, double t);
+
+/// Exact no-replication overhead with failures striking anytime
+/// (E(T) = e^{λR}(1/λ + D)(e^{λ(T+C)} − 1) for the domain rate λ).
+[[nodiscard]] double overhead_noreplication_exact(double checkpoint_cost, double downtime,
+                                                  double recovery_cost, double domain_mtbf,
+                                                  double t);
+
+/// First-order overhead of the restart-on-failure strategy (Section 7.3):
+/// every failure triggers a C^R checkpoint wave, so the overhead is the
+/// failure frequency times the wave cost, N·λ·C^R (rollbacks are
+/// negligible — the chance of a partner death within one wave is tiny).
+[[nodiscard]] double overhead_restart_on_failure(double restart_checkpoint_cost,
+                                                 std::uint64_t n_procs, double mtbf_proc);
+
+/// Converts a time overhead H (extra time per unit of useful work) to waste
+/// (fraction of wall-clock time not spent on useful work), and back.
+[[nodiscard]] double overhead_to_waste(double h);
+[[nodiscard]] double waste_to_overhead(double w);
+
+}  // namespace repcheck::model

@@ -1,0 +1,113 @@
+#include "model/periods.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "math/lambert_w.hpp"
+#include "math/roots.hpp"
+#include "model/mtti.hpp"
+#include "model/overhead.hpp"
+
+namespace repcheck::model {
+
+namespace {
+void require_positive(double v, const char* what) {
+  if (!(v > 0.0)) throw std::domain_error(std::string(what) + " must be positive");
+}
+}  // namespace
+
+double young_daly_period(double checkpoint_cost, double domain_mtbf) {
+  require_positive(checkpoint_cost, "checkpoint cost");
+  require_positive(domain_mtbf, "MTBF");
+  return std::sqrt(2.0 * domain_mtbf * checkpoint_cost);
+}
+
+double young_daly_period_parallel(double checkpoint_cost, double mtbf_proc, std::uint64_t n) {
+  if (n == 0) throw std::domain_error("need at least one processor");
+  return young_daly_period(checkpoint_cost, mtbf_proc / static_cast<double>(n));
+}
+
+double daly_period(double checkpoint_cost, double recovery_cost, double domain_mtbf) {
+  require_positive(checkpoint_cost, "checkpoint cost");
+  require_positive(domain_mtbf, "MTBF");
+  return std::sqrt(2.0 * (domain_mtbf + recovery_cost) * checkpoint_cost);
+}
+
+double daly_exact_period(double checkpoint_cost, double domain_mtbf) {
+  require_positive(checkpoint_cost, "checkpoint cost");
+  require_positive(domain_mtbf, "MTBF");
+  const double lambda = 1.0 / domain_mtbf;
+  // dH/dT = 0 for H(T) = μ(e^{λ(T+C)} − 1)/T − 1 reduces to
+  // (λT − 1)·e^{λT − 1} = −e^{−1 − λC}; the principal branch gives the
+  // root with 0 < T < μ.
+  const double w = math::lambert_w0(-std::exp(-1.0 - lambda * checkpoint_cost));
+  return (1.0 + w) / lambda;
+}
+
+double survey_period(double checkpoint_cost, double downtime, double recovery_cost,
+                     double domain_mtbf) {
+  require_positive(checkpoint_cost, "checkpoint cost");
+  const double effective = domain_mtbf - downtime - recovery_cost;
+  require_positive(effective, "MTBF minus D minus R");
+  return std::sqrt(2.0 * effective * checkpoint_cost) - checkpoint_cost;
+}
+
+double t_mtti_no(double checkpoint_cost, std::uint64_t pairs, double mtbf_proc) {
+  require_positive(checkpoint_cost, "checkpoint cost");
+  return std::sqrt(2.0 * mtti(pairs, mtbf_proc) * checkpoint_cost);
+}
+
+double t_opt_rs(double restart_checkpoint_cost, std::uint64_t pairs, double mtbf_proc) {
+  require_positive(restart_checkpoint_cost, "checkpoint+restart cost");
+  require_positive(mtbf_proc, "MTBF");
+  if (pairs == 0) throw std::domain_error("need at least one pair");
+  const double lambda = 1.0 / mtbf_proc;
+  return std::cbrt(3.0 * restart_checkpoint_cost /
+                   (4.0 * static_cast<double>(pairs) * lambda * lambda));
+}
+
+double h_opt_noreplication(double checkpoint_cost, double mtbf_proc, std::uint64_t n) {
+  require_positive(checkpoint_cost, "checkpoint cost");
+  require_positive(mtbf_proc, "MTBF");
+  if (n == 0) throw std::domain_error("need at least one processor");
+  return std::sqrt(2.0 * checkpoint_cost * static_cast<double>(n) / mtbf_proc);
+}
+
+double h_opt_rs(double restart_checkpoint_cost, std::uint64_t pairs, double mtbf_proc) {
+  require_positive(restart_checkpoint_cost, "checkpoint+restart cost");
+  require_positive(mtbf_proc, "MTBF");
+  if (pairs == 0) throw std::domain_error("need at least one pair");
+  const double lambda = 1.0 / mtbf_proc;
+  const double base = 3.0 * restart_checkpoint_cost * std::sqrt(static_cast<double>(pairs)) *
+                      lambda / std::sqrt(2.0);
+  return std::pow(base, 2.0 / 3.0);
+}
+
+double exact_single_pair_restart_period(double restart_checkpoint_cost, double downtime,
+                                        double recovery_cost, double mtbf_proc) {
+  require_positive(mtbf_proc, "MTBF");
+  const double seed = t_opt_rs(restart_checkpoint_cost, 1, mtbf_proc);
+  const auto result = math::minimize_unbounded(
+      [&](double t) {
+        return overhead_restart_single_pair_exact(restart_checkpoint_cost, downtime,
+                                                  recovery_cost, mtbf_proc, t);
+      },
+      seed, 1e-6 * seed);
+  return result.x;
+}
+
+double exact_noreplication_period(double checkpoint_cost, double downtime, double recovery_cost,
+                                  double domain_mtbf) {
+  require_positive(domain_mtbf, "MTBF");
+  const double seed = young_daly_period(checkpoint_cost, domain_mtbf);
+  const auto result = math::minimize_unbounded(
+      [&](double t) {
+        return overhead_noreplication_exact(checkpoint_cost, downtime, recovery_cost,
+                                            domain_mtbf, t);
+      },
+      seed, 1e-6 * seed);
+  return result.x;
+}
+
+}  // namespace repcheck::model

@@ -1,0 +1,60 @@
+// Checkpointing periods: Young/Daly and the paper's restart-optimal period.
+//
+// The two protagonists of the paper:
+//   T_MTTI^no  = sqrt(2 · M_2b · C)            (Eq. 11, prior work, Θ(μ^1/2))
+//   T_opt^rs   = (3 C^R / (4 b λ²))^{1/3}      (Eq. 20, this paper, Θ(μ^2/3))
+// plus the classical no-replication formulas (Eqs. 4/6), the literature's
+// higher-order variants, and numeric exact optimizers used as cross-checks.
+#pragma once
+
+#include <cstdint>
+
+namespace repcheck::model {
+
+/// Young's formula sqrt(2 μ C) for one failure domain of MTBF μ (Eq. 4).
+[[nodiscard]] double young_daly_period(double checkpoint_cost, double domain_mtbf);
+
+/// Eq. (6): N non-replicated processors of individual MTBF mtbf_proc.
+[[nodiscard]] double young_daly_period_parallel(double checkpoint_cost, double mtbf_proc,
+                                                std::uint64_t n);
+
+/// Daly's variant sqrt(2 (μ + R) C) [14].
+[[nodiscard]] double daly_period(double checkpoint_cost, double recovery_cost, double domain_mtbf);
+
+/// The *exact* optimizer of the no-replication overhead with failures
+/// striking anytime and D = R = 0, via the Lambert function the paper
+/// alludes to ("the solution is complicated as it involves the Lambert
+/// function"): T = (1 + W₀(−e^{−1−λC}))/λ.  Collapses to Young/Daly as
+/// λC → 0.
+[[nodiscard]] double daly_exact_period(double checkpoint_cost, double domain_mtbf);
+
+/// The variant sqrt(2 (μ − D − R) C) − C from the fault-tolerance survey [24].
+[[nodiscard]] double survey_period(double checkpoint_cost, double downtime, double recovery_cost,
+                                   double domain_mtbf);
+
+/// Eq. (11): the no-restart period sqrt(2 M_2b C) used by all prior work.
+[[nodiscard]] double t_mtti_no(double checkpoint_cost, std::uint64_t pairs, double mtbf_proc);
+
+/// Eq. (20): the restart-optimal period (3 C^R / (4 b λ²))^{1/3}.
+[[nodiscard]] double t_opt_rs(double restart_checkpoint_cost, std::uint64_t pairs,
+                              double mtbf_proc);
+
+/// First-order optimal overheads at those periods:
+/// Eq. (6): sqrt(2 C N λ) without replication.
+[[nodiscard]] double h_opt_noreplication(double checkpoint_cost, double mtbf_proc, std::uint64_t n);
+/// Eq. (21): (3 C^R sqrt(b) λ / sqrt(2))^{2/3} with replication + restart.
+[[nodiscard]] double h_opt_rs(double restart_checkpoint_cost, std::uint64_t pairs,
+                              double mtbf_proc);
+
+/// Numeric exact optimizer of the single-pair restart overhead (Eq. 14),
+/// for validating that T_opt^rs's first-order formula is accurate.
+[[nodiscard]] double exact_single_pair_restart_period(double restart_checkpoint_cost,
+                                                      double downtime, double recovery_cost,
+                                                      double mtbf_proc);
+
+/// Numeric exact optimizer of the classical no-replication overhead with
+/// failures striking anytime (E(T) = e^{λR}(1/λ + D)(e^{λ(T+C)} − 1)).
+[[nodiscard]] double exact_noreplication_period(double checkpoint_cost, double downtime,
+                                                double recovery_cost, double domain_mtbf);
+
+}  // namespace repcheck::model

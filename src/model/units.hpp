@@ -1,0 +1,22 @@
+// Time-unit constants shared by the analytic model, simulator, and benches.
+//
+// All model and simulator APIs take times in seconds.  The paper quotes
+// MTBFs in years (e.g. "μ = 5 years ⇒ platform MTBF ≈ 5.2 minutes for 10⁶
+// cores with μ = 10 years"); these constants make the conversions explicit.
+#pragma once
+
+namespace repcheck::model {
+
+inline constexpr double kSecondsPerMinute = 60.0;
+inline constexpr double kSecondsPerHour = 3600.0;
+inline constexpr double kSecondsPerDay = 86400.0;
+// Julian year: reproduces the paper's "10 y / 10⁶ ≈ 5.2 min" example.
+inline constexpr double kSecondsPerYear = 365.25 * kSecondsPerDay;
+inline constexpr double kSecondsPerWeek = 7.0 * kSecondsPerDay;
+
+[[nodiscard]] constexpr double years(double y) { return y * kSecondsPerYear; }
+[[nodiscard]] constexpr double days(double d) { return d * kSecondsPerDay; }
+[[nodiscard]] constexpr double hours(double h) { return h * kSecondsPerHour; }
+[[nodiscard]] constexpr double minutes(double m) { return m * kSecondsPerMinute; }
+
+}  // namespace repcheck::model

@@ -1,0 +1,34 @@
+#include "platform/cost.hpp"
+
+#include <stdexcept>
+
+namespace repcheck::platform {
+
+void CostModel::validate() const {
+  if (!(checkpoint > 0.0)) throw std::invalid_argument("checkpoint cost must be positive");
+  if (!(restart_checkpoint >= checkpoint)) {
+    throw std::invalid_argument("C^R must be at least C");
+  }
+  if (!(recovery >= 0.0)) throw std::invalid_argument("recovery cost must be non-negative");
+  if (!(downtime >= 0.0)) throw std::invalid_argument("downtime must be non-negative");
+  if (!(bytes_per_proc >= 0.0)) throw std::invalid_argument("bytes per proc must be non-negative");
+  if (!(checkpoint_jitter_sigma >= 0.0)) {
+    throw std::invalid_argument("checkpoint jitter sigma must be non-negative");
+  }
+}
+
+CostModel CostModel::uniform(double c, double cr_over_c, double downtime) {
+  CostModel m;
+  m.checkpoint = c;
+  m.restart_checkpoint = cr_over_c * c;
+  m.recovery = c;
+  m.downtime = downtime;
+  m.validate();
+  return m;
+}
+
+CostModel CostModel::buddy(double cr_over_c) { return uniform(60.0, cr_over_c); }
+
+CostModel CostModel::remote(double cr_over_c) { return uniform(600.0, cr_over_c); }
+
+}  // namespace repcheck::platform

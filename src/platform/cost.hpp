@@ -1,0 +1,51 @@
+// Checkpoint/recovery cost model (Section 2).
+//
+//   C   plain coordinated checkpoint;
+//   C^R checkpoint that also restarts failed processors, C ≤ C^R ≤ 2C
+//       (C with overlapped buddy checkpointing, 2C fully sequential);
+//   R   recovery (read checkpoint), paper default R = C;
+//   D   downtime before recovery (migration to spares), paper default 0.
+//
+// The byte volume per checkpoint feeds the I/O-pressure accounting of
+// Section 7.5.
+#pragma once
+
+#include <cstdint>
+
+namespace repcheck::platform {
+
+struct CostModel {
+  double checkpoint = 60.0;          ///< C, seconds
+  double restart_checkpoint = 60.0;  ///< C^R, seconds
+  double recovery = 60.0;            ///< R, seconds
+  double downtime = 0.0;             ///< D, seconds
+
+  /// Bytes written to the checkpoint store per effective processor per
+  /// checkpoint (I/O accounting only; does not affect timing).
+  double bytes_per_proc = 1e9;
+
+  /// I/O-congestion jitter: each checkpoint's actual duration is the
+  /// nominal cost times a lognormal factor with this sigma and unit
+  /// *median* (Section 7.5: "with high probability, the checkpoint times
+  /// are longer than expected because of I/O congestion" — a lognormal
+  /// stretch with median 1 has mean e^{σ²/2} > 1, skewed toward delays).
+  /// 0 disables jitter (deterministic costs).
+  double checkpoint_jitter_sigma = 0.0;
+
+  /// Throws std::invalid_argument unless 0 < C ≤ C^R and R, D ≥ 0.
+  void validate() const;
+
+  /// Cost of a checkpoint, depending on whether it also restarts processors.
+  [[nodiscard]] double checkpoint_cost(bool with_restart) const {
+    return with_restart ? restart_checkpoint : checkpoint;
+  }
+
+  /// Paper presets: buddy (in-memory) checkpointing at 60 s and remote
+  /// storage at 600 s, with R = C and the given C^R/C ratio.
+  [[nodiscard]] static CostModel buddy(double cr_over_c = 1.0);
+  [[nodiscard]] static CostModel remote(double cr_over_c = 1.0);
+  /// Uniform cost model with C = R = c and C^R = ratio · c.
+  [[nodiscard]] static CostModel uniform(double c, double cr_over_c = 1.0, double downtime = 0.0);
+};
+
+}  // namespace repcheck::platform

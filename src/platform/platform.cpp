@@ -1,0 +1,69 @@
+#include "platform/platform.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace repcheck::platform {
+
+Platform::Platform(std::uint64_t n_procs, std::uint64_t n_groups, std::uint32_t degree)
+    : n_procs_(n_procs), n_groups_(n_groups), degree_(degree) {
+  if (n_procs_ == 0) throw std::invalid_argument("platform needs at least one processor");
+  if (degree_ < 2) throw std::invalid_argument("replica groups need at least two members");
+  if (degree_ * n_groups_ > n_procs_) {
+    throw std::invalid_argument("replica groups exceed available processors");
+  }
+}
+
+Platform Platform::fully_replicated(std::uint64_t n_procs) {
+  if (n_procs % 2 != 0) {
+    throw std::invalid_argument("full replication requires an even processor count");
+  }
+  return Platform(n_procs, n_procs / 2, 2);
+}
+
+Platform Platform::replicated_degree(std::uint64_t n_procs, std::uint32_t degree) {
+  if (degree < 2) throw std::invalid_argument("replication degree must be at least 2");
+  if (n_procs % degree != 0) {
+    throw std::invalid_argument("processor count must be divisible by the replication degree");
+  }
+  return Platform(n_procs, n_procs / degree, degree);
+}
+
+Platform Platform::not_replicated(std::uint64_t n_procs) { return Platform(n_procs, 0, 2); }
+
+Platform Platform::partially_replicated(std::uint64_t n_procs, double replicated_fraction) {
+  if (!(replicated_fraction >= 0.0) || !(replicated_fraction <= 1.0)) {
+    throw std::invalid_argument("replicated fraction must be in [0, 1]");
+  }
+  const double replicated_procs = replicated_fraction * static_cast<double>(n_procs);
+  const auto n_pairs = static_cast<std::uint64_t>(std::llround(replicated_procs / 2.0));
+  return Platform(n_procs, n_pairs, 2);
+}
+
+std::uint64_t Platform::n_pairs() const {
+  if (degree_ != 2) throw std::logic_error("n_pairs() is only defined for degree-2 layouts");
+  return n_groups_;
+}
+
+bool Platform::is_replicated(std::uint64_t proc) const {
+  if (proc >= n_procs_) throw std::out_of_range("processor index");
+  return proc < degree_ * n_groups_;
+}
+
+std::uint64_t Platform::group_of(std::uint64_t proc) const {
+  if (!is_replicated(proc)) throw std::out_of_range("processor is not replicated");
+  return proc / degree_;
+}
+
+std::uint64_t Platform::pair_of(std::uint64_t proc) const {
+  if (degree_ != 2) throw std::logic_error("pair_of() is only defined for degree-2 layouts");
+  return group_of(proc);
+}
+
+std::uint64_t Platform::partner(std::uint64_t proc) const {
+  if (degree_ != 2) throw std::logic_error("partner() is only defined for degree-2 layouts");
+  if (!is_replicated(proc)) throw std::out_of_range("processor is not replicated");
+  return proc ^ 1ULL;
+}
+
+}  // namespace repcheck::platform

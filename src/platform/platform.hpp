@@ -1,0 +1,63 @@
+// Platform layout: which processors form replica groups, which run alone.
+//
+// Processors 0 .. degree·n_groups−1 form replica groups of `degree`
+// processors each (group g owns the contiguous slice [g·degree,
+// (g+1)·degree)); the remaining processors are standalone.  The paper's
+// setting is degree 2 ("pairs"); degree ≥ 3 generalizes to the
+// triplication studied in the related work (Benoit et al. [4]), with the
+// closed-form period generalization in model/degree.hpp.
+//
+// Full replication (Sections 4–7), no replication (Section 3), and partial
+// replication (Partial50/Partial90 in Figures 9–10) are all instances.
+#pragma once
+
+#include <cstdint>
+
+namespace repcheck::platform {
+
+class Platform {
+ public:
+  /// n_procs processors of which degree·n_groups form replica groups.
+  Platform(std::uint64_t n_procs, std::uint64_t n_groups, std::uint32_t degree = 2);
+
+  /// All processors paired (n_procs must be even) — the paper's layout.
+  [[nodiscard]] static Platform fully_replicated(std::uint64_t n_procs);
+
+  /// All processors in groups of `degree` (n_procs must be divisible).
+  [[nodiscard]] static Platform replicated_degree(std::uint64_t n_procs, std::uint32_t degree);
+
+  /// No replica groups at all.
+  [[nodiscard]] static Platform not_replicated(std::uint64_t n_procs);
+
+  /// `replicated_fraction` of the processors are paired (e.g. 0.9 with
+  /// 200,000 processors gives the paper's Partial90: 90,000 pairs plus
+  /// 20,000 standalone processors).
+  [[nodiscard]] static Platform partially_replicated(std::uint64_t n_procs,
+                                                     double replicated_fraction);
+
+  [[nodiscard]] std::uint64_t n_procs() const { return n_procs_; }
+  [[nodiscard]] std::uint64_t n_groups() const { return n_groups_; }
+  [[nodiscard]] std::uint32_t degree() const { return degree_; }
+  /// Pair count; only meaningful for degree-2 layouts (throws otherwise).
+  [[nodiscard]] std::uint64_t n_pairs() const;
+  [[nodiscard]] std::uint64_t n_standalone() const { return n_procs_ - degree_ * n_groups_; }
+
+  /// Processors contributing distinct work: groups + standalone.
+  [[nodiscard]] std::uint64_t effective_procs() const { return n_groups_ + n_standalone(); }
+
+  [[nodiscard]] bool is_replicated(std::uint64_t proc) const;
+  /// Replica-group index of a replicated processor.
+  [[nodiscard]] std::uint64_t group_of(std::uint64_t proc) const;
+  /// Pair index of a replicated processor (degree-2 layouts).
+  [[nodiscard]] std::uint64_t pair_of(std::uint64_t proc) const;
+  /// The replica partner of a replicated processor (degree-2 layouts).
+  [[nodiscard]] std::uint64_t partner(std::uint64_t proc) const;
+  [[nodiscard]] bool uses_replication() const { return n_groups_ > 0; }
+
+ private:
+  std::uint64_t n_procs_;
+  std::uint64_t n_groups_;
+  std::uint32_t degree_;
+};
+
+}  // namespace repcheck::platform

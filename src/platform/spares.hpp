@@ -1,0 +1,28 @@
+// Finite spare pool (Section 2's "migrate to a spare processor", made
+// finite).
+//
+// The paper assumes spares are always available ("using spare processes,
+// this allocation time can be very small").  Real machines keep a bounded
+// standby pool: reviving a failed processor consumes one spare, and the
+// failed node returns to the pool only after `repair_time`.  When the pool
+// runs dry, a restart checkpoint can only revive as many processors as
+// there are spares — the restart strategy gracefully degrades toward
+// no-restart until repairs catch up.  `ext_spare_pool` sizes the pool a
+// platform needs for the restart strategy to keep its advantage.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace repcheck::platform {
+
+struct SparePool {
+  std::uint64_t capacity = 0;   ///< standby processors
+  double repair_time = 86400.0; ///< seconds until a failed node rejoins the pool
+
+  void validate() const {
+    if (!(repair_time >= 0.0)) throw std::invalid_argument("repair time must be non-negative");
+  }
+};
+
+}  // namespace repcheck::platform

@@ -1,0 +1,81 @@
+#include "platform/state.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace repcheck::platform {
+
+FailureState::FailureState(const Platform& platform)
+    : platform_(platform),
+      dead_epoch_(platform.n_procs(), 0),
+      group_dead_(platform.n_groups(), 0),
+      group_epoch_(platform.n_groups(), 0) {}
+
+FailureEffect FailureState::record_failure(std::uint64_t proc) {
+  if (proc >= platform_.n_procs()) throw std::out_of_range("processor index");
+  if (dead_epoch_[proc] == epoch_) return FailureEffect::kWasted;
+  if (!platform_.is_replicated(proc)) return FailureEffect::kFatal;
+  const std::uint64_t group = platform_.group_of(proc);
+  const std::uint32_t dead_here = group_epoch_[group] == epoch_ ? group_dead_[group] : 0;
+  if (dead_here + 1 == platform_.degree()) return FailureEffect::kFatal;
+  dead_epoch_[proc] = epoch_;
+  group_dead_[group] = dead_here + 1;
+  group_epoch_[group] = epoch_;
+  dead_list_.push_back(proc);
+  ++dead_procs_;
+  if (dead_here == 0) ++degraded_groups_;
+  return FailureEffect::kDegraded;
+}
+
+void FailureState::revive(std::uint64_t proc) {
+  if (proc >= platform_.n_procs()) throw std::out_of_range("processor index");
+  if (dead_epoch_[proc] != epoch_) throw std::logic_error("reviving a live processor");
+  dead_epoch_[proc] = 0;  // epoch_ is always >= 1
+  const std::uint64_t group = platform_.group_of(proc);
+  --group_dead_[group];
+  if (group_dead_[group] == 0) --degraded_groups_;
+  --dead_procs_;
+  // Remove from the dead list now: a processor that dies again later would
+  // otherwise appear twice.  Dead counts are small, so the scan is cheap.
+  for (auto& entry : dead_list_) {
+    if (entry == proc) {
+      entry = dead_list_.back();
+      dead_list_.pop_back();
+      break;
+    }
+  }
+}
+
+std::vector<std::uint64_t> FailureState::dead_processors() {
+  std::vector<std::uint64_t> alive_filtered;
+  alive_filtered.reserve(dead_procs_);
+  for (const auto proc : dead_list_) {
+    if (dead_epoch_[proc] == epoch_) alive_filtered.push_back(proc);
+  }
+  dead_list_ = alive_filtered;
+  return alive_filtered;
+}
+
+void FailureState::restart_all() {
+  ++epoch_;
+  if (epoch_ == 0) {  // counter wrapped: fall back to an explicit clear
+    std::fill(dead_epoch_.begin(), dead_epoch_.end(), 0);
+    std::fill(group_epoch_.begin(), group_epoch_.end(), 0);
+    epoch_ = 1;
+  }
+  dead_procs_ = 0;
+  degraded_groups_ = 0;
+  dead_list_.clear();
+}
+
+bool FailureState::is_dead(std::uint64_t proc) const {
+  if (proc >= platform_.n_procs()) throw std::out_of_range("processor index");
+  return dead_epoch_[proc] == epoch_;
+}
+
+std::uint32_t FailureState::group_dead_count(std::uint64_t group) const {
+  if (group >= platform_.n_groups()) throw std::out_of_range("group index");
+  return group_epoch_[group] == epoch_ ? group_dead_[group] : 0;
+}
+
+}  // namespace repcheck::platform

@@ -1,0 +1,66 @@
+// Dead/alive bookkeeping during a simulated run.
+//
+// record_failure classifies each hit: wasted (processor already dead),
+// degraded (a replica group lost a processor but still has survivors), or
+// fatal (standalone processor, or the last survivor of a group — the
+// application is interrupted).  restart_all revives everything in O(1)
+// using an epoch counter, which matters because the restart strategy
+// revives up to 100,000 pairs every period.
+//
+// Supports any replication degree: for degree 2 (the paper's pairs) the
+// "last survivor" test is the partner check of Section 4; for degree r a
+// per-group death counter (also epoch-versioned) detects the r-th hit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "platform/platform.hpp"
+
+namespace repcheck::platform {
+
+enum class FailureEffect {
+  kWasted,    ///< hit an already-dead processor: no state change
+  kDegraded,  ///< a replica group lost a processor but survives
+  kFatal,     ///< the application is interrupted (rollback required)
+};
+
+class FailureState {
+ public:
+  explicit FailureState(const Platform& platform);
+
+  /// Applies a failure to `proc` and reports its effect.  A fatal hit does
+  /// NOT change tracked state — callers roll back and then restart_all().
+  FailureEffect record_failure(std::uint64_t proc);
+
+  /// Revives every processor (end-of-recovery rejuvenation, or the restart
+  /// strategy's checkpoint-time restart).
+  void restart_all();
+
+  /// Revives a single dead processor (spare-limited partial restarts).
+  /// Throws std::logic_error if the processor is alive.
+  void revive(std::uint64_t proc);
+
+  /// The processors currently dead (compacts internal bookkeeping).
+  [[nodiscard]] std::vector<std::uint64_t> dead_processors();
+
+  [[nodiscard]] bool is_dead(std::uint64_t proc) const;
+  [[nodiscard]] std::uint64_t dead_count() const { return dead_procs_; }
+  /// Replica groups with at least one dead member.
+  [[nodiscard]] std::uint64_t degraded_groups() const { return degraded_groups_; }
+  /// Dead processors within one replica group.
+  [[nodiscard]] std::uint32_t group_dead_count(std::uint64_t group) const;
+  [[nodiscard]] const Platform& platform() const { return platform_; }
+
+ private:
+  Platform platform_;
+  std::vector<std::uint32_t> dead_epoch_;
+  std::vector<std::uint32_t> group_dead_;        ///< valid iff group_epoch_ == epoch_
+  std::vector<std::uint32_t> group_epoch_;
+  std::vector<std::uint64_t> dead_list_;         ///< may hold stale entries (lazily compacted)
+  std::uint32_t epoch_ = 1;
+  std::uint64_t dead_procs_ = 0;
+  std::uint64_t degraded_groups_ = 0;
+};
+
+}  // namespace repcheck::platform

@@ -1,0 +1,131 @@
+#include "prng/distributions.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace repcheck::prng {
+
+namespace {
+/// Uniform in (0, 1] — safe as a log() argument.
+double uniform_open0(Xoshiro256pp& rng) { return 1.0 - rng.uniform01(); }
+}  // namespace
+
+UniformSampler::UniformSampler(double lo, double hi) : lo_(lo), span_(hi - lo) {
+  if (!(hi > lo)) throw std::invalid_argument("uniform sampler needs hi > lo");
+}
+
+double UniformSampler::operator()(Xoshiro256pp& rng) const { return lo_ + span_ * rng.uniform01(); }
+
+UniformIndexSampler::UniformIndexSampler(std::uint64_t n) : n_(n) {
+  if (n == 0) throw std::invalid_argument("uniform index sampler needs n > 0");
+}
+
+std::uint64_t UniformIndexSampler::operator()(Xoshiro256pp& rng) const {
+  // Lemire's nearly-divisionless bounded sampling with rejection, so the
+  // distribution is exactly uniform.
+  for (;;) {
+    const std::uint64_t x = rng();
+    const __uint128_t m = static_cast<__uint128_t>(x) * n_;
+    const std::uint64_t low = static_cast<std::uint64_t>(m);
+    if (low >= n_ || low >= (-n_) % n_) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+ExponentialSampler::ExponentialSampler(double lambda) : lambda_(lambda) {
+  if (!(lambda > 0.0)) throw std::invalid_argument("exponential rate must be positive");
+}
+
+double ExponentialSampler::operator()(Xoshiro256pp& rng) const {
+  return -std::log(uniform_open0(rng)) / lambda_;
+}
+
+WeibullSampler::WeibullSampler(double shape, double scale) : shape_(shape), scale_(scale) {
+  if (!(shape > 0.0) || !(scale > 0.0)) {
+    throw std::invalid_argument("weibull parameters must be positive");
+  }
+}
+
+double WeibullSampler::operator()(Xoshiro256pp& rng) const {
+  return scale_ * std::pow(-std::log(uniform_open0(rng)), 1.0 / shape_);
+}
+
+double WeibullSampler::mean() const { return scale_ * std::tgamma(1.0 + 1.0 / shape_); }
+
+double sample_standard_normal(Xoshiro256pp& rng) {
+  for (;;) {
+    const double u = 2.0 * rng.uniform01() - 1.0;
+    const double v = 2.0 * rng.uniform01() - 1.0;
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+LogNormalSampler::LogNormalSampler(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  if (!(sigma > 0.0)) throw std::invalid_argument("lognormal sigma must be positive");
+}
+
+double LogNormalSampler::operator()(Xoshiro256pp& rng) const {
+  return std::exp(mu_ + sigma_ * sample_standard_normal(rng));
+}
+
+double LogNormalSampler::mean() const { return std::exp(mu_ + 0.5 * sigma_ * sigma_); }
+
+LogNormalSampler LogNormalSampler::from_mean_cv(double mean, double cv) {
+  if (!(mean > 0.0) || !(cv > 0.0)) {
+    throw std::invalid_argument("lognormal mean and cv must be positive");
+  }
+  const double sigma2 = std::log(1.0 + cv * cv);
+  const double mu = std::log(mean) - 0.5 * sigma2;
+  return LogNormalSampler(mu, std::sqrt(sigma2));
+}
+
+GammaSampler::GammaSampler(double shape, double scale) : shape_(shape), scale_(scale) {
+  if (!(shape > 0.0) || !(scale > 0.0)) {
+    throw std::invalid_argument("gamma parameters must be positive");
+  }
+}
+
+double GammaSampler::operator()(Xoshiro256pp& rng) const {
+  // Marsaglia & Tsang (2000).  For shape < 1, sample shape+1 and apply the
+  // standard power boost.
+  const double k = shape_ < 1.0 ? shape_ + 1.0 : shape_;
+  const double d = k - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  double sample = 0.0;
+  for (;;) {
+    double x = 0.0;
+    double v = 0.0;
+    do {
+      x = sample_standard_normal(rng);
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = 1.0 - rng.uniform01();  // (0, 1]
+    if (u < 1.0 - 0.0331 * x * x * x * x ||
+        std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      sample = d * v;
+      break;
+    }
+  }
+  if (shape_ < 1.0) {
+    const double u = 1.0 - rng.uniform01();
+    sample *= std::pow(u, 1.0 / shape_);
+  }
+  return sample * scale_;
+}
+
+GeometricSampler::GeometricSampler(double p) : p_(p) {
+  if (!(p > 0.0) || !(p <= 1.0)) throw std::invalid_argument("geometric p must be in (0, 1]");
+}
+
+std::uint64_t GeometricSampler::operator()(Xoshiro256pp& rng) const {
+  if (p_ >= 1.0) return 0;
+  const double u = 1.0 - rng.uniform01();  // (0, 1]
+  return static_cast<std::uint64_t>(std::floor(std::log(u) / std::log1p(-p_)));
+}
+
+}  // namespace repcheck::prng

@@ -1,0 +1,109 @@
+// Samplers for the failure-model distributions.
+//
+// Each sampler is a small value type holding its parameters; sampling takes
+// the generator by reference so one xoshiro stream can feed many samplers.
+// All samplers use inverse-transform or standard rejection methods written
+// out explicitly (no libstdc++ distribution objects) so results are
+// bit-reproducible across standard library implementations.
+#pragma once
+
+#include <cstdint>
+
+#include "prng/xoshiro.hpp"
+
+namespace repcheck::prng {
+
+/// Uniform real on [lo, hi).
+class UniformSampler {
+ public:
+  UniformSampler(double lo, double hi);
+  double operator()(Xoshiro256pp& rng) const;
+
+ private:
+  double lo_;
+  double span_;
+};
+
+/// Uniform integer on [0, n).
+class UniformIndexSampler {
+ public:
+  explicit UniformIndexSampler(std::uint64_t n);
+  std::uint64_t operator()(Xoshiro256pp& rng) const;
+  [[nodiscard]] std::uint64_t bound() const { return n_; }
+
+ private:
+  std::uint64_t n_;
+};
+
+/// Exponential with rate lambda (mean 1/lambda) — the paper's IID fail-stop
+/// model; sampled by inversion.
+class ExponentialSampler {
+ public:
+  explicit ExponentialSampler(double lambda);
+  double operator()(Xoshiro256pp& rng) const;
+  [[nodiscard]] double rate() const { return lambda_; }
+  [[nodiscard]] double mean() const { return 1.0 / lambda_; }
+
+ private:
+  double lambda_;
+};
+
+/// Weibull(shape k, scale s); k < 1 gives the infant-mortality-heavy
+/// inter-arrival pattern typical of HPC failure logs.  Sampled by inversion.
+class WeibullSampler {
+ public:
+  WeibullSampler(double shape, double scale);
+  double operator()(Xoshiro256pp& rng) const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double shape() const { return shape_; }
+  [[nodiscard]] double scale() const { return scale_; }
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+/// Lognormal(mu, sigma) of the underlying normal; normal variate drawn by
+/// Marsaglia polar method (two uniforms, no trig).
+class LogNormalSampler {
+ public:
+  LogNormalSampler(double mu, double sigma);
+  double operator()(Xoshiro256pp& rng) const;
+  [[nodiscard]] double mean() const;
+
+  /// Builds a sampler with the requested mean and coefficient of variation.
+  static LogNormalSampler from_mean_cv(double mean, double cv);
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Gamma(shape k, scale theta) via Marsaglia–Tsang squeeze (with the k < 1
+/// boost); used by the correlated-trace generator's burst sizes.
+class GammaSampler {
+ public:
+  GammaSampler(double shape, double scale);
+  double operator()(Xoshiro256pp& rng) const;
+  [[nodiscard]] double mean() const { return shape_ * scale_; }
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+/// Standard normal via Marsaglia polar; exposed for reuse by other samplers.
+double sample_standard_normal(Xoshiro256pp& rng);
+
+/// Geometric on {0, 1, 2, ...} with success probability p (mean (1-p)/p).
+class GeometricSampler {
+ public:
+  explicit GeometricSampler(double p);
+  std::uint64_t operator()(Xoshiro256pp& rng) const;
+  [[nodiscard]] double mean() const { return (1.0 - p_) / p_; }
+
+ private:
+  double p_;
+};
+
+}  // namespace repcheck::prng

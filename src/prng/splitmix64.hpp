@@ -1,0 +1,31 @@
+// SplitMix64 — the standard seeding generator for xoshiro-family engines.
+//
+// Reference: Sebastiano Vigna, http://prng.di.unimi.it/splitmix64.c
+// (public domain).  One multiply-xorshift pipeline per output; passes BigCrush.
+#pragma once
+
+#include <cstdint>
+
+namespace repcheck::prng {
+
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t operator()() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace repcheck::prng

@@ -1,0 +1,20 @@
+#include "prng/stream.hpp"
+
+namespace repcheck::prng {
+
+StreamFactory::StreamFactory(std::uint64_t master_seed)
+    : master_seed_(master_seed), base_(master_seed), cached_engine_(base_), cached_index_(0) {}
+
+Xoshiro256pp StreamFactory::stream(std::uint64_t index) const {
+  if (index < cached_index_) {
+    cached_engine_ = base_;
+    cached_index_ = 0;
+  }
+  while (cached_index_ < index) {
+    cached_engine_.long_jump();
+    ++cached_index_;
+  }
+  return cached_engine_;
+}
+
+}  // namespace repcheck::prng

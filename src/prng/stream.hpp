@@ -1,0 +1,34 @@
+// Deterministic stream derivation for parallel Monte-Carlo.
+//
+// A StreamFactory turns (master seed, replicate index) into an independent
+// Xoshiro256pp engine.  Independence comes from long_jump(): stream i is the
+// master engine advanced by i long-jumps (2^192 steps apart), so streams
+// never overlap no matter how many numbers a replicate draws.  For large
+// replicate counts the factory memoizes the last engine, making sequential
+// stream creation O(1) amortized.
+#pragma once
+
+#include <cstdint>
+
+#include "prng/xoshiro.hpp"
+
+namespace repcheck::prng {
+
+class StreamFactory {
+ public:
+  explicit StreamFactory(std::uint64_t master_seed);
+
+  /// Engine for replicate `index`; identical calls return identical engines.
+  [[nodiscard]] Xoshiro256pp stream(std::uint64_t index) const;
+
+  [[nodiscard]] std::uint64_t master_seed() const { return master_seed_; }
+
+ private:
+  std::uint64_t master_seed_;
+  Xoshiro256pp base_;
+  // Memoized cursor: engine already advanced by `cached_index_` long-jumps.
+  mutable Xoshiro256pp cached_engine_;
+  mutable std::uint64_t cached_index_;
+};
+
+}  // namespace repcheck::prng

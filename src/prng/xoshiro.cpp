@@ -1,0 +1,62 @@
+#include "prng/xoshiro.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "prng/splitmix64.hpp"
+
+namespace repcheck::prng {
+
+namespace {
+constexpr std::array<std::uint64_t, 4> kJump = {0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+                                                0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+constexpr std::array<std::uint64_t, 4> kLongJump = {0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL,
+                                                    0x77710069854ee241ULL, 0x39109bb02acbe635ULL};
+}  // namespace
+
+Xoshiro256pp::Xoshiro256pp(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : state_) word = sm();
+}
+
+Xoshiro256pp::Xoshiro256pp(const std::array<std::uint64_t, 4>& state) : state_(state) {
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    throw std::invalid_argument("xoshiro256++ state must not be all-zero");
+  }
+}
+
+std::uint64_t Xoshiro256pp::operator()() {
+  const std::uint64_t result = std::rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = std::rotl(state_[3], 45);
+  return result;
+}
+
+void Xoshiro256pp::apply_jump(const std::array<std::uint64_t, 4>& table) {
+  std::array<std::uint64_t, 4> acc{0, 0, 0, 0};
+  for (std::uint64_t word : table) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if (word & (std::uint64_t{1} << bit)) {
+        for (int i = 0; i < 4; ++i) acc[i] ^= state_[i];
+      }
+      (*this)();
+    }
+  }
+  state_ = acc;
+}
+
+void Xoshiro256pp::jump() { apply_jump(kJump); }
+
+void Xoshiro256pp::long_jump() { apply_jump(kLongJump); }
+
+double Xoshiro256pp::uniform01() {
+  // Take the top 53 bits — xoshiro's low bits are weaker by construction.
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace repcheck::prng

@@ -1,0 +1,46 @@
+#include "stats/ecdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace repcheck::stats {
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples) : samples_(std::move(samples)) {
+  if (samples_.empty()) throw std::invalid_argument("empirical cdf needs samples");
+  std::sort(samples_.begin(), samples_.end());
+}
+
+double EmpiricalCdf::operator()(double x) const {
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) / static_cast<double>(samples_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  if (!(q >= 0.0 && q <= 1.0)) {
+    throw std::domain_error("quantile requires q in [0, 1]");
+  }
+  if (q <= 0.0) return samples_.front();
+  const auto rank = static_cast<std::size_t>(std::ceil(q * static_cast<double>(samples_.size())));
+  return samples_[std::min(rank == 0 ? 0 : rank - 1, samples_.size() - 1)];
+}
+
+double EmpiricalCdf::ks_distance(const std::function<double(double)>& reference_cdf) const {
+  const double n = static_cast<double>(samples_.size());
+  double sup = 0.0;
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    const double f = reference_cdf(samples_[i]);
+    const double lower = static_cast<double>(i) / n;      // F̂ just below the jump
+    const double upper = static_cast<double>(i + 1) / n;  // F̂ at the jump
+    sup = std::max({sup, std::fabs(f - lower), std::fabs(f - upper)});
+  }
+  return sup;
+}
+
+double EmpiricalCdf::ks_critical(double alpha) const {
+  if (!(alpha > 0.0) || !(alpha < 1.0)) throw std::domain_error("alpha must be in (0, 1)");
+  const double c = std::sqrt(-0.5 * std::log(alpha / 2.0));
+  return c / std::sqrt(static_cast<double>(samples_.size()));
+}
+
+}  // namespace repcheck::stats

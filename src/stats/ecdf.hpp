@@ -1,0 +1,38 @@
+// Empirical CDF and Kolmogorov–Smirnov distance.
+//
+// Figure 1 compares analytic interruption-time CDFs against Monte-Carlo
+// samples; the test suite uses the KS distance to assert that samplers and
+// failure sources follow their claimed distributions.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace repcheck::stats {
+
+class EmpiricalCdf {
+ public:
+  /// Takes ownership of the samples and sorts them.
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  /// F̂(x): fraction of samples ≤ x.
+  [[nodiscard]] double operator()(double x) const;
+
+  /// q-th sample quantile, q in [0, 1] (nearest-rank).
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] const std::vector<double>& sorted_samples() const { return samples_; }
+
+  /// sup_x |F̂(x) − F(x)| against a reference CDF, evaluated at the jump
+  /// points (where the supremum of a step-vs-continuous difference lives).
+  [[nodiscard]] double ks_distance(const std::function<double(double)>& reference_cdf) const;
+
+  /// Critical KS value at significance alpha (asymptotic; n ≥ ~35).
+  [[nodiscard]] double ks_critical(double alpha = 0.01) const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace repcheck::stats

@@ -1,0 +1,42 @@
+#include "stats/histogram.hpp"
+
+#include <stdexcept>
+
+namespace repcheck::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), counts_(bins, 0) {
+  if (!(hi > lo)) throw std::invalid_argument("histogram requires hi > lo");
+  if (bins == 0) throw std::invalid_argument("histogram requires at least one bin");
+  width_ = (hi - lo) / static_cast<double>(bins);
+}
+
+void Histogram::push(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  const auto bin = static_cast<std::size_t>((x - lo_) / width_);
+  if (bin >= counts_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range("histogram bin");
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin) + width_; }
+
+double Histogram::cdf_at_bin(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range("histogram bin");
+  if (total_ == 0) throw std::logic_error("cdf of empty histogram");
+  std::uint64_t acc = underflow_;
+  for (std::size_t i = 0; i <= bin; ++i) acc += counts_[i];
+  return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+}  // namespace repcheck::stats

@@ -1,0 +1,38 @@
+// Fixed-bin histogram over a closed range.
+//
+// Used by the trace statistics (inter-arrival spectra) and by the Figure 1
+// bench to report Monte-Carlo interruption-time distributions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace repcheck::stats {
+
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void push(double x);
+
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+  /// Fraction of all pushed samples at or below the upper edge of `bin`
+  /// (includes underflow); an empirical CDF read off the histogram.
+  [[nodiscard]] double cdf_at_bin(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+}  // namespace repcheck::stats

@@ -1,0 +1,66 @@
+#include "stats/welford.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace repcheck::stats {
+
+void RunningStats::push(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::mean() const {
+  if (count_ == 0) throw std::logic_error("mean of empty accumulator");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::sem() const {
+  if (count_ == 0) throw std::logic_error("sem of empty accumulator");
+  return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double RunningStats::min() const {
+  if (count_ == 0) throw std::logic_error("min of empty accumulator");
+  return min_;
+}
+
+double RunningStats::max() const {
+  if (count_ == 0) throw std::logic_error("max of empty accumulator");
+  return max_;
+}
+
+}  // namespace repcheck::stats

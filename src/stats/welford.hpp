@@ -1,0 +1,38 @@
+// Streaming moments (Welford) with parallel merge.
+//
+// Every Monte-Carlo lane accumulates its replicate results into a private
+// RunningStats; lanes are merged with the Chan et al. pairwise update, so
+// results are independent of the number of worker threads.
+#pragma once
+
+#include <cstdint>
+
+namespace repcheck::stats {
+
+class RunningStats {
+ public:
+  void push(double x);
+
+  /// Combines two accumulators as if their samples had been pushed into one.
+  void merge(const RunningStats& other);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double mean() const;
+  /// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  /// Standard error of the mean.
+  [[nodiscard]] double sem() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return mean() * static_cast<double>(count_); }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace repcheck::stats

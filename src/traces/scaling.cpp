@@ -1,0 +1,43 @@
+#include "traces/scaling.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace repcheck::traces {
+
+GroupedTraceSchedule::GroupedTraceSchedule(FailureTrace trace, std::uint64_t n_procs,
+                                           std::uint32_t n_groups)
+    : trace_(std::move(trace)), n_procs_(n_procs), n_groups_(n_groups) {
+  if (n_groups_ == 0) throw std::invalid_argument("need at least one group");
+  if (n_procs_ == 0 || n_procs_ % n_groups_ != 0) {
+    throw std::invalid_argument("processor count must be a positive multiple of the group count");
+  }
+  if (trace_.size() == 0) throw std::invalid_argument("cannot schedule an empty trace");
+}
+
+std::uint64_t GroupedTraceSchedule::map_node(std::uint32_t group, std::uint32_t node) const {
+  if (group >= n_groups_) throw std::out_of_range("group index");
+  // Knuth multiplicative scatter; see the header for why nodes must not be
+  // placed contiguously.
+  const std::uint64_t scattered = (static_cast<std::uint64_t>(node) * 2654435761ULL) % group_size();
+  return static_cast<std::uint64_t>(group) * group_size() + scattered;
+}
+
+double GroupedTraceSchedule::scaled_system_mtbf() const {
+  return trace_.system_mtbf() / static_cast<double>(n_groups_);
+}
+
+std::uint32_t GroupedTraceSchedule::groups_for_target(const FailureTrace& trace,
+                                                      std::uint64_t n_procs, double mtbf_proc) {
+  if (!(mtbf_proc > 0.0)) throw std::invalid_argument("target MTBF must be positive");
+  if (n_procs == 0) throw std::invalid_argument("need at least one processor");
+  const double target_system_mtbf = mtbf_proc / static_cast<double>(n_procs);
+  const double groups = trace.system_mtbf() / target_system_mtbf;
+  const auto rounded = static_cast<std::uint32_t>(std::llround(groups));
+  if (rounded == 0) {
+    throw std::invalid_argument("trace is too failure-dense for the requested platform");
+  }
+  return rounded;
+}
+
+}  // namespace repcheck::traces

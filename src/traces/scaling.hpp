@@ -1,0 +1,57 @@
+// Trace scaling à la Section 7.2.
+//
+// The paper targets a 200,000-processor platform with a 5-year individual
+// MTBF from traces of ~50-node machines: partition the platform into g
+// groups so that the global failure rate is g× the trace's rate, replay the
+// trace independently in every group, and rotate each replay around a
+// randomly chosen date so group streams start independently.
+//
+// GroupedTraceSchedule captures the *deterministic* part (the partition and
+// node mapping); the per-run random rotations live in the failure source so
+// every Monte-Carlo replicate re-rolls them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "traces/trace.hpp"
+
+namespace repcheck::traces {
+
+class GroupedTraceSchedule {
+ public:
+  /// Splits a platform of `n_procs` into `n_groups` equal groups, each
+  /// replaying `trace`.  n_procs must be divisible by n_groups.
+  GroupedTraceSchedule(FailureTrace trace, std::uint64_t n_procs, std::uint32_t n_groups);
+
+  [[nodiscard]] const FailureTrace& trace() const { return trace_; }
+  [[nodiscard]] std::uint64_t n_procs() const { return n_procs_; }
+  [[nodiscard]] std::uint32_t n_groups() const { return n_groups_; }
+  [[nodiscard]] std::uint64_t group_size() const { return n_procs_ / n_groups_; }
+
+  /// Global processor id for a trace node replayed in `group`.  The node is
+  /// *scattered* across the group by a fixed multiplicative hash rather than
+  /// placed at its raw index: the paper assigns a process and its replica to
+  /// remote parts of the machine (different racks), so spatially correlated
+  /// trace failures (neighbouring nodes in a cascade) must not land on both
+  /// replicas of one pair.  Raw `node mod group_size` placement would make
+  /// partners out of neighbouring trace nodes and manufacture exactly the
+  /// double failures the paper's placement strategy prevents.
+  [[nodiscard]] std::uint64_t map_node(std::uint32_t group, std::uint32_t node) const;
+
+  /// Effective whole-platform MTBF of the scaled schedule
+  /// (trace MTBF / n_groups).
+  [[nodiscard]] double scaled_system_mtbf() const;
+
+  /// Picks the number of groups needed so the scaled platform MTBF matches a
+  /// target per-processor MTBF: g = round(trace_mtbf / (mtbf_proc/n_procs)).
+  [[nodiscard]] static std::uint32_t groups_for_target(const FailureTrace& trace,
+                                                       std::uint64_t n_procs, double mtbf_proc);
+
+ private:
+  FailureTrace trace_;
+  std::uint64_t n_procs_;
+  std::uint32_t n_groups_;
+};
+
+}  // namespace repcheck::traces

@@ -1,0 +1,111 @@
+#include "traces/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "prng/distributions.hpp"
+#include "prng/xoshiro.hpp"
+
+namespace repcheck::traces {
+
+namespace {
+void require_common(std::size_t count, double mtbf, std::uint32_t n_nodes) {
+  if (count < 2) throw std::invalid_argument("trace needs at least two failures");
+  if (!(mtbf > 0.0)) throw std::invalid_argument("trace MTBF must be positive");
+  if (n_nodes == 0) throw std::invalid_argument("trace needs at least one node");
+}
+}  // namespace
+
+FailureTrace make_uncorrelated_trace(const UncorrelatedTraceParams& params, std::uint64_t seed) {
+  require_common(params.count, params.system_mtbf, params.n_nodes);
+  prng::Xoshiro256pp rng(seed);
+  const auto inter = prng::LogNormalSampler::from_mean_cv(params.system_mtbf,
+                                                          params.inter_arrival_cv);
+  const prng::UniformIndexSampler node(params.n_nodes);
+
+  std::vector<FailureRecord> records;
+  records.reserve(params.count);
+  double t = 0.0;
+  for (std::size_t i = 0; i < params.count; ++i) {
+    t += inter(rng);
+    records.push_back({t, static_cast<std::uint32_t>(node(rng))});
+  }
+  const double horizon = t + inter(rng);  // trace extends past the last failure
+  return FailureTrace(std::move(records), params.n_nodes, horizon);
+}
+
+FailureTrace make_correlated_trace(const CorrelatedTraceParams& params, std::uint64_t seed) {
+  require_common(params.count, params.system_mtbf, params.n_nodes);
+  if (!(params.cascade_probability >= 0.0) || !(params.cascade_probability < 1.0)) {
+    throw std::invalid_argument("cascade probability must be in [0, 1)");
+  }
+  if (!(params.mean_cascade_size > 0.0) || !(params.cascade_window > 0.0)) {
+    throw std::invalid_argument("cascade size and window must be positive");
+  }
+  prng::Xoshiro256pp rng(seed);
+
+  // Each base failure yields 1 + P(cascade)·E[cascade size] failures in
+  // expectation; derate the base inter-arrival so the *total* count over the
+  // horizon matches the requested MTBF.
+  const double expansion = 1.0 + params.cascade_probability * params.mean_cascade_size;
+  const double base_mtbf = params.system_mtbf * expansion;
+  const auto inter = prng::LogNormalSampler::from_mean_cv(base_mtbf, 1.2);
+  const prng::UniformIndexSampler node(params.n_nodes);
+  const prng::UniformSampler within_window(0.0, params.cascade_window);
+  // Geometric on {1, 2, ...} extra failures with the requested mean.
+  const prng::GeometricSampler extra(1.0 / params.mean_cascade_size);
+
+  std::vector<FailureRecord> records;
+  records.reserve(params.count + 16);
+  double t = 0.0;
+  while (records.size() < params.count) {
+    t += inter(rng);
+    const auto base_node = static_cast<std::uint32_t>(node(rng));
+    records.push_back({t, base_node});
+    if (records.size() >= params.count) break;
+    if (rng.uniform01() < params.cascade_probability) {
+      const std::uint64_t burst = extra(rng) + 1;  // at least one follow-up
+      for (std::uint64_t k = 0; k < burst && records.size() < params.count; ++k) {
+        const double ft = t + within_window(rng);
+        // Spatial correlation: follow-ups hit nodes near the base failure.
+        const auto offset = static_cast<std::int64_t>(
+            prng::UniformIndexSampler(2 * params.cascade_node_spread + 1)(rng));
+        const std::int64_t raw = static_cast<std::int64_t>(base_node) + offset -
+                                 static_cast<std::int64_t>(params.cascade_node_spread);
+        const auto n = static_cast<std::uint32_t>(
+            ((raw % static_cast<std::int64_t>(params.n_nodes)) +
+             static_cast<std::int64_t>(params.n_nodes)) %
+            static_cast<std::int64_t>(params.n_nodes));
+        records.push_back({ft, n});
+      }
+    }
+  }
+  double horizon = 0.0;
+  for (const auto& r : records) horizon = std::max(horizon, r.time);
+  horizon += base_mtbf;
+  return FailureTrace(std::move(records), params.n_nodes, horizon);
+}
+
+FailureTrace make_lanl18_like(std::uint64_t seed) {
+  UncorrelatedTraceParams params;
+  params.count = 3899;
+  params.system_mtbf = 7.5 * 3600.0;
+  params.n_nodes = 49;
+  params.inter_arrival_cv = 1.5;
+  return make_uncorrelated_trace(params, seed);
+}
+
+FailureTrace make_lanl2_like(std::uint64_t seed) {
+  CorrelatedTraceParams params;
+  params.count = 5350;
+  params.system_mtbf = 14.1 * 3600.0;
+  params.n_nodes = 49;
+  params.cascade_probability = 0.35;
+  params.mean_cascade_size = 2.0;
+  params.cascade_window = 600.0;
+  params.cascade_node_spread = 4;
+  return make_correlated_trace(params, seed);
+}
+
+}  // namespace repcheck::traces

@@ -1,0 +1,182 @@
+#include "traces/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <map>
+#include <utility>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace repcheck::traces {
+
+FailureTrace::FailureTrace(std::vector<FailureRecord> records, std::uint32_t n_nodes,
+                           double horizon)
+    : records_(std::move(records)), n_nodes_(n_nodes), horizon_(horizon) {
+  if (n_nodes_ == 0) throw std::invalid_argument("trace needs at least one node");
+  if (!(horizon_ > 0.0)) throw std::invalid_argument("trace horizon must be positive");
+  std::sort(records_.begin(), records_.end(),
+            [](const FailureRecord& a, const FailureRecord& b) { return a.time < b.time; });
+  for (const auto& r : records_) {
+    if (r.time < 0.0 || r.time >= horizon_) {
+      throw std::invalid_argument("trace record outside [0, horizon)");
+    }
+    if (r.node >= n_nodes_) throw std::invalid_argument("trace record references unknown node");
+  }
+}
+
+double FailureTrace::system_mtbf() const {
+  if (records_.empty()) throw std::logic_error("MTBF of an empty trace");
+  return horizon_ / static_cast<double>(records_.size());
+}
+
+FailureTrace FailureTrace::parse(std::istream& in) {
+  std::string header;
+  if (!std::getline(in, header)) throw std::runtime_error("empty trace input");
+  std::istringstream hs(header);
+  std::string hash, magic, version, nodes_kw, horizon_kw;
+  std::uint32_t n_nodes = 0;
+  double horizon = 0.0;
+  hs >> hash >> magic >> version >> nodes_kw >> n_nodes >> horizon_kw >> horizon;
+  if (hash != "#" || magic != "repcheck-trace" || version != "v1" || nodes_kw != "nodes" ||
+      horizon_kw != "horizon" || hs.fail()) {
+    throw std::runtime_error("bad trace header: " + header);
+  }
+  std::vector<FailureRecord> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    FailureRecord r;
+    ls >> r.time >> r.node;
+    if (ls.fail()) throw std::runtime_error("bad trace record: " + line);
+    records.push_back(r);
+  }
+  return FailureTrace(std::move(records), n_nodes, horizon);
+}
+
+void FailureTrace::serialize(std::ostream& out) const {
+  out << "# repcheck-trace v1 nodes " << n_nodes_ << " horizon " << horizon_ << '\n';
+  for (const auto& r : records_) {
+    out << r.time << ' ' << r.node << '\n';
+  }
+}
+
+double TraceStats::correlation_index() const {
+  if (!(poisson_close_pair_fraction > 0.0)) {
+    throw std::logic_error("correlation index undefined for zero Poisson fraction");
+  }
+  return close_pair_fraction / poisson_close_pair_fraction;
+}
+
+double interarrival_cv(const FailureTrace& trace) {
+  const auto& recs = trace.records();
+  if (recs.size() < 3) throw std::invalid_argument("cv needs at least three failures");
+  double sum = 0.0, sum2 = 0.0;
+  const auto n = recs.size() - 1;
+  for (std::size_t i = 1; i < recs.size(); ++i) {
+    const double gap = recs[i].time - recs[i - 1].time;
+    sum += gap;
+    sum2 += gap * gap;
+  }
+  const double mean = sum / static_cast<double>(n);
+  const double var = sum2 / static_cast<double>(n) - mean * mean;
+  if (!(mean > 0.0)) throw std::invalid_argument("degenerate trace: zero mean gap");
+  return std::sqrt(std::max(0.0, var)) / mean;
+}
+
+double fano_factor(const FailureTrace& trace, double window) {
+  if (!(window > 0.0)) throw std::invalid_argument("fano window must be positive");
+  const auto n_windows = static_cast<std::size_t>(trace.horizon() / window);
+  if (n_windows < 2) throw std::invalid_argument("fano window too wide for the trace");
+  std::vector<std::uint64_t> counts(n_windows, 0);
+  for (const auto& r : trace.records()) {
+    const auto w = static_cast<std::size_t>(r.time / window);
+    if (w < n_windows) ++counts[w];
+  }
+  double sum = 0.0, sum2 = 0.0;
+  for (const auto c : counts) {
+    sum += static_cast<double>(c);
+    sum2 += static_cast<double>(c) * static_cast<double>(c);
+  }
+  const double mean = sum / static_cast<double>(n_windows);
+  if (!(mean > 0.0)) throw std::invalid_argument("no failures inside the fano windows");
+  const double var = sum2 / static_cast<double>(n_windows) - mean * mean;
+  return var / mean;
+}
+
+FailureTrace parse_csv_trace(std::istream& in, std::size_t time_column, std::size_t node_column,
+                             double seconds_per_unit, bool skip_header, char delimiter) {
+  if (!(seconds_per_unit > 0.0)) throw std::invalid_argument("seconds per unit must be positive");
+  std::vector<std::pair<double, std::uint64_t>> raw;  // (seconds, raw node id)
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (first && skip_header) {
+      first = false;
+      continue;
+    }
+    first = false;
+    if (line.empty() || line[0] == '#') continue;
+    // Split on the delimiter.
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    for (;;) {
+      const auto pos = line.find(delimiter, start);
+      fields.push_back(line.substr(start, pos - start));
+      if (pos == std::string::npos) break;
+      start = pos + 1;
+    }
+    if (time_column >= fields.size() || node_column >= fields.size()) continue;
+    try {
+      std::size_t used = 0;
+      const double t = std::stod(fields[time_column], &used);
+      if (used == 0) continue;
+      const auto node = static_cast<std::uint64_t>(std::stoull(fields[node_column]));
+      raw.emplace_back(t * seconds_per_unit, node);
+    } catch (const std::exception&) {
+      continue;  // metadata / malformed row
+    }
+  }
+  if (raw.size() < 2) throw std::runtime_error("CSV trace yielded fewer than two failures");
+
+  // Shift times to start at zero and remap node ids densely.
+  double t0 = raw.front().first;
+  for (const auto& [t, node] : raw) t0 = std::min(t0, t);
+  std::map<std::uint64_t, std::uint32_t> node_map;
+  for (const auto& [t, node] : raw) {
+    node_map.emplace(node, 0);
+  }
+  std::uint32_t next_id = 0;
+  for (auto& [raw_id, dense] : node_map) dense = next_id++;
+
+  std::vector<FailureRecord> records;
+  records.reserve(raw.size());
+  double horizon = 0.0;
+  for (const auto& [t, node] : raw) {
+    records.push_back({t - t0, node_map.at(node)});
+    horizon = std::max(horizon, t - t0);
+  }
+  // Extend the horizon by the mean gap so the last record lies inside it.
+  horizon += horizon / static_cast<double>(raw.size());
+  return FailureTrace(std::move(records), next_id, horizon);
+}
+
+TraceStats compute_stats(const FailureTrace& trace, double window) {
+  if (!(window > 0.0)) throw std::invalid_argument("stats window must be positive");
+  TraceStats stats;
+  stats.count = trace.size();
+  if (trace.size() < 2) throw std::invalid_argument("stats need at least two failures");
+  stats.system_mtbf = trace.system_mtbf();
+  std::size_t close = 0;
+  const auto& recs = trace.records();
+  for (std::size_t i = 1; i < recs.size(); ++i) {
+    if (recs[i].time - recs[i - 1].time <= window) ++close;
+  }
+  stats.close_pair_fraction = static_cast<double>(close) / static_cast<double>(recs.size() - 1);
+  stats.poisson_close_pair_fraction = -std::expm1(-window / stats.system_mtbf);
+  return stats;
+}
+
+}  // namespace repcheck::traces

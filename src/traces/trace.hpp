@@ -1,0 +1,87 @@
+// Failure traces: the record type, container, text format, and statistics.
+//
+// A trace is a time-sorted sequence of (timestamp, node) failure records
+// covering [0, horizon) on a machine of n_nodes nodes — the shape of the
+// LANL CFDR logs the paper replays in Figure 4.  The text format is
+//
+//     # repcheck-trace v1 nodes <N> horizon <seconds>
+//     <time> <node>
+//     ...
+//
+// so real CFDR dumps can be converted and dropped in.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace repcheck::traces {
+
+struct FailureRecord {
+  double time = 0.0;     ///< seconds since trace start
+  std::uint32_t node = 0;
+};
+
+class FailureTrace {
+ public:
+  /// Records must lie in [0, horizon) and reference nodes < n_nodes; they
+  /// are sorted by time on construction.
+  FailureTrace(std::vector<FailureRecord> records, std::uint32_t n_nodes, double horizon);
+
+  [[nodiscard]] const std::vector<FailureRecord>& records() const { return records_; }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] std::uint32_t n_nodes() const { return n_nodes_; }
+  [[nodiscard]] double horizon() const { return horizon_; }
+
+  /// Whole-system mean time between failures: horizon / count.
+  [[nodiscard]] double system_mtbf() const;
+
+  /// Parses the text format above; throws std::runtime_error on bad input.
+  static FailureTrace parse(std::istream& in);
+
+  /// Writes the text format.
+  void serialize(std::ostream& out) const;
+
+ private:
+  std::vector<FailureRecord> records_;
+  std::uint32_t n_nodes_;
+  double horizon_;
+};
+
+/// Burstiness summary used to separate LANL#2-like (correlated) from
+/// LANL#18-like (uncorrelated) behaviour.
+struct TraceStats {
+  std::size_t count = 0;
+  double system_mtbf = 0.0;
+  /// Fraction of failures arriving within `window` of their predecessor.
+  double close_pair_fraction = 0.0;
+  /// Same fraction a Poisson process with this MTBF would produce.
+  double poisson_close_pair_fraction = 0.0;
+  /// close_pair_fraction / poisson_close_pair_fraction; ≈1 for IID
+  /// exponential, substantially >1 for cascade-correlated traces.
+  [[nodiscard]] double correlation_index() const;
+};
+
+/// Computes the burstiness summary with the given closeness window.
+[[nodiscard]] TraceStats compute_stats(const FailureTrace& trace, double window);
+
+/// Coefficient of variation of the inter-arrival times (1 for exponential,
+/// > 1 for heavy-tailed/bursty, < 1 for regular arrivals).
+[[nodiscard]] double interarrival_cv(const FailureTrace& trace);
+
+/// Fano factor of the counting process: variance/mean of the number of
+/// failures per window of the given width.  1 for Poisson; cascades push
+/// it well above 1 (the dispersion statistic failure-log studies use).
+[[nodiscard]] double fano_factor(const FailureTrace& trace, double window);
+
+/// Parses a generic CSV failure log into a FailureTrace: pick the columns
+/// carrying the failure timestamp and the node id (0-based), the time unit
+/// (seconds per timestamp unit), and whether to skip a header row.  Lines
+/// with non-numeric fields in those columns are skipped (real CFDR dumps
+/// carry mixed metadata rows).  Timestamps are shifted so the earliest
+/// becomes 0; node ids are remapped densely.
+[[nodiscard]] FailureTrace parse_csv_trace(std::istream& in, std::size_t time_column,
+                                           std::size_t node_column, double seconds_per_unit = 1.0,
+                                           bool skip_header = true, char delimiter = ',');
+
+}  // namespace repcheck::traces

@@ -1,0 +1,125 @@
+#include "util/flags.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace repcheck::util {
+
+FlagSet::FlagSet(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+FlagSet::Flag& FlagSet::insert(std::string name, Value def, std::string help) {
+  auto [it, inserted] = flags_.try_emplace(std::move(name), Flag{std::move(def), std::move(help)});
+  if (!inserted) {
+    throw std::logic_error("duplicate flag: --" + it->first);
+  }
+  return it->second;
+}
+
+const std::int64_t* FlagSet::add_int64(std::string name, std::int64_t def, std::string help) {
+  return &std::get<std::int64_t>(insert(std::move(name), def, std::move(help)).value);
+}
+
+const double* FlagSet::add_double(std::string name, double def, std::string help) {
+  return &std::get<double>(insert(std::move(name), def, std::move(help)).value);
+}
+
+const std::string* FlagSet::add_string(std::string name, std::string def, std::string help) {
+  return &std::get<std::string>(insert(std::move(name), std::move(def), std::move(help)).value);
+}
+
+const bool* FlagSet::add_bool(std::string name, bool def, std::string help) {
+  return &std::get<bool>(insert(std::move(name), def, std::move(help)).value);
+}
+
+void FlagSet::assign(Flag& flag, const std::string& name, const std::string& text) {
+  try {
+    if (std::holds_alternative<std::int64_t>(flag.value)) {
+      std::size_t pos = 0;
+      flag.value = static_cast<std::int64_t>(std::stoll(text, &pos));
+      if (pos != text.size()) throw std::invalid_argument(text);
+    } else if (std::holds_alternative<double>(flag.value)) {
+      std::size_t pos = 0;
+      flag.value = std::stod(text, &pos);
+      if (pos != text.size()) throw std::invalid_argument(text);
+    } else if (std::holds_alternative<bool>(flag.value)) {
+      if (text == "true" || text == "1") {
+        flag.value = true;
+      } else if (text == "false" || text == "0") {
+        flag.value = false;
+      } else {
+        throw std::invalid_argument(text);
+      }
+    } else {
+      flag.value = text;
+    }
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad value for --" + name + ": '" + text + "'");
+  }
+  flag.was_set = true;
+}
+
+bool FlagSet::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: '" + arg + "'");
+    }
+    std::string name = arg.substr(2);
+    std::optional<std::string> value;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name.resize(eq);
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      throw std::invalid_argument("unknown flag: --" + name + "\n" + usage());
+    }
+    if (!value) {
+      if (std::holds_alternative<bool>(it->second.value) &&
+          (i + 1 >= argc || std::string_view(argv[i + 1]).rfind("--", 0) == 0)) {
+        value = "true";  // bare boolean flag
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        throw std::invalid_argument("missing value for --" + name);
+      }
+    }
+    assign(it->second, name, *value);
+  }
+  return true;
+}
+
+std::string FlagSet::usage() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\nFlags:\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name;
+    std::visit(
+        [&os](const auto& v) {
+          using T = std::decay_t<decltype(v)>;
+          if constexpr (std::is_same_v<T, bool>) {
+            os << " (bool, default " << (v ? "true" : "false") << ")";
+          } else if constexpr (std::is_same_v<T, std::string>) {
+            os << " (string, default '" << v << "')";
+          } else {
+            os << " (default " << v << ")";
+          }
+        },
+        flag.value);
+    os << "\n      " << flag.help << "\n";
+  }
+  return os.str();
+}
+
+bool FlagSet::provided(std::string_view name) const {
+  auto it = flags_.find(name);
+  return it != flags_.end() && it->second.was_set;
+}
+
+}  // namespace repcheck::util

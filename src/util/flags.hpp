@@ -1,0 +1,63 @@
+// Minimal command-line flag parser used by the bench and example binaries.
+//
+// Flags are declared up front with a name, a default value and a help string;
+// `parse` then consumes `--name value` or `--name=value` pairs (and `--name`
+// alone for booleans).  Unknown flags are an error so that typos in sweep
+// scripts fail loudly instead of silently running the default experiment.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace repcheck::util {
+
+/// Declarative set of command-line flags.
+///
+/// Usage:
+///   FlagSet flags("fig03", "Model accuracy experiment");
+///   auto& runs = flags.add_int64("runs", 100, "Monte-Carlo runs per point");
+///   flags.parse(argc, argv);   // exits with a message on --help or error
+///   use(*runs);
+class FlagSet {
+ public:
+  FlagSet(std::string program, std::string description);
+
+  /// Registers a flag; the returned pointer stays valid for the lifetime of
+  /// the FlagSet and is updated in place by parse().
+  const std::int64_t* add_int64(std::string name, std::int64_t def, std::string help);
+  const double* add_double(std::string name, double def, std::string help);
+  const std::string* add_string(std::string name, std::string def, std::string help);
+  const bool* add_bool(std::string name, bool def, std::string help);
+
+  /// Parses argv.  On `--help` prints usage and returns false (callers should
+  /// exit 0).  Throws std::invalid_argument on malformed or unknown flags.
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  /// Renders the usage/help text.
+  [[nodiscard]] std::string usage() const;
+
+  /// True if the flag was explicitly present on the command line.
+  [[nodiscard]] bool provided(std::string_view name) const;
+
+ private:
+  using Value = std::variant<std::int64_t, double, std::string, bool>;
+  struct Flag {
+    Value value;
+    std::string help;
+    bool was_set = false;
+  };
+
+  Flag& insert(std::string name, Value def, std::string help);
+  void assign(Flag& flag, const std::string& name, const std::string& text);
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Flag, std::less<>> flags_;
+};
+
+}  // namespace repcheck::util

@@ -1,0 +1,55 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace repcheck::util {
+
+namespace {
+
+std::atomic<LogLevel> g_level{[] {
+  if (const char* env = std::getenv("REPCHECK_LOG")) {
+    return parse_log_level(env);
+  }
+  return LogLevel::kWarn;
+}()};
+
+std::mutex g_write_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kDebug: return "DEBUG";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+LogLevel parse_log_level(const std::string& text) {
+  if (text == "error") return LogLevel::kError;
+  if (text == "warn") return LogLevel::kWarn;
+  if (text == "debug") return LogLevel::kDebug;
+  return LogLevel::kInfo;
+}
+
+void log_line(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) > static_cast<int>(log_level())) return;
+  using Clock = std::chrono::system_clock;
+  const auto now = Clock::now().time_since_epoch();
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::fprintf(stderr, "[%lld.%03lld %s] %s\n", static_cast<long long>(ms / 1000),
+               static_cast<long long>(ms % 1000), level_name(level), message.c_str());
+}
+
+}  // namespace repcheck::util

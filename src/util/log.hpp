@@ -1,0 +1,50 @@
+// Tiny leveled logger.
+//
+// Experiments are long-running; the logger gives timestamped progress lines
+// on stderr without pulling in a dependency.  Thread-safe (one mutex around
+// the actual write), level-filtered at runtime via set_level or the
+// REPCHECK_LOG environment variable (error|warn|info|debug).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace repcheck::util {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Sets the global log threshold; messages above it are dropped.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Parses "error"/"warn"/"info"/"debug"; unknown strings map to kInfo.
+[[nodiscard]] LogLevel parse_log_level(const std::string& text);
+
+/// Writes one timestamped line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { log_line(level_, os_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+inline detail::LogStream log_error() { return detail::LogStream(LogLevel::kError); }
+inline detail::LogStream log_warn() { return detail::LogStream(LogLevel::kWarn); }
+inline detail::LogStream log_info() { return detail::LogStream(LogLevel::kInfo); }
+inline detail::LogStream log_debug() { return detail::LogStream(LogLevel::kDebug); }
+
+}  // namespace repcheck::util

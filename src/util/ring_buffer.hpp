@@ -1,0 +1,56 @@
+// Fixed-capacity ring buffer.
+//
+// Used for sliding-window statistics over failure streams (e.g. the burst
+// detector in the trace module keeps the last K inter-arrival times).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace repcheck::util {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : data_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("ring buffer capacity must be positive");
+  }
+
+  /// Appends a value, evicting the oldest when full.
+  void push(const T& value) {
+    data_[head_] = value;
+    head_ = (head_ + 1) % data_.size();
+    if (size_ < data_.size()) ++size_;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] bool full() const { return size_ == data_.size(); }
+
+  /// Element `i` counted from the oldest retained value (0 = oldest).
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("ring buffer index");
+    const std::size_t start = (head_ + data_.size() - size_) % data_.size();
+    return data_[(start + i) % data_.size()];
+  }
+
+  /// Most recently pushed value.
+  [[nodiscard]] const T& back() const {
+    if (empty()) throw std::out_of_range("ring buffer empty");
+    return data_[(head_ + data_.size() - 1) % data_.size()];
+  }
+
+  void clear() {
+    size_ = 0;
+    head_ = 0;
+  }
+
+ private:
+  std::vector<T> data_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace repcheck::util

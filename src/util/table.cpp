@@ -1,0 +1,93 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace repcheck::util {
+
+Table::Table(std::vector<std::string> columns, int precision)
+    : columns_(std::move(columns)), precision_(precision) {
+  if (columns_.empty()) throw std::invalid_argument("table needs at least one column");
+}
+
+void Table::add_row(std::vector<Cell> row) {
+  if (row.size() != columns_.size()) {
+    throw std::invalid_argument("row width mismatch: expected " + std::to_string(columns_.size()) +
+                                " cells, got " + std::to_string(row.size()));
+  }
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_numeric_row(const std::vector<double>& row) {
+  std::vector<Cell> cells(row.begin(), row.end());
+  add_row(std::move(cells));
+}
+
+const Cell& Table::at(std::size_t row, std::size_t col) const {
+  return rows_.at(row).at(col);
+}
+
+std::string Table::render(const Cell& cell) const {
+  std::ostringstream os;
+  if (std::holds_alternative<std::monostate>(cell)) {
+    os << "-";
+  } else if (const auto* d = std::get_if<double>(&cell)) {
+    os << std::setprecision(precision_) << std::defaultfloat << *d;
+  } else if (const auto* i = std::get_if<std::int64_t>(&cell)) {
+    os << *i;
+  } else {
+    os << std::get<std::string>(cell);
+  }
+  return os.str();
+}
+
+void Table::print_aligned(std::ostream& os) const {
+  std::vector<std::size_t> width(columns_.size());
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    auto& out = rendered.emplace_back();
+    out.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out.push_back(render(row[c]));
+      width[c] = std::max(width[c], out.back().size());
+    }
+  }
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << std::setw(static_cast<int>(width[c])) << columns_[c] << (c + 1 < columns_.size() ? "  " : "");
+  }
+  os << '\n';
+  for (const auto& row : rendered) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::setw(static_cast<int>(width[c])) << row[c] << (c + 1 < row.size() ? "  " : "");
+    }
+    os << '\n';
+  }
+}
+
+void Table::print_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << columns_[c] << (c + 1 < columns_.size() ? "," : "");
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << render(row[c]) << (c + 1 < row.size() ? "," : "");
+    }
+    os << '\n';
+  }
+}
+
+void Table::print(std::ostream& os, bool csv) const {
+  if (csv) {
+    print_csv(os);
+  } else {
+    print_aligned(os);
+  }
+}
+
+}  // namespace repcheck::util

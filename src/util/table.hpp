@@ -1,0 +1,51 @@
+// Aligned-column table writer for experiment output.
+//
+// Every bench binary reports its figure's series through this writer so the
+// output is both human-readable (aligned columns) and machine-parsable
+// (`--csv` mode emits plain comma-separated values).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace repcheck::util {
+
+/// A cell is a number (rendered with fixed precision), text, or empty.
+using Cell = std::variant<std::monostate, double, std::int64_t, std::string>;
+
+/// Collects rows, then renders them with aligned columns or as CSV.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns, int precision = 4);
+
+  /// Appends a row; must have exactly one cell per column.
+  void add_row(std::vector<Cell> row);
+
+  /// Convenience: all-numeric row (distinct name — an initializer list of
+  /// doubles would otherwise be ambiguous with the Cell overload).
+  void add_numeric_row(const std::vector<double>& row);
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t num_columns() const { return columns_.size(); }
+  [[nodiscard]] const Cell& at(std::size_t row, std::size_t col) const;
+
+  /// Renders with space-padded aligned columns.
+  void print_aligned(std::ostream& os) const;
+
+  /// Renders as CSV (no padding, comma separators).
+  void print_csv(std::ostream& os) const;
+
+  /// Dispatches on `csv`.
+  void print(std::ostream& os, bool csv) const;
+
+ private:
+  [[nodiscard]] std::string render(const Cell& cell) const;
+
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_;
+};
+
+}  // namespace repcheck::util

@@ -1,0 +1,99 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace repcheck::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping and drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t lanes = workers_.size() + 1;  // workers plus the caller
+  if (lanes == 1 || n == 1) {
+    fn(0, n);
+    return;
+  }
+  const std::size_t chunks = std::min(n, lanes);
+  const std::size_t base = n / chunks;
+  const std::size_t extra = n % chunks;
+
+  std::atomic<std::size_t> remaining{chunks - 1};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::condition_variable done_cv;
+  std::mutex done_mutex;
+
+  auto run_chunk = [&](std::size_t begin, std::size_t end) {
+    try {
+      fn(begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  std::size_t begin = 0;
+  // Enqueue all but the last chunk; run the last on the calling thread.
+  for (std::size_t c = 0; c + 1 < chunks; ++c) {
+    const std::size_t len = base + (c < extra ? 1 : 0);
+    const std::size_t end = begin + len;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      tasks_.emplace([&, begin, end] {
+        run_chunk(begin, end);
+        if (remaining.fetch_sub(1) == 1) {
+          std::lock_guard<std::mutex> done_lock(done_mutex);
+          done_cv.notify_one();
+        }
+      });
+    }
+    cv_.notify_one();
+    begin = end;
+  }
+  run_chunk(begin, n);
+
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool([] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 1 ? static_cast<std::size_t>(hw - 1) : std::size_t{0};
+  }());
+  return pool;
+}
+
+}  // namespace repcheck::util

@@ -1,0 +1,48 @@
+// Fixed-size thread pool with a blocking parallel_for.
+//
+// Monte-Carlo replicates are embarrassingly parallel: parallel_for splits the
+// index range into contiguous chunks so each worker touches its own RNG
+// stream and accumulator, and the caller merges afterwards.  On a single-core
+// host the pool degrades gracefully to serial execution (zero worker case).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace repcheck::util {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` means run everything inline on the calling thread.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Runs fn(begin, end) over chunked subranges of [0, n) across the pool and
+  /// the calling thread; returns when all chunks are done.  Exceptions from
+  /// chunks are captured and the first one is rethrown on the caller.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// A process-wide pool sized to the hardware (creatable lazily).
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace repcheck::util

@@ -1,0 +1,24 @@
+// Wall-clock scoped timer for experiment progress reporting.
+#pragma once
+
+#include <chrono>
+
+namespace repcheck::util {
+
+/// Measures elapsed wall time since construction (or the last reset).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace repcheck::util

@@ -1,0 +1,38 @@
+// Test helper: a FailureSource replaying a scripted failure list, then
+// emitting failures far beyond any horizon the test simulates.  Lets engine
+// tests pin down exact rollback/checkpoint arithmetic deterministically.
+#pragma once
+
+#include <vector>
+
+#include "failures/source.hpp"
+
+namespace repcheck::testing {
+
+class ScriptedSource final : public failures::FailureSource {
+ public:
+  ScriptedSource(std::vector<failures::Failure> script, std::uint64_t n_procs)
+      : script_(std::move(script)), n_procs_(n_procs) {}
+
+  failures::Failure next() override {
+    if (index_ < script_.size()) return script_[index_++];
+    // Quiet tail: failures spaced far apart, long after the script.
+    tail_time_ += 1e15;
+    return {tail_time_, 0};
+  }
+
+  void reset(std::uint64_t) override {
+    index_ = 0;
+    tail_time_ = 1e18;
+  }
+
+  [[nodiscard]] std::uint64_t n_procs() const override { return n_procs_; }
+
+ private:
+  std::vector<failures::Failure> script_;
+  std::uint64_t n_procs_;
+  std::size_t index_ = 0;
+  double tail_time_ = 1e18;
+};
+
+}  // namespace repcheck::testing

@@ -1,0 +1,89 @@
+#include "core/advisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "model/units.hpp"
+
+namespace {
+
+using namespace repcheck;
+using namespace repcheck::sim;
+
+model::PlatformSpec platform_spec(double mtbf_years, double c, std::uint64_t n = 20000) {
+  model::PlatformSpec spec;
+  spec.n_procs = n;
+  spec.mtbf_proc = model::years(mtbf_years);
+  spec.checkpoint_cost = c;
+  spec.restart_checkpoint_cost = c;
+  spec.recovery_cost = c;
+  spec.downtime = 0.0;
+  return spec;
+}
+
+TEST(Advisor, RecommendMatchesModelDecide) {
+  const auto spec = platform_spec(5.0, 600.0, 200000);
+  const model::AmdahlApp app{1e-5, 0.2};
+  const auto a = Advisor::recommend(spec, app, 1e9);
+  const auto b = model::decide(spec, app, 1e9);
+  EXPECT_EQ(a.plan, b.plan);
+  EXPECT_DOUBLE_EQ(a.period, b.period);
+  EXPECT_DOUBLE_EQ(a.tts_replicated_restart, b.tts_replicated_restart);
+}
+
+TEST(Advisor, ValidatedSimulationsAgreeWithAnalyticOnReliablePlatform) {
+  // Long MTBF: both analysis and simulation must prefer no replication.
+  const auto spec = platform_spec(200.0, 60.0, 2000);
+  const model::AmdahlApp app{1e-5, 0.2};
+  // Work sized so the job lasts ~a week on the platform.
+  const double w_seq = model::kSecondsPerWeek * 2000.0;
+  const auto validated = Advisor::recommend_validated(spec, app, w_seq, 10, 3);
+  EXPECT_EQ(validated.analytic.plan, model::Plan::kNoReplication);
+  EXPECT_EQ(validated.simulated_winner, model::Plan::kNoReplication);
+  EXPECT_GT(validated.simulated_tts_noreplication, 0.0);
+  EXPECT_GT(validated.simulated_tts_restart, 0.0);
+}
+
+TEST(Advisor, ValidatedSimulationsPreferReplicationOnHostilePlatform) {
+  // Short MTBF + expensive checkpoints: replication wins (Fig. 9 regime).
+  const auto spec = platform_spec(0.01, 600.0, 2000);
+  const model::AmdahlApp app{1e-5, 0.2};
+  const double w_seq = model::kSecondsPerWeek * 1000.0;
+  const auto validated = Advisor::recommend_validated(spec, app, w_seq, 4, 5);
+  EXPECT_EQ(validated.analytic.plan, model::Plan::kReplicatedRestart);
+  EXPECT_EQ(validated.simulated_winner, model::Plan::kReplicatedRestart);
+}
+
+TEST(Advisor, SimulatedRestartBeatsSimulatedNoRestart) {
+  // Whatever wins overall, restart must beat prior art's no-restart in the
+  // simulations too.
+  const auto spec = platform_spec(1.0, 600.0, 2000);
+  const model::AmdahlApp app{1e-5, 0.2};
+  const double w_seq = model::kSecondsPerWeek * 1000.0;
+  const auto validated = Advisor::recommend_validated(spec, app, w_seq, 16, 7);
+  ASSERT_GT(validated.simulated_tts_restart, 0.0);
+  ASSERT_GT(validated.simulated_tts_norestart, 0.0);
+  EXPECT_LT(validated.simulated_tts_restart, validated.simulated_tts_norestart);
+}
+
+TEST(Advisor, AnalyticPredictionTracksSimulation) {
+  // The predicted restart time-to-solution should be within ~10% of the
+  // simulated one (first-order model accuracy).
+  const auto spec = platform_spec(1.0, 60.0, 2000);
+  const model::AmdahlApp app{1e-5, 0.2};
+  const double w_seq = model::kSecondsPerWeek * 1000.0;
+  const auto validated = Advisor::recommend_validated(spec, app, w_seq, 10, 9);
+  ASSERT_GT(validated.simulated_tts_restart, 0.0);
+  EXPECT_NEAR(validated.analytic.tts_replicated_restart / validated.simulated_tts_restart, 1.0,
+              0.1);
+}
+
+TEST(Advisor, RejectsZeroRuns) {
+  const auto spec = platform_spec(5.0, 60.0);
+  EXPECT_THROW(
+      (void)Advisor::recommend_validated(spec, model::AmdahlApp{}, 1e9, 0, 1),
+      std::invalid_argument);
+}
+
+}  // namespace

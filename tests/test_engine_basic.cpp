@@ -1,0 +1,249 @@
+#include "core/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "failures/exponential_source.hpp"
+#include "scripted_source.hpp"
+
+namespace {
+
+using namespace repcheck;
+using namespace repcheck::sim;
+using repcheck::testing::ScriptedSource;
+
+platform::CostModel costs(double c, double cr_ratio = 1.0, double downtime = 0.0) {
+  return platform::CostModel::uniform(c, cr_ratio, downtime);
+}
+
+RunSpec periods_spec(std::uint64_t n) {
+  RunSpec spec;
+  spec.mode = RunSpec::Mode::kFixedPeriods;
+  spec.n_periods = n;
+  return spec;
+}
+
+// ------------------------------------------------- failure-free arithmetic
+
+TEST(EngineBasic, FailureFreeRunIsExact) {
+  // 10 periods of T = 1000 with C = 60 and no failures: makespan = 10·1060.
+  const PeriodicEngine engine(platform::Platform::fully_replicated(4), costs(60.0),
+                              StrategySpec::restart(1000.0));
+  ScriptedSource source({}, 4);
+  const auto result = engine.run(source, periods_spec(10), 1);
+  EXPECT_DOUBLE_EQ(result.makespan, 10.0 * 1060.0);
+  EXPECT_DOUBLE_EQ(result.useful_time, 10000.0);
+  EXPECT_EQ(result.completed_periods, 10u);
+  EXPECT_EQ(result.n_checkpoints, 10u);
+  EXPECT_EQ(result.n_fatal, 0u);
+  EXPECT_EQ(result.n_restart_checkpoints, 0u);
+  EXPECT_NEAR(result.overhead(), 60.0 / 1000.0, 1e-12);
+}
+
+TEST(EngineBasic, TimeBreakdownSumsToMakespan) {
+  const PeriodicEngine engine(platform::Platform::fully_replicated(200), costs(60.0, 2.0, 30.0),
+                              StrategySpec::restart(5000.0));
+  failures::ExponentialFailureSource source(200, 2e5, 0);
+  const auto result = engine.run(source, periods_spec(200), 7);
+  EXPECT_NEAR(result.time_working + result.time_checkpointing + result.time_recovering +
+                  result.time_down,
+              result.makespan, 1e-6 * result.makespan);
+  EXPECT_GE(result.time_working, result.useful_time);
+}
+
+TEST(EngineBasic, DeterministicForFixedSeed) {
+  const PeriodicEngine engine(platform::Platform::fully_replicated(100), costs(60.0),
+                              StrategySpec::restart(2000.0));
+  failures::ExponentialFailureSource source(100, 1e5, 0);
+  const auto a = engine.run(source, periods_spec(50), 99);
+  const auto b = engine.run(source, periods_spec(50), 99);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.n_failures, b.n_failures);
+  EXPECT_EQ(a.n_fatal, b.n_fatal);
+}
+
+TEST(EngineBasic, DifferentSeedsDiffer) {
+  const PeriodicEngine engine(platform::Platform::fully_replicated(100), costs(60.0),
+                              StrategySpec::restart(2000.0));
+  failures::ExponentialFailureSource source(100, 1e5, 0);
+  const auto a = engine.run(source, periods_spec(50), 1);
+  const auto b = engine.run(source, periods_spec(50), 2);
+  EXPECT_NE(a.makespan, b.makespan);
+}
+
+// --------------------------------------------------- scripted fatal events
+
+TEST(EngineBasic, SingleFatalFailureArithmetic) {
+  // One pair; T = 1000, C = R = 60, D = 0.  Both processors die at t = 300
+  // and t = 400 => rollback at 400, recovery till 460, then a clean period:
+  // makespan = 460 + 1060 = 1520 for one completed period.
+  const PeriodicEngine engine(platform::Platform::fully_replicated(2), costs(60.0),
+                              StrategySpec::restart(1000.0));
+  ScriptedSource source({{300.0, 0}, {400.0, 1}}, 2);
+  const auto result = engine.run(source, periods_spec(1), 1);
+  EXPECT_EQ(result.n_fatal, 1u);
+  EXPECT_DOUBLE_EQ(result.makespan, 400.0 + 60.0 + 1060.0);
+  EXPECT_DOUBLE_EQ(result.useful_time, 1000.0);
+  EXPECT_DOUBLE_EQ(result.time_working, 400.0 + 1000.0);
+  EXPECT_DOUBLE_EQ(result.time_recovering, 60.0);
+}
+
+TEST(EngineBasic, DowntimeIsCharged) {
+  const PeriodicEngine engine(platform::Platform::fully_replicated(2), costs(60.0, 1.0, 25.0),
+                              StrategySpec::restart(1000.0));
+  ScriptedSource source({{300.0, 0}, {400.0, 1}}, 2);
+  const auto result = engine.run(source, periods_spec(1), 1);
+  EXPECT_DOUBLE_EQ(result.time_down, 25.0);
+  EXPECT_DOUBLE_EQ(result.makespan, 400.0 + 25.0 + 60.0 + 1060.0);
+}
+
+TEST(EngineBasic, NonFatalFailureTriggersRestartCheckpoint) {
+  // One processor dies mid-period; the restart strategy pays C^R = 2C at the
+  // checkpoint and revives it.
+  const PeriodicEngine engine(platform::Platform::fully_replicated(2), costs(60.0, 2.0),
+                              StrategySpec::restart(1000.0));
+  ScriptedSource source({{500.0, 0}}, 2);
+  const auto result = engine.run(source, periods_spec(1), 1);
+  EXPECT_EQ(result.n_fatal, 0u);
+  EXPECT_EQ(result.n_restart_checkpoints, 1u);
+  EXPECT_EQ(result.n_procs_restarted, 1u);
+  EXPECT_DOUBLE_EQ(result.makespan, 1000.0 + 120.0);
+}
+
+TEST(EngineBasic, FatalDuringCheckpointReexecutesPeriod) {
+  // Pair dies during the checkpoint window: the period re-executes.
+  // Failures at 500 (degrade) and 1030 (during ckpt [1000, 1060), fatal).
+  const PeriodicEngine engine(platform::Platform::fully_replicated(2), costs(60.0),
+                              StrategySpec::no_restart(1000.0));
+  ScriptedSource source({{500.0, 0}, {1030.0, 1}}, 2);
+  const auto result = engine.run(source, periods_spec(1), 1);
+  EXPECT_EQ(result.n_fatal, 1u);
+  // Rollback at 1030 + R 60 = 1090; clean period ends 1090 + 1060 = 2150.
+  EXPECT_DOUBLE_EQ(result.makespan, 2150.0);
+  EXPECT_DOUBLE_EQ(result.time_working, 1000.0 + 1000.0);
+  EXPECT_DOUBLE_EQ(result.time_checkpointing, 30.0 + 60.0);
+}
+
+TEST(EngineBasic, WastedHitsOnDeadProcessorDoNotKill) {
+  // Two hits on the same processor then none on its partner: no crash.
+  const PeriodicEngine engine(platform::Platform::fully_replicated(2), costs(60.0),
+                              StrategySpec::restart(1000.0));
+  ScriptedSource source({{100.0, 0}, {200.0, 0}, {300.0, 0}}, 2);
+  const auto result = engine.run(source, periods_spec(1), 1);
+  EXPECT_EQ(result.n_fatal, 0u);
+  EXPECT_EQ(result.n_failures, 3u);
+}
+
+TEST(EngineBasic, ChargeRestartAlwaysFlag) {
+  // With the Eq. (13) accounting, even a failure-free checkpoint costs C^R.
+  const PeriodicEngine engine(platform::Platform::fully_replicated(2), costs(60.0, 2.0),
+                              StrategySpec::restart(1000.0));
+  ScriptedSource source({}, 2);
+  auto spec = periods_spec(5);
+  spec.charge_restart_cost_always = true;
+  const auto result = engine.run(source, spec, 1);
+  EXPECT_DOUBLE_EQ(result.makespan, 5.0 * (1000.0 + 120.0));
+  EXPECT_EQ(result.n_restart_checkpoints, 0u);  // nothing was actually restarted
+}
+
+TEST(EngineBasic, DeadAtCheckpointStatistic) {
+  // Two failures before checkpoint 1, none later: mean dead at checkpoint
+  // over 2 periods is (2 + 0)/2 = 1 under no-restart, (2 + 0)/2 = 1 under
+  // restart too (the count is taken before revival).
+  for (const auto& strategy :
+       {StrategySpec::no_restart(1000.0), StrategySpec::restart(1000.0)}) {
+    const PeriodicEngine engine(platform::Platform::fully_replicated(8), costs(60.0), strategy);
+    ScriptedSource source({{100.0, 0}, {200.0, 2}}, 8);
+    const auto result = engine.run(source, periods_spec(2), 1);
+    EXPECT_EQ(result.sum_dead_at_checkpoint, strategy.kind == StrategySpec::Kind::kRestart
+                                                 ? 2u
+                                                 : 4u)  // no-restart: still dead in period 2
+        << strategy.name();
+    EXPECT_DOUBLE_EQ(result.mean_dead_at_checkpoint(),
+                     strategy.kind == StrategySpec::Kind::kRestart ? 1.0 : 2.0);
+  }
+}
+
+TEST(EngineBasic, DeadAtCheckpointMatchesFailureRate) {
+  // Paper Section 7.7 reasons about how many processors die per period:
+  // for the restart strategy it is ~ (T + C) x platform rate.
+  const std::uint64_t n = 20000;
+  const double mu = 2e8;
+  const double t = 10000.0;
+  const PeriodicEngine engine(platform::Platform::fully_replicated(n),
+                              costs(60.0), StrategySpec::restart(t));
+  failures::ExponentialFailureSource source(n, mu);
+  RunSpec spec;
+  spec.n_periods = 500;
+  const auto result = engine.run(source, spec, 3);
+  const double expected = (t + 60.0) * static_cast<double>(n) / mu;
+  EXPECT_NEAR(result.mean_dead_at_checkpoint() / expected, 1.0, 0.15);
+}
+
+// ----------------------------------------------------------- fixed work
+
+TEST(EngineBasic, FixedWorkTruncatesFinalPeriod) {
+  // 2500 s of work with T = 1000: periods 1000, 1000, 500 + 3 checkpoints.
+  const PeriodicEngine engine(platform::Platform::fully_replicated(2), costs(60.0),
+                              StrategySpec::restart(1000.0));
+  ScriptedSource source({}, 2);
+  RunSpec spec;
+  spec.mode = RunSpec::Mode::kFixedWork;
+  spec.total_work_time = 2500.0;
+  const auto result = engine.run(source, spec, 1);
+  EXPECT_DOUBLE_EQ(result.useful_time, 2500.0);
+  EXPECT_EQ(result.completed_periods, 3u);
+  EXPECT_DOUBLE_EQ(result.makespan, 2500.0 + 3.0 * 60.0);
+}
+
+// -------------------------------------------------------------- guards
+
+TEST(EngineBasic, StallGuardTripsWhenNoProgressIsPossible) {
+  // Period + checkpoint both longer than the platform MTBF: every attempt
+  // dies.  The guard must trip rather than loop forever.
+  const PeriodicEngine engine(platform::Platform::not_replicated(1000), costs(600.0),
+                              StrategySpec::no_replication(10000.0));
+  failures::ExponentialFailureSource source(1000, 200000.0, 0);  // platform MTBF 200 s
+  auto spec = periods_spec(10);
+  spec.max_attempts_per_period = 500;
+  const auto result = engine.run(source, spec, 1);
+  EXPECT_TRUE(result.progress_stalled);
+  EXPECT_EQ(result.completed_periods, 0u);
+}
+
+// ----------------------------------------------------------- validation
+
+TEST(EngineBasic, RejectsMismatchedSource) {
+  const PeriodicEngine engine(platform::Platform::fully_replicated(4), costs(60.0),
+                              StrategySpec::restart(1000.0));
+  ScriptedSource source({}, 8);
+  EXPECT_THROW((void)engine.run(source, periods_spec(1), 1), std::invalid_argument);
+}
+
+TEST(EngineBasic, RejectsBadSpecs) {
+  const PeriodicEngine engine(platform::Platform::fully_replicated(4), costs(60.0),
+                              StrategySpec::restart(1000.0));
+  ScriptedSource source({}, 4);
+  RunSpec bad_work;
+  bad_work.mode = RunSpec::Mode::kFixedWork;
+  bad_work.total_work_time = 0.0;
+  EXPECT_THROW((void)engine.run(source, bad_work, 1), std::invalid_argument);
+  RunSpec bad_periods;
+  bad_periods.n_periods = 0;
+  EXPECT_THROW((void)engine.run(source, bad_periods, 1), std::invalid_argument);
+}
+
+TEST(EngineBasic, RejectsRestartOnFailureStrategy) {
+  EXPECT_THROW(PeriodicEngine(platform::Platform::fully_replicated(4), costs(60.0),
+                              StrategySpec::restart_on_failure()),
+               std::invalid_argument);
+}
+
+TEST(EngineBasic, RejectsNoReplicationOnPairedPlatform) {
+  EXPECT_THROW(PeriodicEngine(platform::Platform::fully_replicated(4), costs(60.0),
+                              StrategySpec::no_replication(1000.0)),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+// Cross-strategy property tests: invariants every periodic strategy must
+// satisfy, checked over the full strategy catalogue via TEST_P.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/engine.hpp"
+#include "failures/exponential_source.hpp"
+#include "model/periods.hpp"
+#include "model/units.hpp"
+
+namespace {
+
+using namespace repcheck;
+using namespace repcheck::sim;
+
+constexpr std::uint64_t kProcs = 400;
+constexpr double kMtbf = 2e7;
+constexpr double kC = 60.0;
+
+struct Case {
+  std::string label;
+  StrategySpec spec;
+  bool replicated;
+};
+
+std::vector<Case> strategy_catalogue() {
+  const double t = 4000.0;
+  return {
+      {"no_replication", StrategySpec::no_replication(t), false},
+      {"no_restart", StrategySpec::no_restart(t), true},
+      {"restart", StrategySpec::restart(t), true},
+      {"threshold_4", StrategySpec::restart_threshold(t, 4), true},
+      {"non_periodic", StrategySpec::non_periodic(t, t / 2.0), true},
+      {"interval_2T", StrategySpec::restart_interval(t, 2.0 * t), true},
+      {"adaptive", StrategySpec::adaptive_no_restart(kC, kMtbf), true},
+  };
+}
+
+class EngineInvariants : public ::testing::TestWithParam<Case> {
+ protected:
+  [[nodiscard]] platform::Platform make_platform() const {
+    return GetParam().replicated ? platform::Platform::fully_replicated(kProcs)
+                                 : platform::Platform::not_replicated(kProcs);
+  }
+
+  [[nodiscard]] RunResult run(const RunSpec& spec, std::uint64_t seed) const {
+    const PeriodicEngine engine(make_platform(), platform::CostModel::uniform(kC),
+                                GetParam().spec);
+    failures::ExponentialFailureSource source(kProcs, kMtbf);
+    return engine.run(source, spec, seed);
+  }
+};
+
+TEST_P(EngineInvariants, MakespanDecomposesExactly) {
+  RunSpec spec;
+  spec.n_periods = 150;
+  const auto r = run(spec, 1);
+  ASSERT_FALSE(r.progress_stalled);
+  EXPECT_NEAR(r.time_working + r.time_checkpointing + r.time_recovering + r.time_down,
+              r.makespan, 1e-6 * r.makespan);
+}
+
+TEST_P(EngineInvariants, UsefulNeverExceedsWorking) {
+  RunSpec spec;
+  spec.n_periods = 150;
+  const auto r = run(spec, 2);
+  EXPECT_LE(r.useful_time, r.time_working + 1e-9);
+  EXPECT_GE(r.overhead(), 0.0);
+}
+
+TEST_P(EngineInvariants, FixedPeriodCountIsHonored) {
+  RunSpec spec;
+  spec.n_periods = 73;
+  const auto r = run(spec, 3);
+  EXPECT_EQ(r.completed_periods, 73u);
+  EXPECT_EQ(r.n_checkpoints, 73u);
+}
+
+TEST_P(EngineInvariants, FixedWorkTargetIsHitExactly) {
+  RunSpec spec;
+  spec.mode = RunSpec::Mode::kFixedWork;
+  spec.total_work_time = 123456.0;
+  const auto r = run(spec, 4);
+  ASSERT_FALSE(r.progress_stalled);
+  EXPECT_DOUBLE_EQ(r.useful_time, 123456.0);
+}
+
+TEST_P(EngineInvariants, BitReproducibleAcrossCalls) {
+  RunSpec spec;
+  spec.n_periods = 80;
+  const auto a = run(spec, 5);
+  const auto b = run(spec, 5);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.n_failures, b.n_failures);
+  EXPECT_EQ(a.n_fatal, b.n_fatal);
+  EXPECT_EQ(a.n_procs_restarted, b.n_procs_restarted);
+}
+
+TEST_P(EngineInvariants, CrashCountsMatchRecoveryTime) {
+  RunSpec spec;
+  spec.n_periods = 150;
+  const auto r = run(spec, 6);
+  EXPECT_NEAR(r.time_recovering, static_cast<double>(r.n_fatal) * kC, 1e-9);
+}
+
+TEST_P(EngineInvariants, RestartAccountingIsConsistent) {
+  RunSpec spec;
+  spec.n_periods = 150;
+  const auto r = run(spec, 7);
+  if (r.n_restart_checkpoints == 0) {
+    EXPECT_EQ(r.n_procs_restarted, 0u);
+  } else {
+    EXPECT_GE(r.n_procs_restarted, r.n_restart_checkpoints);
+  }
+  EXPECT_LE(r.n_restart_checkpoints, r.n_checkpoints);
+}
+
+TEST_P(EngineInvariants, StrategyNameIsDescriptive) {
+  EXPECT_FALSE(GetParam().spec.name().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, EngineInvariants,
+                         ::testing::ValuesIn(strategy_catalogue()),
+                         [](const ::testing::TestParamInfo<Case>& info) {
+                           return info.param.label;
+                         });
+
+}  // namespace

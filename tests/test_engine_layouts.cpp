@@ -1,0 +1,116 @@
+// Engine invariants across platform layouts: full pairs, triplets, partial
+// replication, and no replication, each under the strategies that support
+// them.  Complements test_engine_invariants.cpp (which fixes the layout and
+// sweeps strategies).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/engine.hpp"
+#include "core/montecarlo.hpp"
+#include "failures/exponential_source.hpp"
+#include "model/units.hpp"
+
+namespace {
+
+using namespace repcheck;
+using namespace repcheck::sim;
+
+struct LayoutCase {
+  std::string label;
+  platform::Platform platform;
+  StrategySpec strategy;
+  double mtbf;
+};
+
+std::vector<LayoutCase> layout_catalogue() {
+  const double t = 4000.0;
+  return {
+      {"pairs_restart", platform::Platform::fully_replicated(600), StrategySpec::restart(t),
+       2e7},
+      {"pairs_norestart", platform::Platform::fully_replicated(600),
+       StrategySpec::no_restart(t), 2e7},
+      {"triplets_restart", platform::Platform::replicated_degree(600, 3),
+       StrategySpec::restart(t), 2e6},
+      {"triplets_threshold", platform::Platform::replicated_degree(600, 3),
+       StrategySpec::restart_threshold(t, 3), 2e6},
+      {"quads_restart", platform::Platform::replicated_degree(600, 4),
+       StrategySpec::restart(t), 5e5},
+      {"partial_restart", platform::Platform::partially_replicated(600, 0.5),
+       StrategySpec::restart(t), 2e7},
+      {"partial_norestart", platform::Platform::partially_replicated(600, 0.9),
+       StrategySpec::no_restart(t), 2e7},
+      {"standalone", platform::Platform::not_replicated(600),
+       StrategySpec::no_replication(t), 2e7},
+  };
+}
+
+class EngineLayouts : public ::testing::TestWithParam<LayoutCase> {
+ protected:
+  [[nodiscard]] RunResult run(std::uint64_t seed, std::uint64_t periods = 120) const {
+    const auto& param = GetParam();
+    const PeriodicEngine engine(param.platform, platform::CostModel::uniform(60.0),
+                                param.strategy);
+    failures::ExponentialFailureSource source(600, param.mtbf);
+    RunSpec spec;
+    spec.n_periods = periods;
+    return engine.run(source, spec, seed);
+  }
+};
+
+TEST_P(EngineLayouts, CompletesAndDecomposes) {
+  const auto r = run(1);
+  ASSERT_FALSE(r.progress_stalled);
+  EXPECT_EQ(r.completed_periods, 120u);
+  EXPECT_NEAR(r.time_working + r.time_checkpointing + r.time_recovering + r.time_down,
+              r.makespan, 1e-6 * r.makespan);
+  EXPECT_GE(r.overhead(), 0.0);
+}
+
+TEST_P(EngineLayouts, Reproducible) {
+  const auto a = run(2);
+  const auto b = run(2);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.n_failures, b.n_failures);
+}
+
+TEST_P(EngineLayouts, FailuresWereActuallyExercised) {
+  // Every layout in the catalogue is tuned so failures occur: a run with no
+  // failures would make the invariants above vacuous.
+  const auto r = run(3);
+  EXPECT_GT(r.n_failures, 10u);
+}
+
+TEST_P(EngineLayouts, WorksUnderMonteCarloDriver) {
+  const auto& param = GetParam();
+  SimConfig config;
+  config.platform = param.platform;
+  config.cost = platform::CostModel::uniform(60.0);
+  config.strategy = param.strategy;
+  config.spec.n_periods = 40;
+  const double mtbf = param.mtbf;
+  const auto summary = run_monte_carlo(
+      config, [mtbf] { return std::make_unique<failures::ExponentialFailureSource>(600, mtbf); },
+      10, 5);
+  EXPECT_EQ(summary.runs, 10u);
+  EXPECT_EQ(summary.stalled_runs, 0u);
+  EXPECT_GE(summary.overhead.mean(), 0.0);
+}
+
+TEST_P(EngineLayouts, RestartingLayoutsReviveEveryoneTheyReport) {
+  const auto r = run(7);
+  if (GetParam().strategy.kind == StrategySpec::Kind::kRestart) {
+    // Under plain restart every dead-at-checkpoint processor is revived.
+    EXPECT_EQ(r.n_procs_restarted, r.sum_dead_at_checkpoint);
+  } else if (GetParam().strategy.kind == StrategySpec::Kind::kNoRestart) {
+    EXPECT_EQ(r.n_procs_restarted, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Layouts, EngineLayouts, ::testing::ValuesIn(layout_catalogue()),
+                         [](const ::testing::TestParamInfo<LayoutCase>& info) {
+                           return info.param.label;
+                         });
+
+}  // namespace

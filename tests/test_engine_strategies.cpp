@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "core/montecarlo.hpp"
+#include "failures/exponential_source.hpp"
+#include "model/units.hpp"
+#include "scripted_source.hpp"
+
+namespace {
+
+using namespace repcheck;
+using namespace repcheck::sim;
+using repcheck::testing::ScriptedSource;
+
+platform::CostModel costs(double c, double cr_ratio = 1.0) {
+  return platform::CostModel::uniform(c, cr_ratio);
+}
+
+RunSpec periods_spec(std::uint64_t n) {
+  RunSpec spec;
+  spec.mode = RunSpec::Mode::kFixedPeriods;
+  spec.n_periods = n;
+  return spec;
+}
+
+// ----------------------------------------------------------------- restart
+
+TEST(RestartStrategy, RevivesAtEveryCheckpoint) {
+  // One failure per period on alternating processors of different pairs;
+  // with restart nothing ever accumulates, so no crash can occur.
+  const PeriodicEngine engine(platform::Platform::fully_replicated(4), costs(60.0),
+                              StrategySpec::restart(1000.0));
+  ScriptedSource source({{100.0, 0}, {1200.0, 1}, {2300.0, 0}, {3400.0, 1}}, 4);
+  const auto result = engine.run(source, periods_spec(4), 1);
+  EXPECT_EQ(result.n_fatal, 0u);
+  EXPECT_EQ(result.n_restart_checkpoints, 4u);
+  EXPECT_EQ(result.n_procs_restarted, 4u);
+}
+
+// -------------------------------------------------------------- no-restart
+
+TEST(NoRestartStrategy, DeadProcessorsPersistAcrossPeriods) {
+  // Processor 0 dies in period 1; its partner dies in period 3: the pair
+  // crash happens even though the failures are periods apart.
+  const PeriodicEngine engine(platform::Platform::fully_replicated(4), costs(60.0),
+                              StrategySpec::no_restart(1000.0));
+  ScriptedSource source({{100.0, 0}, {2500.0, 1}}, 4);
+  const auto result = engine.run(source, periods_spec(4), 1);
+  EXPECT_EQ(result.n_fatal, 1u);
+  EXPECT_EQ(result.n_restart_checkpoints, 0u);
+  EXPECT_EQ(result.n_procs_restarted, 0u);
+}
+
+TEST(NoRestartStrategy, SameScriptDoesNotKillRestart) {
+  // The exact failure script above is harmless under the restart strategy —
+  // the paper's core mechanism in two lines.
+  const PeriodicEngine engine(platform::Platform::fully_replicated(4), costs(60.0),
+                              StrategySpec::restart(1000.0));
+  ScriptedSource source({{100.0, 0}, {2500.0, 1}}, 4);
+  const auto result = engine.run(source, periods_spec(4), 1);
+  EXPECT_EQ(result.n_fatal, 0u);
+}
+
+TEST(NoRestartStrategy, ApplicationCrashRejuvenatesPlatform) {
+  // After the crash the platform is fresh: a later single failure on the
+  // same pair does not crash again.
+  const PeriodicEngine engine(platform::Platform::fully_replicated(4), costs(60.0),
+                              StrategySpec::no_restart(1000.0));
+  ScriptedSource source({{100.0, 0}, {200.0, 1}, {900.0, 0}}, 4);
+  const auto result = engine.run(source, periods_spec(2), 1);
+  EXPECT_EQ(result.n_fatal, 1u);
+}
+
+// --------------------------------------------------------------- threshold
+
+TEST(ThresholdStrategy, RestartsOnlyOnceBoundReached) {
+  // n_bound = 2: first checkpoint sees 1 dead (no restart), second sees 2
+  // (restart).
+  const PeriodicEngine engine(platform::Platform::fully_replicated(8), costs(60.0),
+                              StrategySpec::restart_threshold(1000.0, 2));
+  ScriptedSource source({{100.0, 0}, {1200.0, 2}}, 8);
+  const auto result = engine.run(source, periods_spec(3), 1);
+  EXPECT_EQ(result.n_restart_checkpoints, 1u);
+  EXPECT_EQ(result.n_procs_restarted, 2u);
+}
+
+TEST(ThresholdStrategy, BoundOneIsPlainRestart) {
+  failures::ExponentialFailureSource source(200, 5e5, 0);
+  const PeriodicEngine restart(platform::Platform::fully_replicated(200), costs(60.0),
+                               StrategySpec::restart(3000.0));
+  const PeriodicEngine threshold(platform::Platform::fully_replicated(200), costs(60.0),
+                                 StrategySpec::restart_threshold(3000.0, 1));
+  const auto a = restart.run(source, periods_spec(100), 3);
+  const auto b = threshold.run(source, periods_spec(100), 3);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.n_fatal, b.n_fatal);
+  EXPECT_EQ(a.n_restart_checkpoints, b.n_restart_checkpoints);
+}
+
+TEST(ThresholdStrategy, HugeBoundIsNoRestart) {
+  failures::ExponentialFailureSource source(200, 5e5, 0);
+  const PeriodicEngine norestart(platform::Platform::fully_replicated(200), costs(60.0),
+                                 StrategySpec::no_restart(3000.0));
+  const PeriodicEngine threshold(platform::Platform::fully_replicated(200), costs(60.0),
+                                 StrategySpec::restart_threshold(3000.0, 1000000));
+  const auto a = norestart.run(source, periods_spec(100), 3);
+  const auto b = threshold.run(source, periods_spec(100), 3);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.n_fatal, b.n_fatal);
+}
+
+// ------------------------------------------------------------ non-periodic
+
+TEST(NonPeriodicStrategy, SwitchesToShortPeriodWhenDegraded) {
+  // T1 = 2000 while healthy; after the failure at t = 500 the next period
+  // uses T2 = 500.  Failure-free tail: periods alternate only on state.
+  const PeriodicEngine engine(platform::Platform::fully_replicated(2), costs(60.0),
+                              StrategySpec::non_periodic(2000.0, 500.0));
+  ScriptedSource source({{500.0, 0}}, 2);
+  const auto result = engine.run(source, periods_spec(3), 1);
+  // Period 1: 2000 + 60 (failure inside, non-fatal, no restart).
+  // Periods 2-3: degraded => 500 + 60 each.
+  EXPECT_DOUBLE_EQ(result.makespan, 2060.0 + 2.0 * 560.0);
+  EXPECT_EQ(result.n_fatal, 0u);
+  EXPECT_EQ(result.n_restart_checkpoints, 0u);
+}
+
+TEST(NonPeriodicStrategy, CrashRestoresLongPeriod) {
+  const PeriodicEngine engine(platform::Platform::fully_replicated(2), costs(60.0),
+                              StrategySpec::non_periodic(2000.0, 500.0));
+  // Crash inside period 1, then failure-free: every subsequent period is T1.
+  ScriptedSource source({{500.0, 0}, {800.0, 1}}, 2);
+  const auto result = engine.run(source, periods_spec(2), 1);
+  EXPECT_EQ(result.n_fatal, 1u);
+  // Rollback at 800 + R 60 = 860; two clean T1 periods: 860 + 2·2060 = 4980.
+  EXPECT_DOUBLE_EQ(result.makespan, 4980.0);
+}
+
+// ---------------------------------------------------------- no-replication
+
+TEST(NoReplication, AnyFailureIsFatal) {
+  const PeriodicEngine engine(platform::Platform::not_replicated(4), costs(60.0),
+                              StrategySpec::no_replication(1000.0));
+  ScriptedSource source({{300.0, 2}}, 4);
+  const auto result = engine.run(source, periods_spec(1), 1);
+  EXPECT_EQ(result.n_fatal, 1u);
+  EXPECT_DOUBLE_EQ(result.makespan, 300.0 + 60.0 + 1060.0);
+}
+
+// ------------------------------------------------------ partial replication
+
+TEST(PartialReplication, StandaloneFailureCrashesPairSurvives) {
+  // 4 procs replicated (2 pairs) + 2 standalone.  A pair hit survives;
+  // a standalone hit crashes.
+  const auto platform = platform::Platform::partially_replicated(6, 2.0 / 3.0);
+  ASSERT_EQ(platform.n_pairs(), 2u);
+  const PeriodicEngine engine(platform, costs(60.0), StrategySpec::no_restart(1000.0));
+  ScriptedSource pair_hit({{300.0, 1}}, 6);
+  EXPECT_EQ(engine.run(pair_hit, periods_spec(1), 1).n_fatal, 0u);
+  ScriptedSource standalone_hit({{300.0, 4}}, 6);
+  EXPECT_EQ(engine.run(standalone_hit, periods_spec(1), 1).n_fatal, 1u);
+}
+
+TEST(PartialReplication, MoreReplicationFewerCrashes) {
+  // Monte-Carlo property: crash counts decrease as the replicated fraction
+  // grows (same failure streams).
+  const std::uint64_t n = 1000;
+  const double mtbf = 2e6;
+  double prev_crashes = 1e18;
+  for (double fraction : {0.0, 0.5, 0.9, 1.0}) {
+    const auto platform = platform::Platform::partially_replicated(n, fraction);
+    const auto strategy = fraction == 0.0 ? StrategySpec::no_replication(2000.0)
+                                          : StrategySpec::no_restart(2000.0);
+    SimConfig config;
+    config.platform = platform;
+    config.cost = costs(60.0);
+    config.strategy = strategy;
+    config.spec = periods_spec(50);
+    const auto summary = run_monte_carlo(
+        config, [=] { return std::make_unique<failures::ExponentialFailureSource>(n, mtbf); },
+        40, 11);
+    const double crashes = summary.fatal_failures.mean();
+    EXPECT_LE(crashes, prev_crashes + 1e-9) << "fraction = " << fraction;
+    prev_crashes = crashes;
+  }
+}
+
+}  // namespace

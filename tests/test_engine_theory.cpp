@@ -1,0 +1,215 @@
+// Integration tests: simulated behaviour vs the paper's analytic results.
+//
+// These are the tests that make the reproduction trustworthy: the simulator
+// and the model are independent implementations of the same process, so a
+// statistical match is strong evidence both are right.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/engine.hpp"
+#include "core/montecarlo.hpp"
+#include "failures/exponential_source.hpp"
+#include "model/mtti.hpp"
+#include "model/overhead.hpp"
+#include "model/periods.hpp"
+#include "model/units.hpp"
+#include "stats/welford.hpp"
+
+namespace {
+
+using namespace repcheck;
+using namespace repcheck::sim;
+
+SimConfig restart_config(std::uint64_t n, double c, double t, std::uint64_t periods) {
+  SimConfig config;
+  config.platform = platform::Platform::fully_replicated(n);
+  config.cost = platform::CostModel::uniform(c);
+  config.strategy = StrategySpec::restart(t);
+  config.spec.mode = RunSpec::Mode::kFixedPeriods;
+  config.spec.n_periods = periods;
+  return config;
+}
+
+SourceFactory exponential_factory(std::uint64_t n, double mtbf) {
+  return [n, mtbf] { return std::make_unique<failures::ExponentialFailureSource>(n, mtbf); };
+}
+
+TEST(EngineTheory, SinglePairTimeToCrashIsMtti) {
+  // Feed the failure stream into the pair bookkeeping until the pair dies:
+  // the mean death time over many replicates must match MTTI = 3mu/2.
+  const double mu = 1e6;
+  failures::ExponentialFailureSource source(2, mu);
+  stats::RunningStats crash_time;
+  for (std::uint64_t run = 0; run < 5000; ++run) {
+    source.reset(derive_run_seed(23, run));
+    platform::FailureState state(platform::Platform::fully_replicated(2));
+    for (;;) {
+      const auto f = source.next();
+      if (state.record_failure(f.proc) == platform::FailureEffect::kFatal) {
+        crash_time.push(f.time);
+        break;
+      }
+    }
+  }
+  EXPECT_NEAR(crash_time.mean() / model::mtti(1, mu), 1.0, 0.05);
+}
+
+TEST(EngineTheory, ManyPairsTimeToCrashIsMtti) {
+  // Same MTTI check at b = 500 pairs, validating the Theorem 4.1 closed
+  // form against the raw failure process.
+  const std::uint64_t n = 1000;
+  const double mu = 1e8;
+  failures::ExponentialFailureSource source(n, mu);
+  stats::RunningStats crash_time;
+  for (std::uint64_t run = 0; run < 2000; ++run) {
+    source.reset(derive_run_seed(29, run));
+    platform::FailureState state(platform::Platform::fully_replicated(n));
+    for (;;) {
+      const auto f = source.next();
+      if (state.record_failure(f.proc) == platform::FailureEffect::kFatal) {
+        crash_time.push(f.time);
+        break;
+      }
+    }
+  }
+  EXPECT_NEAR(crash_time.mean() / model::mtti(n / 2, mu), 1.0, 0.07);
+}
+
+TEST(EngineTheory, ManyPairsCrashRateMatchesMtti) {
+  // b = 200 pairs under no-restart: mean crashes per run ≈ horizon / MTTI.
+  const std::uint64_t n = 400;
+  const double mu = 2e7;
+  const double t = model::t_mtti_no(60.0, n / 2, mu);
+  SimConfig config;
+  config.platform = platform::Platform::fully_replicated(n);
+  config.cost = platform::CostModel::uniform(60.0);
+  config.strategy = StrategySpec::no_restart(t);
+  config.spec.n_periods = 400;
+  const auto summary = run_monte_carlo(config, exponential_factory(n, mu), 60, 31);
+  const double horizon = summary.makespan.mean();
+  const double expected_crashes = horizon / model::mtti(n / 2, mu);
+  EXPECT_NEAR(summary.fatal_failures.mean() / expected_crashes, 1.0, 0.25);
+}
+
+TEST(EngineTheory, RestartOverheadMatchesEqNineteenMidScale) {
+  // b = 1000 pairs: simulated overhead at T_opt^rs vs H^rs(T_opt^rs).
+  const std::uint64_t n = 2000;
+  const double mu = 1e8;
+  const double c = 100.0;
+  const double t = model::t_opt_rs(c, n / 2, mu);
+  auto config = restart_config(n, c, t, 100);
+  const auto summary = run_monte_carlo(config, exponential_factory(n, mu), 400, 41);
+  const double predicted = model::overhead_restart(c, t, n / 2, mu);
+  EXPECT_NEAR(summary.overhead.mean() / predicted, 1.0, 0.15);
+}
+
+TEST(EngineTheory, RestartOverheadMatchesEqNineteenPaperScale) {
+  // The paper's setup: b = 1e5 pairs, mu = 5 years, C = 60 s.  Figure 3's
+  // "simulation matches theory" claim at the optimal period.
+  const std::uint64_t n = 200000;
+  const double mu = model::years(5.0);
+  const double c = 60.0;
+  const double t = model::t_opt_rs(c, n / 2, mu);
+  auto config = restart_config(n, c, t, 100);
+  const auto summary = run_monte_carlo(config, exponential_factory(n, mu), 150, 43);
+  const double predicted = model::overhead_restart(c, t, n / 2, mu);
+  EXPECT_NEAR(summary.overhead.mean() / predicted, 1.0, 0.15);
+  // Fig. 5: the optimum overhead is ~0.39% for these parameters.
+  EXPECT_NEAR(summary.overhead.mean(), 0.0039, 0.001);
+}
+
+TEST(EngineTheory, ZeroFailureOverheadIsExactlyCkptShare) {
+  const std::uint64_t n = 2000;
+  const double t = 20000.0;
+  auto config = restart_config(n, 60.0, t, 50);
+  // MTBF so long that failures never strike within the simulated horizon.
+  const auto summary = run_monte_carlo(config, exponential_factory(n, 1e18), 5, 47);
+  EXPECT_NEAR(summary.overhead.mean(), 60.0 / t, 1e-9);
+}
+
+TEST(EngineTheory, OverheadCurveHasMinimumNearTOptRs) {
+  // Scan T around T_opt^rs: simulated overhead at the claimed optimum must
+  // not exceed the overhead at 2x / 0.5x (the Fig. 5 plateau shape).
+  const std::uint64_t n = 20000;
+  const double mu = 3e8;
+  const double c = 300.0;
+  const double t_star = model::t_opt_rs(c, n / 2, mu);
+  double h_at[3];
+  int i = 0;
+  for (double factor : {0.35, 1.0, 3.0}) {
+    auto config = restart_config(n, c, factor * t_star, 100);
+    h_at[i++] =
+        run_monte_carlo(config, exponential_factory(n, mu), 120, 53).overhead.mean();
+  }
+  EXPECT_LT(h_at[1], h_at[0]);
+  EXPECT_LT(h_at[1], h_at[2]);
+}
+
+TEST(EngineTheory, RestartBeatsNoRestartAtPaperScale) {
+  // The headline comparison: H(Restart(T_opt^rs)) < H(NoRestart(T_MTTI^no)),
+  // b = 1e5, mu = 5 y, C = 60 s.
+  const std::uint64_t n = 200000;
+  const double mu = model::years(5.0);
+  const double c = 60.0;
+
+  auto restart = restart_config(n, c, model::t_opt_rs(c, n / 2, mu), 100);
+  const auto h_rs = run_monte_carlo(restart, exponential_factory(n, mu), 100, 59);
+
+  SimConfig norestart = restart;
+  norestart.strategy = StrategySpec::no_restart(model::t_mtti_no(c, n / 2, mu));
+  const auto h_no = run_monte_carlo(norestart, exponential_factory(n, mu), 100, 59);
+
+  EXPECT_LT(h_rs.overhead.mean(), h_no.overhead.mean());
+}
+
+TEST(EngineTheory, RestartBeatsNoRestartEvenAtTwiceTheCost) {
+  // Fig. 7: even with C^R = 2C the restart strategy outperforms no-restart.
+  const std::uint64_t n = 200000;
+  const double mu = model::years(5.0);
+  const double c = 600.0;
+
+  SimConfig restart;
+  restart.platform = platform::Platform::fully_replicated(n);
+  restart.cost = platform::CostModel::uniform(c, 2.0);
+  restart.strategy = StrategySpec::restart(model::t_opt_rs(2.0 * c, n / 2, mu));
+  restart.spec.n_periods = 100;
+  const auto h_rs = run_monte_carlo(restart, exponential_factory(n, mu), 80, 61);
+
+  SimConfig norestart = restart;
+  norestart.cost = platform::CostModel::uniform(c);
+  norestart.strategy = StrategySpec::no_restart(model::t_mtti_no(c, n / 2, mu));
+  const auto h_no = run_monte_carlo(norestart, exponential_factory(n, mu), 80, 61);
+
+  EXPECT_LT(h_rs.overhead.mean(), h_no.overhead.mean());
+}
+
+TEST(EngineTheory, OverheadDecreasesWithMtbf) {
+  // Fig. 7's x-axis: longer MTBF, smaller overhead (restart strategy).
+  const std::uint64_t n = 20000;
+  const double c = 60.0;
+  double prev = 1e18;
+  for (double mu : {1e7, 1e8, 1e9}) {
+    auto config = restart_config(n, c, model::t_opt_rs(c, n / 2, mu), 60);
+    const double h =
+        run_monte_carlo(config, exponential_factory(n, mu), 60, 67).overhead.mean();
+    ASSERT_LT(h, prev) << "mu = " << mu;
+    prev = h;
+  }
+}
+
+TEST(EngineTheory, OverheadIncreasesWithCheckpointCost) {
+  // Fig. 3's x-axis: larger C, larger overhead at the respective optimum.
+  const std::uint64_t n = 20000;
+  const double mu = 1e8;
+  double prev = 0.0;
+  for (double c : {60.0, 600.0, 3000.0}) {
+    auto config = restart_config(n, c, model::t_opt_rs(c, n / 2, mu), 60);
+    const double h =
+        run_monte_carlo(config, exponential_factory(n, mu), 60, 71).overhead.mean();
+    ASSERT_GT(h, prev) << "C = " << c;
+    prev = h;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "failures/exponential_source.hpp"
+#include "failures/renewal_source.hpp"
+#include "failures/trace_source.hpp"
+#include "prng/distributions.hpp"
+#include "stats/ecdf.hpp"
+#include "stats/welford.hpp"
+#include "traces/synthetic.hpp"
+
+namespace {
+
+using namespace repcheck::failures;
+using repcheck::stats::EmpiricalCdf;
+using repcheck::stats::RunningStats;
+
+// ------------------------------------------------------------- exponential
+
+TEST(ExponentialSource, TimesAreStrictlyIncreasing) {
+  ExponentialFailureSource source(100, 1000.0, 1);
+  double prev = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const auto f = source.next();
+    ASSERT_GT(f.time, prev);
+    prev = f.time;
+  }
+}
+
+TEST(ExponentialSource, PlatformRateIsNTimesProcRate) {
+  const std::uint64_t n = 1000;
+  const double mtbf = 1e6;
+  ExponentialFailureSource source(n, mtbf, 2);
+  RunningStats gaps;
+  double prev = 0.0;
+  for (int i = 0; i < 200000; ++i) {
+    const auto f = source.next();
+    gaps.push(f.time - prev);
+    prev = f.time;
+  }
+  EXPECT_NEAR(gaps.mean() / (mtbf / static_cast<double>(n)), 1.0, 0.01);
+}
+
+TEST(ExponentialSource, GapsAreExponential) {
+  ExponentialFailureSource source(10, 1000.0, 3);
+  std::vector<double> gaps;
+  double prev = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const auto f = source.next();
+    gaps.push_back(f.time - prev);
+    prev = f.time;
+  }
+  EmpiricalCdf cdf(std::move(gaps));
+  const double rate = 10.0 / 1000.0;
+  const double d = cdf.ks_distance([rate](double x) { return 1.0 - std::exp(-rate * x); });
+  EXPECT_LT(d, cdf.ks_critical(0.001));
+}
+
+TEST(ExponentialSource, ProcessorAssignmentIsUniform) {
+  const std::uint64_t n = 8;
+  ExponentialFailureSource source(n, 1000.0, 4);
+  std::vector<int> counts(n, 0);
+  const int total = 80000;
+  for (int i = 0; i < total; ++i) ++counts[source.next().proc];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), total / 8.0, 5.0 * std::sqrt(total / 8.0));
+  }
+}
+
+TEST(ExponentialSource, ResetReproducesStream) {
+  ExponentialFailureSource source(10, 1000.0, 5);
+  std::vector<Failure> first;
+  for (int i = 0; i < 100; ++i) first.push_back(source.next());
+  source.reset(5);
+  for (int i = 0; i < 100; ++i) {
+    const auto f = source.next();
+    ASSERT_DOUBLE_EQ(f.time, first[i].time);
+    ASSERT_EQ(f.proc, first[i].proc);
+  }
+}
+
+TEST(ExponentialSource, ResetWithNewSeedChangesStream) {
+  ExponentialFailureSource source(10, 1000.0, 5);
+  const auto a = source.next();
+  source.reset(6);
+  const auto b = source.next();
+  EXPECT_NE(a.time, b.time);
+}
+
+TEST(ExponentialSource, RejectsBadMtbf) {
+  EXPECT_THROW(ExponentialFailureSource(10, 0.0), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- renewal
+
+TEST(RenewalSource, ExponentialLawMatchesSuperposedSource) {
+  // With exp inter-arrivals the renewal construction must reproduce the
+  // superposed-Poisson statistics: gap distribution exp(n/mu).
+  const std::uint64_t n = 50;
+  const double mtbf = 1000.0;
+  const repcheck::prng::ExponentialSampler law(1.0 / mtbf);
+  RenewalFailureSource source(n, [law](repcheck::prng::Xoshiro256pp& rng) { return law(rng); },
+                              7);
+  std::vector<double> gaps;
+  double prev = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const auto f = source.next();
+    ASSERT_GE(f.time, prev);
+    gaps.push_back(f.time - prev);
+    prev = f.time;
+  }
+  EmpiricalCdf cdf(std::move(gaps));
+  const double rate = static_cast<double>(n) / mtbf;
+  const double d = cdf.ks_distance([rate](double x) { return 1.0 - std::exp(-rate * x); });
+  EXPECT_LT(d, cdf.ks_critical(0.001));
+}
+
+TEST(RenewalSource, PerProcessorGapsFollowTheLaw) {
+  // Weibull(k=2) per-processor law: check one processor's inter-arrivals.
+  const repcheck::prng::WeibullSampler law(2.0, 100.0);
+  RenewalFailureSource source(4, [law](repcheck::prng::Xoshiro256pp& rng) { return law(rng); },
+                              8);
+  std::vector<double> proc0_gaps;
+  std::vector<double> last(4, 0.0);
+  for (int i = 0; i < 40000; ++i) {
+    const auto f = source.next();
+    if (f.proc == 0) proc0_gaps.push_back(f.time - last[0]);
+    last[f.proc] = f.time;
+  }
+  ASSERT_GT(proc0_gaps.size(), 5000u);
+  EmpiricalCdf cdf(std::move(proc0_gaps));
+  const double d = cdf.ks_distance(
+      [](double x) { return 1.0 - std::exp(-std::pow(x / 100.0, 2.0)); });
+  EXPECT_LT(d, cdf.ks_critical(0.001));
+}
+
+TEST(RenewalSource, ResetReproducesStream) {
+  const repcheck::prng::ExponentialSampler law(0.01);
+  RenewalFailureSource source(10, [law](repcheck::prng::Xoshiro256pp& rng) { return law(rng); },
+                              9);
+  std::vector<Failure> first;
+  for (int i = 0; i < 200; ++i) first.push_back(source.next());
+  source.reset(9);
+  for (int i = 0; i < 200; ++i) {
+    const auto f = source.next();
+    ASSERT_DOUBLE_EQ(f.time, first[i].time);
+    ASSERT_EQ(f.proc, first[i].proc);
+  }
+}
+
+TEST(RenewalSource, RejectsBadConstruction) {
+  const repcheck::prng::ExponentialSampler law(0.01);
+  EXPECT_THROW(RenewalFailureSource(0, [law](repcheck::prng::Xoshiro256pp& rng) {
+                 return law(rng);
+               }),
+               std::invalid_argument);
+  EXPECT_THROW(RenewalFailureSource(2, nullptr), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- trace
+
+repcheck::traces::GroupedTraceSchedule small_schedule() {
+  repcheck::traces::UncorrelatedTraceParams params;
+  params.count = 500;
+  params.system_mtbf = 100.0;
+  params.n_nodes = 8;
+  auto trace = repcheck::traces::make_uncorrelated_trace(params, 42);
+  return {std::move(trace), 32, 4};
+}
+
+TEST(TraceSource, TimesAreNonDecreasing) {
+  TraceFailureSource source(small_schedule(), 1);
+  double prev = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    const auto f = source.next();
+    ASSERT_GE(f.time, prev);
+    prev = f.time;
+  }
+}
+
+TEST(TraceSource, EmitsEveryTraceFailurePerCycle) {
+  // Over one horizon, each group replays the full trace: 4 groups x 500.
+  const auto schedule = small_schedule();
+  const double horizon = schedule.trace().horizon();
+  TraceFailureSource source(schedule, 2);
+  std::size_t within = 0;
+  for (;;) {
+    const auto f = source.next();
+    if (f.time >= horizon) break;
+    ++within;
+  }
+  EXPECT_EQ(within, 4u * 500u);
+}
+
+TEST(TraceSource, ProcsStayInPlatformRange) {
+  TraceFailureSource source(small_schedule(), 3);
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_LT(source.next().proc, 32u);
+  }
+}
+
+TEST(TraceSource, ScaledRateMatchesSchedule) {
+  const auto schedule = small_schedule();
+  TraceFailureSource source(schedule, 4);
+  const int n = 20000;
+  double last = 0.0;
+  for (int i = 0; i < n; ++i) last = source.next().time;
+  const double observed_mtbf = last / n;
+  EXPECT_NEAR(observed_mtbf / schedule.scaled_system_mtbf(), 1.0, 0.05);
+}
+
+TEST(TraceSource, ResetReproducesStream) {
+  TraceFailureSource source(small_schedule(), 5);
+  std::vector<Failure> first;
+  for (int i = 0; i < 300; ++i) first.push_back(source.next());
+  source.reset(5);
+  for (int i = 0; i < 300; ++i) {
+    const auto f = source.next();
+    ASSERT_DOUBLE_EQ(f.time, first[i].time);
+    ASSERT_EQ(f.proc, first[i].proc);
+  }
+}
+
+TEST(TraceSource, DifferentSeedsRotateDifferently) {
+  TraceFailureSource a(small_schedule(), 6);
+  TraceFailureSource b(small_schedule(), 7);
+  EXPECT_NE(a.next().time, b.next().time);
+}
+
+TEST(TraceSource, WrapsCyclicallyForever) {
+  const auto schedule = small_schedule();
+  const double horizon = schedule.trace().horizon();
+  TraceFailureSource source(schedule, 8);
+  double last = 0.0;
+  for (int i = 0; i < 3 * 4 * 500; ++i) last = source.next().time;
+  EXPECT_GT(last, 2.0 * horizon);  // survived multiple wraps
+}
+
+}  // namespace

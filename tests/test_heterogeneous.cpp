@@ -1,0 +1,172 @@
+// Heterogeneous node reliabilities: the source, and the partial-replication
+// scenario the paper defers to Hussain et al. [25].
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/montecarlo.hpp"
+#include "failures/heterogeneous_source.hpp"
+#include "math/roots.hpp"
+#include "model/units.hpp"
+#include "stats/welford.hpp"
+
+namespace {
+
+using namespace repcheck;
+using namespace repcheck::sim;
+using failures::HeterogeneousExponentialSource;
+using failures::ProcessorClass;
+
+TEST(HeterogeneousSource, TotalRateIsSumOfClassRates) {
+  HeterogeneousExponentialSource source({{100, 1e6}, {900, 1e7}});
+  EXPECT_NEAR(source.total_rate(), 100.0 / 1e6 + 900.0 / 1e7, 1e-15);
+  EXPECT_EQ(source.n_procs(), 1000u);
+}
+
+TEST(HeterogeneousSource, GapsMatchTotalRate) {
+  HeterogeneousExponentialSource source({{100, 1e6}, {900, 1e7}}, 1);
+  stats::RunningStats gaps;
+  double prev = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const auto f = source.next();
+    gaps.push(f.time - prev);
+    prev = f.time;
+  }
+  EXPECT_NEAR(gaps.mean() * source.total_rate(), 1.0, 0.01);
+}
+
+TEST(HeterogeneousSource, ClassesFailProportionallyToTheirRates) {
+  // Class 0: 100 procs at MTBF 1e6 (rate 1e-4); class 1: 900 at 1e7
+  // (rate 9e-5): class 0 should receive ~52.6% of the failures.
+  HeterogeneousExponentialSource source({{100, 1e6}, {900, 1e7}}, 2);
+  int class0 = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (source.next().proc < 100) ++class0;
+  }
+  const double expected = (100.0 / 1e6) / source.total_rate();
+  EXPECT_NEAR(static_cast<double>(class0) / n, expected, 0.005);
+}
+
+TEST(HeterogeneousSource, UniformWithinClass) {
+  HeterogeneousExponentialSource source({{4, 1e5}, {4, 1e9}}, 3);
+  std::vector<int> counts(4, 0);
+  int class0_total = 0;
+  for (int i = 0; i < 40000; ++i) {
+    const auto f = source.next();
+    if (f.proc < 4) {
+      ++counts[f.proc];
+      ++class0_total;
+    }
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), class0_total / 4.0,
+                5.0 * std::sqrt(class0_total / 4.0));
+  }
+}
+
+TEST(HeterogeneousSource, SingleClassMatchesHomogeneous) {
+  HeterogeneousExponentialSource source({{1000, 1e7}}, 4);
+  stats::RunningStats gaps;
+  double prev = 0.0;
+  for (int i = 0; i < 50000; ++i) {
+    const auto f = source.next();
+    ASSERT_LT(f.proc, 1000u);
+    gaps.push(f.time - prev);
+    prev = f.time;
+  }
+  EXPECT_NEAR(gaps.mean(), 1e7 / 1000.0, 150.0);
+}
+
+TEST(HeterogeneousSource, ResetReproducesStream) {
+  HeterogeneousExponentialSource source({{10, 1e5}, {10, 1e6}}, 5);
+  std::vector<failures::Failure> first;
+  for (int i = 0; i < 200; ++i) first.push_back(source.next());
+  source.reset(5);
+  for (int i = 0; i < 200; ++i) {
+    const auto f = source.next();
+    ASSERT_DOUBLE_EQ(f.time, first[i].time);
+    ASSERT_EQ(f.proc, first[i].proc);
+  }
+}
+
+TEST(HeterogeneousSource, RejectsBadClasses) {
+  EXPECT_THROW(HeterogeneousExponentialSource({}), std::invalid_argument);
+  EXPECT_THROW(HeterogeneousExponentialSource({{0, 1e6}}), std::invalid_argument);
+  EXPECT_THROW(HeterogeneousExponentialSource({{10, 0.0}}), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- experiment
+
+TEST(HeterogeneousPartialReplication, PartialBeatsBothExtremesInTheRightRegime) {
+  // 2,000 processors: 200 flaky (MTBF 0.02 y) + 1,800 solid (MTBF 20 y).
+  // Replicating only the flaky ones keeps 1,900 effective processors and
+  // kills the dominant crash source; full replication wastes half the
+  // solid nodes; no replication crashes constantly.  This is the
+  // heterogeneous regime the paper leaves to Hussain et al. [25].
+  const std::uint64_t n = 2000;
+  const std::uint64_t flaky = 200;
+  const double mu_flaky = model::years(0.02);
+  const double mu_solid = model::years(20.0);
+  const double c = 60.0;
+  const double work = 3e5;
+
+  const SourceFactory source = [=] {
+    return std::make_unique<HeterogeneousExponentialSource>(
+        std::vector<ProcessorClass>{{flaky, mu_flaky}, {n - flaky, mu_solid}});
+  };
+
+  const auto tts_per_effective = [&](const platform::Platform& platform, double period) {
+    SimConfig config;
+    config.platform = platform;
+    config.cost = platform::CostModel::uniform(c);
+    config.strategy = platform.uses_replication() ? StrategySpec::restart(period)
+                                                  : StrategySpec::no_replication(period);
+    config.spec.mode = RunSpec::Mode::kFixedWork;
+    // Same total computation: work is inversely proportional to the
+    // effective processor count (perfectly parallel application).
+    config.spec.total_work_time =
+        work * 1900.0 / static_cast<double>(platform.effective_procs());
+    config.spec.max_attempts_per_period = 5000;
+    const auto summary = run_monte_carlo(config, source, 20, 23);
+    return summary.stalled_runs == 0 && summary.makespan.count() > 0
+               ? summary.makespan.mean()
+               : 1e300;
+  };
+
+  // Periods chosen by minimizing each layout's first-order overhead
+  // (standalone failures lose ~T/2, pair double-failures ~2T/3).
+  const auto optimal_period = [&](double pair_rate2, double standalone_rate) {
+    return math::minimize_unbounded(
+               [&](double t) {
+                 return c / t + standalone_rate * t / 2.0 + pair_rate2 * t * t * 2.0 / 3.0;
+               },
+               10000.0)
+        .x;
+  };
+
+  const double lam_f = 1.0 / mu_flaky;
+  const double lam_s = 1.0 / mu_solid;
+
+  // (a) no replication: every failure fatal.
+  const double t_none = optimal_period(0.0, flaky * lam_f + (n - flaky) * lam_s);
+  const double tts_none = tts_per_effective(platform::Platform::not_replicated(n), t_none);
+
+  // (b) partial: pair up the flaky processors only.
+  const double t_partial =
+      optimal_period((flaky / 2.0) * lam_f * lam_f, (n - flaky) * lam_s);
+  const double tts_partial = tts_per_effective(
+      platform::Platform(n, flaky / 2), t_partial);
+
+  // (c) full replication (flaky pairs + solid pairs).
+  const double t_full = optimal_period(
+      (flaky / 2.0) * lam_f * lam_f + ((n - flaky) / 2.0) * lam_s * lam_s, 0.0);
+  const double tts_full = tts_per_effective(platform::Platform::fully_replicated(n), t_full);
+
+  EXPECT_LT(tts_partial, tts_none);
+  EXPECT_LT(tts_partial, tts_full);
+}
+
+}  // namespace

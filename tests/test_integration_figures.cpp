@@ -1,0 +1,202 @@
+// Smoke tests for every figure pipeline at reduced scale: each test runs the
+// same code path as the corresponding bench binary and asserts the paper's
+// qualitative finding (who wins, which way the curve bends).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/repcheck.hpp"
+
+namespace {
+
+using namespace repcheck;
+using namespace repcheck::sim;
+
+SourceFactory expo(std::uint64_t n, double mtbf) {
+  return [n, mtbf] { return std::make_unique<failures::ExponentialFailureSource>(n, mtbf); };
+}
+
+SimConfig base_config(std::uint64_t n, double c, const StrategySpec& strategy,
+                      std::uint64_t periods = 60) {
+  SimConfig config;
+  config.platform = strategy.kind == StrategySpec::Kind::kNoReplication
+                        ? platform::Platform::not_replicated(n)
+                        : platform::Platform::fully_replicated(n);
+  config.cost = platform::CostModel::uniform(c);
+  config.strategy = strategy;
+  config.spec.n_periods = periods;
+  return config;
+}
+
+// Fig. 1: replication stretches the time to interruption by orders of
+// magnitude at scale.
+TEST(Figures, Fig1ReplicationStretchesTimeToInterruption) {
+  const double mu = model::years(5.0);
+  const double t90_parallel = model::time_to_failure_probability_parallel(0.9, mu, 20000);
+  const double t90_pairs = model::time_to_failure_probability_pairs(0.9, mu, 10000);
+  EXPECT_GT(t90_pairs / t90_parallel, 50.0);
+}
+
+// Fig. 2: with one pair, restart at T_opt^rs beats periodic no-restart at
+// T_MTTI^no on time-to-solution.
+TEST(Figures, Fig2SinglePairRestartBeatsNoRestart) {
+  const double mu = 5e6;
+  const double c = 60.0;
+  RunSpec spec;
+  spec.mode = RunSpec::Mode::kFixedWork;
+  spec.total_work_time = 400.0 * model::t_opt_rs(c, 1, mu);
+
+  SimConfig restart = base_config(2, c, StrategySpec::restart(model::t_opt_rs(c, 1, mu)));
+  restart.spec = spec;
+  SimConfig norestart = base_config(2, c, StrategySpec::no_restart(model::t_mtti_no(c, 1, mu)));
+  norestart.spec = spec;
+
+  const auto rs = run_monte_carlo(restart, expo(2, mu), 200, 101);
+  const auto no = run_monte_carlo(norestart, expo(2, mu), 200, 101);
+  EXPECT_LT(rs.makespan.mean(), no.makespan.mean());
+}
+
+// Fig. 3 / Fig. 5: at b pairs the restart overhead at T_opt^rs stays below
+// both Restart(T_MTTI^no) and NoRestart(T_MTTI^no).
+TEST(Figures, Fig3RestartAtOptimalPeriodWinsOrdering) {
+  const std::uint64_t n = 20000;
+  const double mu = model::years(0.5);
+  const double c = 600.0;
+  const double t_rs = model::t_opt_rs(c, n / 2, mu);
+  const double t_no = model::t_mtti_no(c, n / 2, mu);
+
+  const auto h = [&](const StrategySpec& s) {
+    return run_monte_carlo(base_config(n, c, s), expo(n, mu), 60, 103).overhead.mean();
+  };
+  const double h_rs_opt = h(StrategySpec::restart(t_rs));
+  const double h_rs_no = h(StrategySpec::restart(t_no));
+  const double h_no_no = h(StrategySpec::no_restart(t_no));
+  EXPECT_LT(h_rs_opt, h_rs_no);
+  EXPECT_LT(h_rs_no, h_no_no);
+}
+
+// Fig. 4: the ordering survives trace-driven (non-IID) failures.
+TEST(Figures, Fig4TraceDrivenOrderingHolds) {
+  auto trace = traces::make_lanl2_like(7);
+  const std::uint64_t n = 12800;
+  const auto groups = 8u;
+  traces::GroupedTraceSchedule schedule(std::move(trace), n, groups);
+  const double mtbf_proc = schedule.scaled_system_mtbf() * static_cast<double>(n);
+  const double c = 600.0;
+  const double t_rs = model::t_opt_rs(c, n / 2, mtbf_proc);
+  const double t_no = model::t_mtti_no(c, n / 2, mtbf_proc);
+
+  const auto run_with = [&](const StrategySpec& s) {
+    SimConfig config = base_config(n, c, s, 40);
+    return run_monte_carlo(
+               config, [&] { return std::make_unique<failures::TraceFailureSource>(schedule); },
+               40, 107)
+        .overhead.mean();
+  };
+  EXPECT_LT(run_with(StrategySpec::restart(t_rs)), run_with(StrategySpec::no_restart(t_no)));
+}
+
+// Fig. 6: restart-on-failure loses badly on unreliable platforms.
+TEST(Figures, Fig6RestartOnFailureLoses) {
+  const std::uint64_t n = 20000;
+  const double mu = model::years(0.5);
+  RunSpec spec;
+  spec.mode = RunSpec::Mode::kFixedWork;
+  spec.total_work_time = 3e5;
+
+  SimConfig rof = base_config(n, 60.0, StrategySpec::restart_on_failure());
+  rof.spec = spec;
+  SimConfig rs = base_config(n, 60.0, StrategySpec::restart(model::t_opt_rs(60.0, n / 2, mu)));
+  rs.spec = spec;
+
+  const auto h_rof = run_monte_carlo(rof, expo(n, mu), 10, 109).overhead.mean();
+  const auto h_rs = run_monte_carlo(rs, expo(n, mu), 10, 109).overhead.mean();
+  EXPECT_GT(h_rof, 2.0 * h_rs);
+}
+
+// Fig. 8: the restart period is longer => fewer checkpoints => less I/O.
+TEST(Figures, Fig8RestartReducesIoPressure) {
+  const std::uint64_t n = 20000;
+  const double mu = model::years(0.5);
+  const double c = 60.0;
+  RunSpec spec;
+  spec.mode = RunSpec::Mode::kFixedWork;
+  spec.total_work_time = 2e6;
+
+  SimConfig rs = base_config(n, c, StrategySpec::restart(model::t_opt_rs(c, n / 2, mu)));
+  rs.spec = spec;
+  SimConfig no = base_config(n, c, StrategySpec::no_restart(model::t_mtti_no(c, n / 2, mu)));
+  no.spec = spec;
+
+  const auto rs_summary = run_monte_carlo(rs, expo(n, mu), 20, 113);
+  const auto no_summary = run_monte_carlo(no, expo(n, mu), 20, 113);
+  EXPECT_LT(rs_summary.checkpoints.mean(), no_summary.checkpoints.mean());
+  EXPECT_LT(rs_summary.io_gbytes.mean(), no_summary.io_gbytes.mean());
+}
+
+// Fig. 9/10: on a reliable platform no-replication wins; on an unreliable
+// one full replication wins (time-to-solution with the Amdahl model).
+TEST(Figures, Fig9ReplicationCrossover) {
+  const std::uint64_t n = 2000;
+  const model::AmdahlApp app{1e-5, 0.2};
+  const double w_seq = model::kSecondsPerWeek * 1000.0;
+
+  const auto reliable =
+      Advisor::recommend(
+          [&] {
+            auto s = model::PlatformSpec{};
+            s.n_procs = n;
+            s.mtbf_proc = model::years(100.0);
+            s.checkpoint_cost = s.restart_checkpoint_cost = s.recovery_cost = 60.0;
+            return s;
+          }(),
+          app, w_seq);
+  EXPECT_EQ(reliable.plan, model::Plan::kNoReplication);
+
+  const auto hostile =
+      Advisor::recommend(
+          [&] {
+            auto s = model::PlatformSpec{};
+            s.n_procs = n;
+            s.mtbf_proc = model::years(0.01);
+            s.checkpoint_cost = s.restart_checkpoint_cost = s.recovery_cost = 600.0;
+            return s;
+          }(),
+          app, w_seq);
+  EXPECT_EQ(hostile.plan, model::Plan::kReplicatedRestart);
+}
+
+// Fig. 11: larger restart thresholds never beat restarting at every
+// checkpoint (the paper's conjecture that n_bound = 0 is optimal).
+TEST(Figures, Fig11ThresholdNeverBeatsRestart) {
+  const std::uint64_t n = 20000;
+  const double mu = model::years(0.25);
+  const double c = 60.0;
+  const double t_rs = model::t_opt_rs(c, n / 2, mu);
+
+  SimConfig restart = base_config(n, c, StrategySpec::restart(t_rs), 80);
+  restart.cost = platform::CostModel::uniform(c, 2.0);  // worst case for restart
+  const double h_restart = run_monte_carlo(restart, expo(n, mu), 50, 127).overhead.mean();
+
+  // Small bounds behave like plain restart (within noise); large bounds let
+  // failures pile up and are strictly worse.
+  SimConfig small_bound = restart;
+  small_bound.strategy = StrategySpec::restart_threshold(t_rs, 12);
+  const double h_12 = run_monte_carlo(small_bound, expo(n, mu), 50, 127).overhead.mean();
+  EXPECT_NEAR(h_12 / h_restart, 1.0, 0.1);
+
+  SimConfig large_bound = restart;
+  large_bound.strategy = StrategySpec::restart_threshold(t_rs, 56);
+  const double h_56 = run_monte_carlo(large_bound, expo(n, mu), 50, 127).overhead.mean();
+  EXPECT_GT(h_56, h_restart);
+}
+
+// Section 6: the asymptotic ratio's shape — restart wins below x*, loses
+// above, with the best gain ≈ 8.4%.
+TEST(Figures, Sec6AsymptoticShape) {
+  EXPECT_LT(model::asymptotic_ratio(0.1), 1.0);
+  EXPECT_GT(model::asymptotic_ratio(1.0), 1.0);
+  EXPECT_NEAR(model::asymptotic_max_gain(), 0.084, 0.002);
+}
+
+}  // namespace

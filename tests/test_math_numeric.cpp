@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "math/integrate.hpp"
+#include "math/roots.hpp"
+
+namespace {
+
+using namespace repcheck::math;
+
+// ----------------------------------------------------------------- brent
+
+TEST(Brent, QuadraticMinimum) {
+  const auto result = brent_minimize([](double x) { return (x - 3.0) * (x - 3.0) + 2.0; },
+                                     -10.0, 10.0);
+  EXPECT_NEAR(result.x, 3.0, 1e-6);
+  EXPECT_NEAR(result.fx, 2.0, 1e-12);
+}
+
+TEST(Brent, AsymmetricFunction) {
+  // min of C/T + a T^2 (the restart overhead shape) at T = (C / 2a)^{1/3}.
+  const double c = 60.0, a = 1e-9;
+  const auto result = brent_minimize([&](double t) { return c / t + a * t * t; }, 1.0, 1e6);
+  EXPECT_NEAR(result.x, std::cbrt(c / (2.0 * a)), 1.0);
+}
+
+TEST(Brent, MinimumAtIntervalEdge) {
+  const auto result = brent_minimize([](double x) { return x; }, 0.0, 1.0);
+  EXPECT_NEAR(result.x, 0.0, 1e-6);
+}
+
+TEST(Brent, CosineMinimum) {
+  const auto result = brent_minimize([](double x) { return std::cos(x); }, 2.0, 5.0);
+  EXPECT_NEAR(result.x, std::numbers::pi, 1e-8);
+  EXPECT_NEAR(result.fx, -1.0, 1e-12);
+}
+
+TEST(Brent, RejectsInvertedInterval) {
+  EXPECT_THROW((void)brent_minimize([](double x) { return x; }, 1.0, 0.0),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------------- bisection
+
+TEST(Bisect, FindsSimpleRoot) {
+  const double root = bisect_root([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  EXPECT_NEAR(root, std::sqrt(2.0), 1e-10);
+}
+
+TEST(Bisect, ExactEndpointRoot) {
+  EXPECT_DOUBLE_EQ(bisect_root([](double x) { return x; }, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(bisect_root([](double x) { return x - 1.0; }, 0.0, 1.0), 1.0);
+}
+
+TEST(Bisect, TranscendentalRoot) {
+  const double root = bisect_root([](double x) { return std::cos(x) - x; }, 0.0, 1.0);
+  EXPECT_NEAR(root, 0.7390851332151607, 1e-10);
+}
+
+TEST(Bisect, RejectsSameSignBracket) {
+  EXPECT_THROW((void)bisect_root([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------- unbounded minimizer
+
+TEST(MinimizeUnbounded, FindsDistantMinimum) {
+  // Seed far below the optimum; bracket must grow upwards.
+  const auto result = minimize_unbounded(
+      [](double t) { return 600.0 / t + 1e-12 * t * t; }, 10.0);
+  EXPECT_NEAR(result.x / std::cbrt(600.0 / 2e-12), 1.0, 1e-3);
+}
+
+TEST(MinimizeUnbounded, FindsNearbyMinimum) {
+  const auto result = minimize_unbounded([](double x) { return (x - 5.0) * (x - 5.0); }, 4.0);
+  EXPECT_NEAR(result.x, 5.0, 1e-6);
+}
+
+TEST(MinimizeUnbounded, SeedBelowMinimumGrowsDown) {
+  const auto result = minimize_unbounded([](double x) { return (x - 0.01) * (x - 0.01); }, 100.0);
+  EXPECT_NEAR(result.x, 0.01, 1e-6);
+}
+
+TEST(MinimizeUnbounded, RejectsNonPositiveSeed) {
+  EXPECT_THROW((void)minimize_unbounded([](double x) { return x * x; }, 0.0),
+               std::invalid_argument);
+}
+
+// -------------------------------------------------------------- integrate
+
+TEST(Integrate, PolynomialExact) {
+  const double value = integrate([](double x) { return 3.0 * x * x; }, 0.0, 2.0);
+  EXPECT_NEAR(value, 8.0, 1e-10);
+}
+
+TEST(Integrate, ReversedBoundsNegate) {
+  const double value = integrate([](double x) { return x; }, 1.0, 0.0);
+  EXPECT_NEAR(value, -0.5, 1e-12);
+}
+
+TEST(Integrate, EmptyIntervalIsZero) {
+  EXPECT_DOUBLE_EQ(integrate([](double x) { return x; }, 1.0, 1.0), 0.0);
+}
+
+TEST(Integrate, OscillatoryFunction) {
+  const double value = integrate([](double x) { return std::sin(x); }, 0.0, std::numbers::pi);
+  EXPECT_NEAR(value, 2.0, 1e-9);
+}
+
+TEST(Integrate, SharpPeakResolved) {
+  // Narrow Gaussian centered at 0.5 integrates to ~sqrt(pi)/100.
+  const double value = integrate(
+      [](double x) { return std::exp(-1e4 * (x - 0.5) * (x - 0.5)); }, 0.0, 1.0, 1e-12);
+  EXPECT_NEAR(value, std::sqrt(std::numbers::pi) / 100.0, 1e-8);
+}
+
+TEST(IntegrateToInfinity, ExponentialTail) {
+  const double value =
+      integrate_to_infinity([](double x) { return std::exp(-x); }, 0.0, 1.0, 1e-10);
+  EXPECT_NEAR(value, 1.0, 1e-8);
+}
+
+TEST(IntegrateToInfinity, ShiftedStart) {
+  const double value =
+      integrate_to_infinity([](double x) { return std::exp(-x); }, 2.0, 1.0, 1e-10);
+  EXPECT_NEAR(value, std::exp(-2.0), 1e-8);
+}
+
+TEST(IntegrateToInfinity, GaussianSurvival) {
+  // ∫_0^∞ e^{-x²} dx = sqrt(pi)/2.
+  const double value =
+      integrate_to_infinity([](double x) { return std::exp(-x * x); }, 0.0, 1.0, 1e-10);
+  EXPECT_NEAR(value, std::sqrt(std::numbers::pi) / 2.0, 1e-8);
+}
+
+TEST(IntegrateToInfinity, RejectsBadWidth) {
+  EXPECT_THROW((void)integrate_to_infinity([](double) { return 0.0; }, 0.0, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace

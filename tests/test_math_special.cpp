@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "math/beta.hpp"
+#include "math/gamma.hpp"
+#include "math/lambert_w.hpp"
+#include "math/ramanujan.hpp"
+
+namespace {
+
+using namespace repcheck::math;
+
+// ------------------------------------------------------------- log gamma
+
+TEST(Gamma, FactorialValues) {
+  EXPECT_NEAR(std::exp(log_factorial(0)), 1.0, 1e-12);
+  EXPECT_NEAR(std::exp(log_factorial(5)), 120.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_factorial(10)), 3628800.0, 1e-3);
+}
+
+TEST(Gamma, LogGammaHalf) {
+  EXPECT_NEAR(log_gamma(0.5), std::log(std::sqrt(std::numbers::pi)), 1e-12);
+}
+
+TEST(Gamma, LogGammaRejectsNonPositive) {
+  EXPECT_THROW((void)log_gamma(0.0), std::domain_error);
+  EXPECT_THROW((void)log_gamma(-1.0), std::domain_error);
+}
+
+TEST(Gamma, BinomialSmallValues) {
+  EXPECT_NEAR(binomial(5, 2), 10.0, 1e-9);
+  EXPECT_NEAR(binomial(10, 5), 252.0, 1e-6);
+  EXPECT_NEAR(binomial(2, 0), 1.0, 1e-12);
+  EXPECT_NEAR(binomial(7, 7), 1.0, 1e-9);
+}
+
+TEST(Gamma, BinomialSymmetry) {
+  for (std::uint64_t n = 1; n <= 40; ++n) {
+    for (std::uint64_t k = 0; k <= n; ++k) {
+      ASSERT_NEAR(log_binomial(n, k), log_binomial(n, n - k), 1e-9);
+    }
+  }
+}
+
+TEST(Gamma, BinomialPascalIdentity) {
+  for (std::uint64_t n = 2; n <= 30; ++n) {
+    for (std::uint64_t k = 1; k < n; ++k) {
+      ASSERT_NEAR(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k),
+                  1e-6 * binomial(n, k));
+    }
+  }
+}
+
+TEST(Gamma, BinomialRejectsKGreaterThanN) {
+  EXPECT_THROW((void)log_binomial(3, 4), std::domain_error);
+  EXPECT_DOUBLE_EQ(binomial(3, 4), 0.0);
+}
+
+TEST(Gamma, CentralBinomialLogGrowth) {
+  // ln C(2b, b) ~ b ln4 - 0.5 ln(pi b): the exact cancellation behind
+  // Theorem 4.1's sqrt(pi b) asymptotic.
+  const std::uint64_t b = 1000;
+  const double expected = static_cast<double>(b) * std::log(4.0) -
+                          0.5 * std::log(std::numbers::pi * static_cast<double>(b));
+  EXPECT_NEAR(log_binomial(2 * b, b) / expected, 1.0, 1e-4);
+}
+
+// ----------------------------------------------------------- incomplete beta
+
+TEST(Beta, LogBetaMatchesGammaIdentity) {
+  EXPECT_NEAR(log_beta(2.0, 3.0), std::log(1.0 / 12.0), 1e-12);
+  EXPECT_NEAR(log_beta(0.5, 0.5), std::log(std::numbers::pi), 1e-12);
+}
+
+TEST(Beta, RegularizedBoundaryValues) {
+  EXPECT_DOUBLE_EQ(regularized_incomplete_beta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(regularized_incomplete_beta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(Beta, RegularizedUniformCase) {
+  // I_x(1, 1) = x.
+  for (double x : {0.1, 0.3, 0.5, 0.9}) {
+    EXPECT_NEAR(regularized_incomplete_beta(1.0, 1.0, x), x, 1e-12);
+  }
+}
+
+TEST(Beta, RegularizedClosedFormAOne) {
+  // I_x(1, b) = 1 - (1-x)^b.
+  for (double x : {0.05, 0.2, 0.6}) {
+    for (double b : {2.0, 5.0, 17.0}) {
+      EXPECT_NEAR(regularized_incomplete_beta(1.0, b, x), 1.0 - std::pow(1.0 - x, b), 1e-12);
+    }
+  }
+}
+
+TEST(Beta, SymmetryIdentity) {
+  // I_x(a, b) = 1 - I_{1-x}(b, a).
+  for (double x : {0.1, 0.4, 0.7}) {
+    for (double a : {1.5, 3.0, 20.0}) {
+      for (double b : {2.5, 8.0}) {
+        EXPECT_NEAR(regularized_incomplete_beta(a, b, x),
+                    1.0 - regularized_incomplete_beta(b, a, 1.0 - x), 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Beta, MonotoneInX) {
+  double prev = -1.0;
+  for (double x = 0.0; x <= 1.0; x += 0.05) {
+    const double v = regularized_incomplete_beta(3.0, 4.0, x);
+    ASSERT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Beta, HalfPointOfSymmetricBeta) {
+  // I_{1/2}(a, a) = 1/2 by symmetry.
+  for (double a : {1.0, 2.0, 10.0, 100.0}) {
+    EXPECT_NEAR(regularized_incomplete_beta(a, a, 0.5), 0.5, 1e-12);
+  }
+}
+
+TEST(Beta, UnregularizedMatchesSmallCase) {
+  // B(x; 2, 2) = x^2/2 - x^3/3... actually ∫_0^x t(1-t) dt = x²/2 − x³/3.
+  for (double x : {0.2, 0.5, 0.8}) {
+    EXPECT_NEAR(incomplete_beta(2.0, 2.0, x), x * x / 2.0 - x * x * x / 3.0, 1e-12);
+  }
+}
+
+TEST(Beta, RejectsBadArguments) {
+  EXPECT_THROW((void)regularized_incomplete_beta(0.0, 1.0, 0.5), std::domain_error);
+  EXPECT_THROW((void)regularized_incomplete_beta(1.0, 1.0, -0.1), std::domain_error);
+  EXPECT_THROW((void)regularized_incomplete_beta(1.0, 1.0, 1.1), std::domain_error);
+}
+
+// --------------------------------------------------------------- lambert w
+
+TEST(LambertW, InverseIdentityPrincipalBranch) {
+  for (double x : {-0.36, -0.2, -0.05, 0.0, 0.1, 0.5, 1.0, 2.718281828, 10.0, 1e3, 1e8}) {
+    const double w = lambert_w0(x);
+    EXPECT_NEAR(w * std::exp(w), x, 1e-10 * (1.0 + std::fabs(x))) << "x = " << x;
+  }
+}
+
+TEST(LambertW, KnownValues) {
+  EXPECT_NEAR(lambert_w0(0.0), 0.0, 1e-15);
+  EXPECT_NEAR(lambert_w0(std::exp(1.0)), 1.0, 1e-12);
+  EXPECT_NEAR(lambert_w0(-1.0 / std::exp(1.0)), -1.0, 1e-5);
+}
+
+TEST(LambertW, InverseIdentityMinusOneBranch) {
+  for (double x : {-0.367, -0.3, -0.1, -0.01, -1e-4}) {
+    const double w = lambert_wm1(x);
+    EXPECT_LE(w, -1.0 + 1e-6);
+    EXPECT_NEAR(w * std::exp(w), x, 1e-9) << "x = " << x;
+  }
+}
+
+TEST(LambertW, BranchesMeetAtBranchPoint) {
+  const double x = -1.0 / std::exp(1.0) + 1e-10;
+  EXPECT_NEAR(lambert_w0(x), lambert_wm1(x), 1e-3);
+}
+
+TEST(LambertW, DomainErrors) {
+  EXPECT_THROW((void)lambert_w0(-1.0), std::domain_error);
+  EXPECT_THROW((void)lambert_wm1(0.0), std::domain_error);
+  EXPECT_THROW((void)lambert_wm1(-1.0), std::domain_error);
+}
+
+// --------------------------------------------------------------- ramanujan
+
+TEST(RamanujanQ, SmallExactValues) {
+  // Q(1) = 1; Q(2) = 1/1... Q(2) = 2!/(1!·2) + 2!/(0!·4) = 1 + 0.5 = 1.5.
+  EXPECT_NEAR(ramanujan_q(1), 1.0, 1e-12);
+  EXPECT_NEAR(ramanujan_q(2), 1.5, 1e-12);
+  // Q(3) = 2/3·... term1 = 3!/2!/3 = 1; term2 = 3!/1!/9 = 2/3; term3 = 3!/0!/27 = 2/9.
+  EXPECT_NEAR(ramanujan_q(3), 1.0 + 2.0 / 3.0 + 2.0 / 9.0, 1e-12);
+}
+
+TEST(RamanujanQ, AsymptoticConverges) {
+  for (std::uint64_t n : {100ULL, 1000ULL, 10000ULL}) {
+    EXPECT_NEAR(ramanujan_q(n) / ramanujan_q_asymptotic(n), 1.0, 2e-3) << "n = " << n;
+  }
+}
+
+TEST(RamanujanQ, BirthdayEstimateIsFortyPercentBelowTruth) {
+  // The paper: sqrt(pi b) is ~40% more than sqrt(pi b / 2).
+  const double ratio = std::sqrt(std::numbers::pi * 1e5) /
+                       (1.0 + ramanujan_q(100000));
+  EXPECT_NEAR(ratio, std::sqrt(2.0), 0.01);
+}
+
+TEST(RamanujanQ, RejectsZero) { EXPECT_THROW((void)ramanujan_q(0), std::domain_error); }
+
+}  // namespace

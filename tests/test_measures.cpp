@@ -1,0 +1,98 @@
+// measure_mtti / measure_nfail: empirical reliability under any failure law.
+#include "core/measures.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "failures/exponential_source.hpp"
+#include "failures/heterogeneous_source.hpp"
+#include "failures/renewal_source.hpp"
+#include "model/mtti.hpp"
+#include "model/nfail.hpp"
+#include "model/units.hpp"
+#include "prng/distributions.hpp"
+
+namespace {
+
+using namespace repcheck;
+using namespace repcheck::sim;
+
+TEST(Measures, ExponentialMttiMatchesTheoremFourOne) {
+  const std::uint64_t n = 200;
+  const double mu = 1e7;
+  failures::ExponentialFailureSource source(n, mu);
+  const auto mtti = measure_mtti(source, platform::Platform::fully_replicated(n), 3000, 1);
+  EXPECT_NEAR(mtti.mean() / model::mtti(n / 2, mu), 1.0, 0.06);
+}
+
+TEST(Measures, ExponentialNFailMatchesClosedForm) {
+  const std::uint64_t n = 200;
+  failures::ExponentialFailureSource source(n, 1e7);
+  const auto nfail = measure_nfail(source, platform::Platform::fully_replicated(n), 3000, 2);
+  EXPECT_NEAR(nfail.mean() / model::nfail_closed_form(n / 2), 1.0, 0.06);
+}
+
+TEST(Measures, NoReplicationMttiIsPlatformMtbf) {
+  const std::uint64_t n = 100;
+  const double mu = 1e6;
+  failures::ExponentialFailureSource source(n, mu);
+  const auto mtti = measure_mtti(source, platform::Platform::not_replicated(n), 3000, 3);
+  EXPECT_NEAR(mtti.mean() / (mu / static_cast<double>(n)), 1.0, 0.06);
+}
+
+TEST(Measures, InfantMortalityShortensTheMtti) {
+  // Weibull k = 0.7 at the same per-processor mean: early failures cluster,
+  // so pairs double-fail sooner than the exponential MTTI predicts.
+  const std::uint64_t n = 200;
+  const double mu = 1e7;
+  const prng::WeibullSampler law(0.7, mu / std::tgamma(1.0 + 1.0 / 0.7));
+  failures::RenewalFailureSource weibull(
+      n, [law](prng::Xoshiro256pp& rng) { return law(rng); });
+  const auto mtti = measure_mtti(weibull, platform::Platform::fully_replicated(n), 2000, 4);
+  EXPECT_LT(mtti.mean(), 0.9 * model::mtti(n / 2, mu));
+}
+
+TEST(Measures, WearOutLengthensTheMtti) {
+  // Weibull k = 1.5: failures are more regular; double-failures of one pair
+  // within a short window are rarer, extending the MTTI.
+  const std::uint64_t n = 200;
+  const double mu = 1e7;
+  const prng::WeibullSampler law(1.5, mu / std::tgamma(1.0 + 1.0 / 1.5));
+  failures::RenewalFailureSource weibull(
+      n, [law](prng::Xoshiro256pp& rng) { return law(rng); });
+  const auto mtti = measure_mtti(weibull, platform::Platform::fully_replicated(n), 2000, 5);
+  EXPECT_GT(mtti.mean(), 1.1 * model::mtti(n / 2, mu));
+}
+
+TEST(Measures, FlakyClassDominatesHeterogeneousMtti) {
+  // 20 flaky + 180 solid processors: the MTTI tracks the flaky class, far
+  // below the homogeneous MTTI at the same *average* rate.
+  const std::uint64_t n = 200;
+  const double mu_flaky = 1e5;
+  const double mu_solid = 1e9;
+  failures::HeterogeneousExponentialSource het({{20, mu_flaky}, {180, mu_solid}});
+  const auto het_mtti = measure_mtti(het, platform::Platform::fully_replicated(n), 1500, 6);
+
+  const double avg_rate = (20.0 / mu_flaky + 180.0 / mu_solid) / 200.0;
+  failures::ExponentialFailureSource homo(n, 1.0 / avg_rate);
+  const auto homo_mtti = measure_mtti(homo, platform::Platform::fully_replicated(n), 1500, 6);
+  EXPECT_LT(het_mtti.mean(), 0.7 * homo_mtti.mean());
+}
+
+TEST(Measures, DeterministicPerSeed) {
+  failures::ExponentialFailureSource source(50, 1e6);
+  const auto a = measure_mtti(source, platform::Platform::fully_replicated(50), 100, 9);
+  const auto b = measure_mtti(source, platform::Platform::fully_replicated(50), 100, 9);
+  EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+}
+
+TEST(Measures, RejectsBadArguments) {
+  failures::ExponentialFailureSource source(50, 1e6);
+  EXPECT_THROW((void)measure_mtti(source, platform::Platform::fully_replicated(50), 0, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)measure_mtti(source, platform::Platform::fully_replicated(100), 10, 1),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+#include "model/amdahl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "model/units.hpp"
+
+namespace {
+
+using namespace repcheck::model;
+
+TEST(Amdahl, PerfectlyParallelScalesLinearly) {
+  EXPECT_NEAR(parallel_time(1000.0, 10, 0.0), 100.0, 1e-12);
+  EXPECT_NEAR(parallel_time(1000.0, 1000, 0.0), 1.0, 1e-12);
+}
+
+TEST(Amdahl, FullySequentialIgnoresProcessors) {
+  EXPECT_NEAR(parallel_time(1000.0, 10, 1.0), 1000.0, 1e-12);
+  EXPECT_NEAR(parallel_time(1000.0, 100000, 1.0), 1000.0, 1e-12);
+}
+
+TEST(Amdahl, SequentialFractionBoundsSpeedup) {
+  // Speedup can never exceed 1/gamma.
+  const double gamma = 1e-5;
+  const double speedup = 1000.0 / parallel_time(1000.0, 10000000, gamma);
+  EXPECT_LT(speedup, 1.0 / gamma);
+}
+
+TEST(Amdahl, ReplicationHalvesEffectiveProcessors) {
+  // With alpha = 0 and gamma = 0, replication exactly doubles the time.
+  EXPECT_NEAR(replicated_parallel_time(1000.0, 100, 0.0, 0.0) /
+                  parallel_time(1000.0, 100, 0.0),
+              2.0, 1e-12);
+}
+
+TEST(Amdahl, AlphaSlowdownMultiplies) {
+  EXPECT_NEAR(replicated_parallel_time(1000.0, 100, 1e-5, 0.2) /
+                  replicated_parallel_time(1000.0, 100, 1e-5, 0.0),
+              1.2, 1e-12);
+}
+
+TEST(Amdahl, PartialReplicationInterpolates) {
+  // Partial90 on N procs: pairs + standalone effective processors between
+  // the full-replication (N/2) and no-replication (N) extremes.
+  const double w = 1e6;
+  const double full = replicated_parallel_time(w, 200000, 1e-5, 0.2);
+  const double partial = partial_replicated_parallel_time(w, 90000, 20000, 1e-5, 0.2);
+  const double none = parallel_time(w, 200000, 1e-5);
+  EXPECT_LT(partial, full);
+  EXPECT_GT(partial, none);
+}
+
+TEST(Amdahl, PartialWithZeroPairsHasNoAlphaPenalty) {
+  EXPECT_NEAR(partial_replicated_parallel_time(1000.0, 0, 100, 0.0, 0.2),
+              parallel_time(1000.0, 100, 0.0), 1e-12);
+}
+
+TEST(Amdahl, PartialWithAllPairsMatchesFull) {
+  EXPECT_NEAR(partial_replicated_parallel_time(1000.0, 100, 0, 1e-5, 0.2),
+              replicated_parallel_time(1000.0, 200, 1e-5, 0.2), 1e-12);
+}
+
+TEST(TimeToSolution, OverheadMultiplies) {
+  const double base = parallel_time(1000.0, 10, 0.01);
+  EXPECT_NEAR(time_to_solution_noreplication(1000.0, 10, 0.01, 0.25), 1.25 * base, 1e-9);
+}
+
+TEST(TimeToSolution, ReplicatedEqTwentyThree) {
+  const double w = 1e7;
+  const std::uint64_t n = 200000;
+  const double gamma = 1e-5, alpha = 0.2, h = 0.004;
+  const double expected =
+      (1.0 + alpha) * (gamma + 2.0 * (1.0 - gamma) / static_cast<double>(n)) * (h + 1.0) * w;
+  EXPECT_NEAR(time_to_solution_replicated(w, n, gamma, alpha, h), expected, 1e-6);
+}
+
+TEST(TimeToSolution, ReplicationWinsWhenOverheadGapIsLarge) {
+  // Fig. 9's crossover logic: replication at small overhead beats
+  // no-replication at huge overhead, despite halving the processors.
+  const double w = 1e9;
+  const std::uint64_t n = 200000;
+  const double tts_rep = time_to_solution_replicated(w, n, 1e-5, 0.2, 0.01);
+  const double tts_norep = time_to_solution_noreplication(w, n, 1e-5, 5.0);
+  EXPECT_LT(tts_rep, tts_norep);
+}
+
+TEST(WorkPerPeriod, InvertsParallelTime) {
+  const double period = 3600.0;
+  const std::uint64_t n = 1000;
+  const double gamma = 1e-4;
+  const double w = work_per_period_noreplication(period, n, gamma);
+  EXPECT_NEAR(parallel_time(w, n, gamma), period, 1e-9);
+}
+
+TEST(WorkPerPeriod, ReplicatedInvertsReplicatedTime) {
+  const double period = 3600.0;
+  const std::uint64_t n = 2000;
+  const double gamma = 1e-4, alpha = 0.2;
+  const double w = work_per_period_replicated(period, n, gamma, alpha);
+  EXPECT_NEAR(replicated_parallel_time(w, n, gamma, alpha), period, 1e-9);
+}
+
+TEST(WorkPerPeriod, ReplicationReducesWorkPerPeriod) {
+  EXPECT_LT(work_per_period_replicated(3600.0, 1000, 1e-5, 0.2),
+            work_per_period_noreplication(3600.0, 1000, 1e-5));
+}
+
+TEST(DomainErrors, RejectBadArguments) {
+  EXPECT_THROW((void)parallel_time(-1.0, 10, 0.5), std::domain_error);
+  EXPECT_THROW((void)parallel_time(1.0, 0, 0.5), std::domain_error);
+  EXPECT_THROW((void)parallel_time(1.0, 10, 1.5), std::domain_error);
+  EXPECT_THROW((void)replicated_parallel_time(1.0, 11, 0.5, 0.0), std::domain_error);
+  EXPECT_THROW((void)replicated_parallel_time(1.0, 10, 0.5, -0.1), std::domain_error);
+  EXPECT_THROW((void)time_to_solution_noreplication(1.0, 10, 0.5, -0.1), std::domain_error);
+  EXPECT_THROW((void)work_per_period_noreplication(0.0, 10, 0.5), std::domain_error);
+}
+
+}  // namespace

@@ -1,0 +1,69 @@
+#include "model/asymptotic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace {
+
+using namespace repcheck::model;
+
+TEST(Asymptotic, RatioFormula) {
+  // R(x) = ((9/8 pi x^2)^{1/3} + 1) / (sqrt(2x) + 1).
+  for (double x : {0.05, 0.1, 0.5, 1.0}) {
+    const double expected = (std::cbrt(9.0 / 8.0 * std::numbers::pi * x * x) + 1.0) /
+                            (std::sqrt(2.0 * x) + 1.0);
+    EXPECT_NEAR(asymptotic_ratio(x), expected, 1e-14);
+  }
+}
+
+TEST(Asymptotic, RestartWinsForSmallX) {
+  for (double x : {0.01, 0.1, 0.3, 0.5, 0.6}) {
+    EXPECT_LT(asymptotic_ratio(x), 1.0) << "x = " << x;
+  }
+}
+
+TEST(Asymptotic, NoRestartWinsForLargeX) {
+  for (double x : {0.7, 1.0, 2.0}) {
+    EXPECT_GT(asymptotic_ratio(x), 1.0) << "x = " << x;
+  }
+}
+
+TEST(Asymptotic, BreakevenNearPointSixtyFour) {
+  // The paper: restart is faster "as long as the checkpoint time takes less
+  // than 2/3 of the MTTI", x in [0, 0.64].
+  const double x_star = asymptotic_breakeven_x();
+  EXPECT_GT(x_star, 0.60);
+  EXPECT_LT(x_star, 0.68);
+  EXPECT_NEAR(asymptotic_ratio(x_star), 1.0, 1e-9);
+}
+
+TEST(Asymptotic, MaxGainIsEightPointFourPercent) {
+  // "the restart strategy is up to 8.4% faster".
+  const double gain = asymptotic_max_gain();
+  EXPECT_GT(gain, 0.082);
+  EXPECT_LT(gain, 0.086);
+}
+
+TEST(Asymptotic, BestXIsInteriorMinimum) {
+  const double x_best = asymptotic_best_x();
+  EXPECT_GT(x_best, 0.0);
+  EXPECT_LT(x_best, asymptotic_breakeven_x());
+  const double r_best = asymptotic_ratio(x_best);
+  EXPECT_LT(r_best, asymptotic_ratio(x_best * 0.5));
+  EXPECT_LT(r_best, asymptotic_ratio(x_best * 2.0));
+}
+
+TEST(Asymptotic, LimitAtZeroIsOne) {
+  // Both strategies' overheads vanish as C/MTTI -> 0.
+  EXPECT_NEAR(asymptotic_ratio(1e-12), 1.0, 1e-3);
+}
+
+TEST(Asymptotic, RejectsNonPositiveX) {
+  EXPECT_THROW((void)asymptotic_ratio(0.0), std::domain_error);
+  EXPECT_THROW((void)asymptotic_ratio(-1.0), std::domain_error);
+}
+
+}  // namespace

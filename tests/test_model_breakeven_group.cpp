@@ -1,0 +1,145 @@
+// Break-even solvers (the Figures 9/10 crossovers as closed API) and the
+// group-replication comparison of the related work.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "model/breakeven.hpp"
+#include "model/group_replication.hpp"
+#include "model/mtti.hpp"
+#include "model/periods.hpp"
+#include "model/units.hpp"
+
+namespace {
+
+using namespace repcheck::model;
+
+PlatformSpec paper_platform(double c, std::uint64_t n = 200000,
+                            double mtbf_years = 5.0) {
+  PlatformSpec p;
+  p.n_procs = n;
+  p.mtbf_proc = years(mtbf_years);
+  p.checkpoint_cost = c;
+  p.restart_checkpoint_cost = c;
+  p.recovery_cost = c;
+  return p;
+}
+
+const AmdahlApp kPaperApp{1e-5, 0.2};
+
+// --------------------------------------------------------------- breakeven
+
+TEST(Breakeven, MtbfCrossoverMatchesFigureNine) {
+  // Fig. 9 (C = 60 s, N = 2e5): replication wins below ~1.8e8 s; at
+  // C = 600 s, below ~1.9e9 s (about 10x higher).
+  const double x60 = breakeven_mtbf(paper_platform(60.0), kPaperApp);
+  ASSERT_FALSE(std::isnan(x60));
+  EXPECT_GT(x60, 1.2e8);
+  EXPECT_LT(x60, 2.5e8);
+  const double x600 = breakeven_mtbf(paper_platform(600.0), kPaperApp);
+  ASSERT_FALSE(std::isnan(x600));
+  EXPECT_NEAR(x600 / x60, 10.0, 4.0);  // "roughly 10 times higher"
+}
+
+TEST(Breakeven, MtbfCrossoverIsConsistentWithDecide) {
+  const auto spec = paper_platform(60.0);
+  const double x = breakeven_mtbf(spec, kPaperApp);
+  PlatformSpec below = spec, above = spec;
+  below.mtbf_proc = 0.5 * x;
+  above.mtbf_proc = 2.0 * x;
+  EXPECT_EQ(decide(below, kPaperApp, 1e9).plan, Plan::kReplicatedRestart);
+  EXPECT_EQ(decide(above, kPaperApp, 1e9).plan, Plan::kNoReplication);
+}
+
+TEST(Breakeven, PlatformSizeCrossoverMatchesFigureTen) {
+  // Fig. 10 (mu = 5 y): replication wins from N >= 2e5 at C = 60 s and
+  // from N >= 2.5e4 at C = 600 s.
+  const double n60 = breakeven_n(paper_platform(60.0), kPaperApp);
+  ASSERT_FALSE(std::isnan(n60));
+  EXPECT_GT(n60, 1.5e5);
+  EXPECT_LT(n60, 2.5e5);
+  const double n600 = breakeven_n(paper_platform(600.0), kPaperApp);
+  ASSERT_FALSE(std::isnan(n600));
+  EXPECT_GT(n600, 2e4);
+  EXPECT_LT(n600, 6e4);
+  EXPECT_LT(n600, n60);  // 10x costlier checkpoints => ~10x fewer procs
+}
+
+TEST(Breakeven, GammaCrossoverExistsAndIsConsistent) {
+  // At mu = 5 y, C = 60 s, N = 1e5, gamma decides: find the threshold and
+  // check decide() flips around it.
+  const auto spec = paper_platform(60.0, 100000);
+  const double g = breakeven_gamma(spec, kPaperApp);
+  ASSERT_FALSE(std::isnan(g));
+  AmdahlApp below = kPaperApp, above = kPaperApp;
+  below.gamma = g / 3.0;
+  above.gamma = std::min(0.4, g * 3.0);
+  EXPECT_EQ(decide(spec, below, 1e9).plan, Plan::kNoReplication);
+  EXPECT_EQ(decide(spec, above, 1e9).plan, Plan::kReplicatedRestart);
+}
+
+TEST(Breakeven, CheckpointCostCrossoverConsistent) {
+  const auto spec = paper_platform(60.0, 100000);
+  const double c_star = breakeven_checkpoint_cost(spec, kPaperApp);
+  ASSERT_FALSE(std::isnan(c_star));
+  PlatformSpec cheap = spec, costly = spec;
+  cheap.checkpoint_cost = cheap.restart_checkpoint_cost = cheap.recovery_cost = c_star / 2.0;
+  costly.checkpoint_cost = costly.restart_checkpoint_cost = costly.recovery_cost = c_star * 2.0;
+  EXPECT_EQ(decide(cheap, kPaperApp, 1e9).plan, Plan::kNoReplication);
+  EXPECT_EQ(decide(costly, kPaperApp, 1e9).plan, Plan::kReplicatedRestart);
+}
+
+TEST(Breakeven, NoCrossoverYieldsNan) {
+  // An ultra-reliable platform in a tiny MTBF search window that stays on
+  // the no-replication side throughout.
+  const auto spec = paper_platform(60.0, 1000);
+  EXPECT_TRUE(std::isnan(breakeven_mtbf(spec, kPaperApp, 1e11, 1e12)));
+}
+
+// -------------------------------------------------------- group replication
+
+TEST(GroupReplication, InstanceMtbfIsTwoMuOverN) {
+  EXPECT_NEAR(group_instance_mtbf(200000, years(5.0)), years(5.0) / 1e5, 1e-6);
+}
+
+TEST(GroupReplication, MttiIsThreeMuOverN) {
+  const double mu = years(5.0);
+  EXPECT_NEAR(group_replication_mtti(200000, mu), 3.0 * mu / 200000.0, 1e-6);
+}
+
+TEST(GroupReplication, ProcessReplicationWinsBySqrtB) {
+  // MTTI ratio ≈ √(πb)/3 — the Θ(√b) advantage of per-process pairing.
+  for (std::uint64_t n : {2000ULL, 200000ULL}) {
+    const double ratio = process_over_group_mtti_ratio(n, years(5.0));
+    const double expected = std::sqrt(std::numbers::pi * static_cast<double>(n) / 2.0) / 3.0;
+    EXPECT_NEAR(ratio / expected, 1.0, 0.05) << "n = " << n;
+  }
+}
+
+TEST(GroupReplication, PeriodIsSinglePairFormulaAtInstanceRate) {
+  const std::uint64_t n = 200000;
+  const double mu = years(5.0);
+  EXPECT_NEAR(group_replication_t_opt(60.0, n, mu),
+              t_opt_rs(60.0, 1, group_instance_mtbf(n, mu)), 1e-9);
+}
+
+TEST(GroupReplication, HigherOverheadThanProcessReplication) {
+  // Same platform, same C: group replication interrupts Θ(√b) more often,
+  // so its optimal overhead is far above process replication's.
+  const std::uint64_t n = 200000;
+  const double mu = years(5.0);
+  const double c = 60.0;
+  const double h_group =
+      group_replication_overhead(c, group_replication_t_opt(c, n, mu), n, mu);
+  const double h_process = h_opt_rs(c, n / 2, mu);
+  EXPECT_GT(h_group, 3.0 * h_process);
+}
+
+TEST(GroupReplication, RejectsBadArguments) {
+  EXPECT_THROW((void)group_instance_mtbf(3, 1e6), std::domain_error);
+  EXPECT_THROW((void)group_instance_mtbf(0, 1e6), std::domain_error);
+  EXPECT_THROW((void)group_instance_mtbf(4, 0.0), std::domain_error);
+}
+
+}  // namespace

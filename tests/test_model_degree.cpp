@@ -1,0 +1,187 @@
+#include "model/degree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "model/mtti.hpp"
+#include "model/nfail.hpp"
+#include "model/overhead.hpp"
+#include "model/periods.hpp"
+#include "model/units.hpp"
+
+namespace {
+
+using namespace repcheck::model;
+
+// ------------------------------------------- reduction to the paper (r=2)
+
+TEST(Degree, PeriodReducesToEqTwentyAtDegreeTwo) {
+  for (double c : {60.0, 600.0}) {
+    for (std::uint64_t b : {1ULL, 100ULL, 100000ULL}) {
+      const double mu = years(5.0);
+      EXPECT_NEAR(t_opt_rs_degree(c, b, mu, 2) / t_opt_rs(c, b, mu), 1.0, 1e-12)
+          << "c=" << c << " b=" << b;
+    }
+  }
+}
+
+TEST(Degree, OverheadReducesToEqNineteenAtDegreeTwo) {
+  const double mu = 1e8;
+  for (double t : {1000.0, 50000.0}) {
+    EXPECT_NEAR(overhead_restart_degree(60.0, t, 500, mu, 2) / overhead_restart(60.0, t, 500, mu),
+                1.0, 1e-12);
+  }
+}
+
+TEST(Degree, OptimalOverheadReducesToEqTwentyOneAtDegreeTwo) {
+  const double mu = years(5.0);
+  EXPECT_NEAR(h_opt_rs_degree(60.0, 100000, mu, 2) / h_opt_rs(60.0, 100000, mu), 1.0, 1e-12);
+}
+
+// -------------------------------------------------------- scaling laws
+
+TEST(Degree, PeriodScalesAsMuToRthOverRPlusOne) {
+  // T = Θ(μ^{r/(r+1)}): doubling μ scales T by 2^{r/(r+1)}.
+  for (std::uint32_t r : {2u, 3u, 4u}) {
+    const double t1 = t_opt_rs_degree(60.0, 1000, 1e8, r);
+    const double t2 = t_opt_rs_degree(60.0, 1000, 2e8, r);
+    EXPECT_NEAR(t2 / t1, std::pow(2.0, static_cast<double>(r) / (r + 1.0)), 1e-9) << "r=" << r;
+  }
+}
+
+TEST(Degree, HigherDegreeMeansLongerPeriods) {
+  // Triple replication interrupts far less often => checkpoint less often.
+  const double mu = years(5.0);
+  EXPECT_GT(t_opt_rs_degree(60.0, 66666, mu, 3), t_opt_rs_degree(60.0, 100000, mu, 2));
+}
+
+TEST(Degree, HigherDegreeMeansLowerOverhead) {
+  const double mu = years(1.0);
+  EXPECT_LT(h_opt_rs_degree(60.0, 66666, mu, 3), h_opt_rs_degree(60.0, 100000, mu, 2));
+}
+
+TEST(Degree, OptimumBalancesCheckpointAndFailureShares) {
+  // At T_opt the failure-induced share is C/(r·T): d/dT C/T + a T^r = 0
+  // gives a T^r = C/(rT).
+  for (std::uint32_t r : {2u, 3u, 5u}) {
+    const double c = 100.0;
+    const double mu = 1e8;
+    const std::uint64_t g = 2000;
+    const double t = t_opt_rs_degree(c, g, mu, r);
+    const double h = overhead_restart_degree(c, t, g, mu, r);
+    EXPECT_NEAR(h, c / t * (1.0 + 1.0 / static_cast<double>(r)), 1e-9 * h) << "r=" << r;
+  }
+}
+
+TEST(Degree, BrentMinimizerAgreesWithClosedForm) {
+  const double c = 60.0;
+  const double mu = 1e8;
+  const std::uint64_t g = 500;
+  for (std::uint32_t r : {2u, 3u}) {
+    // Grid-scan around the claimed optimum: no nearby period beats it.
+    const double t_star = t_opt_rs_degree(c, g, mu, r);
+    const double h_star = overhead_restart_degree(c, t_star, g, mu, r);
+    for (double f : {0.7, 0.9, 1.1, 1.4}) {
+      EXPECT_LE(h_star, overhead_restart_degree(c, f * t_star, g, mu, r)) << "r=" << r;
+    }
+  }
+}
+
+// -------------------------------------------------- Monte-Carlo n_fail
+
+TEST(Degree, MonteCarloNFailMatchesClosedFormAtDegreeTwo) {
+  for (std::uint64_t b : {1ULL, 10ULL, 1000ULL}) {
+    const double mc = nfail_degree_monte_carlo(b, 2, 20000, 7);
+    EXPECT_NEAR(mc / nfail_closed_form(b), 1.0, 0.05) << "b=" << b;
+  }
+}
+
+TEST(Degree, MonteCarloNFailSingleTripletIsEleventhHalves) {
+  // One triplet: E[hits] until all 3 slots hit, hits uniform over 3 slots,
+  // wasted repeats counted = 3·(1/3 + 1/2 + 1) = 5.5 (coupon collector).
+  EXPECT_NEAR(nfail_degree_monte_carlo(1, 3, 40000, 11), 5.5, 0.08);
+}
+
+TEST(Degree, MonteCarloNFailGrowsLikeGroupsToTwoThirds) {
+  // Triple-collision birthday: n_fail(r=3) = Θ(g^{2/3}).
+  const double small = nfail_degree_monte_carlo(100, 3, 4000, 13);
+  const double large = nfail_degree_monte_carlo(800, 3, 4000, 13);
+  EXPECT_NEAR(large / small, std::pow(8.0, 2.0 / 3.0), 0.5);  // 4 ± noise
+}
+
+TEST(Degree, TriplicationSurvivesFarMoreFailures) {
+  const double pairs = nfail_closed_form(1000);
+  const double triplets = nfail_degree_monte_carlo(667, 3, 4000, 17);
+  EXPECT_GT(triplets, 3.0 * pairs);
+}
+
+TEST(Degree, MonteCarloMttiMatchesClosedFormAtDegreeTwo) {
+  const double mu = years(5.0);
+  const double mc = mtti_degree_monte_carlo(1000, 2, mu, 20000, 19);
+  EXPECT_NEAR(mc / mtti(1000, mu), 1.0, 0.05);
+}
+
+TEST(Degree, MonteCarloIsDeterministicPerSeed) {
+  EXPECT_DOUBLE_EQ(nfail_degree_monte_carlo(50, 3, 500, 3),
+                   nfail_degree_monte_carlo(50, 3, 500, 3));
+  EXPECT_NE(nfail_degree_monte_carlo(50, 3, 500, 3), nfail_degree_monte_carlo(50, 3, 500, 4));
+}
+
+// -------------------------------------------------- degraded-state MTTI
+
+TEST(DegradedMtti, ZeroDegradedMatchesMtti) {
+  const double mu = years(5.0);
+  for (std::uint64_t b : {1ULL, 100ULL, 10000ULL}) {
+    // closed form vs O(b) recursion: agreement to ~10 significant digits
+    EXPECT_NEAR(mtti_degraded(b, 0, mu) / mtti(b, mu), 1.0, 1e-9) << "b=" << b;
+  }
+}
+
+TEST(DegradedMtti, FullyDegradedIsTwoFailureSlots) {
+  // Every pair has one dead replica: N(b) = 2 (half the hits are wasted,
+  // any live hit is fatal), so M_b = 2·μ/(2b) = μ/b.
+  const double mu = 1e6;
+  const std::uint64_t b = 50;
+  EXPECT_NEAR(mtti_degraded(b, b, mu), mu / static_cast<double>(b), 1e-6);
+}
+
+TEST(DegradedMtti, StrictlyDecreasingInDamage) {
+  const double mu = years(5.0);
+  const std::uint64_t b = 200;
+  double prev = mtti_degraded(b, 0, mu);
+  for (std::uint64_t k = 1; k <= b; k += 20) {
+    const double m = mtti_degraded(b, k, mu);
+    ASSERT_LT(m, prev) << "k=" << k;
+    prev = m;
+  }
+}
+
+TEST(DegradedMtti, TableIsConsistentWithScalar) {
+  const auto table = nfail_from_degraded(100);
+  ASSERT_EQ(table.size(), 101u);
+  EXPECT_NEAR(table[0], nfail_closed_form(100), 1e-9);
+  EXPECT_NEAR(table[100], 2.0, 1e-12);
+}
+
+TEST(DegradedMtti, SinglePairDegradedIsTwoMu) {
+  // One pair, one dead: next failure hits the survivor w.p. 1/2 => N(1)=2,
+  // M_1 = 2·μ/2 = μ (the survivor's own MTBF, as it must be).
+  const double mu = 1e7;
+  EXPECT_NEAR(mtti_degraded(1, 1, mu), mu, 1e-3);
+}
+
+// ----------------------------------------------------------- validation
+
+TEST(Degree, RejectsBadArguments) {
+  EXPECT_THROW((void)t_opt_rs_degree(60.0, 0, 1e8, 3), std::domain_error);
+  EXPECT_THROW((void)t_opt_rs_degree(60.0, 10, 1e8, 1), std::domain_error);
+  EXPECT_THROW((void)t_opt_rs_degree(0.0, 10, 1e8, 3), std::domain_error);
+  EXPECT_THROW((void)overhead_restart_degree(60.0, 0.0, 10, 1e8, 3), std::domain_error);
+  EXPECT_THROW((void)nfail_degree_monte_carlo(0, 3, 100, 1), std::domain_error);
+  EXPECT_THROW((void)nfail_degree_monte_carlo(10, 3, 0, 1), std::domain_error);
+  EXPECT_THROW((void)mtti_degraded(10, 11, 1e6), std::domain_error);
+}
+
+}  // namespace

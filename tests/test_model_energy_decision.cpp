@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "model/decision.hpp"
+#include "model/energy.hpp"
+#include "model/periods.hpp"
+#include "model/units.hpp"
+
+namespace {
+
+using namespace repcheck::model;
+
+// ------------------------------------------------------------------ energy
+
+TEST(Energy, PureComputeBaseline) {
+  PowerModel power{100.0, 120.0, 30.0};
+  TimeBreakdown b;
+  b.compute = 1000.0;
+  EXPECT_NEAR(energy_joules(power, b, 1), (100.0 + 120.0) * 1000.0, 1e-9);
+}
+
+TEST(Energy, ScalesWithProcessors) {
+  PowerModel power;
+  TimeBreakdown b;
+  b.compute = 100.0;
+  EXPECT_NEAR(energy_joules(power, b, 10) / energy_joules(power, b, 1), 10.0, 1e-12);
+}
+
+TEST(Energy, IoAndIdleDrawDifferentPower) {
+  PowerModel power{100.0, 120.0, 30.0};
+  TimeBreakdown io_only;
+  io_only.io = 100.0;
+  TimeBreakdown idle_only;
+  idle_only.idle = 100.0;
+  EXPECT_NEAR(energy_joules(power, io_only, 1), (100.0 + 30.0) * 100.0, 1e-9);
+  EXPECT_NEAR(energy_joules(power, idle_only, 1), 100.0 * 100.0, 1e-9);
+}
+
+TEST(Energy, ZeroOverheadForIdealRun) {
+  PowerModel power;
+  TimeBreakdown b;
+  b.compute = 500.0;
+  EXPECT_NEAR(energy_overhead(power, b, 8, 500.0), 0.0, 1e-12);
+}
+
+TEST(Energy, OverheadGrowsWithWaste) {
+  PowerModel power;
+  TimeBreakdown some;
+  some.compute = 500.0;
+  some.io = 10.0;
+  TimeBreakdown more;
+  more.compute = 550.0;  // includes re-executed work
+  more.io = 50.0;
+  more.idle = 20.0;
+  EXPECT_GT(energy_overhead(power, more, 8, 500.0), energy_overhead(power, some, 8, 500.0));
+  EXPECT_GT(energy_overhead(power, some, 8, 500.0), 0.0);
+}
+
+TEST(EnergyOptimalPeriod, ScalesByCubeRootOfPowerRatio) {
+  PowerModel power{100.0, 120.0, 30.0};  // rho = 130/220
+  const double rho = io_power_ratio(power);
+  EXPECT_NEAR(rho, 130.0 / 220.0, 1e-12);
+  const std::uint64_t b = 100000;
+  const double mu = years(5.0);
+  const double t_time = t_opt_rs(60.0, b, mu);
+  const double t_energy = energy_optimal_period_rs(power, 60.0, b, mu);
+  EXPECT_NEAR(t_energy / t_time, std::cbrt(rho), 1e-9);
+  EXPECT_LT(t_energy, t_time);  // checkpoints are cheaper in Joules: take more
+}
+
+TEST(EnergyOptimalPeriod, MinimizesTheEnergyOverhead) {
+  PowerModel power{100.0, 120.0, 30.0};
+  const std::uint64_t b = 1000;
+  const double mu = 1e8;
+  const double t_star = energy_optimal_period_rs(power, 60.0, b, mu);
+  const double e_star = energy_overhead_rs(power, 60.0, t_star, b, mu);
+  for (double f : {0.5, 0.8, 1.25, 2.0}) {
+    EXPECT_LT(e_star, energy_overhead_rs(power, 60.0, f * t_star, b, mu));
+  }
+  // And the time-optimal period is strictly worse in energy.
+  EXPECT_LT(e_star, energy_overhead_rs(power, 60.0, t_opt_rs(60.0, b, mu), b, mu));
+}
+
+TEST(EnergyOptimalPeriod, EqualDrawsCollapseToTimeOptimal) {
+  PowerModel power{100.0, 120.0, 120.0};  // I/O as hungry as compute
+  const std::uint64_t b = 1000;
+  const double mu = 1e8;
+  EXPECT_NEAR(energy_optimal_period_rs(power, 60.0, b, mu), t_opt_rs(60.0, b, mu), 1e-9);
+}
+
+TEST(EnergyOptimalPeriod, RejectsBadArguments) {
+  PowerModel power;
+  EXPECT_THROW((void)energy_optimal_period_rs(power, 0.0, 10, 1e8), std::domain_error);
+  EXPECT_THROW((void)energy_overhead_rs(power, 60.0, 0.0, 10, 1e8), std::domain_error);
+  EXPECT_THROW((void)energy_overhead_rs(power, 60.0, 100.0, 0, 1e8), std::domain_error);
+  PowerModel broken{0.0, 0.0, 0.0};
+  EXPECT_THROW((void)io_power_ratio(broken), std::domain_error);
+}
+
+TEST(Energy, RejectsBadArguments) {
+  PowerModel power;
+  TimeBreakdown b;
+  b.compute = -1.0;
+  EXPECT_THROW((void)energy_joules(power, b, 1), std::domain_error);
+  b.compute = 1.0;
+  EXPECT_THROW((void)energy_joules(power, b, 0), std::domain_error);
+  EXPECT_THROW((void)energy_overhead(power, b, 1, 0.0), std::domain_error);
+}
+
+// ---------------------------------------------------------------- decision
+
+PlatformSpec paper_platform(double mtbf_years, double c) {
+  PlatformSpec p;
+  p.n_procs = 200000;
+  p.mtbf_proc = years(mtbf_years);
+  p.checkpoint_cost = c;
+  p.restart_checkpoint_cost = c;
+  p.recovery_cost = c;
+  p.downtime = 0.0;
+  return p;
+}
+
+TEST(Decision, ReliablePlatformPrefersNoReplication) {
+  // Very long MTBF: halving throughput for replication cannot pay off.
+  const auto advice = decide(paper_platform(10000.0, 60.0), AmdahlApp{1e-5, 0.2}, 1e9);
+  EXPECT_EQ(advice.plan, Plan::kNoReplication);
+  EXPECT_LT(advice.advantage, 1.0);
+}
+
+TEST(Decision, FailureProneWithExpensiveCheckpointsPrefersReplication) {
+  // Fig. 10 at C = 600 s: replication wins from N ≈ 2.5e4 at mu = 5 y, so
+  // at N = 2e5 it wins comfortably.
+  const auto advice = decide(paper_platform(5.0, 600.0), AmdahlApp{1e-5, 0.2}, 1e9);
+  EXPECT_EQ(advice.plan, Plan::kReplicatedRestart);
+}
+
+TEST(Decision, RecommendedPeriodMatchesPlan) {
+  const auto rep = decide(paper_platform(5.0, 600.0), AmdahlApp{1e-5, 0.2}, 1e9);
+  EXPECT_GT(rep.period, 0.0);
+  const auto norep = decide(paper_platform(10000.0, 60.0), AmdahlApp{1e-5, 0.2}, 1e9);
+  EXPECT_GT(norep.period, 0.0);
+  // Restart period (Theta(mu^{2/3})) at short MTBF is much longer than the
+  // Young/Daly period of the same platform.
+  EXPECT_GT(rep.period, 1000.0);
+}
+
+TEST(Decision, RestartBeatsNoRestartPrediction) {
+  // Whatever the winning plan, the restart strategy must predict a better
+  // time-to-solution than prior art's no-restart.
+  for (double mtbf_years : {1.0, 5.0, 50.0}) {
+    const auto advice = decide(paper_platform(mtbf_years, 600.0), AmdahlApp{1e-5, 0.2}, 1e9);
+    EXPECT_LT(advice.tts_replicated_restart, advice.tts_replicated_norestart)
+        << "mtbf = " << mtbf_years << " years";
+  }
+}
+
+TEST(Decision, CheaperCheckpointsShiftTowardNoReplication) {
+  // Fig. 9: the crossover MTBF climbs ~10x when C goes from 60 s to 600 s.
+  AmdahlApp app{1e-5, 0.2};
+  int rep_wins_60 = 0, rep_wins_600 = 0;
+  for (double mtbf_years : {0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0}) {
+    if (decide(paper_platform(mtbf_years, 60.0), app, 1e9).plan == Plan::kReplicatedRestart) {
+      ++rep_wins_60;
+    }
+    if (decide(paper_platform(mtbf_years, 600.0), app, 1e9).plan == Plan::kReplicatedRestart) {
+      ++rep_wins_600;
+    }
+  }
+  EXPECT_GE(rep_wins_600, rep_wins_60);
+  EXPECT_GT(rep_wins_600, 0);
+}
+
+TEST(Decision, LargerGammaFavorsReplication) {
+  // The paper: replication is favored by a large sequential fraction gamma
+  // (halving processors costs little when scaling is already poor).
+  const auto spec = paper_platform(5.0, 60.0);
+  const auto low_gamma = decide(spec, AmdahlApp{1e-7, 0.2}, 1e9);
+  const auto high_gamma = decide(spec, AmdahlApp{1e-3, 0.2}, 1e9);
+  const double rel_low = low_gamma.tts_replicated_restart / low_gamma.tts_noreplication;
+  const double rel_high = high_gamma.tts_replicated_restart / high_gamma.tts_noreplication;
+  EXPECT_LT(rel_high, rel_low);
+}
+
+TEST(Decision, RejectsBadArguments) {
+  auto spec = paper_platform(5.0, 60.0);
+  AmdahlApp app;
+  spec.n_procs = 3;
+  EXPECT_THROW((void)decide(spec, app, 1e9), std::domain_error);
+  spec = paper_platform(5.0, 60.0);
+  spec.mtbf_proc = 0.0;
+  EXPECT_THROW((void)decide(spec, app, 1e9), std::domain_error);
+  spec = paper_platform(5.0, 60.0);
+  spec.restart_checkpoint_cost = 30.0;  // below C
+  EXPECT_THROW((void)decide(spec, app, 1e9), std::domain_error);
+}
+
+}  // namespace

@@ -1,0 +1,155 @@
+#include "model/mtti.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "model/nfail.hpp"
+#include "model/units.hpp"
+
+namespace {
+
+using namespace repcheck::model;
+
+TEST(Mtti, SinglePairIsThreeHalvesMu) {
+  const double mu = years(5.0);
+  EXPECT_NEAR(mtti(1, mu), 1.5 * mu, 1e-6);
+}
+
+TEST(Mtti, MatchesDefinitionFromNFail) {
+  const double mu = years(5.0);
+  for (std::uint64_t b : {10ULL, 100ULL, 100000ULL}) {
+    EXPECT_NEAR(mtti(b, mu), nfail_closed_form(b) * mu / (2.0 * static_cast<double>(b)), 1e-3);
+  }
+}
+
+TEST(Mtti, IntegralOfSurvivalMatchesClosedForm) {
+  // MTTI = ∫_0^∞ P(no interruption by t) dt, checked by quadrature.
+  const double mu = 1000.0;
+  for (std::uint64_t b : {1ULL, 2ULL, 5ULL, 20ULL, 100ULL}) {
+    EXPECT_NEAR(mtti_integral(b, mu) / mtti(b, mu), 1.0, 1e-6) << "b = " << b;
+  }
+}
+
+TEST(Mtti, PaperScaleValue) {
+  // b = 1e5 pairs, mu = 5 years: M = n_fail · mu / 2b ≈ 561 · mu / 2e5.
+  const double mu = years(5.0);
+  const double m = mtti(100000, mu);
+  EXPECT_NEAR(m, 561.0 * mu / 2e5, 0.01 * m);
+}
+
+TEST(Mtti, DecreasesWithMorePairs) {
+  const double mu = years(5.0);
+  double prev = mtti(1, mu);
+  for (std::uint64_t b : {2ULL, 4ULL, 16ULL, 256ULL, 65536ULL}) {
+    const double m = mtti(b, mu);
+    ASSERT_LT(m, prev);
+    prev = m;
+  }
+}
+
+TEST(Mtti, ScalesLinearlyWithMtbf) {
+  EXPECT_NEAR(mtti(50, 2000.0) / mtti(50, 1000.0), 2.0, 1e-9);
+}
+
+TEST(Survival, SingleProcessorExponential) {
+  EXPECT_NEAR(survival_single(0.0, 100.0), 1.0, 1e-15);
+  EXPECT_NEAR(survival_single(100.0, 100.0), std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(cdf_single(100.0, 100.0), 1.0 - std::exp(-1.0), 1e-12);
+}
+
+TEST(Survival, ParallelIsPowerOfSingle) {
+  const double t = 50.0, mu = 100.0;
+  EXPECT_NEAR(survival_parallel(t, mu, 10), std::pow(survival_single(t, mu), 10.0), 1e-12);
+}
+
+TEST(Survival, PairsAtZeroIsOne) { EXPECT_DOUBLE_EQ(survival_pairs(0.0, 100.0, 5), 1.0); }
+
+TEST(Survival, PairBeatsTwoParallelProcessors) {
+  // Fig. 1a's message: a replicated pair outlives two parallel processors.
+  const double mu = years(5.0);
+  for (double t : {days(100.0), days(1000.0), days(3000.0)}) {
+    EXPECT_GT(survival_pairs(t, mu, 1), survival_parallel(t, mu, 2));
+  }
+}
+
+TEST(Survival, ReplicationWinsAtScale) {
+  // Fig. 1b: 100k pairs vastly outlive 200k plain processors.
+  const double mu = years(5.0);
+  const double t = minutes(60.0);
+  EXPECT_GT(survival_pairs(t, mu, 100000), 0.9);
+  EXPECT_LT(survival_parallel(t, mu, 200000), 0.02);
+}
+
+TEST(Survival, PairsMonotoneDecreasingInTime) {
+  const double mu = 1000.0;
+  double prev = 1.0;
+  for (double t = 100.0; t <= 10000.0; t += 100.0) {
+    const double s = survival_pairs(t, mu, 10);
+    ASSERT_LE(s, prev);
+    prev = s;
+  }
+}
+
+TEST(TimeToProbability, InvertsSingleCdf) {
+  const double mu = years(5.0);
+  const double t = time_to_failure_probability_single(0.9, mu);
+  EXPECT_NEAR(cdf_single(t, mu), 0.9, 1e-12);
+  EXPECT_NEAR(t, mu * std::log(10.0), 1e-3);
+}
+
+TEST(TimeToProbability, InvertsParallelCdf) {
+  const double mu = years(5.0);
+  const double t = time_to_failure_probability_parallel(0.9, mu, 100000);
+  EXPECT_NEAR(cdf_parallel(t, mu, 100000), 0.9, 1e-9);
+}
+
+TEST(TimeToProbability, InvertsPairsCdf) {
+  const double mu = years(5.0);
+  for (std::uint64_t b : {1ULL, 100ULL, 100000ULL}) {
+    const double t = time_to_failure_probability_pairs(0.9, mu, b);
+    EXPECT_NEAR(cdf_pairs(t, mu, b), 0.9, 1e-9) << "b = " << b;
+  }
+}
+
+TEST(TimeToProbability, TwoProcessorsHalveTheSingleTime) {
+  const double mu = years(5.0);
+  EXPECT_NEAR(time_to_failure_probability_parallel(0.9, mu, 2),
+              time_to_failure_probability_single(0.9, mu) / 2.0, 1e-6);
+}
+
+TEST(TimeToProbability, PairOutlastsSingleProcessor) {
+  // Fig. 1a ordering: pair (2178 d) > one proc (1688 d) > two procs (844 d)
+  // — the ratios are what the model must reproduce.
+  const double mu = years(5.0);
+  const double t1 = time_to_failure_probability_single(0.9, mu);
+  const double t2 = time_to_failure_probability_parallel(0.9, mu, 2);
+  const double tp = time_to_failure_probability_pairs(0.9, mu, 1);
+  EXPECT_GT(tp, t1);
+  EXPECT_NEAR(t2 / t1, 0.5, 1e-9);
+  EXPECT_NEAR(tp / t1, 2178.0 / 1688.0, 0.01);  // paper's Fig. 1a ratio
+}
+
+TEST(TimeToProbability, ScaleRatiosMatchFigureOneB) {
+  // Fig. 1b quotes 24 min (100k procs), 12 min (200k procs), 5081 min
+  // (100k pairs): the 100k-pairs / 100k-procs ratio is ~212x.
+  const double mu = years(5.0);
+  const double t_100k = time_to_failure_probability_parallel(0.9, mu, 100000);
+  const double t_200k = time_to_failure_probability_parallel(0.9, mu, 200000);
+  const double t_pairs = time_to_failure_probability_pairs(0.9, mu, 100000);
+  EXPECT_NEAR(t_200k / t_100k, 0.5, 1e-9);
+  EXPECT_NEAR(t_pairs / t_100k, 5081.0 / 24.0, 0.05 * (5081.0 / 24.0));
+}
+
+TEST(DomainErrors, RejectBadArguments) {
+  EXPECT_THROW((void)mtti(0, 100.0), std::domain_error);
+  EXPECT_THROW((void)mtti(1, 0.0), std::domain_error);
+  EXPECT_THROW((void)survival_pairs(1.0, 100.0, 0), std::domain_error);
+  EXPECT_THROW((void)time_to_failure_probability_single(0.0, 100.0), std::domain_error);
+  EXPECT_THROW((void)time_to_failure_probability_single(1.0, 100.0), std::domain_error);
+  EXPECT_THROW((void)time_to_failure_probability_parallel(0.5, 100.0, 0), std::domain_error);
+  EXPECT_THROW((void)time_to_failure_probability_pairs(0.5, 100.0, 0), std::domain_error);
+}
+
+}  // namespace

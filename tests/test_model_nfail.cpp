@@ -1,0 +1,105 @@
+#include "model/nfail.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace {
+
+using namespace repcheck::model;
+
+TEST(NFail, SinglePairIsThree) {
+  // Section 4.2: n_fail(2) = 3, hence M_2 = 3mu/2.
+  EXPECT_NEAR(nfail_closed_form(1), 3.0, 1e-12);
+  EXPECT_NEAR(nfail_recursive(1), 3.0, 1e-12);
+  EXPECT_NEAR(nfail_integral(1), 3.0, 1e-9);
+}
+
+TEST(NFail, TwoPairsClosedForm) {
+  // 1 + 4^2 / C(4,2) = 1 + 16/6.
+  EXPECT_NEAR(nfail_closed_form(2), 1.0 + 16.0 / 6.0, 1e-12);
+}
+
+TEST(NFail, ThreePairsClosedForm) {
+  // 1 + 4^3 / C(6,3) = 1 + 64/20 = 4.2.
+  EXPECT_NEAR(nfail_closed_form(3), 4.2, 1e-12);
+}
+
+TEST(NFail, PaperScaleMatchesFiveSixtyOne) {
+  // Section 7.7: "With b = 100,000 processor pairs, we expect
+  // n_fail(2b) = 561 failures before the application is interrupted."
+  EXPECT_NEAR(nfail_closed_form(100000), 561.0, 1.0);
+}
+
+TEST(NFail, RejectsZeroPairs) {
+  EXPECT_THROW((void)nfail_closed_form(0), std::domain_error);
+  EXPECT_THROW((void)nfail_recursive(0), std::domain_error);
+  EXPECT_THROW((void)nfail_integral(0), std::domain_error);
+  EXPECT_THROW((void)nfail_asymptotic(0), std::domain_error);
+  EXPECT_THROW((void)nfail_birthday_estimate(0), std::domain_error);
+}
+
+class NFailCrossCheck : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NFailCrossCheck, ClosedFormEqualsRecursive) {
+  const std::uint64_t b = GetParam();
+  const double closed = nfail_closed_form(b);
+  const double recursive = nfail_recursive(b);
+  EXPECT_NEAR(recursive / closed, 1.0, 1e-10) << "b = " << b;
+}
+
+TEST_P(NFailCrossCheck, ClosedFormEqualsIntegral) {
+  const std::uint64_t b = GetParam();
+  const double closed = nfail_closed_form(b);
+  const double integral = nfail_integral(b);
+  EXPECT_NEAR(integral / closed, 1.0, 1e-8) << "b = " << b;
+}
+
+TEST_P(NFailCrossCheck, BirthdayEstimateUndercounts) {
+  // Prior work's 1 + Q(b) must sit below the true value (the paper's point).
+  const std::uint64_t b = GetParam();
+  if (b < 2) return;  // equal at b = 1? (1+Q(1) = 2 < 3: still below)
+  EXPECT_LT(nfail_birthday_estimate(b), nfail_closed_form(b)) << "b = " << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(PairCounts, NFailCrossCheck,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 8, 10, 16, 32, 50, 100, 200, 500,
+                                           1000, 5000, 20000, 100000));
+
+TEST(NFail, AsymptoticConvergesFromAbove) {
+  // n_fail(2b) / sqrt(pi b) -> 1.
+  for (std::uint64_t b : {100ULL, 1000ULL, 10000ULL, 100000ULL, 1000000ULL}) {
+    EXPECT_NEAR(nfail_closed_form(b) / nfail_asymptotic(b), 1.0, 0.06) << "b = " << b;
+  }
+  // and the approximation improves with b.
+  const double err_small = std::fabs(nfail_closed_form(100) / nfail_asymptotic(100) - 1.0);
+  const double err_large = std::fabs(nfail_closed_form(100000) / nfail_asymptotic(100000) - 1.0);
+  EXPECT_LT(err_large, err_small);
+}
+
+TEST(NFail, StrictlyIncreasingInPairs) {
+  double prev = 0.0;
+  for (std::uint64_t b = 1; b <= 64; ++b) {
+    const double v = nfail_closed_form(b);
+    ASSERT_GT(v, prev) << "b = " << b;
+    prev = v;
+  }
+}
+
+TEST(NFail, FortyPercentAboveBirthdayAsymptotically) {
+  // sqrt(pi b) / sqrt(pi b / 2) = sqrt(2) ≈ 1.41: the "40% more" claim.
+  const std::uint64_t b = 100000;
+  const double ratio = nfail_closed_form(b) / nfail_birthday_estimate(b);
+  EXPECT_NEAR(ratio, std::sqrt(2.0), 0.01);
+}
+
+TEST(NFail, NoOverflowAtExtremeScale) {
+  // Log-space evaluation must survive b far beyond double-factorial range.
+  const double v = nfail_closed_form(1000000000ULL);
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_NEAR(v / std::sqrt(std::numbers::pi * 1e9), 1.0, 1e-3);
+}
+
+}  // namespace

@@ -1,0 +1,168 @@
+#include "model/overhead.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "math/integrate.hpp"
+#include "model/mtti.hpp"
+#include "model/periods.hpp"
+
+namespace {
+
+using namespace repcheck::model;
+
+TEST(OverheadNoRestart, EqTwelveShape) {
+  // H^no(T) = C/T + T/(2M).
+  const double mu = 1e8;
+  const std::uint64_t b = 100;
+  const double m = mtti(b, mu);
+  for (double t : {1000.0, 5000.0, 20000.0}) {
+    EXPECT_NEAR(overhead_no_restart(60.0, t, b, mu), 60.0 / t + t / (2.0 * m), 1e-12);
+  }
+}
+
+TEST(OverheadNoRestart, MinimizedNearTMttiNo) {
+  const double mu = 1e8;
+  const std::uint64_t b = 100;
+  const double t_star = t_mtti_no(60.0, b, mu);
+  const double h_star = overhead_no_restart(60.0, t_star, b, mu);
+  EXPECT_LT(h_star, overhead_no_restart(60.0, 0.5 * t_star, b, mu));
+  EXPECT_LT(h_star, overhead_no_restart(60.0, 2.0 * t_star, b, mu));
+}
+
+TEST(OverheadRestart, EqNineteenShape) {
+  const double mu = 1e8;
+  const double lambda = 1.0 / mu;
+  const std::uint64_t b = 100;
+  for (double t : {1000.0, 50000.0}) {
+    EXPECT_NEAR(overhead_restart(60.0, t, b, mu),
+                60.0 / t + 2.0 / 3.0 * static_cast<double>(b) * lambda * lambda * t * t, 1e-15);
+  }
+}
+
+TEST(OverheadRestart, MinimizedExactlyAtTOptRs) {
+  const double mu = 1e8;
+  const std::uint64_t b = 100;
+  const double t_star = t_opt_rs(60.0, b, mu);
+  const double h_star = overhead_restart(60.0, t_star, b, mu);
+  for (double factor : {0.5, 0.8, 1.25, 2.0}) {
+    EXPECT_LT(h_star, overhead_restart(60.0, factor * t_star, b, mu));
+  }
+}
+
+TEST(OverheadRestart, BeatsNoRestartAtRespectiveOptima) {
+  // The paper's core comparison at b = 1e5, mu = 5 y: H^rs(T_opt^rs) <
+  // H^no(T_MTTI^no).
+  const double mu = 5.0 * 365.25 * 86400.0;
+  const std::uint64_t b = 100000;
+  for (double c : {60.0, 600.0}) {
+    const double h_rs = overhead_restart(c, t_opt_rs(c, b, mu), b, mu);
+    const double h_no = overhead_no_restart(c, t_mtti_no(c, b, mu), b, mu);
+    EXPECT_LT(h_rs, h_no) << "C = " << c;
+  }
+}
+
+TEST(TimeLost, TwoThirdsOfPeriodForSmallLambda) {
+  // T_lost -> 2T/3 (not T/2!) for a replica pair.
+  const double mu = 1e9;
+  for (double t : {100.0, 10000.0}) {
+    EXPECT_NEAR(expected_time_lost_single_pair(mu, t) / t, 2.0 / 3.0, 1e-3);
+  }
+}
+
+TEST(TimeLost, MatchesDirectIntegralForModerateLambda) {
+  // T_lost(T) = E[failure time | both replicas die before T]; cross-check
+  // the closed form against direct quadrature of the conditional density.
+  const double mu = 1000.0;
+  const double lambda = 1.0 / mu;
+  for (double t : {500.0, 1000.0, 3000.0}) {
+    // Density of the pair-death time: d/ds (1 - e^{-ls})^2 = 2l e^{-ls}(1 - e^{-ls}).
+    const double numerator = repcheck::math::integrate(
+        [lambda](double s) {
+          return s * 2.0 * lambda * std::exp(-lambda * s) * (1.0 - std::exp(-lambda * s));
+        },
+        0.0, t, 1e-10);
+    const double p1 = std::pow(1.0 - std::exp(-lambda * t), 2.0);
+    EXPECT_NEAR(expected_time_lost_single_pair(mu, t), numerator / p1, 1e-6 * t) << "T = " << t;
+  }
+}
+
+TEST(TimeLost, ApproachesExpectationOfBothDeaths) {
+  // As T -> infinity the conditioning vanishes: E[max of two exp] = 1.5 mu.
+  const double mu = 1000.0;
+  EXPECT_NEAR(expected_time_lost_single_pair(mu, 50.0 * mu), 1.5 * mu, 1.0);
+}
+
+TEST(ExpectedPeriodTime, NoFailureLimitIsTPlusCr) {
+  // lambda -> 0: E(T) -> T + C^R.
+  EXPECT_NEAR(expected_period_time_single_pair(60.0, 0.0, 60.0, 1e15, 10000.0),
+              10000.0 + 60.0, 1e-3);
+}
+
+TEST(ExpectedPeriodTime, IncreasesWithFailureRate) {
+  const double t = 10000.0;
+  double prev = 0.0;
+  for (double mu : {1e9, 1e7, 1e5, 1e4}) {
+    const double e = expected_period_time_single_pair(60.0, 0.0, 60.0, mu, t);
+    ASSERT_GT(e, prev);
+    prev = e;
+  }
+}
+
+TEST(ExpectedPeriodTime, MatchesFirstOrderOverheadForSmallLambda) {
+  // H from Eq. (14) ≈ C^R/T + (2/3) lambda^2 T^2 in the asymptotic regime.
+  const double mu = 1e8;
+  const double t = t_opt_rs(60.0, 1, mu);
+  const double exact = overhead_restart_single_pair_exact(60.0, 0.0, 60.0, mu, t);
+  const double first_order = overhead_restart(60.0, t, 1, mu);
+  EXPECT_NEAR(exact / first_order, 1.0, 0.02);
+}
+
+TEST(OverheadNoReplicationExact, ReducesToFirstOrder) {
+  const double c = 60.0;
+  const double domain_mtbf = 1e7;
+  const double t = young_daly_period(c, domain_mtbf);
+  const double exact = overhead_noreplication_exact(c, 0.0, 0.0, domain_mtbf, t);
+  const double first_order = c / t + t / (2.0 * domain_mtbf);
+  EXPECT_NEAR(exact / first_order, 1.0, 0.05);
+}
+
+TEST(RestartOnFailureModel, MatchesFailureFrequencyTimesWaveCost) {
+  // H_rof = N·λ·C^R; at the paper's platform with mu = 1 y this is ~0.38,
+  // matching the Figure 6 simulation.
+  EXPECT_NEAR(overhead_restart_on_failure(60.0, 200000, 365.25 * 86400.0),
+              200000.0 * 60.0 / (365.25 * 86400.0), 1e-12);
+  EXPECT_NEAR(overhead_restart_on_failure(60.0, 200000, 365.25 * 86400.0), 0.38, 0.01);
+}
+
+TEST(RestartOnFailureModel, ScalesLinearlyEveryParameter) {
+  const double base = overhead_restart_on_failure(60.0, 10000, 1e8);
+  EXPECT_NEAR(overhead_restart_on_failure(120.0, 10000, 1e8) / base, 2.0, 1e-12);
+  EXPECT_NEAR(overhead_restart_on_failure(60.0, 20000, 1e8) / base, 2.0, 1e-12);
+  EXPECT_NEAR(overhead_restart_on_failure(60.0, 10000, 2e8) / base, 0.5, 1e-12);
+  EXPECT_THROW((void)overhead_restart_on_failure(60.0, 0, 1e8), std::domain_error);
+}
+
+TEST(OverheadConversions, RoundTrip) {
+  for (double h : {0.0, 0.004, 0.5, 3.0}) {
+    EXPECT_NEAR(waste_to_overhead(overhead_to_waste(h)), h, 1e-12);
+  }
+  EXPECT_NEAR(overhead_to_waste(1.0), 0.5, 1e-15);
+}
+
+TEST(OverheadConversions, DomainChecks) {
+  EXPECT_THROW((void)overhead_to_waste(-0.1), std::domain_error);
+  EXPECT_THROW((void)waste_to_overhead(1.0), std::domain_error);
+  EXPECT_THROW((void)waste_to_overhead(-0.1), std::domain_error);
+}
+
+TEST(DomainErrors, RejectBadArguments) {
+  EXPECT_THROW((void)overhead_no_restart(60.0, 0.0, 10, 1e6), std::domain_error);
+  EXPECT_THROW((void)overhead_restart(60.0, 100.0, 0, 1e6), std::domain_error);
+  EXPECT_THROW((void)overhead_noreplication(60.0, 100.0, 1e6, 0), std::domain_error);
+  EXPECT_THROW((void)expected_time_lost_single_pair(0.0, 100.0), std::domain_error);
+}
+
+}  // namespace

@@ -1,0 +1,205 @@
+#include "model/periods.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "model/mtti.hpp"
+#include "model/overhead.hpp"
+#include "model/units.hpp"
+
+namespace {
+
+using namespace repcheck::model;
+
+TEST(YoungDaly, BasicFormula) {
+  EXPECT_NEAR(young_daly_period(60.0, 1e6), std::sqrt(2.0 * 1e6 * 60.0), 1e-9);
+}
+
+TEST(YoungDaly, ParallelDividesMtbf) {
+  EXPECT_NEAR(young_daly_period_parallel(60.0, 1e8, 100),
+              young_daly_period(60.0, 1e6), 1e-9);
+}
+
+TEST(YoungDaly, PaperIntroExample) {
+  // mu = 10 years, N = 1e6: platform MTBF ≈ 5.2 minutes (paper Section 1).
+  const double platform_mtbf = years(10.0) / 1e6;
+  EXPECT_NEAR(platform_mtbf / 60.0, 5.26, 0.05);
+}
+
+TEST(DalyVariants, CollapseToYoungAsMtbfGrows) {
+  // All variants are Theta(sqrt(mu)): ratios -> 1 as mu -> infinity.
+  const double c = 600.0, r = 600.0, d = 60.0;
+  double prev_gap = 1.0;
+  for (double mu : {1e8, 1e10, 1e12}) {
+    EXPECT_NEAR(daly_period(c, r, mu) / young_daly_period(c, mu), 1.0, 1e-4);
+    const double gap = std::fabs(survey_period(c, d, r, mu) / young_daly_period(c, mu) - 1.0);
+    EXPECT_LT(gap, prev_gap);  // variants converge as mu grows
+    prev_gap = gap;
+  }
+  EXPECT_LT(prev_gap, 1e-4);
+}
+
+TEST(TMttiNo, MatchesDefinition) {
+  const double mu = years(5.0);
+  const std::uint64_t b = 100000;
+  EXPECT_NEAR(t_mtti_no(60.0, b, mu), std::sqrt(2.0 * mtti(b, mu) * 60.0), 1e-6);
+}
+
+TEST(TMttiNo, PaperScaleIsSevenishThousandSeconds) {
+  // Fig. 5 (left): T_MTTI^no lands in the 6,000–9,000 s window for C = 60 s.
+  const double t = t_mtti_no(60.0, 100000, years(5.0));
+  EXPECT_GT(t, 6000.0);
+  EXPECT_LT(t, 9000.0);
+}
+
+TEST(TOptRs, PaperScaleIsTwentyishThousandSeconds) {
+  // Fig. 5 (left): the restart optimum plateau is 21,000–25,000 s for C = 60.
+  const double t = t_opt_rs(60.0, 100000, years(5.0));
+  EXPECT_GT(t, 21000.0);
+  EXPECT_LT(t, 25000.0);
+}
+
+TEST(TOptRs, ClosedFormDefinition) {
+  const double mu = 1e8;
+  const double lambda = 1.0 / mu;
+  EXPECT_NEAR(t_opt_rs(120.0, 500, mu),
+              std::cbrt(3.0 * 120.0 / (4.0 * 500.0 * lambda * lambda)), 1e-6);
+}
+
+TEST(TOptRs, MuTwoThirdsScaling) {
+  // T_opt^rs = Theta(mu^{2/3}): doubling mu multiplies T by 2^{2/3}.
+  const double t1 = t_opt_rs(60.0, 1000, 1e8);
+  const double t2 = t_opt_rs(60.0, 1000, 2e8);
+  EXPECT_NEAR(t2 / t1, std::pow(2.0, 2.0 / 3.0), 1e-9);
+}
+
+TEST(TMttiNo, MuHalfScaling) {
+  // T_MTTI^no = Theta(mu^{1/2}).
+  const double t1 = t_mtti_no(60.0, 1000, 1e8);
+  const double t2 = t_mtti_no(60.0, 1000, 4e8);
+  EXPECT_NEAR(t2 / t1, 2.0, 1e-6);
+}
+
+TEST(TOptRs, AlwaysLongerThanTMttiNo) {
+  // Fig. 8's I/O-pressure argument: across the whole MTBF sweep the restart
+  // period stays well above the no-restart period (fewer checkpoints), and
+  // the ratio scales as (mu/C)^{1/6} — growing with the MTBF.
+  const std::uint64_t b = 100000;
+  double prev_ratio = 0.0;
+  for (double mu_years : {1.0, 2.0, 5.0, 20.0, 50.0}) {
+    const double mu = years(mu_years);
+    const double ratio = t_opt_rs(60.0, b, mu) / t_mtti_no(60.0, b, mu);
+    EXPECT_GT(ratio, 1.5) << "mu = " << mu_years << " years";
+    ASSERT_GT(ratio, prev_ratio) << "mu = " << mu_years << " years";
+    prev_ratio = ratio;
+  }
+}
+
+TEST(TOptRs, CubeRootScalingInCheckpointCost) {
+  const double t1 = t_opt_rs(60.0, 1000, 1e8);
+  const double t8 = t_opt_rs(480.0, 1000, 1e8);
+  EXPECT_NEAR(t8 / t1, 2.0, 1e-9);
+}
+
+TEST(HOpt, NoReplicationFirstOrderOverhead) {
+  // H_opt = sqrt(2 C N lambda) and equals the overhead at the optimal T.
+  const double c = 60.0, mu = 1e8;
+  const std::uint64_t n = 1000;
+  const double t = young_daly_period_parallel(c, mu, n);
+  EXPECT_NEAR(h_opt_noreplication(c, mu, n), overhead_noreplication(c, t, mu, n), 1e-9);
+}
+
+TEST(HOpt, RestartFirstOrderOverheadAtOptimum) {
+  const double cr = 60.0, mu = 1e8;
+  const std::uint64_t b = 1000;
+  const double t = t_opt_rs(cr, b, mu);
+  EXPECT_NEAR(h_opt_rs(cr, b, mu), overhead_restart(cr, t, b, mu), 1e-9);
+}
+
+TEST(HOpt, RestartOverheadIsOnePointFiveTimesCkptShare) {
+  // At T_opt, the failure-induced share is exactly half the checkpoint
+  // share: H = 1.5 · C^R / T_opt.
+  const double cr = 60.0, mu = 1e8;
+  const std::uint64_t b = 1000;
+  const double t = t_opt_rs(cr, b, mu);
+  EXPECT_NEAR(h_opt_rs(cr, b, mu), 1.5 * cr / t, 1e-9);
+}
+
+TEST(ExactSinglePair, FirstOrderPeriodIsAccurateForSmallLambda) {
+  // The exact (non-truncated) optimizer of Eq. (14) approaches the paper's
+  // closed form as lambda -> 0.
+  const double cr = 60.0;
+  for (double mu : {1e7, 1e8, 1e9}) {
+    const double exact = exact_single_pair_restart_period(cr, 0.0, 60.0, mu);
+    const double first_order = t_opt_rs(cr, 1, mu);
+    EXPECT_NEAR(exact / first_order, 1.0, 0.05) << "mu = " << mu;
+  }
+}
+
+TEST(ExactSinglePair, AccuracyImprovesWithMtbf) {
+  const double cr = 60.0;
+  const double err1 = std::fabs(
+      exact_single_pair_restart_period(cr, 0.0, 60.0, 1e6) / t_opt_rs(cr, 1, 1e6) - 1.0);
+  const double err2 = std::fabs(
+      exact_single_pair_restart_period(cr, 0.0, 60.0, 1e9) / t_opt_rs(cr, 1, 1e9) - 1.0);
+  EXPECT_LT(err2, err1);
+}
+
+TEST(DalyExact, AgreesWithNumericOptimizer) {
+  // The Lambert-W closed form and the Brent optimizer minimize the same
+  // exact overhead when D = R = 0; they must agree to high precision.
+  for (double mu : {1e4, 1e6, 1e8}) {
+    const double lambert = daly_exact_period(600.0, mu);
+    const double numeric = exact_noreplication_period(600.0, 0.0, 0.0, mu);
+    EXPECT_NEAR(lambert / numeric, 1.0, 1e-4) << "mu = " << mu;
+  }
+}
+
+TEST(DalyExact, CollapsesToYoungDalyAsLambdaCVanishes) {
+  double prev_gap = 1.0;
+  for (double mu : {1e5, 1e7, 1e9}) {
+    const double gap = std::fabs(daly_exact_period(60.0, mu) / young_daly_period(60.0, mu) - 1.0);
+    EXPECT_LT(gap, prev_gap);
+    prev_gap = gap;
+  }
+  EXPECT_LT(prev_gap, 1e-3);
+}
+
+TEST(DalyExact, ShorterThanYoungDalyAtHighRates) {
+  // The exact optimum accounts for failures during T and C and is below
+  // the first-order period when λC is non-negligible.
+  EXPECT_LT(daly_exact_period(600.0, 1e4), young_daly_period(600.0, 1e4));
+}
+
+TEST(DalyExact, StaysWithinPhysicalBounds) {
+  for (double mu : {1e3, 1e6, 1e9}) {
+    for (double c : {1.0, 60.0, 600.0}) {
+      const double t = daly_exact_period(c, mu);
+      EXPECT_GT(t, 0.0);
+      EXPECT_LT(t, mu);  // (1 + W0)/λ with W0 ∈ (−1, 0)
+    }
+  }
+}
+
+TEST(ExactNoReplication, MatchesYoungDalyForSmallLambda) {
+  const double c = 60.0;
+  for (double domain_mtbf : {1e6, 1e8}) {
+    const double exact = exact_noreplication_period(c, 0.0, 60.0, domain_mtbf);
+    EXPECT_NEAR(exact / young_daly_period(c, domain_mtbf), 1.0, 0.05) << domain_mtbf;
+  }
+}
+
+TEST(DomainErrors, RejectBadArguments) {
+  EXPECT_THROW((void)young_daly_period(0.0, 1e6), std::domain_error);
+  EXPECT_THROW((void)young_daly_period(60.0, 0.0), std::domain_error);
+  EXPECT_THROW((void)young_daly_period_parallel(60.0, 1e6, 0), std::domain_error);
+  EXPECT_THROW((void)t_opt_rs(60.0, 0, 1e6), std::domain_error);
+  EXPECT_THROW((void)t_opt_rs(0.0, 10, 1e6), std::domain_error);
+  EXPECT_THROW((void)survey_period(60.0, 20.0, 20.0, 30.0), std::domain_error);
+  EXPECT_THROW((void)h_opt_rs(60.0, 0, 1e6), std::domain_error);
+  EXPECT_THROW((void)h_opt_noreplication(60.0, 1e6, 0), std::domain_error);
+}
+
+}  // namespace

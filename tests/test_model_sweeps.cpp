@@ -1,0 +1,129 @@
+// Broad parameter-grid property tests: invariants that must hold at every
+// (b, mu, C) combination, not just the paper's defaults.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "model/amdahl.hpp"
+#include "model/asymptotic.hpp"
+#include "model/mtti.hpp"
+#include "model/nfail.hpp"
+#include "model/overhead.hpp"
+#include "model/periods.hpp"
+#include "model/units.hpp"
+
+namespace {
+
+using namespace repcheck::model;
+
+struct GridPoint {
+  std::uint64_t pairs;
+  double mtbf_years;
+  double checkpoint;
+};
+
+class ModelGrid : public ::testing::TestWithParam<GridPoint> {};
+
+TEST_P(ModelGrid, RestartOverheadIdentityAtOptimum) {
+  // H^rs(T_opt) = 1.5 C^R / T_opt, exactly, for every parameter choice.
+  const auto [b, mu_y, c] = GetParam();
+  const double mu = years(mu_y);
+  const double t = t_opt_rs(c, b, mu);
+  EXPECT_NEAR(h_opt_rs(c, b, mu), 1.5 * c / t, 1e-12 * h_opt_rs(c, b, mu));
+}
+
+TEST_P(ModelGrid, OptimaAreActuallyOptimal) {
+  const auto [b, mu_y, c] = GetParam();
+  const double mu = years(mu_y);
+  const double t_rs = t_opt_rs(c, b, mu);
+  const double h_star = overhead_restart(c, t_rs, b, mu);
+  const double t_no = t_mtti_no(c, b, mu);
+  const double h_no_star = overhead_no_restart(c, t_no, b, mu);
+  for (double f : {0.6, 0.85, 1.2, 1.7}) {
+    EXPECT_LT(h_star, overhead_restart(c, f * t_rs, b, mu));
+    EXPECT_LT(h_no_star, overhead_no_restart(c, f * t_no, b, mu));
+  }
+}
+
+TEST_P(ModelGrid, RestartBeatsNoRestartWhenCheckpointsAreSmallVsMtti) {
+  // Section 6: the restart advantage holds whenever x = C/M < x* ≈ 0.64.
+  const auto [b, mu_y, c] = GetParam();
+  const double mu = years(mu_y);
+  const double x = c / mtti(b, mu);
+  if (x >= 0.5) GTEST_SKIP() << "x = " << x << " outside the guaranteed regime";
+  EXPECT_LT(h_opt_rs(c, b, mu), overhead_no_restart(c, t_mtti_no(c, b, mu), b, mu));
+}
+
+TEST_P(ModelGrid, PeriodsScaleConsistently) {
+  const auto [b, mu_y, c] = GetParam();
+  const double mu = years(mu_y);
+  // Doubling C^R scales T_opt by 2^{1/3}; doubling b shrinks it by 2^{-1/3}.
+  EXPECT_NEAR(t_opt_rs(2.0 * c, b, mu) / t_opt_rs(c, b, mu), std::cbrt(2.0), 1e-12);
+  EXPECT_NEAR(t_opt_rs(c, 2 * b, mu) / t_opt_rs(c, b, mu), 1.0 / std::cbrt(2.0), 1e-12);
+}
+
+TEST_P(ModelGrid, MttiDominatedByPlatformMtbf) {
+  // MTBF/N <= ... the MTTI always exceeds the platform MTBF (it takes at
+  // least one failure to die) and is below the single-pair MTTI envelope.
+  const auto [b, mu_y, c] = GetParam();
+  (void)c;
+  const double mu = years(mu_y);
+  const double m = mtti(b, mu);
+  EXPECT_GT(m, mu / (2.0 * static_cast<double>(b)));
+  EXPECT_LE(m, 1.5 * mu + 1e-6);
+}
+
+TEST_P(ModelGrid, SurvivalIsAProbabilityAndMonotone) {
+  const auto [b, mu_y, c] = GetParam();
+  (void)c;
+  const double mu = years(mu_y);
+  double prev = 1.0;
+  for (double t : {0.0, 0.1 * mu, mu, 5.0 * mu}) {
+    const double s = survival_pairs(t, mu, b);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+    EXPECT_LE(s, prev + 1e-15);
+    prev = s;
+  }
+}
+
+TEST_P(ModelGrid, WastedFractionBelowOne) {
+  const auto [b, mu_y, c] = GetParam();
+  const double mu = years(mu_y);
+  const double h = h_opt_rs(c, b, mu);
+  const double waste = overhead_to_waste(h);
+  EXPECT_GE(waste, 0.0);
+  EXPECT_LT(waste, 1.0);
+  EXPECT_NEAR(waste_to_overhead(waste), h, 1e-12 * (1.0 + h));
+}
+
+TEST_P(ModelGrid, TimeToSolutionDecreasesWithMoreProcessors) {
+  const auto [b, mu_y, c] = GetParam();
+  (void)mu_y;
+  (void)c;
+  const double w = 1e9;
+  double prev = 1e300;
+  for (std::uint64_t n : {2 * b, 4 * b, 8 * b}) {
+    const double tts = time_to_solution_replicated(w, n, 1e-5, 0.2, 0.01);
+    EXPECT_LT(tts, prev);
+    prev = tts;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ModelGrid,
+    ::testing::Values(GridPoint{100, 1.0, 60.0}, GridPoint{100, 5.0, 600.0},
+                      GridPoint{100, 25.0, 1800.0}, GridPoint{10000, 1.0, 600.0},
+                      GridPoint{10000, 5.0, 60.0}, GridPoint{10000, 25.0, 600.0},
+                      GridPoint{100000, 1.0, 1800.0}, GridPoint{100000, 5.0, 60.0},
+                      GridPoint{100000, 25.0, 600.0}, GridPoint{1000000, 5.0, 600.0}),
+    [](const ::testing::TestParamInfo<GridPoint>& info) {
+      const auto& p = info.param;
+      std::ostringstream os;
+      os << "b" << p.pairs << "_mu" << static_cast<int>(p.mtbf_years) << "y_c"
+         << static_cast<int>(p.checkpoint);
+      return os.str();
+    });
+
+}  // namespace

@@ -1,0 +1,118 @@
+#include "core/montecarlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "failures/exponential_source.hpp"
+#include "model/units.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace repcheck;
+using namespace repcheck::sim;
+
+SimConfig small_config() {
+  SimConfig config;
+  config.platform = platform::Platform::fully_replicated(200);
+  config.cost = platform::CostModel::uniform(60.0);
+  config.strategy = StrategySpec::restart(5000.0);
+  config.spec.mode = RunSpec::Mode::kFixedPeriods;
+  config.spec.n_periods = 50;
+  return config;
+}
+
+SourceFactory factory(std::uint64_t n = 200, double mtbf = 1e6) {
+  return [n, mtbf] { return std::make_unique<failures::ExponentialFailureSource>(n, mtbf); };
+}
+
+TEST(DeriveRunSeed, DeterministicAndDistinct) {
+  EXPECT_EQ(derive_run_seed(1, 0), derive_run_seed(1, 0));
+  EXPECT_NE(derive_run_seed(1, 0), derive_run_seed(1, 1));
+  EXPECT_NE(derive_run_seed(1, 0), derive_run_seed(2, 0));
+}
+
+TEST(MonteCarlo, RunCountMatches) {
+  const auto summary = run_monte_carlo(small_config(), factory(), 25, 1);
+  EXPECT_EQ(summary.runs, 25u);
+  EXPECT_EQ(summary.overhead.count(), 25u);
+  EXPECT_EQ(summary.stalled_runs, 0u);
+}
+
+TEST(MonteCarlo, DeterministicForFixedMasterSeed) {
+  const auto a = run_monte_carlo(small_config(), factory(), 20, 9);
+  const auto b = run_monte_carlo(small_config(), factory(), 20, 9);
+  EXPECT_DOUBLE_EQ(a.overhead.mean(), b.overhead.mean());
+  EXPECT_DOUBLE_EQ(a.makespan.mean(), b.makespan.mean());
+}
+
+TEST(MonteCarlo, MasterSeedChangesResults) {
+  const auto a = run_monte_carlo(small_config(), factory(), 20, 9);
+  const auto b = run_monte_carlo(small_config(), factory(), 20, 10);
+  EXPECT_NE(a.overhead.mean(), b.overhead.mean());
+}
+
+TEST(MonteCarlo, ThreadPoolResultBitIdenticalToSerial) {
+  // The core reproducibility guarantee: thread count must not affect the
+  // aggregated mean (per-replicate seeds are index-derived).
+  util::ThreadPool pool(3);
+  const auto serial = run_monte_carlo(small_config(), factory(), 30, 4, nullptr);
+  const auto parallel = run_monte_carlo(small_config(), factory(), 30, 4, &pool);
+  EXPECT_EQ(serial.runs, parallel.runs);
+  EXPECT_NEAR(serial.overhead.mean(), parallel.overhead.mean(), 1e-15);
+  EXPECT_NEAR(serial.makespan.mean(), parallel.makespan.mean(), 1e-9);
+  EXPECT_DOUBLE_EQ(serial.overhead.min(), parallel.overhead.min());
+  EXPECT_DOUBLE_EQ(serial.overhead.max(), parallel.overhead.max());
+}
+
+TEST(MonteCarlo, CollectsIoAndEnergyStatistics) {
+  auto config = small_config();
+  config.cost.bytes_per_proc = 1e9;
+  const auto summary = run_monte_carlo(config, factory(), 10, 5);
+  // 50 checkpoints x 100 effective procs x 1 GB = 5000 GB per run.
+  EXPECT_NEAR(summary.io_gbytes.mean(), 5000.0, 500.0);
+  EXPECT_GT(summary.energy_overhead.mean(), 0.0);
+  EXPECT_GT(summary.checkpoints.mean(), 49.0);
+}
+
+TEST(MonteCarlo, OverheadCiContainsMeanByConstruction) {
+  const auto summary = run_monte_carlo(small_config(), factory(), 30, 6);
+  const auto ci = summary.overhead_ci();
+  EXPECT_LE(ci.lo, summary.overhead.mean());
+  EXPECT_GE(ci.hi, summary.overhead.mean());
+  EXPECT_GT(ci.half_width(), 0.0);
+}
+
+TEST(MonteCarlo, StalledRunsAreCountedAndExcluded) {
+  SimConfig config;
+  config.platform = platform::Platform::not_replicated(100);
+  config.cost = platform::CostModel::uniform(600.0);
+  config.strategy = StrategySpec::no_replication(10000.0);
+  config.spec.n_periods = 10;
+  config.spec.max_attempts_per_period = 200;
+  // Platform MTBF 100 s << period: nothing can complete.
+  const auto summary = run_monte_carlo(config, factory(100, 1e4), 5, 7);
+  EXPECT_EQ(summary.stalled_runs, 5u);
+  EXPECT_EQ(summary.overhead.count(), 0u);
+}
+
+TEST(MonteCarlo, DispatchesRestartOnFailureStrategy) {
+  SimConfig config;
+  config.platform = platform::Platform::fully_replicated(200);
+  config.cost = platform::CostModel::uniform(60.0);
+  config.strategy = StrategySpec::restart_on_failure();
+  config.spec.mode = RunSpec::Mode::kFixedWork;
+  config.spec.total_work_time = 1e5;
+  const auto summary = run_monte_carlo(config, factory(), 5, 8);
+  EXPECT_EQ(summary.runs, 5u);
+  EXPECT_GE(summary.overhead.mean(), 0.0);
+}
+
+TEST(MonteCarlo, RejectsBadArguments) {
+  EXPECT_THROW((void)run_monte_carlo(small_config(), factory(), 0, 1), std::invalid_argument);
+  EXPECT_THROW((void)run_monte_carlo(small_config(), nullptr, 5, 1), std::invalid_argument);
+}
+
+}  // namespace

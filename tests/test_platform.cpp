@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "platform/cost.hpp"
+#include "platform/platform.hpp"
+#include "platform/state.hpp"
+
+namespace {
+
+using namespace repcheck::platform;
+
+// ---------------------------------------------------------------- platform
+
+TEST(Platform, FullyReplicatedLayout) {
+  const auto p = Platform::fully_replicated(200000);
+  EXPECT_EQ(p.n_procs(), 200000u);
+  EXPECT_EQ(p.n_pairs(), 100000u);
+  EXPECT_EQ(p.n_standalone(), 0u);
+  EXPECT_EQ(p.effective_procs(), 100000u);
+  EXPECT_TRUE(p.uses_replication());
+}
+
+TEST(Platform, NotReplicatedLayout) {
+  const auto p = Platform::not_replicated(100);
+  EXPECT_EQ(p.n_pairs(), 0u);
+  EXPECT_EQ(p.n_standalone(), 100u);
+  EXPECT_EQ(p.effective_procs(), 100u);
+  EXPECT_FALSE(p.uses_replication());
+}
+
+TEST(Platform, Partial90MatchesPaper) {
+  // Paper: 90% of 200,000 processors replicated = 90,000 pairs + 20,000
+  // standalone, 110,000 effective.
+  const auto p = Platform::partially_replicated(200000, 0.9);
+  EXPECT_EQ(p.n_pairs(), 90000u);
+  EXPECT_EQ(p.n_standalone(), 20000u);
+  EXPECT_EQ(p.effective_procs(), 110000u);
+}
+
+TEST(Platform, Partial50MatchesPaper) {
+  const auto p = Platform::partially_replicated(200000, 0.5);
+  EXPECT_EQ(p.n_pairs(), 50000u);
+  EXPECT_EQ(p.n_standalone(), 100000u);
+  EXPECT_EQ(p.effective_procs(), 150000u);
+}
+
+TEST(Platform, PartialExtremesMatchFactories) {
+  const auto full = Platform::partially_replicated(100, 1.0);
+  EXPECT_EQ(full.n_pairs(), Platform::fully_replicated(100).n_pairs());
+  const auto none = Platform::partially_replicated(100, 0.0);
+  EXPECT_EQ(none.n_pairs(), 0u);
+}
+
+TEST(Platform, PairAndPartnerMapping) {
+  const auto p = Platform::partially_replicated(10, 0.6);  // 3 pairs, 4 standalone
+  ASSERT_EQ(p.n_pairs(), 3u);
+  EXPECT_TRUE(p.is_replicated(0));
+  EXPECT_TRUE(p.is_replicated(5));
+  EXPECT_FALSE(p.is_replicated(6));
+  EXPECT_EQ(p.pair_of(0), 0u);
+  EXPECT_EQ(p.pair_of(5), 2u);
+  EXPECT_EQ(p.partner(0), 1u);
+  EXPECT_EQ(p.partner(1), 0u);
+  EXPECT_EQ(p.partner(4), 5u);
+}
+
+TEST(Platform, RejectsBadConstruction) {
+  EXPECT_THROW(Platform(0, 0), std::invalid_argument);
+  EXPECT_THROW(Platform(4, 3), std::invalid_argument);
+  EXPECT_THROW((void)Platform::fully_replicated(5), std::invalid_argument);
+  EXPECT_THROW((void)Platform::partially_replicated(10, 1.5), std::invalid_argument);
+  const auto p = Platform::partially_replicated(10, 0.6);
+  EXPECT_THROW((void)p.is_replicated(10), std::out_of_range);
+  EXPECT_THROW((void)p.pair_of(7), std::out_of_range);
+  EXPECT_THROW((void)p.partner(9), std::out_of_range);
+}
+
+// ------------------------------------------------------------------- state
+
+TEST(FailureState, FirstHitOnPairDegrades) {
+  FailureState s(Platform::fully_replicated(8));
+  EXPECT_EQ(s.record_failure(2), FailureEffect::kDegraded);
+  EXPECT_EQ(s.dead_count(), 1u);
+  EXPECT_EQ(s.degraded_groups(), 1u);
+  EXPECT_TRUE(s.is_dead(2));
+  EXPECT_FALSE(s.is_dead(3));
+}
+
+TEST(FailureState, SecondHitOnSameProcessorIsWasted) {
+  FailureState s(Platform::fully_replicated(8));
+  (void)s.record_failure(2);
+  EXPECT_EQ(s.record_failure(2), FailureEffect::kWasted);
+  EXPECT_EQ(s.dead_count(), 1u);
+}
+
+TEST(FailureState, PartnerHitIsFatal) {
+  FailureState s(Platform::fully_replicated(8));
+  (void)s.record_failure(2);
+  EXPECT_EQ(s.record_failure(3), FailureEffect::kFatal);
+  // Fatal hits do not mutate state: the caller rolls back.
+  EXPECT_EQ(s.dead_count(), 1u);
+}
+
+TEST(FailureState, StandaloneHitIsFatal) {
+  FailureState s(Platform::partially_replicated(10, 0.6));
+  EXPECT_EQ(s.record_failure(7), FailureEffect::kFatal);
+}
+
+TEST(FailureState, RestartAllRevivesEverything) {
+  FailureState s(Platform::fully_replicated(8));
+  (void)s.record_failure(0);
+  (void)s.record_failure(4);
+  EXPECT_EQ(s.dead_count(), 2u);
+  s.restart_all();
+  EXPECT_EQ(s.dead_count(), 0u);
+  EXPECT_EQ(s.degraded_groups(), 0u);
+  EXPECT_FALSE(s.is_dead(0));
+  // After revival a former partner hit is merely degrading again.
+  EXPECT_EQ(s.record_failure(1), FailureEffect::kDegraded);
+}
+
+TEST(FailureState, IndependentPairsAccumulate) {
+  FailureState s(Platform::fully_replicated(8));
+  EXPECT_EQ(s.record_failure(0), FailureEffect::kDegraded);
+  EXPECT_EQ(s.record_failure(2), FailureEffect::kDegraded);
+  EXPECT_EQ(s.record_failure(5), FailureEffect::kDegraded);
+  EXPECT_EQ(s.degraded_groups(), 3u);
+  EXPECT_EQ(s.record_failure(4), FailureEffect::kFatal);  // partner of 5
+}
+
+TEST(FailureState, ManyRestartCyclesStayConsistent) {
+  // Exercises the epoch counter across many restart_all calls.
+  FailureState s(Platform::fully_replicated(4));
+  for (int cycle = 0; cycle < 10000; ++cycle) {
+    ASSERT_EQ(s.record_failure(cycle % 4), FailureEffect::kDegraded);
+    ASSERT_EQ(s.dead_count(), 1u);
+    s.restart_all();
+    ASSERT_EQ(s.dead_count(), 0u);
+  }
+}
+
+TEST(FailureState, RejectsOutOfRangeProcessor) {
+  FailureState s(Platform::fully_replicated(4));
+  EXPECT_THROW((void)s.record_failure(4), std::out_of_range);
+  EXPECT_THROW((void)s.is_dead(4), std::out_of_range);
+}
+
+// -------------------------------------------------------------------- cost
+
+TEST(CostModel, UniformPreset) {
+  const auto m = CostModel::uniform(600.0, 1.5);
+  EXPECT_DOUBLE_EQ(m.checkpoint, 600.0);
+  EXPECT_DOUBLE_EQ(m.restart_checkpoint, 900.0);
+  EXPECT_DOUBLE_EQ(m.recovery, 600.0);
+  EXPECT_DOUBLE_EQ(m.downtime, 0.0);
+}
+
+TEST(CostModel, PaperPresets) {
+  EXPECT_DOUBLE_EQ(CostModel::buddy().checkpoint, 60.0);
+  EXPECT_DOUBLE_EQ(CostModel::remote().checkpoint, 600.0);
+  EXPECT_DOUBLE_EQ(CostModel::buddy(2.0).restart_checkpoint, 120.0);
+}
+
+TEST(CostModel, CheckpointCostSelectsByRestart) {
+  const auto m = CostModel::uniform(60.0, 2.0);
+  EXPECT_DOUBLE_EQ(m.checkpoint_cost(false), 60.0);
+  EXPECT_DOUBLE_EQ(m.checkpoint_cost(true), 120.0);
+}
+
+TEST(CostModel, ValidateRejectsBadModels) {
+  CostModel m;
+  m.checkpoint = 0.0;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m = CostModel{};
+  m.restart_checkpoint = 30.0;  // below C
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m = CostModel{};
+  m.recovery = -1.0;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m = CostModel{};
+  m.downtime = -1.0;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  EXPECT_THROW((void)CostModel::uniform(60.0, 0.5), std::invalid_argument);
+}
+
+}  // namespace

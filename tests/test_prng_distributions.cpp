@@ -1,0 +1,228 @@
+#include "prng/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "prng/xoshiro.hpp"
+#include "stats/ecdf.hpp"
+#include "stats/welford.hpp"
+
+namespace {
+
+using repcheck::prng::ExponentialSampler;
+using repcheck::prng::GammaSampler;
+using repcheck::prng::GeometricSampler;
+using repcheck::prng::LogNormalSampler;
+using repcheck::prng::UniformIndexSampler;
+using repcheck::prng::UniformSampler;
+using repcheck::prng::WeibullSampler;
+using repcheck::prng::Xoshiro256pp;
+using repcheck::stats::EmpiricalCdf;
+using repcheck::stats::RunningStats;
+
+constexpr int kSamples = 100000;
+
+template <typename Sampler>
+RunningStats draw_stats(const Sampler& sampler, std::uint64_t seed, int n = kSamples) {
+  Xoshiro256pp rng(seed);
+  RunningStats stats;
+  for (int i = 0; i < n; ++i) stats.push(static_cast<double>(sampler(rng)));
+  return stats;
+}
+
+template <typename Sampler>
+std::vector<double> draw_samples(const Sampler& sampler, std::uint64_t seed, int n = kSamples) {
+  Xoshiro256pp rng(seed);
+  std::vector<double> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) out.push_back(sampler(rng));
+  return out;
+}
+
+// ---------------------------------------------------------------- uniform
+
+TEST(Uniform, MomentsMatch) {
+  const UniformSampler sampler(2.0, 6.0);
+  const auto stats = draw_stats(sampler, 1);
+  EXPECT_NEAR(stats.mean(), 4.0, 0.02);
+  EXPECT_NEAR(stats.variance(), 16.0 / 12.0, 0.03);
+  EXPECT_GE(stats.min(), 2.0);
+  EXPECT_LT(stats.max(), 6.0);
+}
+
+TEST(Uniform, RejectsEmptyRange) {
+  EXPECT_THROW(UniformSampler(1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(UniformSampler(2.0, 1.0), std::invalid_argument);
+}
+
+TEST(UniformIndex, CoversAllValuesUniformly) {
+  const UniformIndexSampler sampler(10);
+  Xoshiro256pp rng(3);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[sampler(rng)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 10.0, 5.0 * std::sqrt(n / 10.0));
+  }
+}
+
+TEST(UniformIndex, RejectsZeroBound) {
+  EXPECT_THROW(UniformIndexSampler(0), std::invalid_argument);
+}
+
+TEST(UniformIndex, BoundOneAlwaysZero) {
+  const UniformIndexSampler sampler(1);
+  Xoshiro256pp rng(4);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(sampler(rng), 0u);
+}
+
+// ------------------------------------------------------------ exponential
+
+TEST(Exponential, MeanAndVarianceMatchRate) {
+  const ExponentialSampler sampler(0.25);  // mean 4
+  const auto stats = draw_stats(sampler, 5);
+  EXPECT_NEAR(stats.mean(), 4.0, 0.08);
+  EXPECT_NEAR(stats.variance(), 16.0, 0.8);
+}
+
+TEST(Exponential, KolmogorovSmirnovAgainstTrueCdf) {
+  const ExponentialSampler sampler(2.0);
+  EmpiricalCdf ecdf(draw_samples(sampler, 6, 20000));
+  const double d = ecdf.ks_distance([](double x) { return 1.0 - std::exp(-2.0 * x); });
+  EXPECT_LT(d, ecdf.ks_critical(0.001));
+}
+
+TEST(Exponential, SamplesArePositive) {
+  const ExponentialSampler sampler(1.0);
+  const auto stats = draw_stats(sampler, 7, 10000);
+  EXPECT_GT(stats.min(), 0.0);
+}
+
+TEST(Exponential, RejectsNonPositiveRate) {
+  EXPECT_THROW(ExponentialSampler(0.0), std::invalid_argument);
+  EXPECT_THROW(ExponentialSampler(-1.0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- weibull
+
+TEST(Weibull, ShapeOneIsExponential) {
+  const WeibullSampler sampler(1.0, 3.0);
+  EmpiricalCdf ecdf(draw_samples(sampler, 8, 20000));
+  const double d = ecdf.ks_distance([](double x) { return 1.0 - std::exp(-x / 3.0); });
+  EXPECT_LT(d, ecdf.ks_critical(0.001));
+}
+
+TEST(Weibull, MeanMatchesGammaFormula) {
+  const WeibullSampler sampler(0.7, 100.0);
+  const auto stats = draw_stats(sampler, 9);
+  EXPECT_NEAR(stats.mean() / sampler.mean(), 1.0, 0.03);
+}
+
+TEST(Weibull, KolmogorovSmirnovShapeTwo) {
+  const WeibullSampler sampler(2.0, 1.0);
+  EmpiricalCdf ecdf(draw_samples(sampler, 10, 20000));
+  const double d = ecdf.ks_distance([](double x) { return 1.0 - std::exp(-x * x); });
+  EXPECT_LT(d, ecdf.ks_critical(0.001));
+}
+
+TEST(Weibull, RejectsBadParameters) {
+  EXPECT_THROW(WeibullSampler(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(WeibullSampler(1.0, 0.0), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- lognormal
+
+TEST(LogNormal, FromMeanCvReproducesMoments) {
+  const auto sampler = LogNormalSampler::from_mean_cv(50.0, 1.5);
+  const auto stats = draw_stats(sampler, 11, 400000);
+  EXPECT_NEAR(stats.mean() / 50.0, 1.0, 0.03);
+  const double cv = stats.stddev() / stats.mean();
+  EXPECT_NEAR(cv / 1.5, 1.0, 0.05);
+}
+
+TEST(LogNormal, KolmogorovSmirnovAgainstTrueCdf) {
+  const LogNormalSampler sampler(0.0, 1.0);
+  EmpiricalCdf ecdf(draw_samples(sampler, 12, 20000));
+  const double d = ecdf.ks_distance(
+      [](double x) { return x <= 0.0 ? 0.0 : 0.5 * std::erfc(-std::log(x) / std::sqrt(2.0)); });
+  EXPECT_LT(d, ecdf.ks_critical(0.001));
+}
+
+TEST(LogNormal, RejectsBadParameters) {
+  EXPECT_THROW(LogNormalSampler(0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(LogNormalSampler::from_mean_cv(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(LogNormalSampler::from_mean_cv(1.0, 0.0), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ gamma
+
+TEST(Gamma, MomentsMatchLargeShape) {
+  const GammaSampler sampler(4.0, 2.5);  // mean 10, var 25
+  const auto stats = draw_stats(sampler, 13);
+  EXPECT_NEAR(stats.mean(), 10.0, 0.12);
+  EXPECT_NEAR(stats.variance(), 25.0, 1.2);
+}
+
+TEST(Gamma, MomentsMatchSmallShape) {
+  const GammaSampler sampler(0.5, 2.0);  // mean 1, var 2
+  const auto stats = draw_stats(sampler, 14, 400000);
+  EXPECT_NEAR(stats.mean(), 1.0, 0.02);
+  EXPECT_NEAR(stats.variance(), 2.0, 0.1);
+}
+
+TEST(Gamma, ShapeOneIsExponential) {
+  const GammaSampler sampler(1.0, 2.0);
+  EmpiricalCdf ecdf(draw_samples(sampler, 15, 20000));
+  const double d = ecdf.ks_distance([](double x) { return 1.0 - std::exp(-x / 2.0); });
+  EXPECT_LT(d, ecdf.ks_critical(0.001));
+}
+
+TEST(Gamma, RejectsBadParameters) {
+  EXPECT_THROW(GammaSampler(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(GammaSampler(1.0, -1.0), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- geometric
+
+TEST(Geometric, MeanMatches) {
+  const GeometricSampler sampler(0.25);  // mean 3
+  const auto stats = draw_stats(sampler, 16);
+  EXPECT_NEAR(stats.mean(), 3.0, 0.06);
+}
+
+TEST(Geometric, ProbabilityOneAlwaysZero) {
+  const GeometricSampler sampler(1.0);
+  Xoshiro256pp rng(17);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(sampler(rng), 0u);
+}
+
+TEST(Geometric, MassAtZeroMatchesP) {
+  const GeometricSampler sampler(0.4);
+  Xoshiro256pp rng(18);
+  int zeros = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (sampler(rng) == 0) ++zeros;
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / n, 0.4, 0.01);
+}
+
+TEST(Geometric, RejectsBadParameters) {
+  EXPECT_THROW(GeometricSampler(0.0), std::invalid_argument);
+  EXPECT_THROW(GeometricSampler(1.5), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- normal
+
+TEST(StandardNormal, MomentsMatch) {
+  Xoshiro256pp rng(19);
+  RunningStats stats;
+  for (int i = 0; i < kSamples; ++i) stats.push(repcheck::prng::sample_standard_normal(rng));
+  EXPECT_NEAR(stats.mean(), 0.0, 0.015);
+  EXPECT_NEAR(stats.variance(), 1.0, 0.03);
+}
+
+}  // namespace

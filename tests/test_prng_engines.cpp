@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+#include <stdexcept>
+
+#include "prng/splitmix64.hpp"
+#include "prng/stream.hpp"
+#include "prng/xoshiro.hpp"
+
+namespace {
+
+using repcheck::prng::SplitMix64;
+using repcheck::prng::StreamFactory;
+using repcheck::prng::Xoshiro256pp;
+
+TEST(SplitMix64, ReferenceVectorSeedZero) {
+  // First outputs of the reference implementation (Vigna) with seed 0.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm(), 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(sm(), 0x6E789E6AA1B965F4ULL);
+  EXPECT_EQ(sm(), 0x06C45D188009454FULL);
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a(), b());
+}
+
+TEST(Xoshiro, DeterministicForFixedSeed) {
+  Xoshiro256pp a(1234), b(1234);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(Xoshiro, SeedsProduceDistinctStreams) {
+  Xoshiro256pp a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro, AllZeroStateRejected) {
+  EXPECT_THROW(Xoshiro256pp(std::array<std::uint64_t, 4>{0, 0, 0, 0}), std::invalid_argument);
+}
+
+TEST(Xoshiro, ExplicitStateRoundTrips) {
+  Xoshiro256pp a(99);
+  const auto snapshot = a.state();
+  const auto expected = a();
+  Xoshiro256pp b(snapshot);
+  EXPECT_EQ(b(), expected);
+}
+
+TEST(Xoshiro, Uniform01InHalfOpenUnitInterval) {
+  Xoshiro256pp rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro, Uniform01MeanNearHalf) {
+  Xoshiro256pp rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(Xoshiro, JumpChangesStateDeterministically) {
+  Xoshiro256pp a(5), b(5);
+  a.jump();
+  EXPECT_NE(a.state(), b.state());
+  b.jump();
+  EXPECT_EQ(a.state(), b.state());
+}
+
+TEST(Xoshiro, LongJumpDiffersFromJump) {
+  Xoshiro256pp a(5), b(5);
+  a.jump();
+  b.long_jump();
+  EXPECT_NE(a.state(), b.state());
+}
+
+TEST(Xoshiro, JumpedStreamsDoNotCollide) {
+  Xoshiro256pp a(5);
+  Xoshiro256pp b = a;
+  b.jump();
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(a());
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(seen.count(b()), 0u);
+  }
+}
+
+TEST(StreamFactory, SameIndexSameStream) {
+  StreamFactory factory(42);
+  auto a = factory.stream(3);
+  auto b = factory.stream(3);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(a(), b());
+}
+
+TEST(StreamFactory, DistinctIndicesDistinctStreams) {
+  StreamFactory factory(42);
+  auto a = factory.stream(0);
+  auto b = factory.stream(1);
+  EXPECT_NE(a.state(), b.state());
+}
+
+TEST(StreamFactory, RandomAccessOrderIndependent) {
+  StreamFactory factory(42);
+  const auto late_first = factory.stream(10).state();
+  const auto early = factory.stream(2).state();
+  StreamFactory fresh(42);
+  EXPECT_EQ(fresh.stream(2).state(), early);
+  EXPECT_EQ(fresh.stream(10).state(), late_first);
+}
+
+TEST(StreamFactory, MasterSeedSelectsFamily) {
+  StreamFactory a(1), b(2);
+  EXPECT_NE(a.stream(0).state(), b.stream(0).state());
+  EXPECT_EQ(a.master_seed(), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,154 @@
+#include "core/restart_on_failure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "core/montecarlo.hpp"
+#include "failures/exponential_source.hpp"
+#include "model/periods.hpp"
+#include "model/units.hpp"
+#include "scripted_source.hpp"
+
+namespace {
+
+using namespace repcheck;
+using namespace repcheck::sim;
+using repcheck::testing::ScriptedSource;
+
+RunSpec work_spec(double work) {
+  RunSpec spec;
+  spec.mode = RunSpec::Mode::kFixedWork;
+  spec.total_work_time = work;
+  return spec;
+}
+
+TEST(RestartOnFailure, FailureFreeRunHasZeroOverhead) {
+  const RestartOnFailureEngine engine(platform::Platform::fully_replicated(4),
+                                      platform::CostModel::uniform(60.0));
+  ScriptedSource source({}, 4);
+  const auto result = engine.run(source, work_spec(10000.0), 1);
+  EXPECT_DOUBLE_EQ(result.makespan, 10000.0);
+  EXPECT_DOUBLE_EQ(result.useful_time, 10000.0);
+  EXPECT_EQ(result.n_checkpoints, 0u);
+  EXPECT_NEAR(result.overhead(), 0.0, 1e-12);
+}
+
+TEST(RestartOnFailure, EachFailureCostsOneCheckpointWave) {
+  // Two isolated failures: makespan = work + 2·C^R, no rollbacks.
+  const RestartOnFailureEngine engine(platform::Platform::fully_replicated(4),
+                                      platform::CostModel::uniform(60.0, 2.0));
+  ScriptedSource source({{1000.0, 0}, {5000.0, 3}}, 4);
+  const auto result = engine.run(source, work_spec(10000.0), 1);
+  EXPECT_EQ(result.n_checkpoints, 2u);
+  EXPECT_EQ(result.n_fatal, 0u);
+  EXPECT_EQ(result.n_procs_restarted, 2u);
+  EXPECT_DOUBLE_EQ(result.makespan, 10000.0 + 2.0 * 120.0);
+  EXPECT_DOUBLE_EQ(result.useful_time, 10000.0);
+}
+
+TEST(RestartOnFailure, PartnerDeathDuringWaveRollsBack) {
+  // Failure at 1000 starts a wave [1000, 1060); its partner dies at 1030:
+  // roll back to the last checkpoint (work 0 saved) and redo everything.
+  const RestartOnFailureEngine engine(platform::Platform::fully_replicated(4),
+                                      platform::CostModel::uniform(60.0));
+  ScriptedSource source({{1000.0, 0}, {1030.0, 1}}, 4);
+  const auto result = engine.run(source, work_spec(2000.0), 1);
+  EXPECT_EQ(result.n_fatal, 1u);
+  // Timeline: work [0,1000), aborted wave [1000,1030), recovery to 1090,
+  // then 2000 s of work redone from zero: makespan = 1090 + 2000.
+  EXPECT_DOUBLE_EQ(result.makespan, 3090.0);
+  EXPECT_DOUBLE_EQ(result.useful_time, 2000.0);
+}
+
+TEST(RestartOnFailure, OtherPairFailureDuringWaveIsAbsorbed) {
+  // A different pair's processor dying during the wave joins the same wave.
+  const RestartOnFailureEngine engine(platform::Platform::fully_replicated(4),
+                                      platform::CostModel::uniform(60.0));
+  ScriptedSource source({{1000.0, 0}, {1030.0, 2}}, 4);
+  const auto result = engine.run(source, work_spec(2000.0), 1);
+  EXPECT_EQ(result.n_fatal, 0u);
+  EXPECT_EQ(result.n_checkpoints, 1u);
+  EXPECT_EQ(result.n_procs_restarted, 2u);
+  EXPECT_DOUBLE_EQ(result.makespan, 2000.0 + 60.0);
+}
+
+TEST(RestartOnFailure, WorkSavedAtWaveSurvivesLaterCrash) {
+  // Wave 1 completes (saves work = 1000); a crash in wave 2 rolls back to
+  // 1000 rather than zero.
+  const RestartOnFailureEngine engine(platform::Platform::fully_replicated(4),
+                                      platform::CostModel::uniform(60.0));
+  ScriptedSource source({{1000.0, 0}, {2060.0, 2}, {2080.0, 3}}, 4);
+  const auto result = engine.run(source, work_spec(3000.0), 1);
+  EXPECT_EQ(result.n_fatal, 1u);
+  // Timeline: work [0,1000); wave 1 [1000,1060) saves useful=1000.
+  // Work [1060, 2060); failure at 2060 (useful=2000), wave 2 [2060,2120);
+  // partner dies at 2080 => rollback to useful=1000, recovery to 2140;
+  // remaining 2000 s of work, no more failures: makespan = 2140 + 2000.
+  EXPECT_DOUBLE_EQ(result.makespan, 4140.0);
+}
+
+TEST(RestartOnFailure, DeterministicForFixedSeed) {
+  const RestartOnFailureEngine engine(platform::Platform::fully_replicated(200),
+                                      platform::CostModel::uniform(60.0));
+  failures::ExponentialFailureSource source(200, 1e6);
+  const auto a = engine.run(source, work_spec(1e6), 5);
+  const auto b = engine.run(source, work_spec(1e6), 5);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+}
+
+TEST(RestartOnFailure, OverheadIsRoughlyCheckpointPerFailure) {
+  // At moderate rates, overhead ≈ (#failures · C^R) / work: checkpoints
+  // dominate, rollbacks are negligible (the Fig. 6 mechanism).
+  const std::uint64_t n = 2000;
+  const double mu = 1e8;  // platform MTBF 5e4 s
+  const RestartOnFailureEngine engine(platform::Platform::fully_replicated(n),
+                                      platform::CostModel::uniform(60.0));
+  failures::ExponentialFailureSource source(n, mu);
+  const auto result = engine.run(source, work_spec(5e6), 9);
+  ASSERT_EQ(result.progress_stalled, false);
+  const double expected =
+      static_cast<double>(result.n_checkpoints) * 60.0 / result.useful_time;
+  EXPECT_NEAR(result.overhead(), expected, 0.15 * expected);
+  EXPECT_EQ(result.n_fatal, 0u);  // cascade within 60 s at rate 2e-5: ~never
+}
+
+TEST(RestartOnFailure, WorseThanRestartAtScale) {
+  // Fig. 6: restart-on-failure's overhead dwarfs Restart(T_opt^rs) at scale.
+  const std::uint64_t n = 20000;
+  const double mu = model::years(5.0) / 10.0;  // unreliable platform
+  const double work = 5e5;
+
+  SimConfig rof;
+  rof.platform = platform::Platform::fully_replicated(n);
+  rof.cost = platform::CostModel::uniform(60.0);
+  rof.strategy = StrategySpec::restart_on_failure();
+  rof.spec = work_spec(work);
+  const auto h_rof = run_monte_carlo(
+      rof, [=] { return std::make_unique<failures::ExponentialFailureSource>(n, mu); }, 20, 77);
+
+  SimConfig restart = rof;
+  restart.strategy = StrategySpec::restart(model::t_opt_rs(60.0, n / 2, mu));
+  const auto h_rs = run_monte_carlo(
+      restart, [=] { return std::make_unique<failures::ExponentialFailureSource>(n, mu); }, 20,
+      77);
+
+  EXPECT_GT(h_rof.overhead.mean(), 3.0 * h_rs.overhead.mean());
+}
+
+TEST(RestartOnFailure, RejectsBadConfiguration) {
+  EXPECT_THROW(RestartOnFailureEngine(platform::Platform::partially_replicated(10, 0.5),
+                                      platform::CostModel::uniform(60.0)),
+               std::invalid_argument);
+  const RestartOnFailureEngine engine(platform::Platform::fully_replicated(4),
+                                      platform::CostModel::uniform(60.0));
+  ScriptedSource source({}, 4);
+  RunSpec periods;
+  periods.mode = RunSpec::Mode::kFixedPeriods;
+  EXPECT_THROW((void)engine.run(source, periods, 1), std::invalid_argument);
+  ScriptedSource wrong({}, 8);
+  EXPECT_THROW((void)engine.run(wrong, work_spec(100.0), 1), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,183 @@
+// Finite spare pool: partial revival semantics and the graceful
+// degradation of the restart strategy when spares run dry.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "core/engine.hpp"
+#include "core/montecarlo.hpp"
+#include "failures/exponential_source.hpp"
+#include "model/periods.hpp"
+#include "model/units.hpp"
+#include "scripted_source.hpp"
+
+namespace {
+
+using namespace repcheck;
+using namespace repcheck::sim;
+using repcheck::testing::ScriptedSource;
+
+RunSpec periods_spec(std::uint64_t n) {
+  RunSpec spec;
+  spec.mode = RunSpec::Mode::kFixedPeriods;
+  spec.n_periods = n;
+  return spec;
+}
+
+// ----------------------------------------------------------- FailureState
+
+TEST(PartialRevive, ReviveRestoresASingleProcessor) {
+  platform::FailureState s(platform::Platform::fully_replicated(8));
+  (void)s.record_failure(0);
+  (void)s.record_failure(2);
+  ASSERT_EQ(s.dead_count(), 2u);
+  s.revive(0);
+  EXPECT_EQ(s.dead_count(), 1u);
+  EXPECT_FALSE(s.is_dead(0));
+  EXPECT_TRUE(s.is_dead(2));
+  EXPECT_EQ(s.degraded_groups(), 1u);
+  // The revived processor's pair is whole again: a partner hit degrades.
+  EXPECT_EQ(s.record_failure(1), platform::FailureEffect::kDegraded);
+}
+
+TEST(PartialRevive, DeadProcessorsListsExactlyTheDead) {
+  platform::FailureState s(platform::Platform::fully_replicated(8));
+  (void)s.record_failure(0);
+  (void)s.record_failure(2);
+  (void)s.record_failure(4);
+  s.revive(2);
+  const auto dead = s.dead_processors();
+  ASSERT_EQ(dead.size(), 2u);
+  EXPECT_TRUE((dead[0] == 0 && dead[1] == 4) || (dead[0] == 4 && dead[1] == 0));
+}
+
+TEST(PartialRevive, DieReviveDieAgainHasNoDuplicates) {
+  platform::FailureState s(platform::Platform::fully_replicated(4));
+  (void)s.record_failure(0);
+  s.revive(0);
+  (void)s.record_failure(0);
+  const auto dead = s.dead_processors();
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0], 0u);
+}
+
+TEST(PartialRevive, RevivingLiveProcessorThrows) {
+  platform::FailureState s(platform::Platform::fully_replicated(4));
+  EXPECT_THROW(s.revive(0), std::logic_error);
+  (void)s.record_failure(0);
+  s.revive(0);
+  EXPECT_THROW(s.revive(0), std::logic_error);
+}
+
+TEST(PartialRevive, SurvivesRestartAllInterleaving) {
+  platform::FailureState s(platform::Platform::fully_replicated(4));
+  (void)s.record_failure(0);
+  s.restart_all();
+  EXPECT_TRUE(s.dead_processors().empty());
+  (void)s.record_failure(2);
+  const auto dead = s.dead_processors();
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0], 2u);
+}
+
+// ----------------------------------------------------------------- engine
+
+TEST(SparePool, LimitedSparesReviveOnlySoMany) {
+  // Three pairs lose one processor each in period 1; only 2 spares.
+  platform::SparePool pool{2, 1e9};  // repairs effectively never complete
+  const PeriodicEngine engine(platform::Platform::fully_replicated(8),
+                              platform::CostModel::uniform(60.0),
+                              StrategySpec::restart(1000.0), pool);
+  ScriptedSource source({{100.0, 0}, {200.0, 2}, {300.0, 4}}, 8);
+  const auto result = engine.run(source, periods_spec(2), 1);
+  EXPECT_EQ(result.n_procs_restarted, 2u);  // third stays dead forever
+  EXPECT_EQ(result.n_fatal, 0u);
+}
+
+TEST(SparePool, RepairsReplenishThePool) {
+  // 1 spare, repair takes 1.5 periods: failures in periods 1 and 3 can both
+  // be revived (the spare returns in time), so nothing accumulates.
+  platform::SparePool pool{1, 1500.0};
+  const PeriodicEngine engine(platform::Platform::fully_replicated(4),
+                              platform::CostModel::uniform(60.0),
+                              StrategySpec::restart(1000.0), pool);
+  ScriptedSource source({{100.0, 0}, {2200.0, 2}}, 4);
+  const auto result = engine.run(source, periods_spec(4), 1);
+  EXPECT_EQ(result.n_procs_restarted, 2u);
+  EXPECT_EQ(result.n_restart_checkpoints, 2u);
+}
+
+TEST(SparePool, ExhaustedPoolBlocksReviveUntilRepair) {
+  // 1 spare, repair 10 periods: the second failure cannot be revived and
+  // its partner's later death crashes the application.
+  platform::SparePool pool{1, 10000.0};
+  const PeriodicEngine engine(platform::Platform::fully_replicated(4),
+                              platform::CostModel::uniform(60.0),
+                              StrategySpec::restart(1000.0), pool);
+  ScriptedSource source({{100.0, 0}, {1200.0, 2}, {2300.0, 3}}, 4);
+  const auto result = engine.run(source, periods_spec(4), 1);
+  EXPECT_EQ(result.n_procs_restarted, 1u);
+  EXPECT_EQ(result.n_fatal, 1u);  // pair (2,3) died while waiting for a spare
+}
+
+TEST(SparePool, ZeroSparesEqualsNoRestart) {
+  // With an empty pool the restart strategy can never revive anyone: its
+  // behaviour must be bit-identical to no-restart on the same stream.
+  failures::ExponentialFailureSource source(400, 5e5, 0);
+  const PeriodicEngine norestart(platform::Platform::fully_replicated(400),
+                                 platform::CostModel::uniform(60.0),
+                                 StrategySpec::no_restart(3000.0));
+  const PeriodicEngine starved(platform::Platform::fully_replicated(400),
+                               platform::CostModel::uniform(60.0),
+                               StrategySpec::restart(3000.0),
+                               platform::SparePool{0, 86400.0});
+  const auto a = norestart.run(source, periods_spec(100), 3);
+  const auto b = starved.run(source, periods_spec(100), 3);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.n_fatal, b.n_fatal);
+  EXPECT_EQ(b.n_procs_restarted, 0u);
+}
+
+TEST(SparePool, HugePoolEqualsUnlimited) {
+  failures::ExponentialFailureSource source(400, 5e5, 0);
+  const PeriodicEngine unlimited(platform::Platform::fully_replicated(400),
+                                 platform::CostModel::uniform(60.0),
+                                 StrategySpec::restart(3000.0));
+  const PeriodicEngine pooled(platform::Platform::fully_replicated(400),
+                              platform::CostModel::uniform(60.0),
+                              StrategySpec::restart(3000.0),
+                              platform::SparePool{1000000, 86400.0});
+  const auto a = unlimited.run(source, periods_spec(100), 3);
+  const auto b = pooled.run(source, periods_spec(100), 3);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.n_procs_restarted, b.n_procs_restarted);
+}
+
+TEST(SparePool, OverheadDegradesMonotonicallyAsPoolShrinks) {
+  const std::uint64_t n = 20000;
+  const double mu = model::years(1.0);
+  const double c = 60.0;
+  const double t = model::t_opt_rs(c, n / 2, mu);
+  // The platform loses ~55 processors per repair-day: 5000 spares are
+  // effectively unlimited, 40 bind mildly, 10 strongly, 0 is no-restart.
+  double prev = -1.0;
+  for (const std::uint64_t capacity : {5000ULL, 40ULL, 10ULL, 0ULL}) {
+    SimConfig config;
+    config.platform = platform::Platform::fully_replicated(n);
+    config.cost = platform::CostModel::uniform(c);
+    config.strategy = StrategySpec::restart(t);
+    config.spec = periods_spec(100);
+    config.spares = platform::SparePool{capacity, model::kSecondsPerDay};
+    const double h = run_monte_carlo(
+                         config,
+                         [=] { return std::make_unique<failures::ExponentialFailureSource>(
+                                   n, mu); },
+                         30, 7)
+                         .overhead.mean();
+    EXPECT_GT(h, prev) << "capacity = " << capacity;
+    prev = h;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "prng/xoshiro.hpp"
+#include "stats/ci.hpp"
+#include "stats/ecdf.hpp"
+#include "stats/histogram.hpp"
+#include "stats/welford.hpp"
+
+namespace {
+
+using repcheck::stats::EmpiricalCdf;
+using repcheck::stats::Histogram;
+using repcheck::stats::mean_confidence_interval;
+using repcheck::stats::normal_quantile;
+using repcheck::stats::RunningStats;
+
+// ----------------------------------------------------------------- welford
+
+TEST(Welford, KnownSmallSample) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.push(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Welford, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.push(3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+}
+
+TEST(Welford, EmptyAccumulatorThrows) {
+  RunningStats s;
+  EXPECT_THROW((void)s.mean(), std::logic_error);
+  EXPECT_THROW((void)s.min(), std::logic_error);
+  EXPECT_THROW((void)s.sem(), std::logic_error);
+}
+
+TEST(Welford, MergeEqualsSequentialPush) {
+  RunningStats all, left, right;
+  repcheck::prng::Xoshiro256pp rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform01() * 10.0;
+    all.push(x);
+    (i < 400 ? left : right).push(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Welford, MergeWithEmptyIsIdentity) {
+  RunningStats a, empty;
+  a.push(1.0);
+  a.push(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean);
+}
+
+TEST(Welford, NumericallyStableAroundLargeOffset) {
+  RunningStats s;
+  const double offset = 1e12;
+  for (double x : {offset + 1.0, offset + 2.0, offset + 3.0}) s.push(x);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-3);
+}
+
+// ---------------------------------------------------------------------- ci
+
+TEST(NormalQuantile, StandardValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963985, 1e-6);
+  EXPECT_NEAR(normal_quantile(0.995), 2.575829304, 1e-6);
+  EXPECT_NEAR(normal_quantile(0.025), -1.959963985, 1e-6);
+}
+
+TEST(NormalQuantile, TailValues) {
+  EXPECT_NEAR(normal_quantile(1e-6), -4.753424, 1e-4);
+  EXPECT_NEAR(normal_quantile(1.0 - 1e-6), 4.753424, 1e-4);
+}
+
+TEST(NormalQuantile, RejectsBoundary) {
+  EXPECT_THROW((void)normal_quantile(0.0), std::domain_error);
+  EXPECT_THROW((void)normal_quantile(1.0), std::domain_error);
+}
+
+TEST(ConfidenceInterval, CoversTrueMeanAtAdvertisedRate) {
+  // 200 independent experiments; the 95% CI should cover ~190 of them.
+  repcheck::prng::Xoshiro256pp rng(7);
+  int covered = 0;
+  const int experiments = 200;
+  for (int e = 0; e < experiments; ++e) {
+    RunningStats s;
+    for (int i = 0; i < 400; ++i) s.push(rng.uniform01());
+    if (mean_confidence_interval(s, 0.95).contains(0.5)) ++covered;
+  }
+  EXPECT_GE(covered, 180);
+  EXPECT_LE(covered, 200);
+}
+
+TEST(ConfidenceInterval, WidthShrinksWithSamples) {
+  repcheck::prng::Xoshiro256pp rng(8);
+  RunningStats small, large;
+  for (int i = 0; i < 100; ++i) small.push(rng.uniform01());
+  for (int i = 0; i < 10000; ++i) large.push(rng.uniform01());
+  EXPECT_LT(mean_confidence_interval(large).half_width(),
+            mean_confidence_interval(small).half_width());
+}
+
+// --------------------------------------------------------------- histogram
+
+TEST(Histogram, BinsAndEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bins(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+}
+
+TEST(Histogram, CountsLandInCorrectBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.push(1.0);   // bin 0
+  h.push(3.0);   // bin 1
+  h.push(9.99);  // bin 4
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, UnderflowAndOverflowTracked) {
+  Histogram h(0.0, 1.0, 2);
+  h.push(-0.5);
+  h.push(1.5);
+  h.push(0.25);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, CdfIncludesUnderflow) {
+  Histogram h(0.0, 1.0, 2);
+  h.push(-1.0);
+  h.push(0.25);
+  h.push(0.75);
+  h.push(2.0);
+  EXPECT_DOUBLE_EQ(h.cdf_at_bin(0), 0.5);   // underflow + bin0
+  EXPECT_DOUBLE_EQ(h.cdf_at_bin(1), 0.75);  // all but overflow
+}
+
+TEST(Histogram, BadConstructionThrows) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 2), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+// -------------------------------------------------------------------- ecdf
+
+TEST(Ecdf, StepFunctionValues) {
+  EmpiricalCdf cdf({3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf(1.0), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cdf(2.5), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cdf(3.0), 1.0);
+}
+
+TEST(Ecdf, QuantileNearestRank) {
+  EmpiricalCdf cdf({10.0, 20.0, 30.0, 40.0});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.25), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 40.0);
+}
+
+TEST(Ecdf, KsDistanceOfPerfectFitIsSmall) {
+  // Uniform samples against the uniform CDF.
+  repcheck::prng::Xoshiro256pp rng(5);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) samples.push_back(rng.uniform01());
+  EmpiricalCdf cdf(std::move(samples));
+  const double d = cdf.ks_distance([](double x) { return std::clamp(x, 0.0, 1.0); });
+  EXPECT_LT(d, cdf.ks_critical(0.001));
+}
+
+TEST(Ecdf, KsDistanceDetectsWrongDistribution) {
+  repcheck::prng::Xoshiro256pp rng(6);
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) samples.push_back(rng.uniform01());
+  EmpiricalCdf cdf(std::move(samples));
+  // Compare uniform samples against an exponential CDF: must reject.
+  const double d = cdf.ks_distance([](double x) { return 1.0 - std::exp(-x); });
+  EXPECT_GT(d, cdf.ks_critical(0.001));
+}
+
+TEST(Ecdf, EmptySamplesThrow) {
+  EXPECT_THROW(EmpiricalCdf(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Ecdf, QuantileRejectsOutOfRange) {
+  EmpiricalCdf cdf({1.0});
+  EXPECT_THROW((void)cdf.quantile(-0.1), std::domain_error);
+  EXPECT_THROW((void)cdf.quantile(1.1), std::domain_error);
+}
+
+}  // namespace

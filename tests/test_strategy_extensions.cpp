@@ -1,0 +1,232 @@
+// Tests for the conclusion's future-work strategies (interval-based
+// rejuvenation, state-adaptive no-restart periods) and for degree-r
+// replication in the simulator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/engine.hpp"
+#include "core/montecarlo.hpp"
+#include "failures/exponential_source.hpp"
+#include "model/degree.hpp"
+#include "model/mtti.hpp"
+#include "model/periods.hpp"
+#include "model/units.hpp"
+#include "scripted_source.hpp"
+
+namespace {
+
+using namespace repcheck;
+using namespace repcheck::sim;
+using repcheck::testing::ScriptedSource;
+
+platform::CostModel costs(double c, double cr_ratio = 1.0) {
+  return platform::CostModel::uniform(c, cr_ratio);
+}
+
+RunSpec periods_spec(std::uint64_t n) {
+  RunSpec spec;
+  spec.mode = RunSpec::Mode::kFixedPeriods;
+  spec.n_periods = n;
+  return spec;
+}
+
+// -------------------------------------------------------- restart interval
+
+TEST(RestartInterval, RestartsOnlyAfterDeltaElapsed) {
+  // T = 1000, delta = 2500: a processor dead since t = 100 is only revived
+  // at the checkpoint ending period 3 (first checkpoint with now - last
+  // fully-alive >= 2500).
+  const PeriodicEngine engine(platform::Platform::fully_replicated(4), costs(60.0),
+                              StrategySpec::restart_interval(1000.0, 2500.0));
+  ScriptedSource source({{100.0, 0}}, 4);
+  const auto result = engine.run(source, periods_spec(4), 1);
+  EXPECT_EQ(result.n_fatal, 0u);
+  EXPECT_EQ(result.n_restart_checkpoints, 1u);
+  EXPECT_EQ(result.n_procs_restarted, 1u);
+}
+
+TEST(RestartInterval, ZeroDeltaIsPlainRestart) {
+  failures::ExponentialFailureSource source(200, 5e5, 0);
+  const PeriodicEngine restart(platform::Platform::fully_replicated(200), costs(60.0),
+                               StrategySpec::restart(3000.0));
+  const PeriodicEngine interval(platform::Platform::fully_replicated(200), costs(60.0),
+                                StrategySpec::restart_interval(3000.0, 0.0));
+  const auto a = restart.run(source, periods_spec(100), 3);
+  const auto b = interval.run(source, periods_spec(100), 3);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.n_restart_checkpoints, b.n_restart_checkpoints);
+}
+
+TEST(RestartInterval, HugeDeltaIsNoRestart) {
+  failures::ExponentialFailureSource source(200, 5e5, 0);
+  const PeriodicEngine norestart(platform::Platform::fully_replicated(200), costs(60.0),
+                                 StrategySpec::no_restart(3000.0));
+  const PeriodicEngine interval(platform::Platform::fully_replicated(200), costs(60.0),
+                                StrategySpec::restart_interval(3000.0, 1e18));
+  const auto a = norestart.run(source, periods_spec(100), 3);
+  const auto b = interval.run(source, periods_spec(100), 3);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.n_fatal, b.n_fatal);
+}
+
+TEST(RestartInterval, CrashResetsTheClock) {
+  // delta = 1500.  A crash at t = 500/600 rejuvenates; afterwards a lone
+  // failure does NOT trigger a restart until delta elapses from recovery.
+  const PeriodicEngine engine(platform::Platform::fully_replicated(4), costs(60.0),
+                              StrategySpec::restart_interval(1000.0, 1500.0));
+  ScriptedSource source({{500.0, 0}, {600.0, 1}, {800.0, 2}}, 4);
+  const auto result = engine.run(source, periods_spec(2), 1);
+  EXPECT_EQ(result.n_fatal, 1u);
+  // Recovery ends at 660; checkpoints at ~1720 and ~2780.  Time since the
+  // platform was whole reaches 1500 only at the second checkpoint.
+  EXPECT_EQ(result.n_restart_checkpoints, 1u);
+}
+
+TEST(RestartInterval, RejectsNegativeDelta) {
+  EXPECT_THROW((void)StrategySpec::restart_interval(1000.0, -1.0), std::invalid_argument);
+}
+
+// ---------------------------------------------------- adaptive no-restart
+
+TEST(AdaptiveNoRestart, HealthyPeriodIsTMttiNo) {
+  // With zero damage, T(0) = sqrt(2 M C) = T_MTTI^no: the engine's first
+  // period must reflect that exactly (check via failure-free makespan).
+  const std::uint64_t n = 200;
+  const double mu = 1e8;
+  const double c = 60.0;
+  const PeriodicEngine engine(platform::Platform::fully_replicated(n), costs(c),
+                              StrategySpec::adaptive_no_restart(c, mu));
+  ScriptedSource source({}, n);
+  const auto result = engine.run(source, periods_spec(5), 1);
+  const double t0 = model::t_mtti_no(c, n / 2, mu);
+  EXPECT_NEAR(result.makespan, 5.0 * (t0 + c), 1e-6);
+}
+
+TEST(AdaptiveNoRestart, PeriodsShrinkWithDamage) {
+  // One failure per period on distinct pairs: each period is shorter than
+  // the last (T(k) strictly decreasing in k).
+  const std::uint64_t n = 8;
+  const double mu = 1e6;
+  const double c = 10.0;
+  const PeriodicEngine engine(platform::Platform::fully_replicated(n), costs(c),
+                              StrategySpec::adaptive_no_restart(c, mu));
+  // Damage pairs 0, 1, 2 early in successive periods.
+  const double t0 = model::young_daly_period(c, model::mtti(n / 2, mu));
+  ScriptedSource source({{t0 * 0.1, 0}, {t0 * 1.2, 2}, {t0 * 2.0, 4}}, n);
+  const auto result = engine.run(source, periods_spec(3), 1);
+  EXPECT_EQ(result.n_fatal, 0u);
+  // Expected makespan: T(0)+C + T(1)+C + T(2)+C with T(k) = sqrt(2 M_k C).
+  double expected = 0.0;
+  for (std::uint64_t k = 0; k < 3; ++k) {
+    expected += std::sqrt(2.0 * model::mtti_degraded(n / 2, k, mu) * c) + c;
+  }
+  EXPECT_NEAR(result.makespan, expected, 1e-6);
+}
+
+TEST(AdaptiveNoRestart, BeatsPlainNoRestartOnDamagedPlatforms) {
+  // The multi-pair generalization of Figure 2's non-periodic gain: adaptive
+  // periods cut the overhead relative to the fixed T_MTTI^no schedule.
+  const std::uint64_t n = 2000;
+  const double mu = 1e7;  // short MTBF: damage accumulates within runs
+  const double c = 120.0;
+  SimConfig adaptive;
+  adaptive.platform = platform::Platform::fully_replicated(n);
+  adaptive.cost = costs(c);
+  adaptive.strategy = StrategySpec::adaptive_no_restart(c, mu);
+  adaptive.spec = periods_spec(200);
+  const auto factory = [=] {
+    return std::make_unique<failures::ExponentialFailureSource>(n, mu);
+  };
+  const auto h_adaptive = run_monte_carlo(adaptive, factory, 60, 5).overhead.mean();
+
+  SimConfig fixed = adaptive;
+  fixed.strategy = StrategySpec::no_restart(model::t_mtti_no(c, n / 2, mu));
+  const auto h_fixed = run_monte_carlo(fixed, factory, 60, 5).overhead.mean();
+  EXPECT_LT(h_adaptive, h_fixed);
+}
+
+TEST(AdaptiveNoRestart, RejectsBadParameters) {
+  EXPECT_THROW((void)StrategySpec::adaptive_no_restart(0.0, 1e6), std::invalid_argument);
+  EXPECT_THROW((void)StrategySpec::adaptive_no_restart(60.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(PeriodicEngine(platform::Platform::not_replicated(10), costs(60.0),
+                              StrategySpec::adaptive_no_restart(60.0, 1e6)),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------- degree-r simulation
+
+TEST(DegreeSim, TripletSurvivesTwoDeaths) {
+  const auto platform = platform::Platform::replicated_degree(6, 3);
+  platform::FailureState s(platform);
+  EXPECT_EQ(s.record_failure(0), platform::FailureEffect::kDegraded);
+  EXPECT_EQ(s.record_failure(1), platform::FailureEffect::kDegraded);
+  EXPECT_EQ(s.group_dead_count(0), 2u);
+  EXPECT_EQ(s.record_failure(2), platform::FailureEffect::kFatal);
+  EXPECT_EQ(s.record_failure(3), platform::FailureEffect::kDegraded);  // other triplet
+}
+
+TEST(DegreeSim, DegradedGroupsCountsGroupsNotProcs) {
+  const auto platform = platform::Platform::replicated_degree(6, 3);
+  platform::FailureState s(platform);
+  (void)s.record_failure(0);
+  (void)s.record_failure(1);
+  EXPECT_EQ(s.degraded_groups(), 1u);
+  EXPECT_EQ(s.dead_count(), 2u);
+  s.restart_all();
+  EXPECT_EQ(s.group_dead_count(0), 0u);
+}
+
+TEST(DegreeSim, EngineRunsTripletsEndToEnd) {
+  // Same script that kills a pair platform is absorbed by triplets.
+  const auto pair_engine = PeriodicEngine(platform::Platform::fully_replicated(6), costs(60.0),
+                                          StrategySpec::no_restart(1000.0));
+  const auto triple_engine = PeriodicEngine(platform::Platform::replicated_degree(6, 3),
+                                            costs(60.0), StrategySpec::no_restart(1000.0));
+  ScriptedSource for_pairs({{100.0, 0}, {200.0, 1}}, 6);
+  ScriptedSource for_triples({{100.0, 0}, {200.0, 1}}, 6);
+  EXPECT_EQ(pair_engine.run(for_pairs, periods_spec(1), 1).n_fatal, 1u);
+  EXPECT_EQ(triple_engine.run(for_triples, periods_spec(1), 1).n_fatal, 0u);
+}
+
+TEST(DegreeSim, TriplicationCrashesLessThanDuplication) {
+  // Same processor count, very hostile platform: triplets crash far less.
+  const std::uint64_t n = 600;
+  const double mu = 3e5;
+  const auto factory = [=] {
+    return std::make_unique<failures::ExponentialFailureSource>(n, mu);
+  };
+  SimConfig pairs;
+  pairs.platform = platform::Platform::fully_replicated(n);
+  pairs.cost = costs(30.0);
+  pairs.strategy = StrategySpec::no_restart(2000.0);
+  pairs.spec = periods_spec(100);
+  SimConfig triples = pairs;
+  triples.platform = platform::Platform::replicated_degree(n, 3);
+  const auto pair_crashes = run_monte_carlo(pairs, factory, 30, 7).fatal_failures.mean();
+  const auto triple_crashes = run_monte_carlo(triples, factory, 30, 7).fatal_failures.mean();
+  EXPECT_LT(triple_crashes, 0.5 * pair_crashes);
+}
+
+TEST(DegreeSim, RestartOverheadMatchesDegreeModel) {
+  // Simulated triple-replication restart overhead vs the generalized
+  // first-order model at T_opt^rs_3.
+  const std::uint64_t n = 30000;
+  const std::uint64_t g = n / 3;
+  const double mu = 1e7;  // short MTBF so triple deaths actually occur
+  const double c = 60.0;
+  const double t = model::t_opt_rs_degree(c, g, mu, 3);
+  SimConfig config;
+  config.platform = platform::Platform::replicated_degree(n, 3);
+  config.cost = costs(c);
+  config.strategy = StrategySpec::restart(t);
+  config.spec = periods_spec(100);
+  const auto summary = run_monte_carlo(
+      config, [=] { return std::make_unique<failures::ExponentialFailureSource>(n, mu); }, 200,
+      9);
+  const double predicted = model::overhead_restart_degree(c, t, g, mu, 3);
+  EXPECT_NEAR(summary.overhead.mean() / predicted, 1.0, 0.2);
+}
+
+}  // namespace

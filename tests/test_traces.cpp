@@ -1,0 +1,337 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "traces/scaling.hpp"
+#include "traces/synthetic.hpp"
+#include "traces/trace.hpp"
+
+namespace {
+
+using namespace repcheck::traces;
+
+FailureTrace tiny_trace() {
+  return FailureTrace({{10.0, 0}, {25.0, 2}, {40.0, 1}}, 4, 100.0);
+}
+
+// ------------------------------------------------------------------- trace
+
+TEST(Trace, SortsRecordsOnConstruction) {
+  FailureTrace t({{40.0, 1}, {10.0, 0}, {25.0, 2}}, 4, 100.0);
+  EXPECT_DOUBLE_EQ(t.records()[0].time, 10.0);
+  EXPECT_DOUBLE_EQ(t.records()[2].time, 40.0);
+}
+
+TEST(Trace, SystemMtbfIsHorizonOverCount) {
+  EXPECT_NEAR(tiny_trace().system_mtbf(), 100.0 / 3.0, 1e-12);
+}
+
+TEST(Trace, RejectsBadConstruction) {
+  EXPECT_THROW(FailureTrace({{10.0, 0}}, 0, 100.0), std::invalid_argument);   // no nodes
+  EXPECT_THROW(FailureTrace({{10.0, 0}}, 2, 0.0), std::invalid_argument);     // no horizon
+  EXPECT_THROW(FailureTrace({{-1.0, 0}}, 2, 100.0), std::invalid_argument);   // negative time
+  EXPECT_THROW(FailureTrace({{100.0, 0}}, 2, 100.0), std::invalid_argument);  // at horizon
+  EXPECT_THROW(FailureTrace({{10.0, 5}}, 2, 100.0), std::invalid_argument);   // unknown node
+}
+
+TEST(Trace, SerializeParseRoundTrip) {
+  const auto original = tiny_trace();
+  std::stringstream buffer;
+  original.serialize(buffer);
+  const auto parsed = FailureTrace::parse(buffer);
+  ASSERT_EQ(parsed.size(), original.size());
+  EXPECT_EQ(parsed.n_nodes(), original.n_nodes());
+  EXPECT_DOUBLE_EQ(parsed.horizon(), original.horizon());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_DOUBLE_EQ(parsed.records()[i].time, original.records()[i].time);
+    EXPECT_EQ(parsed.records()[i].node, original.records()[i].node);
+  }
+}
+
+TEST(Trace, ParseRejectsBadHeader) {
+  std::stringstream bad("# wrong-magic v1 nodes 4 horizon 100\n");
+  EXPECT_THROW((void)FailureTrace::parse(bad), std::runtime_error);
+  std::stringstream empty("");
+  EXPECT_THROW((void)FailureTrace::parse(empty), std::runtime_error);
+}
+
+TEST(Trace, ParseSkipsCommentsAndBlankLines) {
+  std::stringstream in(
+      "# repcheck-trace v1 nodes 4 horizon 100\n"
+      "\n"
+      "# a comment\n"
+      "10 0\n");
+  const auto t = FailureTrace::parse(in);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(Trace, ParseRejectsMalformedRecord) {
+  std::stringstream in(
+      "# repcheck-trace v1 nodes 4 horizon 100\n"
+      "not-a-number 0\n");
+  EXPECT_THROW((void)FailureTrace::parse(in), std::runtime_error);
+}
+
+// ------------------------------------------------------------------- stats
+
+TEST(TraceStats, PoissonLikeTraceHasUnitCorrelationIndex) {
+  UncorrelatedTraceParams params;
+  params.count = 20000;
+  params.system_mtbf = 100.0;
+  params.n_nodes = 10;
+  params.inter_arrival_cv = 1.0;  // cv = 1 ≈ exponential scale
+  const auto trace = make_uncorrelated_trace(params, 7);
+  const auto stats = compute_stats(trace, 50.0);
+  EXPECT_NEAR(stats.correlation_index(), 1.0, 0.25);
+}
+
+TEST(TraceStats, CascadeTraceHasElevatedCorrelationIndex) {
+  CorrelatedTraceParams params;
+  params.count = 20000;
+  params.system_mtbf = 1000.0;
+  params.n_nodes = 10;
+  params.cascade_probability = 0.4;
+  params.mean_cascade_size = 2.0;
+  params.cascade_window = 20.0;
+  const auto trace = make_correlated_trace(params, 8);
+  const auto stats = compute_stats(trace, 20.0);
+  EXPECT_GT(stats.correlation_index(), 2.0);
+}
+
+TEST(TraceStats, RejectsDegenerateInput) {
+  EXPECT_THROW((void)compute_stats(tiny_trace(), 0.0), std::invalid_argument);
+  FailureTrace single({{10.0, 0}}, 2, 100.0);
+  EXPECT_THROW((void)compute_stats(single, 10.0), std::invalid_argument);
+}
+
+TEST(TraceStats, InterarrivalCvDetectsBurstiness) {
+  UncorrelatedTraceParams u;
+  u.count = 20000;
+  u.system_mtbf = 100.0;
+  u.n_nodes = 10;
+  // Sample CV of a heavy-tailed law converges slowly; assert the band.
+  u.inter_arrival_cv = 1.5;
+  const double cv_heavy = interarrival_cv(make_uncorrelated_trace(u, 3));
+  EXPECT_GT(cv_heavy, 1.2);
+  EXPECT_LT(cv_heavy, 2.3);
+  u.inter_arrival_cv = 0.3;
+  EXPECT_NEAR(interarrival_cv(make_uncorrelated_trace(u, 3)), 0.3, 0.05);
+
+  CorrelatedTraceParams c;
+  c.count = 20000;
+  c.system_mtbf = 1000.0;
+  c.n_nodes = 10;
+  c.cascade_probability = 0.4;
+  c.cascade_window = 20.0;
+  EXPECT_GT(interarrival_cv(make_correlated_trace(c, 3)), 1.2);
+}
+
+TEST(TraceStats, FanoFactorSeparatesPoissonFromCascades) {
+  // Near-exponential gaps: Fano ~ 1 on windows of several MTBFs.
+  UncorrelatedTraceParams u;
+  u.count = 20000;
+  u.system_mtbf = 100.0;
+  u.n_nodes = 10;
+  u.inter_arrival_cv = 1.0;
+  const double fano_iid = fano_factor(make_uncorrelated_trace(u, 5), 500.0);
+  EXPECT_NEAR(fano_iid, 1.0, 0.4);
+
+  CorrelatedTraceParams c;
+  c.count = 20000;
+  c.system_mtbf = 100.0;
+  c.n_nodes = 10;
+  c.cascade_probability = 0.4;
+  c.mean_cascade_size = 3.0;
+  c.cascade_window = 50.0;
+  const double fano_burst = fano_factor(make_correlated_trace(c, 5), 500.0);
+  EXPECT_GT(fano_burst, 1.8 * fano_iid);
+}
+
+TEST(TraceStats, FanoRejectsBadWindows) {
+  EXPECT_THROW((void)fano_factor(tiny_trace(), 0.0), std::invalid_argument);
+  EXPECT_THROW((void)fano_factor(tiny_trace(), 1000.0), std::invalid_argument);
+  FailureTrace two({{1.0, 0}, {2.0, 1}}, 2, 10.0);
+  EXPECT_THROW((void)interarrival_cv(two), std::invalid_argument);
+}
+
+// --------------------------------------------------------------------- csv
+
+TEST(CsvTrace, ParsesColumnsAndRemapsNodes) {
+  std::stringstream in(
+      "node,stuff,fail_time\n"
+      "17,x,100\n"
+      "42,y,250\n"
+      "17,z,400\n");
+  const auto trace = parse_csv_trace(in, /*time_column=*/2, /*node_column=*/0,
+                                     /*seconds_per_unit=*/1.0);
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.n_nodes(), 2u);  // nodes {17, 42} remapped to {0, 1}
+  EXPECT_DOUBLE_EQ(trace.records()[0].time, 0.0);    // shifted to zero
+  EXPECT_DOUBLE_EQ(trace.records()[1].time, 150.0);
+  EXPECT_DOUBLE_EQ(trace.records()[2].time, 300.0);
+  EXPECT_EQ(trace.records()[0].node, trace.records()[2].node);  // same raw node
+}
+
+TEST(CsvTrace, AppliesTimeUnitAndSkipsGarbageRows) {
+  std::stringstream in(
+      "time_hours,node\n"
+      "1,0\n"
+      "not-a-number,0\n"
+      "2,1\n"
+      "# a comment\n"
+      "3,0\n");
+  const auto trace = parse_csv_trace(in, 0, 1, /*seconds_per_unit=*/3600.0);
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_DOUBLE_EQ(trace.records()[1].time, 3600.0);
+}
+
+TEST(CsvTrace, CustomDelimiterAndNoHeader) {
+  std::stringstream in("5;0\n9;1\n");
+  const auto trace = parse_csv_trace(in, 0, 1, 1.0, /*skip_header=*/false, ';');
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_NEAR(trace.system_mtbf(), trace.horizon() / 2.0, 1e-12);
+}
+
+TEST(CsvTrace, RejectsEmptyResult) {
+  std::stringstream in("a,b\nx,y\n");
+  EXPECT_THROW((void)parse_csv_trace(in, 0, 1), std::runtime_error);
+  std::stringstream ok("1,0\n2,0\n");
+  EXPECT_THROW((void)parse_csv_trace(ok, 0, 1, 0.0, false), std::invalid_argument);
+}
+
+TEST(CsvTrace, RoundTripsThroughScheduler) {
+  // A CSV-imported trace must be usable end-to-end (schedule + source).
+  std::stringstream in("10,0\n20,1\n30,2\n40,3\n");
+  auto trace = parse_csv_trace(in, 0, 1, 1.0, false);
+  repcheck::traces::GroupedTraceSchedule schedule(std::move(trace), 16, 2);
+  EXPECT_NEAR(schedule.scaled_system_mtbf(), schedule.trace().system_mtbf() / 2.0, 1e-12);
+}
+
+// --------------------------------------------------------------- synthetic
+
+TEST(Synthetic, UncorrelatedMatchesRequestedStatistics) {
+  UncorrelatedTraceParams params;
+  params.count = 10000;
+  params.system_mtbf = 27000.0;
+  params.n_nodes = 49;
+  const auto trace = make_uncorrelated_trace(params, 9);
+  EXPECT_EQ(trace.size(), params.count);
+  EXPECT_NEAR(trace.system_mtbf() / params.system_mtbf, 1.0, 0.06);
+}
+
+TEST(Synthetic, CorrelatedMatchesRequestedStatistics) {
+  CorrelatedTraceParams params;
+  params.count = 10000;
+  params.system_mtbf = 50760.0;
+  params.n_nodes = 49;
+  const auto trace = make_correlated_trace(params, 10);
+  EXPECT_EQ(trace.size(), params.count);
+  EXPECT_NEAR(trace.system_mtbf() / params.system_mtbf, 1.0, 0.10);
+}
+
+TEST(Synthetic, DeterministicForFixedSeed) {
+  const auto a = make_lanl18_like(3);
+  const auto b = make_lanl18_like(3);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_DOUBLE_EQ(a.records()[i].time, b.records()[i].time);
+  }
+}
+
+TEST(Synthetic, SeedsChangeTheTrace) {
+  const auto a = make_lanl18_like(3);
+  const auto b = make_lanl18_like(4);
+  EXPECT_NE(a.records()[0].time, b.records()[0].time);
+}
+
+TEST(Synthetic, Lanl18PresetMatchesPublishedNumbers) {
+  const auto trace = make_lanl18_like(11);
+  EXPECT_EQ(trace.size(), 3899u);
+  EXPECT_NEAR(trace.system_mtbf() / (7.5 * 3600.0), 1.0, 0.10);
+}
+
+TEST(Synthetic, Lanl2PresetMatchesPublishedNumbers) {
+  const auto trace = make_lanl2_like(12);
+  EXPECT_EQ(trace.size(), 5350u);
+  EXPECT_NEAR(trace.system_mtbf() / (14.1 * 3600.0), 1.0, 0.12);
+}
+
+TEST(Synthetic, Lanl2IsMoreCorrelatedThanLanl18) {
+  // The whole point of using both traces in Fig. 4.
+  const auto lanl2 = make_lanl2_like(13);
+  const auto lanl18 = make_lanl18_like(13);
+  const double window = 600.0;
+  EXPECT_GT(compute_stats(lanl2, window).correlation_index(),
+            1.5 * compute_stats(lanl18, window).correlation_index());
+}
+
+TEST(Synthetic, RejectsBadParameters) {
+  UncorrelatedTraceParams u;
+  u.count = 1;
+  EXPECT_THROW((void)make_uncorrelated_trace(u, 1), std::invalid_argument);
+  CorrelatedTraceParams c;
+  c.cascade_probability = 1.0;
+  EXPECT_THROW((void)make_correlated_trace(c, 1), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- scaling
+
+TEST(Scaling, MappingIsDeterministic) {
+  GroupedTraceSchedule schedule(tiny_trace(), 16, 4);
+  EXPECT_EQ(schedule.group_size(), 4u);
+  for (std::uint32_t g = 0; g < 4; ++g) {
+    for (std::uint32_t node = 0; node < 8; ++node) {
+      EXPECT_EQ(schedule.map_node(g, node), schedule.map_node(g, node));
+    }
+  }
+}
+
+TEST(Scaling, NeighbouringNodesAreNotPartners) {
+  // The scatter models remote-rack replica placement: consecutive trace
+  // nodes (cascade neighbours) must almost never land on the two replicas
+  // of one pair (procs 2i and 2i+1).
+  GroupedTraceSchedule schedule(tiny_trace(), 4096, 1);
+  int partner_hits = 0;
+  for (std::uint32_t node = 0; node + 1 < 512; ++node) {
+    const auto a = schedule.map_node(0, node);
+    const auto b = schedule.map_node(0, node + 1);
+    if ((a ^ 1ULL) == b) ++partner_hits;
+  }
+  EXPECT_LT(partner_hits, 5);
+}
+
+TEST(Scaling, MappedProcsStayInGroupRange) {
+  GroupedTraceSchedule schedule(tiny_trace(), 16, 4);
+  for (std::uint32_t g = 0; g < 4; ++g) {
+    for (std::uint32_t node = 0; node < 4; ++node) {
+      const auto proc = schedule.map_node(g, node);
+      EXPECT_GE(proc, g * 4u);
+      EXPECT_LT(proc, (g + 1) * 4u);
+    }
+  }
+}
+
+TEST(Scaling, ScaledMtbfDividesByGroups) {
+  GroupedTraceSchedule schedule(tiny_trace(), 16, 4);
+  EXPECT_NEAR(schedule.scaled_system_mtbf(), tiny_trace().system_mtbf() / 4.0, 1e-12);
+}
+
+TEST(Scaling, GroupsForTargetReproducesPaperSetup) {
+  // Paper Section 7.2: LANL#2 (MTBF 14.1 h) scaled to 200,000 procs with a
+  // 5-year individual MTBF needs 64 groups; LANL#18 (7.5 h) needs 32.
+  const double mu = 5.0 * 365.25 * 86400.0;
+  FailureTrace lanl2_mtbf({{0.0, 0}}, 1, 14.1 * 3600.0);   // 1 failure per 14.1 h
+  FailureTrace lanl18_mtbf({{0.0, 0}}, 1, 7.5 * 3600.0);
+  EXPECT_NEAR(GroupedTraceSchedule::groups_for_target(lanl2_mtbf, 200000, mu), 64.0, 1.0);
+  EXPECT_NEAR(GroupedTraceSchedule::groups_for_target(lanl18_mtbf, 200000, mu), 34.0, 2.0);
+}
+
+TEST(Scaling, RejectsBadConfiguration) {
+  EXPECT_THROW(GroupedTraceSchedule(tiny_trace(), 15, 4), std::invalid_argument);
+  EXPECT_THROW(GroupedTraceSchedule(tiny_trace(), 16, 0), std::invalid_argument);
+  GroupedTraceSchedule ok(tiny_trace(), 16, 4);
+  EXPECT_THROW((void)ok.map_node(4, 0), std::out_of_range);
+}
+
+}  // namespace

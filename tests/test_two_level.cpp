@@ -1,0 +1,225 @@
+// Two-level (buddy + PFS) checkpointing: model and engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/montecarlo.hpp"
+#include "core/two_level.hpp"
+#include "failures/exponential_source.hpp"
+#include "model/multilevel.hpp"
+#include "model/periods.hpp"
+#include "model/units.hpp"
+#include "scripted_source.hpp"
+#include "stats/welford.hpp"
+
+namespace {
+
+using namespace repcheck;
+using namespace repcheck::sim;
+using repcheck::testing::ScriptedSource;
+
+RunSpec work_spec(double work) {
+  RunSpec spec;
+  spec.mode = RunSpec::Mode::kFixedWork;
+  spec.total_work_time = work;
+  return spec;
+}
+
+model::TwoLevelCosts costs(double cb = 60.0, double cp = 600.0, double rp = 600.0) {
+  model::TwoLevelCosts c;
+  c.buddy_checkpoint = cb;
+  c.pfs_flush = cp;
+  c.pfs_recovery = rp;
+  return c;
+}
+
+// ------------------------------------------------------------------ model
+
+TEST(TwoLevelModel, FlushEveryCheckpointMatchesSingleLevel) {
+  // k = 1 and R_p = R: the two-level formula collapses to Eq. 19 with
+  // C^R = C_b + C_p, apart from the (k−1) term vanishing.
+  const std::uint64_t b = 100000;
+  const double mu = model::years(5.0);
+  const auto c = costs(60.0, 600.0, 660.0);
+  const double t = 20000.0;
+  const double h2 = model::two_level_overhead(c, t, 1.0, b, mu);
+  const double lambda = 1.0 / mu;
+  const double expected = (60.0 + 600.0) / t +
+                          static_cast<double>(b) * lambda * lambda * t *
+                              (2.0 * t / 3.0 + 660.0);
+  EXPECT_NEAR(h2, expected, 1e-12);
+}
+
+TEST(TwoLevelModel, FlushIntervalBalancesFlushCostAndLoss) {
+  // At k*, the marginal flush saving equals the marginal crash loss:
+  // verify k* minimizes H(T, k) over a k grid.
+  const std::uint64_t b = 100000;
+  const double mu = model::years(5.0);
+  const auto c = costs();
+  const double t = model::t_opt_rs(60.0, b, mu);
+  const double k_star = model::two_level_flush_interval(c, t, b, mu);
+  ASSERT_GT(k_star, 1.0);
+  const double h_star = model::two_level_overhead(c, t, k_star, b, mu);
+  for (double f : {0.5, 0.8, 1.25, 2.0}) {
+    EXPECT_LE(h_star, model::two_level_overhead(c, t, std::max(1.0, f * k_star), b, mu));
+  }
+}
+
+TEST(TwoLevelModel, FreeFlushesMeanFlushAlways) {
+  EXPECT_DOUBLE_EQ(model::two_level_flush_interval(costs(60.0, 0.0), 20000.0, 1000, 1e8), 1.0);
+}
+
+TEST(TwoLevelModel, OptimizeBeatsBothSingleLevelExtremes) {
+  // The jointly optimized (T, k) plan must beat (a) flushing every
+  // checkpoint and (b) treating C = C_b + C_p as one level at its optimum.
+  const std::uint64_t b = 100000;
+  const double mu = model::years(5.0);
+  const auto c = costs();
+  const auto plan = model::optimize_two_level(c, b, mu);
+  EXPECT_GT(plan.flush_every, 1.0);
+
+  const double t1 = model::t_opt_rs(660.0, b, mu);  // single-level at C_b + C_p
+  const double h_single = model::two_level_overhead(c, t1, 1.0, b, mu);
+  EXPECT_LT(plan.predicted_overhead, h_single);
+}
+
+TEST(TwoLevelModel, PaperScalePlanIsPlausible) {
+  // b = 1e5, mu = 5 y, C_b = 60 s, C_p = 600 s: the optimum flushes every
+  // ~4-7 checkpoints and lands between the buddy-only (0.4%) and
+  // PFS-only (~2%) overheads.
+  const auto plan = model::optimize_two_level(costs(), 100000, model::years(5.0));
+  EXPECT_GT(plan.flush_every, 2.0);
+  EXPECT_LT(plan.flush_every, 12.0);
+  EXPECT_GT(plan.predicted_overhead, 0.004);
+  EXPECT_LT(plan.predicted_overhead, 0.02);
+}
+
+TEST(TwoLevelModel, RejectsBadArguments) {
+  EXPECT_THROW((void)model::two_level_overhead(costs(), 0.0, 1.0, 10, 1e8), std::domain_error);
+  EXPECT_THROW((void)model::two_level_overhead(costs(), 100.0, 0.5, 10, 1e8),
+               std::domain_error);
+  EXPECT_THROW((void)model::two_level_flush_interval(costs(), 100.0, 0, 1e8),
+               std::domain_error);
+  auto bad = costs();
+  bad.buddy_checkpoint = 0.0;
+  EXPECT_THROW((void)model::optimize_two_level(bad, 10, 1e8), std::domain_error);
+}
+
+// ----------------------------------------------------------------- engine
+
+TEST(TwoLevelEngine, FailureFreeArithmetic) {
+  // 6 periods of 1000 s, flush every 3: checkpoints cost 60, flushes add
+  // 600 at checkpoints 3 and 6.
+  const TwoLevelEngine engine(platform::Platform::fully_replicated(4), costs(), 1000.0, 3);
+  ScriptedSource source({}, 4);
+  const auto result = engine.run(source, work_spec(6000.0), 1);
+  EXPECT_DOUBLE_EQ(result.useful_time, 6000.0);
+  EXPECT_EQ(result.n_checkpoints, 6u);
+  EXPECT_EQ(result.n_flush_checkpoints, 2u);
+  EXPECT_DOUBLE_EQ(result.makespan, 6000.0 + 6.0 * 60.0 + 2.0 * 600.0);
+}
+
+TEST(TwoLevelEngine, NonFatalFailureRestartsAtBuddyCheckpoint) {
+  const TwoLevelEngine engine(platform::Platform::fully_replicated(4), costs(), 1000.0, 2);
+  ScriptedSource source({{500.0, 0}}, 4);
+  const auto result = engine.run(source, work_spec(2000.0), 1);
+  EXPECT_EQ(result.n_fatal, 0u);
+  EXPECT_EQ(result.n_procs_restarted, 1u);
+  EXPECT_EQ(result.n_restart_checkpoints, 1u);
+}
+
+TEST(TwoLevelEngine, CrashLosesWorkBackToLastFlush) {
+  // Flush every 2.  Periods 1-2 complete (flush at end of 2, work 2000
+  // durable).  Period 3 completes on buddy only; pair dies in period 4 =>
+  // roll back to 2000: periods 3-4 redone.
+  const TwoLevelEngine engine(platform::Platform::fully_replicated(4), costs(60.0, 600.0, 600.0),
+                              1000.0, 2);
+  // Timeline: p1 [0,1000)+60, p2 [1060,2060)+660, p3 [2720,3720)+60,
+  // p4 starts 3780; failures at 3800 and 3900 on pair 0 => crash at 3900.
+  ScriptedSource source({{3800.0, 0}, {3900.0, 1}}, 4);
+  const auto result = engine.run(source, work_spec(4000.0), 1);
+  EXPECT_EQ(result.n_fatal, 1u);
+  EXPECT_DOUBLE_EQ(result.useful_time, 4000.0);
+  // Recovery at 3900 + 600 => 4500; redo periods 3-4 (+60 ckpt each, the
+  // final one flushes at 600 extra: ckpt 6 is the 2nd since flush... count:
+  // after recovery since_flush=0; p3' ends ckpt (1st, no flush), p4' ends
+  // ckpt (2nd => flush +600).
+  EXPECT_DOUBLE_EQ(result.makespan, 4500.0 + 1000.0 + 60.0 + 1000.0 + 660.0);
+  // Wasted work: period 3 (1000) + partial period 4 (3800+3900 - ...).
+  EXPECT_GT(result.time_working, result.useful_time);
+}
+
+TEST(TwoLevelEngine, DeterministicForFixedSeed) {
+  const TwoLevelEngine engine(platform::Platform::fully_replicated(2000), costs(), 20000.0, 5);
+  failures::ExponentialFailureSource source(2000, 1e8);
+  const auto a = engine.run(source, work_spec(2e6), 7);
+  const auto b = engine.run(source, work_spec(2e6), 7);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.n_fatal, b.n_fatal);
+}
+
+TEST(TwoLevelEngine, MakespanDecomposes) {
+  const TwoLevelEngine engine(platform::Platform::fully_replicated(2000), costs(), 20000.0, 4);
+  failures::ExponentialFailureSource source(2000, 5e7);
+  const auto r = engine.run(source, work_spec(3e6), 11);
+  EXPECT_NEAR(r.time_working + r.time_checkpointing + r.time_recovering + r.time_down,
+              r.makespan, 1e-6 * r.makespan);
+}
+
+TEST(TwoLevelEngine, SimulationTracksModel) {
+  // Paper platform at a 1-year MTBF (crashes frequent enough for tight
+  // statistics): simulated overhead at the optimized (T, k) within 25% of
+  // the first-order prediction.
+  const std::uint64_t n = 200000;
+  const double mu = model::years(1.0);
+  const auto c = costs();
+  const auto plan = model::optimize_two_level(c, n / 2, mu);
+  const TwoLevelEngine engine(platform::Platform::fully_replicated(n), c, plan.period,
+                              static_cast<std::uint64_t>(std::lround(plan.flush_every)));
+  failures::ExponentialFailureSource source(n, mu);
+  stats::RunningStats overheads;
+  for (std::uint64_t run = 0; run < 80; ++run) {
+    const auto r = engine.run(source, work_spec(100.0 * plan.period),
+                              derive_run_seed(13, run));
+    ASSERT_FALSE(r.progress_stalled);
+    overheads.push(r.overhead());
+  }
+  EXPECT_NEAR(overheads.mean() / plan.predicted_overhead, 1.0, 0.25);
+}
+
+TEST(TwoLevelEngine, BeatsSingleLevelPfsOnlySimulated) {
+  // The headline: buddy + periodic flush beats writing every checkpoint to
+  // the PFS, at the same durability (both recover from PFS on crashes).
+  const std::uint64_t n = 20000;
+  const double mu = model::years(1.0);
+  const auto c = costs(60.0, 600.0, 600.0);
+  const auto plan = model::optimize_two_level(c, n / 2, mu);
+  const TwoLevelEngine two(platform::Platform::fully_replicated(n), c, plan.period,
+                           static_cast<std::uint64_t>(std::lround(plan.flush_every)));
+  const TwoLevelEngine pfs_only(platform::Platform::fully_replicated(n), c,
+                                model::t_opt_rs(660.0, n / 2, mu), 1);
+  failures::ExponentialFailureSource source(n, mu);
+  stats::RunningStats h_two, h_pfs;
+  for (std::uint64_t run = 0; run < 40; ++run) {
+    h_two.push(two.run(source, work_spec(2e6), derive_run_seed(17, run)).overhead());
+    h_pfs.push(pfs_only.run(source, work_spec(2e6), derive_run_seed(17, run)).overhead());
+  }
+  EXPECT_LT(h_two.mean(), h_pfs.mean());
+}
+
+TEST(TwoLevelEngine, RejectsBadConfiguration) {
+  EXPECT_THROW(TwoLevelEngine(platform::Platform::fully_replicated(4), costs(), 0.0, 2),
+               std::invalid_argument);
+  EXPECT_THROW(TwoLevelEngine(platform::Platform::fully_replicated(4), costs(), 100.0, 0),
+               std::invalid_argument);
+  EXPECT_THROW(TwoLevelEngine(platform::Platform::not_replicated(4), costs(), 100.0, 1),
+               std::invalid_argument);
+  const TwoLevelEngine engine(platform::Platform::fully_replicated(4), costs(), 100.0, 1);
+  ScriptedSource source({}, 4);
+  RunSpec periods;
+  periods.mode = RunSpec::Mode::kFixedPeriods;
+  EXPECT_THROW((void)engine.run(source, periods, 1), std::invalid_argument);
+}
+
+}  // namespace

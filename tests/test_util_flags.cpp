@@ -1,0 +1,156 @@
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+using repcheck::util::FlagSet;
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+  std::vector<const char*> v{"prog"};
+  v.insert(v.end(), args.begin(), args.end());
+  return v;
+}
+
+TEST(Flags, DefaultsSurviveEmptyCommandLine) {
+  FlagSet flags("t", "test");
+  const auto* runs = flags.add_int64("runs", 100, "runs");
+  const auto* c = flags.add_double("c", 60.0, "checkpoint");
+  const auto* name = flags.add_string("name", "exp", "label");
+  const auto* csv = flags.add_bool("csv", false, "csv output");
+  auto argv = argv_of({});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(*runs, 100);
+  EXPECT_DOUBLE_EQ(*c, 60.0);
+  EXPECT_EQ(*name, "exp");
+  EXPECT_FALSE(*csv);
+}
+
+TEST(Flags, ParsesSpaceSeparatedValues) {
+  FlagSet flags("t", "test");
+  const auto* runs = flags.add_int64("runs", 0, "runs");
+  const auto* c = flags.add_double("c", 0.0, "checkpoint");
+  auto argv = argv_of({"--runs", "250", "--c", "3.5"});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(*runs, 250);
+  EXPECT_DOUBLE_EQ(*c, 3.5);
+}
+
+TEST(Flags, ParsesEqualsSeparatedValues) {
+  FlagSet flags("t", "test");
+  const auto* runs = flags.add_int64("runs", 0, "runs");
+  const auto* name = flags.add_string("name", "", "label");
+  auto argv = argv_of({"--runs=7", "--name=fig03"});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(*runs, 7);
+  EXPECT_EQ(*name, "fig03");
+}
+
+TEST(Flags, BareBooleanFlagMeansTrue) {
+  FlagSet flags("t", "test");
+  const auto* csv = flags.add_bool("csv", false, "csv output");
+  auto argv = argv_of({"--csv"});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(*csv);
+}
+
+TEST(Flags, BooleanAcceptsExplicitValues) {
+  FlagSet flags("t", "test");
+  const auto* a = flags.add_bool("a", true, "a");
+  const auto* b = flags.add_bool("b", false, "b");
+  auto argv = argv_of({"--a", "false", "--b=1"});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_FALSE(*a);
+  EXPECT_TRUE(*b);
+}
+
+TEST(Flags, BareBooleanFollowedByAnotherFlag) {
+  FlagSet flags("t", "test");
+  const auto* csv = flags.add_bool("csv", false, "csv");
+  const auto* runs = flags.add_int64("runs", 1, "runs");
+  auto argv = argv_of({"--csv", "--runs", "5"});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(*csv);
+  EXPECT_EQ(*runs, 5);
+}
+
+TEST(Flags, UnknownFlagThrows) {
+  FlagSet flags("t", "test");
+  (void)flags.add_int64("runs", 1, "runs");
+  auto argv = argv_of({"--bogus", "3"});
+  EXPECT_THROW((void)flags.parse(static_cast<int>(argv.size()), argv.data()),
+               std::invalid_argument);
+}
+
+TEST(Flags, MalformedNumberThrows) {
+  FlagSet flags("t", "test");
+  (void)flags.add_int64("runs", 1, "runs");
+  auto argv = argv_of({"--runs", "12x"});
+  EXPECT_THROW((void)flags.parse(static_cast<int>(argv.size()), argv.data()),
+               std::invalid_argument);
+}
+
+TEST(Flags, MissingValueThrows) {
+  FlagSet flags("t", "test");
+  (void)flags.add_int64("runs", 1, "runs");
+  auto argv = argv_of({"--runs"});
+  EXPECT_THROW((void)flags.parse(static_cast<int>(argv.size()), argv.data()),
+               std::invalid_argument);
+}
+
+TEST(Flags, PositionalArgumentThrows) {
+  FlagSet flags("t", "test");
+  auto argv = argv_of({"stray"});
+  EXPECT_THROW((void)flags.parse(static_cast<int>(argv.size()), argv.data()),
+               std::invalid_argument);
+}
+
+TEST(Flags, DuplicateRegistrationThrows) {
+  FlagSet flags("t", "test");
+  (void)flags.add_int64("runs", 1, "runs");
+  EXPECT_THROW((void)flags.add_double("runs", 1.0, "dup"), std::logic_error);
+}
+
+TEST(Flags, HelpReturnsFalse) {
+  FlagSet flags("t", "test");
+  (void)flags.add_int64("runs", 1, "runs");
+  auto argv = argv_of({"--help"});
+  EXPECT_FALSE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(Flags, ProvidedReflectsCommandLine) {
+  FlagSet flags("t", "test");
+  (void)flags.add_int64("runs", 1, "runs");
+  (void)flags.add_int64("periods", 2, "periods");
+  auto argv = argv_of({"--runs", "9"});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(flags.provided("runs"));
+  EXPECT_FALSE(flags.provided("periods"));
+}
+
+TEST(Flags, UsageMentionsEveryFlagAndDefault) {
+  FlagSet flags("fig", "an experiment");
+  (void)flags.add_int64("runs", 42, "number of runs");
+  (void)flags.add_string("mode", "fast", "mode");
+  const auto text = flags.usage();
+  EXPECT_NE(text.find("--runs"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+  EXPECT_NE(text.find("--mode"), std::string::npos);
+  EXPECT_NE(text.find("fast"), std::string::npos);
+  EXPECT_NE(text.find("an experiment"), std::string::npos);
+}
+
+TEST(Flags, NegativeNumbersParse) {
+  FlagSet flags("t", "test");
+  const auto* offset = flags.add_int64("offset", 0, "offset");
+  const auto* x = flags.add_double("x", 0.0, "x");
+  auto argv = argv_of({"--offset", "-5", "--x", "-2.5e3"});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(*offset, -5);
+  EXPECT_DOUBLE_EQ(*x, -2500.0);
+}
+
+}  // namespace

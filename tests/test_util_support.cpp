@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "util/log.hpp"
+#include "util/ring_buffer.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using repcheck::util::LogLevel;
+using repcheck::util::RingBuffer;
+using repcheck::util::ThreadPool;
+
+TEST(RingBuffer, PushAndIndexFromOldest) {
+  RingBuffer<int> buf(3);
+  buf.push(1);
+  buf.push(2);
+  EXPECT_EQ(buf.size(), 2u);
+  EXPECT_EQ(buf[0], 1);
+  EXPECT_EQ(buf[1], 2);
+  EXPECT_EQ(buf.back(), 2);
+}
+
+TEST(RingBuffer, EvictsOldestWhenFull) {
+  RingBuffer<int> buf(3);
+  for (int i = 1; i <= 5; ++i) buf.push(i);
+  ASSERT_TRUE(buf.full());
+  EXPECT_EQ(buf[0], 3);
+  EXPECT_EQ(buf[1], 4);
+  EXPECT_EQ(buf[2], 5);
+}
+
+TEST(RingBuffer, OutOfRangeThrows) {
+  RingBuffer<int> buf(2);
+  buf.push(1);
+  EXPECT_THROW((void)buf[1], std::out_of_range);
+}
+
+TEST(RingBuffer, EmptyBackThrows) {
+  RingBuffer<int> buf(2);
+  EXPECT_THROW((void)buf.back(), std::out_of_range);
+}
+
+TEST(RingBuffer, ZeroCapacityThrows) { EXPECT_THROW(RingBuffer<int>(0), std::invalid_argument); }
+
+TEST(RingBuffer, ClearResets) {
+  RingBuffer<int> buf(2);
+  buf.push(1);
+  buf.clear();
+  EXPECT_TRUE(buf.empty());
+  buf.push(7);
+  EXPECT_EQ(buf[0], 7);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0u);
+  int total = 0;
+  pool.parallel_for(10, [&](std::size_t begin, std::size_t end) {
+    total += static_cast<int>(end - begin);
+  });
+  EXPECT_EQ(total, 10);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoOp) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t begin, std::size_t) {
+                                   if (begin == 0) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<int> sum{0};
+    pool.parallel_for(64, [&](std::size_t begin, std::size_t end) {
+      sum.fetch_add(static_cast<int>(end - begin));
+    });
+    EXPECT_EQ(sum.load(), 64);
+  }
+}
+
+TEST(Log, ParseLevelRoundTrip) {
+  EXPECT_EQ(repcheck::util::parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(repcheck::util::parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(repcheck::util::parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(repcheck::util::parse_log_level("anything"), LogLevel::kInfo);
+}
+
+TEST(Log, SetLevelIsObservable) {
+  const auto before = repcheck::util::log_level();
+  repcheck::util::set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(repcheck::util::log_level(), LogLevel::kDebug);
+  repcheck::util::set_log_level(before);
+}
+
+TEST(Stopwatch, MeasuresNonNegativeElapsedTime) {
+  repcheck::util::Stopwatch sw;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 10000; ++i) sink = sink + 1.0;
+  EXPECT_GE(sw.seconds(), 0.0);
+  sw.reset();
+  EXPECT_GE(sw.seconds(), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,86 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace {
+
+using repcheck::util::Cell;
+using repcheck::util::Table;
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row(std::vector<Cell>{1.0}), std::invalid_argument);
+  EXPECT_THROW(t.add_row(std::vector<Cell>{1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(Table, EmptyColumnListThrows) {
+  EXPECT_THROW(Table(std::vector<std::string>{}), std::invalid_argument);
+}
+
+TEST(Table, CsvOutputHasHeaderAndRows) {
+  Table t({"x", "y"});
+  t.add_numeric_row({1.5, 2.25});
+  t.add_numeric_row({3.0, 4.0});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1.5,2.25\n3,4\n");
+}
+
+TEST(Table, AlignedOutputPadsColumns) {
+  Table t({"strategy", "h"});
+  t.add_row({Cell{std::string("Restart")}, Cell{0.0039}});
+  std::ostringstream os;
+  t.print_aligned(os);
+  const auto text = os.str();
+  EXPECT_NE(text.find("strategy"), std::string::npos);
+  EXPECT_NE(text.find("Restart"), std::string::npos);
+  EXPECT_NE(text.find("0.0039"), std::string::npos);
+}
+
+TEST(Table, MonostateRendersAsDash) {
+  Table t({"x"});
+  t.add_row({Cell{}});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x\n-\n");
+}
+
+TEST(Table, IntegerCellsRenderWithoutDecimalPoint) {
+  Table t({"n"});
+  t.add_row({Cell{std::int64_t{200000}}});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "n\n200000\n");
+}
+
+TEST(Table, PrecisionControlsDoubleRendering) {
+  Table t({"v"}, 2);
+  t.add_row({Cell{3.14159}});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "v\n3.1\n");
+}
+
+TEST(Table, PrintDispatchesOnCsvFlag) {
+  Table t({"alpha", "b"});
+  t.add_numeric_row({1.0, 2.0});
+  std::ostringstream aligned, csv;
+  t.print(aligned, false);
+  t.print(csv, true);
+  EXPECT_NE(aligned.str(), csv.str());  // aligned output pads "b" to width 1+
+  EXPECT_EQ(csv.str(), "alpha,b\n1,2\n");
+}
+
+TEST(Table, AtAccessesCells) {
+  Table t({"a", "b"});
+  t.add_numeric_row({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(std::get<double>(t.at(0, 1)), 2.0);
+  EXPECT_THROW((void)t.at(1, 0), std::out_of_range);
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.num_columns(), 2u);
+}
+
+}  // namespace
