@@ -9,9 +9,12 @@
 #include <cstdio>
 #include <exception>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <string>
 
+#include "campaign/figures.hpp"
+#include "campaign/simulate.hpp"
 #include "core/repcheck.hpp"
 #include "util/flags.hpp"
 #include "util/log.hpp"
@@ -58,11 +61,46 @@ inline sim::SimConfig replicated_config(std::uint64_t n_procs, double c, double 
   return config;
 }
 
-/// Mean simulated overhead for a config (convenience wrapper).
+/// Mean simulated overhead for a config (convenience wrapper).  Quiet NaN
+/// when every replicate stalled — NaN propagates through any arithmetic and
+/// renders as "nan", so a broken config can't pose as a measurement.
 inline double simulated_overhead(const sim::SimConfig& config, const sim::SourceFactory& source,
                                  std::uint64_t runs, std::uint64_t seed) {
   const auto summary = sim::run_monte_carlo(config, source, runs, seed);
-  return summary.overhead.count() > 0 ? summary.overhead.mean() : -1.0;
+  return summary.overhead.count() > 0 ? summary.overhead.mean()
+                                      : std::numeric_limits<double>::quiet_NaN();
+}
+
+/// Campaign plumbing flags shared by the migrated figure benches.
+struct CampaignFlags {
+  const std::string* cache_dir;
+  const std::string* journal;
+  const std::int64_t* shard_size;
+  const bool* no_progress;
+
+  static CampaignFlags add_to(util::FlagSet& flags) {
+    CampaignFlags c;
+    c.cache_dir = flags.add_string("cache-dir", "", "result cache directory ('' = in-memory)");
+    c.journal = flags.add_string("journal", "", "campaign journal file for resume");
+    c.shard_size = flags.add_int64("shard-size", 0, "replicates per shard (0 = auto)");
+    c.no_progress = flags.add_bool("no-progress", false, "silence the stderr reporter");
+    return c;
+  }
+};
+
+/// Runs a SweepSpec through the campaign engine with the shared pool and
+/// the bench's plumbing flags.
+inline campaign::CampaignResult run_sweep(const campaign::SweepSpec& spec, std::uint64_t seed,
+                                          const CampaignFlags& cf) {
+  campaign::RunnerOptions options;
+  options.master_seed = seed;
+  options.shard_size = static_cast<std::uint64_t>(*cf.shard_size);
+  options.cache_dir = *cf.cache_dir;
+  options.journal_path = *cf.journal;
+  options.pool = &util::ThreadPool::shared();
+  options.progress = !*cf.no_progress;
+  campaign::CampaignRunner runner(spec, campaign::standard_evaluator(), options);
+  return runner.run();
 }
 
 /// Standard main() wrapper: parse flags, run the body, print the table,

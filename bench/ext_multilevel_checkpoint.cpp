@@ -33,7 +33,7 @@ double simulate_two_level(const model::TwoLevelCosts& costs, std::uint64_t n, do
     const auto result = engine.run(source, spec, sim::derive_run_seed(seed, run));
     if (!result.progress_stalled) h.push(result.overhead());
   }
-  return h.count() > 0 ? h.mean() : -1.0;
+  return h.count() > 0 ? h.mean() : std::numeric_limits<double>::quiet_NaN();
 }
 
 }  // namespace

@@ -43,16 +43,16 @@ int main(int argc, char** argv) {
         const auto summary =
             sim::run_monte_carlo(config, bench::exponential_source(n, mu), runs, seed);
 
-        const double h = summary.overhead.count() > 0 ? summary.overhead.mean() : -1.0;
+        const double h = campaign::overhead_mean(summary);
         const double work = (1.0 + *alpha_flag) *
                             model::parallel_time(w_seq, groups, *gamma_flag);
-        const double tts = h >= 0.0 ? work * (1.0 + h) : -1.0;
+        const double tts = work * (1.0 + h);  // NaN h propagates
         const double mtti =
             model::mtti_degree_monte_carlo(groups, r, mu, /*samples=*/2000, seed + r);
         table.add_row({mtbf_years, static_cast<std::int64_t>(r),
                        mtti / model::kSecondsPerDay, t, h,
                        model::overhead_restart_degree(c, t, groups, mu, r),
-                       tts >= 0.0 ? util::Cell{tts / model::kSecondsPerDay} : util::Cell{}});
+                       tts / model::kSecondsPerDay});
       }
     }
     return table;

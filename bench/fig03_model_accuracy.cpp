@@ -6,6 +6,9 @@
 //   Restart(T_opt^rs)    simulated + H^rs (Eq. 19)
 //   Restart(T_MTTI^no)   simulated + H^rs at that period
 //   NoRestart(T_MTTI^no) simulated + H^no (Eq. 12)
+//
+// The sweep runs through the campaign engine: pass --cache-dir/--journal to
+// make reruns incremental (see docs/CAMPAIGN.md).
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
@@ -13,38 +16,18 @@ int main(int argc, char** argv) {
   util::FlagSet flags("fig03_model_accuracy",
                       "Figure 3: simulated vs predicted overhead as C grows");
   const auto common = bench::CommonFlags::add_to(flags, /*default_runs=*/60);
+  const auto cf = bench::CampaignFlags::add_to(flags);
   const auto* n_flag = flags.add_int64("procs", 200000, "platform size (2b)");
   const auto* mtbf_years = flags.add_double("mtbf-years", 5.0, "individual MTBF");
 
   return bench::run_bench(flags, argc, argv, common.csv, [&] {
-    const auto n = static_cast<std::uint64_t>(*n_flag);
-    const std::uint64_t b = n / 2;
-    const double mu = model::years(*mtbf_years);
-    const auto runs = static_cast<std::uint64_t>(*common.runs);
-    const auto periods = static_cast<std::uint64_t>(*common.periods);
-    const auto seed = static_cast<std::uint64_t>(*common.seed);
-
-    util::Table table({"c_s", "sim_rs_topt", "model_rs_topt", "sim_rs_tmtti", "model_rs_tmtti",
-                       "sim_no_tmtti", "model_no_tmtti"});
-    for (const double c : {60.0, 300.0, 600.0, 900.0, 1200.0, 1800.0, 2400.0, 3000.0}) {
-      const double t_rs = model::t_opt_rs(c, b, mu);
-      const double t_no = model::t_mtti_no(c, b, mu);
-      const auto source = bench::exponential_source(n, mu);
-
-      const double sim_rs_topt = bench::simulated_overhead(
-          bench::replicated_config(n, c, 1.0, sim::StrategySpec::restart(t_rs), periods),
-          source, runs, seed);
-      const double sim_rs_tmtti = bench::simulated_overhead(
-          bench::replicated_config(n, c, 1.0, sim::StrategySpec::restart(t_no), periods),
-          source, runs, seed);
-      const double sim_no_tmtti = bench::simulated_overhead(
-          bench::replicated_config(n, c, 1.0, sim::StrategySpec::no_restart(t_no), periods),
-          source, runs, seed);
-
-      table.add_numeric_row({c, sim_rs_topt, model::overhead_restart(c, t_rs, b, mu),
-                             sim_rs_tmtti, model::overhead_restart(c, t_no, b, mu),
-                             sim_no_tmtti, model::overhead_no_restart(c, t_no, b, mu)});
-    }
-    return table;
+    campaign::Fig03Params params;
+    params.procs = *n_flag;
+    params.mtbf_years = *mtbf_years;
+    params.runs = *common.runs;
+    params.periods = *common.periods;
+    const auto result = bench::run_sweep(campaign::fig03_spec(params),
+                                         static_cast<std::uint64_t>(*common.seed), cf);
+    return campaign::fig03_render(result);
   });
 }

@@ -4,49 +4,25 @@
 // Series: Restart(T_opt^rs) with C^R = C and C^R = 2C, Restart(T_MTTI^no)
 // with both C^R values, and NoRestart(T_MTTI^no).  The paper's finding:
 // even at C^R = 2C both restart variants beat no-restart.
+//
+// The sweep runs through the campaign engine: pass --cache-dir/--journal to
+// make reruns incremental (see docs/CAMPAIGN.md).
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
   using namespace repcheck;
   util::FlagSet flags("fig07_overhead_vs_mtbf", "Figure 7: overhead vs individual MTBF");
   const auto common = bench::CommonFlags::add_to(flags, /*default_runs=*/30);
+  const auto cf = bench::CampaignFlags::add_to(flags);
   const auto* n_flag = flags.add_int64("procs", 200000, "platform size (2b)");
 
   return bench::run_bench(flags, argc, argv, common.csv, [&] {
-    const auto n = static_cast<std::uint64_t>(*n_flag);
-    const std::uint64_t b = n / 2;
-    const auto runs = static_cast<std::uint64_t>(*common.runs);
-    const auto periods = static_cast<std::uint64_t>(*common.periods);
-    const auto seed = static_cast<std::uint64_t>(*common.seed);
-
-    util::Table table({"c_s", "mtbf_years", "rs_topt_cr1", "rs_topt_cr2", "rs_tmtti_cr1",
-                       "rs_tmtti_cr2", "no_tmtti"});
-    for (const double c : {60.0, 600.0}) {
-      for (const double mtbf_years : {1.0, 2.0, 5.0, 10.0, 20.0, 50.0}) {
-        const double mu = model::years(mtbf_years);
-        const double t_no = model::t_mtti_no(c, b, mu);
-        const auto source = bench::exponential_source(n, mu);
-
-        std::vector<double> row{c, mtbf_years};
-        for (const double cr_ratio : {1.0, 2.0}) {
-          const double t_rs = model::t_opt_rs(cr_ratio * c, b, mu);
-          row.push_back(bench::simulated_overhead(
-              bench::replicated_config(n, c, cr_ratio, sim::StrategySpec::restart(t_rs),
-                                       periods),
-              source, runs, seed));
-        }
-        for (const double cr_ratio : {1.0, 2.0}) {
-          row.push_back(bench::simulated_overhead(
-              bench::replicated_config(n, c, cr_ratio, sim::StrategySpec::restart(t_no),
-                                       periods),
-              source, runs, seed));
-        }
-        row.push_back(bench::simulated_overhead(
-            bench::replicated_config(n, c, 1.0, sim::StrategySpec::no_restart(t_no), periods),
-            source, runs, seed));
-        table.add_numeric_row(row);
-      }
-    }
-    return table;
+    campaign::Fig07Params params;
+    params.procs = *n_flag;
+    params.runs = *common.runs;
+    params.periods = *common.periods;
+    const auto result = bench::run_sweep(campaign::fig07_spec(params),
+                                         static_cast<std::uint64_t>(*common.seed), cf);
+    return campaign::fig07_render(result);
   });
 }

@@ -14,63 +14,24 @@
 // to crash (finite-horizon censoring; the paper's runs are equally long).
 // err_rs has no such structure: restart's per-period renewal makes 100
 // periods representative everywhere.
+//
+// Replicate counts scale per point (runs_rule=crash300, ~300 crashes each);
+// the sweep runs through the campaign engine, so --cache-dir/--journal make
+// reruns incremental (see docs/CAMPAIGN.md).
 #include "bench_common.hpp"
-
-#include <algorithm>
-#include <cmath>
 
 int main(int argc, char** argv) {
   using namespace repcheck;
   util::FlagSet flags("validate_accuracy", "sim-vs-model relative errors across a grid");
   const auto common = bench::CommonFlags::add_to(flags, /*default_runs=*/80);
+  const auto cf = bench::CampaignFlags::add_to(flags);
 
   return bench::run_bench(flags, argc, argv, common.csv, [&] {
-    const auto runs = static_cast<std::uint64_t>(*common.runs);
-    const auto periods = static_cast<std::uint64_t>(*common.periods);
-    const auto seed = static_cast<std::uint64_t>(*common.seed);
-
-    util::Table table({"pairs", "mtbf_years", "c_s", "lambda_t", "err_rs_pct", "t_over_mtti",
-                       "err_no_pct"});
-    for (const std::uint64_t b : {1000ULL, 10000ULL, 100000ULL}) {
-      for (const double mtbf_years : {1.0, 5.0, 20.0}) {
-        for (const double c : {60.0, 600.0}) {
-          const std::uint64_t n = 2 * b;
-          const double mu = model::years(mtbf_years);
-          const double t_rs = model::t_opt_rs(c, b, mu);
-          const double t_no = model::t_mtti_no(c, b, mu);
-          const auto source = bench::exponential_source(n, mu);
-
-          // Crashes are the noisy term: scale the replicate count so every
-          // grid point sees a few hundred of them (expected crashes per
-          // run: periods x b(lambda T)^2 for restart, periods x T/M for
-          // no-restart).
-          const auto runs_for = [&](double crash_prob_per_period) {
-            const double per_run = static_cast<double>(periods) * crash_prob_per_period;
-            const double needed = 300.0 / std::max(per_run, 1e-9);
-            return std::max(runs, std::min<std::uint64_t>(
-                                      50000, static_cast<std::uint64_t>(needed) + 1));
-          };
-          const double lambda = 1.0 / mu;
-          const std::uint64_t runs_rs =
-              runs_for(static_cast<double>(b) * lambda * lambda * t_rs * t_rs);
-          const std::uint64_t runs_no = runs_for(t_no / model::mtti(b, mu));
-
-          const double sim_rs = bench::simulated_overhead(
-              bench::replicated_config(n, c, 1.0, sim::StrategySpec::restart(t_rs), periods),
-              source, runs_rs, seed);
-          const double sim_no = bench::simulated_overhead(
-              bench::replicated_config(n, c, 1.0, sim::StrategySpec::no_restart(t_no), periods),
-              source, runs_no, seed);
-          const double model_rs = model::overhead_restart(c, t_rs, b, mu);
-          const double model_no = model::overhead_no_restart(c, t_no, b, mu);
-
-          table.add_numeric_row({static_cast<double>(b), mtbf_years, c, t_rs / mu,
-                                 100.0 * (model_rs / sim_rs - 1.0),
-                                 t_no / model::mtti(b, mu),
-                                 100.0 * (model_no / sim_no - 1.0)});
-        }
-      }
-    }
-    return table;
+    campaign::ValidateParams params;
+    params.runs = *common.runs;
+    params.periods = *common.periods;
+    const auto result = bench::run_sweep(campaign::validate_spec(params),
+                                         static_cast<std::uint64_t>(*common.seed), cf);
+    return campaign::validate_render(result);
   });
 }

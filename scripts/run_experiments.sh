@@ -1,10 +1,16 @@
 #!/usr/bin/env bash
-# Regenerates every experiment into results/ as CSV (plus the raw aligned
-# text), with a manifest of parameters.  Usage:
+# Regenerates every experiment into results/ as CSV (plus aligned text
+# rendered from the same CSV — each bench runs once), with a manifest of
+# parameters.  Usage:
 #
 #   scripts/run_experiments.sh [build-dir] [results-dir] [extra bench flags...]
 #
 # e.g. paper-grade error bars:  scripts/run_experiments.sh build results --runs 1000
+#
+# The migrated figure sweeps (fig03, fig07, validate) route through the
+# campaign CLI with a shared result cache and per-campaign journals under
+# results/cache/, so reruns only simulate what changed and an interrupted
+# sweep resumes where it stopped (see docs/CAMPAIGN.md).
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -17,7 +23,9 @@ if [[ ! -d "$BUILD_DIR/bench" ]]; then
   exit 1
 fi
 
-mkdir -p "$RESULTS_DIR"
+CAMPAIGN_CLI="$BUILD_DIR/src/campaign/repcheck_campaign"
+
+mkdir -p "$RESULTS_DIR" "$RESULTS_DIR/cache"
 manifest="$RESULTS_DIR/MANIFEST.txt"
 {
   echo "# repcheck experiment manifest"
@@ -25,15 +33,55 @@ manifest="$RESULTS_DIR/MANIFEST.txt"
   echo "extra flags: ${EXTRA_FLAGS[*]:-(none)}"
 } > "$manifest"
 
+# Renders captured CSV as aligned columns (right-aligned, two-space gutter).
+render_csv() {
+  awk -F, '
+    {
+      nf[NR] = NF
+      for (i = 1; i <= NF; ++i) {
+        cell[NR, i] = $i
+        if (length($i) > w[i]) w[i] = length($i)
+      }
+    }
+    END {
+      for (r = 1; r <= NR; ++r) {
+        line = ""
+        for (i = 1; i <= nf[r]; ++i) {
+          pad = ""
+          for (j = length(cell[r, i]); j < w[i]; ++j) pad = pad " "
+          line = line (i > 1 ? "  " : "") pad cell[r, i]
+        }
+        print line
+      }
+    }'
+}
+
+run_one() {
+  local name="$1"; shift
+  echo "== $name"
+  local start
+  start=$(date +%s)
+  "$@" --csv "${EXTRA_FLAGS[@]}" > "$RESULTS_DIR/$name.csv" 2> "$RESULTS_DIR/$name.log"
+  render_csv < "$RESULTS_DIR/$name.csv" > "$RESULTS_DIR/$name.txt"
+  echo "$name: $(( $(date +%s) - start ))s" >> "$manifest"
+}
+
+# Campaign-backed sweeps: cached + resumable.
+run_one fig03_model_accuracy "$CAMPAIGN_CLI" --campaign fig03 \
+  --cache-dir "$RESULTS_DIR/cache" --journal "$RESULTS_DIR/cache/fig03.journal"
+run_one fig07_overhead_vs_mtbf "$CAMPAIGN_CLI" --campaign fig07 \
+  --cache-dir "$RESULTS_DIR/cache" --journal "$RESULTS_DIR/cache/fig07.journal"
+run_one validate_accuracy "$CAMPAIGN_CLI" --campaign validate \
+  --cache-dir "$RESULTS_DIR/cache" --journal "$RESULTS_DIR/cache/validate.journal"
+
 for bench in "$BUILD_DIR"/bench/*; do
   name="$(basename "$bench")"
   [[ "$name" == "micro_benchmarks" ]] && continue
-  [[ -x "$bench" ]] || continue
-  echo "== $name"
-  start=$(date +%s)
-  "$bench" --csv "${EXTRA_FLAGS[@]}" > "$RESULTS_DIR/$name.csv" 2> "$RESULTS_DIR/$name.log"
-  "$bench" "${EXTRA_FLAGS[@]}" > "$RESULTS_DIR/$name.txt" 2>> "$RESULTS_DIR/$name.log"
-  echo "$name: $(( $(date +%s) - start ))s" >> "$manifest"
+  case "$name" in
+    fig03_model_accuracy|fig07_overhead_vs_mtbf|validate_accuracy) continue ;;
+  esac
+  [[ -f "$bench" && -x "$bench" ]] || continue
+  run_one "$name" "$bench"
 done
 
 echo "== micro_benchmarks"

@@ -1,0 +1,230 @@
+#include "campaign/cache.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "prng/splitmix64.hpp"
+#include "util/hash.hpp"
+
+namespace repcheck::campaign {
+
+std::uint64_t point_hash(const SweepPoint& point) { return util::fnv1a64(point.canonical()); }
+
+std::uint64_t derive_point_seed(std::uint64_t master_seed, const SweepPoint& point) {
+  prng::SplitMix64 mix(master_seed ^ point_hash(point));
+  (void)mix();  // decorrelate nearby hashes, mirroring derive_run_seed
+  return mix();
+}
+
+namespace {
+
+std::string key_payload(const SweepPoint& point, std::uint64_t master_seed,
+                        std::string_view engine_version) {
+  std::string payload = point.canonical();
+  payload += "|seed=";
+  payload += std::to_string(master_seed);
+  payload += "|engine=";
+  payload += engine_version;
+  return payload;
+}
+
+// uint64 seeds don't fit a JSON double losslessly; store them as strings.
+std::string seed_to_string(std::uint64_t seed) { return std::to_string(seed); }
+
+void put_stat(util::JsonObject& record, const std::string& name,
+              const stats::RunningStats& stat) {
+  const auto s = stat.state();
+  record["m." + name + ".count"] = static_cast<double>(s.count);
+  record["m." + name + ".mean"] = s.mean;
+  record["m." + name + ".m2"] = s.m2;
+  record["m." + name + ".min"] = s.min;
+  record["m." + name + ".max"] = s.max;
+}
+
+stats::RunningStats get_stat(const util::JsonObject& record, const std::string& name) {
+  const auto field = [&](const char* suffix) -> double {
+    const auto it = record.find("m." + name + "." + suffix);
+    if (it == record.end()) {
+      throw std::invalid_argument("cache record missing metric field m." + name + "." + suffix);
+    }
+    const auto* d = std::get_if<double>(&it->second);
+    if (d == nullptr) {
+      throw std::invalid_argument("cache metric m." + name + "." + suffix + " is not numeric");
+    }
+    return *d;
+  };
+  stats::MomentState s;
+  s.count = static_cast<std::uint64_t>(field("count"));
+  s.mean = field("mean");
+  s.m2 = field("m2");
+  s.min = field("min");
+  s.max = field("max");
+  return stats::RunningStats::from_state(s);
+}
+
+// The summary fields, enumerated once for both directions.
+template <typename Summary, typename Fn>
+void for_each_stat(Summary& summary, Fn&& fn) {
+  fn("overhead", summary.overhead);
+  fn("makespan", summary.makespan);
+  fn("useful_time", summary.useful_time);
+  fn("checkpoints", summary.checkpoints);
+  fn("restart_checkpoints", summary.restart_checkpoints);
+  fn("fatal_failures", summary.fatal_failures);
+  fn("failures_seen", summary.failures_seen);
+  fn("procs_restarted", summary.procs_restarted);
+  fn("dead_at_checkpoint", summary.dead_at_checkpoint);
+  fn("io_gbytes", summary.io_gbytes);
+  fn("energy_overhead", summary.energy_overhead);
+}
+
+std::map<std::string, util::JsonObject> load_jsonl_map(const std::filesystem::path& path,
+                                                       std::string_view key_field) {
+  std::map<std::string, util::JsonObject> records;
+  std::ifstream in(path);
+  if (!in) return records;
+  std::string line;
+  while (std::getline(in, line)) {
+    // A killed writer leaves at most one truncated line; parse_jsonl
+    // rejects it (and any other damage) and we simply skip.
+    auto record = util::parse_jsonl(line);
+    if (!record) continue;
+    const auto it = record->find(key_field);
+    if (it == record->end()) continue;
+    const auto* key = std::get_if<std::string>(&it->second);
+    if (key == nullptr || key->empty()) continue;
+    records.insert_or_assign(*key, std::move(*record));
+  }
+  return records;
+}
+
+std::ofstream open_append(const std::filesystem::path& path) {
+  if (path.has_parent_path()) std::filesystem::create_directories(path.parent_path());
+  std::ofstream out(path, std::ios::app);
+  if (!out) throw std::runtime_error("cannot open for append: " + path.string());
+  return out;
+}
+
+}  // namespace
+
+std::string point_key(const SweepPoint& point, std::uint64_t master_seed,
+                      std::string_view engine_version) {
+  return util::content_hash_hex(key_payload(point, master_seed, engine_version));
+}
+
+std::string shard_key(const SweepPoint& point, std::uint64_t master_seed, std::uint64_t begin,
+                      std::uint64_t end, std::string_view engine_version) {
+  std::string payload = key_payload(point, master_seed, engine_version);
+  payload += "|shard=";
+  payload += std::to_string(begin);
+  payload += '-';
+  payload += std::to_string(end);
+  return util::content_hash_hex(payload);
+}
+
+util::JsonObject summary_to_json(const sim::MonteCarloSummary& summary) {
+  util::JsonObject record;
+  for_each_stat(summary, [&](const char* name, const stats::RunningStats& stat) {
+    put_stat(record, name, stat);
+  });
+  record["m.runs"] = static_cast<double>(summary.runs);
+  record["m.stalled_runs"] = static_cast<double>(summary.stalled_runs);
+  return record;
+}
+
+sim::MonteCarloSummary summary_from_json(const util::JsonObject& record) {
+  sim::MonteCarloSummary summary;
+  for_each_stat(summary, [&](const char* name, stats::RunningStats& stat) {
+    stat = get_stat(record, name);
+  });
+  const auto scalar = [&](const char* name) -> std::uint64_t {
+    const auto it = record.find(std::string("m.") + name);
+    if (it == record.end()) throw std::invalid_argument("cache record missing m." + std::string(name));
+    const auto* d = std::get_if<double>(&it->second);
+    if (d == nullptr) throw std::invalid_argument("cache scalar not numeric");
+    return static_cast<std::uint64_t>(*d);
+  };
+  summary.runs = scalar("runs");
+  summary.stalled_runs = scalar("stalled_runs");
+  return summary;
+}
+
+ResultCache::ResultCache(const std::filesystem::path& dir) {
+  if (dir.empty()) return;
+  std::filesystem::create_directories(dir);
+  file_ = dir / "cache.jsonl";
+  records_ = load_jsonl_map(file_, "key");
+  out_ = open_append(file_);
+}
+
+std::optional<sim::MonteCarloSummary> ResultCache::lookup(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = records_.find(key);
+  if (it == records_.end()) return std::nullopt;
+  return summary_from_json(it->second);
+}
+
+bool ResultCache::contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.find(key) != records_.end();
+}
+
+void ResultCache::insert(const std::string& key, const SweepPoint& point, std::uint64_t seed,
+                         std::uint64_t begin, std::uint64_t end,
+                         const sim::MonteCarloSummary& summary) {
+  auto record = summary_to_json(summary);
+  record["key"] = key;
+  record["point"] = point.canonical();
+  record["seed"] = seed_to_string(seed);
+  record["begin"] = static_cast<double>(begin);
+  record["end"] = static_cast<double>(end);
+  record["engine"] = std::string(kEngineVersion);
+  const std::string line = util::to_jsonl(record);
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.insert_or_assign(key, std::move(record));
+  if (out_.is_open()) {
+    out_ << line << '\n';
+    out_.flush();  // a kill now costs at most the in-flight shard
+  }
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+Journal::Journal(const std::filesystem::path& path) {
+  if (path.empty()) return;
+  file_ = path;
+  done_ = load_jsonl_map(file_, "done_key");
+  out_ = open_append(file_);
+}
+
+std::optional<sim::MonteCarloSummary> Journal::completed(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = done_.find(key);
+  if (it == done_.end()) return std::nullopt;
+  return summary_from_json(it->second);
+}
+
+void Journal::mark_done(const std::string& key, const SweepPoint& point,
+                        const sim::MonteCarloSummary& summary) {
+  auto record = summary_to_json(summary);
+  record["done_key"] = key;
+  record["point"] = point.canonical();
+  record["engine"] = std::string(kEngineVersion);
+  const std::string line = util::to_jsonl(record);
+  std::lock_guard<std::mutex> lock(mutex_);
+  done_.insert_or_assign(key, std::move(record));
+  if (out_.is_open()) {
+    out_ << line << '\n';
+    out_.flush();
+  }
+}
+
+std::size_t Journal::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return done_.size();
+}
+
+}  // namespace repcheck::campaign

@@ -1,0 +1,99 @@
+// Content-addressed result cache + campaign journal (checkpoint/resume).
+//
+// Cache keys address one Monte-Carlo *shard* (a contiguous replicate range
+// of one sweep point): FNV-128 over the canonical point parameters, the
+// campaign master seed, the engine version string, and the shard's
+// replicate range.  Identical inputs therefore reuse identical results —
+// across reruns, resumed runs, and unrelated campaigns sharing points —
+// while any semantic change to the simulator is isolated by bumping
+// kEngineVersion.
+//
+// Both stores are append-only JSONL, flushed line-by-line, and tolerate a
+// truncated final line on load (the footprint of a killed writer), which
+// is what bounds the cost of an interruption to the in-flight shard.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "campaign/sweep.hpp"
+#include "core/montecarlo.hpp"
+#include "util/jsonl.hpp"
+
+namespace repcheck::campaign {
+
+/// Stamped into every cache key and record.  Bump whenever simulator
+/// semantics change so stale results stop matching.
+inline constexpr std::string_view kEngineVersion = "repcheck-sim-v1";
+
+/// FNV-1a of the canonical parameter string.
+[[nodiscard]] std::uint64_t point_hash(const SweepPoint& point);
+
+/// Per-point master seed: SplitMix64 over (campaign seed ⊕ point hash),
+/// so each sweep point owns an independent, order-free seed stream.
+[[nodiscard]] std::uint64_t derive_point_seed(std::uint64_t master_seed, const SweepPoint& point);
+
+/// Content address of a whole point (journal granularity).
+[[nodiscard]] std::string point_key(const SweepPoint& point, std::uint64_t master_seed,
+                                    std::string_view engine_version = kEngineVersion);
+
+/// Content address of one shard (cache granularity).
+[[nodiscard]] std::string shard_key(const SweepPoint& point, std::uint64_t master_seed,
+                                    std::uint64_t begin, std::uint64_t end,
+                                    std::string_view engine_version = kEngineVersion);
+
+/// Summary <-> flat JSONL record ("m.<stat>.<field>" keys); the round trip
+/// is bit-exact, which the resume guarantees rely on.
+[[nodiscard]] util::JsonObject summary_to_json(const sim::MonteCarloSummary& summary);
+[[nodiscard]] sim::MonteCarloSummary summary_from_json(const util::JsonObject& record);
+
+/// Append-only JSONL store of shard summaries keyed by shard_key.
+class ResultCache {
+ public:
+  /// Empty dir = purely in-memory (no persistence).  Otherwise loads
+  /// dir/cache.jsonl (creating the directory as needed) and appends to it.
+  explicit ResultCache(const std::filesystem::path& dir);
+
+  [[nodiscard]] std::optional<sim::MonteCarloSummary> lookup(const std::string& key) const;
+  [[nodiscard]] bool contains(const std::string& key) const;
+
+  void insert(const std::string& key, const SweepPoint& point, std::uint64_t seed,
+              std::uint64_t begin, std::uint64_t end, const sim::MonteCarloSummary& summary);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const std::filesystem::path& file() const { return file_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::filesystem::path file_;  ///< empty when in-memory only
+  std::ofstream out_;
+  std::map<std::string, util::JsonObject> records_;
+};
+
+/// Append-only JSONL journal of *completed points* (merged summaries).
+/// A resumed campaign serves journaled points without touching the cache,
+/// and re-merges partially-complete points from cached shards.
+class Journal {
+ public:
+  /// Empty path = disabled (records kept in memory only).
+  explicit Journal(const std::filesystem::path& path);
+
+  [[nodiscard]] std::optional<sim::MonteCarloSummary> completed(const std::string& key) const;
+  void mark_done(const std::string& key, const SweepPoint& point,
+                 const sim::MonteCarloSummary& summary);
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::filesystem::path file_;
+  std::ofstream out_;
+  std::map<std::string, util::JsonObject> done_;
+};
+
+}  // namespace repcheck::campaign

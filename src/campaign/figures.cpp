@@ -1,0 +1,148 @@
+#include "campaign/figures.hpp"
+
+#include "campaign/simulate.hpp"
+#include "model/mtti.hpp"
+#include "model/overhead.hpp"
+#include "model/units.hpp"
+
+namespace repcheck::campaign {
+
+namespace {
+
+SweepPoint variant(std::string label, std::string strategy, std::string period_rule) {
+  SweepPoint point;
+  point.set("variant", std::move(label));
+  point.set("strategy", std::move(strategy));
+  point.set("period_rule", std::move(period_rule));
+  return point;
+}
+
+std::vector<ParamValue> doubles(std::initializer_list<double> values) {
+  return {values.begin(), values.end()};
+}
+
+}  // namespace
+
+SweepSpec fig03_spec(const Fig03Params& params) {
+  SweepSpec spec;
+  spec.name = "fig03";
+  spec.base.set("procs", params.procs);
+  spec.base.set("mtbf_years", params.mtbf_years);
+  spec.base.set("runs", params.runs);
+  spec.base.set("periods", params.periods);
+  spec.axes.push_back({"c", doubles({60.0, 300.0, 600.0, 900.0, 1200.0, 1800.0, 2400.0, 3000.0})});
+  spec.overlays.push_back({variant("rs_topt", "restart", "t_opt_rs"),
+                           variant("rs_tmtti", "restart", "t_mtti_no"),
+                           variant("no_tmtti", "no-restart", "t_mtti_no")});
+  return spec;
+}
+
+util::Table fig03_render(const CampaignResult& result) {
+  util::Table table({"c_s", "sim_rs_topt", "model_rs_topt", "sim_rs_tmtti", "model_rs_tmtti",
+                     "sim_no_tmtti", "model_no_tmtti"});
+  // expand() order: 8 c-values x 3 variants, variants innermost.
+  for (std::size_t ci = 0; 3 * ci + 2 < result.points.size(); ++ci) {
+    const auto& rs_topt = result.points[3 * ci];
+    const auto& rs_tmtti = result.points[3 * ci + 1];
+    const auto& no_tmtti = result.points[3 * ci + 2];
+
+    const double c = rs_topt.point.get_double("c");
+    const auto b = static_cast<std::uint64_t>(rs_topt.point.get_int("procs")) / 2;
+    const double mu = model::years(rs_topt.point.get_double("mtbf_years"));
+    const double t_rs = resolve_period(rs_topt.point);
+    const double t_no = resolve_period(no_tmtti.point);
+
+    table.add_numeric_row({c, overhead_mean(rs_topt.summary),
+                           model::overhead_restart(c, t_rs, b, mu),
+                           overhead_mean(rs_tmtti.summary),
+                           model::overhead_restart(c, t_no, b, mu),
+                           overhead_mean(no_tmtti.summary),
+                           model::overhead_no_restart(c, t_no, b, mu)});
+  }
+  return table;
+}
+
+SweepSpec fig07_spec(const Fig07Params& params) {
+  SweepSpec spec;
+  spec.name = "fig07";
+  spec.base.set("procs", params.procs);
+  spec.base.set("runs", params.runs);
+  spec.base.set("periods", params.periods);
+  spec.axes.push_back({"c", doubles({60.0, 600.0})});
+  spec.axes.push_back({"mtbf_years", doubles({1.0, 2.0, 5.0, 10.0, 20.0, 50.0})});
+  auto with_cr = [](std::string label, std::string strategy, std::string rule, double cr) {
+    auto point = variant(std::move(label), std::move(strategy), std::move(rule));
+    point.set("cr_over_c", cr);
+    return point;
+  };
+  spec.overlays.push_back({with_cr("rs_topt_cr1", "restart", "t_opt_rs", 1.0),
+                           with_cr("rs_topt_cr2", "restart", "t_opt_rs", 2.0),
+                           with_cr("rs_tmtti_cr1", "restart", "t_mtti_no", 1.0),
+                           with_cr("rs_tmtti_cr2", "restart", "t_mtti_no", 2.0),
+                           with_cr("no_tmtti", "no-restart", "t_mtti_no", 1.0)});
+  return spec;
+}
+
+util::Table fig07_render(const CampaignResult& result) {
+  util::Table table({"c_s", "mtbf_years", "rs_topt_cr1", "rs_topt_cr2", "rs_tmtti_cr1",
+                     "rs_tmtti_cr2", "no_tmtti"});
+  // expand() order: 2 c-values x 6 MTBFs x 5 variants, variants innermost.
+  for (std::size_t cell = 0; 5 * cell + 4 < result.points.size(); ++cell) {
+    const auto* outcomes = &result.points[5 * cell];
+    std::vector<double> row{outcomes[0].point.get_double("c"),
+                            outcomes[0].point.get_double("mtbf_years")};
+    for (std::size_t vi = 0; vi < 5; ++vi) row.push_back(overhead_mean(outcomes[vi].summary));
+    table.add_numeric_row(row);
+  }
+  return table;
+}
+
+SweepSpec validate_spec(const ValidateParams& params) {
+  SweepSpec spec;
+  spec.name = "validate";
+  spec.base.set("runs", params.runs);
+  spec.base.set("periods", params.periods);
+  spec.base.set("runs_rule", std::string("crash300"));
+  spec.axes.push_back(
+      {"procs", {ParamValue{std::int64_t{2000}}, ParamValue{std::int64_t{20000}},
+                 ParamValue{std::int64_t{200000}}}});
+  spec.axes.push_back({"mtbf_years", doubles({1.0, 5.0, 20.0})});
+  spec.axes.push_back({"c", doubles({60.0, 600.0})});
+  spec.overlays.push_back({variant("rs", "restart", "t_opt_rs"),
+                           variant("no", "no-restart", "t_mtti_no")});
+  return spec;
+}
+
+util::Table validate_render(const CampaignResult& result) {
+  util::Table table({"pairs", "mtbf_years", "c_s", "lambda_t", "err_rs_pct", "t_over_mtti",
+                     "err_no_pct"});
+  // expand() order: 3 b-values x 3 MTBFs x 2 C-values, with the rs/no
+  // variant pair innermost.
+  for (std::size_t cell = 0; 2 * cell + 1 < result.points.size(); ++cell) {
+    const auto& rs = result.points[2 * cell];
+    const auto& no = result.points[2 * cell + 1];
+
+    const auto b = static_cast<std::uint64_t>(rs.point.get_int("procs")) / 2;
+    const double mtbf_years = rs.point.get_double("mtbf_years");
+    const double mu = model::years(mtbf_years);
+    const double c = rs.point.get_double("c");
+    const double t_rs = resolve_period(rs.point);
+    const double t_no = resolve_period(no.point);
+    const double model_rs = model::overhead_restart(c, t_rs, b, mu);
+    const double model_no = model::overhead_no_restart(c, t_no, b, mu);
+
+    table.add_numeric_row({static_cast<double>(b), mtbf_years, c, t_rs / mu,
+                           100.0 * (model_rs / overhead_mean(rs.summary) - 1.0),
+                           t_no / model::mtti(b, mu),
+                           100.0 * (model_no / overhead_mean(no.summary) - 1.0)});
+  }
+  return table;
+}
+
+std::vector<BuiltinCampaign> builtin_campaigns() {
+  return {{"fig03", "Figure 3: simulated vs predicted overhead as C grows"},
+          {"fig07", "Figure 7: overhead vs individual MTBF"},
+          {"validate", "sim-vs-model relative errors across a (b, mu, C) grid"}};
+}
+
+}  // namespace repcheck::campaign

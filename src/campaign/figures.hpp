@@ -1,0 +1,50 @@
+// Built-in campaigns: the paper figures expressed as SweepSpecs, plus the
+// renderers that turn a CampaignResult back into each figure's table.
+//
+// Spec builders and renderers are paired: each renderer indexes
+// CampaignResult::points by the documented SweepSpec::expand() order of its
+// builder (axes outer-to-inner in declaration order, overlay variants
+// innermost), so the two must evolve together.
+#pragma once
+
+#include "campaign/runner.hpp"
+#include "util/table.hpp"
+
+namespace repcheck::campaign {
+
+/// Figure 3: simulated vs predicted overhead as the checkpoint cost grows.
+struct Fig03Params {
+  std::int64_t procs = 200000;
+  double mtbf_years = 5.0;
+  std::int64_t runs = 60;
+  std::int64_t periods = 100;
+};
+[[nodiscard]] SweepSpec fig03_spec(const Fig03Params& params = {});
+[[nodiscard]] util::Table fig03_render(const CampaignResult& result);
+
+/// Figure 7: overhead vs individual MTBF for C = 60 s and C = 600 s.
+struct Fig07Params {
+  std::int64_t procs = 200000;
+  std::int64_t runs = 30;
+  std::int64_t periods = 100;
+};
+[[nodiscard]] SweepSpec fig07_spec(const Fig07Params& params = {});
+[[nodiscard]] util::Table fig07_render(const CampaignResult& result);
+
+/// Validation sweep: sim-vs-model relative errors across a (b, mu, C) grid,
+/// with crash300 replicate scaling (every point sees ~300 crashes).
+struct ValidateParams {
+  std::int64_t runs = 80;
+  std::int64_t periods = 100;
+};
+[[nodiscard]] SweepSpec validate_spec(const ValidateParams& params = {});
+[[nodiscard]] util::Table validate_render(const CampaignResult& result);
+
+struct BuiltinCampaign {
+  std::string name;
+  std::string description;
+};
+/// The campaigns `repcheck_campaign --campaign <name>` knows about.
+[[nodiscard]] std::vector<BuiltinCampaign> builtin_campaigns();
+
+}  // namespace repcheck::campaign

@@ -1,0 +1,199 @@
+// repcheck_campaign: run declarative sweeps with caching and resume.
+//
+//   repcheck_campaign --campaign fig03 --cache-dir results/cache
+//   repcheck_campaign --campaign fig07 --journal results/cache/fig07.journal
+//   repcheck_campaign --grid "c=60,600;mtbf_years=1,5,20"
+//       --set "procs=200000;strategy=restart" --runs 30
+//
+// Built-in campaigns reproduce the migrated figure tables; --grid/--set
+// build an ad-hoc cartesian sweep over the standard evaluator's parameters
+// (see docs/CAMPAIGN.md).  Warm reruns with an unchanged spec, seed and
+// cache directory are 100% cache hits and simulate nothing.
+#include <cstdio>
+#include <exception>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "campaign/figures.hpp"
+#include "campaign/simulate.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace repcheck;
+using campaign::ParamValue;
+using campaign::SweepSpec;
+
+/// Splits "a=1,2;b=x" into axes, or "k=v;k2=v2" into single-value pairs.
+std::vector<std::pair<std::string, std::vector<ParamValue>>> parse_assignments(
+    const std::string& text, const char* what) {
+  std::vector<std::pair<std::string, std::vector<ParamValue>>> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t semi = text.find(';', pos);
+    const std::string item =
+        text.substr(pos, semi == std::string::npos ? std::string::npos : semi - pos);
+    pos = semi == std::string::npos ? text.size() : semi + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument(std::string(what) + " entry '" + item +
+                                  "' is not name=value[,value...]");
+    }
+    std::vector<ParamValue> values;
+    std::size_t vpos = eq + 1;
+    while (vpos <= item.size()) {
+      const std::size_t comma = item.find(',', vpos);
+      const std::string value =
+          item.substr(vpos, comma == std::string::npos ? std::string::npos : comma - vpos);
+      values.push_back(campaign::parse_param(value));
+      if (comma == std::string::npos) break;
+      vpos = comma + 1;
+    }
+    out.emplace_back(item.substr(0, eq), std::move(values));
+  }
+  return out;
+}
+
+util::Cell to_cell(const ParamValue& value) {
+  if (const auto* i = std::get_if<std::int64_t>(&value)) return *i;
+  if (const auto* d = std::get_if<double>(&value)) return *d;
+  return campaign::render_param(value);
+}
+
+/// Generic renderer for --grid sweeps: axis columns + overhead statistics.
+util::Table grid_render(const SweepSpec& spec, const campaign::CampaignResult& result) {
+  std::vector<std::string> columns;
+  for (const auto& axis : spec.axes) columns.push_back(axis.name);
+  columns.insert(columns.end(), {"overhead", "ci95_lo", "ci95_hi", "runs", "stalled"});
+  util::Table table(columns);
+  for (const auto& outcome : result.points) {
+    std::vector<util::Cell> row;
+    for (const auto& axis : spec.axes) {
+      const auto* value = outcome.point.find(axis.name);
+      row.push_back(value != nullptr ? to_cell(*value) : util::Cell{});
+    }
+    const auto ci = outcome.summary.overhead_ci();
+    row.push_back(campaign::overhead_mean(outcome.summary));
+    row.push_back(ci.lo);
+    row.push_back(ci.hi);
+    row.push_back(static_cast<std::int64_t>(outcome.summary.runs));
+    row.push_back(static_cast<std::int64_t>(outcome.summary.stalled_runs));
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+void list_campaigns() {
+  std::cout << "built-in campaigns:\n";
+  for (const auto& builtin : campaign::builtin_campaigns()) {
+    std::cout << "  " << builtin.name << "  " << builtin.description << "\n";
+  }
+  std::cout << "or build one with --grid \"a=1,2;b=x,y\" [--set \"k=v;...\"]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    util::FlagSet flags("repcheck_campaign",
+                        "declarative sweeps with a content-addressed cache and resume");
+    const auto* campaign_name =
+        flags.add_string("campaign", "", "built-in campaign (fig03 | fig07 | validate | list)");
+    const auto* grid = flags.add_string("grid", "", "ad-hoc axes, e.g. \"c=60,600;mtbf_years=5\"");
+    const auto* set = flags.add_string("set", "", "fixed parameters, e.g. \"procs=200000\"");
+    const auto* runs = flags.add_int64("runs", 0, "override replicates per point");
+    const auto* periods = flags.add_int64("periods", 0, "override periods per run");
+    const auto* procs = flags.add_int64("procs", 0, "override platform size");
+    const auto* mtbf_years = flags.add_double("mtbf-years", 0.0, "override individual MTBF");
+    const auto* seed = flags.add_int64("seed", 42, "master seed (same seed => same numbers)");
+    const auto* csv = flags.add_bool("csv", false, "emit CSV instead of aligned columns");
+    const auto* cache_dir =
+        flags.add_string("cache-dir", "results/cache", "result cache directory ('' = in-memory)");
+    const auto* journal = flags.add_string("journal", "", "campaign journal file for resume");
+    const auto* threads =
+        flags.add_int64("threads", -1, "worker threads (-1 = hardware, 0 = serial)");
+    const auto* shard_size = flags.add_int64("shard-size", 0, "replicates per shard (0 = auto)");
+    const auto* no_progress = flags.add_bool("no-progress", false, "silence the stderr reporter");
+    if (!flags.parse(argc, argv)) return 0;  // --help
+
+    if ((campaign_name->empty() && grid->empty()) || *campaign_name == "list") {
+      list_campaigns();
+      return 0;
+    }
+    if (!campaign_name->empty() && !grid->empty()) {
+      throw std::invalid_argument("--campaign and --grid are mutually exclusive");
+    }
+
+    SweepSpec spec;
+    std::optional<util::Table (*)(const campaign::CampaignResult&)> figure_render;
+    if (*campaign_name == "fig03") {
+      campaign::Fig03Params params;
+      if (flags.provided("procs")) params.procs = *procs;
+      if (flags.provided("mtbf-years")) params.mtbf_years = *mtbf_years;
+      if (flags.provided("runs")) params.runs = *runs;
+      if (flags.provided("periods")) params.periods = *periods;
+      spec = campaign::fig03_spec(params);
+      figure_render = campaign::fig03_render;
+    } else if (*campaign_name == "fig07") {
+      campaign::Fig07Params params;
+      if (flags.provided("procs")) params.procs = *procs;
+      if (flags.provided("runs")) params.runs = *runs;
+      if (flags.provided("periods")) params.periods = *periods;
+      spec = campaign::fig07_spec(params);
+      figure_render = campaign::fig07_render;
+    } else if (*campaign_name == "validate") {
+      campaign::ValidateParams params;
+      if (flags.provided("runs")) params.runs = *runs;
+      if (flags.provided("periods")) params.periods = *periods;
+      spec = campaign::validate_spec(params);
+      figure_render = campaign::validate_render;
+    } else if (!campaign_name->empty()) {
+      throw std::invalid_argument("unknown campaign '" + *campaign_name +
+                                  "' (try --campaign list)");
+    } else {
+      spec.name = "grid";
+      for (auto& [name, values] : parse_assignments(*set, "--set")) {
+        if (values.size() != 1) {
+          throw std::invalid_argument("--set entry '" + name + "' must have exactly one value");
+        }
+        spec.base.set(name, values.front());
+      }
+      for (auto& [name, values] : parse_assignments(*grid, "--grid")) {
+        spec.axes.push_back({name, std::move(values)});
+      }
+      if (flags.provided("procs")) spec.base.set("procs", *procs);
+      if (flags.provided("mtbf-years")) spec.base.set("mtbf_years", *mtbf_years);
+      if (flags.provided("runs")) spec.base.set("runs", *runs);
+      if (flags.provided("periods")) spec.base.set("periods", *periods);
+    }
+
+    campaign::RunnerOptions options;
+    options.master_seed = static_cast<std::uint64_t>(*seed);
+    options.shard_size = static_cast<std::uint64_t>(*shard_size);
+    options.cache_dir = *cache_dir;
+    options.journal_path = *journal;
+    options.progress = !*no_progress;
+    std::unique_ptr<util::ThreadPool> own_pool;
+    if (*threads < 0) {
+      options.pool = &util::ThreadPool::shared();
+    } else if (*threads > 0) {
+      own_pool = std::make_unique<util::ThreadPool>(static_cast<std::size_t>(*threads));
+      options.pool = own_pool.get();
+    }
+
+    campaign::CampaignRunner runner(spec, campaign::standard_evaluator(), options);
+    const auto result = runner.run();
+    const auto table = figure_render ? (*figure_render)(result) : grid_render(spec, result);
+    table.print(std::cout, *csv);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,227 @@
+#include "campaign/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <stdexcept>
+
+namespace repcheck::campaign {
+
+const PointOutcome* CampaignResult::find(const SweepPoint& point) const {
+  const auto canonical = point.canonical();
+  for (const auto& outcome : points) {
+    if (outcome.point.canonical() == canonical) return &outcome;
+  }
+  return nullptr;
+}
+
+const sim::MonteCarloSummary& CampaignResult::at(const SweepPoint& point) const {
+  const auto* outcome = find(point);
+  if (outcome == nullptr) {
+    throw std::out_of_range("campaign has no point " + point.canonical());
+  }
+  return outcome->summary;
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Throttled stderr reporter: shards done, cache hits, throughput, ETA.
+class ProgressReporter {
+ public:
+  ProgressReporter(std::string campaign, std::uint64_t to_simulate, std::uint64_t cached,
+                   bool enabled)
+      : campaign_(std::move(campaign)),
+        to_simulate_(to_simulate),
+        cached_(cached),
+        enabled_(enabled),
+        start_(Clock::now()),
+        last_print_(start_) {}
+
+  void shard_simulated() {
+    const std::uint64_t done = ++done_;
+    if (!enabled_) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto now = Clock::now();
+    if (done < to_simulate_ && now - last_print_ < std::chrono::seconds(1)) return;
+    last_print_ = now;
+    const double secs = std::chrono::duration<double>(now - start_).count();
+    const double rate = secs > 0.0 ? static_cast<double>(done) / secs : 0.0;
+    const double eta = rate > 0.0 ? static_cast<double>(to_simulate_ - done) / rate : 0.0;
+    std::fprintf(stderr,
+                 "[campaign %s] %llu/%llu shards simulated (%llu cache hits), %.2f shards/s, "
+                 "eta %.0f s\n",
+                 campaign_.c_str(), static_cast<unsigned long long>(done),
+                 static_cast<unsigned long long>(to_simulate_),
+                 static_cast<unsigned long long>(cached_), rate, eta);
+  }
+
+  void finish(const CampaignStats& stats) const {
+    if (!enabled_) return;
+    std::fprintf(stderr,
+                 "[campaign %s] done: %llu points (%llu from journal), %llu shards "
+                 "(%llu cache hits, %llu simulated) in %.1f s\n",
+                 campaign_.c_str(), static_cast<unsigned long long>(stats.points),
+                 static_cast<unsigned long long>(stats.journal_points),
+                 static_cast<unsigned long long>(stats.shards_total),
+                 static_cast<unsigned long long>(stats.shards_cached),
+                 static_cast<unsigned long long>(stats.shards_simulated), stats.seconds);
+  }
+
+ private:
+  std::string campaign_;
+  std::uint64_t to_simulate_;
+  std::uint64_t cached_;
+  bool enabled_;
+  Clock::time_point start_;
+  Clock::time_point last_print_;
+  std::atomic<std::uint64_t> done_{0};
+  std::mutex mutex_;
+};
+
+struct Shard {
+  std::size_t point_idx = 0;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::string key;
+};
+
+}  // namespace
+
+CampaignRunner::CampaignRunner(SweepSpec spec, PointEvaluator evaluator, RunnerOptions options)
+    : spec_(std::move(spec)), evaluator_(std::move(evaluator)), options_(std::move(options)) {
+  if (!evaluator_.runs_for || !evaluator_.simulate) {
+    throw std::invalid_argument("campaign evaluator callbacks must be set");
+  }
+}
+
+CampaignResult CampaignRunner::run() {
+  const auto t0 = Clock::now();
+  const auto points = spec_.expand();
+  if (points.empty()) throw std::invalid_argument("campaign expands to zero points");
+
+  ResultCache cache(options_.cache_dir);
+  Journal journal(options_.journal_path);
+
+  CampaignResult result;
+  result.stats.points = points.size();
+  result.points.reserve(points.size());
+  std::vector<std::vector<std::string>> shard_keys(points.size());
+  std::vector<std::atomic<std::uint64_t>> shards_left(points.size());
+  std::vector<Shard> pending;
+
+  for (std::size_t idx = 0; idx < points.size(); ++idx) {
+    PointOutcome outcome;
+    outcome.point = points[idx];
+    outcome.key = point_key(outcome.point, options_.master_seed, options_.engine_version);
+    outcome.seed = derive_point_seed(options_.master_seed, outcome.point);
+
+    const std::uint64_t runs = evaluator_.runs_for(outcome.point);
+    if (runs == 0) {
+      throw std::invalid_argument("evaluator reports zero replicates for " +
+                                  outcome.point.canonical());
+    }
+    // Shard plan: a function of the replicate count only, never of the
+    // thread count, so shard cache keys are stable across machines.
+    const std::uint64_t size =
+        options_.shard_size > 0 ? options_.shard_size : std::max<std::uint64_t>(1, runs / 16);
+    const std::uint64_t n_shards = (runs + size - 1) / size;
+    outcome.shards = n_shards;
+    result.stats.shards_total += n_shards;
+
+    if (auto done = journal.completed(outcome.key)) {
+      outcome.summary = std::move(*done);
+      outcome.from_journal = true;
+      outcome.cached_shards = n_shards;
+      ++result.stats.journal_points;
+      result.stats.shards_cached += n_shards;
+      result.points.push_back(std::move(outcome));
+      continue;
+    }
+
+    auto& keys = shard_keys[idx];
+    keys.reserve(n_shards);
+    std::uint64_t uncached = 0;
+    for (std::uint64_t s = 0; s < n_shards; ++s) {
+      const std::uint64_t begin = s * size;
+      const std::uint64_t end = std::min(runs, begin + size);
+      keys.push_back(
+          shard_key(outcome.point, options_.master_seed, begin, end, options_.engine_version));
+      if (cache.contains(keys.back())) {
+        ++outcome.cached_shards;
+      } else {
+        pending.push_back({idx, begin, end, keys.back()});
+        ++uncached;
+      }
+    }
+    result.stats.shards_cached += outcome.cached_shards;
+    shards_left[idx].store(uncached);
+    result.points.push_back(std::move(outcome));
+  }
+
+  ProgressReporter progress(spec_.name, pending.size(), result.stats.shards_cached,
+                            options_.progress);
+
+  // Merges a point's shard summaries from the cache, in shard order; both
+  // cold and warm paths read the same round-tripped records, which is what
+  // makes resumed and uninterrupted campaigns bit-identical.
+  const auto merge_point = [&](std::size_t idx) {
+    sim::MonteCarloSummary merged;
+    for (const auto& key : shard_keys[idx]) {
+      auto shard_summary = cache.lookup(key);
+      if (!shard_summary) {
+        throw std::logic_error("campaign shard record vanished before merge: " + key);
+      }
+      merged.merge(*shard_summary);
+    }
+    return merged;
+  };
+
+  std::vector<std::atomic<bool>> finalized(points.size());
+  const auto finalize_point = [&](std::size_t idx) {
+    auto& outcome = result.points[idx];
+    outcome.summary = merge_point(idx);
+    journal.mark_done(outcome.key, outcome.point, outcome.summary);
+    finalized[idx].store(true);
+  };
+
+  const auto run_unit = [&](const Shard& shard) {
+    const auto& outcome = result.points[shard.point_idx];
+    const auto summary = evaluator_.simulate(outcome.point, shard.begin, shard.end, outcome.seed);
+    cache.insert(shard.key, outcome.point, outcome.seed, shard.begin, shard.end, summary);
+    progress.shard_simulated();
+    // The worker completing a point's last shard merges and journals it
+    // right away, so an interruption never costs more than one shard.
+    if (shards_left[shard.point_idx].fetch_sub(1) == 1) finalize_point(shard.point_idx);
+  };
+
+  if (options_.pool != nullptr && options_.pool->size() > 0 && pending.size() > 1) {
+    std::atomic<std::size_t> next{0};
+    options_.pool->parallel_for(pending.size(), [&](std::size_t, std::size_t) {
+      for (;;) {
+        const std::size_t unit = next.fetch_add(1);
+        if (unit >= pending.size()) return;
+        run_unit(pending[unit]);
+      }
+    });
+  } else {
+    for (const auto& shard : pending) run_unit(shard);
+  }
+
+  // Points whose shards were all cache hits never went through run_unit;
+  // merge (and journal) them now.
+  for (std::size_t idx = 0; idx < points.size(); ++idx) {
+    if (result.points[idx].from_journal || finalized[idx].load()) continue;
+    finalize_point(idx);
+  }
+
+  result.stats.shards_simulated = pending.size();
+  result.stats.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  progress.finish(result.stats);
+  return result;
+}
+
+}  // namespace repcheck::campaign

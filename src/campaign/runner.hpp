@@ -1,0 +1,96 @@
+// CampaignRunner: schedules sweep points × Monte-Carlo shards over the
+// thread pool, with content-addressed caching and checkpoint/resume.
+//
+// Execution model:
+//   * every point gets a deterministic seed (SplitMix64 on the point hash),
+//     independent of point order and thread count;
+//   * a point's replicates are cut into fixed shards (the shard plan
+//     depends only on the replicate count — never on the thread count —
+//     so cache keys are stable);
+//   * completed shards append to the ResultCache, completed points to the
+//     Journal, both flushed line-by-line: a killed campaign resumes losing
+//     at most the in-flight shard;
+//   * per-point summaries are merged from the (round-tripped) shard
+//     records in shard order, so a resumed campaign is bit-identical to an
+//     uninterrupted one with the same master seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "campaign/cache.hpp"
+#include "campaign/sweep.hpp"
+#include "core/montecarlo.hpp"
+#include "util/thread_pool.hpp"
+
+namespace repcheck::campaign {
+
+/// How the runner turns a sweep point into numbers.  Both callbacks must be
+/// deterministic and thread-safe (they run concurrently on pool workers).
+struct PointEvaluator {
+  /// Effective Monte-Carlo replicate count for a point (>= 1).
+  std::function<std::uint64_t(const SweepPoint&)> runs_for;
+  /// Simulates replicate indices [begin, end) under the point's seed.
+  std::function<sim::MonteCarloSummary(const SweepPoint&, std::uint64_t begin, std::uint64_t end,
+                                       std::uint64_t seed)>
+      simulate;
+};
+
+struct RunnerOptions {
+  std::uint64_t master_seed = 42;
+  /// Replicates per shard; 0 = auto (~runs/16, at least 1).  Part of the
+  /// cache key via the shard ranges, so keep it fixed across reruns.
+  std::uint64_t shard_size = 0;
+  std::string cache_dir;     ///< empty = in-memory cache only
+  std::string journal_path;  ///< empty = no journal
+  util::ThreadPool* pool = nullptr;  ///< null = serial execution
+  bool progress = true;              ///< progress/ETA reporter on stderr
+  std::string engine_version{kEngineVersion};
+};
+
+struct PointOutcome {
+  SweepPoint point;
+  std::string key;         ///< point_key (journal granularity)
+  std::uint64_t seed = 0;  ///< derived point seed
+  sim::MonteCarloSummary summary;
+  std::uint64_t shards = 0;
+  std::uint64_t cached_shards = 0;  ///< shards served from the cache
+  bool from_journal = false;        ///< whole point served from the journal
+};
+
+struct CampaignStats {
+  std::uint64_t points = 0;
+  std::uint64_t journal_points = 0;
+  std::uint64_t shards_total = 0;
+  std::uint64_t shards_cached = 0;
+  std::uint64_t shards_simulated = 0;
+  double seconds = 0.0;
+};
+
+struct CampaignResult {
+  std::vector<PointOutcome> points;  ///< in SweepSpec::expand() order
+  CampaignStats stats;
+
+  [[nodiscard]] const PointOutcome* find(const SweepPoint& point) const;
+  /// Throws std::out_of_range when the point is not part of the campaign.
+  [[nodiscard]] const sim::MonteCarloSummary& at(const SweepPoint& point) const;
+};
+
+class CampaignRunner {
+ public:
+  CampaignRunner(SweepSpec spec, PointEvaluator evaluator, RunnerOptions options = {});
+
+  /// Runs (or resumes) the campaign.  Exceptions from the evaluator
+  /// propagate after in-flight shards settle; everything completed up to
+  /// that moment is already persisted, so a rerun resumes.
+  [[nodiscard]] CampaignResult run();
+
+ private:
+  SweepSpec spec_;
+  PointEvaluator evaluator_;
+  RunnerOptions options_;
+};
+
+}  // namespace repcheck::campaign

@@ -1,0 +1,133 @@
+#include "campaign/simulate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+
+#include "failures/exponential_source.hpp"
+#include "model/mtti.hpp"
+#include "model/periods.hpp"
+#include "model/units.hpp"
+#include "platform/cost.hpp"
+#include "platform/platform.hpp"
+
+namespace repcheck::campaign {
+
+namespace {
+
+struct PointConfig {
+  std::uint64_t n = 0;      ///< platform size
+  std::uint64_t b = 0;      ///< replica pairs (n/2)
+  double mu = 0.0;          ///< individual MTBF, seconds
+  double c = 0.0;           ///< checkpoint cost C
+  double cr_over_c = 1.0;   ///< C^R / C
+  std::string strategy;     ///< restart | no-restart | no-replication
+  std::string period_rule;  ///< t_opt_rs | t_mtti_no | young_daly | fixed
+  std::uint64_t periods = 100;
+};
+
+PointConfig parse_point(const SweepPoint& point) {
+  PointConfig cfg;
+  cfg.n = static_cast<std::uint64_t>(point.get_int("procs"));
+  cfg.b = cfg.n / 2;
+  cfg.mu = model::years(point.get_double("mtbf_years"));
+  cfg.c = point.get_double("c");
+  cfg.cr_over_c = point.get_double("cr_over_c", 1.0);
+  cfg.strategy = point.get_string("strategy", "restart");
+  cfg.period_rule = point.get_string("period_rule", "t_opt_rs");
+  cfg.periods = static_cast<std::uint64_t>(point.get_int("periods", 100));
+  if (cfg.n == 0) throw std::invalid_argument("sweep point needs procs > 0");
+  if (cfg.mu <= 0.0) throw std::invalid_argument("sweep point needs mtbf_years > 0");
+  if (cfg.c <= 0.0) throw std::invalid_argument("sweep point needs c > 0");
+  return cfg;
+}
+
+double period_for(const PointConfig& cfg, const SweepPoint& point) {
+  if (cfg.period_rule == "t_opt_rs") return model::t_opt_rs(cfg.cr_over_c * cfg.c, cfg.b, cfg.mu);
+  if (cfg.period_rule == "t_mtti_no") return model::t_mtti_no(cfg.c, cfg.b, cfg.mu);
+  if (cfg.period_rule == "young_daly") {
+    return model::young_daly_period_parallel(cfg.c, cfg.mu, cfg.n);
+  }
+  if (cfg.period_rule == "fixed") return point.get_double("period");
+  throw std::invalid_argument("unknown period_rule '" + cfg.period_rule + "'");
+}
+
+sim::StrategySpec strategy_for(const PointConfig& cfg, double t) {
+  if (cfg.strategy == "restart") return sim::StrategySpec::restart(t);
+  if (cfg.strategy == "no-restart") return sim::StrategySpec::no_restart(t);
+  if (cfg.strategy == "no-replication") return sim::StrategySpec::no_replication(t);
+  throw std::invalid_argument("unknown strategy '" + cfg.strategy + "'");
+}
+
+sim::SimConfig sim_config_for(const SweepPoint& point) {
+  const auto cfg = parse_point(point);
+  const double t = period_for(cfg, point);
+  sim::SimConfig config;
+  config.platform = cfg.strategy == "no-replication"
+                        ? platform::Platform::not_replicated(cfg.n)
+                        : platform::Platform::fully_replicated(cfg.n);
+  config.cost = platform::CostModel::uniform(cfg.c, cfg.cr_over_c);
+  config.strategy = strategy_for(cfg, t);
+  config.spec.mode = sim::RunSpec::Mode::kFixedPeriods;
+  config.spec.n_periods = cfg.periods;
+  return config;
+}
+
+}  // namespace
+
+double resolve_period(const SweepPoint& point) {
+  const auto cfg = parse_point(point);
+  return period_for(cfg, point);
+}
+
+std::uint64_t standard_runs_for(const SweepPoint& point) {
+  const auto runs = static_cast<std::uint64_t>(point.get_int("runs", 60));
+  const auto rule = point.get_string("runs_rule", "fixed");
+  if (rule == "fixed") return runs;
+  if (rule == "crash300") {
+    // Crashes are the noisy term: scale the replicate count so every point
+    // sees a few hundred of them.  Expected crashes per run: periods ×
+    // b(λT)² for restart, periods × T/M for no-restart.
+    const auto cfg = parse_point(point);
+    const double t = period_for(cfg, point);
+    const double lambda = 1.0 / cfg.mu;
+    double crash_prob_per_period = 0.0;
+    if (cfg.strategy == "restart") {
+      crash_prob_per_period = static_cast<double>(cfg.b) * lambda * lambda * t * t;
+    } else {
+      crash_prob_per_period = t / model::mtti(cfg.b, cfg.mu);
+    }
+    const double per_run = static_cast<double>(cfg.periods) * crash_prob_per_period;
+    const double needed = 300.0 / std::max(per_run, 1e-9);
+    return std::max(runs, std::min<std::uint64_t>(50000,
+                                                  static_cast<std::uint64_t>(needed) + 1));
+  }
+  throw std::invalid_argument("unknown runs_rule '" + rule + "'");
+}
+
+sim::MonteCarloSummary simulate_standard_point(const SweepPoint& point, std::uint64_t begin,
+                                               std::uint64_t end, std::uint64_t seed) {
+  const auto config = sim_config_for(point);
+  const auto cfg = parse_point(point);
+  const auto factory = [n = cfg.n, mu = cfg.mu] {
+    return std::unique_ptr<failures::FailureSource>(
+        std::make_unique<failures::ExponentialFailureSource>(n, mu));
+  };
+  return sim::run_monte_carlo_range(config, factory, begin, end, seed);
+}
+
+PointEvaluator standard_evaluator() {
+  PointEvaluator evaluator;
+  evaluator.runs_for = standard_runs_for;
+  evaluator.simulate = simulate_standard_point;
+  return evaluator;
+}
+
+double overhead_mean(const sim::MonteCarloSummary& summary) {
+  return summary.overhead.count() > 0 ? summary.overhead.mean()
+                                      : std::numeric_limits<double>::quiet_NaN();
+}
+
+}  // namespace repcheck::campaign

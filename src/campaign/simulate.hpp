@@ -1,0 +1,45 @@
+// The standard point evaluator: maps a SweepPoint onto the simulator.
+//
+// Recognized parameters (see docs/CAMPAIGN.md for the full table):
+//   procs        platform size N (int, required)
+//   mtbf_years   individual MTBF in years (required)
+//   c            checkpoint cost C in seconds (required)
+//   cr_over_c    C^R / C ratio (default 1.0)
+//   strategy     restart | no-restart | no-replication (default restart)
+//   period_rule  t_opt_rs | t_mtti_no | young_daly | fixed (default t_opt_rs)
+//   period       period T in seconds, required when period_rule = fixed
+//   periods      checkpointing periods per run (default 100)
+//   runs         Monte-Carlo replicates per point (default 60)
+//   runs_rule    fixed | crash300 (default fixed); crash300 scales the
+//                replicate count so every point sees ~300 app crashes
+//                (the validate_accuracy protocol), capped at 50000
+//
+// Every extra parameter (e.g. a "variant" label) is inert for simulation
+// but still part of the canonical point, i.e. of the cache key.
+#pragma once
+
+#include "campaign/runner.hpp"
+
+namespace repcheck::campaign {
+
+/// The period T the point's period_rule resolves to (renderers use this to
+/// evaluate the analytic models at the simulated period).
+[[nodiscard]] double resolve_period(const SweepPoint& point);
+
+/// Effective replicate count after runs_rule scaling.
+[[nodiscard]] std::uint64_t standard_runs_for(const SweepPoint& point);
+
+/// Simulates replicate indices [begin, end) of the point.
+[[nodiscard]] sim::MonteCarloSummary simulate_standard_point(const SweepPoint& point,
+                                                             std::uint64_t begin,
+                                                             std::uint64_t end,
+                                                             std::uint64_t seed);
+
+/// Bundles the two functions above.
+[[nodiscard]] PointEvaluator standard_evaluator();
+
+/// Mean simulated overhead; quiet NaN when the summary holds no samples
+/// (all replicates stalled), so broken configs can't pose as measurements.
+[[nodiscard]] double overhead_mean(const sim::MonteCarloSummary& summary);
+
+}  // namespace repcheck::campaign

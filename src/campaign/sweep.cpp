@@ -1,0 +1,146 @@
+#include "campaign/sweep.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/jsonl.hpp"
+
+namespace repcheck::campaign {
+
+std::string render_param(const ParamValue& value) {
+  if (const auto* i = std::get_if<std::int64_t>(&value)) return std::to_string(*i);
+  if (const auto* d = std::get_if<double>(&value)) return util::format_double(*d);
+  if (const auto* s = std::get_if<std::string>(&value)) return *s;
+  return std::get<bool>(value) ? "true" : "false";
+}
+
+ParamValue parse_param(std::string_view text) {
+  if (text == "true") return ParamValue{true};
+  if (text == "false") return ParamValue{false};
+  {
+    std::int64_t i = 0;
+    const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), i);
+    if (ec == std::errc{} && ptr == text.data() + text.size()) return ParamValue{i};
+  }
+  if (const auto d = util::parse_double(text); d && std::isfinite(*d)) return ParamValue{*d};
+  return ParamValue{std::string(text)};
+}
+
+void SweepPoint::set(std::string name, ParamValue value) {
+  params_.insert_or_assign(std::move(name), std::move(value));
+}
+
+void SweepPoint::merge(const SweepPoint& overlay) {
+  for (const auto& [name, value] : overlay.params_) params_.insert_or_assign(name, value);
+}
+
+bool SweepPoint::has(std::string_view name) const { return params_.find(name) != params_.end(); }
+
+const ParamValue* SweepPoint::find(std::string_view name) const {
+  const auto it = params_.find(name);
+  return it == params_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+[[noreturn]] void missing(std::string_view name) {
+  throw std::out_of_range("sweep point has no parameter '" + std::string(name) + "'");
+}
+
+[[noreturn]] void bad_type(std::string_view name, const char* wanted) {
+  throw std::invalid_argument("sweep parameter '" + std::string(name) + "' is not " + wanted);
+}
+
+}  // namespace
+
+double SweepPoint::get_double(std::string_view name) const {
+  const auto* value = find(name);
+  if (value == nullptr) missing(name);
+  if (const auto* d = std::get_if<double>(value)) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(value)) return static_cast<double>(*i);
+  bad_type(name, "numeric");
+}
+
+double SweepPoint::get_double(std::string_view name, double def) const {
+  return has(name) ? get_double(name) : def;
+}
+
+std::int64_t SweepPoint::get_int(std::string_view name) const {
+  const auto* value = find(name);
+  if (value == nullptr) missing(name);
+  if (const auto* i = std::get_if<std::int64_t>(value)) return *i;
+  if (const auto* d = std::get_if<double>(value)) {
+    if (std::nearbyint(*d) == *d && std::abs(*d) <= 9.007199254740992e15) {
+      return static_cast<std::int64_t>(*d);
+    }
+  }
+  bad_type(name, "an integer");
+}
+
+std::int64_t SweepPoint::get_int(std::string_view name, std::int64_t def) const {
+  return has(name) ? get_int(name) : def;
+}
+
+std::string SweepPoint::get_string(std::string_view name) const {
+  const auto* value = find(name);
+  if (value == nullptr) missing(name);
+  if (const auto* s = std::get_if<std::string>(value)) return *s;
+  bad_type(name, "a string");
+}
+
+std::string SweepPoint::get_string(std::string_view name, std::string def) const {
+  return has(name) ? get_string(name) : std::move(def);
+}
+
+std::string SweepPoint::canonical() const {
+  std::string out;
+  bool first = true;
+  for (const auto& [name, value] : params_) {
+    if (!first) out += ';';
+    first = false;
+    out += name;
+    out += '=';
+    out += render_param(value);
+  }
+  return out;
+}
+
+std::vector<SweepPoint> SweepSpec::expand() const {
+  std::vector<SweepPoint> points{base};
+  for (const auto& axis : axes) {
+    if (axis.values.empty()) {
+      throw std::invalid_argument("sweep axis '" + axis.name + "' has no values");
+    }
+    std::vector<SweepPoint> next;
+    next.reserve(points.size() * axis.values.size());
+    for (const auto& point : points) {
+      for (const auto& value : axis.values) {
+        auto& expanded = next.emplace_back(point);
+        expanded.set(axis.name, value);
+      }
+    }
+    points = std::move(next);
+  }
+  for (const auto& overlay_set : overlays) {
+    if (overlay_set.empty()) throw std::invalid_argument("empty overlay set in sweep spec");
+    std::vector<SweepPoint> next;
+    next.reserve(points.size() * overlay_set.size());
+    for (const auto& point : points) {
+      for (const auto& overlay : overlay_set) {
+        auto& expanded = next.emplace_back(point);
+        expanded.merge(overlay);
+      }
+    }
+    points = std::move(next);
+  }
+  for (const auto& point : extra) {
+    auto expanded = base;
+    expanded.merge(point);
+    points.push_back(std::move(expanded));
+  }
+  return points;
+}
+
+}  // namespace repcheck::campaign

@@ -1,0 +1,89 @@
+// Declarative parameter sweeps — the campaign engine's input language.
+//
+// A SweepPoint is a named-parameter map describing one experimental
+// configuration; a SweepSpec describes a whole campaign:
+//
+//   base      parameters shared by every point
+//   axes      cartesian grid (later axes vary fastest)
+//   overlays  tied parameter bundles — each overlay set multiplies the grid
+//             like an axis, but one entry can set several parameters at
+//             once (e.g. a figure "series" fixing strategy + period rule)
+//   extra     explicit points appended after the grid (merged over base)
+//
+// Points canonicalize to a "k1=v1;k2=v2" string (keys sorted, doubles in
+// shortest round-trip form) — the basis for content-addressed cache keys
+// and deterministic per-point seeds.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace repcheck::campaign {
+
+using ParamValue = std::variant<std::int64_t, double, std::string, bool>;
+
+/// Canonical text form of a value (doubles via shortest round-trip).
+[[nodiscard]] std::string render_param(const ParamValue& value);
+
+/// Inverse-ish of render_param for CLI input: integer literal → int64,
+/// number → double, true/false → bool, anything else → string.
+[[nodiscard]] ParamValue parse_param(std::string_view text);
+
+class SweepPoint {
+ public:
+  SweepPoint() = default;
+  SweepPoint(std::initializer_list<std::pair<const std::string, ParamValue>> init)
+      : params_(init) {}
+
+  void set(std::string name, ParamValue value);
+  /// Copies every parameter of `overlay` into this point (overlay wins).
+  void merge(const SweepPoint& overlay);
+
+  [[nodiscard]] bool has(std::string_view name) const;
+  [[nodiscard]] const ParamValue* find(std::string_view name) const;
+
+  /// Typed access; int64 values coerce to double, and integral doubles
+  /// coerce to int64.  The no-default overloads throw std::out_of_range
+  /// when the parameter is absent (and std::invalid_argument on a type
+  /// mismatch), naming the parameter.
+  [[nodiscard]] double get_double(std::string_view name) const;
+  [[nodiscard]] double get_double(std::string_view name, double def) const;
+  [[nodiscard]] std::int64_t get_int(std::string_view name) const;
+  [[nodiscard]] std::int64_t get_int(std::string_view name, std::int64_t def) const;
+  [[nodiscard]] std::string get_string(std::string_view name) const;
+  [[nodiscard]] std::string get_string(std::string_view name, std::string def) const;
+
+  /// "k1=v1;k2=v2" with keys sorted — stable across runs and platforms.
+  [[nodiscard]] std::string canonical() const;
+
+  [[nodiscard]] const std::map<std::string, ParamValue, std::less<>>& params() const {
+    return params_;
+  }
+
+ private:
+  std::map<std::string, ParamValue, std::less<>> params_;
+};
+
+struct Axis {
+  std::string name;
+  std::vector<ParamValue> values;
+};
+
+struct SweepSpec {
+  std::string name = "campaign";
+  SweepPoint base;
+  std::vector<Axis> axes;
+  std::vector<std::vector<SweepPoint>> overlays;
+  std::vector<SweepPoint> extra;
+
+  /// Expansion order: axes in declaration order (later = faster), then
+  /// overlay sets (innermost), then `extra` appended.  Renderers rely on
+  /// this ordering.
+  [[nodiscard]] std::vector<SweepPoint> expand() const;
+};
+
+}  // namespace repcheck::campaign

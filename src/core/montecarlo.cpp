@@ -41,21 +41,7 @@ struct LaneAccumulator {
         config.power, result.time_breakdown(), config.platform.n_procs(), result.useful_time));
   }
 
-  void merge(const LaneAccumulator& other) {
-    summary.overhead.merge(other.summary.overhead);
-    summary.makespan.merge(other.summary.makespan);
-    summary.useful_time.merge(other.summary.useful_time);
-    summary.checkpoints.merge(other.summary.checkpoints);
-    summary.restart_checkpoints.merge(other.summary.restart_checkpoints);
-    summary.fatal_failures.merge(other.summary.fatal_failures);
-    summary.failures_seen.merge(other.summary.failures_seen);
-    summary.procs_restarted.merge(other.summary.procs_restarted);
-    summary.dead_at_checkpoint.merge(other.summary.dead_at_checkpoint);
-    summary.io_gbytes.merge(other.summary.io_gbytes);
-    summary.energy_overhead.merge(other.summary.energy_overhead);
-    summary.runs += other.summary.runs;
-    summary.stalled_runs += other.summary.stalled_runs;
-  }
+  void merge(const LaneAccumulator& other) { summary.merge(other.summary); }
 };
 
 RunResult run_one(const SimConfig& config, failures::FailureSource& source,
@@ -69,6 +55,35 @@ RunResult run_one(const SimConfig& config, failures::FailureSource& source,
 }
 
 }  // namespace
+
+void MonteCarloSummary::merge(const MonteCarloSummary& other) {
+  overhead.merge(other.overhead);
+  makespan.merge(other.makespan);
+  useful_time.merge(other.useful_time);
+  checkpoints.merge(other.checkpoints);
+  restart_checkpoints.merge(other.restart_checkpoints);
+  fatal_failures.merge(other.fatal_failures);
+  failures_seen.merge(other.failures_seen);
+  procs_restarted.merge(other.procs_restarted);
+  dead_at_checkpoint.merge(other.dead_at_checkpoint);
+  io_gbytes.merge(other.io_gbytes);
+  energy_overhead.merge(other.energy_overhead);
+  runs += other.runs;
+  stalled_runs += other.stalled_runs;
+}
+
+MonteCarloSummary run_monte_carlo_range(const SimConfig& config, const SourceFactory& make_source,
+                                        std::uint64_t begin, std::uint64_t end,
+                                        std::uint64_t master_seed) {
+  if (end < begin) throw std::invalid_argument("replicate range end precedes begin");
+  if (!make_source) throw std::invalid_argument("source factory must be callable");
+  LaneAccumulator acc;
+  const auto source = make_source();
+  for (std::uint64_t i = begin; i < end; ++i) {
+    acc.add(run_one(config, *source, derive_run_seed(master_seed, i)), config);
+  }
+  return acc.summary;
+}
 
 MonteCarloSummary run_monte_carlo(const SimConfig& config, const SourceFactory& make_source,
                                   std::uint64_t n_runs, std::uint64_t master_seed,

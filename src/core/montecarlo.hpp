@@ -49,6 +49,10 @@ struct MonteCarloSummary {
   std::uint64_t runs = 0;
   std::uint64_t stalled_runs = 0;
 
+  /// Combines two summaries as if their replicates had been accumulated
+  /// into one (deterministic for a fixed merge order).
+  void merge(const MonteCarloSummary& other);
+
   [[nodiscard]] stats::ConfidenceInterval overhead_ci(double confidence = 0.95) const {
     return stats::mean_confidence_interval(overhead, confidence);
   }
@@ -64,5 +68,13 @@ struct MonteCarloSummary {
                                                 const SourceFactory& make_source,
                                                 std::uint64_t n_runs, std::uint64_t master_seed,
                                                 util::ThreadPool* pool = nullptr);
+
+/// Runs replicate indices [begin, end) serially — the shard primitive of
+/// the campaign engine.  Replicate i uses derive_run_seed(master_seed, i),
+/// so a full [0, n) run equals the in-order merge of its shards.
+[[nodiscard]] MonteCarloSummary run_monte_carlo_range(const SimConfig& config,
+                                                      const SourceFactory& make_source,
+                                                      std::uint64_t begin, std::uint64_t end,
+                                                      std::uint64_t master_seed);
 
 }  // namespace repcheck::sim

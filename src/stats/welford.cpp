@@ -36,6 +36,18 @@ void RunningStats::merge(const RunningStats& other) {
   max_ = std::max(max_, other.max_);
 }
 
+MomentState RunningStats::state() const { return {count_, mean_, m2_, min_, max_}; }
+
+RunningStats RunningStats::from_state(const MomentState& s) {
+  RunningStats r;
+  r.count_ = s.count;
+  r.mean_ = s.mean;
+  r.m2_ = s.m2;
+  r.min_ = s.min;
+  r.max_ = s.max;
+  return r;
+}
+
 double RunningStats::mean() const {
   if (count_ == 0) throw std::logic_error("mean of empty accumulator");
   return mean_;

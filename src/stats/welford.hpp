@@ -9,12 +9,28 @@
 
 namespace repcheck::stats {
 
+/// The raw accumulator fields, exposed for serialization (campaign result
+/// cache): count/mean/m2/min/max round-trip a RunningStats exactly.
+struct MomentState {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double m2 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
 class RunningStats {
  public:
   void push(double x);
 
   /// Combines two accumulators as if their samples had been pushed into one.
   void merge(const RunningStats& other);
+
+  /// Snapshot of the raw fields (no emptiness checks — zeros when empty).
+  [[nodiscard]] MomentState state() const;
+
+  /// Rebuilds an accumulator from a state() snapshot, bit-exactly.
+  [[nodiscard]] static RunningStats from_state(const MomentState& s);
 
   [[nodiscard]] std::uint64_t count() const { return count_; }
   [[nodiscard]] double mean() const;

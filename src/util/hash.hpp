@@ -1,0 +1,44 @@
+// FNV-1a hashing for content-addressed cache keys.
+//
+// The campaign result cache addresses records by a hash of the canonical
+// experiment parameters; FNV-1a is stable across platforms and releases
+// (unlike std::hash), cheap, and good enough for the few-thousand-key
+// universes a sweep produces.  content_hash_hex doubles the state to 128
+// bits (two independent FNV streams) so accidental collisions are out of
+// the picture even for very large campaigns.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace repcheck::util {
+
+inline constexpr std::uint64_t kFnv1aOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 0x100000001b3ULL;
+
+/// 64-bit FNV-1a; `state` allows chaining over multiple fragments.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view data,
+                                              std::uint64_t state = kFnv1aOffsetBasis) {
+  for (const char ch : data) {
+    state ^= static_cast<std::uint8_t>(ch);
+    state *= kFnv1aPrime;
+  }
+  return state;
+}
+
+/// 32 lowercase hex chars: fnv1a64(data) concatenated with a second,
+/// independently-seeded FNV-1a stream over the same bytes.
+[[nodiscard]] inline std::string content_hash_hex(std::string_view data) {
+  const std::uint64_t lo = fnv1a64(data);
+  const std::uint64_t hi = fnv1a64(data, kFnv1aOffsetBasis ^ 0x9e3779b97f4a7c15ULL);
+  static constexpr char digits[] = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[15 - i] = digits[(hi >> (4 * i)) & 0xF];
+    out[31 - i] = digits[(lo >> (4 * i)) & 0xF];
+  }
+  return out;
+}
+
+}  // namespace repcheck::util

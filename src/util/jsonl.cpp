@@ -1,0 +1,214 @@
+#include "util/jsonl.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace repcheck::util {
+
+std::string format_double(double v) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  char buf[64];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc{}) return "0";  // cannot happen for a 64-byte buffer
+  return std::string(buf, end);
+}
+
+std::optional<double> parse_double(std::string_view token) {
+  if (token == "nan") return std::nan("");
+  if (token == "inf") return HUGE_VAL;
+  if (token == "-inf") return -HUGE_VAL;
+  double value = 0.0;
+  const auto* begin = token.data();
+  const auto* end = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned char>(ch));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_jsonl(const JsonObject& record) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : record) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(key);
+    out += "\":";
+    if (const auto* d = std::get_if<double>(&value)) {
+      out += format_double(*d);
+    } else if (const auto* s = std::get_if<std::string>(&value)) {
+      out += '"';
+      out += json_escape(*s);
+      out += '"';
+    } else {
+      out += std::get<bool>(value) ? "true" : "false";
+    }
+  }
+  out += '}';
+  return out;
+}
+
+namespace {
+
+/// Minimal single-line parser for the flat records to_jsonl emits.
+class LineParser {
+ public:
+  explicit LineParser(std::string_view line) : text_(line) {}
+
+  std::optional<JsonObject> parse() {
+    skip_ws();
+    if (!consume('{')) return std::nullopt;
+    JsonObject record;
+    skip_ws();
+    if (consume('}')) return done(record);
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!parse_string_into(key)) return std::nullopt;
+      skip_ws();
+      if (!consume(':')) return std::nullopt;
+      skip_ws();
+      JsonScalar value;
+      if (!parse_value_into(value)) return std::nullopt;
+      record.insert_or_assign(std::move(key), std::move(value));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return done(record);
+      return std::nullopt;
+    }
+  }
+
+ private:
+  std::optional<JsonObject> done(JsonObject& record) {
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return std::move(record);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char ch) {
+    if (pos_ < text_.size() && text_[pos_] == ch) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_string_into(std::string& out) {
+    if (!consume('"')) return false;
+    while (pos_ < text_.size()) {
+      const char ch = text_[pos_++];
+      if (ch == '"') return true;
+      if (ch != '\\') {
+        out += ch;
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return false;
+            }
+          }
+          if (code >= 0x80) return false;  // ASCII payloads only
+          out += static_cast<char>(code);
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_value_into(JsonScalar& out) {
+    if (pos_ >= text_.size()) return false;
+    if (text_[pos_] == '"') {
+      std::string s;
+      if (!parse_string_into(s)) return false;
+      out = std::move(s);
+      return true;
+    }
+    // Bare token: number, bool, or the nan/inf extensions.
+    std::size_t end = pos_;
+    while (end < text_.size() && text_[end] != ',' && text_[end] != '}' && text_[end] != ' ' &&
+           text_[end] != '\t') {
+      ++end;
+    }
+    const std::string_view token = text_.substr(pos_, end - pos_);
+    if (token.empty()) return false;
+    pos_ = end;
+    if (token == "true") {
+      out = true;
+      return true;
+    }
+    if (token == "false") {
+      out = false;
+      return true;
+    }
+    if (const auto d = parse_double(token)) {
+      out = *d;
+      return true;
+    }
+    return false;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<JsonObject> parse_jsonl(std::string_view line) {
+  return LineParser(line).parse();
+}
+
+}  // namespace repcheck::util

@@ -1,0 +1,42 @@
+// Flat JSONL records for the campaign result cache and journal.
+//
+// A record is one line: a JSON object whose values are numbers, strings or
+// booleans (no nesting — flatten with dotted keys).  Doubles render in
+// shortest round-trip form (std::to_chars), so a value survives
+// write → parse bit-identically; that property is what makes resumed
+// campaigns merge to the same bits as uninterrupted ones.  Non-finite
+// doubles render as the bare tokens nan/inf/-inf (a deliberate deviation
+// from strict JSON, parsed back by parse_jsonl).
+//
+// parse_jsonl returns nullopt on anything malformed — including the
+// truncated final line a killed writer leaves behind — so loaders can
+// skip damage instead of aborting.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace repcheck::util {
+
+using JsonScalar = std::variant<double, std::string, bool>;
+using JsonObject = std::map<std::string, JsonScalar, std::less<>>;
+
+/// Shortest decimal string that parses back to exactly `v`.
+[[nodiscard]] std::string format_double(double v);
+
+/// Inverse of format_double; nullopt unless the whole token is consumed.
+[[nodiscard]] std::optional<double> parse_double(std::string_view token);
+
+/// JSON string escaping (quotes not included).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// Renders one record as a single line (no trailing newline), keys sorted.
+[[nodiscard]] std::string to_jsonl(const JsonObject& record);
+
+/// Parses one line; nullopt on malformed or truncated input.
+[[nodiscard]] std::optional<JsonObject> parse_jsonl(std::string_view line);
+
+}  // namespace repcheck::util

@@ -1,6 +1,7 @@
 #include "util/table.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -35,7 +36,13 @@ std::string Table::render(const Cell& cell) const {
   if (std::holds_alternative<std::monostate>(cell)) {
     os << "-";
   } else if (const auto* d = std::get_if<double>(&cell)) {
-    os << std::setprecision(precision_) << std::defaultfloat << *d;
+    if (std::isnan(*d)) {
+      // Canonical spelling regardless of sign bit, so broken configs are
+      // grep-able and cannot be mistaken for a negative measurement.
+      os << "nan";
+    } else {
+      os << std::setprecision(precision_) << std::defaultfloat << *d;
+    }
   } else if (const auto* i = std::get_if<std::int64_t>(&cell)) {
     os << *i;
   } else {

@@ -1,0 +1,402 @@
+// Campaign engine: sweep expansion, cache keys, summary round-trips, and
+// the headline guarantees — kill/resume bit-identity, warm-cache reruns
+// that simulate nothing, and thread-count independence.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+
+#include "campaign/cache.hpp"
+#include "campaign/figures.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/simulate.hpp"
+#include "campaign/sweep.hpp"
+#include "core/montecarlo.hpp"
+
+namespace {
+
+using namespace repcheck;
+using campaign::CampaignResult;
+using campaign::CampaignRunner;
+using campaign::ParamValue;
+using campaign::PointEvaluator;
+using campaign::RunnerOptions;
+using campaign::SweepPoint;
+using campaign::SweepSpec;
+
+std::filesystem::path fresh_dir(const std::string& name) {
+  const auto dir = std::filesystem::path(::testing::TempDir()) / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+void expect_stats_identical(const stats::RunningStats& a, const stats::RunningStats& b,
+                            const char* what) {
+  const auto sa = a.state();
+  const auto sb = b.state();
+  EXPECT_EQ(sa.count, sb.count) << what;
+  EXPECT_EQ(sa.mean, sb.mean) << what;
+  EXPECT_EQ(sa.m2, sb.m2) << what;
+  EXPECT_EQ(sa.min, sb.min) << what;
+  EXPECT_EQ(sa.max, sb.max) << what;
+}
+
+void expect_summaries_identical(const sim::MonteCarloSummary& a,
+                                const sim::MonteCarloSummary& b) {
+  expect_stats_identical(a.overhead, b.overhead, "overhead");
+  expect_stats_identical(a.makespan, b.makespan, "makespan");
+  expect_stats_identical(a.useful_time, b.useful_time, "useful_time");
+  expect_stats_identical(a.checkpoints, b.checkpoints, "checkpoints");
+  expect_stats_identical(a.restart_checkpoints, b.restart_checkpoints, "restart_checkpoints");
+  expect_stats_identical(a.fatal_failures, b.fatal_failures, "fatal_failures");
+  expect_stats_identical(a.failures_seen, b.failures_seen, "failures_seen");
+  expect_stats_identical(a.procs_restarted, b.procs_restarted, "procs_restarted");
+  expect_stats_identical(a.dead_at_checkpoint, b.dead_at_checkpoint, "dead_at_checkpoint");
+  expect_stats_identical(a.io_gbytes, b.io_gbytes, "io_gbytes");
+  expect_stats_identical(a.energy_overhead, b.energy_overhead, "energy_overhead");
+  EXPECT_EQ(a.runs, b.runs);
+  EXPECT_EQ(a.stalled_runs, b.stalled_runs);
+}
+
+/// Deterministic fake evaluator: every replicate pushes values derived from
+/// its global index under the point seed, so shard composition is exact.
+PointEvaluator fake_evaluator(std::uint64_t runs) {
+  PointEvaluator ev;
+  ev.runs_for = [runs](const SweepPoint&) { return runs; };
+  ev.simulate = [](const SweepPoint&, std::uint64_t begin, std::uint64_t end,
+                   std::uint64_t seed) {
+    sim::MonteCarloSummary summary;
+    for (std::uint64_t i = begin; i < end; ++i) {
+      const double v =
+          static_cast<double>(sim::derive_run_seed(seed, i)) / 1.8446744073709552e19;
+      summary.overhead.push(v);
+      summary.makespan.push(1000.0 * v);
+      summary.useful_time.push(900.0 * v);
+      ++summary.runs;
+    }
+    return summary;
+  };
+  return ev;
+}
+
+SweepSpec four_point_spec() {
+  SweepSpec spec;
+  spec.name = "kill-test";
+  spec.base.set("procs", std::int64_t{100});
+  spec.axes.push_back({"c", {ParamValue{60.0}, ParamValue{600.0}}});
+  spec.axes.push_back({"strategy", {ParamValue{std::string("restart")},
+                                    ParamValue{std::string("no-restart")}}});
+  return spec;
+}
+
+TEST(Sweep, ExpansionOrderLaterAxesVaryFastest) {
+  const auto points = four_point_spec().expand();
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_EQ(points[0].get_double("c"), 60.0);
+  EXPECT_EQ(points[0].get_string("strategy"), "restart");
+  EXPECT_EQ(points[1].get_double("c"), 60.0);
+  EXPECT_EQ(points[1].get_string("strategy"), "no-restart");
+  EXPECT_EQ(points[2].get_double("c"), 600.0);
+  EXPECT_EQ(points[3].get_string("strategy"), "no-restart");
+  // base parameters survive expansion
+  EXPECT_EQ(points[3].get_int("procs"), 100);
+}
+
+TEST(Sweep, OverlaysMultiplyInnermostAndSetSeveralParams) {
+  SweepSpec spec;
+  spec.axes.push_back({"c", {ParamValue{1.0}, ParamValue{2.0}}});
+  SweepPoint a, b;
+  a.set("strategy", std::string("restart"));
+  a.set("period_rule", std::string("t_opt_rs"));
+  b.set("strategy", std::string("no-restart"));
+  b.set("period_rule", std::string("t_mtti_no"));
+  spec.overlays.push_back({a, b});
+  const auto points = spec.expand();
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_EQ(points[0].get_string("strategy"), "restart");
+  EXPECT_EQ(points[1].get_string("strategy"), "no-restart");
+  EXPECT_EQ(points[1].get_string("period_rule"), "t_mtti_no");
+  EXPECT_EQ(points[2].get_double("c"), 2.0);
+}
+
+TEST(Sweep, CanonicalSortsKeysAndRoundTripsDoubles) {
+  SweepPoint point;
+  point.set("zeta", 0.1);
+  point.set("alpha", std::int64_t{7});
+  point.set("mid", std::string("x"));
+  EXPECT_EQ(point.canonical(), "alpha=7;mid=x;zeta=0.1");
+}
+
+TEST(Sweep, ParseParamTyping) {
+  EXPECT_TRUE(std::holds_alternative<std::int64_t>(campaign::parse_param("42")));
+  EXPECT_TRUE(std::holds_alternative<double>(campaign::parse_param("4.5")));
+  EXPECT_TRUE(std::holds_alternative<double>(campaign::parse_param("1e3")));
+  EXPECT_TRUE(std::holds_alternative<bool>(campaign::parse_param("true")));
+  EXPECT_TRUE(std::holds_alternative<std::string>(campaign::parse_param("restart")));
+  EXPECT_EQ(std::get<std::int64_t>(campaign::parse_param("-3")), -3);
+}
+
+TEST(Sweep, MissingParamThrowsNamingIt) {
+  SweepPoint point;
+  try {
+    (void)point.get_double("mtbf_years");
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    EXPECT_NE(std::string(e.what()).find("mtbf_years"), std::string::npos);
+  }
+}
+
+TEST(Cache, KeysDistinguishPointSeedEngineAndShard) {
+  SweepPoint a, b;
+  a.set("c", 60.0);
+  b.set("c", 600.0);
+  EXPECT_NE(campaign::point_key(a, 42), campaign::point_key(b, 42));
+  EXPECT_NE(campaign::point_key(a, 42), campaign::point_key(a, 43));
+  EXPECT_NE(campaign::point_key(a, 42), campaign::point_key(a, 42, "repcheck-sim-v2"));
+  EXPECT_EQ(campaign::point_key(a, 42), campaign::point_key(a, 42));
+  EXPECT_NE(campaign::shard_key(a, 42, 0, 8), campaign::shard_key(a, 42, 8, 16));
+  EXPECT_NE(campaign::shard_key(a, 42, 0, 8), campaign::point_key(a, 42));
+}
+
+TEST(Cache, PointSeedIsOrderFreeAndSeedDependent) {
+  SweepPoint a, b;
+  a.set("c", 60.0);
+  b.set("c", 600.0);
+  EXPECT_NE(campaign::derive_point_seed(42, a), campaign::derive_point_seed(42, b));
+  EXPECT_NE(campaign::derive_point_seed(42, a), campaign::derive_point_seed(43, a));
+  EXPECT_EQ(campaign::derive_point_seed(42, a), campaign::derive_point_seed(42, a));
+}
+
+TEST(Cache, SummaryJsonRoundTripIsBitExact) {
+  sim::MonteCarloSummary summary;
+  summary.overhead.push(0.123456789123456789);
+  summary.overhead.push(1.0 / 3.0);
+  summary.overhead.push(6.02214076e23);
+  summary.makespan.push(-7.25);
+  summary.runs = 3;
+  summary.stalled_runs = 1;
+  const auto record = campaign::summary_to_json(summary);
+  const auto back = campaign::summary_from_json(record);
+  expect_summaries_identical(summary, back);
+  // and through an actual JSONL line
+  const auto reparsed = util::parse_jsonl(util::to_jsonl(record));
+  ASSERT_TRUE(reparsed.has_value());
+  expect_summaries_identical(summary, campaign::summary_from_json(*reparsed));
+}
+
+TEST(Cache, PersistsAcrossReopenAndSkipsCorruptLines) {
+  const auto dir = fresh_dir("campaign_cache_reopen");
+  sim::MonteCarloSummary summary;
+  summary.overhead.push(0.5);
+  summary.runs = 1;
+  SweepPoint point;
+  point.set("c", 60.0);
+  const auto key = campaign::shard_key(point, 42, 0, 1);
+  {
+    campaign::ResultCache cache(dir);
+    cache.insert(key, point, 7, 0, 1, summary);
+  }
+  {
+    // damage the file: one garbage line and one truncated record
+    std::ofstream out(dir / "cache.jsonl", std::ios::app);
+    out << "not json at all\n";
+    out << "{\"key\":\"truncated";
+  }
+  campaign::ResultCache cache(dir);
+  EXPECT_EQ(cache.size(), 1u);
+  const auto back = cache.lookup(key);
+  ASSERT_TRUE(back.has_value());
+  expect_summaries_identical(summary, *back);
+  EXPECT_FALSE(cache.contains("missing-key"));
+}
+
+TEST(Runner, ShardMergeEqualsFullRangeForRealSimulator) {
+  // run_monte_carlo_range shards compose exactly into the full range.
+  SweepPoint point;
+  point.set("procs", std::int64_t{64});
+  point.set("mtbf_years", 2.0);
+  point.set("c", 60.0);
+  point.set("periods", std::int64_t{5});
+  const std::uint64_t seed = 1234;
+  auto full = campaign::simulate_standard_point(point, 0, 10, seed);
+  sim::MonteCarloSummary merged;
+  merged.merge(campaign::simulate_standard_point(point, 0, 4, seed));
+  merged.merge(campaign::simulate_standard_point(point, 4, 7, seed));
+  merged.merge(campaign::simulate_standard_point(point, 7, 10, seed));
+  EXPECT_EQ(full.runs, merged.runs);
+  EXPECT_EQ(full.overhead.count(), merged.overhead.count());
+  // Means agree to rounding (merge order differs from push order).
+  EXPECT_NEAR(full.overhead.mean(), merged.overhead.mean(), 1e-12);
+  EXPECT_EQ(full.overhead.min(), merged.overhead.min());
+  EXPECT_EQ(full.overhead.max(), merged.overhead.max());
+}
+
+TEST(Runner, KillMidwayThenResumeIsBitIdentical) {
+  const auto spec = four_point_spec();
+  const std::uint64_t kRuns = 8;
+
+  // Reference: uninterrupted campaign in its own cache/journal.
+  const auto ref_dir = fresh_dir("campaign_ref");
+  RunnerOptions ref_options;
+  ref_options.shard_size = 2;
+  ref_options.cache_dir = (ref_dir / "cache").string();
+  ref_options.journal_path = (ref_dir / "run.journal").string();
+  ref_options.progress = false;
+  const auto reference =
+      CampaignRunner(spec, fake_evaluator(kRuns), ref_options).run();
+  ASSERT_EQ(reference.points.size(), 4u);
+  ASSERT_EQ(reference.stats.shards_total, 16u);
+
+  // Victim: same campaign, killed after 5 simulated shards.
+  const auto dir = fresh_dir("campaign_kill");
+  RunnerOptions options;
+  options.shard_size = 2;
+  options.cache_dir = (dir / "cache").string();
+  options.journal_path = (dir / "run.journal").string();
+  options.progress = false;
+
+  auto killer = fake_evaluator(kRuns);
+  auto simulate = killer.simulate;
+  auto calls = std::make_shared<std::atomic<int>>(0);
+  killer.simulate = [simulate, calls](const SweepPoint& p, std::uint64_t b, std::uint64_t e,
+                                      std::uint64_t s) {
+    if (calls->fetch_add(1) >= 5) throw std::runtime_error("killed");
+    return simulate(p, b, e, s);
+  };
+  EXPECT_THROW((void)CampaignRunner(spec, killer, options).run(), std::runtime_error);
+
+  // The kill also tore the journal's last line mid-write.
+  const auto journal = dir / "run.journal";
+  if (std::filesystem::exists(journal) && std::filesystem::file_size(journal) > 10) {
+    std::filesystem::resize_file(journal, std::filesystem::file_size(journal) - 10);
+  }
+
+  // Resume with the intact evaluator.
+  const auto resumed = CampaignRunner(spec, fake_evaluator(kRuns), options).run();
+  ASSERT_EQ(resumed.points.size(), 4u);
+  EXPECT_GE(resumed.stats.shards_cached, 5u - 1u);  // at most one shard lost
+  EXPECT_LT(resumed.stats.shards_simulated, 16u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    expect_summaries_identical(reference.points[i].summary, resumed.points[i].summary);
+  }
+}
+
+TEST(Runner, WarmRerunOfFig03IsAllCacheHits) {
+  const auto dir = fresh_dir("campaign_fig03_warm");
+  campaign::Fig03Params params;
+  params.procs = 200;
+  params.runs = 4;
+  params.periods = 5;
+  RunnerOptions options;
+  options.cache_dir = dir.string();
+  options.progress = false;
+  const auto spec = campaign::fig03_spec(params);
+  const auto cold = CampaignRunner(spec, campaign::standard_evaluator(), options).run();
+  EXPECT_GT(cold.stats.shards_simulated, 0u);
+  const auto warm = CampaignRunner(spec, campaign::standard_evaluator(), options).run();
+  EXPECT_EQ(warm.stats.shards_simulated, 0u);
+  EXPECT_EQ(warm.stats.shards_cached, warm.stats.shards_total);
+  for (std::size_t i = 0; i < cold.points.size(); ++i) {
+    expect_summaries_identical(cold.points[i].summary, warm.points[i].summary);
+  }
+  const auto table = campaign::fig03_render(warm);
+  EXPECT_EQ(table.num_rows(), 8u);
+  EXPECT_EQ(table.num_columns(), 7u);
+}
+
+TEST(Runner, WarmRerunOfFig07IsAllCacheHits) {
+  const auto dir = fresh_dir("campaign_fig07_warm");
+  campaign::Fig07Params params;
+  params.procs = 200;
+  params.runs = 2;
+  params.periods = 5;
+  RunnerOptions options;
+  options.cache_dir = dir.string();
+  options.progress = false;
+  const auto spec = campaign::fig07_spec(params);
+  const auto cold = CampaignRunner(spec, campaign::standard_evaluator(), options).run();
+  EXPECT_GT(cold.stats.shards_simulated, 0u);
+  const auto warm = CampaignRunner(spec, campaign::standard_evaluator(), options).run();
+  EXPECT_EQ(warm.stats.shards_simulated, 0u);
+  EXPECT_EQ(warm.stats.shards_cached, warm.stats.shards_total);
+  const auto table = campaign::fig07_render(warm);
+  EXPECT_EQ(table.num_rows(), 12u);
+}
+
+TEST(Runner, ResultsIndependentOfThreadCount) {
+  const auto spec = four_point_spec();
+  RunnerOptions serial;
+  serial.shard_size = 2;
+  serial.progress = false;
+  const auto a = CampaignRunner(spec, fake_evaluator(8), serial).run();
+
+  util::ThreadPool pool(2);
+  RunnerOptions threaded = serial;
+  threaded.pool = &pool;
+  const auto b = CampaignRunner(spec, fake_evaluator(8), threaded).run();
+
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    expect_summaries_identical(a.points[i].summary, b.points[i].summary);
+  }
+}
+
+TEST(Runner, JournalServesCompletedPointsWithoutCache) {
+  const auto dir = fresh_dir("campaign_journal_only");
+  const auto spec = four_point_spec();
+  RunnerOptions options;
+  options.shard_size = 4;
+  options.journal_path = (dir / "run.journal").string();
+  options.progress = false;  // note: no cache_dir — in-memory cache dies with run 1
+  const auto first = CampaignRunner(spec, fake_evaluator(8), options).run();
+  const auto second = CampaignRunner(spec, fake_evaluator(8), options).run();
+  EXPECT_EQ(second.stats.journal_points, 4u);
+  EXPECT_EQ(second.stats.shards_simulated, 0u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(second.points[i].from_journal);
+    expect_summaries_identical(first.points[i].summary, second.points[i].summary);
+  }
+}
+
+TEST(Runner, FindAndAtLocatePoints) {
+  const auto spec = four_point_spec();
+  RunnerOptions options;
+  options.progress = false;
+  const auto result = CampaignRunner(spec, fake_evaluator(4), options).run();
+  SweepPoint wanted;
+  wanted.set("procs", std::int64_t{100});
+  wanted.set("c", 600.0);
+  wanted.set("strategy", std::string("restart"));
+  EXPECT_NE(result.find(wanted), nullptr);
+  EXPECT_EQ(result.at(wanted).runs, 4u);
+  SweepPoint absent;
+  absent.set("c", 1.0);
+  EXPECT_EQ(result.find(absent), nullptr);
+  EXPECT_THROW((void)result.at(absent), std::out_of_range);
+}
+
+TEST(Simulate, CrashRunsRuleScalesReplicates) {
+  SweepPoint point;
+  point.set("procs", std::int64_t{2000});
+  point.set("mtbf_years", 20.0);
+  point.set("c", 60.0);
+  point.set("runs", std::int64_t{10});
+  EXPECT_EQ(campaign::standard_runs_for(point), 10u);  // default: fixed
+  point.set("runs_rule", std::string("crash300"));
+  const auto scaled = campaign::standard_runs_for(point);
+  EXPECT_GT(scaled, 10u);     // reliable platform => few crashes => more runs
+  EXPECT_LE(scaled, 50000u);  // capped
+}
+
+TEST(Simulate, OverheadMeanIsNanWhenEmpty) {
+  sim::MonteCarloSummary empty;
+  EXPECT_TRUE(std::isnan(campaign::overhead_mean(empty)));
+}
+
+}  // namespace

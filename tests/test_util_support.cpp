@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
+#include "util/hash.hpp"
+#include "util/jsonl.hpp"
 #include "util/log.hpp"
 #include "util/ring_buffer.hpp"
 #include "util/thread_pool.hpp"
@@ -91,6 +96,57 @@ TEST(ThreadPool, ExceptionPropagatesToCaller) {
                std::runtime_error);
 }
 
+TEST(ThreadPool, InlineModeRethrowsFromChunk) {
+  ThreadPool pool(0);  // zero workers: fn runs on the calling thread
+  EXPECT_THROW(
+      pool.parallel_for(4, [](std::size_t, std::size_t) { throw std::domain_error("inline"); }),
+      std::domain_error);
+}
+
+TEST(ThreadPool, ExceptionDoesNotLoseOtherChunks) {
+  ThreadPool pool(3);
+  std::atomic<int> visited{0};
+  try {
+    pool.parallel_for(100, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) visited.fetch_add(1);
+      if (begin == 0) throw std::runtime_error("chunk failed");
+    });
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk failed");
+  }
+  // every chunk still ran to completion before the rethrow
+  EXPECT_EQ(visited.load(), 100);
+}
+
+TEST(ThreadPool, ReusableAfterException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(8, [](std::size_t, std::size_t) { throw std::runtime_error("boom"); }),
+      std::runtime_error);
+  std::atomic<int> sum{0};
+  pool.parallel_for(32, [&](std::size_t begin, std::size_t end) {
+    sum.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(sum.load(), 32);
+}
+
+TEST(ThreadPool, ConcurrentCallersEachCoverTheirRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> a(500), b(700);
+  const auto count_into = [&pool](std::vector<std::atomic<int>>& hits) {
+    pool.parallel_for(hits.size(), [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+  };
+  std::thread ta([&] { count_into(a); });
+  std::thread tb([&] { count_into(b); });
+  ta.join();
+  tb.join();
+  for (const auto& h : a) ASSERT_EQ(h.load(), 1);
+  for (const auto& h : b) ASSERT_EQ(h.load(), 1);
+}
+
 TEST(ThreadPool, ReusableAcrossCalls) {
   ThreadPool pool(2);
   for (int round = 0; round < 5; ++round) {
@@ -100,6 +156,76 @@ TEST(ThreadPool, ReusableAcrossCalls) {
     });
     EXPECT_EQ(sum.load(), 64);
   }
+}
+
+TEST(Jsonl, RecordRoundTripsBitExactly) {
+  repcheck::util::JsonObject record;
+  record["mean"] = 0.1 + 0.2;  // not representable "nicely"
+  record["third"] = 1.0 / 3.0;
+  record["count"] = 3.0;
+  record["name"] = std::string("fig\"03\\ \n");
+  record["ok"] = true;
+  const auto line = repcheck::util::to_jsonl(record);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  const auto back = repcheck::util::parse_jsonl(line);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, record);  // variant equality is bitwise for doubles here
+}
+
+TEST(Jsonl, NonFiniteDoublesSurvive) {
+  repcheck::util::JsonObject record;
+  record["nan"] = std::numeric_limits<double>::quiet_NaN();
+  record["inf"] = std::numeric_limits<double>::infinity();
+  record["ninf"] = -std::numeric_limits<double>::infinity();
+  const auto back = repcheck::util::parse_jsonl(repcheck::util::to_jsonl(record));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(std::isnan(std::get<double>(back->at("nan"))));
+  EXPECT_EQ(std::get<double>(back->at("inf")), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(std::get<double>(back->at("ninf")), -std::numeric_limits<double>::infinity());
+}
+
+TEST(Jsonl, TruncatedAndMalformedLinesAreRejected) {
+  repcheck::util::JsonObject record;
+  record["a"] = 1.0;
+  record["b"] = std::string("text");
+  const auto line = repcheck::util::to_jsonl(record);
+  ASSERT_TRUE(repcheck::util::parse_jsonl(line).has_value());
+  for (std::size_t cut = 1; cut < line.size(); ++cut) {
+    EXPECT_FALSE(repcheck::util::parse_jsonl(line.substr(0, line.size() - cut)).has_value())
+        << "cut=" << cut;
+  }
+  EXPECT_FALSE(repcheck::util::parse_jsonl("").has_value());
+  EXPECT_FALSE(repcheck::util::parse_jsonl("not json").has_value());
+  EXPECT_FALSE(repcheck::util::parse_jsonl(line + "garbage").has_value());
+  EXPECT_FALSE(repcheck::util::parse_jsonl("[1,2]").has_value());
+}
+
+TEST(Jsonl, FormatDoubleIsShortestRoundTrip) {
+  for (const double v : {0.1, 1.0 / 3.0, 6.02214076e23, -0.0, 42.0}) {
+    const auto text = repcheck::util::format_double(v);
+    const auto back = repcheck::util::parse_double(text);
+    ASSERT_TRUE(back.has_value()) << text;
+    EXPECT_EQ(*back, v) << text;
+  }
+  EXPECT_EQ(repcheck::util::format_double(0.1), "0.1");
+  EXPECT_FALSE(repcheck::util::parse_double("1.5x").has_value());
+}
+
+TEST(Hash, Fnv1a64MatchesReferenceVectors) {
+  // Published FNV-1a test vectors: stability across platforms/releases is
+  // the property the cache depends on.
+  EXPECT_EQ(repcheck::util::fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(repcheck::util::fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(repcheck::util::fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Hash, ContentHashHexIs128BitsAndChaining) {
+  const auto h = repcheck::util::content_hash_hex("c=60;procs=200000");
+  EXPECT_EQ(h.size(), 32u);
+  EXPECT_NE(h, repcheck::util::content_hash_hex("c=61;procs=200000"));
+  // chaining over fragments == hashing the concatenation
+  const auto partial = repcheck::util::fnv1a64("abc");
+  EXPECT_EQ(repcheck::util::fnv1a64("def", partial), repcheck::util::fnv1a64("abcdef"));
 }
 
 TEST(Log, ParseLevelRoundTrip) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -72,6 +73,24 @@ TEST(Table, PrintDispatchesOnCsvFlag) {
   t.print(csv, true);
   EXPECT_NE(aligned.str(), csv.str());  // aligned output pads "b" to width 1+
   EXPECT_EQ(csv.str(), "alpha,b\n1,2\n");
+}
+
+TEST(Table, NanCellsRenderAsNanToken) {
+  Table t({"c", "overhead"});
+  t.add_numeric_row({60.0, std::numeric_limits<double>::quiet_NaN()});
+  std::ostringstream csv, aligned;
+  t.print_csv(csv);
+  EXPECT_EQ(csv.str(), "c,overhead\n60,nan\n");
+  t.print_aligned(aligned);
+  EXPECT_NE(aligned.str().find("nan"), std::string::npos);
+}
+
+TEST(Table, NegativeNanStillRendersAsNan) {
+  Table t({"v"});
+  t.add_numeric_row({-std::numeric_limits<double>::quiet_NaN()});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "v\nnan\n");  // canonical spelling regardless of sign bit
 }
 
 TEST(Table, AtAccessesCells) {
