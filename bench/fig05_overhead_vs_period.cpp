@@ -14,6 +14,9 @@
 #include <utility>
 #include <vector>
 
+#include "oracle/recorder.hpp"
+#include "oracle/trace_io.hpp"
+
 int main(int argc, char** argv) {
   using namespace repcheck;
   util::FlagSet flags("fig05_overhead_vs_period",
@@ -21,6 +24,10 @@ int main(int argc, char** argv) {
   const auto common = bench::CommonFlags::add_to(flags, /*default_runs=*/25);
   const auto* n_flag = flags.add_int64("procs", 200000, "platform size (2b)");
   const auto* mtbf_years = flags.add_double("mtbf-years", 5.0, "individual MTBF");
+  const auto* trace_dump = flags.add_string(
+      "trace-dump", "",
+      "record one Restart(T_opt) run at C=60 and write its event trace "
+      "(repcheck-trace v1, replayable with the oracle) to this path");
 
   return bench::run_bench(flags, argc, argv, common.csv, [&] {
     const auto n = static_cast<std::uint64_t>(*n_flag);
@@ -29,6 +36,22 @@ int main(int argc, char** argv) {
     const auto runs = static_cast<std::uint64_t>(*common.runs);
     const auto periods = static_cast<std::uint64_t>(*common.periods);
     const auto seed = static_cast<std::uint64_t>(*common.seed);
+
+    if (!trace_dump->empty()) {
+      // One fully-recorded Restart(T_opt) replicate, dumped for offline
+      // replay:  build/bench/fig05_overhead_vs_period --trace-dump f.txt
+      // then inspect f.txt or run it through oracle::check_trace.
+      const double c = 60.0;
+      const double t = model::t_opt_rs(c, b, mu);
+      const auto config = bench::replicated_config(n, c, 1.0, sim::StrategySpec::restart(t),
+                                                   periods);
+      const sim::PeriodicEngine engine(config.platform, config.cost, config.strategy);
+      const auto source = bench::exponential_source(n, mu)();
+      const auto trace = oracle::record_run(engine, *source, config.spec, seed);
+      oracle::write_trace_file(trace, *trace_dump);
+      std::fprintf(stderr, "[fig05] wrote %zu-event trace to %s\n", trace.events.size(),
+                   trace_dump->c_str());
+    }
 
     util::Table table({"c_s", "t_s", "sim_rs_cr1", "sim_rs_cr15", "sim_rs_cr2", "model_rs_cr1",
                        "sim_no"});

@@ -12,6 +12,7 @@
 #include "math/beta.hpp"
 #include "math/lambert_w.hpp"
 #include "math/roots.hpp"
+#include "oracle/recorder.hpp"
 
 namespace {
 
@@ -104,6 +105,45 @@ void BM_SimulateHundredPeriodsPaperScale(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimulateHundredPeriodsPaperScale);
+
+// The observer hook's zero-cost claim: with no observer attached every
+// emission site is one null check, so these two must track each other (the
+// recorder variant additionally pays for event storage).  Compare the pair
+// after touching the engine's inner loop.
+void BM_EngineRunNoObserver(benchmark::State& state) {
+  const std::uint64_t n = 2000;
+  const double mu = model::years(5.0);
+  const sim::PeriodicEngine engine(platform::Platform::fully_replicated(n),
+                                   platform::CostModel::uniform(60.0),
+                                   sim::StrategySpec::restart(model::t_opt_rs(60.0, n / 2, mu)));
+  failures::ExponentialFailureSource source(n, mu);
+  sim::RunSpec spec;
+  spec.n_periods = 100;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(source, spec, ++seed));
+  }
+}
+BENCHMARK(BM_EngineRunNoObserver);
+
+void BM_EngineRunTraceRecorder(benchmark::State& state) {
+  const std::uint64_t n = 2000;
+  const double mu = model::years(5.0);
+  const sim::PeriodicEngine engine(platform::Platform::fully_replicated(n),
+                                   platform::CostModel::uniform(60.0),
+                                   sim::StrategySpec::restart(model::t_opt_rs(60.0, n / 2, mu)));
+  failures::ExponentialFailureSource source(n, mu);
+  sim::RunSpec spec;
+  spec.n_periods = 100;
+  oracle::TraceRecorder recorder;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    recorder.clear();
+    benchmark::DoNotOptimize(engine.run(source, spec, ++seed, &recorder));
+    benchmark::DoNotOptimize(recorder.events().size());
+  }
+}
+BENCHMARK(BM_EngineRunTraceRecorder);
 
 void BM_NFailClosedForm(benchmark::State& state) {
   std::uint64_t b = 100000;

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Build and run the labeled test suite under both CMake presets.
+#
+# Usage:
+#   scripts/run_tests.sh [label] [preset]
+#
+#   label    CTest label to run: unit | oracle | stat | slow | all
+#            (default: all)
+#   preset   release | asan-ubsan | all   (default: all)
+#
+# Examples:
+#   scripts/run_tests.sh                 # everything, both presets
+#   scripts/run_tests.sh oracle          # oracle tests, both presets
+#   scripts/run_tests.sh stat release    # statistical tests, release only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+label="${1:-all}"
+preset_arg="${2:-all}"
+
+case "$preset_arg" in
+  all) presets=(release asan-ubsan) ;;
+  release|asan-ubsan) presets=("$preset_arg") ;;
+  *) echo "unknown preset '$preset_arg' (release | asan-ubsan | all)" >&2; exit 2 ;;
+esac
+
+ctest_args=()
+if [[ "$label" != "all" ]]; then
+  ctest_args+=(-L "$label")
+fi
+
+for preset in "${presets[@]}"; do
+  echo "==> configure + build [$preset]"
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$(nproc)"
+  echo "==> ctest [$preset] label=$label"
+  ctest --preset "$preset" ${ctest_args[@]+"${ctest_args[@]}"}
+done
+echo "==> all test runs passed"

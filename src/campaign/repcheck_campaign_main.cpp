@@ -79,11 +79,14 @@ util::Table grid_render(const SweepSpec& spec, const campaign::CampaignResult& r
       row.push_back(value != nullptr ? to_cell(*value) : util::Cell{});
     }
     const auto ci = outcome.summary.overhead_ci();
-    row.push_back(campaign::overhead_mean(outcome.summary));
-    row.push_back(ci.lo);
-    row.push_back(ci.hi);
-    row.push_back(static_cast<std::int64_t>(outcome.summary.runs));
-    row.push_back(static_cast<std::int64_t>(outcome.summary.stalled_runs));
+    // emplace_back: construct the Cell variant in place.  push_back's
+    // converting temporary trips a GCC-12 maybe-uninitialized false
+    // positive under the sanitizer preset.
+    row.emplace_back(campaign::overhead_mean(outcome.summary));
+    row.emplace_back(ci.lo);
+    row.emplace_back(ci.hi);
+    row.emplace_back(static_cast<std::int64_t>(outcome.summary.runs));
+    row.emplace_back(static_cast<std::int64_t>(outcome.summary.stalled_runs));
     table.add_row(std::move(row));
   }
   return table;

@@ -59,7 +59,7 @@ PeriodicEngine::PeriodicEngine(platform::Platform platform, platform::CostModel 
 }
 
 RunResult PeriodicEngine::run(failures::FailureSource& source, const RunSpec& spec,
-                              std::uint64_t run_seed) const {
+                              std::uint64_t run_seed, RunObserver* observer) const {
   if (source.n_procs() != platform_.n_procs()) {
     throw std::invalid_argument("failure source and platform disagree on processor count");
   }
@@ -76,6 +76,15 @@ RunResult PeriodicEngine::run(failures::FailureSource& source, const RunSpec& sp
   RunResult result;
   double now = 0.0;
   double last_all_alive = 0.0;  // last instant every processor was alive
+
+  const auto emit = [observer](TraceEventKind kind, double time, double value = 0.0,
+                               std::uint64_t a = 0, std::uint64_t b = 0) {
+    if (observer != nullptr) observer->on_event(TraceEvent{kind, time, value, a, b});
+  };
+  emit(TraceEventKind::kRunStart, 0.0,
+       spec.mode == RunSpec::Mode::kFixedWork ? spec.total_work_time
+                                              : static_cast<double>(spec.n_periods),
+       static_cast<std::uint64_t>(spec.mode), platform_.n_procs());
 
   // Dedicated stream for checkpoint-duration jitter, decoupled from the
   // failure stream so enabling jitter does not perturb the failure times.
@@ -98,10 +107,13 @@ RunResult PeriodicEngine::run(failures::FailureSource& source, const RunSpec& sp
     repairs.clear();  // application crash: global redeployment, pool reset
     result.time_down += cost_.downtime;
     result.time_recovering += cost_.recovery;
+    emit(TraceEventKind::kDowntime, fail_time, cost_.downtime);
+    emit(TraceEventKind::kRecovery, fail_time, cost_.recovery);
     const double end = fail_time + cost_.downtime + cost_.recovery;
     while (cursor.peek_time() < end) {
-      cursor.take();
+      const auto f = cursor.take();
       ++result.n_failures;
+      emit(TraceEventKind::kFailureStrike, f.time, 0.0, f.proc, kEffectAbsorbed);
     }
     state.restart_all();
     ++result.n_fatal;
@@ -121,6 +133,7 @@ RunResult PeriodicEngine::run(failures::FailureSource& source, const RunSpec& sp
       if (attempt >= spec.max_attempts_per_period || result.n_failures >= spec.max_failures) {
         result.progress_stalled = true;
         result.makespan = now;
+        emit(TraceEventKind::kRunEnd, now, 0.0, 1);
         return result;
       }
 
@@ -130,6 +143,7 @@ RunResult PeriodicEngine::run(failures::FailureSource& source, const RunSpec& sp
       if (spec.mode == RunSpec::Mode::kFixedWork) {
         t = std::min(t, spec.total_work_time - result.useful_time);
       }
+      emit(TraceEventKind::kPeriodStart, now, t, attempt);
 
       // --- work segment [now, now + t) ---
       const double work_start = now;
@@ -138,8 +152,12 @@ RunResult PeriodicEngine::run(failures::FailureSource& source, const RunSpec& sp
       while (cursor.peek_time() < work_end) {
         const auto f = cursor.take();
         ++result.n_failures;
-        if (state.record_failure(f.proc) == platform::FailureEffect::kFatal) {
+        const auto effect = state.record_failure(f.proc);
+        emit(TraceEventKind::kFailureStrike, f.time, 0.0, f.proc,
+             static_cast<std::uint64_t>(effect));
+        if (effect == platform::FailureEffect::kFatal) {
           result.time_working += f.time - work_start;  // wasted progress
+          emit(TraceEventKind::kFatalRollback, f.time, f.time - work_start, 0, 0);
           recover(f.time);
           fatal = true;
           break;
@@ -162,13 +180,18 @@ RunResult PeriodicEngine::run(failures::FailureSource& source, const RunSpec& sp
       const bool charge_restart = needs_restart || spec.charge_restart_cost_always;
       const double ckpt_cost = stretched(cost_.checkpoint_cost(charge_restart));
       const double ckpt_end = work_end + ckpt_cost;
+      emit(TraceEventKind::kCheckpointBegin, work_end, ckpt_cost, to_revive,
+           charge_restart ? 1 : 0);
       if (needs_restart) {
         result.n_procs_restarted += to_revive;
         if (to_revive == state.dead_count()) {
           state.restart_all();  // revived as of the checkpoint start
         } else {
           const auto dead = state.dead_processors();
-          for (std::uint64_t i = 0; i < to_revive; ++i) state.revive(dead[i]);
+          for (std::uint64_t i = 0; i < to_revive; ++i) {
+            state.revive(dead[i]);
+            emit(TraceEventKind::kRevive, work_end, 0.0, dead[i]);
+          }
         }
         if (spares_) {
           for (std::uint64_t i = 0; i < to_revive; ++i) {
@@ -180,10 +203,14 @@ RunResult PeriodicEngine::run(failures::FailureSource& source, const RunSpec& sp
       while (cursor.peek_time() < ckpt_end) {
         const auto f = cursor.take();
         ++result.n_failures;
-        if (state.record_failure(f.proc) == platform::FailureEffect::kFatal) {
+        const auto effect = state.record_failure(f.proc);
+        emit(TraceEventKind::kFailureStrike, f.time, 0.0, f.proc,
+             static_cast<std::uint64_t>(effect));
+        if (effect == platform::FailureEffect::kFatal) {
           // The checkpoint never completed: the whole period re-executes.
           result.time_working += t;
           result.time_checkpointing += f.time - work_end;
+          emit(TraceEventKind::kFatalRollback, f.time, t, 0, 1);
           recover(f.time);
           fatal = true;
           break;
@@ -199,12 +226,14 @@ RunResult PeriodicEngine::run(failures::FailureSource& source, const RunSpec& sp
       ++result.n_checkpoints;
       if (needs_restart) ++result.n_restart_checkpoints;
       ++result.completed_periods;
+      emit(TraceEventKind::kCheckpointEnd, ckpt_end, 0.0, dead_at_checkpoint);
       now = ckpt_end;
       period_done = true;
     }
   }
 
   result.makespan = now;
+  emit(TraceEventKind::kRunEnd, now);
   return result;
 }
 

@@ -25,6 +25,7 @@
 #include <memory>
 #include <optional>
 
+#include "core/observer.hpp"
 #include "core/result.hpp"
 #include "core/strategy.hpp"
 #include "failures/source.hpp"
@@ -46,13 +47,16 @@ class PeriodicEngine {
                  std::optional<platform::SparePool> spares = std::nullopt);
 
   /// Simulates one run; deterministic given (source state after
-  /// reset(run_seed), spec).
+  /// reset(run_seed), spec).  An attached observer receives every
+  /// TraceEvent in engine order (see core/observer.hpp); nullptr (the
+  /// default) records nothing and costs nothing.
   [[nodiscard]] RunResult run(failures::FailureSource& source, const RunSpec& spec,
-                              std::uint64_t run_seed) const;
+                              std::uint64_t run_seed, RunObserver* observer = nullptr) const;
 
   [[nodiscard]] const platform::Platform& platform() const { return platform_; }
   [[nodiscard]] const platform::CostModel& cost() const { return cost_; }
   [[nodiscard]] const StrategySpec& strategy() const { return strategy_; }
+  [[nodiscard]] const std::optional<platform::SparePool>& spares() const { return spares_; }
 
  private:
   platform::Platform platform_;

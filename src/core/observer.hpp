@@ -1,0 +1,75 @@
+// Opt-in event-trace hook for PeriodicEngine::run.
+//
+// When an observer is attached the engine emits one TraceEvent per
+// semantic step — period start, failure strike, fatal rollback, downtime,
+// recovery, checkpoint begin/end, processor revival — in the exact order
+// the engine processes them.  A trace is therefore a complete replayable
+// record of a run: src/oracle/ rebuilds the RunResult from it and checks
+// conservation laws event by event.
+//
+// With no observer attached (the default) the hook is a single null check
+// per emission site; the micro benchmark pair BM_EngineRunNoObserver /
+// BM_EngineRunTraceRecorder tracks that this stays free.
+//
+// Event payload conventions (`time` is absolute simulation seconds):
+//
+//   kRunStart         value = target (n_periods or total_work_time),
+//                     a = RunSpec mode (0 fixed-periods, 1 fixed-work),
+//                     b = platform processor count
+//   kPeriodStart      value = work-segment length t, a = attempt index
+//                     within the current period (0 on first try)
+//   kFailureStrike    a = processor hit, b = effect (0 wasted, 1 degraded,
+//                     2 fatal, 3 absorbed during a downtime+recovery window)
+//   kFatalRollback    value = work-segment seconds charged to time_working
+//                     by this rollback, b = phase (0 = struck during work,
+//                     1 = struck during the checkpoint)
+//   kDowntime         value = D; stamped at the fatal failure time
+//   kRecovery         value = R; stamped at the fatal failure time
+//   kCheckpointBegin  value = checkpoint cost (jitter included),
+//                     a = processors to revive, b = 1 iff C^R was charged
+//   kRevive           a = processor revived (emitted only for spare-limited
+//                     partial revivals; a full revival is implied by
+//                     kCheckpointBegin.a equalling the dead count)
+//   kCheckpointEnd    a = dead processors observed when the checkpoint
+//                     began (before revival)
+//   kRunEnd           time = makespan, a = 1 iff a runaway guard tripped
+#pragma once
+
+#include <cstdint>
+
+namespace repcheck::sim {
+
+enum class TraceEventKind : std::uint8_t {
+  kRunStart = 0,
+  kPeriodStart,
+  kFailureStrike,
+  kFatalRollback,
+  kDowntime,
+  kRecovery,
+  kCheckpointBegin,
+  kRevive,
+  kCheckpointEnd,
+  kRunEnd,
+};
+
+/// kFailureStrike effect codes 0-2 mirror platform::FailureEffect; 3 marks
+/// a failure consumed without effect inside a downtime+recovery window.
+inline constexpr std::uint64_t kEffectAbsorbed = 3;
+
+struct TraceEvent {
+  TraceEventKind kind = TraceEventKind::kRunStart;
+  double time = 0.0;
+  double value = 0.0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+/// Receives every TraceEvent of a run, in engine order.  Implementations
+/// must not throw: the engine treats emission as infallible.
+class RunObserver {
+ public:
+  virtual ~RunObserver() = default;
+  virtual void on_event(const TraceEvent& event) = 0;
+};
+
+}  // namespace repcheck::sim

@@ -22,4 +22,58 @@ double binomial(std::uint64_t n, std::uint64_t k) {
   return std::exp(log_binomial(n, k));
 }
 
+namespace {
+
+/// γ(a, x)/Γ(a) by its power series; converges fast for x < a + 1.
+double gamma_p_series(double a, double x) {
+  double ap = a;
+  double term = 1.0 / a;
+  double sum = term;
+  for (int i = 0; i < 1000; ++i) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::abs(term) < std::abs(sum) * 1e-16) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - log_gamma(a));
+}
+
+/// Γ(a, x)/Γ(a) by the Lentz continued fraction; for x ≥ a + 1.
+double gamma_q_continued_fraction(double a, double x) {
+  constexpr double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 1000; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < 1e-16) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - log_gamma(a));
+}
+
+}  // namespace
+
+double regularized_gamma_p(double a, double x) {
+  if (!(a > 0.0)) throw std::domain_error("regularized_gamma_p requires a > 0");
+  if (!(x >= 0.0)) throw std::domain_error("regularized_gamma_p requires x >= 0");
+  if (x == 0.0) return 0.0;
+  return x < a + 1.0 ? gamma_p_series(a, x) : 1.0 - gamma_q_continued_fraction(a, x);
+}
+
+double regularized_gamma_q(double a, double x) {
+  if (!(a > 0.0)) throw std::domain_error("regularized_gamma_q requires a > 0");
+  if (!(x >= 0.0)) throw std::domain_error("regularized_gamma_q requires x >= 0");
+  if (x == 0.0) return 1.0;
+  return x < a + 1.0 ? 1.0 - gamma_p_series(a, x) : gamma_q_continued_fraction(a, x);
+}
+
 }  // namespace repcheck::math

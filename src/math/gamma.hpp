@@ -22,4 +22,12 @@ namespace repcheck::math {
 /// log_binomial for model code).
 [[nodiscard]] double binomial(std::uint64_t n, std::uint64_t k);
 
+/// Regularized lower incomplete gamma P(a, x) = γ(a, x)/Γ(a), a > 0,
+/// x ≥ 0 (series for x < a+1, Lentz continued fraction otherwise; the
+/// chi-square CDF of the statistical oracle is P(k/2, x/2)).
+[[nodiscard]] double regularized_gamma_p(double a, double x);
+
+/// Upper tail Q(a, x) = 1 − P(a, x).
+[[nodiscard]] double regularized_gamma_q(double a, double x);
+
 }  // namespace repcheck::math

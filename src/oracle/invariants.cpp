@@ -1,0 +1,457 @@
+#include "oracle/invariants.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <deque>
+
+#include "platform/platform.hpp"
+#include "platform/state.hpp"
+#include "util/jsonl.hpp"
+
+namespace repcheck::oracle {
+
+namespace {
+
+using sim::TraceEvent;
+using sim::TraceEventKind;
+
+/// The engine's run() control flow as a state machine over trace events.
+enum class Phase {
+  kExpectRunStart,
+  kIdle,             ///< between periods: period-start or run-end
+  kWork,             ///< inside a work segment
+  kExpectRollback,   ///< fatal strike seen, fatal-rollback must follow
+  kExpectDowntime,
+  kExpectRecovery,
+  kAbsorb,           ///< inside the downtime+recovery window
+  kRevive,           ///< partial revival: revive events must follow
+  kCheckpoint,       ///< inside the checkpoint window
+  kDone,
+};
+
+class Replayer {
+ public:
+  explicit Replayer(const Trace& trace)
+      : trace_(trace),
+        platform_(trace.header.n_procs, trace.header.n_groups, trace.header.degree),
+        state_(platform_) {}
+
+  InvariantReport run() {
+    for (index_ = 0; index_ < trace_.events.size() && !halted_; ++index_) {
+      step(trace_.events[index_]);
+    }
+    if (!halted_ && phase_ != Phase::kDone) {
+      fail(trace_.events.size(), "trace truncated: no run-end event");
+    }
+    if (phase_ == Phase::kDone) finish();
+    report_.replayed = result_;
+    return std::move(report_);
+  }
+
+ private:
+  void fail(std::size_t index, std::string message) {
+    if (report_.violations.size() < kMaxViolations) {
+      report_.violations.push_back({index, std::move(message)});
+    }
+  }
+
+  /// A violation after which the replayed state can no longer be trusted.
+  void halt(std::size_t index, std::string message) {
+    fail(index, std::move(message) + " (replay halted)");
+    halted_ = true;
+  }
+
+  void expect_exact(double got, double want, const char* what) {
+    if (got != want) {
+      fail(index_, std::string(what) + ": got " + util::format_double(got) + ", want " +
+                       util::format_double(want));
+    }
+  }
+
+  void step(const TraceEvent& e) {
+    switch (e.kind) {
+      case TraceEventKind::kRunStart: return on_run_start(e);
+      case TraceEventKind::kPeriodStart: return on_period_start(e);
+      case TraceEventKind::kFailureStrike: return on_strike(e);
+      case TraceEventKind::kFatalRollback: return on_rollback(e);
+      case TraceEventKind::kDowntime: return on_downtime(e);
+      case TraceEventKind::kRecovery: return on_recovery(e);
+      case TraceEventKind::kCheckpointBegin: return on_checkpoint_begin(e);
+      case TraceEventKind::kRevive: return on_revive(e);
+      case TraceEventKind::kCheckpointEnd: return on_checkpoint_end(e);
+      case TraceEventKind::kRunEnd: return on_run_end(e);
+    }
+    halt(index_, "unknown event kind");
+  }
+
+  void on_run_start(const TraceEvent& e) {
+    if (phase_ != Phase::kExpectRunStart) {
+      return halt(index_, "run-start not at the head of the trace");
+    }
+    expect_exact(e.time, 0.0, "run-start time");
+    if (e.b != trace_.header.n_procs) fail(index_, "run-start processor count != header");
+    const bool fixed_work = e.a == 1;
+    if (fixed_work != trace_.header.fixed_work) fail(index_, "run-start mode != header");
+    const double target = trace_.header.fixed_work
+                              ? trace_.header.total_work_time
+                              : static_cast<double>(trace_.header.n_periods);
+    expect_exact(e.value, target, "run-start target");
+    phase_ = Phase::kIdle;
+  }
+
+  void on_period_start(const TraceEvent& e) {
+    if (phase_ != Phase::kIdle && phase_ != Phase::kAbsorb) {
+      return halt(index_, std::string("period-start in the middle of a ") +
+                              (phase_ == Phase::kWork ? "work segment" : "checkpoint/recovery"));
+    }
+    const std::uint64_t expected_attempt = phase_ == Phase::kAbsorb ? attempt_ + 1 : 0;
+    if (e.a != expected_attempt) {
+      fail(index_, "attempt index " + std::to_string(e.a) + ", expected " +
+                       std::to_string(expected_attempt));
+    }
+    attempt_ = e.a;
+    expect_exact(e.time, now_, "period-start time (segment continuity)");
+    period_start_ = e.time;
+    period_len_ = e.value;
+    if (!(period_len_ > 0.0)) fail(index_, "non-positive work-segment length");
+    phase_ = Phase::kWork;
+  }
+
+  void on_strike(const TraceEvent& e) {
+    if (e.time < last_strike_time_) {
+      halt(index_, "failure times decreased: " + util::format_double(e.time) + " after " +
+                       util::format_double(last_strike_time_));
+      return;
+    }
+    last_strike_time_ = e.time;
+    ++result_.n_failures;
+
+    if (phase_ == Phase::kAbsorb) {
+      if (e.b != sim::kEffectAbsorbed) {
+        return halt(index_, "strike inside a recovery window not marked absorbed");
+      }
+      if (!(e.time < absorb_end_)) fail(index_, "absorbed strike outside the recovery window");
+      return;
+    }
+    if (e.b == sim::kEffectAbsorbed) {
+      return halt(index_, "absorbed strike outside a recovery window");
+    }
+    if (phase_ != Phase::kWork && phase_ != Phase::kCheckpoint) {
+      return halt(index_, std::string("failure strike while expecting ") + phase_hint());
+    }
+    const bool in_work = phase_ == Phase::kWork;
+    const double window_start = in_work ? period_start_ : ckpt_begin_;
+    const double window_end =
+        in_work ? period_start_ + period_len_ : ckpt_begin_ + ckpt_cost_;
+    if (e.time < window_start || !(e.time < window_end)) {
+      fail(index_, std::string("strike outside its ") + (in_work ? "work" : "checkpoint") +
+                       " window [" + util::format_double(window_start) + ", " +
+                       util::format_double(window_end) + ")");
+    }
+    if (e.a >= trace_.header.n_procs) {
+      return halt(index_, "strike on processor " + std::to_string(e.a) + " out of range");
+    }
+    const auto effect = state_.record_failure(e.a);
+    if (static_cast<std::uint64_t>(effect) != e.b) {
+      return halt(index_, "effect mismatch on processor " + std::to_string(e.a) +
+                              ": trace says " + std::to_string(e.b) + ", replay says " +
+                              std::to_string(static_cast<std::uint64_t>(effect)));
+    }
+    if (effect == platform::FailureEffect::kFatal) {
+      fatal_time_ = e.time;
+      fatal_in_checkpoint_ = !in_work;
+      phase_ = Phase::kExpectRollback;
+    }
+  }
+
+  void on_rollback(const TraceEvent& e) {
+    if (phase_ != Phase::kExpectRollback) {
+      return halt(index_, "fatal-rollback without a preceding fatal strike");
+    }
+    expect_exact(e.time, fatal_time_, "fatal-rollback time");
+    if ((e.b == 1) != fatal_in_checkpoint_) fail(index_, "fatal-rollback phase flag mismatch");
+    if (fatal_in_checkpoint_) {
+      expect_exact(e.value, period_len_, "checkpoint-phase rollback work charge");
+      result_.time_working += period_len_;
+      result_.time_checkpointing += fatal_time_ - ckpt_begin_;
+    } else {
+      expect_exact(e.value, fatal_time_ - period_start_, "work-phase rollback work charge");
+      result_.time_working += fatal_time_ - period_start_;
+    }
+    phase_ = Phase::kExpectDowntime;
+  }
+
+  void on_downtime(const TraceEvent& e) {
+    if (phase_ != Phase::kExpectDowntime) {
+      return halt(index_, "downtime event outside a rollback");
+    }
+    expect_exact(e.time, fatal_time_, "downtime start");
+    expect_exact(e.value, trace_.header.downtime, "downtime duration");
+    result_.time_down += e.value;
+    phase_ = Phase::kExpectRecovery;
+  }
+
+  void on_recovery(const TraceEvent& e) {
+    if (phase_ != Phase::kExpectRecovery) {
+      return halt(index_, "recovery event without a preceding downtime");
+    }
+    expect_exact(e.time, fatal_time_, "recovery start");
+    expect_exact(e.value, trace_.header.recovery, "recovery duration");
+    result_.time_recovering += e.value;
+    ++result_.n_fatal;
+    // Mirrors the engine: end = fail_time + D + R, whole platform revived,
+    // spare pool reset by the global redeployment.
+    now_ = fatal_time_ + trace_.header.downtime + trace_.header.recovery;
+    absorb_end_ = now_;
+    state_.restart_all();
+    repairs_.clear();
+    phase_ = Phase::kAbsorb;
+  }
+
+  void on_checkpoint_begin(const TraceEvent& e) {
+    if (phase_ != Phase::kWork) {
+      return halt(index_, "checkpoint-begin outside a work segment");
+    }
+    expect_exact(e.time, period_start_ + period_len_, "checkpoint-begin time");
+    ckpt_begin_ = e.time;
+    ckpt_cost_ = e.value;
+    to_revive_ = e.a;
+    pending_dead_ = state_.dead_count();
+    if (!(ckpt_cost_ > 0.0)) fail(index_, "non-positive checkpoint cost");
+
+    if (to_revive_ > pending_dead_) {
+      halt(index_, "checkpoint revives " + std::to_string(to_revive_) + " of only " +
+                       std::to_string(pending_dead_) + " dead processors");
+      return;
+    }
+    if (trace_.header.has_spares) {
+      while (!repairs_.empty() && repairs_.front() <= e.time) repairs_.pop_front();
+      if (repairs_.size() > trace_.header.spare_capacity) {
+        return halt(index_, "spare-pool balance negative: " + std::to_string(repairs_.size()) +
+                                " in repair exceeds capacity " +
+                                std::to_string(trace_.header.spare_capacity));
+      }
+      const std::uint64_t available = trace_.header.spare_capacity - repairs_.size();
+      if (to_revive_ > available) {
+        fail(index_, "revival of " + std::to_string(to_revive_) + " exceeds the " +
+                         std::to_string(available) + " available spares");
+      } else if (to_revive_ > 0 && to_revive_ < pending_dead_ && to_revive_ != available) {
+        fail(index_, "partial revival is not spare-pool-clamped: revived " +
+                         std::to_string(to_revive_) + " with " + std::to_string(available) +
+                         " spares and " + std::to_string(pending_dead_) + " dead");
+      }
+    } else if (to_revive_ != 0 && to_revive_ != pending_dead_) {
+      fail(index_, "partial revival without a spare pool");
+    }
+
+    const bool charged_restart = e.b == 1;
+    const bool expect_charge = to_revive_ > 0 || trace_.header.charge_restart_cost_always;
+    if (charged_restart != expect_charge) {
+      fail(index_, charged_restart ? "C^R charged for a plain checkpoint"
+                                   : "restart checkpoint charged only C");
+    }
+    if (trace_.header.jitter_sigma == 0.0) {
+      expect_exact(e.value,
+                   charged_restart ? trace_.header.restart_checkpoint
+                                   : trace_.header.checkpoint,
+                   "checkpoint cost");
+    }
+
+    if (to_revive_ > 0) {
+      result_.n_procs_restarted += to_revive_;
+      if (trace_.header.has_spares) {
+        for (std::uint64_t i = 0; i < to_revive_; ++i) {
+          repairs_.push_back(e.time + trace_.header.spare_repair_time);
+        }
+      }
+      if (to_revive_ == pending_dead_) {
+        state_.restart_all();  // full revival: implied, no revive events
+        phase_ = Phase::kCheckpoint;
+      } else {
+        revives_seen_ = 0;
+        phase_ = Phase::kRevive;
+      }
+    } else {
+      phase_ = Phase::kCheckpoint;
+    }
+  }
+
+  void on_revive(const TraceEvent& e) {
+    if (phase_ != Phase::kRevive) {
+      return halt(index_, "revive outside a restart checkpoint");
+    }
+    expect_exact(e.time, ckpt_begin_, "revive time (revived as of checkpoint start)");
+    if (e.a >= trace_.header.n_procs || !state_.is_dead(e.a)) {
+      return halt(index_, "revive of live or out-of-range processor " + std::to_string(e.a));
+    }
+    state_.revive(e.a);
+    if (++revives_seen_ == to_revive_) phase_ = Phase::kCheckpoint;
+  }
+
+  void on_checkpoint_end(const TraceEvent& e) {
+    if (phase_ != Phase::kCheckpoint) {
+      return halt(index_, phase_ == Phase::kRevive
+                              ? "checkpoint-end before the announced revivals completed"
+                              : "checkpoint-end without a checkpoint-begin");
+    }
+    expect_exact(e.time, ckpt_begin_ + ckpt_cost_, "checkpoint-end time");
+    if (e.a != pending_dead_) {
+      fail(index_, "checkpoint-end dead count " + std::to_string(e.a) + " != replayed " +
+                       std::to_string(pending_dead_));
+    }
+    result_.time_working += period_len_;
+    result_.useful_time += period_len_;
+    result_.time_checkpointing += ckpt_cost_;
+    result_.sum_dead_at_checkpoint += pending_dead_;
+    ++result_.n_checkpoints;
+    if (to_revive_ > 0) ++result_.n_restart_checkpoints;
+    ++result_.completed_periods;
+    now_ = e.time;
+    phase_ = Phase::kIdle;
+  }
+
+  void on_run_end(const TraceEvent& e) {
+    if (phase_ != Phase::kIdle && phase_ != Phase::kAbsorb) {
+      return halt(index_, std::string("run-end while expecting ") + phase_hint());
+    }
+    expect_exact(e.time, now_, "run-end time (makespan continuity)");
+    result_.makespan = e.time;
+    result_.progress_stalled = e.a == 1;
+    phase_ = Phase::kDone;
+    if (index_ + 1 != trace_.events.size()) {
+      halt(index_ + 1, "events after run-end");
+    }
+  }
+
+  /// Whole-trace conservation laws, run after a complete replay.
+  void finish() {
+    const std::size_t at = trace_.events.size();
+    const double parts = result_.time_working + result_.time_checkpointing +
+                         result_.time_recovering + result_.time_down;
+    if (std::abs(parts - result_.makespan) > 1e-9 * std::max(1.0, std::abs(result_.makespan))) {
+      fail(at, "makespan " + util::format_double(result_.makespan) +
+                   " != work + checkpoint + recovery + downtime = " +
+                   util::format_double(parts));
+    }
+    if (result_.useful_time > result_.time_working * (1.0 + 1e-12)) {
+      fail(at, "useful time exceeds total work time");
+    }
+    if (!result_.progress_stalled) {
+      if (!trace_.header.fixed_work && result_.completed_periods != trace_.header.n_periods) {
+        fail(at, "completed " + std::to_string(result_.completed_periods) + " of " +
+                     std::to_string(trace_.header.n_periods) + " periods without stalling");
+      }
+      if (trace_.header.fixed_work &&
+          result_.useful_time < trace_.header.total_work_time * (1.0 - 1e-12)) {
+        fail(at, "fixed-work target missed: " + util::format_double(result_.useful_time) +
+                     " of " + util::format_double(trace_.header.total_work_time));
+      }
+    }
+  }
+
+  const char* phase_hint() const {
+    switch (phase_) {
+      case Phase::kExpectRunStart: return "run-start";
+      case Phase::kIdle: return "period-start or run-end";
+      case Phase::kWork: return "a work-segment event";
+      case Phase::kExpectRollback: return "fatal-rollback";
+      case Phase::kExpectDowntime: return "downtime";
+      case Phase::kExpectRecovery: return "recovery";
+      case Phase::kAbsorb: return "absorbed strikes or the next period";
+      case Phase::kRevive: return "revive";
+      case Phase::kCheckpoint: return "a checkpoint-window event";
+      case Phase::kDone: return "nothing (run ended)";
+    }
+    return "?";
+  }
+
+  static constexpr std::size_t kMaxViolations = 50;
+
+  const Trace& trace_;
+  platform::Platform platform_;
+  platform::FailureState state_;
+  std::deque<double> repairs_;
+  InvariantReport report_;
+  sim::RunResult result_;
+
+  Phase phase_ = Phase::kExpectRunStart;
+  std::size_t index_ = 0;
+  bool halted_ = false;
+
+  double now_ = 0.0;
+  double period_start_ = 0.0;
+  double period_len_ = 0.0;
+  double ckpt_begin_ = 0.0;
+  double ckpt_cost_ = 0.0;
+  double fatal_time_ = 0.0;
+  double absorb_end_ = 0.0;
+  double last_strike_time_ = 0.0;
+  bool fatal_in_checkpoint_ = false;
+  std::uint64_t attempt_ = 0;
+  std::uint64_t to_revive_ = 0;
+  std::uint64_t revives_seen_ = 0;
+  std::uint64_t pending_dead_ = 0;
+};
+
+void append_diff(std::vector<std::string>& out, const char* field, double replayed,
+                 double actual) {
+  if (replayed != actual) {
+    out.push_back(std::string(field) + ": replayed " + util::format_double(replayed) +
+                  " vs actual " + util::format_double(actual));
+  }
+}
+
+void append_diff(std::vector<std::string>& out, const char* field, std::uint64_t replayed,
+                 std::uint64_t actual) {
+  if (replayed != actual) {
+    out.push_back(std::string(field) + ": replayed " + std::to_string(replayed) +
+                  " vs actual " + std::to_string(actual));
+  }
+}
+
+}  // namespace
+
+std::string InvariantReport::summary() const {
+  std::string out;
+  for (const auto& v : violations) {
+    out += "[event " + std::to_string(v.event_index) + "] " + v.message + "\n";
+  }
+  return out;
+}
+
+InvariantReport check_trace(const Trace& trace) { return Replayer(trace).run(); }
+
+InvariantReport check_trace(const Trace& trace, const sim::RunResult& actual) {
+  InvariantReport report = check_trace(trace);
+  for (auto& diff : diff_results(report.replayed, actual)) {
+    report.violations.push_back({trace.events.size(), "replayed result diverges — " + diff});
+  }
+  return report;
+}
+
+std::vector<std::string> diff_results(const sim::RunResult& replayed,
+                                      const sim::RunResult& actual) {
+  std::vector<std::string> out;
+  append_diff(out, "makespan", replayed.makespan, actual.makespan);
+  append_diff(out, "useful_time", replayed.useful_time, actual.useful_time);
+  append_diff(out, "completed_periods", replayed.completed_periods, actual.completed_periods);
+  append_diff(out, "n_failures", replayed.n_failures, actual.n_failures);
+  append_diff(out, "n_fatal", replayed.n_fatal, actual.n_fatal);
+  append_diff(out, "n_checkpoints", replayed.n_checkpoints, actual.n_checkpoints);
+  append_diff(out, "n_restart_checkpoints", replayed.n_restart_checkpoints,
+              actual.n_restart_checkpoints);
+  append_diff(out, "n_procs_restarted", replayed.n_procs_restarted, actual.n_procs_restarted);
+  append_diff(out, "sum_dead_at_checkpoint", replayed.sum_dead_at_checkpoint,
+              actual.sum_dead_at_checkpoint);
+  append_diff(out, "time_working", replayed.time_working, actual.time_working);
+  append_diff(out, "time_checkpointing", replayed.time_checkpointing,
+              actual.time_checkpointing);
+  append_diff(out, "time_recovering", replayed.time_recovering, actual.time_recovering);
+  append_diff(out, "time_down", replayed.time_down, actual.time_down);
+  if (replayed.progress_stalled != actual.progress_stalled) {
+    out.push_back("progress_stalled: replayed and actual disagree");
+  }
+  return out;
+}
+
+}  // namespace repcheck::oracle

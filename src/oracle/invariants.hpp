@@ -1,0 +1,65 @@
+// Replay invariant checker: walks a Trace, re-derives the run it records,
+// and asserts the engine's conservation laws.
+//
+// What is checked (each violation carries the offending event index):
+//   * structure     — events follow the engine's state machine (run start,
+//                     periods, checkpoint begin → revives → window → end,
+//                     fatal → downtime → recovery → absorbed strikes);
+//                     non-strike event times are exactly continuous
+//                     (each segment starts where the previous one ended)
+//   * failures      — strike times are non-decreasing and inside their
+//                     window; every strike's recorded effect matches an
+//                     independent FailureState replay (no failure lost,
+//                     double-counted, or misclassified)
+//   * revives       — revive events appear only inside a restart
+//                     checkpoint, target dead processors, and match the
+//                     announced revival count
+//   * spares        — the spare-pool balance never goes negative and a
+//                     partial revival is exactly the pool-clamped count
+//   * costs         — C vs C^R is charged per the restart decision (and,
+//                     with jitter disabled, equals the configured cost)
+//   * accounting    — makespan equals useful + re-executed work +
+//                     checkpoint + downtime + recovery time (conservation),
+//                     and the replayed RunResult matches the engine's
+//                     RunResult field by field, bit for bit
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/result.hpp"
+#include "oracle/trace.hpp"
+
+namespace repcheck::oracle {
+
+struct InvariantViolation {
+  std::size_t event_index = 0;  ///< events.size() for whole-trace violations
+  std::string message;
+};
+
+struct InvariantReport {
+  std::vector<InvariantViolation> violations;
+  sim::RunResult replayed;  ///< RunResult reconstructed from the trace
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  /// All violations joined into one line-per-violation string.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Replays `trace` and checks every invariant that does not need the
+/// engine's actual result.  Replay stops at the first structural violation
+/// (later events would be checked against a diverged state); accounting
+/// checks still run on whatever was replayed.
+[[nodiscard]] InvariantReport check_trace(const Trace& trace);
+
+/// check_trace, plus a bit-exact field-by-field comparison of the replayed
+/// RunResult against the engine's `actual` result.
+[[nodiscard]] InvariantReport check_trace(const Trace& trace, const sim::RunResult& actual);
+
+/// Field-by-field comparison used by the trace check and the golden tests;
+/// doubles must match exactly (the replay mirrors the engine arithmetic).
+[[nodiscard]] std::vector<std::string> diff_results(const sim::RunResult& replayed,
+                                                    const sim::RunResult& actual);
+
+}  // namespace repcheck::oracle

@@ -1,0 +1,48 @@
+#include "oracle/recorder.hpp"
+
+namespace repcheck::oracle {
+
+TraceHeader make_header(const sim::PeriodicEngine& engine, const sim::RunSpec& spec,
+                        std::uint64_t run_seed) {
+  TraceHeader h;
+  const auto& platform = engine.platform();
+  h.n_procs = platform.n_procs();
+  h.n_groups = platform.n_groups();
+  h.degree = platform.degree();
+
+  const auto& cost = engine.cost();
+  h.checkpoint = cost.checkpoint;
+  h.restart_checkpoint = cost.restart_checkpoint;
+  h.recovery = cost.recovery;
+  h.downtime = cost.downtime;
+  h.jitter_sigma = cost.checkpoint_jitter_sigma;
+
+  if (engine.spares()) {
+    h.has_spares = true;
+    h.spare_capacity = engine.spares()->capacity;
+    h.spare_repair_time = engine.spares()->repair_time;
+  }
+
+  h.fixed_work = spec.mode == sim::RunSpec::Mode::kFixedWork;
+  h.n_periods = spec.n_periods;
+  h.total_work_time = spec.total_work_time;
+  h.charge_restart_cost_always = spec.charge_restart_cost_always;
+
+  h.strategy = engine.strategy().name();
+  h.run_seed = run_seed;
+  return h;
+}
+
+Trace record_run(const sim::PeriodicEngine& engine, failures::FailureSource& source,
+                 const sim::RunSpec& spec, std::uint64_t run_seed,
+                 sim::RunResult* result_out) {
+  TraceRecorder recorder;
+  const sim::RunResult result = engine.run(source, spec, run_seed, &recorder);
+  if (result_out != nullptr) *result_out = result;
+  Trace trace;
+  trace.header = make_header(engine, spec, run_seed);
+  trace.events = recorder.take_events();
+  return trace;
+}
+
+}  // namespace repcheck::oracle

@@ -1,0 +1,39 @@
+// TraceRecorder: the RunObserver that builds a Trace, plus record_run, the
+// one-call way to simulate a run and capture its full event trace.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "oracle/trace.hpp"
+
+namespace repcheck::oracle {
+
+/// Appends every event to an in-memory list.  Reusable across runs via
+/// clear(); take_events() hands the storage off without copying.
+class TraceRecorder final : public sim::RunObserver {
+ public:
+  void on_event(const sim::TraceEvent& event) override { events_.push_back(event); }
+
+  [[nodiscard]] const std::vector<sim::TraceEvent>& events() const { return events_; }
+  [[nodiscard]] std::vector<sim::TraceEvent> take_events() { return std::move(events_); }
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<sim::TraceEvent> events_;
+};
+
+/// Fills a TraceHeader from an engine's configuration and a run spec.
+[[nodiscard]] TraceHeader make_header(const sim::PeriodicEngine& engine,
+                                      const sim::RunSpec& spec, std::uint64_t run_seed);
+
+/// Runs the engine once with a recorder attached and returns the complete
+/// trace; the RunResult is written to `result_out` when given (that is the
+/// value check_trace reproduces bit-for-bit).
+[[nodiscard]] Trace record_run(const sim::PeriodicEngine& engine,
+                               failures::FailureSource& source, const sim::RunSpec& spec,
+                               std::uint64_t run_seed, sim::RunResult* result_out = nullptr);
+
+}  // namespace repcheck::oracle

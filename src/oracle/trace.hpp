@@ -1,0 +1,51 @@
+// A recorded engine run: configuration header + append-only event list.
+//
+// The header pins down everything the invariant checker needs to replay a
+// run that the events themselves do not carry — platform layout, cost
+// model, spare pool, run-spec mode and the seed.  A Trace is the unit the
+// oracle operates on: record one with record_run (recorder.hpp), replay it
+// with check_trace (invariants.hpp), persist it with trace_io.hpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/observer.hpp"
+
+namespace repcheck::oracle {
+
+struct TraceHeader {
+  // Platform layout (platform::Platform constructor arguments).
+  std::uint64_t n_procs = 0;
+  std::uint64_t n_groups = 0;
+  std::uint32_t degree = 2;
+
+  // Cost model.
+  double checkpoint = 0.0;          ///< C
+  double restart_checkpoint = 0.0;  ///< C^R
+  double recovery = 0.0;            ///< R
+  double downtime = 0.0;            ///< D
+  double jitter_sigma = 0.0;        ///< lognormal checkpoint stretch (0 = none)
+
+  // Spare pool (bounds checkpoint-time revivals when present).
+  bool has_spares = false;
+  std::uint64_t spare_capacity = 0;
+  double spare_repair_time = 0.0;
+
+  // Run spec.
+  bool fixed_work = false;          ///< false = fixed-periods mode
+  std::uint64_t n_periods = 0;
+  double total_work_time = 0.0;
+  bool charge_restart_cost_always = false;
+
+  std::string strategy;             ///< StrategySpec::name(), informational
+  std::uint64_t run_seed = 0;
+};
+
+struct Trace {
+  TraceHeader header;
+  std::vector<sim::TraceEvent> events;
+};
+
+}  // namespace repcheck::oracle

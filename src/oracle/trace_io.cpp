@@ -1,0 +1,279 @@
+#include "oracle/trace_io.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/jsonl.hpp"
+
+namespace repcheck::oracle {
+
+namespace {
+
+using sim::TraceEvent;
+using sim::TraceEventKind;
+
+constexpr std::string_view kMagic = "repcheck-trace v1";
+
+const char* kind_token(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kRunStart: return "RS";
+    case TraceEventKind::kPeriodStart: return "PS";
+    case TraceEventKind::kFailureStrike: return "FS";
+    case TraceEventKind::kFatalRollback: return "FR";
+    case TraceEventKind::kDowntime: return "DT";
+    case TraceEventKind::kRecovery: return "RC";
+    case TraceEventKind::kCheckpointBegin: return "CB";
+    case TraceEventKind::kRevive: return "RV";
+    case TraceEventKind::kCheckpointEnd: return "CE";
+    case TraceEventKind::kRunEnd: return "RE";
+  }
+  return "??";
+}
+
+std::optional<TraceEventKind> parse_kind(std::string_view token) {
+  if (token == "RS") return TraceEventKind::kRunStart;
+  if (token == "PS") return TraceEventKind::kPeriodStart;
+  if (token == "FS") return TraceEventKind::kFailureStrike;
+  if (token == "FR") return TraceEventKind::kFatalRollback;
+  if (token == "DT") return TraceEventKind::kDowntime;
+  if (token == "RC") return TraceEventKind::kRecovery;
+  if (token == "CB") return TraceEventKind::kCheckpointBegin;
+  if (token == "RV") return TraceEventKind::kRevive;
+  if (token == "CE") return TraceEventKind::kCheckpointEnd;
+  if (token == "RE") return TraceEventKind::kRunEnd;
+  return std::nullopt;
+}
+
+std::vector<std::string_view> split_tokens(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    const std::size_t next = line.find(' ', pos);
+    const std::size_t end = next == std::string_view::npos ? line.size() : next;
+    if (end > pos) tokens.push_back(line.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  return tokens;
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view token) {
+  if (token.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9') return std::nullopt;
+    if (value > (UINT64_MAX - static_cast<std::uint64_t>(c - '0')) / 10) return std::nullopt;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+/// Pulls the next line out of `text` (consuming the trailing newline).
+std::optional<std::string_view> next_line(std::string_view& text) {
+  if (text.empty()) return std::nullopt;
+  const std::size_t nl = text.find('\n');
+  if (nl == std::string_view::npos) return std::nullopt;  // every line must be terminated
+  const std::string_view line = text.substr(0, nl);
+  text.remove_prefix(nl + 1);
+  return line;
+}
+
+}  // namespace
+
+std::string serialize_trace(const Trace& trace) {
+  const TraceHeader& h = trace.header;
+  std::string out;
+  out.reserve(64 * (trace.events.size() + 8));
+  const auto field = [&out](const std::string& text) {
+    out += ' ';
+    out += text;
+  };
+  const auto dfield = [&](double v) { field(util::format_double(v)); };
+  out.append(kMagic).append("\n");
+  out += "platform";
+  field(std::to_string(h.n_procs));
+  field(std::to_string(h.n_groups));
+  field(std::to_string(h.degree));
+  out += "\ncost";
+  dfield(h.checkpoint);
+  dfield(h.restart_checkpoint);
+  dfield(h.recovery);
+  dfield(h.downtime);
+  dfield(h.jitter_sigma);
+  out += "\nspares";
+  if (h.has_spares) {
+    field(std::to_string(h.spare_capacity));
+    dfield(h.spare_repair_time);
+  } else {
+    out += " none";
+  }
+  out += "\nspec";
+  if (h.fixed_work) {
+    out += " work";
+    dfield(h.total_work_time);
+  } else {
+    out += " periods";
+    field(std::to_string(h.n_periods));
+  }
+  out += h.charge_restart_cost_always ? " 1" : " 0";
+  out += "\nseed";
+  field(std::to_string(h.run_seed));
+  out += "\nstrategy ";
+  out += h.strategy;
+  out += "\nevents";
+  field(std::to_string(trace.events.size()));
+  out += '\n';
+  for (const TraceEvent& e : trace.events) {
+    out += kind_token(e.kind);
+    dfield(e.time);
+    dfield(e.value);
+    field(std::to_string(e.a));
+    field(std::to_string(e.b));
+    out += '\n';
+  }
+  return out;
+}
+
+std::optional<Trace> parse_trace(std::string_view text) {
+  Trace trace;
+  TraceHeader& h = trace.header;
+
+  auto line = next_line(text);
+  if (!line || *line != kMagic) return std::nullopt;
+
+  line = next_line(text);
+  if (!line) return std::nullopt;
+  {
+    const auto t = split_tokens(*line);
+    if (t.size() != 4 || t[0] != "platform") return std::nullopt;
+    const auto procs = parse_u64(t[1]), groups = parse_u64(t[2]), degree = parse_u64(t[3]);
+    if (!procs || !groups || !degree) return std::nullopt;
+    h.n_procs = *procs;
+    h.n_groups = *groups;
+    h.degree = static_cast<std::uint32_t>(*degree);
+  }
+
+  line = next_line(text);
+  if (!line) return std::nullopt;
+  {
+    const auto t = split_tokens(*line);
+    if (t.size() != 6 || t[0] != "cost") return std::nullopt;
+    const auto c = util::parse_double(t[1]), cr = util::parse_double(t[2]),
+               r = util::parse_double(t[3]), dt = util::parse_double(t[4]),
+               sigma = util::parse_double(t[5]);
+    if (!c || !cr || !r || !dt || !sigma) return std::nullopt;
+    h.checkpoint = *c;
+    h.restart_checkpoint = *cr;
+    h.recovery = *r;
+    h.downtime = *dt;
+    h.jitter_sigma = *sigma;
+  }
+
+  line = next_line(text);
+  if (!line) return std::nullopt;
+  {
+    const auto t = split_tokens(*line);
+    if (t.empty() || t[0] != "spares") return std::nullopt;
+    if (t.size() == 2 && t[1] == "none") {
+      h.has_spares = false;
+    } else if (t.size() == 3) {
+      const auto cap = parse_u64(t[1]);
+      const auto repair = util::parse_double(t[2]);
+      if (!cap || !repair) return std::nullopt;
+      h.has_spares = true;
+      h.spare_capacity = *cap;
+      h.spare_repair_time = *repair;
+    } else {
+      return std::nullopt;
+    }
+  }
+
+  line = next_line(text);
+  if (!line) return std::nullopt;
+  {
+    const auto t = split_tokens(*line);
+    if (t.size() != 4 || t[0] != "spec") return std::nullopt;
+    if (t[1] == "periods") {
+      const auto n = parse_u64(t[2]);
+      if (!n) return std::nullopt;
+      h.fixed_work = false;
+      h.n_periods = *n;
+    } else if (t[1] == "work") {
+      const auto total = util::parse_double(t[2]);
+      if (!total) return std::nullopt;
+      h.fixed_work = true;
+      h.total_work_time = *total;
+    } else {
+      return std::nullopt;
+    }
+    if (t[3] == "1") {
+      h.charge_restart_cost_always = true;
+    } else if (t[3] == "0") {
+      h.charge_restart_cost_always = false;
+    } else {
+      return std::nullopt;
+    }
+  }
+
+  line = next_line(text);
+  if (!line) return std::nullopt;
+  {
+    const auto t = split_tokens(*line);
+    if (t.size() != 2 || t[0] != "seed") return std::nullopt;
+    const auto seed = parse_u64(t[1]);
+    if (!seed) return std::nullopt;
+    h.run_seed = *seed;
+  }
+
+  line = next_line(text);
+  if (!line || line->substr(0, 9) != "strategy ") return std::nullopt;
+  h.strategy = std::string(line->substr(9));
+
+  line = next_line(text);
+  if (!line) return std::nullopt;
+  std::uint64_t n_events = 0;
+  {
+    const auto t = split_tokens(*line);
+    if (t.size() != 2 || t[0] != "events") return std::nullopt;
+    const auto n = parse_u64(t[1]);
+    if (!n) return std::nullopt;
+    n_events = *n;
+  }
+
+  trace.events.reserve(n_events);
+  for (std::uint64_t i = 0; i < n_events; ++i) {
+    line = next_line(text);
+    if (!line) return std::nullopt;
+    const auto t = split_tokens(*line);
+    if (t.size() != 5) return std::nullopt;
+    const auto kind = parse_kind(t[0]);
+    const auto time = util::parse_double(t[1]);
+    const auto value = util::parse_double(t[2]);
+    const auto a = parse_u64(t[3]);
+    const auto b = parse_u64(t[4]);
+    if (!kind || !time || !value || !a || !b) return std::nullopt;
+    trace.events.push_back(TraceEvent{*kind, *time, *value, *a, *b});
+  }
+  if (!text.empty()) return std::nullopt;  // trailing garbage
+  return trace;
+}
+
+void write_trace_file(const Trace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open trace file for writing: " + path);
+  const std::string text = serialize_trace(trace);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!out) throw std::runtime_error("failed writing trace file: " + path);
+}
+
+std::optional<Trace> read_trace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_trace(buffer.str());
+}
+
+}  // namespace repcheck::oracle

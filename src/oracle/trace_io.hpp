@@ -1,0 +1,38 @@
+// Deterministic text serialization for traces.
+//
+// One header block, then one line per event.  Doubles render in shortest
+// round-trip form (util::format_double), so serialize(parse(s)) == s and —
+// the property the golden tests pin — re-simulating the same seed on any
+// build regenerates a byte-identical file.  parse returns nullopt on any
+// malformed input (wrong magic, short lines, trailing garbage).
+//
+// Format (tokens space-separated, one record per line):
+//
+//   repcheck-trace v1
+//   platform <n_procs> <n_groups> <degree>
+//   cost <C> <CR> <R> <D> <jitter_sigma>
+//   spares none | spares <capacity> <repair_time>
+//   spec periods <n_periods> <charge_always> | spec work <total> <charge_always>
+//   seed <run_seed>
+//   strategy <name to end of line>
+//   events <count>
+//   <RS|PS|FS|FR|DT|RC|CB|RV|CE|RE> <time> <value> <a> <b>   (count times)
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "oracle/trace.hpp"
+
+namespace repcheck::oracle {
+
+[[nodiscard]] std::string serialize_trace(const Trace& trace);
+[[nodiscard]] std::optional<Trace> parse_trace(std::string_view text);
+
+/// Throws std::runtime_error on I/O failure.
+void write_trace_file(const Trace& trace, const std::string& path);
+/// nullopt if the file is missing or malformed.
+[[nodiscard]] std::optional<Trace> read_trace_file(const std::string& path);
+
+}  // namespace repcheck::oracle

@@ -1,0 +1,55 @@
+#include "stats/binomial.hpp"
+
+#include <stdexcept>
+
+#include "math/beta.hpp"
+
+namespace repcheck::stats {
+
+double binomial_cdf(std::uint64_t k, std::uint64_t n, double p) {
+  if (n == 0) throw std::invalid_argument("binomial_cdf requires n > 0");
+  if (!(p >= 0.0 && p <= 1.0)) throw std::invalid_argument("binomial_cdf requires p in [0,1]");
+  if (k >= n) return 1.0;
+  if (p == 0.0) return 1.0;
+  if (p == 1.0) return 0.0;  // k < n, but all trials succeed
+  return math::regularized_incomplete_beta(static_cast<double>(n - k), static_cast<double>(k) + 1.0,
+                                           1.0 - p);
+}
+
+double beta_quantile(double q, double a, double b) {
+  if (!(q >= 0.0 && q <= 1.0)) throw std::invalid_argument("beta_quantile requires q in [0,1]");
+  if (!(a > 0.0 && b > 0.0)) throw std::invalid_argument("beta_quantile requires a, b > 0");
+  if (q == 0.0) return 0.0;
+  if (q == 1.0) return 1.0;
+  double lo = 0.0, hi = 1.0;
+  // I_x(a, b) is monotone in x; ~100 bisections reach double resolution.
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (math::regularized_incomplete_beta(a, b, mid) < q) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-15) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+BinomialCi clopper_pearson(std::uint64_t successes, std::uint64_t trials, double confidence) {
+  if (trials == 0) throw std::invalid_argument("clopper_pearson requires at least one trial");
+  if (successes > trials) throw std::invalid_argument("clopper_pearson: successes > trials");
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    throw std::invalid_argument("clopper_pearson requires confidence in (0,1)");
+  }
+  const double alpha = 1.0 - confidence;
+  BinomialCi ci;
+  ci.successes = successes;
+  ci.trials = trials;
+  const double k = static_cast<double>(successes);
+  const double n = static_cast<double>(trials);
+  ci.lo = successes == 0 ? 0.0 : beta_quantile(alpha / 2.0, k, n - k + 1.0);
+  ci.hi = successes == trials ? 1.0 : beta_quantile(1.0 - alpha / 2.0, k + 1.0, n - k);
+  return ci;
+}
+
+}  // namespace repcheck::stats

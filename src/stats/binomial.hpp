@@ -1,0 +1,40 @@
+// Exact binomial confidence intervals and tail probabilities.
+//
+// The statistical oracle checks simulated event probabilities (e.g. "the
+// application is interrupted by time t with probability F(t)") against
+// closed forms.  With a few thousand Bernoulli trials the normal
+// approximation is fine near 1/2 but not in the tails, so the oracle uses
+// the exact Clopper–Pearson interval (Beta quantiles via the regularized
+// incomplete beta function).
+#pragma once
+
+#include <cstdint>
+
+namespace repcheck::stats {
+
+struct BinomialCi {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::uint64_t successes = 0;
+  std::uint64_t trials = 0;
+
+  [[nodiscard]] bool contains(double p) const { return p >= lo && p <= hi; }
+  [[nodiscard]] double point_estimate() const {
+    return trials > 0 ? static_cast<double>(successes) / static_cast<double>(trials) : 0.0;
+  }
+};
+
+/// P(X ≤ k) for X ~ Binomial(n, p), computed exactly via the regularized
+/// incomplete beta identity P(X ≤ k) = I_{1−p}(n−k, k+1).
+[[nodiscard]] double binomial_cdf(std::uint64_t k, std::uint64_t n, double p);
+
+/// Quantile of the Beta(a, b) distribution (bisection on I_x(a, b)).
+[[nodiscard]] double beta_quantile(double q, double a, double b);
+
+/// Exact two-sided Clopper–Pearson interval covering the true success
+/// probability with at least `confidence` (default 99%: the oracle's
+/// acceptance level).
+[[nodiscard]] BinomialCi clopper_pearson(std::uint64_t successes, std::uint64_t trials,
+                                         double confidence = 0.99);
+
+}  // namespace repcheck::stats

@@ -1,0 +1,50 @@
+#include "stats/chi_square.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "math/gamma.hpp"
+
+namespace repcheck::stats {
+
+double chi_square_sf(double x, double dof) {
+  if (!(dof > 0.0)) throw std::invalid_argument("chi_square_sf requires dof > 0");
+  if (x <= 0.0) return 1.0;
+  return math::regularized_gamma_q(dof / 2.0, x / 2.0);
+}
+
+ChiSquareTest chi_square_gof(const std::vector<std::uint64_t>& observed,
+                             const std::vector<double>& expected_probability,
+                             std::uint64_t estimated_params) {
+  if (observed.size() != expected_probability.size()) {
+    throw std::invalid_argument("chi_square_gof: observed/expected size mismatch");
+  }
+  if (observed.size() < 2 + estimated_params) {
+    throw std::invalid_argument("chi_square_gof: too few bins for the degrees of freedom");
+  }
+  std::uint64_t total = 0;
+  double prob_sum = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    total += observed[i];
+    prob_sum += expected_probability[i];
+  }
+  if (total == 0) throw std::invalid_argument("chi_square_gof: no observations");
+  if (std::abs(prob_sum - 1.0) > 1e-6) {
+    throw std::invalid_argument("chi_square_gof: expected probabilities must sum to 1");
+  }
+
+  ChiSquareTest result;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    const double expected = expected_probability[i] * static_cast<double>(total);
+    if (!(expected > 0.0)) {
+      throw std::invalid_argument("chi_square_gof: zero expected count (merge tail bins)");
+    }
+    const double diff = static_cast<double>(observed[i]) - expected;
+    result.statistic += diff * diff / expected;
+  }
+  result.dof = static_cast<double>(observed.size() - 1 - estimated_params);
+  result.p_value = chi_square_sf(result.statistic, result.dof);
+  return result;
+}
+
+}  // namespace repcheck::stats

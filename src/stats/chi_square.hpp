@@ -1,0 +1,35 @@
+// Chi-square goodness-of-fit test for discrete distributions.
+//
+// The oracle uses it where KS does not apply: integer-valued laws such as
+// the failures-to-interruption count of Theorem 4.1, the geometric sampler
+// and uniform index draws.  The p-value is the chi-square upper tail,
+// Q(dof/2, x/2), via the regularized incomplete gamma.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace repcheck::stats {
+
+struct ChiSquareTest {
+  double statistic = 0.0;
+  double p_value = 1.0;
+  double dof = 0.0;
+
+  /// True when the observed counts are consistent with the expected law.
+  [[nodiscard]] bool consistent(double alpha = 0.01) const { return p_value > alpha; }
+};
+
+/// Survival function of the chi-square distribution with `dof` degrees of
+/// freedom: P(X ≥ x).
+[[nodiscard]] double chi_square_sf(double x, double dof);
+
+/// Pearson chi-square test of observed bin counts against expected bin
+/// probabilities (same length, probabilities must sum to ~1; every
+/// expected count must be positive — merge sparse tail bins first).
+/// dof = bins − 1 − estimated_params.
+[[nodiscard]] ChiSquareTest chi_square_gof(const std::vector<std::uint64_t>& observed,
+                                           const std::vector<double>& expected_probability,
+                                           std::uint64_t estimated_params = 0);
+
+}  // namespace repcheck::stats

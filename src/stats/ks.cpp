@@ -1,0 +1,36 @@
+#include "stats/ks.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace repcheck::stats {
+
+double kolmogorov_sf(double x) {
+  if (!(x > 0.0)) return 1.0;
+  // For x below ~0.2 the alternating series needs many terms to cancel to
+  // a value indistinguishable from 1.
+  if (x < 0.2) return 1.0;
+  double sum = 0.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * static_cast<double>(k) * k * x * x);
+    sum += (k % 2 == 1) ? term : -term;
+    if (term < 1e-18) break;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+KsTest ks_test(const EmpiricalCdf& ecdf, const std::function<double(double)>& reference_cdf) {
+  KsTest result;
+  result.n = ecdf.size();
+  result.statistic = ecdf.ks_distance(reference_cdf);
+  const double sqrt_n = std::sqrt(static_cast<double>(result.n));
+  result.p_value = kolmogorov_sf((sqrt_n + 0.12 + 0.11 / sqrt_n) * result.statistic);
+  return result;
+}
+
+KsTest ks_test(std::vector<double> samples, const std::function<double(double)>& reference_cdf) {
+  return ks_test(EmpiricalCdf(std::move(samples)), reference_cdf);
+}
+
+}  // namespace repcheck::stats

@@ -1,0 +1,40 @@
+// One-sample Kolmogorov–Smirnov test with p-values.
+//
+// EmpiricalCdf::ks_distance gives the raw statistic; the oracle layer also
+// needs a significance level so tests can assert "the simulated
+// distribution is consistent with the closed form at the 99% level".  The
+// p-value uses the asymptotic Kolmogorov distribution with the
+// finite-sample correction of Numerical Recipes §14.3 (accurate for
+// n ≳ 35, conservative below).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "stats/ecdf.hpp"
+
+namespace repcheck::stats {
+
+struct KsTest {
+  double statistic = 0.0;  ///< sup_x |F̂(x) − F(x)|
+  double p_value = 1.0;    ///< P(D ≥ statistic | samples drawn from F)
+  std::size_t n = 0;
+
+  /// True when the sample is consistent with F at significance alpha.
+  [[nodiscard]] bool consistent(double alpha = 0.01) const { return p_value > alpha; }
+};
+
+/// Survival function of the Kolmogorov distribution,
+/// Q_KS(x) = 2 Σ_{k≥1} (−1)^{k−1} e^{−2k²x²}.
+[[nodiscard]] double kolmogorov_sf(double x);
+
+/// KS test of an empirical sample against a reference CDF.
+[[nodiscard]] KsTest ks_test(const EmpiricalCdf& ecdf,
+                             const std::function<double(double)>& reference_cdf);
+
+/// Convenience overload: builds the EmpiricalCdf (sorting a copy).
+[[nodiscard]] KsTest ks_test(std::vector<double> samples,
+                             const std::function<double(double)>& reference_cdf);
+
+}  // namespace repcheck::stats

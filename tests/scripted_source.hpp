@@ -3,6 +3,8 @@
 // tests pin down exact rollback/checkpoint arithmetic deterministically.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "failures/source.hpp"
@@ -34,5 +36,22 @@ class ScriptedSource final : public failures::FailureSource {
   std::size_t index_ = 0;
   double tail_time_ = 1e18;
 };
+
+/// Builds a ScriptedSource from per-processor failure-time lists: processor
+/// p fails at every time in `times_per_proc[p]`.  The lists are merged into
+/// one chronological stream; simultaneous failures strike in processor
+/// order.  Lets tests choreograph which replica of which pair dies when.
+[[nodiscard]] inline ScriptedSource make_per_proc_source(
+    const std::vector<std::vector<double>>& times_per_proc) {
+  std::vector<failures::Failure> script;
+  for (std::uint64_t proc = 0; proc < times_per_proc.size(); ++proc) {
+    for (const double time : times_per_proc[proc]) script.push_back({time, proc});
+  }
+  std::stable_sort(script.begin(), script.end(),
+                   [](const failures::Failure& x, const failures::Failure& y) {
+                     return x.time < y.time;
+                   });
+  return ScriptedSource(std::move(script), times_per_proc.size());
+}
 
 }  // namespace repcheck::testing

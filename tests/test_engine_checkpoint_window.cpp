@@ -1,0 +1,167 @@
+// Pins down the revive-during-checkpoint edge case documented in
+// core/engine.hpp: processors are revived as of the checkpoint *start*, so
+// failures striking inside the checkpoint window land on the refreshed
+// state and carry into the next period; a fatal hit during the checkpoint
+// re-executes the whole period.  Per-processor scripted failures make each
+// branch deterministic.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "oracle/invariants.hpp"
+#include "oracle/recorder.hpp"
+#include "scripted_source.hpp"
+
+namespace {
+
+using repcheck::failures::Failure;
+using repcheck::oracle::check_trace;
+using repcheck::oracle::record_run;
+using repcheck::oracle::Trace;
+using repcheck::platform::CostModel;
+using repcheck::platform::Platform;
+using repcheck::sim::PeriodicEngine;
+using repcheck::sim::RunResult;
+using repcheck::sim::RunSpec;
+using repcheck::sim::StrategySpec;
+using repcheck::sim::TraceEvent;
+using repcheck::sim::TraceEventKind;
+using repcheck::testing::make_per_proc_source;
+using repcheck::testing::ScriptedSource;
+
+using K = TraceEventKind;
+
+RunSpec periods_spec(std::uint64_t n) {
+  RunSpec spec;
+  spec.mode = RunSpec::Mode::kFixedPeriods;
+  spec.n_periods = n;
+  return spec;
+}
+
+const TraceEvent& nth_of_kind(const Trace& trace, K kind, std::size_t nth = 0) {
+  for (const TraceEvent& e : trace.events) {
+    if (e.kind == kind) {
+      if (nth == 0) return e;
+      --nth;
+    }
+  }
+  throw std::logic_error("event kind not found");
+}
+
+TEST(ScriptedPerProc, MergesSortedWithProcessorTieBreak) {
+  ScriptedSource source = make_per_proc_source({{30.0, 10.0}, {20.0}, {20.0, 5.0}});
+  EXPECT_EQ(source.n_procs(), 3u);
+  source.reset(0);
+  const std::vector<Failure> expected = {{5.0, 2}, {10.0, 0}, {20.0, 1}, {20.0, 2}, {30.0, 0}};
+  for (const Failure& want : expected) {
+    const Failure got = source.next();
+    EXPECT_DOUBLE_EQ(got.time, want.time);
+    EXPECT_EQ(got.proc, want.proc);
+  }
+  EXPECT_GT(source.next().time, 1e15);  // quiet tail after the script
+}
+
+TEST(CheckpointWindow, FailureAfterReviveLandsOnRefreshedState) {
+  // Pair (0,1).  Proc 0 dies at 50; the restart checkpoint [100, 110)
+  // revives it as of 100; proc 0 dies AGAIN at 105, inside the window.
+  // Because the revival happened first, the hit degrades the refreshed
+  // pair instead of being wasted on a corpse — and the damage carries into
+  // the next period, where proc 1's failure at 150 becomes fatal.
+  const PeriodicEngine engine(Platform::fully_replicated(2), CostModel::uniform(10.0),
+                              StrategySpec::restart(100.0));
+  ScriptedSource source = make_per_proc_source({{50.0, 105.0}, {150.0}});
+  RunResult result;
+  const Trace trace = record_run(engine, source, periods_spec(2), 1, &result);
+
+  const TraceEvent& strike_in_window = nth_of_kind(trace, K::kFailureStrike, 1);
+  EXPECT_DOUBLE_EQ(strike_in_window.time, 105.0);
+  EXPECT_EQ(strike_in_window.a, 0u);
+  EXPECT_EQ(strike_in_window.b, 1u);  // degraded, NOT wasted: state was refreshed
+
+  const TraceEvent& fatal = nth_of_kind(trace, K::kFailureStrike, 2);
+  EXPECT_DOUBLE_EQ(fatal.time, 150.0);
+  EXPECT_EQ(fatal.b, 2u);  // the carried-over damage makes this fatal
+  EXPECT_EQ(result.n_fatal, 1u);
+
+  const auto report = check_trace(trace, result);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(CheckpointWindow, WithoutRestartSecondHitOnDeadProcIsWasted) {
+  // Same choreography under no-restart: proc 0 stays dead through the
+  // checkpoint, so the hit at 105 strikes a corpse and is wasted.
+  const PeriodicEngine engine(Platform::fully_replicated(2), CostModel::uniform(10.0),
+                              StrategySpec::no_restart(100.0));
+  ScriptedSource source = make_per_proc_source({{50.0, 105.0}, {}});
+  RunResult result;
+  const Trace trace = record_run(engine, source, periods_spec(2), 1, &result);
+
+  const TraceEvent& strike_in_window = nth_of_kind(trace, K::kFailureStrike, 1);
+  EXPECT_DOUBLE_EQ(strike_in_window.time, 105.0);
+  EXPECT_EQ(strike_in_window.b, 0u);  // wasted
+  EXPECT_EQ(result.n_fatal, 0u);
+  EXPECT_EQ(result.n_procs_restarted, 0u);
+
+  const auto report = check_trace(trace, result);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(CheckpointWindow, FatalDuringCheckpointReexecutesWholePeriod) {
+  // Both replicas of the pair die inside the checkpoint window [100, 110):
+  // the checkpoint never completes, the full period's work is charged, and
+  // the period re-executes after downtime + recovery.
+  const PeriodicEngine engine(Platform::fully_replicated(2),
+                              CostModel::uniform(10.0, 1.0, 0.0),  // C=R=10, D=0
+                              StrategySpec::restart(100.0));
+  ScriptedSource source = make_per_proc_source({{102.0}, {104.0}});
+  RunResult result;
+  const Trace trace = record_run(engine, source, periods_spec(1), 1, &result);
+
+  const TraceEvent& rollback = nth_of_kind(trace, K::kFatalRollback);
+  EXPECT_DOUBLE_EQ(rollback.time, 104.0);
+  EXPECT_DOUBLE_EQ(rollback.value, 100.0);  // the WHOLE period is re-executed
+  EXPECT_EQ(rollback.b, 1u);                // struck during the checkpoint
+
+  // Exact accounting: wasted period (100) + aborted checkpoint (4) +
+  // recovery (10), then a clean period [114, 214) + checkpoint (10).
+  EXPECT_DOUBLE_EQ(result.makespan, 224.0);
+  EXPECT_DOUBLE_EQ(result.time_working, 200.0);
+  EXPECT_DOUBLE_EQ(result.useful_time, 100.0);
+  EXPECT_DOUBLE_EQ(result.time_checkpointing, 14.0);
+  EXPECT_DOUBLE_EQ(result.time_recovering, 10.0);
+  EXPECT_DOUBLE_EQ(result.time_down, 0.0);
+  EXPECT_EQ(result.n_fatal, 1u);
+  EXPECT_EQ(result.n_checkpoints, 1u);  // the aborted one does not count
+
+  const auto report = check_trace(trace, result);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(CheckpointWindow, ReviveThenFatalInSameWindow) {
+  // Proc 0 is revived at the checkpoint start, then BOTH replicas die
+  // inside the window (0 at 103, 1 at 106): fatal during the checkpoint,
+  // with the revival's C^R accounted in the aborted checkpoint time.
+  const PeriodicEngine engine(Platform::fully_replicated(2),
+                              CostModel::uniform(10.0, 1.5, 0.0),  // C=10, C^R=15
+                              StrategySpec::restart(100.0));
+  ScriptedSource source = make_per_proc_source({{50.0, 103.0}, {106.0}});
+  RunResult result;
+  const Trace trace = record_run(engine, source, periods_spec(1), 1, &result);
+
+  const TraceEvent& cb = nth_of_kind(trace, K::kCheckpointBegin);
+  EXPECT_EQ(cb.a, 1u);                 // revival announced
+  EXPECT_DOUBLE_EQ(cb.value, 15.0);    // C^R charged
+  const TraceEvent& rollback = nth_of_kind(trace, K::kFatalRollback);
+  EXPECT_DOUBLE_EQ(rollback.time, 106.0);
+  EXPECT_EQ(rollback.b, 1u);
+  // 6 seconds of the aborted C^R window elapsed before the fatal hit.
+  EXPECT_DOUBLE_EQ(result.time_checkpointing, 6.0 + 10.0);
+  EXPECT_EQ(result.n_restart_checkpoints, 0u);  // it never completed
+
+  const auto report = check_trace(trace, result);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+// Golden-trace regression: two canonical runs (one restart strategy, one
+// no-restart) are recorded with fixed seeds and compared byte-for-byte
+// against checked-in trace files.  Any change to the engine's event
+// semantics, the PRNG streams, or the trace format shows up as a diff.
+//
+// To regenerate after an INTENTIONAL change:
+//   REPCHECK_REGEN_GOLDEN=1 ./test_oracle_golden
+// then commit the rewritten files under tests/golden/ and explain the
+// semantic change in the commit message.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "core/engine.hpp"
+#include "failures/exponential_source.hpp"
+#include "oracle/invariants.hpp"
+#include "oracle/recorder.hpp"
+#include "oracle/trace_io.hpp"
+#include "platform/spares.hpp"
+
+namespace {
+
+using repcheck::failures::ExponentialFailureSource;
+using repcheck::oracle::check_trace;
+using repcheck::oracle::parse_trace;
+using repcheck::oracle::record_run;
+using repcheck::oracle::serialize_trace;
+using repcheck::oracle::Trace;
+using repcheck::platform::CostModel;
+using repcheck::platform::Platform;
+using repcheck::platform::SparePool;
+using repcheck::sim::PeriodicEngine;
+using repcheck::sim::RunResult;
+using repcheck::sim::RunSpec;
+using repcheck::sim::StrategySpec;
+
+constexpr std::uint64_t kSeed = 42;
+
+RunSpec ten_periods() {
+  RunSpec spec;
+  spec.mode = RunSpec::Mode::kFixedPeriods;
+  spec.n_periods = 10;
+  return spec;
+}
+
+// Small but eventful: 8 processors at a 500 s per-processor MTBF give a
+// platform MTBF of 62.5 s against a 60 s period, so most periods see a
+// strike and several turn fatal.
+Trace record_restart_trace(RunResult* result) {
+  const SparePool spares{2, 120.0};
+  const PeriodicEngine engine(Platform::fully_replicated(8),
+                              CostModel::uniform(5.0, 1.5, 2.0),
+                              StrategySpec::restart(60.0), spares);
+  ExponentialFailureSource source(8, 500.0);
+  return record_run(engine, source, ten_periods(), kSeed, result);
+}
+
+// The no-restart variant also exercises checkpoint-duration jitter.
+Trace record_norestart_trace(RunResult* result) {
+  CostModel cost = CostModel::uniform(5.0);
+  cost.checkpoint_jitter_sigma = 0.1;
+  const PeriodicEngine engine(Platform::fully_replicated(8), cost,
+                              StrategySpec::no_restart(60.0));
+  ExponentialFailureSource source(8, 500.0);
+  return record_run(engine, source, ten_periods(), kSeed, result);
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void check_against_golden(const Trace& trace, const RunResult& result,
+                          const std::string& filename) {
+  const std::string path = std::string(REPCHECK_GOLDEN_DIR) + "/" + filename;
+  const std::string text = serialize_trace(trace);
+
+  if (std::getenv("REPCHECK_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << text;
+    return;
+  }
+
+  const auto golden = read_file(path);
+  ASSERT_TRUE(golden.has_value())
+      << "missing golden file " << path << " (run with REPCHECK_REGEN_GOLDEN=1 to create)";
+  EXPECT_EQ(text, *golden) << "regenerated trace differs from " << filename
+                           << "; if the engine change is intentional, regenerate with "
+                              "REPCHECK_REGEN_GOLDEN=1";
+
+  // The checked-in trace must itself parse and satisfy every invariant,
+  // including bit-exact replay of today's engine result.
+  const auto parsed = parse_trace(*golden);
+  ASSERT_TRUE(parsed.has_value()) << filename << " no longer parses";
+  const auto report = check_trace(*parsed, result);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(GoldenTrace, RestartStrategyMatchesCheckedInTrace) {
+  RunResult result;
+  const Trace trace = record_restart_trace(&result);
+  EXPECT_GT(result.n_failures, 0u) << "golden config should be eventful";
+  check_against_golden(trace, result, "trace_restart.txt");
+}
+
+TEST(GoldenTrace, NoRestartStrategyMatchesCheckedInTrace) {
+  RunResult result;
+  const Trace trace = record_norestart_trace(&result);
+  EXPECT_GT(result.n_failures, 0u) << "golden config should be eventful";
+  check_against_golden(trace, result, "trace_norestart.txt");
+}
+
+TEST(GoldenTrace, RecordingIsDeterministic) {
+  RunResult first_result;
+  const Trace first = record_restart_trace(&first_result);
+  RunResult second_result;
+  const Trace second = record_restart_trace(&second_result);
+  EXPECT_EQ(serialize_trace(first), serialize_trace(second));
+  EXPECT_TRUE(repcheck::oracle::diff_results(first_result, second_result).empty());
+}
+
+}  // namespace

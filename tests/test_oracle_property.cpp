@@ -1,0 +1,189 @@
+// Property-based oracle harness: hundreds of randomized engine
+// configurations, every one recorded and replayed through the invariant
+// checker.  The generator is seeded and fully deterministic; a failing
+// case prints its case seed so it can be replayed in isolation.
+//
+// Environment knobs:
+//   REPCHECK_PROPERTY_SEED     master seed (default 20190817)
+//   REPCHECK_PROPERTY_CONFIGS  number of configurations (default 200)
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "core/engine.hpp"
+#include "failures/exponential_source.hpp"
+#include "oracle/invariants.hpp"
+#include "oracle/recorder.hpp"
+#include "platform/spares.hpp"
+#include "prng/distributions.hpp"
+#include "prng/xoshiro.hpp"
+
+namespace {
+
+using repcheck::failures::ExponentialFailureSource;
+using repcheck::oracle::check_trace;
+using repcheck::oracle::record_run;
+using repcheck::oracle::Trace;
+using repcheck::platform::CostModel;
+using repcheck::platform::Platform;
+using repcheck::platform::SparePool;
+using repcheck::prng::UniformIndexSampler;
+using repcheck::prng::UniformSampler;
+using repcheck::prng::Xoshiro256pp;
+using repcheck::sim::PeriodicEngine;
+using repcheck::sim::RunResult;
+using repcheck::sim::RunSpec;
+using repcheck::sim::StrategySpec;
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* text = std::getenv(name);
+  if (text == nullptr || *text == '\0') return fallback;
+  return std::strtoull(text, nullptr, 10);
+}
+
+double draw(Xoshiro256pp& rng, double lo, double hi) {
+  return UniformSampler(lo, hi)(rng);
+}
+
+std::uint64_t draw_index(Xoshiro256pp& rng, std::uint64_t bound) {
+  return UniformIndexSampler(bound)(rng);
+}
+
+/// One randomized configuration, fully derived from `case_seed`.
+struct GeneratedCase {
+  Platform platform = Platform::not_replicated(1);
+  CostModel cost;
+  StrategySpec strategy;
+  std::optional<SparePool> spares;
+  RunSpec spec;
+  double mtbf_proc = 0.0;
+  std::uint64_t run_seed = 0;
+
+  [[nodiscard]] std::string describe() const {
+    return strategy.name() + " procs=" + std::to_string(platform.n_procs()) +
+           " periods=" + std::to_string(spec.n_periods) +
+           " mtbf=" + std::to_string(mtbf_proc) + " seed=" + std::to_string(run_seed);
+  }
+};
+
+GeneratedCase generate_case(std::uint64_t case_seed) {
+  Xoshiro256pp rng(case_seed);
+  GeneratedCase c;
+
+  // Platform: mostly replicated pairs (the paper's setting), sometimes a
+  // standalone layout so the no-replication strategy is covered too.
+  const bool standalone = draw_index(rng, 5) == 0;
+  const std::uint64_t pairs = 1 + draw_index(rng, 32);  // <= 64 processors
+  c.platform = standalone ? Platform::not_replicated(1 + draw_index(rng, 64))
+                          : Platform::fully_replicated(2 * pairs);
+
+  const double period = draw(rng, 20.0, 200.0);
+
+  // Scale the failure rate to the period so most runs see failures: the
+  // platform MTBF lands between 0.3 and 3 periods.
+  const double platform_mtbf = period * draw(rng, 0.3, 3.0);
+  c.mtbf_proc = platform_mtbf * static_cast<double>(c.platform.n_procs());
+
+  c.cost.checkpoint = draw(rng, 1.0, period / 2.0);
+  c.cost.restart_checkpoint = c.cost.checkpoint * draw(rng, 1.0, 2.0);
+  c.cost.recovery = draw(rng, 0.0, 2.0 * c.cost.checkpoint);
+  c.cost.downtime = draw(rng, 0.0, 5.0);
+  c.cost.checkpoint_jitter_sigma = draw_index(rng, 2) == 0 ? 0.0 : draw(rng, 0.05, 0.4);
+
+  if (standalone) {
+    c.strategy = StrategySpec::no_replication(period);
+  } else {
+    switch (draw_index(rng, 6)) {
+      case 0: c.strategy = StrategySpec::no_restart(period); break;
+      case 1: c.strategy = StrategySpec::restart(period); break;
+      case 2:
+        c.strategy = StrategySpec::restart_threshold(period, 1 + draw_index(rng, pairs));
+        break;
+      case 3:
+        c.strategy = StrategySpec::non_periodic(period, period * draw(rng, 0.3, 1.0));
+        break;
+      case 4:
+        c.strategy = StrategySpec::restart_interval(period, period * draw(rng, 0.5, 4.0));
+        break;
+      default:
+        c.strategy = StrategySpec::adaptive_no_restart(c.cost.checkpoint, c.mtbf_proc);
+        break;
+    }
+    if (draw_index(rng, 2) == 0) {
+      c.spares = SparePool{draw_index(rng, 5), draw(rng, period / 2.0, 5.0 * period)};
+    }
+  }
+
+  if (draw_index(rng, 4) == 0) {
+    c.spec.mode = RunSpec::Mode::kFixedWork;
+    c.spec.total_work_time = draw(rng, period, 20.0 * period);
+  } else {
+    c.spec.mode = RunSpec::Mode::kFixedPeriods;
+    c.spec.n_periods = 1 + draw_index(rng, 30);
+  }
+  c.spec.charge_restart_cost_always = draw_index(rng, 2) == 0;
+  c.run_seed = rng();
+  return c;
+}
+
+/// Runs one generated case through the recorder and the replay checker;
+/// returns the violation summary on failure.
+std::optional<std::string> run_case(const GeneratedCase& c, RunResult* result_out = nullptr) {
+  const PeriodicEngine engine(c.platform, c.cost, c.strategy, c.spares);
+  ExponentialFailureSource source(c.platform.n_procs(), c.mtbf_proc);
+  RunResult result;
+  const Trace trace = record_run(engine, source, c.spec, c.run_seed, &result);
+  if (result_out != nullptr) *result_out = result;
+  if (trace.events.empty()) return "trace is empty";
+  const auto report = check_trace(trace, result);
+  if (!report.ok()) return report.summary();
+  return std::nullopt;
+}
+
+/// Shrinks a failing case by repeatedly halving its run length while the
+/// violation persists, so the reported reproducer is as short as possible.
+GeneratedCase shrink_case(GeneratedCase failing) {
+  while (true) {
+    GeneratedCase smaller = failing;
+    if (smaller.spec.mode == RunSpec::Mode::kFixedPeriods) {
+      if (smaller.spec.n_periods <= 1) break;
+      smaller.spec.n_periods /= 2;
+    } else {
+      if (smaller.spec.total_work_time <= 1.0) break;
+      smaller.spec.total_work_time /= 2.0;
+    }
+    if (!run_case(smaller).has_value()) break;  // violation vanished: stop
+    failing = smaller;
+  }
+  return failing;
+}
+
+TEST(OracleProperty, RandomConfigurationsSatisfyAllInvariants) {
+  const std::uint64_t master_seed = env_u64("REPCHECK_PROPERTY_SEED", 20190817);
+  const std::uint64_t n_configs = env_u64("REPCHECK_PROPERTY_CONFIGS", 200);
+
+  std::uint64_t eventful = 0;
+  for (std::uint64_t i = 0; i < n_configs; ++i) {
+    const std::uint64_t case_seed = master_seed + i;
+    const GeneratedCase c = generate_case(case_seed);
+    RunResult result;
+    const auto failure = run_case(c, &result);
+    if (failure.has_value()) {
+      const GeneratedCase smallest = shrink_case(c);
+      const auto shrunk_failure = run_case(smallest);
+      FAIL() << "case_seed=" << case_seed << " (" << c.describe() << ") violates invariants:\n"
+             << *failure << "\nshrunk reproducer: " << smallest.describe()
+             << " periods=" << smallest.spec.n_periods
+             << " work=" << smallest.spec.total_work_time << "\n"
+             << (shrunk_failure ? *shrunk_failure : std::string("(shrunk case passes)"));
+    }
+    if (result.n_failures > 0) ++eventful;
+  }
+  // The MTBF scaling should make the vast majority of runs see failures.
+  EXPECT_GT(eventful * 2, n_configs);
+}
+
+}  // namespace

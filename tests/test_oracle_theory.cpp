@@ -1,0 +1,190 @@
+// Statistical oracle: the simulator against the paper's closed forms, at
+// the 99% level with fixed seeds (deterministic outcomes).
+//
+//   * Theorem 4.1: measured n_fail(2b) vs 1 + 4^b / C(2b, b) for
+//     b in {1, 2, 5, 10}
+//   * the b = 1 failures-to-interruption law P(N = 1 + j) = 2^{-j}
+//     (chi-square goodness of fit)
+//   * Figure 1's interruption-time CDFs (Kolmogorov-Smirnov)
+//   * interruption-by-time-t probabilities (exact Clopper-Pearson CI)
+//   * the PRNG failure stream itself: exponential interarrivals (KS)
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/measures.hpp"
+#include "failures/exponential_source.hpp"
+#include "model/mtti.hpp"
+#include "model/nfail.hpp"
+#include "platform/platform.hpp"
+#include "platform/state.hpp"
+#include "stats/binomial.hpp"
+#include "stats/chi_square.hpp"
+#include "stats/ks.hpp"
+
+namespace {
+
+using repcheck::failures::ExponentialFailureSource;
+using repcheck::platform::FailureEffect;
+using repcheck::platform::FailureState;
+using repcheck::platform::Platform;
+using repcheck::sim::measure_nfail;
+using repcheck::stats::chi_square_gof;
+using repcheck::stats::clopper_pearson;
+using repcheck::stats::ks_test;
+
+constexpr double kMtbfProc = 100.0;
+
+/// Time of the first application-fatal failure for one replay of `source`
+/// against a fresh FailureState (no checkpointing protocol).
+double sample_interruption_time(ExponentialFailureSource& source, const Platform& platform,
+                                std::uint64_t replicate_seed) {
+  source.reset(replicate_seed);
+  FailureState state(platform);
+  while (true) {
+    const auto f = source.next();
+    if (state.record_failure(f.proc) == FailureEffect::kFatal) return f.time;
+  }
+}
+
+// ------------------------------------------- Theorem 4.1: E[n_fail(2b)]
+
+TEST(TheoremFourOne, MeasuredNfailMatchesClosedFormAtNinetyNinePercent) {
+  constexpr std::uint64_t kSamples = 20000;
+  constexpr double kZ99 = 2.5758;  // two-sided 99% normal quantile
+  for (const std::uint64_t b : {1ull, 2ull, 5ull, 10ull}) {
+    const Platform platform = Platform::fully_replicated(2 * b);
+    ExponentialFailureSource source(2 * b, kMtbfProc);
+    const auto stats = measure_nfail(source, platform, kSamples, 1000 + b);
+    const double closed_form = repcheck::model::nfail_closed_form(b);
+    const double halfwidth = kZ99 * stats.stddev() / std::sqrt(static_cast<double>(kSamples));
+    EXPECT_NEAR(stats.mean(), closed_form, halfwidth)
+        << "b=" << b << " measured=" << stats.mean() << " closed=" << closed_form
+        << " ci_halfwidth=" << halfwidth;
+  }
+}
+
+TEST(TheoremFourOne, SingleLaneFailureCountIsShiftedGeometric) {
+  // b = 1: the first failure degrades the pair; each later failure hits the
+  // dead replica (wasted) or the survivor (fatal) with probability 1/2, so
+  // P(N = 1 + j) = 2^{-j} for j >= 1.  Chi-square over N = 2..9 + tail.
+  constexpr std::uint64_t kSamples = 20000;
+  const Platform platform = Platform::fully_replicated(2);
+  ExponentialFailureSource source(2, kMtbfProc);
+
+  std::vector<std::uint64_t> counts(9, 0);  // N = 2, 3, ..., 9, then N >= 10
+  for (std::uint64_t rep = 0; rep < kSamples; ++rep) {
+    source.reset(rep);
+    FailureState state(platform);
+    std::uint64_t n = 0;
+    while (true) {
+      ++n;
+      if (state.record_failure(source.next().proc) == FailureEffect::kFatal) break;
+    }
+    ASSERT_GE(n, 2u);
+    counts[std::min<std::uint64_t>(n - 2, counts.size() - 1)] += 1;
+  }
+
+  std::vector<double> expected(counts.size(), 0.0);
+  double tail = 1.0;
+  for (std::size_t j = 0; j + 1 < expected.size(); ++j) {
+    expected[j] = std::pow(2.0, -static_cast<double>(j + 1));  // P(N = 2 + j)
+    tail -= expected[j];
+  }
+  expected.back() = tail;  // P(N >= 10) = 2^{-8}
+
+  const auto test = chi_square_gof(counts, expected);
+  EXPECT_TRUE(test.consistent(0.01)) << "chi2=" << test.statistic << " p=" << test.p_value;
+}
+
+// ------------------------------------- Figure 1: interruption-time CDFs
+
+TEST(InterruptionTime, PairsCdfMatchesClosedFormByKs) {
+  constexpr std::uint64_t b = 4;
+  constexpr std::uint64_t kReplicates = 2000;
+  const Platform platform = Platform::fully_replicated(2 * b);
+  ExponentialFailureSource source(2 * b, kMtbfProc);
+  std::vector<double> times;
+  times.reserve(kReplicates);
+  for (std::uint64_t rep = 0; rep < kReplicates; ++rep) {
+    times.push_back(sample_interruption_time(source, platform, 5000 + rep));
+  }
+  const auto ks = ks_test(std::move(times), [](double t) {
+    return repcheck::model::cdf_pairs(t, kMtbfProc, b);
+  });
+  EXPECT_TRUE(ks.consistent(0.01)) << "D=" << ks.statistic << " p=" << ks.p_value;
+}
+
+TEST(InterruptionTime, ParallelCdfMatchesClosedFormByKs) {
+  // No replication: any failure interrupts, so the interruption time is the
+  // first arrival of the superposed stream, Exp(n / mtbf).
+  constexpr std::uint64_t n = 8;
+  constexpr std::uint64_t kReplicates = 2000;
+  const Platform platform = Platform::not_replicated(n);
+  ExponentialFailureSource source(n, kMtbfProc);
+  std::vector<double> times;
+  times.reserve(kReplicates);
+  for (std::uint64_t rep = 0; rep < kReplicates; ++rep) {
+    times.push_back(sample_interruption_time(source, platform, 7000 + rep));
+  }
+  const auto ks = ks_test(std::move(times), [](double t) {
+    return repcheck::model::cdf_parallel(t, kMtbfProc, n);
+  });
+  EXPECT_TRUE(ks.consistent(0.01)) << "D=" << ks.statistic << " p=" << ks.p_value;
+}
+
+TEST(InterruptionTime, ProbabilityAtMedianInsideExactBinomialCi) {
+  // Bernoulli check at the closed-form median: the fraction of replicates
+  // interrupted by t* must cover cdf_pairs(t*) = 1/2 at 99% confidence.
+  constexpr std::uint64_t b = 3;
+  constexpr std::uint64_t kTrials = 5000;
+  const double t_star = repcheck::model::time_to_failure_probability_pairs(0.5, kMtbfProc, b);
+  const double p_star = repcheck::model::cdf_pairs(t_star, kMtbfProc, b);
+  EXPECT_NEAR(p_star, 0.5, 1e-9);
+
+  const Platform platform = Platform::fully_replicated(2 * b);
+  ExponentialFailureSource source(2 * b, kMtbfProc);
+  std::uint64_t interrupted = 0;
+  for (std::uint64_t rep = 0; rep < kTrials; ++rep) {
+    if (sample_interruption_time(source, platform, 9000 + rep) <= t_star) ++interrupted;
+  }
+  const auto ci = clopper_pearson(interrupted, kTrials, 0.99);
+  EXPECT_TRUE(ci.contains(p_star)) << "[" << ci.lo << ", " << ci.hi << "] vs " << p_star;
+}
+
+// ----------------------------------------- the PRNG failure stream itself
+
+TEST(FailureStream, InterarrivalsAreExponentialByKs) {
+  constexpr std::uint64_t n = 16;
+  constexpr int kGaps = 20000;
+  ExponentialFailureSource source(n, kMtbfProc);
+  source.reset(77);
+  std::vector<double> gaps;
+  gaps.reserve(kGaps);
+  double prev = 0.0;
+  for (int i = 0; i < kGaps; ++i) {
+    const double t = source.next().time;
+    gaps.push_back(t - prev);
+    prev = t;
+  }
+  const double rate = static_cast<double>(n) / kMtbfProc;
+  const auto ks = ks_test(std::move(gaps),
+                          [rate](double x) { return 1.0 - std::exp(-rate * x); });
+  EXPECT_TRUE(ks.consistent(0.01)) << "D=" << ks.statistic << " p=" << ks.p_value;
+}
+
+TEST(FailureStream, ProcessorAssignmentIsUniform) {
+  constexpr std::uint64_t n = 8;
+  constexpr int kHits = 40000;
+  ExponentialFailureSource source(n, kMtbfProc);
+  source.reset(78);
+  std::vector<std::uint64_t> counts(n, 0);
+  for (int i = 0; i < kHits; ++i) ++counts[source.next().proc];
+  const std::vector<double> uniform(n, 1.0 / static_cast<double>(n));
+  const auto test = chi_square_gof(counts, uniform);
+  EXPECT_TRUE(test.consistent(0.01)) << "chi2=" << test.statistic << " p=" << test.p_value;
+}
+
+}  // namespace

@@ -1,0 +1,297 @@
+// Trace recording + invariant replay checking against choreographed runs.
+//
+// ScriptedSource scenarios make every event predictable, so these tests
+// assert the exact emitted sequence, that the checker passes genuine
+// traces, and — the contrapositive — that it flags tampered ones.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "oracle/invariants.hpp"
+#include "oracle/recorder.hpp"
+#include "oracle/trace_io.hpp"
+#include "platform/spares.hpp"
+#include "scripted_source.hpp"
+
+namespace {
+
+using repcheck::failures::Failure;
+using repcheck::oracle::check_trace;
+using repcheck::oracle::parse_trace;
+using repcheck::oracle::record_run;
+using repcheck::oracle::serialize_trace;
+using repcheck::oracle::Trace;
+using repcheck::platform::CostModel;
+using repcheck::platform::Platform;
+using repcheck::platform::SparePool;
+using repcheck::sim::PeriodicEngine;
+using repcheck::sim::RunResult;
+using repcheck::sim::RunSpec;
+using repcheck::sim::StrategySpec;
+using repcheck::sim::TraceEvent;
+using repcheck::sim::TraceEventKind;
+using repcheck::testing::ScriptedSource;
+
+using K = TraceEventKind;
+
+RunSpec periods_spec(std::uint64_t n) {
+  RunSpec spec;
+  spec.mode = RunSpec::Mode::kFixedPeriods;
+  spec.n_periods = n;
+  return spec;
+}
+
+std::vector<K> kinds_of(const Trace& trace) {
+  std::vector<K> kinds;
+  kinds.reserve(trace.events.size());
+  for (const TraceEvent& e : trace.events) kinds.push_back(e.kind);
+  return kinds;
+}
+
+std::size_t index_of_nth(const Trace& trace, K kind, std::size_t nth = 0) {
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    if (trace.events[i].kind == kind) {
+      if (nth == 0) return i;
+      --nth;
+    }
+  }
+  ADD_FAILURE() << "event kind not found in trace";
+  return trace.events.size();
+}
+
+// ------------------------------------------------------- clean sequences
+
+TEST(TraceRecording, QuietRunEmitsExpectedSequence) {
+  const PeriodicEngine engine(Platform::fully_replicated(4), CostModel::uniform(10.0),
+                              StrategySpec::restart(100.0));
+  ScriptedSource source({}, 4);
+  RunResult result;
+  const Trace trace = record_run(engine, source, periods_spec(2), 1, &result);
+
+  const std::vector<K> expected = {K::kRunStart,        K::kPeriodStart, K::kCheckpointBegin,
+                                   K::kCheckpointEnd,   K::kPeriodStart, K::kCheckpointBegin,
+                                   K::kCheckpointEnd,   K::kRunEnd};
+  EXPECT_EQ(kinds_of(trace), expected);
+
+  EXPECT_DOUBLE_EQ(trace.events[1].time, 0.0);    // first period starts at 0
+  EXPECT_DOUBLE_EQ(trace.events[1].value, 100.0);  // period length
+  EXPECT_DOUBLE_EQ(trace.events[2].time, 100.0);   // checkpoint begins at work end
+  EXPECT_DOUBLE_EQ(trace.events[2].value, 10.0);   // plain C
+  EXPECT_EQ(trace.events[2].b, 0u);                // no C^R charged
+  EXPECT_DOUBLE_EQ(trace.events[3].time, 110.0);
+  EXPECT_DOUBLE_EQ(trace.events.back().time, 220.0);
+  EXPECT_DOUBLE_EQ(result.makespan, 220.0);
+
+  const auto report = check_trace(trace, result);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(TraceRecording, FatalRollbackEmitsFullRecoverySequence) {
+  // Pair (0,1) loses both replicas at t=10 and t=20; D=2, R=10, so the
+  // recovery window is (20, 32) and the period retries at 32.
+  const PeriodicEngine engine(Platform::fully_replicated(4),
+                              CostModel::uniform(10.0, 1.0, 2.0),
+                              StrategySpec::restart(100.0));
+  ScriptedSource source({{10.0, 0}, {20.0, 1}, {25.0, 3}}, 4);
+  RunResult result;
+  const Trace trace = record_run(engine, source, periods_spec(1), 1, &result);
+
+  const std::vector<K> expected = {
+      K::kRunStart,      K::kPeriodStart,   K::kFailureStrike, K::kFailureStrike,
+      K::kFatalRollback, K::kDowntime,      K::kRecovery,      K::kFailureStrike,
+      K::kPeriodStart,   K::kCheckpointBegin, K::kCheckpointEnd, K::kRunEnd};
+  EXPECT_EQ(kinds_of(trace), expected);
+
+  EXPECT_EQ(trace.events[2].b, 1u);  // degraded
+  EXPECT_EQ(trace.events[3].b, 2u);  // fatal
+  EXPECT_DOUBLE_EQ(trace.events[4].value, 20.0);  // wasted work
+  EXPECT_EQ(trace.events[4].b, 0u);               // struck during work
+  EXPECT_DOUBLE_EQ(trace.events[5].value, 2.0);   // D
+  EXPECT_DOUBLE_EQ(trace.events[6].value, 10.0);  // R
+  EXPECT_EQ(trace.events[7].b, repcheck::sim::kEffectAbsorbed);  // t=25 inside (20,32)
+  EXPECT_DOUBLE_EQ(trace.events[8].time, 32.0);   // retry after D+R
+  EXPECT_EQ(trace.events[8].a, 1u);               // second attempt
+
+  EXPECT_EQ(result.n_fatal, 1u);
+  EXPECT_EQ(result.n_failures, 3u);  // absorbed strikes are consumed failures
+  const auto report = check_trace(trace, result);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(TraceRecording, SpareLimitedRestartEmitsPartialRevive) {
+  // Two pairs each lose one replica; one spare is available, so the restart
+  // checkpoint revives exactly one processor and announces it.
+  const SparePool spares{1, 1e9};
+  const PeriodicEngine engine(Platform::fully_replicated(4), CostModel::uniform(10.0),
+                              StrategySpec::restart(100.0), spares);
+  ScriptedSource source({{10.0, 0}, {20.0, 2}}, 4);
+  RunResult result;
+  const Trace trace = record_run(engine, source, periods_spec(2), 1, &result);
+
+  std::size_t n_revives = 0;
+  for (const TraceEvent& e : trace.events) {
+    if (e.kind == K::kRevive) ++n_revives;
+  }
+  EXPECT_EQ(n_revives, 1u);
+
+  const TraceEvent& cb1 = trace.events[index_of_nth(trace, K::kCheckpointBegin, 0)];
+  EXPECT_EQ(cb1.a, 1u);  // pool-clamped revival
+  EXPECT_EQ(cb1.b, 1u);  // C^R charged
+  // The second checkpoint finds the pool drained (repair time 1e9): no
+  // revival, plain C.
+  const TraceEvent& cb2 = trace.events[index_of_nth(trace, K::kCheckpointBegin, 1)];
+  EXPECT_EQ(cb2.a, 0u);
+  EXPECT_EQ(cb2.b, 0u);
+
+  EXPECT_EQ(result.n_procs_restarted, 1u);
+  const auto report = check_trace(trace, result);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(TraceRecording, RecordRunResultMatchesPlainRun) {
+  const PeriodicEngine engine(Platform::fully_replicated(4), CostModel::uniform(10.0),
+                              StrategySpec::restart(100.0));
+  ScriptedSource source({{10.0, 0}, {20.0, 1}}, 4);
+  RunResult observed;
+  (void)record_run(engine, source, periods_spec(3), 7, &observed);
+  const RunResult plain = engine.run(source, periods_spec(3), 7);
+  EXPECT_TRUE(repcheck::oracle::diff_results(observed, plain).empty());
+}
+
+// --------------------------------------------------- tamper detection
+
+struct TamperedTrace {
+  Trace trace;
+  RunResult result;
+};
+
+TamperedTrace eventful_trace() {
+  TamperedTrace t;
+  const SparePool spares{1, 1e9};
+  const PeriodicEngine engine(Platform::fully_replicated(4),
+                              CostModel::uniform(10.0, 1.0, 2.0),
+                              StrategySpec::restart(100.0), spares);
+  ScriptedSource source({{10.0, 0}, {20.0, 1}, {25.0, 3}, {150.0, 2}}, 4);
+  t.trace = record_run(engine, source, periods_spec(3), 1, &t.result);
+  EXPECT_TRUE(check_trace(t.trace, t.result).ok());
+  return t;
+}
+
+TEST(InvariantChecker, FlagsDroppedFailureStrike) {
+  auto t = eventful_trace();
+  const std::size_t i = index_of_nth(t.trace, K::kFailureStrike, 0);
+  t.trace.events.erase(t.trace.events.begin() + static_cast<std::ptrdiff_t>(i));
+  EXPECT_FALSE(check_trace(t.trace, t.result).ok());
+}
+
+TEST(InvariantChecker, FlagsAlteredCheckpointTime) {
+  auto t = eventful_trace();
+  t.trace.events[index_of_nth(t.trace, K::kCheckpointEnd, 0)].time += 1.0;
+  EXPECT_FALSE(check_trace(t.trace, t.result).ok());
+}
+
+TEST(InvariantChecker, FlagsMisclassifiedEffect) {
+  auto t = eventful_trace();
+  TraceEvent& strike = t.trace.events[index_of_nth(t.trace, K::kFailureStrike, 0)];
+  ASSERT_EQ(strike.b, 1u);  // genuinely degraded
+  strike.b = 0;             // claim the hit was wasted
+  EXPECT_FALSE(check_trace(t.trace, t.result).ok());
+}
+
+TEST(InvariantChecker, FlagsOverdrawnSparePool) {
+  // Two dead processors but a one-spare pool: the genuine trace revives
+  // one; claiming both exceeds the pool balance.
+  const SparePool spares{1, 1e9};
+  const PeriodicEngine engine(Platform::fully_replicated(4), CostModel::uniform(10.0),
+                              StrategySpec::restart(100.0), spares);
+  ScriptedSource source({{10.0, 0}, {20.0, 2}}, 4);
+  Trace trace = record_run(engine, source, periods_spec(1), 1);
+  const std::size_t i = index_of_nth(trace, K::kCheckpointBegin, 0);
+  ASSERT_EQ(trace.events[i].a, 1u);
+  trace.events[i].a = 2;  // two dead exist, but only one spare
+  EXPECT_FALSE(check_trace(trace).ok());
+}
+
+TEST(InvariantChecker, FlagsReviveOutsideCheckpoint) {
+  auto t = eventful_trace();
+  const std::size_t i = index_of_nth(t.trace, K::kPeriodStart, 0);
+  TraceEvent revive;
+  revive.kind = K::kRevive;
+  revive.time = t.trace.events[i].time;
+  t.trace.events.insert(t.trace.events.begin() + static_cast<std::ptrdiff_t>(i) + 1, revive);
+  EXPECT_FALSE(check_trace(t.trace).ok());
+}
+
+TEST(InvariantChecker, FlagsTamperedResult) {
+  auto t = eventful_trace();
+  RunResult wrong = t.result;
+  wrong.makespan += 1e-9;
+  EXPECT_FALSE(check_trace(t.trace, wrong).ok());
+  wrong = t.result;
+  wrong.n_failures += 1;
+  EXPECT_FALSE(check_trace(t.trace, wrong).ok());
+}
+
+TEST(InvariantChecker, ViolationCarriesEventIndexAndMessage) {
+  auto t = eventful_trace();
+  const std::size_t i = index_of_nth(t.trace, K::kCheckpointEnd, 0);
+  t.trace.events[i].time += 0.5;
+  const auto report = check_trace(t.trace);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations.front().event_index, i);
+  EXPECT_FALSE(report.violations.front().message.empty());
+  EXPECT_NE(report.summary().find("event"), std::string::npos);
+}
+
+// ------------------------------------------------------- serialization
+
+TEST(TraceIo, SerializeParseRoundTrip) {
+  const auto t = eventful_trace();
+  const std::string text = serialize_trace(t.trace);
+  const std::optional<Trace> parsed = parse_trace(text);
+  ASSERT_TRUE(parsed.has_value());
+
+  EXPECT_EQ(parsed->header.n_procs, t.trace.header.n_procs);
+  EXPECT_EQ(parsed->header.n_groups, t.trace.header.n_groups);
+  EXPECT_EQ(parsed->header.degree, t.trace.header.degree);
+  EXPECT_EQ(parsed->header.checkpoint, t.trace.header.checkpoint);
+  EXPECT_EQ(parsed->header.downtime, t.trace.header.downtime);
+  EXPECT_TRUE(parsed->header.has_spares);
+  EXPECT_EQ(parsed->header.spare_capacity, t.trace.header.spare_capacity);
+  EXPECT_EQ(parsed->header.strategy, t.trace.header.strategy);
+  EXPECT_EQ(parsed->header.run_seed, t.trace.header.run_seed);
+  ASSERT_EQ(parsed->events.size(), t.trace.events.size());
+  for (std::size_t i = 0; i < parsed->events.size(); ++i) {
+    EXPECT_EQ(parsed->events[i].kind, t.trace.events[i].kind);
+    EXPECT_EQ(parsed->events[i].time, t.trace.events[i].time);  // bit-exact
+    EXPECT_EQ(parsed->events[i].value, t.trace.events[i].value);
+    EXPECT_EQ(parsed->events[i].a, t.trace.events[i].a);
+    EXPECT_EQ(parsed->events[i].b, t.trace.events[i].b);
+  }
+
+  // The round trip is a fixed point: re-serializing reproduces the bytes.
+  EXPECT_EQ(serialize_trace(*parsed), text);
+  // And the parsed trace still satisfies every invariant.
+  EXPECT_TRUE(check_trace(*parsed, t.result).ok());
+}
+
+TEST(TraceIo, ParserRejectsMalformedInput) {
+  const auto t = eventful_trace();
+  const std::string text = serialize_trace(t.trace);
+
+  EXPECT_FALSE(parse_trace("").has_value());
+  EXPECT_FALSE(parse_trace("not-a-trace v1\n").has_value());
+  EXPECT_FALSE(parse_trace(text.substr(0, text.size() / 2)).has_value());  // truncated
+  EXPECT_FALSE(parse_trace(text + "extra\n").has_value());                 // trailing garbage
+  EXPECT_FALSE(parse_trace(text.substr(0, text.size() - 1)).has_value());  // missing newline
+
+  std::string bad = text;
+  bad.replace(bad.find("seed"), 4, "sede");
+  EXPECT_FALSE(parse_trace(bad).has_value());
+}
+
+}  // namespace

@@ -1,13 +1,19 @@
+// Distribution samplers against their analytic laws.  Continuous samplers
+// get full Kolmogorov-Smirnov tests with p-values (stats/ks.hpp), discrete
+// ones chi-square goodness of fit — strictly stronger than the moment-only
+// checks these replaced, since they constrain the whole CDF.
 #include "prng/distributions.hpp"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
 #include <vector>
 
 #include "prng/xoshiro.hpp"
-#include "stats/ecdf.hpp"
+#include "stats/chi_square.hpp"
+#include "stats/ks.hpp"
 #include "stats/welford.hpp"
 
 namespace {
@@ -20,10 +26,13 @@ using repcheck::prng::UniformIndexSampler;
 using repcheck::prng::UniformSampler;
 using repcheck::prng::WeibullSampler;
 using repcheck::prng::Xoshiro256pp;
-using repcheck::stats::EmpiricalCdf;
+using repcheck::stats::chi_square_gof;
+using repcheck::stats::ks_test;
+using repcheck::stats::KsTest;
 using repcheck::stats::RunningStats;
 
 constexpr int kSamples = 100000;
+constexpr double kAlpha = 0.01;  // all acceptance tests run at the 99% level
 
 template <typename Sampler>
 RunningStats draw_stats(const Sampler& sampler, std::uint64_t seed, int n = kSamples) {
@@ -37,18 +46,30 @@ template <typename Sampler>
 std::vector<double> draw_samples(const Sampler& sampler, std::uint64_t seed, int n = kSamples) {
   Xoshiro256pp rng(seed);
   std::vector<double> out;
-  out.reserve(n);
+  out.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) out.push_back(sampler(rng));
   return out;
 }
 
+template <typename Sampler, typename Cdf>
+KsTest ks_of(const Sampler& sampler, std::uint64_t seed, Cdf cdf, int n = 20000) {
+  return ks_test(draw_samples(sampler, seed, n), cdf);
+}
+
+// Standard normal CDF for KS references.
+double phi(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
 // ---------------------------------------------------------------- uniform
 
-TEST(Uniform, MomentsMatch) {
-  const UniformSampler sampler(2.0, 6.0);
-  const auto stats = draw_stats(sampler, 1);
-  EXPECT_NEAR(stats.mean(), 4.0, 0.02);
-  EXPECT_NEAR(stats.variance(), 16.0 / 12.0, 0.03);
+TEST(Uniform, KolmogorovSmirnovAgainstTrueCdf) {
+  const auto ks = ks_of(UniformSampler(2.0, 6.0), 1, [](double x) {
+    return std::min(1.0, std::max(0.0, (x - 2.0) / 4.0));
+  });
+  EXPECT_TRUE(ks.consistent(kAlpha)) << "D=" << ks.statistic << " p=" << ks.p_value;
+}
+
+TEST(Uniform, StaysInsideRange) {
+  const auto stats = draw_stats(UniformSampler(2.0, 6.0), 2, 10000);
   EXPECT_GE(stats.min(), 2.0);
   EXPECT_LT(stats.max(), 6.0);
 }
@@ -58,15 +79,13 @@ TEST(Uniform, RejectsEmptyRange) {
   EXPECT_THROW(UniformSampler(2.0, 1.0), std::invalid_argument);
 }
 
-TEST(UniformIndex, CoversAllValuesUniformly) {
+TEST(UniformIndex, ChiSquareUniformOverAllValues) {
   const UniformIndexSampler sampler(10);
   Xoshiro256pp rng(3);
-  std::vector<int> counts(10, 0);
-  const int n = 100000;
-  for (int i = 0; i < n; ++i) ++counts[sampler(rng)];
-  for (int c : counts) {
-    EXPECT_NEAR(static_cast<double>(c), n / 10.0, 5.0 * std::sqrt(n / 10.0));
-  }
+  std::vector<std::uint64_t> counts(10, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[sampler(rng)];
+  const auto test = chi_square_gof(counts, std::vector<double>(10, 0.1));
+  EXPECT_TRUE(test.consistent(kAlpha)) << "chi2=" << test.statistic << " p=" << test.p_value;
 }
 
 TEST(UniformIndex, RejectsZeroBound) {
@@ -81,23 +100,22 @@ TEST(UniformIndex, BoundOneAlwaysZero) {
 
 // ------------------------------------------------------------ exponential
 
-TEST(Exponential, MeanAndVarianceMatchRate) {
-  const ExponentialSampler sampler(0.25);  // mean 4
-  const auto stats = draw_stats(sampler, 5);
-  EXPECT_NEAR(stats.mean(), 4.0, 0.08);
-  EXPECT_NEAR(stats.variance(), 16.0, 0.8);
+TEST(Exponential, KolmogorovSmirnovAgainstTrueCdf) {
+  const auto ks = ks_of(ExponentialSampler(2.0), 6,
+                        [](double x) { return 1.0 - std::exp(-2.0 * x); });
+  EXPECT_TRUE(ks.consistent(kAlpha)) << "D=" << ks.statistic << " p=" << ks.p_value;
 }
 
-TEST(Exponential, KolmogorovSmirnovAgainstTrueCdf) {
-  const ExponentialSampler sampler(2.0);
-  EmpiricalCdf ecdf(draw_samples(sampler, 6, 20000));
-  const double d = ecdf.ks_distance([](double x) { return 1.0 - std::exp(-2.0 * x); });
-  EXPECT_LT(d, ecdf.ks_critical(0.001));
+TEST(Exponential, KsRejectsWrongRate) {
+  // The same samples tested against a 25% slower law must be rejected —
+  // the KS test has real power at this sample size.
+  const auto ks = ks_of(ExponentialSampler(2.0), 6,
+                        [](double x) { return 1.0 - std::exp(-1.5 * x); });
+  EXPECT_LT(ks.p_value, 1e-6);
 }
 
 TEST(Exponential, SamplesArePositive) {
-  const ExponentialSampler sampler(1.0);
-  const auto stats = draw_stats(sampler, 7, 10000);
+  const auto stats = draw_stats(ExponentialSampler(1.0), 7, 10000);
   EXPECT_GT(stats.min(), 0.0);
 }
 
@@ -109,23 +127,30 @@ TEST(Exponential, RejectsNonPositiveRate) {
 // ---------------------------------------------------------------- weibull
 
 TEST(Weibull, ShapeOneIsExponential) {
-  const WeibullSampler sampler(1.0, 3.0);
-  EmpiricalCdf ecdf(draw_samples(sampler, 8, 20000));
-  const double d = ecdf.ks_distance([](double x) { return 1.0 - std::exp(-x / 3.0); });
-  EXPECT_LT(d, ecdf.ks_critical(0.001));
+  const auto ks = ks_of(WeibullSampler(1.0, 3.0), 8,
+                        [](double x) { return 1.0 - std::exp(-x / 3.0); });
+  EXPECT_TRUE(ks.consistent(kAlpha)) << "D=" << ks.statistic << " p=" << ks.p_value;
+}
+
+TEST(Weibull, KolmogorovSmirnovSubExponentialShape) {
+  // Shape 0.7: the heavy-tailed regime the failure-distribution ablation
+  // uses; CDF = 1 - exp(-(x/100)^0.7).
+  const auto ks = ks_of(WeibullSampler(0.7, 100.0), 9, [](double x) {
+    return x <= 0.0 ? 0.0 : 1.0 - std::exp(-std::pow(x / 100.0, 0.7));
+  });
+  EXPECT_TRUE(ks.consistent(kAlpha)) << "D=" << ks.statistic << " p=" << ks.p_value;
+}
+
+TEST(Weibull, KolmogorovSmirnovShapeTwo) {
+  const auto ks = ks_of(WeibullSampler(2.0, 1.0), 10,
+                        [](double x) { return 1.0 - std::exp(-x * x); });
+  EXPECT_TRUE(ks.consistent(kAlpha)) << "D=" << ks.statistic << " p=" << ks.p_value;
 }
 
 TEST(Weibull, MeanMatchesGammaFormula) {
   const WeibullSampler sampler(0.7, 100.0);
   const auto stats = draw_stats(sampler, 9);
   EXPECT_NEAR(stats.mean() / sampler.mean(), 1.0, 0.03);
-}
-
-TEST(Weibull, KolmogorovSmirnovShapeTwo) {
-  const WeibullSampler sampler(2.0, 1.0);
-  EmpiricalCdf ecdf(draw_samples(sampler, 10, 20000));
-  const double d = ecdf.ks_distance([](double x) { return 1.0 - std::exp(-x * x); });
-  EXPECT_LT(d, ecdf.ks_critical(0.001));
 }
 
 TEST(Weibull, RejectsBadParameters) {
@@ -135,6 +160,12 @@ TEST(Weibull, RejectsBadParameters) {
 
 // -------------------------------------------------------------- lognormal
 
+TEST(LogNormal, KolmogorovSmirnovAgainstTrueCdf) {
+  const auto ks = ks_of(LogNormalSampler(0.0, 1.0), 12,
+                        [](double x) { return x <= 0.0 ? 0.0 : phi(std::log(x)); });
+  EXPECT_TRUE(ks.consistent(kAlpha)) << "D=" << ks.statistic << " p=" << ks.p_value;
+}
+
 TEST(LogNormal, FromMeanCvReproducesMoments) {
   const auto sampler = LogNormalSampler::from_mean_cv(50.0, 1.5);
   const auto stats = draw_stats(sampler, 11, 400000);
@@ -143,12 +174,16 @@ TEST(LogNormal, FromMeanCvReproducesMoments) {
   EXPECT_NEAR(cv / 1.5, 1.0, 0.05);
 }
 
-TEST(LogNormal, KolmogorovSmirnovAgainstTrueCdf) {
-  const LogNormalSampler sampler(0.0, 1.0);
-  EmpiricalCdf ecdf(draw_samples(sampler, 12, 20000));
-  const double d = ecdf.ks_distance(
-      [](double x) { return x <= 0.0 ? 0.0 : 0.5 * std::erfc(-std::log(x) / std::sqrt(2.0)); });
-  EXPECT_LT(d, ecdf.ks_critical(0.001));
+TEST(LogNormal, FromMeanCvKolmogorovSmirnov) {
+  // The checkpoint-jitter constructor: derive (mu, sigma) from (mean, cv)
+  // and check the full CDF, not just two moments.
+  const double cv = 0.8;
+  const double sigma = std::sqrt(std::log(1.0 + cv * cv));
+  const double mu = std::log(50.0) - 0.5 * sigma * sigma;
+  const auto ks = ks_of(LogNormalSampler::from_mean_cv(50.0, cv), 13, [=](double x) {
+    return x <= 0.0 ? 0.0 : phi((std::log(x) - mu) / sigma);
+  });
+  EXPECT_TRUE(ks.consistent(kAlpha)) << "D=" << ks.statistic << " p=" << ks.p_value;
 }
 
 TEST(LogNormal, RejectsBadParameters) {
@@ -174,10 +209,18 @@ TEST(Gamma, MomentsMatchSmallShape) {
 }
 
 TEST(Gamma, ShapeOneIsExponential) {
-  const GammaSampler sampler(1.0, 2.0);
-  EmpiricalCdf ecdf(draw_samples(sampler, 15, 20000));
-  const double d = ecdf.ks_distance([](double x) { return 1.0 - std::exp(-x / 2.0); });
-  EXPECT_LT(d, ecdf.ks_critical(0.001));
+  const auto ks = ks_of(GammaSampler(1.0, 2.0), 15,
+                        [](double x) { return 1.0 - std::exp(-x / 2.0); });
+  EXPECT_TRUE(ks.consistent(kAlpha)) << "D=" << ks.statistic << " p=" << ks.p_value;
+}
+
+TEST(Gamma, ShapeTwoKolmogorovSmirnov) {
+  // Erlang-2: CDF = 1 - e^{-x/s}(1 + x/s).
+  const auto ks = ks_of(GammaSampler(2.0, 3.0), 16, [](double x) {
+    const double u = x / 3.0;
+    return x <= 0.0 ? 0.0 : 1.0 - std::exp(-u) * (1.0 + u);
+  });
+  EXPECT_TRUE(ks.consistent(kAlpha)) << "D=" << ks.statistic << " p=" << ks.p_value;
 }
 
 TEST(Gamma, RejectsBadParameters) {
@@ -187,27 +230,30 @@ TEST(Gamma, RejectsBadParameters) {
 
 // -------------------------------------------------------------- geometric
 
-TEST(Geometric, MeanMatches) {
-  const GeometricSampler sampler(0.25);  // mean 3
-  const auto stats = draw_stats(sampler, 16);
-  EXPECT_NEAR(stats.mean(), 3.0, 0.06);
+TEST(Geometric, ChiSquareAgainstPmf) {
+  // P(K = k) = p (1-p)^k on {0, 1, ...}; bins 0..9 plus a merged tail.
+  const double p = 0.25;
+  const GeometricSampler sampler(p);
+  Xoshiro256pp rng(16);
+  std::vector<std::uint64_t> counts(11, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    counts[std::min<std::uint64_t>(sampler(rng), counts.size() - 1)] += 1;
+  }
+  std::vector<double> expected(counts.size(), 0.0);
+  double tail = 1.0;
+  for (std::size_t k = 0; k + 1 < expected.size(); ++k) {
+    expected[k] = p * std::pow(1.0 - p, static_cast<double>(k));
+    tail -= expected[k];
+  }
+  expected.back() = tail;
+  const auto test = chi_square_gof(counts, expected);
+  EXPECT_TRUE(test.consistent(kAlpha)) << "chi2=" << test.statistic << " p=" << test.p_value;
 }
 
 TEST(Geometric, ProbabilityOneAlwaysZero) {
   const GeometricSampler sampler(1.0);
   Xoshiro256pp rng(17);
   for (int i = 0; i < 100; ++i) ASSERT_EQ(sampler(rng), 0u);
-}
-
-TEST(Geometric, MassAtZeroMatchesP) {
-  const GeometricSampler sampler(0.4);
-  Xoshiro256pp rng(18);
-  int zeros = 0;
-  const int n = 100000;
-  for (int i = 0; i < n; ++i) {
-    if (sampler(rng) == 0) ++zeros;
-  }
-  EXPECT_NEAR(static_cast<double>(zeros) / n, 0.4, 0.01);
 }
 
 TEST(Geometric, RejectsBadParameters) {
@@ -217,12 +263,15 @@ TEST(Geometric, RejectsBadParameters) {
 
 // ----------------------------------------------------------------- normal
 
-TEST(StandardNormal, MomentsMatch) {
+TEST(StandardNormal, KolmogorovSmirnovAgainstPhi) {
   Xoshiro256pp rng(19);
-  RunningStats stats;
-  for (int i = 0; i < kSamples; ++i) stats.push(repcheck::prng::sample_standard_normal(rng));
-  EXPECT_NEAR(stats.mean(), 0.0, 0.015);
-  EXPECT_NEAR(stats.variance(), 1.0, 0.03);
+  std::vector<double> samples;
+  samples.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    samples.push_back(repcheck::prng::sample_standard_normal(rng));
+  }
+  const auto ks = ks_test(std::move(samples), phi);
+  EXPECT_TRUE(ks.consistent(kAlpha)) << "D=" << ks.statistic << " p=" << ks.p_value;
 }
 
 }  // namespace

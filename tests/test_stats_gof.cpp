@@ -1,0 +1,207 @@
+// Goodness-of-fit machinery: Kolmogorov SF, chi-square SF via the
+// regularized incomplete gamma, exact binomial CIs, and the full tests
+// built on them.  Checked against closed forms and hand-computable cases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "math/beta.hpp"
+#include "math/gamma.hpp"
+#include "prng/distributions.hpp"
+#include "prng/xoshiro.hpp"
+#include "stats/binomial.hpp"
+#include "stats/chi_square.hpp"
+#include "stats/ks.hpp"
+
+namespace {
+
+using repcheck::math::regularized_gamma_p;
+using repcheck::math::regularized_gamma_q;
+using repcheck::prng::ExponentialSampler;
+using repcheck::prng::Xoshiro256pp;
+using repcheck::stats::beta_quantile;
+using repcheck::stats::binomial_cdf;
+using repcheck::stats::chi_square_gof;
+using repcheck::stats::chi_square_sf;
+using repcheck::stats::clopper_pearson;
+using repcheck::stats::kolmogorov_sf;
+using repcheck::stats::ks_test;
+
+std::vector<double> exponential_samples(double rate, std::uint64_t seed, int n) {
+  const ExponentialSampler sampler(rate);
+  Xoshiro256pp rng(seed);
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(sampler(rng));
+  return out;
+}
+
+// ------------------------------------------------- incomplete gamma
+
+TEST(RegularizedGamma, ComplementsSumToOne) {
+  for (const double a : {0.5, 1.0, 2.5, 10.0, 50.0}) {
+    for (const double x : {0.1, 1.0, 5.0, 25.0, 80.0}) {
+      EXPECT_NEAR(regularized_gamma_p(a, x) + regularized_gamma_q(a, x), 1.0, 1e-12)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(RegularizedGamma, ShapeOneIsExponentialCdf) {
+  for (const double x : {0.01, 0.5, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(regularized_gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+}
+
+TEST(RegularizedGamma, BoundaryAndDomain) {
+  EXPECT_EQ(regularized_gamma_p(2.0, 0.0), 0.0);
+  EXPECT_EQ(regularized_gamma_q(2.0, 0.0), 1.0);
+  EXPECT_THROW((void)regularized_gamma_p(0.0, 1.0), std::domain_error);
+  EXPECT_THROW((void)regularized_gamma_p(1.0, -1.0), std::domain_error);
+}
+
+// ---------------------------------------------------- chi-square SF
+
+TEST(ChiSquareSf, TwoDofIsExponentialTail) {
+  // With dof = 2 the chi-square distribution is Exp(1/2).
+  for (const double x : {0.1, 1.0, 4.0, 12.0}) {
+    EXPECT_NEAR(chi_square_sf(x, 2.0), std::exp(-x / 2.0), 1e-12);
+  }
+}
+
+TEST(ChiSquareSf, OneDofIsGaussianTail) {
+  // With dof = 1, P(X >= x) = erfc(sqrt(x/2)).
+  for (const double x : {0.5, 1.0, 3.84, 6.63}) {
+    EXPECT_NEAR(chi_square_sf(x, 1.0), std::erfc(std::sqrt(x / 2.0)), 1e-10);
+  }
+}
+
+TEST(ChiSquareSf, KnownCriticalValues) {
+  // Textbook 5% critical values: chi2_{0.05}(1) = 3.841, chi2_{0.05}(5) = 11.070.
+  EXPECT_NEAR(chi_square_sf(3.841, 1.0), 0.05, 5e-4);
+  EXPECT_NEAR(chi_square_sf(11.070, 5.0), 0.05, 5e-4);
+}
+
+// ------------------------------------------------------ Kolmogorov SF
+
+TEST(KolmogorovSf, KnownValues) {
+  // Q_KS(x) = 2 sum (-1)^{k-1} e^{-2 k^2 x^2}: standard table entries.
+  EXPECT_NEAR(kolmogorov_sf(1.0), 0.2700, 5e-4);
+  EXPECT_NEAR(kolmogorov_sf(1.358), 0.0500, 5e-4);  // the classic 5% point
+  EXPECT_NEAR(kolmogorov_sf(1.63), 0.0100, 5e-4);  // the 1% point
+}
+
+TEST(KolmogorovSf, Monotone) {
+  EXPECT_NEAR(kolmogorov_sf(0.0), 1.0, 1e-12);
+  double prev = 1.0;
+  for (double x = 0.1; x < 3.0; x += 0.1) {
+    const double q = kolmogorov_sf(x);
+    EXPECT_LE(q, prev + 1e-12);
+    prev = q;
+  }
+  EXPECT_LT(kolmogorov_sf(3.0), 1e-6);
+}
+
+// ------------------------------------------------------------ KS test
+
+TEST(KsTest, AcceptsCorrectCdf) {
+  const auto samples = exponential_samples(2.0, 101, 20000);
+  const auto ks = ks_test(samples, [](double x) { return 1.0 - std::exp(-2.0 * x); });
+  EXPECT_EQ(ks.n, 20000u);
+  EXPECT_TRUE(ks.consistent(0.01)) << "p=" << ks.p_value;
+}
+
+TEST(KsTest, RejectsWrongCdf) {
+  // Samples from Exp(2) tested against Exp(1): decisively rejected.
+  const auto samples = exponential_samples(2.0, 102, 20000);
+  const auto ks = ks_test(samples, [](double x) { return 1.0 - std::exp(-x); });
+  EXPECT_LT(ks.p_value, 1e-6);
+  EXPECT_FALSE(ks.consistent(0.01));
+}
+
+// ---------------------------------------------------- chi-square GOF
+
+TEST(ChiSquareGof, AcceptsFairDie) {
+  Xoshiro256pp rng(7);
+  const repcheck::prng::UniformIndexSampler die(6);
+  std::vector<std::uint64_t> counts(6, 0);
+  for (int i = 0; i < 60000; ++i) ++counts[die(rng)];
+  const std::vector<double> fair(6, 1.0 / 6.0);
+  const auto test = chi_square_gof(counts, fair);
+  EXPECT_DOUBLE_EQ(test.dof, 5.0);
+  EXPECT_TRUE(test.consistent(0.01)) << "p=" << test.p_value;
+}
+
+TEST(ChiSquareGof, RejectsBiasedDie) {
+  // Counts drawn from a loaded die, tested against the fair law.
+  const std::vector<std::uint64_t> counts = {12000, 10000, 10000, 10000, 10000, 8000};
+  const std::vector<double> fair(6, 1.0 / 6.0);
+  const auto test = chi_square_gof(counts, fair);
+  EXPECT_LT(test.p_value, 1e-6);
+}
+
+TEST(ChiSquareGof, ValidatesInput) {
+  const std::vector<std::uint64_t> counts = {10, 20};
+  EXPECT_THROW((void)chi_square_gof(counts, {0.5}), std::invalid_argument);          // size mismatch
+  EXPECT_THROW((void)chi_square_gof(counts, {0.4, 0.4}), std::invalid_argument);     // sum != 1
+  EXPECT_THROW((void)chi_square_gof(counts, {1.0, 0.0}), std::invalid_argument);     // empty bin
+  EXPECT_THROW((void)chi_square_gof(counts, {0.5, 0.5}, 1), std::invalid_argument);  // dof <= 0
+  EXPECT_THROW((void)chi_square_gof({0, 0}, {0.5, 0.5}), std::invalid_argument);     // no data
+}
+
+// ------------------------------------------------- exact binomial CI
+
+TEST(BinomialCdf, MatchesDirectSum) {
+  const std::uint64_t n = 12;
+  const double p = 0.3;
+  double direct = 0.0;
+  for (std::uint64_t k = 0; k < n; ++k) {
+    // Binomial pmf via lgamma to avoid overflow-free factorials.
+    const double log_pmf = std::lgamma(static_cast<double>(n) + 1.0) -
+                           std::lgamma(static_cast<double>(k) + 1.0) -
+                           std::lgamma(static_cast<double>(n - k) + 1.0) +
+                           static_cast<double>(k) * std::log(p) +
+                           static_cast<double>(n - k) * std::log(1.0 - p);
+    direct += std::exp(log_pmf);
+    EXPECT_NEAR(binomial_cdf(k, n, p), direct, 1e-12) << "k=" << k;
+  }
+  EXPECT_EQ(binomial_cdf(n, n, p), 1.0);
+}
+
+TEST(BetaQuantile, RoundTripsThroughCdf) {
+  for (const double q : {0.005, 0.1, 0.5, 0.9, 0.995}) {
+    const double x = beta_quantile(q, 3.0, 7.0);
+    EXPECT_NEAR(repcheck::math::regularized_incomplete_beta(3.0, 7.0, x), q, 1e-10);
+  }
+}
+
+TEST(ClopperPearson, ZeroAndFullSuccessesMatchClosedForms) {
+  // k = 0: lo = 0, hi = 1 - (alpha/2)^{1/n}; k = n mirrors it.
+  const std::uint64_t n = 50;
+  const double alpha = 0.01;
+  const auto none = clopper_pearson(0, n, 1.0 - alpha);
+  EXPECT_EQ(none.lo, 0.0);
+  EXPECT_NEAR(none.hi, 1.0 - std::pow(alpha / 2.0, 1.0 / static_cast<double>(n)), 1e-10);
+  const auto all = clopper_pearson(n, n, 1.0 - alpha);
+  EXPECT_NEAR(all.lo, std::pow(alpha / 2.0, 1.0 / static_cast<double>(n)), 1e-10);
+  EXPECT_EQ(all.hi, 1.0);
+}
+
+TEST(ClopperPearson, CoversPointEstimate) {
+  const auto ci = clopper_pearson(420, 1000, 0.99);
+  EXPECT_TRUE(ci.contains(ci.point_estimate()));
+  EXPECT_TRUE(ci.contains(0.42));
+  EXPECT_FALSE(ci.contains(0.5));  // 0.42 +/- ~4% at 99%
+  EXPECT_LT(ci.hi - ci.lo, 0.09);
+}
+
+TEST(ClopperPearson, ValidatesInput) {
+  EXPECT_THROW((void)clopper_pearson(1, 0), std::invalid_argument);
+  EXPECT_THROW((void)clopper_pearson(5, 4), std::invalid_argument);
+  EXPECT_THROW((void)clopper_pearson(1, 2, 1.0), std::invalid_argument);
+}
+
+}  // namespace
