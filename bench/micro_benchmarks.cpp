@@ -10,6 +10,7 @@
 
 #include "core/repcheck.hpp"
 #include "math/beta.hpp"
+#include "util/failpoint.hpp"
 #include "math/lambert_w.hpp"
 #include "math/roots.hpp"
 #include "oracle/recorder.hpp"
@@ -144,6 +145,43 @@ void BM_EngineRunTraceRecorder(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EngineRunTraceRecorder);
+
+// The failpoint facility's zero-cost claim (util/failpoint.hpp): a disarmed
+// REPCHECK_FAILPOINT is one relaxed atomic load that short-circuits before
+// even building the site name, so the instrumented engine loop must track
+// the bare one.  Compare the pair after touching the failpoint fast path.
+void BM_EngineRunNoFailpoint(benchmark::State& state) {
+  const std::uint64_t n = 2000;
+  const double mu = model::years(5.0);
+  const sim::PeriodicEngine engine(platform::Platform::fully_replicated(n),
+                                   platform::CostModel::uniform(60.0),
+                                   sim::StrategySpec::restart(model::t_opt_rs(60.0, n / 2, mu)));
+  failures::ExponentialFailureSource source(n, mu);
+  sim::RunSpec spec;
+  spec.n_periods = 100;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(source, spec, ++seed));
+  }
+}
+BENCHMARK(BM_EngineRunNoFailpoint);
+
+void BM_EngineRunDisarmedFailpoint(benchmark::State& state) {
+  const std::uint64_t n = 2000;
+  const double mu = model::years(5.0);
+  const sim::PeriodicEngine engine(platform::Platform::fully_replicated(n),
+                                   platform::CostModel::uniform(60.0),
+                                   sim::StrategySpec::restart(model::t_opt_rs(60.0, n / 2, mu)));
+  failures::ExponentialFailureSource source(n, mu);
+  sim::RunSpec spec;
+  spec.n_periods = 100;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    if (REPCHECK_FAILPOINT("bench.engine.run")) state.SkipWithError("armed in bench");
+    benchmark::DoNotOptimize(engine.run(source, spec, ++seed));
+  }
+}
+BENCHMARK(BM_EngineRunDisarmedFailpoint);
 
 void BM_NFailClosedForm(benchmark::State& state) {
   std::uint64_t b = 100000;

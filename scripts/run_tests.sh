@@ -6,12 +6,13 @@
 #
 #   label    CTest label to run: unit | oracle | stat | slow | all
 #            (default: all)
-#   preset   release | asan-ubsan | all   (default: all)
+#   preset   release | asan-ubsan | tsan | all   (default: all)
 #
 # Examples:
-#   scripts/run_tests.sh                 # everything, both presets
-#   scripts/run_tests.sh oracle          # oracle tests, both presets
+#   scripts/run_tests.sh                 # everything, all three presets
+#   scripts/run_tests.sh oracle          # oracle tests, all three presets
 #   scripts/run_tests.sh stat release    # statistical tests, release only
+#   scripts/run_tests.sh unit tsan       # race-check the campaign runner &c.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,9 +20,9 @@ label="${1:-all}"
 preset_arg="${2:-all}"
 
 case "$preset_arg" in
-  all) presets=(release asan-ubsan) ;;
-  release|asan-ubsan) presets=("$preset_arg") ;;
-  *) echo "unknown preset '$preset_arg' (release | asan-ubsan | all)" >&2; exit 2 ;;
+  all) presets=(release asan-ubsan tsan) ;;
+  release|asan-ubsan|tsan) presets=("$preset_arg") ;;
+  *) echo "unknown preset '$preset_arg' (release | asan-ubsan | tsan | all)" >&2; exit 2 ;;
 esac
 
 ctest_args=()

@@ -4,9 +4,13 @@
 #include <utility>
 
 #include "prng/splitmix64.hpp"
+#include "util/failpoint.hpp"
 #include "util/hash.hpp"
+#include "util/log.hpp"
 
 namespace repcheck::campaign {
+
+namespace fp = util::failpoint;
 
 std::uint64_t point_hash(const SweepPoint& point) { return util::fnv1a64(point.canonical()); }
 
@@ -78,31 +82,154 @@ void for_each_stat(Summary& summary, Fn&& fn) {
   fn("energy_overhead", summary.energy_overhead);
 }
 
-std::map<std::string, util::JsonObject> load_jsonl_map(const std::filesystem::path& path,
-                                                       std::string_view key_field) {
+/// One damaged line, appended verbatim to the store's quarantine file so
+/// nothing is destroyed — an operator (or a bug report) can still inspect
+/// the bytes.  Opened lazily: healthy loads create no quarantine file.
+class QuarantineWriter {
+ public:
+  explicit QuarantineWriter(const std::filesystem::path& store_file)
+      : path_(store_file.empty() ? std::filesystem::path{} : quarantine_path(store_file)) {}
+
+  void put(const std::string& line) {
+    ++count_;
+    if (path_.empty()) return;
+    if (!out_.is_open()) {
+      out_.open(path_, std::ios::app);
+      if (!out_) return;  // quarantine is best-effort; the WARN still fires
+    }
+    out_ << line << '\n';
+    out_.flush();
+  }
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+  std::ofstream out_;
+  std::size_t count_ = 0;
+};
+
+struct LoadedStore {
   std::map<std::string, util::JsonObject> records;
+  LoadStats stats;
+};
+
+/// Loads a JSONL store, verifying each record's checksum.  Damaged lines
+/// (unparseable, missing/empty key, checksum mismatch) are quarantined and
+/// WARN-logged; records written before checksumming count as legacy.
+LoadedStore load_jsonl_map(const std::filesystem::path& path, std::string_view key_field) {
+  LoadedStore store;
   std::ifstream in(path);
-  if (!in) return records;
+  if (!in) return store;
+  QuarantineWriter quarantine(path);
   std::string line;
   while (std::getline(in, line)) {
-    // A killed writer leaves at most one truncated line; parse_jsonl
-    // rejects it (and any other damage) and we simply skip.
+    if (line.empty()) continue;
     auto record = util::parse_jsonl(line);
-    if (!record) continue;
+    if (!record) {
+      // Unparseable: bit rot, or the truncated final line a killed writer
+      // leaves behind.  Either way it is damage — move it aside.
+      quarantine.put(line);
+      continue;
+    }
+    const auto sum_it = record->find(kChecksumField);
+    if (sum_it == record->end()) {
+      ++store.stats.legacy;  // pre-checksum record; fsck upgrades these
+    } else {
+      const auto* stored = std::get_if<std::string>(&sum_it->second);
+      const std::string stored_sum = stored != nullptr ? *stored : std::string{};
+      record->erase(sum_it);
+      if (stored_sum != record_checksum(*record)) {
+        quarantine.put(line);
+        continue;
+      }
+    }
     const auto it = record->find(key_field);
-    if (it == record->end()) continue;
+    if (it == record->end()) {
+      quarantine.put(line);
+      continue;
+    }
     const auto* key = std::get_if<std::string>(&it->second);
-    if (key == nullptr || key->empty()) continue;
-    records.insert_or_assign(*key, std::move(*record));
+    if (key == nullptr || key->empty()) {
+      quarantine.put(line);
+      continue;
+    }
+    ++store.stats.loaded;
+    store.records.insert_or_assign(*key, std::move(*record));
   }
-  return records;
+  store.stats.quarantined = quarantine.count();
+  if (store.stats.quarantined > 0) {
+    util::log_warn() << "store " << path.string() << ": quarantined " << store.stats.quarantined
+                     << " damaged record(s) to " << quarantine.path().string()
+                     << " (kept " << store.stats.loaded
+                     << "); run repcheck_campaign --fsck to compact";
+  }
+  if (store.stats.legacy > 0) {
+    util::log_info() << "store " << path.string() << ": " << store.stats.legacy
+                     << " legacy record(s) without checksum (fsck upgrades them)";
+  }
+  return store;
 }
 
-std::ofstream open_append(const std::filesystem::path& path) {
+std::ofstream open_append(const std::filesystem::path& path, std::string_view store) {
+  if (fp::armed_count() != 0 &&
+      fp::fires("campaign." + std::string(store) + ".open")) {
+    throw StoreWriteError("campaign " + std::string(store) + " open failed for " + path.string() +
+                          " (injected fault)");
+  }
   if (path.has_parent_path()) std::filesystem::create_directories(path.parent_path());
   std::ofstream out(path, std::ios::app);
-  if (!out) throw std::runtime_error("cannot open for append: " + path.string());
+  if (!out) {
+    throw StoreWriteError("cannot open campaign " + std::string(store) + " for append: " +
+                          path.string());
+  }
   return out;
+}
+
+/// Appends one already-checksummed record line, honoring the store's
+/// failpoints, and verifies the stream accepted it.  `store` is "cache" or
+/// "journal" — it names both the failpoint sites and the error message.
+/// `dirty` remembers a previously failed append: the next append then
+/// starts with a newline so a torn half-line cannot swallow the following
+/// healthy record (the loader skips the resulting blank line).
+void append_line(std::ofstream& out, bool& dirty, const std::filesystem::path& file,
+                 std::string_view store, const std::string& key, std::string line) {
+  if (dirty) {
+    out << '\n';
+    dirty = false;
+  }
+  if (fp::armed_count() != 0) {
+    const std::string prefix = "campaign." + std::string(store);
+    if (fp::fires(prefix + ".torn_write")) {
+      // The footprint of a writer killed mid-append: half a line, no
+      // newline, then the process is gone.
+      out << line.substr(0, line.size() / 2);
+      out.flush();
+      dirty = true;
+      throw StoreWriteError("campaign " + std::string(store) + " torn write for key " + key +
+                            " at " + file.string() + " (injected fault)");
+    }
+    if (fp::fires(prefix + ".corrupt_record")) {
+      // Flip one digit of the payload (bit rot after the checksum was
+      // computed): the line stays parseable JSON but fails verification.
+      const std::size_t at = line.find_first_of("0123456789");
+      if (at != std::string::npos) line[at] = line[at] == '9' ? '0' : line[at] + 1;
+    }
+  }
+  out << line << '\n';
+  out.flush();  // a kill now costs at most the in-flight shard
+  if (fp::armed_count() != 0 &&
+      fp::fires("campaign." + std::string(store) + ".append_fail")) {
+    out.setstate(std::ios::failbit);
+  }
+  if (!out) {
+    out.clear();  // keep the stream usable in case the condition clears
+    dirty = true;
+    throw StoreWriteError("campaign " + std::string(store) + " append failed for key " + key +
+                          " at " + file.string() +
+                          " (disk full?); the record did not persist");
+  }
 }
 
 }  // namespace
@@ -149,12 +276,59 @@ sim::MonteCarloSummary summary_from_json(const util::JsonObject& record) {
   return summary;
 }
 
+std::string record_checksum(const util::JsonObject& record) {
+  const auto it = record.find(kChecksumField);
+  if (it == record.end()) return util::content_hash_hex(util::to_jsonl(record));
+  util::JsonObject copy = record;
+  copy.erase(std::string(kChecksumField));
+  return util::content_hash_hex(util::to_jsonl(copy));
+}
+
+std::filesystem::path quarantine_path(const std::filesystem::path& store_file) {
+  auto path = store_file;
+  path.replace_extension();
+  path += ".quarantine";
+  path += store_file.extension();
+  return path;
+}
+
+FsckReport fsck_store(const std::filesystem::path& file, std::string_view key_field) {
+  FsckReport report;
+  report.file = file;
+  if (file.empty() || !std::filesystem::exists(file)) return report;
+  report.bytes_before = std::filesystem::file_size(file);
+
+  auto store = load_jsonl_map(file, key_field);
+  report.quarantined = store.stats.quarantined;
+  report.legacy_upgraded = store.stats.legacy;
+  report.kept = store.records.size();
+
+  // Rewrite-then-rename: the original file stays intact until the
+  // compacted replacement is fully flushed.
+  const auto tmp = std::filesystem::path(file.string() + ".fsck-tmp");
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) throw StoreWriteError("fsck: cannot open temp file " + tmp.string());
+    for (auto& [key, record] : store.records) {
+      record[std::string(kChecksumField)] = record_checksum(record);
+      out << util::to_jsonl(record) << '\n';
+    }
+    out.flush();
+    if (!out) throw StoreWriteError("fsck: write to temp file failed: " + tmp.string());
+  }
+  std::filesystem::rename(tmp, file);
+  report.bytes_after = std::filesystem::file_size(file);
+  return report;
+}
+
 ResultCache::ResultCache(const std::filesystem::path& dir) {
   if (dir.empty()) return;
   std::filesystem::create_directories(dir);
   file_ = dir / "cache.jsonl";
-  records_ = load_jsonl_map(file_, "key");
-  out_ = open_append(file_);
+  auto store = load_jsonl_map(file_, "key");
+  records_ = std::move(store.records);
+  load_stats_ = store.stats;
+  out_ = open_append(file_, "cache");
 }
 
 std::optional<sim::MonteCarloSummary> ResultCache::lookup(const std::string& key) const {
@@ -179,13 +353,11 @@ void ResultCache::insert(const std::string& key, const SweepPoint& point, std::u
   record["begin"] = static_cast<double>(begin);
   record["end"] = static_cast<double>(end);
   record["engine"] = std::string(kEngineVersion);
-  const std::string line = util::to_jsonl(record);
+  record[std::string(kChecksumField)] = record_checksum(record);
+  std::string line = util::to_jsonl(record);
   std::lock_guard<std::mutex> lock(mutex_);
   records_.insert_or_assign(key, std::move(record));
-  if (out_.is_open()) {
-    out_ << line << '\n';
-    out_.flush();  // a kill now costs at most the in-flight shard
-  }
+  if (out_.is_open()) append_line(out_, dirty_, file_, "cache", key, std::move(line));
 }
 
 std::size_t ResultCache::size() const {
@@ -196,8 +368,10 @@ std::size_t ResultCache::size() const {
 Journal::Journal(const std::filesystem::path& path) {
   if (path.empty()) return;
   file_ = path;
-  done_ = load_jsonl_map(file_, "done_key");
-  out_ = open_append(file_);
+  auto store = load_jsonl_map(file_, "done_key");
+  done_ = std::move(store.records);
+  load_stats_ = store.stats;
+  out_ = open_append(file_, "journal");
 }
 
 std::optional<sim::MonteCarloSummary> Journal::completed(const std::string& key) const {
@@ -213,13 +387,11 @@ void Journal::mark_done(const std::string& key, const SweepPoint& point,
   record["done_key"] = key;
   record["point"] = point.canonical();
   record["engine"] = std::string(kEngineVersion);
-  const std::string line = util::to_jsonl(record);
+  record[std::string(kChecksumField)] = record_checksum(record);
+  std::string line = util::to_jsonl(record);
   std::lock_guard<std::mutex> lock(mutex_);
   done_.insert_or_assign(key, std::move(record));
-  if (out_.is_open()) {
-    out_ << line << '\n';
-    out_.flush();
-  }
+  if (out_.is_open()) append_line(out_, dirty_, file_, "journal", key, std::move(line));
 }
 
 std::size_t Journal::size() const {

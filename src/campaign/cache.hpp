@@ -1,4 +1,5 @@
-// Content-addressed result cache + campaign journal (checkpoint/resume).
+// Content-addressed result cache + campaign journal (checkpoint/resume),
+// hardened against the failures a long campaign actually sees.
 //
 // Cache keys address one Monte-Carlo *shard* (a contiguous replicate range
 // of one sweep point): FNV-128 over the canonical point parameters, the
@@ -8,9 +9,24 @@
 // while any semantic change to the simulator is isolated by bumping
 // kEngineVersion.
 //
-// Both stores are append-only JSONL, flushed line-by-line, and tolerate a
-// truncated final line on load (the footprint of a killed writer), which
-// is what bounds the cost of an interruption to the in-flight shard.
+// Failure model (docs/CAMPAIGN.md "Failure model & recovery semantics"):
+//   * every record carries an FNV-128 checksum ("sum") over its canonical
+//     serialization, so bit rot and torn writes are *detected*, not
+//     silently merged;
+//   * on load, damaged or checksum-mismatched lines are quarantined to a
+//     sibling <stem>.quarantine<ext> file and counted (WARN-logged), never
+//     silently skipped; records written before checksumming existed load
+//     as "legacy" and are upgraded by fsck;
+//   * append failures (disk full, I/O error) raise StoreWriteError with
+//     the store, path and key instead of vanishing into a bad ofstream;
+//   * fsck_store() verifies and compacts a store via write-to-temp +
+//     atomic rename, re-checksumming every surviving record;
+//   * failpoint sites (campaign.{cache,journal}.{open,torn_write,
+//     corrupt_record,append_fail}) inject each of these failures
+//     deterministically for tests.
+//
+// Both stores are append-only JSONL, flushed line-by-line, which is what
+// bounds the cost of an interruption to the in-flight shard.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +35,7 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 
@@ -31,6 +48,16 @@ namespace repcheck::campaign {
 /// Stamped into every cache key and record.  Bump whenever simulator
 /// semantics change so stale results stop matching.
 inline constexpr std::string_view kEngineVersion = "repcheck-sim-v1";
+
+/// Record field holding the FNV-128 checksum of the rest of the record.
+inline constexpr std::string_view kChecksumField = "sum";
+
+/// A store append that did not reach disk (disk full, I/O error, injected
+/// fault).  The message names the store, file and key.
+class StoreWriteError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// FNV-1a of the canonical parameter string.
 [[nodiscard]] std::uint64_t point_hash(const SweepPoint& point);
@@ -53,6 +80,39 @@ inline constexpr std::string_view kEngineVersion = "repcheck-sim-v1";
 [[nodiscard]] util::JsonObject summary_to_json(const sim::MonteCarloSummary& summary);
 [[nodiscard]] sim::MonteCarloSummary summary_from_json(const util::JsonObject& record);
 
+/// FNV-128 hex checksum over the canonical serialization of `record` with
+/// the "sum" field excluded (keys are sorted and doubles round-trip
+/// shortest-form, so the payload is deterministic).
+[[nodiscard]] std::string record_checksum(const util::JsonObject& record);
+
+/// Where a store's damaged lines go: `<stem>.quarantine<ext>` next to the
+/// store file (cache.jsonl -> cache.quarantine.jsonl).
+[[nodiscard]] std::filesystem::path quarantine_path(const std::filesystem::path& store_file);
+
+/// What a store load saw (exposed for operators and tests).
+struct LoadStats {
+  std::size_t loaded = 0;       ///< records accepted into the map
+  std::size_t quarantined = 0;  ///< damaged/mismatched lines moved aside
+  std::size_t legacy = 0;       ///< accepted records lacking a checksum
+};
+
+/// Verify-and-compact report for one store file.
+struct FsckReport {
+  std::filesystem::path file;
+  std::size_t kept = 0;             ///< records surviving verification
+  std::size_t quarantined = 0;      ///< damaged lines moved to quarantine
+  std::size_t legacy_upgraded = 0;  ///< records that gained a checksum
+  std::uintmax_t bytes_before = 0;
+  std::uintmax_t bytes_after = 0;
+};
+
+/// Verifies every record of a JSONL store (quarantining damage exactly as
+/// a normal load does), then atomically rewrites the file compacted —
+/// duplicates collapsed, every record checksummed — via temp file +
+/// rename.  `key_field` is "key" for caches, "done_key" for journals.
+/// A missing file yields an all-zero report.
+FsckReport fsck_store(const std::filesystem::path& file, std::string_view key_field);
+
 /// Append-only JSONL store of shard summaries keyed by shard_key.
 class ResultCache {
  public:
@@ -63,17 +123,22 @@ class ResultCache {
   [[nodiscard]] std::optional<sim::MonteCarloSummary> lookup(const std::string& key) const;
   [[nodiscard]] bool contains(const std::string& key) const;
 
+  /// Appends one checksummed record; throws StoreWriteError when the line
+  /// did not reach the stream intact.
   void insert(const std::string& key, const SweepPoint& point, std::uint64_t seed,
               std::uint64_t begin, std::uint64_t end, const sim::MonteCarloSummary& summary);
 
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] const std::filesystem::path& file() const { return file_; }
+  [[nodiscard]] const LoadStats& load_stats() const { return load_stats_; }
 
  private:
   mutable std::mutex mutex_;
   std::filesystem::path file_;  ///< empty when in-memory only
   std::ofstream out_;
+  bool dirty_ = false;  ///< last append failed; next one re-syncs with '\n'
   std::map<std::string, util::JsonObject> records_;
+  LoadStats load_stats_;
 };
 
 /// Append-only JSONL journal of *completed points* (merged summaries).
@@ -85,15 +150,19 @@ class Journal {
   explicit Journal(const std::filesystem::path& path);
 
   [[nodiscard]] std::optional<sim::MonteCarloSummary> completed(const std::string& key) const;
+  /// Throws StoreWriteError when the append did not reach the stream.
   void mark_done(const std::string& key, const SweepPoint& point,
                  const sim::MonteCarloSummary& summary);
   [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const LoadStats& load_stats() const { return load_stats_; }
 
  private:
   mutable std::mutex mutex_;
   std::filesystem::path file_;
   std::ofstream out_;
+  bool dirty_ = false;  ///< last append failed; next one re-syncs with '\n'
   std::map<std::string, util::JsonObject> done_;
+  LoadStats load_stats_;
 };
 
 }  // namespace repcheck::campaign

@@ -9,8 +9,16 @@
 // build an ad-hoc cartesian sweep over the standard evaluator's parameters
 // (see docs/CAMPAIGN.md).  Warm reruns with an unchanged spec, seed and
 // cache directory are 100% cache hits and simulate nothing.
+//
+// Robustness (docs/CAMPAIGN.md "Failure model & recovery semantics"):
+// evaluator faults are retried (--max-retries/--retry-backoff-ms) and then
+// isolated to their point (exit 2 with a failure summary; healthy points
+// still print); SIGINT/SIGTERM drains gracefully (in-flight shards finish
+// and flush, exit 130, rerun resumes); --fsck verifies and compacts the
+// cache/journal stores, quarantining damaged records.
 #include <cstdio>
 #include <exception>
+#include <filesystem>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -20,6 +28,7 @@
 #include "campaign/figures.hpp"
 #include "campaign/simulate.hpp"
 #include "util/flags.hpp"
+#include "util/interrupt.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
@@ -67,12 +76,15 @@ util::Cell to_cell(const ParamValue& value) {
 }
 
 /// Generic renderer for --grid sweeps: axis columns + overhead statistics.
+/// Failed/incomplete points are omitted here — their empty accumulators have
+/// no CI — and reported on stderr by print_failure_summary instead.
 util::Table grid_render(const SweepSpec& spec, const campaign::CampaignResult& result) {
   std::vector<std::string> columns;
   for (const auto& axis : spec.axes) columns.push_back(axis.name);
   columns.insert(columns.end(), {"overhead", "ci95_lo", "ci95_hi", "runs", "stalled"});
   util::Table table(columns);
   for (const auto& outcome : result.points) {
+    if (outcome.status != campaign::PointStatus::kOk) continue;
     std::vector<util::Cell> row;
     for (const auto& axis : spec.axes) {
       const auto* value = outcome.point.find(axis.name);
@@ -100,6 +112,64 @@ void list_campaigns() {
   std::cout << "or build one with --grid \"a=1,2;b=x,y\" [--set \"k=v;...\"]\n";
 }
 
+void print_fsck_report(const campaign::FsckReport& report) {
+  std::fprintf(stderr,
+               "[fsck] %s: kept %zu record(s), quarantined %zu, upgraded %zu legacy, "
+               "%llu -> %llu bytes\n",
+               report.file.string().c_str(), report.kept, report.quarantined,
+               report.legacy_upgraded, static_cast<unsigned long long>(report.bytes_before),
+               static_cast<unsigned long long>(report.bytes_after));
+}
+
+/// Verify + compact the cache (and journal, when given); exit 0 even when
+/// damage was found — the point of fsck is that it *repaired* it.
+int run_fsck(const std::string& cache_dir, const std::string& journal) {
+  bool any = false;
+  if (!cache_dir.empty()) {
+    const auto file = std::filesystem::path(cache_dir) / "cache.jsonl";
+    if (std::filesystem::exists(file)) {
+      print_fsck_report(campaign::fsck_store(file, "key"));
+      any = true;
+    }
+  }
+  if (!journal.empty() && std::filesystem::exists(journal)) {
+    print_fsck_report(campaign::fsck_store(journal, "done_key"));
+    any = true;
+  }
+  if (!any) {
+    std::fprintf(stderr, "fsck: nothing to check (no cache.jsonl under --cache-dir, no --journal)\n");
+    return 1;
+  }
+  return 0;
+}
+
+/// One stderr line per unhealthy point, so a failed sweep names exactly
+/// what is missing and why.
+void print_failure_summary(const campaign::CampaignResult& result) {
+  using campaign::PointStatus;
+  if (result.stats.failed_points > 0) {
+    std::fprintf(stderr, "[campaign] %llu point(s) FAILED:\n",
+                 static_cast<unsigned long long>(result.stats.failed_points));
+    for (const auto& outcome : result.points) {
+      if (outcome.status != PointStatus::kFailed) continue;
+      std::fprintf(stderr, "  %s: %s\n", outcome.point.canonical().c_str(),
+                   outcome.error.c_str());
+    }
+  }
+  if (result.stats.incomplete_points > 0) {
+    std::fprintf(stderr,
+                 "[campaign] %llu point(s) incomplete (drained); rerun with the same "
+                 "--seed/--cache-dir/--journal to resume\n",
+                 static_cast<unsigned long long>(result.stats.incomplete_points));
+  }
+  if (result.stats.store_errors > 0) {
+    std::fprintf(stderr,
+                 "[campaign] %llu journal append(s) failed — results above are complete but "
+                 "a rerun may resimulate\n",
+                 static_cast<unsigned long long>(result.stats.store_errors));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -123,7 +193,15 @@ int main(int argc, char** argv) {
         flags.add_int64("threads", -1, "worker threads (-1 = hardware, 0 = serial)");
     const auto* shard_size = flags.add_int64("shard-size", 0, "replicates per shard (0 = auto)");
     const auto* no_progress = flags.add_bool("no-progress", false, "silence the stderr reporter");
+    const auto* max_retries =
+        flags.add_int64("max-retries", 2, "extra attempts for a shard whose evaluator fails");
+    const auto* retry_backoff_ms =
+        flags.add_int64("retry-backoff-ms", 50, "initial retry backoff (doubles per attempt)");
+    const auto* fsck =
+        flags.add_bool("fsck", false, "verify + compact --cache-dir / --journal stores and exit");
     if (!flags.parse(argc, argv)) return 0;  // --help
+
+    if (*fsck) return run_fsck(*cache_dir, *journal);
 
     if ((campaign_name->empty() && grid->empty()) || *campaign_name == "list") {
       list_campaigns();
@@ -182,6 +260,10 @@ int main(int argc, char** argv) {
     options.cache_dir = *cache_dir;
     options.journal_path = *journal;
     options.progress = !*no_progress;
+    options.max_retries = static_cast<std::uint32_t>(*max_retries < 0 ? 0 : *max_retries);
+    options.retry_backoff_ms =
+        static_cast<std::uint32_t>(*retry_backoff_ms < 0 ? 0 : *retry_backoff_ms);
+    options.stop = &util::install_drain_handler();
     std::unique_ptr<util::ThreadPool> own_pool;
     if (*threads < 0) {
       options.pool = &util::ThreadPool::shared();
@@ -194,6 +276,11 @@ int main(int argc, char** argv) {
     const auto result = runner.run();
     const auto table = figure_render ? (*figure_render)(result) : grid_render(spec, result);
     table.print(std::cout, *csv);
+    if (!result.ok()) {
+      print_failure_summary(result);
+      // 130 = interrupted (drain), 2 = completed with failed points.
+      return result.stats.drained ? 130 : 2;
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -6,11 +6,32 @@
 #include <cstdio>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
+
+#include "util/failpoint.hpp"
+#include "util/log.hpp"
 
 namespace repcheck::campaign {
 
+bool CampaignResult::ok() const {
+  return !stats.drained && stats.failed_points == 0 && stats.incomplete_points == 0 &&
+         stats.store_errors == 0;
+}
+
+void CampaignResult::build_index() {
+  index_.clear();
+  for (std::size_t idx = 0; idx < points.size(); ++idx) {
+    index_.insert_or_assign(points[idx].point.canonical(), idx);
+  }
+}
+
 const PointOutcome* CampaignResult::find(const SweepPoint& point) const {
   const auto canonical = point.canonical();
+  if (index_.size() == points.size()) {
+    const auto it = index_.find(canonical);
+    return it == index_.end() ? nullptr : &points[it->second];
+  }
+  // Hand-assembled result without an index: fall back to the scan.
   for (const auto& outcome : points) {
     if (outcome.point.canonical() == canonical) return &outcome;
   }
@@ -26,6 +47,8 @@ const sim::MonteCarloSummary& CampaignResult::at(const SweepPoint& point) const 
 }
 
 namespace {
+
+namespace fp = util::failpoint;
 
 using Clock = std::chrono::steady_clock;
 
@@ -62,13 +85,15 @@ class ProgressReporter {
   void finish(const CampaignStats& stats) const {
     if (!enabled_) return;
     std::fprintf(stderr,
-                 "[campaign %s] done: %llu points (%llu from journal), %llu shards "
-                 "(%llu cache hits, %llu simulated) in %.1f s\n",
-                 campaign_.c_str(), static_cast<unsigned long long>(stats.points),
+                 "[campaign %s] %s: %llu points (%llu from journal), %llu shards "
+                 "(%llu cache hits, %llu simulated, %llu failed) in %.1f s\n",
+                 campaign_.c_str(), stats.drained ? "drained" : "done",
+                 static_cast<unsigned long long>(stats.points),
                  static_cast<unsigned long long>(stats.journal_points),
                  static_cast<unsigned long long>(stats.shards_total),
                  static_cast<unsigned long long>(stats.shards_cached),
-                 static_cast<unsigned long long>(stats.shards_simulated), stats.seconds);
+                 static_cast<unsigned long long>(stats.shards_simulated),
+                 static_cast<unsigned long long>(stats.shards_failed), stats.seconds);
   }
 
  private:
@@ -108,6 +133,8 @@ CampaignResult CampaignRunner::run() {
 
   CampaignResult result;
   result.stats.points = points.size();
+  result.stats.quarantined_records =
+      cache.load_stats().quarantined + journal.load_stats().quarantined;
   result.points.reserve(points.size());
   std::vector<std::vector<std::string>> shard_keys(points.size());
   std::vector<std::atomic<std::uint64_t>> shards_left(points.size());
@@ -165,6 +192,19 @@ CampaignResult CampaignRunner::run() {
   ProgressReporter progress(spec_.name, pending.size(), result.stats.shards_cached,
                             options_.progress);
 
+  const auto stop_requested = [&] {
+    return options_.stop != nullptr && options_.stop->load(std::memory_order_relaxed);
+  };
+
+  std::atomic<std::uint64_t> simulated{0};
+  std::atomic<std::uint64_t> shards_failed{0};
+  std::atomic<std::uint64_t> retries{0};
+  std::atomic<std::uint64_t> store_errors{0};
+  std::atomic<bool> drained{false};
+  // Guards PointOutcome::{status,error}: any shard worker of a point may
+  // record the first failure, and the finalizing worker reads it.
+  std::mutex failure_mutex;
+
   // Merges a point's shard summaries from the cache, in shard order; both
   // cold and warm paths read the same round-tripped records, which is what
   // makes resumed and uninterrupted campaigns bit-identical.
@@ -180,19 +220,85 @@ CampaignResult CampaignRunner::run() {
     return merged;
   };
 
+  const auto record_point_failure = [&](std::size_t idx, const std::string& what) {
+    std::lock_guard<std::mutex> lock(failure_mutex);
+    auto& outcome = result.points[idx];
+    if (outcome.status != PointStatus::kFailed) {
+      outcome.status = PointStatus::kFailed;
+      outcome.error = what;
+    }
+  };
+
   std::vector<std::atomic<bool>> finalized(points.size());
   const auto finalize_point = [&](std::size_t idx) {
     auto& outcome = result.points[idx];
+    {
+      std::lock_guard<std::mutex> lock(failure_mutex);
+      if (outcome.status == PointStatus::kFailed) {
+        finalized[idx].store(true);
+        return;  // no merge: at least one shard is missing for good
+      }
+    }
     outcome.summary = merge_point(idx);
-    journal.mark_done(outcome.key, outcome.point, outcome.summary);
+    try {
+      journal.mark_done(outcome.key, outcome.point, outcome.summary);
+    } catch (const StoreWriteError& e) {
+      // The summary is correct in memory; only resumability is impaired.
+      // Surface it without failing the point.
+      util::log_error() << e.what();
+      store_errors.fetch_add(1);
+    }
     finalized[idx].store(true);
+  };
+
+  // Exponential backoff between shard retries, polled against the drain
+  // flag so a stop request is not held up by a sleeping retry loop.
+  const auto backoff = [&](std::uint32_t attempt) {
+    const std::uint64_t cap = 5000;
+    std::uint64_t ms = std::min<std::uint64_t>(
+        cap, static_cast<std::uint64_t>(options_.retry_backoff_ms) << attempt);
+    while (ms > 0 && !stop_requested()) {
+      const std::uint64_t slice = std::min<std::uint64_t>(ms, 20);
+      std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+      ms -= slice;
+    }
   };
 
   const auto run_unit = [&](const Shard& shard) {
     const auto& outcome = result.points[shard.point_idx];
-    const auto summary = evaluator_.simulate(outcome.point, shard.begin, shard.end, outcome.seed);
-    cache.insert(shard.key, outcome.point, outcome.seed, shard.begin, shard.end, summary);
-    progress.shard_simulated();
+    for (std::uint32_t attempt = 0;; ++attempt) {
+      try {
+        if (REPCHECK_FAILPOINT("campaign.evaluator.throw")) {
+          throw std::runtime_error(
+              "injected evaluator fault (failpoint campaign.evaluator.throw)");
+        }
+        if (REPCHECK_FAILPOINT("campaign.evaluator.stall")) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        }
+        const auto summary =
+            evaluator_.simulate(outcome.point, shard.begin, shard.end, outcome.seed);
+        cache.insert(shard.key, outcome.point, outcome.seed, shard.begin, shard.end, summary);
+        simulated.fetch_add(1);
+        progress.shard_simulated();
+        break;
+      } catch (const std::exception& e) {
+        if (attempt < options_.max_retries && !stop_requested()) {
+          retries.fetch_add(1);
+          util::log_warn() << "campaign " << spec_.name << ": shard [" << shard.begin << ", "
+                           << shard.end << ") of " << outcome.point.canonical()
+                           << " failed (attempt " << (attempt + 1) << "/"
+                           << (options_.max_retries + 1) << "): " << e.what();
+          backoff(attempt);
+          continue;
+        }
+        shards_failed.fetch_add(1);
+        util::log_error() << "campaign " << spec_.name << ": shard [" << shard.begin << ", "
+                          << shard.end << ") of " << outcome.point.canonical()
+                          << " failed permanently: " << e.what();
+        record_point_failure(shard.point_idx, e.what());
+        break;
+      }
+    }
     // The worker completing a point's last shard merges and journals it
     // right away, so an interruption never costs more than one shard.
     if (shards_left[shard.point_idx].fetch_sub(1) == 1) finalize_point(shard.point_idx);
@@ -202,24 +308,50 @@ CampaignResult CampaignRunner::run() {
     std::atomic<std::size_t> next{0};
     options_.pool->parallel_for(pending.size(), [&](std::size_t, std::size_t) {
       for (;;) {
+        if (stop_requested()) {
+          drained.store(true);
+          return;
+        }
         const std::size_t unit = next.fetch_add(1);
         if (unit >= pending.size()) return;
         run_unit(pending[unit]);
       }
     });
   } else {
-    for (const auto& shard : pending) run_unit(shard);
+    for (const auto& shard : pending) {
+      if (stop_requested()) {
+        drained.store(true);
+        break;
+      }
+      run_unit(shard);
+    }
   }
 
   // Points whose shards were all cache hits never went through run_unit;
-  // merge (and journal) them now.
+  // merge (and journal) them now.  Points still owing shards were drained:
+  // mark them incomplete (their cached/simulated shards are persisted, so
+  // a rerun picks up where this one stopped).
   for (std::size_t idx = 0; idx < points.size(); ++idx) {
     if (result.points[idx].from_journal || finalized[idx].load()) continue;
-    finalize_point(idx);
+    if (shards_left[idx].load() == 0) {
+      finalize_point(idx);
+    } else {
+      auto& outcome = result.points[idx];
+      if (outcome.status == PointStatus::kOk) outcome.status = PointStatus::kIncomplete;
+    }
   }
 
-  result.stats.shards_simulated = pending.size();
+  for (const auto& outcome : result.points) {
+    if (outcome.status == PointStatus::kFailed) ++result.stats.failed_points;
+    if (outcome.status == PointStatus::kIncomplete) ++result.stats.incomplete_points;
+  }
+  result.stats.shards_simulated = simulated.load();
+  result.stats.shards_failed = shards_failed.load();
+  result.stats.shard_retries = retries.load();
+  result.stats.store_errors = store_errors.load();
+  result.stats.drained = drained.load();
   result.stats.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  result.build_index();
   progress.finish(result.stats);
   return result;
 }

@@ -1,5 +1,6 @@
 // CampaignRunner: schedules sweep points × Monte-Carlo shards over the
-// thread pool, with content-addressed caching and checkpoint/resume.
+// thread pool, with content-addressed caching, checkpoint/resume, shard
+// error isolation and graceful drain.
 //
 // Execution model:
 //   * every point gets a deterministic seed (SplitMix64 on the point hash),
@@ -13,10 +14,26 @@
 //   * per-point summaries are merged from the (round-tripped) shard
 //     records in shard order, so a resumed campaign is bit-identical to an
 //     uninterrupted one with the same master seed.
+//
+// Failure model:
+//   * a shard whose evaluator (or store append) throws is retried up to
+//     max_retries times with exponential backoff, then its point is marked
+//     PointStatus::kFailed carrying the error text — run() completes every
+//     healthy point and returns instead of propagating;
+//   * setting *options.stop (e.g. from a SIGINT/SIGTERM handler, see
+//     util/interrupt.hpp) drains the run: in-flight shards finish and
+//     flush, queued shards are skipped, their points come back
+//     PointStatus::kIncomplete, and the journal/cache stay resumable;
+//   * a journal append failure downgrades to stats.store_errors (the
+//     result is still correct in memory; only resumability is impaired).
+// CampaignResult::ok() is false whenever any of this happened — CLI
+// callers should exit nonzero on !ok().
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -48,16 +65,31 @@ struct RunnerOptions {
   util::ThreadPool* pool = nullptr;  ///< null = serial execution
   bool progress = true;              ///< progress/ETA reporter on stderr
   std::string engine_version{kEngineVersion};
+  /// Extra attempts for a shard whose evaluator/store throws, with
+  /// exponential backoff (retry_backoff_ms, doubling per attempt).
+  std::uint32_t max_retries = 2;
+  std::uint32_t retry_backoff_ms = 50;
+  /// Graceful-drain flag, polled between shards; typically
+  /// &util::install_drain_handler().  Null = never drain.
+  const std::atomic<bool>* stop = nullptr;
+};
+
+enum class PointStatus {
+  kOk,          ///< summary complete
+  kFailed,      ///< a shard failed after retries; `error` has the cause
+  kIncomplete,  ///< drained before all shards ran; resumable
 };
 
 struct PointOutcome {
   SweepPoint point;
   std::string key;         ///< point_key (journal granularity)
   std::uint64_t seed = 0;  ///< derived point seed
-  sim::MonteCarloSummary summary;
+  sim::MonteCarloSummary summary;  ///< only meaningful when status == kOk
   std::uint64_t shards = 0;
   std::uint64_t cached_shards = 0;  ///< shards served from the cache
   bool from_journal = false;        ///< whole point served from the journal
+  PointStatus status = PointStatus::kOk;
+  std::string error;  ///< first shard error when status == kFailed
 };
 
 struct CampaignStats {
@@ -65,7 +97,14 @@ struct CampaignStats {
   std::uint64_t journal_points = 0;
   std::uint64_t shards_total = 0;
   std::uint64_t shards_cached = 0;
-  std::uint64_t shards_simulated = 0;
+  std::uint64_t shards_simulated = 0;  ///< successfully simulated this run
+  std::uint64_t shards_failed = 0;     ///< gave up after retries
+  std::uint64_t shard_retries = 0;     ///< retry attempts consumed
+  std::uint64_t failed_points = 0;
+  std::uint64_t incomplete_points = 0;
+  std::uint64_t quarantined_records = 0;  ///< damaged store lines moved aside
+  std::uint64_t store_errors = 0;  ///< journal appends that failed (non-fatal)
+  bool drained = false;            ///< stop flag observed before completion
   double seconds = 0.0;
 };
 
@@ -73,18 +112,31 @@ struct CampaignResult {
   std::vector<PointOutcome> points;  ///< in SweepSpec::expand() order
   CampaignStats stats;
 
+  /// True when every point completed and nothing was drained or lost.
+  [[nodiscard]] bool ok() const;
+
+  /// O(log n) lookup via the canonical-key index run() builds; falls back
+  /// to a linear scan for hand-assembled results without an index.
   [[nodiscard]] const PointOutcome* find(const SweepPoint& point) const;
   /// Throws std::out_of_range when the point is not part of the campaign.
   [[nodiscard]] const sim::MonteCarloSummary& at(const SweepPoint& point) const;
+
+  /// (Re)builds the canonical-key index `find` uses.  run() calls this;
+  /// call it again after mutating `points` by hand.
+  void build_index();
+
+ private:
+  std::map<std::string, std::size_t, std::less<>> index_;  ///< canonical -> points idx
 };
 
 class CampaignRunner {
  public:
   CampaignRunner(SweepSpec spec, PointEvaluator evaluator, RunnerOptions options = {});
 
-  /// Runs (or resumes) the campaign.  Exceptions from the evaluator
-  /// propagate after in-flight shards settle; everything completed up to
-  /// that moment is already persisted, so a rerun resumes.
+  /// Runs (or resumes) the campaign.  Evaluator/store failures do not
+  /// propagate: they mark their point kFailed (see the failure model
+  /// above) and run() still returns the other points.  Only setup errors
+  /// (empty sweep, unopenable store) throw.
   [[nodiscard]] CampaignResult run();
 
  private:

@@ -1,0 +1,201 @@
+#include "util/failpoint.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+namespace repcheck::util::failpoint {
+
+namespace {
+
+enum class Kind { kOff, kHit, kEvery, kProb };
+
+struct Site {
+  Kind kind = Kind::kOff;
+  std::uint64_t n = 0;       // hit:N / every:N threshold
+  double p = 0.0;            // prob:P probability
+  std::uint64_t prng = 0;    // SplitMix64 state for prob
+  std::uint64_t hits = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, Site, std::less<>> sites;
+};
+
+// Leaked on purpose: failpoints may be consulted from worker threads that
+// outlive static destruction order.
+Registry& registry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+std::atomic<int> g_armed{0};
+
+// Local SplitMix64 step (prng/splitmix64.hpp mirrors this; duplicated so
+// util does not depend on prng).
+std::uint64_t splitmix64_next(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t parse_u64(std::string_view text, std::string_view what) {
+  if (text.empty()) throw std::invalid_argument("failpoint policy: empty " + std::string(what));
+  std::uint64_t value = 0;
+  for (const char ch : text) {
+    if (ch < '0' || ch > '9') {
+      throw std::invalid_argument("failpoint policy: bad " + std::string(what) + " '" +
+                                  std::string(text) + "'");
+    }
+    value = value * 10 + static_cast<std::uint64_t>(ch - '0');
+  }
+  return value;
+}
+
+Site parse_policy(std::string_view policy) {
+  Site site;
+  if (policy == "off") {
+    site.kind = Kind::kOff;
+    return site;
+  }
+  const std::size_t colon = policy.find(':');
+  const std::string_view head = policy.substr(0, colon);
+  const std::string_view rest =
+      colon == std::string_view::npos ? std::string_view{} : policy.substr(colon + 1);
+  if (head == "hit") {
+    site.kind = Kind::kHit;
+    site.n = parse_u64(rest, "hit count");
+    if (site.n == 0) throw std::invalid_argument("failpoint policy: hit:N needs N >= 1");
+    return site;
+  }
+  if (head == "every") {
+    site.kind = Kind::kEvery;
+    site.n = parse_u64(rest, "period");
+    if (site.n == 0) throw std::invalid_argument("failpoint policy: every:N needs N >= 1");
+    return site;
+  }
+  if (head == "prob") {
+    site.kind = Kind::kProb;
+    const std::size_t colon2 = rest.find(':');
+    const std::string_view prob_text = rest.substr(0, colon2);
+    try {
+      site.p = std::stod(std::string(prob_text));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("failpoint policy: bad probability '" + std::string(prob_text) +
+                                  "'");
+    }
+    if (!(site.p >= 0.0) || !(site.p <= 1.0)) {
+      throw std::invalid_argument("failpoint policy: probability must be in [0, 1]");
+    }
+    site.prng = colon2 == std::string_view::npos ? 1 : parse_u64(rest.substr(colon2 + 1), "seed");
+    return site;
+  }
+  throw std::invalid_argument("failpoint policy '" + std::string(policy) +
+                              "' is not hit:N | every:N | prob:P[:S] | off");
+}
+
+// Parse REPCHECK_FAILPOINTS during static initialization so env-armed
+// sites are live before main().  Errors cannot throw here; report and skip.
+const bool g_env_loaded = [] {
+  const char* env = std::getenv("REPCHECK_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return true;
+  try {
+    arm_from_spec(env);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[failpoint] ignoring malformed REPCHECK_FAILPOINTS: %s\n", e.what());
+  }
+  return true;
+}();
+
+}  // namespace
+
+int armed_count() noexcept { return g_armed.load(std::memory_order_relaxed); }
+
+void arm(std::string_view site, std::string_view policy) {
+  if (site.empty()) throw std::invalid_argument("failpoint site name is empty");
+  Site parsed = parse_policy(policy);
+  auto& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  auto [it, inserted] = reg.sites.insert_or_assign(std::string(site), parsed);
+  (void)it;
+  if (inserted) g_armed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void arm_from_spec(std::string_view spec) {
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t semi = spec.find(';', pos);
+    const std::string_view entry =
+        spec.substr(pos, semi == std::string_view::npos ? std::string_view::npos : semi - pos);
+    pos = semi == std::string_view::npos ? spec.size() + 1 : semi + 1;
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      throw std::invalid_argument("failpoint spec entry '" + std::string(entry) +
+                                  "' is not site=policy");
+    }
+    arm(entry.substr(0, eq), entry.substr(eq + 1));
+  }
+}
+
+void disarm(std::string_view site) {
+  auto& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  const auto it = reg.sites.find(site);
+  if (it == reg.sites.end()) return;
+  reg.sites.erase(it);
+  g_armed.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void disarm_all() {
+  auto& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  g_armed.fetch_sub(static_cast<int>(reg.sites.size()), std::memory_order_relaxed);
+  reg.sites.clear();
+}
+
+bool fires(std::string_view site) {
+  auto& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  const auto it = reg.sites.find(site);
+  if (it == reg.sites.end()) return false;
+  Site& s = it->second;
+  ++s.hits;
+  switch (s.kind) {
+    case Kind::kOff:
+      return false;
+    case Kind::kHit:
+      return s.hits == s.n;
+    case Kind::kEvery:
+      return s.hits % s.n == 0;
+    case Kind::kProb: {
+      const double u =
+          static_cast<double>(splitmix64_next(s.prng) >> 11) * 0x1.0p-53;  // [0, 1)
+      return u < s.p;
+    }
+  }
+  return false;
+}
+
+std::uint64_t hit_count(std::string_view site) {
+  auto& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  const auto it = reg.sites.find(site);
+  return it == reg.sites.end() ? 0 : it->second.hits;
+}
+
+std::vector<std::string> armed_sites() {
+  auto& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::vector<std::string> names;
+  names.reserve(reg.sites.size());
+  for (const auto& [name, site] : reg.sites) names.push_back(name);
+  return names;
+}
+
+}  // namespace repcheck::util::failpoint

@@ -1,0 +1,69 @@
+// Deterministic failpoint / fault-injection facility.
+//
+// A failpoint is a named site in production code where a test (or an
+// operator, via the REPCHECK_FAILPOINTS environment variable) can inject a
+// failure: the site asks `fires(...)` whether its armed trigger policy
+// fires on this hit, and the surrounding code decides what the failure
+// looks like (throw, torn write, corrupted record, stall, ...).
+//
+// Trigger policies (the spec grammar, also used by REPCHECK_FAILPOINTS):
+//
+//   hit:N        fire on exactly the Nth hit (1-based), once
+//   every:N      fire on every Nth hit (N, 2N, 3N, ...)
+//   prob:P[:S]   fire with probability P per hit, SplitMix64 PRNG seeded
+//                with S (default seed 1) — deterministic across reruns
+//   off          never fire (site stays registered, hits still counted)
+//
+// REPCHECK_FAILPOINTS holds a ';'-separated list of site=policy entries,
+// e.g.  REPCHECK_FAILPOINTS="campaign.cache.corrupt_record=hit:1" — parsed
+// once during static initialization, so sites armed via the environment
+// are live before main().
+//
+// Cost when disarmed: the REPCHECK_FAILPOINT macro is a single relaxed
+// atomic load of the armed-site count, and the site name expression is not
+// even evaluated (short-circuit).  The micro-benchmark pair
+// BM_EngineRunNoFailpoint / BM_EngineRunDisarmedFailpoint tracks that this
+// stays free.  Armed sites take a mutex per hit — failure injection is not
+// a hot path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace repcheck::util::failpoint {
+
+/// Number of currently armed sites.  The disarmed fast path is one relaxed
+/// load of this counter.
+[[nodiscard]] int armed_count() noexcept;
+
+/// Arms `site` with a trigger policy ("hit:N" | "every:N" | "prob:P[:S]" |
+/// "off").  Re-arming an armed site resets its hit counter and PRNG.
+/// Throws std::invalid_argument on a malformed policy.
+void arm(std::string_view site, std::string_view policy);
+
+/// Arms every entry of a "site=policy;site=policy" spec (the
+/// REPCHECK_FAILPOINTS grammar).  Throws on malformed entries.
+void arm_from_spec(std::string_view spec);
+
+/// Disarms one site / every site.  Disarming an unknown site is a no-op.
+void disarm(std::string_view site);
+void disarm_all();
+
+/// Records a hit at `site` and returns true when the site is armed and its
+/// policy fires on this hit.  Unarmed sites return false without counting.
+[[nodiscard]] bool fires(std::string_view site);
+
+/// Hits observed at `site` since it was (re-)armed; 0 for unarmed sites.
+[[nodiscard]] std::uint64_t hit_count(std::string_view site);
+
+/// Currently armed site names, sorted (diagnostics / tests).
+[[nodiscard]] std::vector<std::string> armed_sites();
+
+}  // namespace repcheck::util::failpoint
+
+/// True when `site` is armed and fires on this hit.  Disarmed cost: one
+/// relaxed atomic load; `site` is not evaluated.
+#define REPCHECK_FAILPOINT(site) \
+  (::repcheck::util::failpoint::armed_count() != 0 && ::repcheck::util::failpoint::fires(site))

@@ -1,0 +1,49 @@
+#include "util/interrupt.hpp"
+
+#include <csignal>
+#include <cstdlib>
+#include <unistd.h>
+
+namespace repcheck::util {
+
+namespace {
+
+std::atomic<bool> g_drain{false};
+std::atomic<int> g_signal_count{0};
+
+extern "C" void drain_signal_handler(int signo) {
+  if (g_signal_count.fetch_add(1, std::memory_order_relaxed) == 0) {
+    g_drain.store(true, std::memory_order_relaxed);
+    static const char msg[] =
+        "\n[repcheck] drain requested: finishing in-flight shards, flushing stores "
+        "(signal again to force-exit)\n";
+    // write(2) is async-signal-safe; stdio is not.
+    const ssize_t ignored = write(STDERR_FILENO, msg, sizeof(msg) - 1);
+    (void)ignored;
+  } else {
+    _exit(128 + signo);
+  }
+}
+
+}  // namespace
+
+const std::atomic<bool>& install_drain_handler() {
+  struct sigaction action{};
+  action.sa_handler = drain_signal_handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESETHAND: the second signal must reach us too
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+  return g_drain;
+}
+
+const std::atomic<bool>& drain_flag() { return g_drain; }
+
+bool drain_requested() { return g_drain.load(std::memory_order_relaxed); }
+
+void reset_drain_for_testing() {
+  g_drain.store(false, std::memory_order_relaxed);
+  g_signal_count.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace repcheck::util

@@ -1,0 +1,29 @@
+// Graceful-drain signal handling for long-running campaign binaries.
+//
+// install_drain_handler() registers SIGINT/SIGTERM handlers with two-level
+// semantics: the first signal sets an atomic drain flag (pollable by work
+// loops, which finish in-flight units, flush their stores, and return with
+// everything persisted resumable), a second signal force-exits with the
+// conventional 128+signo code.  The handler is async-signal-safe: it only
+// touches lock-free atomics and write(2).
+#pragma once
+
+#include <atomic>
+
+namespace repcheck::util {
+
+/// Installs the SIGINT/SIGTERM drain handlers (idempotent) and returns the
+/// drain flag the handlers set.  The flag outlives the caller.
+const std::atomic<bool>& install_drain_handler();
+
+/// The drain flag itself, without installing handlers (false until a first
+/// signal arrives after installation).
+[[nodiscard]] const std::atomic<bool>& drain_flag();
+
+/// True once a first SIGINT/SIGTERM was received.
+[[nodiscard]] bool drain_requested();
+
+/// Test hook: clears the flag and the signal count.
+void reset_drain_for_testing();
+
+}  // namespace repcheck::util

@@ -190,7 +190,7 @@ TEST(Cache, SummaryJsonRoundTripIsBitExact) {
   expect_summaries_identical(summary, campaign::summary_from_json(*reparsed));
 }
 
-TEST(Cache, PersistsAcrossReopenAndSkipsCorruptLines) {
+TEST(Cache, PersistsAcrossReopenAndQuarantinesCorruptLines) {
   const auto dir = fresh_dir("campaign_cache_reopen");
   sim::MonteCarloSummary summary;
   summary.overhead.push(0.5);
@@ -214,6 +214,17 @@ TEST(Cache, PersistsAcrossReopenAndSkipsCorruptLines) {
   ASSERT_TRUE(back.has_value());
   expect_summaries_identical(summary, *back);
   EXPECT_FALSE(cache.contains("missing-key"));
+  // Damage is quarantined and counted, never silently skipped.
+  EXPECT_EQ(cache.load_stats().quarantined, 2u);
+  EXPECT_EQ(cache.load_stats().loaded, 1u);
+  const auto quarantine = campaign::quarantine_path(dir / "cache.jsonl");
+  EXPECT_EQ(quarantine.filename(), "cache.quarantine.jsonl");
+  ASSERT_TRUE(std::filesystem::exists(quarantine));
+  std::ifstream qin(quarantine);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(qin, line)) ++lines;
+  EXPECT_EQ(lines, 2u);
 }
 
 TEST(Runner, ShardMergeEqualsFullRangeForRealSimulator) {
@@ -269,7 +280,11 @@ TEST(Runner, KillMidwayThenResumeIsBitIdentical) {
     if (calls->fetch_add(1) >= 5) throw std::runtime_error("killed");
     return simulate(p, b, e, s);
   };
-  EXPECT_THROW((void)CampaignRunner(spec, killer, options).run(), std::runtime_error);
+  options.max_retries = 0;  // every post-kill shard fails outright
+  const auto crashed = CampaignRunner(spec, killer, options).run();
+  EXPECT_FALSE(crashed.ok());
+  EXPECT_GT(crashed.stats.failed_points, 0u);
+  EXPECT_EQ(crashed.stats.shards_simulated, 5u);
 
   // The kill also tore the journal's last line mid-write.
   const auto journal = dir / "run.journal";

@@ -1,0 +1,133 @@
+// The failpoint facility itself: policy grammar, trigger semantics,
+// arming/disarming, the REPCHECK_FAILPOINTS spec parser, and the
+// disarmed fast path.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "util/failpoint.hpp"
+
+namespace {
+
+namespace fp = repcheck::util::failpoint;
+
+/// Every test starts and ends with a clean registry: failpoints are
+/// process-global, so leaked arms would couple unrelated tests.
+class Failpoint : public ::testing::Test {
+ protected:
+  void SetUp() override { fp::disarm_all(); }
+  void TearDown() override { fp::disarm_all(); }
+};
+
+TEST_F(Failpoint, DisarmedSiteNeverFiresAndCountsNothing) {
+  EXPECT_EQ(fp::armed_count(), 0);
+  EXPECT_FALSE(REPCHECK_FAILPOINT("test.nowhere"));
+  EXPECT_EQ(fp::hit_count("test.nowhere"), 0u);
+}
+
+TEST_F(Failpoint, HitNFiresExactlyOnNthHit) {
+  fp::arm("test.site", "hit:3");
+  EXPECT_EQ(fp::armed_count(), 1);
+  EXPECT_FALSE(fp::fires("test.site"));
+  EXPECT_FALSE(fp::fires("test.site"));
+  EXPECT_TRUE(fp::fires("test.site"));
+  EXPECT_FALSE(fp::fires("test.site"));  // once, not from-then-on
+  EXPECT_EQ(fp::hit_count("test.site"), 4u);
+}
+
+TEST_F(Failpoint, EveryNFiresPeriodically) {
+  fp::arm("test.site", "every:2");
+  EXPECT_FALSE(fp::fires("test.site"));
+  EXPECT_TRUE(fp::fires("test.site"));
+  EXPECT_FALSE(fp::fires("test.site"));
+  EXPECT_TRUE(fp::fires("test.site"));
+}
+
+TEST_F(Failpoint, ProbabilityEndpointsAreDeterministic) {
+  fp::arm("test.always", "prob:1");
+  fp::arm("test.never", "prob:0");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(fp::fires("test.always"));
+    EXPECT_FALSE(fp::fires("test.never"));
+  }
+}
+
+TEST_F(Failpoint, ProbabilityIsSeededAndReproducible) {
+  fp::arm("test.p", "prob:0.5:7");
+  std::string first;
+  for (int i = 0; i < 64; ++i) first += fp::fires("test.p") ? '1' : '0';
+  fp::arm("test.p", "prob:0.5:7");  // re-arm resets PRNG and counter
+  std::string second;
+  for (int i = 0; i < 64; ++i) second += fp::fires("test.p") ? '1' : '0';
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find('1'), std::string::npos);  // p=0.5 actually fires...
+  EXPECT_NE(first.find('0'), std::string::npos);  // ...and actually skips
+}
+
+TEST_F(Failpoint, OffPolicyCountsHitsWithoutFiring) {
+  fp::arm("test.site", "off");
+  EXPECT_FALSE(fp::fires("test.site"));
+  EXPECT_FALSE(fp::fires("test.site"));
+  EXPECT_EQ(fp::hit_count("test.site"), 2u);
+  EXPECT_EQ(fp::armed_count(), 1);  // registered, so hits are observable
+}
+
+TEST_F(Failpoint, ReArmResetsHitCounter) {
+  fp::arm("test.site", "hit:1");
+  EXPECT_TRUE(fp::fires("test.site"));
+  fp::arm("test.site", "hit:1");
+  EXPECT_EQ(fp::hit_count("test.site"), 0u);
+  EXPECT_TRUE(fp::fires("test.site"));
+}
+
+TEST_F(Failpoint, DisarmRemovesOneSite) {
+  fp::arm("test.a", "hit:1");
+  fp::arm("test.b", "hit:1");
+  EXPECT_EQ(fp::armed_count(), 2);
+  fp::disarm("test.a");
+  EXPECT_EQ(fp::armed_count(), 1);
+  EXPECT_FALSE(fp::fires("test.a"));
+  EXPECT_TRUE(fp::fires("test.b"));
+  fp::disarm("test.unknown");  // no-op
+  EXPECT_EQ(fp::armed_count(), 1);
+}
+
+TEST_F(Failpoint, SpecGrammarArmsMultipleSites) {
+  fp::arm_from_spec("test.a=hit:2;test.b=every:3;;test.c=prob:0.25:9");
+  auto sites = fp::armed_sites();
+  ASSERT_EQ(sites.size(), 3u);
+  EXPECT_EQ(sites[0], "test.a");
+  EXPECT_EQ(sites[1], "test.b");
+  EXPECT_EQ(sites[2], "test.c");
+  EXPECT_FALSE(fp::fires("test.a"));
+  EXPECT_TRUE(fp::fires("test.a"));
+}
+
+TEST_F(Failpoint, MalformedPoliciesThrow) {
+  EXPECT_THROW(fp::arm("t", "hit:0"), std::invalid_argument);
+  EXPECT_THROW(fp::arm("t", "hit:x"), std::invalid_argument);
+  EXPECT_THROW(fp::arm("t", "every:"), std::invalid_argument);
+  EXPECT_THROW(fp::arm("t", "prob:1.5"), std::invalid_argument);
+  EXPECT_THROW(fp::arm("t", "prob:nope"), std::invalid_argument);
+  EXPECT_THROW(fp::arm("t", "bogus"), std::invalid_argument);
+  EXPECT_THROW(fp::arm("", "hit:1"), std::invalid_argument);
+  EXPECT_THROW(fp::arm_from_spec("noequals"), std::invalid_argument);
+  EXPECT_THROW(fp::arm_from_spec("=hit:1"), std::invalid_argument);
+  EXPECT_EQ(fp::armed_count(), 0);
+}
+
+TEST_F(Failpoint, MacroShortCircuitsSiteExpressionWhenDisarmed) {
+  int evaluations = 0;
+  const auto site_name = [&] {
+    ++evaluations;
+    return std::string("test.site");
+  };
+  EXPECT_FALSE(REPCHECK_FAILPOINT(site_name()));
+  EXPECT_EQ(evaluations, 0);  // nothing armed: name never built
+  fp::arm("test.site", "hit:1");
+  EXPECT_TRUE(REPCHECK_FAILPOINT(site_name()));
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
