@@ -1,0 +1,168 @@
+// Hot-path benchmarks for the PR-4 optimizations: arena-reused engine runs
+// vs. the allocating baseline, Monte-Carlo replicate throughput, and the
+// dynamic parallel_for scheduler.
+//
+// This TU replaces global operator new/delete with counting versions, so
+// the engine benchmarks report heap allocations per simulated replicate as
+// benchmark counters — the allocation-free claim is measured, not assumed.
+// scripts/run_benchmarks.sh runs these alongside micro_benchmarks and gates
+// on regressions of the BM_EngineRun* family.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "core/repcheck.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_alloc_calls{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+
+void* counted_alloc(std::size_t size) {
+  g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace repcheck;
+
+/// Shared configuration: the paper's b = 1e5 pairs (N = 2e5 processors) at
+/// a 5-year per-processor MTBF, restart strategy at its optimal period.
+/// Replicates are short (a few periods), which is exactly the regime where
+/// per-replicate setup cost dominates total runtime.
+struct PaperScale {
+  std::uint64_t n;
+  platform::Platform platform;
+  platform::CostModel cost = platform::CostModel::uniform(60.0);
+  sim::StrategySpec strategy;
+  sim::RunSpec spec;
+
+  explicit PaperScale(std::uint64_t n_procs)
+      : n(n_procs),
+        platform(platform::Platform::fully_replicated(n_procs)),
+        strategy(sim::StrategySpec::restart(
+            model::t_opt_rs(60.0, n_procs / 2, model::years(5.0)))) {
+    spec.mode = sim::RunSpec::Mode::kFixedPeriods;
+    spec.n_periods = 3;
+  }
+};
+
+void report_allocs(benchmark::State& state, std::uint64_t calls_before,
+                   std::uint64_t bytes_before) {
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["allocs_per_run"] =
+      static_cast<double>(g_alloc_calls.load(std::memory_order_relaxed) - calls_before) / iters;
+  state.counters["alloc_bytes_per_run"] =
+      static_cast<double>(g_alloc_bytes.load(std::memory_order_relaxed) - bytes_before) / iters;
+  state.SetItemsProcessed(state.iterations());
+}
+
+// The pre-arena hot path: every replicate constructs its engine (policy
+// allocation, platform copy) and the engine allocates a fresh FailureState —
+// three O(N) vectors zeroed per replicate at N = 2e5.
+void BM_EngineRunAllocating(benchmark::State& state) {
+  const PaperScale ps(static_cast<std::uint64_t>(state.range(0)));
+  failures::ExponentialFailureSource source(ps.n, model::years(5.0));
+  std::uint64_t seed = 0;
+  const auto calls = g_alloc_calls.load(std::memory_order_relaxed);
+  const auto bytes = g_alloc_bytes.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    const sim::PeriodicEngine engine(ps.platform, ps.cost, ps.strategy);
+    benchmark::DoNotOptimize(engine.run(source, ps.spec, ++seed));
+  }
+  report_allocs(state, calls, bytes);
+}
+BENCHMARK(BM_EngineRunAllocating)->Arg(200000)->Unit(benchmark::kMicrosecond);
+
+// The arena hot path: engine and arena built once, every replicate reuses
+// them.  allocs_per_run must read 0 — the O(N) setup is gone and a
+// replicate costs O(simulated events).
+void BM_EngineRunArena(benchmark::State& state) {
+  const PaperScale ps(static_cast<std::uint64_t>(state.range(0)));
+  const sim::PeriodicEngine engine(ps.platform, ps.cost, ps.strategy);
+  failures::ExponentialFailureSource source(ps.n, model::years(5.0));
+  sim::SimArena arena;
+  std::uint64_t seed = 0;
+  benchmark::DoNotOptimize(engine.run(source, ps.spec, ++seed, nullptr, &arena));  // size it
+  const auto calls = g_alloc_calls.load(std::memory_order_relaxed);
+  const auto bytes = g_alloc_bytes.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(source, ps.spec, ++seed, nullptr, &arena));
+  }
+  report_allocs(state, calls, bytes);
+}
+BENCHMARK(BM_EngineRunArena)->Arg(200000)->Unit(benchmark::kMicrosecond);
+
+// The full replicate loop as the campaign engine drives it: ReplicateRunner
+// reusing one engine + arena per lane, 20 replicates per iteration.
+void BM_MonteCarloRangeThroughput(benchmark::State& state) {
+  const std::uint64_t n = 2000;
+  sim::SimConfig config;
+  config.platform = platform::Platform::fully_replicated(n);
+  config.cost = platform::CostModel::uniform(60.0);
+  config.strategy = sim::StrategySpec::restart(model::t_opt_rs(60.0, n / 2, model::years(5.0)));
+  config.spec.mode = sim::RunSpec::Mode::kFixedPeriods;
+  config.spec.n_periods = 100;
+  const sim::SourceFactory factory = [n] {
+    return std::make_unique<failures::ExponentialFailureSource>(n, model::years(5.0));
+  };
+  std::uint64_t master_seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_monte_carlo_range(config, factory, 0, 20, ++master_seed));
+  }
+  state.SetItemsProcessed(state.iterations() * 20);
+}
+BENCHMARK(BM_MonteCarloRangeThroughput)->Unit(benchmark::kMillisecond);
+
+// Scheduling overhead of the dynamic fixed-grain parallel_for: near-empty
+// chunks over a large range, so claim/notify costs dominate.  Arg is the
+// worker count (0 = inline execution, the serial floor).
+void BM_ParallelForSchedulingOverhead(benchmark::State& state) {
+  util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  std::atomic<std::uint64_t> sink{0};
+  for (auto _ : state) {
+    pool.parallel_for(4096, [&](std::size_t begin, std::size_t end) {
+      sink.fetch_add(end - begin, std::memory_order_relaxed);
+    });
+  }
+  benchmark::DoNotOptimize(sink.load());
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_ParallelForSchedulingOverhead)->Arg(0)->Arg(3);
+
+// The campaign-over-Monte-Carlo shape that used to deadlock: pool tasks
+// re-entering parallel_for.  Benchmarked to keep the help-drain path's cost
+// visible, not just its correctness.
+void BM_ParallelForNested(benchmark::State& state) {
+  util::ThreadPool pool(3);
+  std::atomic<std::uint64_t> sink{0};
+  for (auto _ : state) {
+    pool.parallel_for(16, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        pool.parallel_for(64, [&](std::size_t ib, std::size_t ie) {
+          sink.fetch_add(ie - ib, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  benchmark::DoNotOptimize(sink.load());
+}
+BENCHMARK(BM_ParallelForNested);
+
+}  // namespace

@@ -1,0 +1,185 @@
+#!/usr/bin/env bash
+# Perf-regression harness (see docs/TESTING.md, "Benchmarks & perf
+# regression").
+#
+# Builds the google-benchmark binaries under the release preset, runs them,
+# normalizes their output into one snapshot JSON at the repo root, and —
+# when a previous BENCH_*.json snapshot exists — gates on the BM_EngineRun*
+# family: any engine-run benchmark slower than the baseline by more than
+# the tolerance fails the run (exit 1).  Other benchmarks are recorded and
+# reported but do not gate, since micro-timings on shared machines are too
+# noisy for a hard floor.
+#
+# Usage:
+#   scripts/run_benchmarks.sh [options]
+#
+#   --out FILE         snapshot to write        (default: BENCH_PR4.json)
+#   --baseline FILE    snapshot to compare against
+#                      (default: newest other BENCH_*.json; none = skip gate)
+#   --tolerance PCT    allowed slowdown percent (default: 15)
+#   --filter REGEX     forwarded to --benchmark_filter
+#   --min-time SEC     per-benchmark minimum runtime (default: 0.5)
+#   --repetitions N    repetitions per benchmark; the snapshot records the
+#                      median, which is what keeps the gate stable on a
+#                      shared machine (default: 3)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="BENCH_PR4.json"
+baseline=""
+tolerance="15"
+filter=""
+min_time="0.5"
+repetitions="3"
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --out) out="$2"; shift 2 ;;
+    --baseline) baseline="$2"; shift 2 ;;
+    --tolerance) tolerance="$2"; shift 2 ;;
+    --filter) filter="$2"; shift 2 ;;
+    --min-time) min_time="$2"; shift 2 ;;
+    --repetitions) repetitions="$2"; shift 2 ;;
+    *) echo "unknown option '$1'" >&2; exit 2 ;;
+  esac
+done
+
+if [[ -z "$baseline" ]]; then
+  # Newest committed snapshot other than the one being written.
+  for candidate in $(ls -t BENCH_*.json 2>/dev/null); do
+    if [[ "$candidate" != "$out" ]]; then baseline="$candidate"; break; fi
+  done
+fi
+
+echo "==> build benchmarks [release]"
+cmake --preset release >/dev/null
+cmake --build --preset release -j "$(nproc)" --target micro_benchmarks hotpath_benchmarks
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+for bench in micro_benchmarks hotpath_benchmarks; do
+  echo "==> run $bench"
+  build/bench/"$bench" \
+    --benchmark_out="$tmpdir/$bench.json" --benchmark_out_format=json \
+    --benchmark_min_time="$min_time" \
+    --benchmark_repetitions="$repetitions" \
+    --benchmark_report_aggregates_only=true \
+    ${filter:+--benchmark_filter="$filter"}
+done
+
+echo "==> write $out"
+python3 - "$out" "$tmpdir"/micro_benchmarks.json "$tmpdir"/hotpath_benchmarks.json <<'PY'
+import json, sys
+
+out_path, *raw_paths = sys.argv[1:]
+TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+KNOWN_FIELDS = {"name", "run_type", "real_time", "cpu_time", "time_unit",
+                "items_per_second", "iterations", "run_name", "repetitions",
+                "repetition_index", "threads", "family_index",
+                "per_family_instance_index", "aggregate_name"}
+
+snapshot = {"schema": "repcheck-bench-v1", "benchmarks": {}}
+for path in raw_paths:
+    with open(path) as f:
+        raw = json.load(f)
+    for b in raw.get("benchmarks", []):
+        # With repetitions the snapshot records the median aggregate (keyed
+        # by run_name, since `name` carries a "/median" suffix); a
+        # single-repetition run falls back to the plain iteration entry.
+        if b.get("run_type") == "aggregate":
+            if b.get("aggregate_name") != "median":
+                continue
+            name = b["run_name"]
+        else:
+            name = b["name"]
+        scale = TO_NS[b.get("time_unit", "ns")]
+        entry = {
+            "real_time_ns": b["real_time"] * scale,
+            "cpu_time_ns": b["cpu_time"] * scale,
+            "iterations": b["iterations"],
+        }
+        if "items_per_second" in b:
+            entry["items_per_second"] = b["items_per_second"]
+        counters = {k: v for k, v in b.items()
+                    if k not in KNOWN_FIELDS and isinstance(v, (int, float))}
+        if counters:
+            entry["counters"] = counters
+        snapshot["benchmarks"][name] = entry
+
+with open(out_path, "w") as f:
+    json.dump(snapshot, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"    {len(snapshot['benchmarks'])} benchmarks recorded")
+PY
+
+# Within-run invariants: immune to machine-to-machine timing noise because
+# both sides come from the same invocation.  The arena hot path must be
+# allocation-free and at least 3x the allocating baseline's throughput.
+python3 - "$out" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    benches = json.load(f)["benchmarks"]
+arena = benches.get("BM_EngineRunArena/200000")
+alloc = benches.get("BM_EngineRunAllocating/200000")
+if arena is None or alloc is None:
+    print("==> arena invariants skipped (engine-run pair filtered out)")
+    sys.exit(0)
+allocs_per_run = arena.get("counters", {}).get("allocs_per_run", float("inf"))
+speedup = alloc["cpu_time_ns"] / arena["cpu_time_ns"]
+print(f"==> arena invariants: allocs_per_run={allocs_per_run:.3g}, "
+      f"speedup over allocating path = {speedup:.1f}x")
+if allocs_per_run >= 1.0:
+    print("FAIL: arena hot path allocates per replicate")
+    sys.exit(1)
+if speedup < 3.0:
+    print("FAIL: arena hot path is below the 3x replicate-throughput floor")
+    sys.exit(1)
+PY
+
+if [[ -z "$baseline" ]]; then
+  echo "==> no baseline snapshot found; skipping regression gate"
+  exit 0
+fi
+
+echo "==> compare $out against $baseline (tolerance ${tolerance}%)"
+python3 - "$out" "$baseline" "$tolerance" <<'PY'
+import json, sys
+
+new_path, base_path, tol_pct = sys.argv[1], sys.argv[2], float(sys.argv[3])
+with open(new_path) as f:
+    new = json.load(f)["benchmarks"]
+with open(base_path) as f:
+    base = json.load(f)["benchmarks"]
+
+# Only the engine-run family gates: these are whole-replicate simulations,
+# long enough to be stable, and they are what the paper's figures spend
+# their time in.  BM_EngineRunAllocating is excluded — it is the deliberately
+# page-fault-heavy pre-arena reference kept for the speedup comparison, and
+# its timing swings with the machine's page cache, not with the code.
+gated = sorted(n for n in new
+               if n.startswith("BM_EngineRun") and "Allocating" not in n and n in base)
+if not gated:
+    print("    no gated benchmarks shared with the baseline; nothing to check")
+    sys.exit(0)
+
+# CPU time, not wall time: the gate must not flake on a loaded machine.
+failures = []
+for name in gated:
+    old_t, new_t = base[name]["cpu_time_ns"], new[name]["cpu_time_ns"]
+    delta_pct = 100.0 * (new_t - old_t) / old_t
+    verdict = "ok"
+    if delta_pct > tol_pct:
+        verdict = "REGRESSION"
+        failures.append(name)
+    print(f"    {name}: {old_t:.0f} ns -> {new_t:.0f} ns ({delta_pct:+.1f}%) {verdict}")
+
+if failures:
+    print(f"FAIL: {len(failures)} engine-run benchmark(s) regressed "
+          f"beyond {tol_pct:.0f}%: {', '.join(failures)}")
+    sys.exit(1)
+print("    regression gate passed")
+PY
+
+echo "==> benchmark run complete"

@@ -2,8 +2,10 @@
 # Build and run the labeled test suite under both CMake presets.
 #
 # Usage:
-#   scripts/run_tests.sh [label] [preset]
+#   scripts/run_tests.sh [--bench] [label] [preset]
 #
+#   --bench  opt-in: after the tests pass, run the perf-regression harness
+#            (scripts/run_benchmarks.sh) against the committed snapshot
 #   label    CTest label to run: unit | oracle | stat | slow | all
 #            (default: all)
 #   preset   release | asan-ubsan | tsan | all   (default: all)
@@ -13,8 +15,15 @@
 #   scripts/run_tests.sh oracle          # oracle tests, all three presets
 #   scripts/run_tests.sh stat release    # statistical tests, release only
 #   scripts/run_tests.sh unit tsan       # race-check the campaign runner &c.
+#   scripts/run_tests.sh --bench unit release   # unit tests, then benchmarks
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+run_bench=0
+if [[ "${1:-}" == "--bench" ]]; then
+  run_bench=1
+  shift
+fi
 
 label="${1:-all}"
 preset_arg="${2:-all}"
@@ -38,3 +47,8 @@ for preset in "${presets[@]}"; do
   ctest --preset "$preset" ${ctest_args[@]+"${ctest_args[@]}"}
 done
 echo "==> all test runs passed"
+
+if [[ "$run_bench" == "1" ]]; then
+  echo "==> benchmarks (opt-in)"
+  scripts/run_benchmarks.sh
+fi

@@ -305,15 +305,16 @@ CampaignResult CampaignRunner::run() {
   };
 
   if (options_.pool != nullptr && options_.pool->size() > 0 && pending.size() > 1) {
-    std::atomic<std::size_t> next{0};
-    options_.pool->parallel_for(pending.size(), [&](std::size_t, std::size_t) {
-      for (;;) {
+    // parallel_for's chunks are claimed dynamically, so a slow shard does
+    // not pin the shards behind it to one lane; its help-drain scheduler
+    // also makes it safe for a shard to re-enter the shared pool (e.g.
+    // run_monte_carlo with the same pool).
+    options_.pool->parallel_for(pending.size(), [&](std::size_t begin, std::size_t end) {
+      for (std::size_t unit = begin; unit < end; ++unit) {
         if (stop_requested()) {
           drained.store(true);
           return;
         }
-        const std::size_t unit = next.fetch_add(1);
-        if (unit >= pending.size()) return;
         run_unit(pending[unit]);
       }
     });

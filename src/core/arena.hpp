@@ -1,0 +1,87 @@
+// SimArena: reusable per-lane scratch for the Monte-Carlo hot path.
+//
+// Every figure simulates b = 1e5 replica pairs (N = 2e5 processors) over
+// hundreds of replicates, and without an arena each replicate pays three
+// O(N) vector constructions for its FailureState plus a repair deque.  An
+// arena owns that storage across replicates: FailureState::reset re-targets
+// the existing vectors (O(1) via the epoch trick when the platform shape is
+// unchanged), and the repair queue keeps its capacity.  After the first
+// replicate a run performs zero heap allocations.
+//
+// Arenas are single-owner scratch, not shared state: one arena per lane,
+// never touched by two threads at once.  Running through an arena is
+// bit-for-bit identical to the allocating path (tests/test_sim_arena.cpp
+// pins RunResult fields and oracle trace bytes).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "platform/state.hpp"
+
+namespace repcheck::sim {
+
+/// FIFO of repair completion times (non-decreasing, bounded by the spare
+/// pool capacity).  A vector plus head index instead of std::deque so that
+/// clear() keeps the storage: the engine clears it on every crash, which
+/// on std::deque returns blocks to the allocator.
+class RepairQueue {
+ public:
+  [[nodiscard]] bool empty() const { return head_ == items_.size(); }
+  [[nodiscard]] std::size_t size() const { return items_.size() - head_; }
+  [[nodiscard]] double front() const { return items_[head_]; }
+
+  void push_back(double completion_time) { items_.push_back(completion_time); }
+
+  void pop_front() {
+    if (++head_ == items_.size()) {
+      items_.clear();
+      head_ = 0;
+    } else if (head_ >= 64 && head_ * 2 >= items_.size()) {
+      // Compact the consumed prefix so the vector stays bounded by the
+      // pool capacity instead of growing with total repair traffic.
+      items_.erase(items_.begin(), items_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+  }
+
+  void clear() {
+    items_.clear();
+    head_ = 0;
+  }
+
+ private:
+  std::vector<double> items_;
+  std::size_t head_ = 0;
+};
+
+/// Cross-replicate scratch threaded through PeriodicEngine::run,
+/// RestartOnFailureEngine::run and the Monte-Carlo drivers.  Default
+/// constructed empty; the first run sizes it, later runs reuse it.
+class SimArena {
+ public:
+  /// A FailureState sized for `platform` with every processor alive;
+  /// reuses the existing storage when the shape is unchanged.
+  platform::FailureState& failure_state(const platform::Platform& platform) {
+    if (!state_) {
+      state_.emplace(platform);
+    } else {
+      state_->reset(platform);
+    }
+    return *state_;
+  }
+
+  /// The repair queue, cleared for a fresh run.
+  RepairQueue& repairs() {
+    repairs_.clear();
+    return repairs_;
+  }
+
+ private:
+  std::optional<platform::FailureState> state_;
+  RepairQueue repairs_;
+};
+
+}  // namespace repcheck::sim

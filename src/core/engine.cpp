@@ -1,8 +1,8 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
 #include "prng/distributions.hpp"
@@ -59,7 +59,8 @@ PeriodicEngine::PeriodicEngine(platform::Platform platform, platform::CostModel 
 }
 
 RunResult PeriodicEngine::run(failures::FailureSource& source, const RunSpec& spec,
-                              std::uint64_t run_seed, RunObserver* observer) const {
+                              std::uint64_t run_seed, RunObserver* observer,
+                              SimArena* arena) const {
   if (source.n_procs() != platform_.n_procs()) {
     throw std::invalid_argument("failure source and platform disagree on processor count");
   }
@@ -71,7 +72,9 @@ RunResult PeriodicEngine::run(failures::FailureSource& source, const RunSpec& sp
   }
 
   source.reset(run_seed);
-  platform::FailureState state(platform_);
+  std::optional<platform::FailureState> owned_state;
+  platform::FailureState& state =
+      arena != nullptr ? arena->failure_state(platform_) : owned_state.emplace(platform_);
   FailureCursor cursor(source);
   RunResult result;
   double now = 0.0;
@@ -98,7 +101,8 @@ RunResult PeriodicEngine::run(failures::FailureSource& source, const RunSpec& sp
 
   // Repair-queue bookkeeping for the finite spare pool: completion times of
   // nodes being repaired, non-decreasing (constant repair time).
-  std::deque<double> repairs;
+  RepairQueue owned_repairs;
+  RepairQueue& repairs = arena != nullptr ? arena->repairs() : owned_repairs;
 
   // Applies downtime + recovery after a fatal failure at `fail_time`;
   // failures landing inside the D+R window hit processors that are being

@@ -25,6 +25,7 @@
 #include <memory>
 #include <optional>
 
+#include "core/arena.hpp"
 #include "core/observer.hpp"
 #include "core/result.hpp"
 #include "core/strategy.hpp"
@@ -49,9 +50,12 @@ class PeriodicEngine {
   /// Simulates one run; deterministic given (source state after
   /// reset(run_seed), spec).  An attached observer receives every
   /// TraceEvent in engine order (see core/observer.hpp); nullptr (the
-  /// default) records nothing and costs nothing.
+  /// default) records nothing and costs nothing.  Passing an arena reuses
+  /// its scratch storage instead of allocating per run — bit-identical
+  /// results either way (see core/arena.hpp).
   [[nodiscard]] RunResult run(failures::FailureSource& source, const RunSpec& spec,
-                              std::uint64_t run_seed, RunObserver* observer = nullptr) const;
+                              std::uint64_t run_seed, RunObserver* observer = nullptr,
+                              SimArena* arena = nullptr) const;
 
   [[nodiscard]] const platform::Platform& platform() const { return platform_; }
   [[nodiscard]] const platform::CostModel& cost() const { return cost_; }

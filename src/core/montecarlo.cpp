@@ -1,6 +1,7 @@
 #include "core/montecarlo.hpp"
 
-#include <atomic>
+#include <algorithm>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
@@ -44,15 +45,36 @@ struct LaneAccumulator {
   void merge(const LaneAccumulator& other) { summary.merge(other.summary); }
 };
 
-RunResult run_one(const SimConfig& config, failures::FailureSource& source,
-                  std::uint64_t run_seed) {
-  if (config.strategy.kind == StrategySpec::Kind::kRestartOnFailure) {
-    const RestartOnFailureEngine engine(config.platform, config.cost);
-    return engine.run(source, config.spec, run_seed);
+/// One lane's replicate executor: the engine is built once (policies are
+/// immutable, so reuse across replicates is safe) and every run goes through
+/// the lane's SimArena, so replicates after the first allocate nothing.
+class ReplicateRunner {
+ public:
+  explicit ReplicateRunner(const SimConfig& config) : config_(config) {
+    if (config.strategy.kind == StrategySpec::Kind::kRestartOnFailure) {
+      restart_engine_.emplace(config.platform, config.cost);
+    } else {
+      periodic_engine_.emplace(config.platform, config.cost, config.strategy, config.spares);
+    }
   }
-  const PeriodicEngine engine(config.platform, config.cost, config.strategy, config.spares);
-  return engine.run(source, config.spec, run_seed);
-}
+
+  [[nodiscard]] RunResult run(failures::FailureSource& source, std::uint64_t run_seed) {
+    if (restart_engine_) return restart_engine_->run(source, config_.spec, run_seed, &arena_);
+    return periodic_engine_->run(source, config_.spec, run_seed, nullptr, &arena_);
+  }
+
+ private:
+  const SimConfig& config_;
+  std::optional<PeriodicEngine> periodic_engine_;
+  std::optional<RestartOnFailureEngine> restart_engine_;
+  SimArena arena_;
+};
+
+/// Fixed chunk count for run_monte_carlo's accumulation plan.  The plan is
+/// a pure function of n_runs — never of the pool size — and partials are
+/// merged in chunk-index order, so the summary is bit-identical for any
+/// thread count (including none).
+constexpr std::uint64_t kSummaryChunks = 64;
 
 }  // namespace
 
@@ -79,8 +101,9 @@ MonteCarloSummary run_monte_carlo_range(const SimConfig& config, const SourceFac
   if (!make_source) throw std::invalid_argument("source factory must be callable");
   LaneAccumulator acc;
   const auto source = make_source();
+  ReplicateRunner runner(config);
   for (std::uint64_t i = begin; i < end; ++i) {
-    acc.add(run_one(config, *source, derive_run_seed(master_seed, i)), config);
+    acc.add(runner.run(*source, derive_run_seed(master_seed, i)), config);
   }
   return acc.summary;
 }
@@ -91,30 +114,38 @@ MonteCarloSummary run_monte_carlo(const SimConfig& config, const SourceFactory& 
   if (n_runs == 0) throw std::invalid_argument("need at least one Monte-Carlo run");
   if (!make_source) throw std::invalid_argument("source factory must be callable");
 
-  const auto run_range = [&](std::size_t begin, std::size_t end, LaneAccumulator& acc) {
+  // Accumulation plan: replicates are grouped into fixed chunks derived
+  // from n_runs alone, each chunk's statistics accumulated independently,
+  // and the partials merged in chunk-index order.  The serial path walks
+  // the very same plan, so pool sizes 0, 1 and 7 produce bit-identical
+  // summaries (pinned by test_montecarlo).
+  const std::uint64_t grain = (n_runs + kSummaryChunks - 1) / kSummaryChunks;
+  const std::uint64_t chunks = (n_runs + grain - 1) / grain;
+  std::vector<MonteCarloSummary> partial(chunks);
+
+  const auto run_chunks = [&](std::size_t chunk_begin, std::size_t chunk_end) {
     const auto source = make_source();
-    for (std::size_t i = begin; i < end; ++i) {
-      const auto seed = derive_run_seed(master_seed, i);
-      acc.add(run_one(config, *source, seed), config);
+    ReplicateRunner runner(config);
+    for (std::size_t c = chunk_begin; c < chunk_end; ++c) {
+      LaneAccumulator acc;
+      const std::uint64_t begin = static_cast<std::uint64_t>(c) * grain;
+      const std::uint64_t end = std::min(n_runs, begin + grain);
+      for (std::uint64_t i = begin; i < end; ++i) {
+        acc.add(runner.run(*source, derive_run_seed(master_seed, i)), config);
+      }
+      partial[c] = acc.summary;
     }
   };
 
   if (pool == nullptr || pool->size() == 0) {
-    LaneAccumulator acc;
-    run_range(0, n_runs, acc);
-    return acc.summary;
+    run_chunks(0, chunks);
+  } else {
+    pool->parallel_for(chunks, run_chunks);
   }
 
-  const std::size_t lanes = pool->size() + 1;
-  std::vector<LaneAccumulator> accumulators(lanes);
-  std::atomic<std::size_t> next_lane{0};
-  pool->parallel_for(n_runs, [&](std::size_t begin, std::size_t end) {
-    const std::size_t lane = next_lane.fetch_add(1);
-    run_range(begin, end, accumulators.at(lane));
-  });
-  LaneAccumulator total;
-  for (const auto& acc : accumulators) total.merge(acc);
-  return total.summary;
+  MonteCarloSummary total;
+  for (const auto& part : partial) total.merge(part);
+  return total;
 }
 
 }  // namespace repcheck::sim

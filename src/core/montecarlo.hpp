@@ -1,8 +1,11 @@
 // Monte-Carlo driver: replicate runs, parallel lanes, aggregated statistics.
 //
 // Each replicate gets a deterministic seed derived from (master seed,
-// replicate index), so results are bit-identical regardless of thread count
-// or scheduling; lanes keep private accumulators merged at the end.
+// replicate index), so per-run results never depend on scheduling.  The
+// summary statistics are accumulated over a fixed chunk plan derived from
+// n_runs alone and merged in chunk order, so the aggregate too is
+// bit-identical for any pool size.  Each lane reuses one engine and one
+// SimArena across its replicates (the allocation-free hot path).
 #pragma once
 
 #include <cstdint>
@@ -63,7 +66,8 @@ struct MonteCarloSummary {
 
 /// Runs `n_runs` replicates of `config`; uses `pool` when given (each lane
 /// builds its own source via the factory).  Stalled runs contribute to
-/// `stalled_runs` but not to the statistics.
+/// `stalled_runs` but not to the statistics.  The summary is bit-identical
+/// for any pool size, including none (fixed chunk plan, in-order merge).
 [[nodiscard]] MonteCarloSummary run_monte_carlo(const SimConfig& config,
                                                 const SourceFactory& make_source,
                                                 std::uint64_t n_runs, std::uint64_t master_seed,

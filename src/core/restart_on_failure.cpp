@@ -1,5 +1,6 @@
 #include "core/restart_on_failure.hpp"
 
+#include <optional>
 #include <stdexcept>
 
 #include "platform/state.hpp"
@@ -16,7 +17,7 @@ RestartOnFailureEngine::RestartOnFailureEngine(platform::Platform platform,
 }
 
 RunResult RestartOnFailureEngine::run(failures::FailureSource& source, const RunSpec& spec,
-                                      std::uint64_t run_seed) const {
+                                      std::uint64_t run_seed, SimArena* arena) const {
   if (spec.mode != RunSpec::Mode::kFixedWork || !(spec.total_work_time > 0.0)) {
     throw std::invalid_argument("restart-on-failure runs in fixed-work mode only");
   }
@@ -25,7 +26,9 @@ RunResult RestartOnFailureEngine::run(failures::FailureSource& source, const Run
   }
 
   source.reset(run_seed);
-  platform::FailureState state(platform_);
+  std::optional<platform::FailureState> owned_state;
+  platform::FailureState& state =
+      arena != nullptr ? arena->failure_state(platform_) : owned_state.emplace(platform_);
   RunResult result;
   double now = 0.0;
   double useful = 0.0;

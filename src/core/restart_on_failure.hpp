@@ -12,6 +12,7 @@
 // work (the strategy has no notion of a period count).
 #pragma once
 
+#include "core/arena.hpp"
 #include "core/result.hpp"
 #include "failures/source.hpp"
 #include "platform/cost.hpp"
@@ -25,9 +26,10 @@ class RestartOnFailureEngine {
   /// of replica pairs).
   RestartOnFailureEngine(platform::Platform platform, platform::CostModel cost);
 
-  /// `spec.mode` must be kFixedWork.
+  /// `spec.mode` must be kFixedWork.  Passing an arena reuses its scratch
+  /// storage instead of allocating per run (bit-identical results).
   [[nodiscard]] RunResult run(failures::FailureSource& source, const RunSpec& spec,
-                              std::uint64_t run_seed) const;
+                              std::uint64_t run_seed, SimArena* arena = nullptr) const;
 
  private:
   platform::Platform platform_;

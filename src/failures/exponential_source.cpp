@@ -13,14 +13,30 @@ ExponentialFailureSource::ExponentialFailureSource(std::uint64_t n_procs, double
       proc_picker_(n_procs),
       rng_(run_seed) {}
 
+void ExponentialFailureSource::refill() {
+  for (auto& x : raw_) x = rng_();
+  // Speculative: with the steady gap/pick alternation, gap draws sit at
+  // even offsets.  gap_at_even_[i] is derived from raw_[i], so it is valid
+  // whenever raw_[i] is in fact consumed as a gap — never wrong, at worst
+  // unused.
+  for (std::size_t i = 0; i < kBatch; i += 2) gap_at_even_[i] = gap_.from_raw(raw_[i]);
+  pos_ = 0;
+}
+
 Failure ExponentialFailureSource::next() {
-  now_ += gap_(rng_);
-  return {now_, proc_picker_(rng_)};
+  if (pos_ == kBatch) refill();
+  const std::size_t gap_slot = pos_++;
+  now_ += (gap_slot % 2 == 0) ? gap_at_even_[gap_slot] : gap_.from_raw(raw_[gap_slot]);
+  for (;;) {
+    if (pos_ == kBatch) refill();
+    if (const auto proc = proc_picker_.map_raw(raw_[pos_++])) return {now_, *proc};
+  }
 }
 
 void ExponentialFailureSource::reset(std::uint64_t run_seed) {
   rng_ = prng::Xoshiro256pp(run_seed);
   now_ = 0.0;
+  pos_ = kBatch;  // discard buffered draws: the stream restarts at the seed
 }
 
 }  // namespace repcheck::failures

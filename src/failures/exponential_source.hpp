@@ -4,7 +4,18 @@
 // process of rate Nλ with uniformly random processor assignment; sampling
 // the superposition directly is exact and O(1) per failure regardless of N,
 // which is what makes 200,000-processor simulations cheap.
+//
+// next() is served from a block of pre-drawn generator outputs: gaps are
+// inverse-transformed over the block in one tight loop instead of one log()
+// call per failure, and processor picks map buffered draws through the same
+// Lemire test as direct sampling.  The raw stream is consumed in exactly
+// the order the unbatched implementation consumed it, so every failure is
+// bit-identical to the historical sequence (tests/test_failures.cpp pins
+// this against a reference reimplementation).
 #pragma once
+
+#include <array>
+#include <cstddef>
 
 #include "failures/source.hpp"
 #include "prng/distributions.hpp"
@@ -24,11 +35,22 @@ class ExponentialFailureSource final : public FailureSource {
   [[nodiscard]] double mtbf_proc() const { return 1.0 / proc_rate_; }
 
  private:
+  void refill();
+
+  static constexpr std::size_t kBatch = 256;  // even, so refills stay gap-aligned
+
   double proc_rate_;
   prng::ExponentialSampler gap_;
   prng::UniformIndexSampler proc_picker_;
   prng::Xoshiro256pp rng_;
   double now_ = 0.0;
+  // Block of raw generator outputs plus gaps precomputed at even offsets
+  // (where gap draws land while the consume pattern stays gap/pick/gap/...;
+  // a Lemire rejection or mid-pick refill shifts the pattern and those gap
+  // draws fall back to scalar inversion — same raw values, same results).
+  std::array<std::uint64_t, kBatch> raw_{};
+  std::array<double, kBatch> gap_at_even_{};
+  std::size_t pos_ = kBatch;  // kBatch = buffer exhausted
 };
 
 }  // namespace repcheck::failures

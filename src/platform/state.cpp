@@ -56,6 +56,23 @@ std::vector<std::uint64_t> FailureState::dead_processors() {
   return alive_filtered;
 }
 
+void FailureState::reset(const Platform& platform) {
+  const bool same_shape = platform.n_procs() == platform_.n_procs() &&
+                          platform.n_groups() == platform_.n_groups();
+  platform_ = platform;
+  if (same_shape) {
+    restart_all();
+    return;
+  }
+  dead_epoch_.assign(platform_.n_procs(), 0);
+  group_dead_.assign(platform_.n_groups(), 0);
+  group_epoch_.assign(platform_.n_groups(), 0);
+  epoch_ = 1;
+  dead_procs_ = 0;
+  degraded_groups_ = 0;
+  dead_list_.clear();
+}
+
 void FailureState::restart_all() {
   ++epoch_;
   if (epoch_ == 0) {  // counter wrapped: fall back to an explicit clear

@@ -37,6 +37,12 @@ class FailureState {
   /// strategy's checkpoint-time restart).
   void restart_all();
 
+  /// Re-targets the state at `platform` with every processor alive, as if
+  /// freshly constructed.  Reuses the existing vectors when the processor
+  /// and group counts are unchanged (O(1) via the epoch trick) — the
+  /// SimArena reuse path, where this runs once per replicate.
+  void reset(const Platform& platform);
+
   /// Revives a single dead processor (spare-limited partial restarts).
   /// Throws std::logic_error if the processor is alive.
   void revive(std::uint64_t proc);

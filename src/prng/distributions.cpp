@@ -21,16 +21,20 @@ UniformIndexSampler::UniformIndexSampler(std::uint64_t n) : n_(n) {
 }
 
 std::uint64_t UniformIndexSampler::operator()(Xoshiro256pp& rng) const {
+  for (;;) {
+    if (const auto mapped = map_raw(rng())) return *mapped;
+  }
+}
+
+std::optional<std::uint64_t> UniformIndexSampler::map_raw(std::uint64_t x) const {
   // Lemire's nearly-divisionless bounded sampling with rejection, so the
   // distribution is exactly uniform.
-  for (;;) {
-    const std::uint64_t x = rng();
-    const __uint128_t m = static_cast<__uint128_t>(x) * n_;
-    const std::uint64_t low = static_cast<std::uint64_t>(m);
-    if (low >= n_ || low >= (-n_) % n_) {
-      return static_cast<std::uint64_t>(m >> 64);
-    }
+  const __uint128_t m = static_cast<__uint128_t>(x) * n_;
+  const std::uint64_t low = static_cast<std::uint64_t>(m);
+  if (low >= n_ || low >= (-n_) % n_) {
+    return static_cast<std::uint64_t>(m >> 64);
   }
+  return std::nullopt;
 }
 
 ExponentialSampler::ExponentialSampler(double lambda) : lambda_(lambda) {
@@ -39,6 +43,13 @@ ExponentialSampler::ExponentialSampler(double lambda) : lambda_(lambda) {
 
 double ExponentialSampler::operator()(Xoshiro256pp& rng) const {
   return -std::log(uniform_open0(rng)) / lambda_;
+}
+
+double ExponentialSampler::from_raw(std::uint64_t x) const {
+  // Mirror operator(): uniform01 takes the top 53 bits, uniform_open0
+  // reflects onto (0, 1].
+  const double u = static_cast<double>(x >> 11) * 0x1.0p-53;
+  return -std::log(1.0 - u) / lambda_;
 }
 
 WeibullSampler::WeibullSampler(double shape, double scale) : shape_(shape), scale_(scale) {

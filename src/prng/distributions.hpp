@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "prng/xoshiro.hpp"
 
@@ -29,6 +30,13 @@ class UniformIndexSampler {
  public:
   explicit UniformIndexSampler(std::uint64_t n);
   std::uint64_t operator()(Xoshiro256pp& rng) const;
+
+  /// Maps one raw 64-bit draw to [0, n), or nullopt when Lemire's test
+  /// rejects it (probability < n / 2^64).  Callers feeding pre-drawn values
+  /// must retry with the *next* raw draw; operator() is exactly this loop,
+  /// so buffered and direct sampling consume the same stream.
+  [[nodiscard]] std::optional<std::uint64_t> map_raw(std::uint64_t x) const;
+
   [[nodiscard]] std::uint64_t bound() const { return n_; }
 
  private:
@@ -41,6 +49,12 @@ class ExponentialSampler {
  public:
   explicit ExponentialSampler(double lambda);
   double operator()(Xoshiro256pp& rng) const;
+
+  /// The inverse transform applied to one raw 64-bit draw — bit-identical
+  /// to operator() consuming that draw from the generator.  Lets callers
+  /// batch gap computation over pre-drawn blocks.
+  [[nodiscard]] double from_raw(std::uint64_t x) const;
+
   [[nodiscard]] double rate() const { return lambda_; }
   [[nodiscard]] double mean() const { return 1.0 / lambda_; }
 

@@ -3,8 +3,60 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <memory>
 
 namespace repcheck::util {
+
+namespace {
+
+/// Chunks claimed per lane on average; >1 so a lane that lands the one
+/// crash-heavy chunk does not serialize the whole call behind it.
+constexpr std::size_t kChunksPerLane = 8;
+
+/// Shared state of one parallel_for call.  Heap-held via shared_ptr so a
+/// participation ticket still queued after the call returns (because other
+/// threads drained every chunk first) dereferences live memory: such a
+/// stale ticket sees next >= chunks and returns without touching fn.
+struct ParallelForJob {
+  std::size_t n = 0;
+  std::size_t grain = 1;
+  std::size_t chunks = 0;
+  const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> unfinished{0};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  [[nodiscard]] bool done() const {
+    return unfinished.load(std::memory_order_acquire) == 0;
+  }
+
+  /// Claims and runs chunks until none remain.  Every participant —
+  /// workers holding a ticket and the initiating caller — runs this same
+  /// loop, so scheduling is fully dynamic.
+  void drain() {
+    for (;;) {
+      const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return;
+      const std::size_t begin = c * grain;
+      const std::size_t end = std::min(n, begin + grain);
+      try {
+        (*fn)(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (unfinished.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   workers_.reserve(threads);
@@ -36,6 +88,18 @@ void ThreadPool::worker_loop() {
   }
 }
 
+bool ThreadPool::help_run_one_task() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (tasks_.empty()) return false;
+    task = std::move(tasks_.front());
+    tasks_.pop();
+  }
+  task();
+  return true;
+}
+
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
@@ -44,48 +108,44 @@ void ThreadPool::parallel_for(std::size_t n,
     fn(0, n);
     return;
   }
-  const std::size_t chunks = std::min(n, lanes);
-  const std::size_t base = n / chunks;
-  const std::size_t extra = n % chunks;
 
-  std::atomic<std::size_t> remaining{chunks - 1};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  std::condition_variable done_cv;
-  std::mutex done_mutex;
+  auto job = std::make_shared<ParallelForJob>();
+  job->n = n;
+  job->chunks = std::min(n, lanes * kChunksPerLane);
+  job->grain = (n + job->chunks - 1) / job->chunks;
+  job->chunks = (n + job->grain - 1) / job->grain;
+  job->fn = &fn;
+  job->unfinished.store(job->chunks, std::memory_order_relaxed);
 
-  auto run_chunk = [&](std::size_t begin, std::size_t end) {
-    try {
-      fn(begin, end);
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(error_mutex);
-      if (!first_error) first_error = std::current_exception();
+  // One participation ticket per worker that could usefully claim a chunk;
+  // the caller is the remaining participant.  Extra tickets are harmless
+  // no-ops, but they churn the queue, so don't enqueue more than needed.
+  const std::size_t tickets = std::min(workers_.size(), job->chunks - 1);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t t = 0; t < tickets; ++t) {
+      tasks_.emplace([job] { job->drain(); });
     }
-  };
-
-  std::size_t begin = 0;
-  // Enqueue all but the last chunk; run the last on the calling thread.
-  for (std::size_t c = 0; c + 1 < chunks; ++c) {
-    const std::size_t len = base + (c < extra ? 1 : 0);
-    const std::size_t end = begin + len;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      tasks_.emplace([&, begin, end] {
-        run_chunk(begin, end);
-        if (remaining.fetch_sub(1) == 1) {
-          std::lock_guard<std::mutex> done_lock(done_mutex);
-          done_cv.notify_one();
-        }
-      });
-    }
-    cv_.notify_one();
-    begin = end;
   }
-  run_chunk(begin, n);
+  if (tickets == 1) {
+    cv_.notify_one();
+  } else {
+    cv_.notify_all();
+  }
 
-  std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&] { return remaining.load() == 0; });
-  if (first_error) std::rethrow_exception(first_error);
+  job->drain();  // the caller participates
+
+  // Chunks may still be running on other threads.  Instead of blocking,
+  // help execute queued tasks — this keeps nested parallel_for calls
+  // deadlock-free: a worker waiting here runs its own job's tickets (or
+  // anybody else's) straight off the queue.  Only when the queue is empty
+  // does it sleep until the last in-flight chunk signals completion.
+  while (!job->done()) {
+    if (help_run_one_task()) continue;
+    std::unique_lock<std::mutex> lock(job->done_mutex);
+    job->done_cv.wait(lock, [&job] { return job->done(); });
+  }
+  if (job->first_error) std::rethrow_exception(job->first_error);
 }
 
 ThreadPool& ThreadPool::shared() {

@@ -1,8 +1,15 @@
-// Fixed-size thread pool with a blocking parallel_for.
+// Fixed-size thread pool with a blocking, work-stealing parallel_for.
 //
-// Monte-Carlo replicates are embarrassingly parallel: parallel_for splits the
-// index range into contiguous chunks so each worker touches its own RNG
-// stream and accumulator, and the caller merges afterwards.  On a single-core
+// Monte-Carlo replicates are embarrassingly parallel but not uniform: a
+// crash-heavy replicate can cost many times a quiet one, so parallel_for
+// uses dynamic fixed-grain scheduling — the range is cut into chunks a few
+// per lane and every participant claims the next chunk from an atomic
+// counter until none remain.  While a caller's chunks are still running on
+// other threads, the caller *helps drain the task queue* instead of
+// blocking.  That help-drain is also what makes nesting safe: a pool worker
+// whose task re-enters parallel_for executes its own (or anyone's) pending
+// sub-chunks while it waits, so no configuration of nested calls can leave
+// every worker blocked on chunks nobody is free to claim.  On a single-core
 // host the pool degrades gracefully to serial execution (zero worker case).
 #pragma once
 
@@ -27,9 +34,12 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
-  /// Runs fn(begin, end) over chunked subranges of [0, n) across the pool and
-  /// the calling thread; returns when all chunks are done.  Exceptions from
-  /// chunks are captured and the first one is rethrown on the caller.
+  /// Runs fn(begin, end) over dynamically claimed subranges of [0, n)
+  /// across the pool and the calling thread; returns when all chunks are
+  /// done.  Safe to call from inside a pool task (the waiting thread helps
+  /// run queued work, so nested calls cannot deadlock).  Exceptions from
+  /// chunks are captured and the first one is rethrown on the caller after
+  /// every chunk has run.
   void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn);
 
   /// A process-wide pool sized to the hardware (creatable lazily).
@@ -37,6 +47,8 @@ class ThreadPool {
 
  private:
   void worker_loop();
+  /// Pops and runs one queued task if any; returns whether it ran one.
+  bool help_run_one_task();
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;

@@ -54,6 +54,48 @@ TEST(MonteCarlo, MasterSeedChangesResults) {
   EXPECT_NE(a.overhead.mean(), b.overhead.mean());
 }
 
+TEST(MonteCarlo, SummaryBitIdenticalAcrossPoolSizes) {
+  // Stronger than "close": the accumulation plan is a fixed chunking of the
+  // replicate index range merged in order, so every statistic — including
+  // the rounding of mean and m2 — is the same for any pool size.
+  const auto reference = run_monte_carlo(small_config(), factory(), 150, 4, nullptr);
+  for (const std::size_t workers : {1, 7}) {
+    util::ThreadPool pool(workers);
+    const auto pooled = run_monte_carlo(small_config(), factory(), 150, 4, &pool);
+    EXPECT_EQ(reference.runs, pooled.runs);
+    EXPECT_EQ(reference.stalled_runs, pooled.stalled_runs);
+    const auto expect_stats_equal = [](const stats::RunningStats& a,
+                                       const stats::RunningStats& b) {
+      EXPECT_EQ(a.count(), b.count());
+      EXPECT_EQ(a.mean(), b.mean());
+      EXPECT_EQ(a.variance(), b.variance());
+      EXPECT_EQ(a.min(), b.min());
+      EXPECT_EQ(a.max(), b.max());
+    };
+    expect_stats_equal(reference.overhead, pooled.overhead);
+    expect_stats_equal(reference.makespan, pooled.makespan);
+    expect_stats_equal(reference.useful_time, pooled.useful_time);
+    expect_stats_equal(reference.failures_seen, pooled.failures_seen);
+    expect_stats_equal(reference.energy_overhead, pooled.energy_overhead);
+  }
+}
+
+TEST(MonteCarlo, FullRangeRunAgreesWithInOrderShardMerge) {
+  // The campaign engine's shard contract: run_monte_carlo_range over a
+  // partition of [0, n), merged in order, reproduces one full-range call —
+  // identical replicates, so counts and extrema are exact; means agree to
+  // rounding (merge order differs from push order).
+  const auto full = run_monte_carlo_range(small_config(), factory(), 0, 60, 4);
+  MonteCarloSummary merged = run_monte_carlo_range(small_config(), factory(), 0, 13, 4);
+  merged.merge(run_monte_carlo_range(small_config(), factory(), 13, 40, 4));
+  merged.merge(run_monte_carlo_range(small_config(), factory(), 40, 60, 4));
+  EXPECT_EQ(full.runs, merged.runs);
+  EXPECT_NEAR(full.overhead.mean(), merged.overhead.mean(), 1e-12);
+  EXPECT_NEAR(full.makespan.mean(), merged.makespan.mean(), 1e-6);
+  EXPECT_EQ(full.makespan.min(), merged.makespan.min());
+  EXPECT_EQ(full.makespan.max(), merged.makespan.max());
+}
+
 TEST(MonteCarlo, ThreadPoolResultBitIdenticalToSerial) {
   // The core reproducibility guarantee: thread count must not affect the
   // aggregated mean (per-replicate seeds are index-derived).

@@ -1,0 +1,172 @@
+// SimArena reuse must be invisible: a run through a recycled arena returns
+// the same RunResult bit-for-bit and emits the same trace events as the
+// allocating path, no matter what earlier replicates left behind in the
+// arena's FailureState and repair queue.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "core/arena.hpp"
+#include "core/engine.hpp"
+#include "core/montecarlo.hpp"
+#include "core/restart_on_failure.hpp"
+#include "failures/exponential_source.hpp"
+#include "oracle/recorder.hpp"
+
+namespace {
+
+using namespace repcheck;
+using namespace repcheck::sim;
+
+void expect_bitwise_equal(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.useful_time, b.useful_time);
+  EXPECT_EQ(a.completed_periods, b.completed_periods);
+  EXPECT_EQ(a.n_failures, b.n_failures);
+  EXPECT_EQ(a.n_fatal, b.n_fatal);
+  EXPECT_EQ(a.n_checkpoints, b.n_checkpoints);
+  EXPECT_EQ(a.n_restart_checkpoints, b.n_restart_checkpoints);
+  EXPECT_EQ(a.n_flush_checkpoints, b.n_flush_checkpoints);
+  EXPECT_EQ(a.n_procs_restarted, b.n_procs_restarted);
+  EXPECT_EQ(a.sum_dead_at_checkpoint, b.sum_dead_at_checkpoint);
+  EXPECT_EQ(a.time_working, b.time_working);
+  EXPECT_EQ(a.time_checkpointing, b.time_checkpointing);
+  EXPECT_EQ(a.time_recovering, b.time_recovering);
+  EXPECT_EQ(a.time_down, b.time_down);
+  EXPECT_EQ(a.progress_stalled, b.progress_stalled);
+}
+
+void expect_same_events(const std::vector<TraceEvent>& a, const std::vector<TraceEvent>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind) << "event " << i;
+    EXPECT_EQ(a[i].time, b[i].time) << "event " << i;
+    EXPECT_EQ(a[i].value, b[i].value) << "event " << i;
+    EXPECT_EQ(a[i].a, b[i].a) << "event " << i;
+    EXPECT_EQ(a[i].b, b[i].b) << "event " << i;
+  }
+}
+
+RunSpec periods_spec(std::uint64_t n) {
+  RunSpec spec;
+  spec.mode = RunSpec::Mode::kFixedPeriods;
+  spec.n_periods = n;
+  return spec;
+}
+
+// A crash-heavy configuration so consecutive replicates leave very
+// different dead sets and repair-queue depths behind in the arena: a short
+// MTBF, a restart strategy, checkpoint jitter (exercises the jitter rng)
+// and a finite spare pool (exercises the repair queue).
+struct CrashHeavySetup {
+  platform::Platform platform = platform::Platform::fully_replicated(400);
+  platform::CostModel cost = platform::CostModel::uniform(30.0, 1.5, 10.0);
+  std::optional<platform::SparePool> spares = platform::SparePool{12, 4000.0};
+  failures::ExponentialFailureSource source{400, 2e4, 0};
+
+  CrashHeavySetup() { cost.checkpoint_jitter_sigma = 0.1; }
+
+  [[nodiscard]] PeriodicEngine engine() const {
+    return {platform, cost, StrategySpec::restart(3000.0), spares};
+  }
+};
+
+TEST(SimArena, ReusedArenaMatchesAllocatingPathAcrossReplicates) {
+  CrashHeavySetup setup;
+  const auto engine = setup.engine();
+  const auto spec = periods_spec(40);
+  SimArena arena;
+  for (std::uint64_t index = 0; index < 12; ++index) {
+    const auto seed = derive_run_seed(3, index);
+    oracle::TraceRecorder plain_rec;
+    const auto plain = engine.run(setup.source, spec, seed, &plain_rec);
+    oracle::TraceRecorder arena_rec;
+    const auto reused = engine.run(setup.source, spec, seed, &arena_rec, &arena);
+    expect_bitwise_equal(plain, reused);
+    expect_same_events(plain_rec.events(), arena_rec.events());
+  }
+}
+
+TEST(SimArena, RestartOnFailureMatchesAllocatingPath) {
+  const auto platform = platform::Platform::fully_replicated(400);
+  const RestartOnFailureEngine engine(platform, platform::CostModel::uniform(30.0, 1.5, 10.0));
+  RunSpec spec;
+  spec.mode = RunSpec::Mode::kFixedWork;
+  spec.total_work_time = 4e5;
+  failures::ExponentialFailureSource source(400, 2e4, 0);
+  SimArena arena;
+  for (std::uint64_t index = 0; index < 12; ++index) {
+    const auto seed = derive_run_seed(5, index);
+    const auto plain = engine.run(source, spec, seed);
+    const auto reused = engine.run(source, spec, seed, &arena);
+    expect_bitwise_equal(plain, reused);
+  }
+}
+
+TEST(SimArena, OneArenaServesPlatformsOfDifferentShapes) {
+  // The arena re-sizes when the platform shape changes; results must stay
+  // identical to fresh state either way.
+  SimArena arena;
+  const auto spec = periods_spec(20);
+  for (const std::uint64_t n : {64u, 400u, 64u, 128u}) {
+    const auto platform = platform::Platform::fully_replicated(n);
+    const PeriodicEngine engine(platform, platform::CostModel::uniform(30.0),
+                                StrategySpec::restart(3000.0));
+    failures::ExponentialFailureSource source(n, 2e4, 0);
+    const auto plain = engine.run(source, spec, 77);
+    const auto reused = engine.run(source, spec, 77, nullptr, &arena);
+    expect_bitwise_equal(plain, reused);
+  }
+}
+
+// ------------------------------------------------------------ RepairQueue
+
+TEST(RepairQueue, FifoSemantics) {
+  RepairQueue q;
+  EXPECT_TRUE(q.empty());
+  q.push_back(1.0);
+  q.push_back(2.0);
+  q.push_back(3.0);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.front(), 1.0);
+  q.pop_front();
+  EXPECT_EQ(q.front(), 2.0);
+  q.pop_front();
+  q.pop_front();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(RepairQueue, InterleavedPushPopStaysOrderedAndBounded) {
+  RepairQueue q;
+  double next_push = 0.0;
+  double expect_front = 0.0;
+  // Heavy traffic with a small live window: the consumed prefix must be
+  // compacted away rather than growing with total throughput.
+  for (int round = 0; round < 10000; ++round) {
+    q.push_back(next_push++);
+    q.push_back(next_push++);
+    ASSERT_EQ(q.front(), expect_front);
+    q.pop_front();
+    ++expect_front;
+  }
+  EXPECT_EQ(q.size(), 10000u);
+  while (!q.empty()) {
+    ASSERT_EQ(q.front(), expect_front);
+    q.pop_front();
+    ++expect_front;
+  }
+  EXPECT_EQ(expect_front, 20000.0);
+}
+
+TEST(RepairQueue, ClearEmptiesLiveItems) {
+  RepairQueue q;
+  for (int i = 0; i < 10; ++i) q.push_back(i);
+  q.pop_front();
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  q.push_back(42.0);
+  EXPECT_EQ(q.front(), 42.0);
+}
+
+}  // namespace

@@ -1,0 +1,98 @@
+// reset(seed) must reproduce a fresh construction bit-for-bit, for every
+// FailureSource.  The campaign cache and the replay oracle both lean on
+// this: a replicate's failure stream is defined entirely by its derived
+// seed, never by what the source did before.  The exponential source is the
+// sharp case — it pre-draws generator outputs in blocks, and reset must
+// discard the buffered tail rather than serve stale draws.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "failures/exponential_source.hpp"
+#include "failures/heterogeneous_source.hpp"
+#include "failures/renewal_source.hpp"
+#include "failures/trace_source.hpp"
+#include "prng/distributions.hpp"
+#include "traces/synthetic.hpp"
+
+namespace {
+
+using namespace repcheck::failures;
+
+// Consumes `burn` failures from `dirty`, resets both sources to `seed`, and
+// requires the next `check` failures to match bit-for-bit (exact double
+// compare — "close" is not reproducible).
+void expect_reset_matches_fresh(FailureSource& fresh, FailureSource& dirty, std::uint64_t seed,
+                                int burn, int check) {
+  for (int i = 0; i < burn; ++i) (void)dirty.next();
+  fresh.reset(seed);
+  dirty.reset(seed);
+  for (int i = 0; i < check; ++i) {
+    const auto a = fresh.next();
+    const auto b = dirty.next();
+    ASSERT_EQ(a.time, b.time) << "failure " << i << " after burning " << burn;
+    ASSERT_EQ(a.proc, b.proc) << "failure " << i << " after burning " << burn;
+  }
+}
+
+TEST(SourceResetParity, Exponential) {
+  // Burn counts straddle the source's 256-draw prefetch block: inside the
+  // first block, at block edges, and several blocks deep.
+  for (const int burn : {0, 1, 3, 127, 128, 129, 200, 256, 300, 1000}) {
+    ExponentialFailureSource fresh(1000, 1e6, 7);
+    ExponentialFailureSource dirty(1000, 1e6, 99);
+    expect_reset_matches_fresh(fresh, dirty, 21, burn, 600);
+  }
+}
+
+TEST(SourceResetParity, ExponentialResetToSameSeedRestartsTheStream) {
+  ExponentialFailureSource source(64, 1e5, 5);
+  std::vector<double> first_times;
+  std::vector<std::uint64_t> first_procs;
+  for (int i = 0; i < 400; ++i) {
+    const auto f = source.next();
+    first_times.push_back(f.time);
+    first_procs.push_back(f.proc);
+  }
+  source.reset(5);
+  for (int i = 0; i < 400; ++i) {
+    const auto f = source.next();
+    ASSERT_EQ(f.time, first_times[static_cast<std::size_t>(i)]);
+    ASSERT_EQ(f.proc, first_procs[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(SourceResetParity, Heterogeneous) {
+  const std::vector<ProcessorClass> classes = {{100, 1e6}, {50, 2e5}, {10, 5e4}};
+  for (const int burn : {0, 5, 500}) {
+    HeterogeneousExponentialSource fresh(classes, 3);
+    HeterogeneousExponentialSource dirty(classes, 88);
+    expect_reset_matches_fresh(fresh, dirty, 17, burn, 500);
+  }
+}
+
+TEST(SourceResetParity, Renewal) {
+  const repcheck::prng::WeibullSampler law(0.7, 1e5);
+  const auto sampler = [law](repcheck::prng::Xoshiro256pp& rng) { return law(rng); };
+  for (const int burn : {0, 5, 300}) {
+    RenewalFailureSource fresh(50, sampler, 11);
+    RenewalFailureSource dirty(50, sampler, 12);
+    expect_reset_matches_fresh(fresh, dirty, 4, burn, 300);
+  }
+}
+
+TEST(SourceResetParity, Trace) {
+  repcheck::traces::UncorrelatedTraceParams params;
+  params.count = 500;
+  params.system_mtbf = 100.0;
+  params.n_nodes = 8;
+  const auto trace = repcheck::traces::make_uncorrelated_trace(params, 42);
+  for (const int burn : {0, 5, 700}) {
+    TraceFailureSource fresh({trace, 32, 4}, 1);
+    TraceFailureSource dirty({trace, 32, 4}, 2);
+    expect_reset_matches_fresh(fresh, dirty, 9, burn, 700);
+  }
+}
+
+}  // namespace

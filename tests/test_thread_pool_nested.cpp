@@ -1,0 +1,133 @@
+// Regression tests for nested ThreadPool::parallel_for.
+//
+// The pre-help-drain scheduler deadlocked when a pool worker re-entered
+// parallel_for: the worker blocked waiting for its sub-chunks while those
+// sub-chunks sat in the queue behind (or among) tasks only blocked workers
+// could claim.  That is exactly the campaign-over-Monte-Carlo shape — a
+// shard task calling run_monte_carlo with the shared pool — so these tests
+// nest parallel_for from inside pool tasks, two and three deep, and must
+// stay deadlock-free (CTest's timeout catches a regression) and TSan-clean.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using repcheck::util::ThreadPool;
+
+TEST(ThreadPoolNested, TwoDeepFromInsidePoolTasks) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> inner_total{0};
+  const std::size_t outer_n = 16;
+  const std::size_t inner_n = 64;
+  pool.parallel_for(outer_n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      pool.parallel_for(inner_n, [&](std::size_t ib, std::size_t ie) {
+        inner_total.fetch_add(ie - ib);
+      });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), outer_n * inner_n);
+}
+
+TEST(ThreadPoolNested, ThreeDeepCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(4 * 6 * 32);
+  pool.parallel_for(4, [&](std::size_t b0, std::size_t e0) {
+    for (std::size_t i = b0; i < e0; ++i) {
+      pool.parallel_for(6, [&, i](std::size_t b1, std::size_t e1) {
+        for (std::size_t j = b1; j < e1; ++j) {
+          pool.parallel_for(32, [&, i, j](std::size_t b2, std::size_t e2) {
+            for (std::size_t k = b2; k < e2; ++k) {
+              hits[(i * 6 + j) * 32 + k].fetch_add(1);
+            }
+          });
+        }
+      });
+    }
+  });
+  for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolNested, SingleWorkerPoolCannotStarveItself) {
+  // The tightest configuration: one worker plus the caller.  Every nested
+  // call's sub-chunks can only ever be claimed by threads that are already
+  // inside a parallel_for wait, so this deadlocks without help-drain.
+  ThreadPool pool(1);
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for(8, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      pool.parallel_for(8, [&](std::size_t ib, std::size_t ie) {
+        total.fetch_add(ie - ib);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 64u);
+}
+
+TEST(ThreadPoolNested, ConcurrentExternalCallersWithNesting) {
+  // Two external threads both run nested parallel_for on the same pool, so
+  // tickets of four jobs interleave in one queue.
+  ThreadPool pool(3);
+  std::atomic<std::size_t> total{0};
+  const auto nested_count = [&] {
+    pool.parallel_for(12, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        pool.parallel_for(16, [&](std::size_t ib, std::size_t ie) {
+          total.fetch_add(ie - ib);
+        });
+      }
+    });
+  };
+  std::thread a(nested_count);
+  std::thread b(nested_count);
+  a.join();
+  b.join();
+  EXPECT_EQ(total.load(), 2u * 12u * 16u);
+}
+
+TEST(ThreadPoolNested, InnerExceptionPropagatesThroughOuterChunk) {
+  ThreadPool pool(2);
+  std::atomic<int> outer_chunks{0};
+  try {
+    pool.parallel_for(8, [&](std::size_t begin, std::size_t end) {
+      outer_chunks.fetch_add(1);
+      pool.parallel_for(4, [begin](std::size_t ib, std::size_t) {
+        if (begin == 0 && ib == 0) throw std::runtime_error("inner boom");
+      });
+      for (std::size_t i = begin; i < end; ++i) {
+      }
+    });
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "inner boom");
+  }
+  // The outer call still ran every chunk before rethrowing.
+  EXPECT_GT(outer_chunks.load(), 0);
+}
+
+TEST(ThreadPoolNested, LoadImbalanceIsRebalancedDynamically) {
+  // One straggler index must not pin the whole range to one lane: with
+  // dynamic claiming the other lanes keep taking chunks while the slow one
+  // spins.  This is a smoke check of scheduling, not a timing assertion.
+  ThreadPool pool(3);
+  std::atomic<std::size_t> covered{0};
+  pool.parallel_for(256, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      if (i == 0) {
+        volatile std::uint64_t sink = 0;
+        for (int spin = 0; spin < 2'000'000; ++spin) sink = sink + spin;
+      }
+      covered.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(covered.load(), 256u);
+}
+
+}  // namespace
