@@ -15,6 +15,7 @@
 #include <new>
 
 #include "core/repcheck.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -108,6 +109,62 @@ void BM_EngineRunArena(benchmark::State& state) {
   report_allocs(state, calls, bytes);
 }
 BENCHMARK(BM_EngineRunArena)->Arg(200000)->Unit(benchmark::kMicrosecond);
+
+/// Replicate-loop fixture for the telemetry-overhead pair: small platform,
+/// long runs (100 periods at n = 2000), so per-replicate engine work — the
+/// code that carries instrumentation sites — dominates over setup.  Same
+/// shape as the failpoint pair in micro_benchmarks.cpp.
+struct TelemetryBenchScale {
+  std::uint64_t n = 2000;
+  platform::Platform platform = platform::Platform::fully_replicated(2000);
+  platform::CostModel cost = platform::CostModel::uniform(60.0);
+  sim::StrategySpec strategy =
+      sim::StrategySpec::restart(model::t_opt_rs(60.0, 1000, model::years(5.0)));
+  sim::RunSpec spec;
+
+  TelemetryBenchScale() {
+    spec.mode = sim::RunSpec::Mode::kFixedPeriods;
+    spec.n_periods = 100;
+  }
+};
+
+// Baseline for the zero-overhead-when-off claim: the replicate loop with no
+// telemetry statements in scope at all.
+void BM_EngineRunNoTelemetry(benchmark::State& state) {
+  const TelemetryBenchScale ts;
+  const sim::PeriodicEngine engine(ts.platform, ts.cost, ts.strategy);
+  failures::ExponentialFailureSource source(ts.n, model::years(5.0));
+  sim::SimArena arena;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(source, ts.spec, ++seed, nullptr, &arena));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EngineRunNoTelemetry)->Unit(benchmark::kMicrosecond);
+
+// The same loop with disabled instrumentation in scope: a counter inc and a
+// scoped span per replicate, telemetry off.  Each site must cost one relaxed
+// load; scripts/run_benchmarks.sh gates this against BM_EngineRunNoTelemetry
+// as a within-run invariant (immune to machine-to-machine noise), and the
+// BM_EngineRun* prefix keeps both under the cross-run regression gate.
+void BM_EngineRunTelemetryOff(benchmark::State& state) {
+  namespace telemetry = repcheck::telemetry;
+  telemetry::set_enabled(false);
+  auto& replicates = telemetry::counter("bench.replicates");
+  const TelemetryBenchScale ts;
+  const sim::PeriodicEngine engine(ts.platform, ts.cost, ts.strategy);
+  failures::ExponentialFailureSource source(ts.n, model::years(5.0));
+  sim::SimArena arena;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    TELEMETRY_SPAN("bench.replicate");
+    benchmark::DoNotOptimize(engine.run(source, ts.spec, ++seed, nullptr, &arena));
+    replicates.inc();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EngineRunTelemetryOff)->Unit(benchmark::kMicrosecond);
 
 // The full replicate loop as the campaign engine drives it: ReplicateRunner
 // reusing one engine + arena per lane, 20 replicates per iteration.

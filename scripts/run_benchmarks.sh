@@ -115,7 +115,10 @@ PY
 
 # Within-run invariants: immune to machine-to-machine timing noise because
 # both sides come from the same invocation.  The arena hot path must be
-# allocation-free and at least 3x the allocating baseline's throughput.
+# allocation-free and at least 3x the allocating baseline's throughput, and
+# disabled telemetry instrumentation must stay within 10% of the
+# uninstrumented replicate loop (the zero-overhead-when-off contract,
+# docs/OBSERVABILITY.md).
 python3 - "$out" <<'PY'
 import json, sys
 
@@ -125,17 +128,29 @@ arena = benches.get("BM_EngineRunArena/200000")
 alloc = benches.get("BM_EngineRunAllocating/200000")
 if arena is None or alloc is None:
     print("==> arena invariants skipped (engine-run pair filtered out)")
-    sys.exit(0)
-allocs_per_run = arena.get("counters", {}).get("allocs_per_run", float("inf"))
-speedup = alloc["cpu_time_ns"] / arena["cpu_time_ns"]
-print(f"==> arena invariants: allocs_per_run={allocs_per_run:.3g}, "
-      f"speedup over allocating path = {speedup:.1f}x")
-if allocs_per_run >= 1.0:
-    print("FAIL: arena hot path allocates per replicate")
-    sys.exit(1)
-if speedup < 3.0:
-    print("FAIL: arena hot path is below the 3x replicate-throughput floor")
-    sys.exit(1)
+else:
+    allocs_per_run = arena.get("counters", {}).get("allocs_per_run", float("inf"))
+    speedup = alloc["cpu_time_ns"] / arena["cpu_time_ns"]
+    print(f"==> arena invariants: allocs_per_run={allocs_per_run:.3g}, "
+          f"speedup over allocating path = {speedup:.1f}x")
+    if allocs_per_run >= 1.0:
+        print("FAIL: arena hot path allocates per replicate")
+        sys.exit(1)
+    if speedup < 3.0:
+        print("FAIL: arena hot path is below the 3x replicate-throughput floor")
+        sys.exit(1)
+
+bare = benches.get("BM_EngineRunNoTelemetry")
+off = benches.get("BM_EngineRunTelemetryOff")
+if bare is None or off is None:
+    print("==> telemetry-off invariant skipped (pair filtered out)")
+else:
+    overhead_pct = 100.0 * (off["cpu_time_ns"] - bare["cpu_time_ns"]) / bare["cpu_time_ns"]
+    print(f"==> telemetry-off invariant: disabled instrumentation overhead = "
+          f"{overhead_pct:+.1f}%")
+    if overhead_pct > 10.0:
+        print("FAIL: disabled telemetry costs more than 10% on the replicate loop")
+        sys.exit(1)
 PY
 
 if [[ -z "$baseline" ]]; then

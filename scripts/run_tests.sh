@@ -14,8 +14,13 @@
 #   scripts/run_tests.sh                 # everything, all three presets
 #   scripts/run_tests.sh oracle          # oracle tests, all three presets
 #   scripts/run_tests.sh stat release    # statistical tests, release only
-#   scripts/run_tests.sh unit tsan       # race-check the campaign runner &c.
+#   scripts/run_tests.sh unit tsan       # race-check campaign runner, telemetry &c.
+#   scripts/run_tests.sh unit asan-ubsan # sanitize the same suite
 #   scripts/run_tests.sh --bench unit release   # unit tests, then benchmarks
+#
+# The telemetry tests (test_telemetry, test_telemetry_report) are part of
+# the unit label; run them under tsan to race-check the sharded counters
+# and per-thread span rings, and under asan-ubsan for the renderers.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

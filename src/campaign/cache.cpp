@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "prng/splitmix64.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/failpoint.hpp"
 #include "util/hash.hpp"
 #include "util/log.hpp"
@@ -11,6 +12,22 @@
 namespace repcheck::campaign {
 
 namespace fp = util::failpoint;
+
+namespace {
+
+// Store health series ("campaign.cache.*" / "campaign.journal.*" in
+// docs/OBSERVABILITY.md).  Store I/O is flush-bound, so interning the
+// counter name per call is noise; no static handles needed here.
+void count_store_event(std::string_view store, std::string_view event, std::uint64_t n = 1) {
+  if (n == 0 || !telemetry::enabled()) return;
+  std::string name = "campaign.";
+  name += store;
+  name += '.';
+  name += event;
+  telemetry::counter(name).inc(n);
+}
+
+}  // namespace
 
 std::uint64_t point_hash(const SweepPoint& point) { return util::fnv1a64(point.canonical()); }
 
@@ -207,6 +224,7 @@ void append_line(std::ofstream& out, bool& dirty, const std::filesystem::path& f
       out << line.substr(0, line.size() / 2);
       out.flush();
       dirty = true;
+      count_store_event("store", "append_errors");
       throw StoreWriteError("campaign " + std::string(store) + " torn write for key " + key +
                             " at " + file.string() + " (injected fault)");
     }
@@ -226,10 +244,12 @@ void append_line(std::ofstream& out, bool& dirty, const std::filesystem::path& f
   if (!out) {
     out.clear();  // keep the stream usable in case the condition clears
     dirty = true;
+    count_store_event("store", "append_errors");
     throw StoreWriteError("campaign " + std::string(store) + " append failed for key " + key +
                           " at " + file.string() +
                           " (disk full?); the record did not persist");
   }
+  count_store_event(store, "appends");
 }
 
 }  // namespace
@@ -328,6 +348,9 @@ ResultCache::ResultCache(const std::filesystem::path& dir) {
   auto store = load_jsonl_map(file_, "key");
   records_ = std::move(store.records);
   load_stats_ = store.stats;
+  count_store_event("cache", "records_loaded", load_stats_.loaded);
+  count_store_event("cache", "quarantined", load_stats_.quarantined);
+  count_store_event("cache", "legacy_records", load_stats_.legacy);
   out_ = open_append(file_, "cache");
 }
 
@@ -371,6 +394,9 @@ Journal::Journal(const std::filesystem::path& path) {
   auto store = load_jsonl_map(file_, "done_key");
   done_ = std::move(store.records);
   load_stats_ = store.stats;
+  count_store_event("journal", "records_loaded", load_stats_.loaded);
+  count_store_event("journal", "quarantined", load_stats_.quarantined);
+  count_store_event("journal", "legacy_records", load_stats_.legacy);
   out_ = open_append(file_, "journal");
 }
 

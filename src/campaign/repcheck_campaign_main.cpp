@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <exception>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -27,6 +28,9 @@
 
 #include "campaign/figures.hpp"
 #include "campaign/simulate.hpp"
+#include "telemetry/report.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/failpoint.hpp"
 #include "util/flags.hpp"
 #include "util/interrupt.hpp"
 #include "util/table.hpp"
@@ -170,6 +174,28 @@ void print_failure_summary(const campaign::CampaignResult& result) {
   }
 }
 
+void write_text_file(const std::string& path, const std::string& text, const char* what) {
+  std::ofstream out(path, std::ios::trunc);
+  out << text;
+  out.flush();
+  if (!out) throw std::runtime_error(std::string("cannot write ") + what + ": " + path);
+}
+
+/// Renders the run report (docs/OBSERVABILITY.md): the registry snapshot
+/// plus per-site failpoint hit counts, tagged with the campaign identity.
+std::string render_report(const std::string& campaign, std::uint64_t seed) {
+  auto snapshot = telemetry::snapshot_metrics();
+  for (const auto& site : util::failpoint::armed_sites()) {
+    const std::uint64_t hits = util::failpoint::hit_count(site);
+    if (hits > 0) snapshot.counters["failpoint." + site + ".hits"] = hits;
+  }
+  telemetry::ReportMeta meta;
+  meta["campaign"] = campaign;
+  meta["seed"] = std::to_string(seed);
+  meta["engine"] = std::string(campaign::kEngineVersion);
+  return telemetry::render_run_report(snapshot, meta);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -199,7 +225,15 @@ int main(int argc, char** argv) {
         flags.add_int64("retry-backoff-ms", 50, "initial retry backoff (doubles per attempt)");
     const auto* fsck =
         flags.add_bool("fsck", false, "verify + compact --cache-dir / --journal stores and exit");
+    const auto* metrics_out = flags.add_string(
+        "metrics-out", "", "write a JSON run report (counters/spans/timings) to this file");
+    const auto* trace_out = flags.add_string(
+        "trace-out", "", "write a Chrome trace-event JSON (load in Perfetto) to this file");
     if (!flags.parse(argc, argv)) return 0;  // --help
+
+    // Arm telemetry before any instrumented code runs, so store loads and
+    // pool spin-up are captured too.  REPCHECK_TELEMETRY=1 also works.
+    if (!metrics_out->empty() || !trace_out->empty()) telemetry::set_enabled(true);
 
     if (*fsck) return run_fsck(*cache_dir, *journal);
 
@@ -276,6 +310,14 @@ int main(int argc, char** argv) {
     const auto result = runner.run();
     const auto table = figure_render ? (*figure_render)(result) : grid_render(spec, result);
     table.print(std::cout, *csv);
+    // Reports are written even for drained/failed runs — a run that went
+    // wrong is exactly the one whose telemetry you want.
+    if (!metrics_out->empty()) {
+      write_text_file(*metrics_out, render_report(spec.name, options.master_seed), "run report");
+    }
+    if (!trace_out->empty()) {
+      write_text_file(*trace_out, telemetry::render_chrome_trace(), "trace");
+    }
     if (!result.ok()) {
       print_failure_summary(result);
       // 130 = interrupted (drain), 2 = completed with failed points.

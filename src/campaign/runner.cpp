@@ -8,8 +8,10 @@
 #include <stdexcept>
 #include <thread>
 
+#include "telemetry/telemetry.hpp"
 #include "util/failpoint.hpp"
 #include "util/log.hpp"
+#include "util/timer.hpp"
 
 namespace repcheck::campaign {
 
@@ -52,34 +54,61 @@ namespace fp = util::failpoint;
 
 using Clock = std::chrono::steady_clock;
 
+telemetry::Histogram& shard_replicates_histogram() {
+  static telemetry::Histogram& h = telemetry::histogram("campaign.shard.replicates");
+  return h;
+}
+
+/// Mirrors the finished run's CampaignStats into the telemetry registry so
+/// --metrics-out reports carry the exact scheduler counts (cumulative when
+/// one process runs several campaigns).  Wall time lands in "campaign.run_ns"
+/// — the "_ns" suffix routes it into the report's durations section.
+void mirror_stats_to_telemetry(const CampaignStats& stats) {
+  if (!telemetry::enabled()) return;
+  telemetry::counter("campaign.points").inc(stats.points);
+  telemetry::counter("campaign.journal_points").inc(stats.journal_points);
+  telemetry::counter("campaign.shards_total").inc(stats.shards_total);
+  telemetry::counter("campaign.shards_cached").inc(stats.shards_cached);
+  telemetry::counter("campaign.shards_simulated").inc(stats.shards_simulated);
+  telemetry::counter("campaign.shards_failed").inc(stats.shards_failed);
+  telemetry::counter("campaign.shard_retries").inc(stats.shard_retries);
+  telemetry::counter("campaign.failed_points").inc(stats.failed_points);
+  telemetry::counter("campaign.incomplete_points").inc(stats.incomplete_points);
+  telemetry::counter("campaign.quarantined_records").inc(stats.quarantined_records);
+  telemetry::counter("campaign.store_errors").inc(stats.store_errors);
+  if (stats.drained) telemetry::counter("campaign.drained").inc();
+  telemetry::counter("campaign.run_ns").inc(static_cast<std::uint64_t>(stats.seconds * 1e9));
+}
+
 /// Throttled stderr reporter: shards done, cache hits, throughput, ETA.
+/// Cache hits are read live from the runner's counter at print time, so
+/// hits discovered while shards run (duplicate shard keys resolved by an
+/// earlier worker) show up instead of the stale scan-time snapshot.
 class ProgressReporter {
  public:
-  ProgressReporter(std::string campaign, std::uint64_t to_simulate, std::uint64_t cached,
-                   bool enabled)
+  ProgressReporter(std::string campaign, std::uint64_t to_simulate,
+                   const std::atomic<std::uint64_t>* cache_hits, bool enabled)
       : campaign_(std::move(campaign)),
         to_simulate_(to_simulate),
-        cached_(cached),
-        enabled_(enabled),
-        start_(Clock::now()),
-        last_print_(start_) {}
+        cache_hits_(cache_hits),
+        enabled_(enabled) {}
 
   void shard_simulated() {
     const std::uint64_t done = ++done_;
     if (!enabled_) return;
     std::lock_guard<std::mutex> lock(mutex_);
-    const auto now = Clock::now();
-    if (done < to_simulate_ && now - last_print_ < std::chrono::seconds(1)) return;
-    last_print_ = now;
-    const double secs = std::chrono::duration<double>(now - start_).count();
+    if (done < to_simulate_ && watch_.lap_seconds() < 1.0) return;
+    watch_.lap();
+    const double secs = watch_.seconds();
     const double rate = secs > 0.0 ? static_cast<double>(done) / secs : 0.0;
     const double eta = rate > 0.0 ? static_cast<double>(to_simulate_ - done) / rate : 0.0;
+    const std::uint64_t hits = cache_hits_ != nullptr ? cache_hits_->load() : 0;
     std::fprintf(stderr,
                  "[campaign %s] %llu/%llu shards simulated (%llu cache hits), %.2f shards/s, "
                  "eta %.0f s\n",
                  campaign_.c_str(), static_cast<unsigned long long>(done),
                  static_cast<unsigned long long>(to_simulate_),
-                 static_cast<unsigned long long>(cached_), rate, eta);
+                 static_cast<unsigned long long>(hits), rate, eta);
   }
 
   void finish(const CampaignStats& stats) const {
@@ -99,10 +128,9 @@ class ProgressReporter {
  private:
   std::string campaign_;
   std::uint64_t to_simulate_;
-  std::uint64_t cached_;
+  const std::atomic<std::uint64_t>* cache_hits_;
   bool enabled_;
-  Clock::time_point start_;
-  Clock::time_point last_print_;
+  util::Stopwatch watch_;
   std::atomic<std::uint64_t> done_{0};
   std::mutex mutex_;
 };
@@ -124,6 +152,7 @@ CampaignRunner::CampaignRunner(SweepSpec spec, PointEvaluator evaluator, RunnerO
 }
 
 CampaignResult CampaignRunner::run() {
+  TELEMETRY_SPAN("campaign.run");
   const auto t0 = Clock::now();
   const auto points = spec_.expand();
   if (points.empty()) throw std::invalid_argument("campaign expands to zero points");
@@ -189,8 +218,12 @@ CampaignResult CampaignRunner::run() {
     result.points.push_back(std::move(outcome));
   }
 
-  ProgressReporter progress(spec_.name, pending.size(), result.stats.shards_cached,
-                            options_.progress);
+  // Cache hits, live: seeded with the scan-time count and bumped whenever a
+  // pending shard turns out to be cached by the time its worker claims it
+  // (duplicate shard keys across points).  ProgressReporter reads it at
+  // print time — this is what keeps the printed hit count from going stale.
+  std::atomic<std::uint64_t> cache_hits{result.stats.shards_cached};
+  ProgressReporter progress(spec_.name, pending.size(), &cache_hits, options_.progress);
 
   const auto stop_requested = [&] {
     return options_.stop != nullptr && options_.stop->load(std::memory_order_relaxed);
@@ -231,6 +264,7 @@ CampaignResult CampaignRunner::run() {
 
   std::vector<std::atomic<bool>> finalized(points.size());
   const auto finalize_point = [&](std::size_t idx) {
+    TELEMETRY_SPAN("campaign.point.finalize");
     auto& outcome = result.points[idx];
     {
       std::lock_guard<std::mutex> lock(failure_mutex);
@@ -265,7 +299,15 @@ CampaignResult CampaignRunner::run() {
   };
 
   const auto run_unit = [&](const Shard& shard) {
+    TELEMETRY_SPAN("campaign.shard");
     const auto& outcome = result.points[shard.point_idx];
+    if (cache.contains(shard.key)) {
+      // Another worker already produced this record (duplicate sweep points
+      // share shard keys) — count the hit instead of re-simulating.
+      cache_hits.fetch_add(1);
+      if (shards_left[shard.point_idx].fetch_sub(1) == 1) finalize_point(shard.point_idx);
+      return;
+    }
     for (std::uint32_t attempt = 0;; ++attempt) {
       try {
         if (REPCHECK_FAILPOINT("campaign.evaluator.throw")) {
@@ -278,6 +320,7 @@ CampaignResult CampaignRunner::run() {
         const auto summary =
             evaluator_.simulate(outcome.point, shard.begin, shard.end, outcome.seed);
         cache.insert(shard.key, outcome.point, outcome.seed, shard.begin, shard.end, summary);
+        shard_replicates_histogram().observe(shard.end - shard.begin);
         simulated.fetch_add(1);
         progress.shard_simulated();
         break;
@@ -346,6 +389,7 @@ CampaignResult CampaignRunner::run() {
     if (outcome.status == PointStatus::kFailed) ++result.stats.failed_points;
     if (outcome.status == PointStatus::kIncomplete) ++result.stats.incomplete_points;
   }
+  result.stats.shards_cached = cache_hits.load();
   result.stats.shards_simulated = simulated.load();
   result.stats.shards_failed = shards_failed.load();
   result.stats.shard_retries = retries.load();
@@ -353,6 +397,7 @@ CampaignResult CampaignRunner::run() {
   result.stats.drained = drained.load();
   result.stats.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
   result.build_index();
+  mirror_stats_to_telemetry(result.stats);
   progress.finish(result.stats);
   return result;
 }

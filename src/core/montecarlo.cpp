@@ -6,8 +6,25 @@
 #include <vector>
 
 #include "prng/splitmix64.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace repcheck::sim {
+
+namespace {
+
+// Replicate throughput series ("mc.*" in docs/OBSERVABILITY.md).  Counted
+// per chunk, not per replicate, so the hot loop stays allocation- and
+// contention-free even with telemetry on.
+telemetry::Counter& mc_replicates_counter() {
+  static telemetry::Counter& c = telemetry::counter("mc.replicates");
+  return c;
+}
+telemetry::Counter& mc_chunks_counter() {
+  static telemetry::Counter& c = telemetry::counter("mc.chunks");
+  return c;
+}
+
+}  // namespace
 
 std::uint64_t derive_run_seed(std::uint64_t master_seed, std::uint64_t index) {
   prng::SplitMix64 mix(master_seed ^ (index * 0x9e3779b97f4a7c15ULL));
@@ -99,12 +116,14 @@ MonteCarloSummary run_monte_carlo_range(const SimConfig& config, const SourceFac
                                         std::uint64_t master_seed) {
   if (end < begin) throw std::invalid_argument("replicate range end precedes begin");
   if (!make_source) throw std::invalid_argument("source factory must be callable");
+  TELEMETRY_SPAN("mc.range");
   LaneAccumulator acc;
   const auto source = make_source();
   ReplicateRunner runner(config);
   for (std::uint64_t i = begin; i < end; ++i) {
     acc.add(runner.run(*source, derive_run_seed(master_seed, i)), config);
   }
+  mc_replicates_counter().inc(end - begin);
   return acc.summary;
 }
 
@@ -113,6 +132,7 @@ MonteCarloSummary run_monte_carlo(const SimConfig& config, const SourceFactory& 
                                   util::ThreadPool* pool) {
   if (n_runs == 0) throw std::invalid_argument("need at least one Monte-Carlo run");
   if (!make_source) throw std::invalid_argument("source factory must be callable");
+  TELEMETRY_SPAN("mc.run");
 
   // Accumulation plan: replicates are grouped into fixed chunks derived
   // from n_runs alone, each chunk's statistics accumulated independently,
@@ -133,6 +153,8 @@ MonteCarloSummary run_monte_carlo(const SimConfig& config, const SourceFactory& 
       for (std::uint64_t i = begin; i < end; ++i) {
         acc.add(runner.run(*source, derive_run_seed(master_seed, i)), config);
       }
+      mc_chunks_counter().inc();
+      mc_replicates_counter().inc(end - begin);
       partial[c] = acc.summary;
     }
   };

@@ -1,0 +1,134 @@
+#include "telemetry/telemetry.hpp"
+
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+namespace repcheck::telemetry {
+
+namespace detail {
+
+std::size_t thread_shard() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) & (kCounterShards - 1);
+  return shard;
+}
+
+}  // namespace detail
+
+// Arm from the environment during static initialization (failpoint parity):
+// REPCHECK_TELEMETRY=1 turns collection on before main().
+namespace {
+std::atomic<bool> g_enabled{[] {
+  const char* env = std::getenv("REPCHECK_TELEMETRY");
+  return env != nullptr && *env != '\0' && *env != '0';
+}()};
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) noexcept { g_enabled.store(on, std::memory_order_relaxed); }
+
+/// Owns every series ever named.  Leaked on purpose (like the failpoint
+/// registry): instrumented worker threads may outlive static destruction.
+class Registry {
+ public:
+  static Registry& instance() {
+    static Registry* r = new Registry();
+    return *r;
+  }
+
+  Counter& counter(std::string_view name) { return *intern(counters_, name); }
+  Gauge& gauge(std::string_view name) { return *intern(gauges_, name); }
+  Histogram& histogram(std::string_view name) { return *intern(histograms_, name); }
+
+  void snapshot(MetricsSnapshot& out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, c] : counters_) {
+      if (const auto v = c->value(); v != 0) out.counters.emplace(name, v);
+    }
+    for (const auto& [name, g] : gauges_) {
+      if (const auto v = g->value(); v != 0) out.gauges.emplace(name, v);
+    }
+    for (const auto& [name, h] : histograms_) {
+      HistogramSnapshot snap;
+      for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+        if (const auto n = h->bucket_count(b); n != 0) {
+          snap.buckets.emplace_back(b, n);
+          snap.count += n;
+        }
+      }
+      if (snap.count != 0) out.histograms.emplace(name, std::move(snap));
+    }
+  }
+
+  void reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [name, c] : counters_) {
+      for (auto& shard : c->shards_) shard.value.store(0, std::memory_order_relaxed);
+    }
+    for (auto& [name, g] : gauges_) g->value_.store(0, std::memory_order_relaxed);
+    for (auto& [name, h] : histograms_) {
+      for (auto& bucket : h->buckets_) bucket.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  Registry() = default;
+
+  template <typename T>
+  T* intern(std::map<std::string, std::unique_ptr<T>, std::less<>>& series,
+            std::string_view name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = series.find(name);
+    if (it != series.end()) return it->second.get();
+    auto [inserted, ok] = series.emplace(std::string(name), std::unique_ptr<T>(new T()));
+    (void)ok;
+    return inserted->second.get();
+  }
+
+  std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+std::uint64_t Counter::value() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard.value.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t Histogram::total_count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& bucket : buckets_) total += bucket.load(std::memory_order_relaxed);
+  return total;
+}
+
+Counter& counter(std::string_view name) { return Registry::instance().counter(name); }
+Gauge& gauge(std::string_view name) { return Registry::instance().gauge(name); }
+Histogram& histogram(std::string_view name) { return Registry::instance().histogram(name); }
+
+namespace detail {
+// Implemented in span.cpp; collects per-name aggregates and the eviction
+// total for snapshot_metrics.
+void collect_span_stats(std::map<std::string, SpanStat>& out, std::uint64_t& dropped);
+void reset_spans();
+}  // namespace detail
+
+MetricsSnapshot snapshot_metrics() {
+  MetricsSnapshot snap;
+  Registry::instance().snapshot(snap);
+  std::uint64_t dropped = 0;
+  detail::collect_span_stats(snap.spans, dropped);
+  if (dropped != 0) snap.counters.emplace("telemetry.spans_dropped", dropped);
+  return snap;
+}
+
+void reset_for_tests() {
+  Registry::instance().reset();
+  detail::reset_spans();
+}
+
+}  // namespace repcheck::telemetry

@@ -1,0 +1,128 @@
+#include "telemetry/report.hpp"
+
+#include <cstdio>
+
+namespace repcheck::telemetry {
+
+namespace {
+
+bool is_duration_counter(const std::string& name) {
+  return name.size() > 3 && name.compare(name.size() - 3, 3, "_ns") == 0;
+}
+
+/// Minimal JSON string escaping — enough for metric names and meta values
+/// (quotes, backslashes, control characters).
+void append_escaped(std::string& out, const std::string& text) {
+  out += '"';
+  for (const char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(ch));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_us(std::string& out, std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu", static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  out += buf;
+}
+
+/// Renders `{ "k": render(v), ... }` at `indent` spaces, sorted (the maps
+/// are std::map), or `{}` when empty.
+template <typename Map, typename RenderValue>
+void append_object(std::string& out, const Map& map, int indent, RenderValue&& render) {
+  if (map.empty()) {
+    out += "{}";
+    return;
+  }
+  const std::string pad(static_cast<std::size_t>(indent) + 2, ' ');
+  out += "{\n";
+  bool first = true;
+  for (const auto& [key, value] : map) {
+    if (!first) out += ",\n";
+    first = false;
+    out += pad;
+    append_escaped(out, key);
+    out += ": ";
+    render(out, value);
+  }
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent), ' ');
+  out += '}';
+}
+
+}  // namespace
+
+std::string render_run_report(const MetricsSnapshot& snapshot, const ReportMeta& meta) {
+  std::string out = "{\n  \"schema\": \"repcheck-run-report-v1\",\n  \"meta\": ";
+  append_object(out, meta, 2,
+                [](std::string& o, const std::string& v) { append_escaped(o, v); });
+
+  // Deterministic counters; the "_ns" wall-clock totals move to durations.
+  std::map<std::string, std::uint64_t> exact;
+  std::map<std::string, std::uint64_t> duration_counters;
+  for (const auto& [name, value] : snapshot.counters) {
+    (is_duration_counter(name) ? duration_counters : exact).emplace(name, value);
+  }
+  out += ",\n  \"counters\": ";
+  append_object(out, exact, 2,
+                [](std::string& o, std::uint64_t v) { o += std::to_string(v); });
+
+  out += ",\n  \"gauges\": ";
+  append_object(out, snapshot.gauges, 2,
+                [](std::string& o, std::int64_t v) { o += std::to_string(v); });
+
+  out += ",\n  \"histograms\": ";
+  append_object(out, snapshot.histograms, 2, [](std::string& o, const HistogramSnapshot& h) {
+    o += "{ \"buckets\": {";
+    bool first = true;
+    for (const auto& [bucket, count] : h.buckets) {
+      if (!first) o += ',';
+      first = false;
+      o += " \"";
+      o += std::to_string(bucket);
+      o += "\": ";
+      o += std::to_string(count);
+    }
+    o += " }, \"count\": ";
+    o += std::to_string(h.count);
+    o += " }";
+  });
+
+  out += ",\n  \"spans\": ";
+  append_object(out, snapshot.spans, 2,
+                [](std::string& o, const SpanStat& s) { o += std::to_string(s.count); });
+
+  // Everything past this point is wall-clock and nondeterministic.
+  out += ",\n  ";
+  out += kDurationsKey;
+  out += ": {\n    \"counters\": ";
+  append_object(out, duration_counters, 4,
+                [](std::string& o, std::uint64_t v) { o += std::to_string(v); });
+  out += ",\n    \"spans\": ";
+  append_object(out, snapshot.spans, 4, [](std::string& o, const SpanStat& s) {
+    o += "{ \"mean_us\": ";
+    append_us(o, s.count == 0 ? 0 : s.total_ns / s.count);
+    o += ", \"total_us\": ";
+    append_us(o, s.total_ns);
+    o += " }";
+  });
+  out += "\n  }\n}\n";
+  return out;
+}
+
+}  // namespace repcheck::telemetry

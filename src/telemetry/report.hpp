@@ -1,0 +1,41 @@
+// Machine-readable run report: a deterministic JSON document rendered from
+// a MetricsSnapshot.
+//
+// Layout (top-level keys in this fixed order, entries sorted by name):
+//
+//   schema      "repcheck-run-report-v1"
+//   meta        caller-provided string fields (campaign name, seed, ...)
+//   counters    every non-zero counter whose name does not end in "_ns"
+//   gauges      every non-zero gauge
+//   histograms  { "<name>": { "buckets": { "<k>": count, ... }, "count": n } }
+//               where bucket k counts values in [2^(k-1), 2^k) (k = 0: zeros)
+//   spans       { "<name>": count }          — exact, deterministic
+//   durations   the ONLY nondeterministic section, rendered last:
+//               { "counters": { "<*_ns counter>": ns, ... },
+//                 "spans": { "<name>": { "mean_us": x, "total_us": y } } }
+//
+// Everything above "durations" is a pure function of the workload (counts
+// are exact), so tests compare the document prefix byte-for-byte and mask
+// only the durations object (tests/test_telemetry_report.cpp).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "telemetry/telemetry.hpp"
+
+namespace repcheck::telemetry {
+
+/// Caller-provided identity fields rendered under "meta" (sorted by key).
+/// Values must themselves be deterministic — no timestamps.
+using ReportMeta = std::map<std::string, std::string>;
+
+/// Renders the report (2-space indent, trailing newline).
+[[nodiscard]] std::string render_run_report(const MetricsSnapshot& snapshot,
+                                            const ReportMeta& meta);
+
+/// The line that opens the nondeterministic section; everything before it
+/// is byte-for-byte reproducible.  Exposed for golden-file masking.
+inline constexpr const char* kDurationsKey = "\"durations\"";
+
+}  // namespace repcheck::telemetry

@@ -1,0 +1,171 @@
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
+#include "util/ring_buffer.hpp"
+
+namespace repcheck::telemetry {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(SteadyClock::now().time_since_epoch())
+          .count());
+}
+
+/// Trace epoch: captured once, before the first span is timed, so every
+/// exported timestamp is a nonnegative offset from it.
+std::uint64_t epoch_ns() {
+  static const std::uint64_t epoch = now_ns();
+  return epoch;
+}
+
+/// One finished span.  `name` is a string literal held by the site.
+struct SpanEvent {
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+};
+
+/// A recording thread's state: retained events plus exact per-name
+/// aggregates (counts survive ring eviction).  The mutex is uncontended in
+/// steady state — only the owning thread pushes; the exporter walks all
+/// threads' states under it.
+struct ThreadState {
+  explicit ThreadState(std::uint32_t id) : tid(id), ring(kSpanRingCapacity) {}
+
+  std::uint32_t tid;
+  std::mutex mutex;
+  util::RingBuffer<SpanEvent> ring;
+  std::map<std::string, SpanStat, std::less<>> aggregates;
+  std::uint64_t recorded = 0;  ///< pushes ever; recorded - ring.size() = evicted
+};
+
+struct ThreadDirectory {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadState>> threads;
+};
+
+// Leaked on purpose: spans may finish on threads that outlive static
+// destruction order (the failpoint registry sets the precedent).
+ThreadDirectory& directory() {
+  static ThreadDirectory* d = new ThreadDirectory();
+  return *d;
+}
+
+ThreadState& this_thread_state() {
+  thread_local ThreadState* state = [] {
+    auto& dir = directory();
+    std::lock_guard<std::mutex> lock(dir.mutex);
+    dir.threads.push_back(
+        std::make_unique<ThreadState>(static_cast<std::uint32_t>(dir.threads.size())));
+    return dir.threads.back().get();
+  }();
+  return *state;
+}
+
+/// Microseconds with fixed 3-decimal precision — what Chrome trace `ts`
+/// and `dur` expect.
+void append_us(std::string& out, std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu", static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  out += buf;
+}
+
+}  // namespace
+
+ScopedSpan::ScopedSpan(const char* name) noexcept
+    : name_(name), active_(enabled()) {
+  if (!active_) return;
+  (void)epoch_ns();  // pin the epoch before the first timestamp
+  start_ns_ = now_ns();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  const std::uint64_t end = now_ns();
+  auto& state = this_thread_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.ring.push({name_, start_ns_, end - start_ns_});
+  ++state.recorded;
+  auto& agg = state.aggregates[name_];
+  ++agg.count;
+  agg.total_ns += end - start_ns_;
+}
+
+std::string render_chrome_trace() {
+  const std::uint64_t epoch = epoch_ns();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto& dir = directory();
+  std::lock_guard<std::mutex> dir_lock(dir.mutex);
+  for (const auto& thread : dir.threads) {
+    std::lock_guard<std::mutex> lock(thread->mutex);
+    if (thread->recorded == 0) continue;
+    // Thread-name metadata event so Perfetto labels the track.
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(thread->tid);
+    out += ",\"name\":\"thread_name\",\"args\":{\"name\":\"repcheck-thread-";
+    out += std::to_string(thread->tid);
+    out += "\"}}";
+    for (std::size_t i = 0; i < thread->ring.size(); ++i) {
+      const SpanEvent& event = thread->ring[i];
+      out += ",{\"ph\":\"X\",\"pid\":1,\"tid\":";
+      out += std::to_string(thread->tid);
+      out += ",\"name\":\"";
+      out += event.name;  // span names are identifier-like literals
+      out += "\",\"cat\":\"repcheck\",\"ts\":";
+      append_us(out, event.start_ns - epoch);
+      out += ",\"dur\":";
+      append_us(out, event.dur_ns);
+      out += '}';
+    }
+  }
+  out += "]}\n";
+  return out;
+}
+
+void write_chrome_trace(std::ostream& out) { out << render_chrome_trace(); }
+
+namespace detail {
+
+void collect_span_stats(std::map<std::string, SpanStat>& out, std::uint64_t& dropped) {
+  auto& dir = directory();
+  std::lock_guard<std::mutex> dir_lock(dir.mutex);
+  for (const auto& thread : dir.threads) {
+    std::lock_guard<std::mutex> lock(thread->mutex);
+    for (const auto& [name, stat] : thread->aggregates) {
+      auto& total = out[name];
+      total.count += stat.count;
+      total.total_ns += stat.total_ns;
+    }
+    dropped += thread->recorded - thread->ring.size();
+  }
+}
+
+void reset_spans() {
+  auto& dir = directory();
+  std::lock_guard<std::mutex> dir_lock(dir.mutex);
+  for (const auto& thread : dir.threads) {
+    std::lock_guard<std::mutex> lock(thread->mutex);
+    thread->ring.clear();
+    thread->aggregates.clear();
+    thread->recorded = 0;
+  }
+}
+
+}  // namespace detail
+
+}  // namespace repcheck::telemetry

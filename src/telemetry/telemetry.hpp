@@ -1,0 +1,221 @@
+// Process-wide telemetry: metrics registry, scoped spans, trace export.
+//
+// The registry hands out process-lifetime handles to three series kinds:
+//
+//   Counter    monotonic uint64, sharded per thread — the hot-path
+//              primitive.  inc() on an enabled counter is one relaxed
+//              fetch_add on the calling thread's shard; disabled it is a
+//              single relaxed load of the global enabled flag (the same
+//              fast-path discipline as util/failpoint.hpp, guarded by the
+//              BM_EngineRunNoTelemetry / BM_EngineRunTelemetryOff pair).
+//   Gauge      last-written int64 (queue depths, configuration echoes).
+//   Histogram  log₂-bucketed uint64 distribution (shard sizes, retry
+//              attempts): value v lands in bucket bit_width(v), i.e.
+//              bucket k counts values in [2^(k-1), 2^k).
+//
+// Scoped spans (TELEMETRY_SPAN("campaign.shard")) time a lexical scope
+// into the calling thread's ring buffer (util::RingBuffer; the oldest
+// spans are evicted when a thread records more than kSpanRingCapacity)
+// and into a per-name aggregate whose *count* is exact even after
+// eviction.  render_chrome_trace() exports the retained spans as Chrome
+// trace-event JSON loadable in Perfetto / chrome://tracing.
+//
+// Telemetry is off by default: every instrumentation site costs one
+// relaxed atomic load and nothing else.  Arm it with set_enabled(true)
+// (the repcheck_campaign CLI does this for --metrics-out/--trace-out) or
+// REPCHECK_TELEMETRY=1 in the environment, parsed at static init.
+//
+// Determinism contract (docs/OBSERVABILITY.md): counter values, gauge
+// values, histogram buckets and span *counts* are exact and reproducible
+// for a fixed workload; wall-clock durations are the only nondeterministic
+// series, and the run-report renderer (report.hpp) confines them to one
+// "durations" object so tests can compare everything else byte-for-byte.
+//
+// Layering: repcheck_util links this library (the thread pool and the
+// failpoint facility are instrumented), so telemetry must not link util
+// back — it uses util's header-only ring buffer and renders its own JSON.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace repcheck::telemetry {
+
+/// Global on/off switch; one relaxed load (the instrumentation fast path).
+[[nodiscard]] bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+namespace detail {
+
+/// Counter shard count; power of two.  Each thread hashes to one shard,
+/// so concurrent inc() calls rarely share a cache line.
+inline constexpr std::size_t kCounterShards = 16;
+
+struct alignas(64) PaddedCount {
+  std::atomic<std::uint64_t> value{0};
+};
+
+/// Shard index of the calling thread (assigned round-robin at first use).
+[[nodiscard]] std::size_t thread_shard() noexcept;
+
+}  // namespace detail
+
+/// Monotonic counter.  Handles come from counter() and live forever.
+class Counter {
+ public:
+  /// One relaxed load when telemetry is off; one extra relaxed fetch_add
+  /// on this thread's shard when on.  Counts are exact: every increment
+  /// lands in some shard and value() sums them all.
+  void inc(std::uint64_t n = 1) noexcept {
+    if (!enabled()) return;
+    shards_[detail::thread_shard()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept;
+
+ private:
+  friend class Registry;
+  Counter() = default;
+  detail::PaddedCount shards_[detail::kCounterShards];
+};
+
+/// Last-writer-wins instantaneous value.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    if (!enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) noexcept {
+    if (!enabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  Gauge() = default;
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Log₂-scale histogram over uint64 values: bucket 0 counts zeros, bucket
+/// k >= 1 counts values in [2^(k-1), 2^k).  65 buckets cover the range.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  /// Bucket index a value lands in (exposed for tests and renderers).
+  [[nodiscard]] static constexpr std::size_t bucket_of(std::uint64_t v) noexcept {
+    std::size_t k = 0;
+    while (v != 0) {
+      v >>= 1;
+      ++k;
+    }
+    return k;
+  }
+
+  void observe(std::uint64_t v) noexcept {
+    if (!enabled()) return;
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t bucket) const noexcept {
+    return buckets_[bucket].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total_count() const noexcept;
+
+ private:
+  friend class Registry;
+  Histogram() = default;
+  std::atomic<std::uint64_t> buckets_[kBuckets]{};
+};
+
+/// Registry lookups: intern `name` and return its process-lifetime handle.
+/// The lookup takes a mutex — resolve once into a local/static reference at
+/// each instrumentation site, then use the handle on the hot path.
+[[nodiscard]] Counter& counter(std::string_view name);
+[[nodiscard]] Gauge& gauge(std::string_view name);
+[[nodiscard]] Histogram& histogram(std::string_view name);
+
+// ---------------------------------------------------------------------------
+// Scoped spans
+
+/// Per-name span aggregate: `count` is exact (survives ring eviction);
+/// `total_ns` is wall time and therefore nondeterministic.
+struct SpanStat {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+};
+
+/// Times a lexical scope.  `name` must outlive the process (string
+/// literals only — the exporter keeps the pointer).  Construction when
+/// telemetry is off costs one relaxed load.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) noexcept;
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t start_ns_ = 0;
+  bool active_;
+};
+
+/// Spans a thread retains before evicting the oldest (per-thread ring).
+inline constexpr std::size_t kSpanRingCapacity = 65536;
+
+/// Retained spans as Chrome trace-event JSON ("X" complete events, one
+/// pid, one tid per recording thread, ts/dur in microseconds).  Open the
+/// file in Perfetto (ui.perfetto.dev) or chrome://tracing.
+[[nodiscard]] std::string render_chrome_trace();
+void write_chrome_trace(std::ostream& out);
+
+// ---------------------------------------------------------------------------
+// Snapshots
+
+struct HistogramSnapshot {
+  std::uint64_t count = 0;  ///< total observations
+  /// (bucket index, count) for every non-empty bucket, ascending.
+  std::vector<std::pair<std::size_t, std::uint64_t>> buckets;
+};
+
+/// A consistent-enough point-in-time copy of every non-zero series, maps
+/// sorted by name.  Counters whose name ends in "_ns" hold wall-clock
+/// nanosecond totals; the report renderer segregates them (and all span
+/// durations) into the nondeterministic "durations" section.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+  std::map<std::string, SpanStat> spans;
+};
+
+[[nodiscard]] MetricsSnapshot snapshot_metrics();
+
+/// Zeroes every registered series, clears every thread's span ring and
+/// aggregates, and re-reads nothing from the environment.  Handles stay
+/// valid.  Test isolation only — not thread-safe against concurrent
+/// instrumentation.
+void reset_for_tests();
+
+}  // namespace repcheck::telemetry
+
+// Two-level paste so __LINE__ expands before concatenation.
+#define REPCHECK_TELEMETRY_CONCAT2(a, b) a##b
+#define REPCHECK_TELEMETRY_CONCAT(a, b) REPCHECK_TELEMETRY_CONCAT2(a, b)
+
+/// Times the enclosing scope as span `name` (a string literal).  Costs one
+/// relaxed atomic load when telemetry is off.
+#define TELEMETRY_SPAN(name) \
+  ::repcheck::telemetry::ScopedSpan REPCHECK_TELEMETRY_CONCAT(repcheck_span_, __LINE__)(name)

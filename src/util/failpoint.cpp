@@ -7,9 +7,23 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
+
 namespace repcheck::util::failpoint {
 
 namespace {
+
+// Aggregate hit/fire totals across all armed sites.  Only the armed path
+// pays for these; the disarmed fast path stays a single relaxed load.
+// Per-site counts come from hit_count()/armed_sites() at report time.
+telemetry::Counter& fp_hits_counter() {
+  static telemetry::Counter& c = telemetry::counter("failpoint.hits");
+  return c;
+}
+telemetry::Counter& fp_fired_counter() {
+  static telemetry::Counter& c = telemetry::counter("failpoint.fired");
+  return c;
+}
 
 enum class Kind { kOff, kHit, kEvery, kProb };
 
@@ -160,26 +174,31 @@ void disarm_all() {
 }
 
 bool fires(std::string_view site) {
-  auto& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
-  const auto it = reg.sites.find(site);
-  if (it == reg.sites.end()) return false;
-  Site& s = it->second;
-  ++s.hits;
-  switch (s.kind) {
-    case Kind::kOff:
-      return false;
-    case Kind::kHit:
-      return s.hits == s.n;
-    case Kind::kEvery:
-      return s.hits % s.n == 0;
-    case Kind::kProb: {
-      const double u =
-          static_cast<double>(splitmix64_next(s.prng) >> 11) * 0x1.0p-53;  // [0, 1)
-      return u < s.p;
+  const bool fired = [&] {
+    auto& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    const auto it = reg.sites.find(site);
+    if (it == reg.sites.end()) return false;
+    Site& s = it->second;
+    ++s.hits;
+    fp_hits_counter().inc();
+    switch (s.kind) {
+      case Kind::kOff:
+        return false;
+      case Kind::kHit:
+        return s.hits == s.n;
+      case Kind::kEvery:
+        return s.hits % s.n == 0;
+      case Kind::kProb: {
+        const double u =
+            static_cast<double>(splitmix64_next(s.prng) >> 11) * 0x1.0p-53;  // [0, 1)
+        return u < s.p;
+      }
     }
-  }
-  return false;
+    return false;
+  }();
+  if (fired) fp_fired_counter().inc();
+  return fired;
 }
 
 std::uint64_t hit_count(std::string_view site) {

@@ -4,7 +4,10 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <mutex>
+
+#include "util/jsonl.hpp"
 
 namespace repcheck::util {
 
@@ -15,6 +18,11 @@ std::atomic<LogLevel> g_level{[] {
     return parse_log_level(env);
   }
   return LogLevel::kWarn;
+}()};
+
+std::atomic<LogFormat> g_format{[] {
+  const char* env = std::getenv("REPCHECK_LOG_FORMAT");
+  return env != nullptr && std::strcmp(env, "jsonl") == 0 ? LogFormat::kJsonl : LogFormat::kHuman;
 }()};
 
 std::mutex g_write_mutex;
@@ -29,11 +37,26 @@ const char* level_name(LogLevel level) {
   return "?????";
 }
 
+/// Lower-case level token for the JSONL sink ("warn", not "WARN ").
+const char* level_token(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "error";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kDebug: return "debug";
+  }
+  return "unknown";
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_format(LogFormat format) { g_format.store(format, std::memory_order_relaxed); }
+
+LogFormat log_format() { return g_format.load(std::memory_order_relaxed); }
 
 LogLevel parse_log_level(const std::string& text) {
   if (text == "error") return LogLevel::kError;
@@ -42,11 +65,26 @@ LogLevel parse_log_level(const std::string& text) {
   return LogLevel::kInfo;
 }
 
+std::string render_jsonl_log_line(LogLevel level, const std::string& message,
+                                  std::int64_t ts_ms) {
+  JsonObject record;
+  record["level"] = std::string(level_token(level));
+  record["msg"] = message;
+  record["ts_ms"] = static_cast<double>(ts_ms);
+  return to_jsonl(record);
+}
+
 void log_line(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) > static_cast<int>(log_level())) return;
   using Clock = std::chrono::system_clock;
   const auto now = Clock::now().time_since_epoch();
   const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
+  if (log_format() == LogFormat::kJsonl) {
+    const std::string line = render_jsonl_log_line(level, message, ms);
+    std::lock_guard<std::mutex> lock(g_write_mutex);
+    std::fprintf(stderr, "%s\n", line.c_str());
+    return;
+  }
   std::lock_guard<std::mutex> lock(g_write_mutex);
   std::fprintf(stderr, "[%lld.%03lld %s] %s\n", static_cast<long long>(ms / 1000),
                static_cast<long long>(ms % 1000), level_name(level), message.c_str());

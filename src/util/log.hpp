@@ -4,8 +4,14 @@
 // on stderr without pulling in a dependency.  Thread-safe (one mutex around
 // the actual write), level-filtered at runtime via set_level or the
 // REPCHECK_LOG environment variable (error|warn|info|debug).
+//
+// Output format: human-readable "[sec.ms LEVEL] message" by default, or one
+// JSON object per line ({"level","msg","ts_ms"}) when REPCHECK_LOG_FORMAT
+// is "jsonl" (or after set_log_format(LogFormat::kJsonl)) — for piping
+// campaign logs into jq or a log collector.
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -13,12 +19,23 @@ namespace repcheck::util {
 
 enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
 
+enum class LogFormat : int { kHuman = 0, kJsonl = 1 };
+
 /// Sets the global log threshold; messages above it are dropped.
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
 
+/// Sets the sink format (default kHuman, or REPCHECK_LOG_FORMAT=jsonl).
+void set_log_format(LogFormat format);
+[[nodiscard]] LogFormat log_format();
+
 /// Parses "error"/"warn"/"info"/"debug"; unknown strings map to kInfo.
 [[nodiscard]] LogLevel parse_log_level(const std::string& text);
+
+/// Renders one JSONL log record ({"level","msg","ts_ms"}, no trailing
+/// newline) — exposed so tests can pin the format without parsing stderr.
+[[nodiscard]] std::string render_jsonl_log_line(LogLevel level, const std::string& message,
+                                                std::int64_t ts_ms);
 
 /// Writes one timestamped line to stderr if `level` passes the threshold.
 void log_line(LogLevel level, const std::string& message);

@@ -2,12 +2,39 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <memory>
+
+#include "telemetry/telemetry.hpp"
 
 namespace repcheck::util {
 
 namespace {
+
+// Pool utilization series (docs/OBSERVABILITY.md, "pool.*"): task and
+// chunk counts are exact; idle_ns is wall-clock and lands in the report's
+// durations section.  Handles resolved once — the hot path is inc() only.
+telemetry::Counter& pool_tasks_counter() {
+  static telemetry::Counter& c = telemetry::counter("pool.tasks_executed");
+  return c;
+}
+telemetry::Counter& pool_help_counter() {
+  static telemetry::Counter& c = telemetry::counter("pool.help_runs");
+  return c;
+}
+telemetry::Counter& pool_chunks_counter() {
+  static telemetry::Counter& c = telemetry::counter("pool.chunks_executed");
+  return c;
+}
+telemetry::Counter& pool_calls_counter() {
+  static telemetry::Counter& c = telemetry::counter("pool.parallel_for_calls");
+  return c;
+}
+telemetry::Counter& pool_idle_counter() {
+  static telemetry::Counter& c = telemetry::counter("pool.idle_ns");
+  return c;
+}
 
 /// Chunks claimed per lane on average; >1 so a lane that lands the one
 /// crash-heavy chunk does not serialize the whole call behind it.
@@ -40,6 +67,7 @@ struct ParallelForJob {
     for (;;) {
       const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
       if (c >= chunks) return;
+      pool_chunks_counter().inc();
       const std::size_t begin = c * grain;
       const std::size_t end = std::min(n, begin + grain);
       try {
@@ -79,12 +107,24 @@ void ThreadPool::worker_loop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (!stopping_ && tasks_.empty() && telemetry::enabled()) {
+        // Idle accounting costs two clock reads per sleep, paid only when
+        // telemetry is armed and the worker actually has nothing to do.
+        const auto idle_from = std::chrono::steady_clock::now();
+        cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+        pool_idle_counter().inc(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - idle_from)
+                .count()));
+      } else {
+        cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      }
       if (tasks_.empty()) return;  // stopping and drained
       task = std::move(tasks_.front());
       tasks_.pop();
     }
     task();
+    pool_tasks_counter().inc();
   }
 }
 
@@ -97,12 +137,15 @@ bool ThreadPool::help_run_one_task() {
     tasks_.pop();
   }
   task();
+  pool_tasks_counter().inc();
+  pool_help_counter().inc();
   return true;
 }
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
+  pool_calls_counter().inc();
   const std::size_t lanes = workers_.size() + 1;  // workers plus the caller
   if (lanes == 1 || n == 1) {
     fn(0, n);

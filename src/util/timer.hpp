@@ -5,20 +5,39 @@
 
 namespace repcheck::util {
 
-/// Measures elapsed wall time since construction (or the last reset).
+/// Measures elapsed wall time since construction (or the last reset), with
+/// a secondary lap mark for interval timing: `seconds()` is the total,
+/// `lap_seconds()` the stretch since the last `lap()`.
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : start_(Clock::now()), lap_(start_) {}
 
-  void reset() { start_ = Clock::now(); }
+  void reset() {
+    start_ = Clock::now();
+    lap_ = start_;
+  }
 
   [[nodiscard]] double seconds() const {
     return std::chrono::duration<double>(Clock::now() - start_).count();
   }
 
+  /// Seconds since the last lap() (or reset/construction); read-only.
+  [[nodiscard]] double lap_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - lap_).count();
+  }
+
+  /// Closes the current lap: returns its length and starts the next one.
+  double lap() {
+    const auto now = Clock::now();
+    const double secs = std::chrono::duration<double>(now - lap_).count();
+    lap_ = now;
+    return secs;
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+  Clock::time_point lap_;
 };
 
 }  // namespace repcheck::util

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "telemetry/telemetry.hpp"
 #include "util/failpoint.hpp"
 
 namespace {
@@ -115,6 +116,22 @@ TEST_F(Failpoint, MalformedPoliciesThrow) {
   EXPECT_THROW(fp::arm_from_spec("noequals"), std::invalid_argument);
   EXPECT_THROW(fp::arm_from_spec("=hit:1"), std::invalid_argument);
   EXPECT_EQ(fp::armed_count(), 0);
+}
+
+TEST_F(Failpoint, TelemetryAggregatesHitsAndFires) {
+  namespace telemetry = repcheck::telemetry;
+  telemetry::reset_for_tests();
+  telemetry::set_enabled(true);
+  fp::arm("test.site", "every:2");
+  EXPECT_FALSE(fp::fires("test.site"));
+  EXPECT_TRUE(fp::fires("test.site"));
+  EXPECT_FALSE(fp::fires("test.site"));
+  EXPECT_FALSE(fp::fires("test.elsewhere"));  // unarmed: not a hit
+  telemetry::set_enabled(false);
+  EXPECT_EQ(telemetry::counter("failpoint.hits").value(), 3u);
+  EXPECT_EQ(telemetry::counter("failpoint.fired").value(), 1u);
+  EXPECT_EQ(fp::hit_count("test.site"), 3u);  // per-site count agrees
+  telemetry::reset_for_tests();
 }
 
 TEST_F(Failpoint, MacroShortCircuitsSiteExpressionWhenDisarmed) {

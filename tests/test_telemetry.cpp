@@ -1,0 +1,174 @@
+// Telemetry subsystem: counter exactness under concurrent increments,
+// histogram bucket boundaries, span nesting and thread attribution in the
+// Chrome trace export, ring eviction accounting, and the disabled path.
+//
+// Run under the tsan preset too (scripts/run_tests.sh): the sharded
+// counters and per-thread span rings are exactly the kind of code a data
+// race would hide in.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
+
+namespace {
+
+namespace telemetry = repcheck::telemetry;
+
+/// Telemetry is process-global; every test starts from a zeroed registry
+/// and leaves the subsystem disabled for its neighbours.
+class Telemetry : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    telemetry::reset_for_tests();
+    telemetry::set_enabled(true);
+  }
+  void TearDown() override {
+    telemetry::set_enabled(false);
+    telemetry::reset_for_tests();
+  }
+};
+
+TEST_F(Telemetry, CounterIsExactUnderConcurrentIncrements) {
+  auto& counter = telemetry::counter("test.concurrent");
+  constexpr std::uint64_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (std::uint64_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) counter.inc();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+  const auto snapshot = telemetry::snapshot_metrics();
+  EXPECT_EQ(snapshot.counters.at("test.concurrent"), kThreads * kPerThread);
+}
+
+TEST_F(Telemetry, DisabledInstrumentationRecordsNothing) {
+  telemetry::set_enabled(false);
+  telemetry::counter("test.off").inc(5);
+  telemetry::gauge("test.off_gauge").set(7);
+  telemetry::histogram("test.off_hist").observe(3);
+  { TELEMETRY_SPAN("test.off_span"); }
+  telemetry::set_enabled(true);
+  const auto snapshot = telemetry::snapshot_metrics();
+  EXPECT_EQ(snapshot.counters.count("test.off"), 0u);
+  EXPECT_EQ(snapshot.gauges.count("test.off_gauge"), 0u);
+  EXPECT_EQ(snapshot.histograms.count("test.off_hist"), 0u);
+  EXPECT_EQ(snapshot.spans.count("test.off_span"), 0u);
+}
+
+TEST_F(Telemetry, CounterHandleIsStableAcrossLookups) {
+  auto& first = telemetry::counter("test.handle");
+  auto& second = telemetry::counter("test.handle");
+  EXPECT_EQ(&first, &second);
+  first.inc(2);
+  second.inc(3);
+  EXPECT_EQ(first.value(), 5u);
+}
+
+TEST_F(Telemetry, GaugeIsLastWriterWins) {
+  auto& gauge = telemetry::gauge("test.depth");
+  gauge.set(10);
+  gauge.add(-3);
+  EXPECT_EQ(gauge.value(), 7);
+  const auto snapshot = telemetry::snapshot_metrics();
+  EXPECT_EQ(snapshot.gauges.at("test.depth"), 7);
+}
+
+TEST_F(Telemetry, HistogramBucketBoundariesAreLog2) {
+  using telemetry::Histogram;
+  // Bucket k >= 1 holds [2^(k-1), 2^k); bucket 0 holds only zero.
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Histogram::bucket_of(7), 3u);
+  EXPECT_EQ(Histogram::bucket_of(8), 4u);
+  EXPECT_EQ(Histogram::bucket_of(1023), 10u);
+  EXPECT_EQ(Histogram::bucket_of(1024), 11u);
+  EXPECT_EQ(Histogram::bucket_of(~std::uint64_t{0}), 64u);
+
+  auto& histogram = telemetry::histogram("test.sizes");
+  for (const std::uint64_t v : {0ULL, 1ULL, 2ULL, 3ULL, 4ULL, 1024ULL}) histogram.observe(v);
+  EXPECT_EQ(histogram.total_count(), 6u);
+  EXPECT_EQ(histogram.bucket_count(0), 1u);
+  EXPECT_EQ(histogram.bucket_count(1), 1u);
+  EXPECT_EQ(histogram.bucket_count(2), 2u);
+  EXPECT_EQ(histogram.bucket_count(3), 1u);
+  EXPECT_EQ(histogram.bucket_count(11), 1u);
+
+  const auto snapshot = telemetry::snapshot_metrics();
+  const auto& snap = snapshot.histograms.at("test.sizes");
+  EXPECT_EQ(snap.count, 6u);
+  const std::vector<std::pair<std::size_t, std::uint64_t>> expected = {
+      {0, 1}, {1, 1}, {2, 2}, {3, 1}, {11, 1}};
+  EXPECT_EQ(snap.buckets, expected);
+}
+
+int tid_of_event(const std::string& trace, const std::string& name) {
+  const auto at = trace.find("\"name\":\"" + name + "\"");
+  EXPECT_NE(at, std::string::npos) << "trace has no event named " << name;
+  if (at == std::string::npos) return -1;
+  const auto tid_at = trace.rfind("\"tid\":", at);
+  EXPECT_NE(tid_at, std::string::npos);
+  if (tid_at == std::string::npos) return -1;
+  return std::atoi(trace.c_str() + tid_at + 6);
+}
+
+TEST_F(Telemetry, SpanNestingAndThreadAttributionInChromeTrace) {
+  {
+    TELEMETRY_SPAN("test.outer");
+    TELEMETRY_SPAN("test.inner");
+  }
+  std::thread([] { TELEMETRY_SPAN("test.worker"); }).join();
+
+  const auto snapshot = telemetry::snapshot_metrics();
+  ASSERT_EQ(snapshot.spans.count("test.outer"), 1u);
+  EXPECT_EQ(snapshot.spans.at("test.outer").count, 1u);
+  EXPECT_EQ(snapshot.spans.at("test.inner").count, 1u);
+  EXPECT_EQ(snapshot.spans.at("test.worker").count, 1u);
+  // The inner span closes before (and therefore within) the outer one.
+  EXPECT_LE(snapshot.spans.at("test.inner").total_ns,
+            snapshot.spans.at("test.outer").total_ns);
+
+  const std::string trace = telemetry::render_chrome_trace();
+  EXPECT_NE(trace.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(trace.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(trace.find("repcheck-thread-"), std::string::npos);
+  // Spans carry the tid of the thread that recorded them.
+  const int main_tid = tid_of_event(trace, "test.outer");
+  EXPECT_EQ(tid_of_event(trace, "test.inner"), main_tid);
+  EXPECT_NE(tid_of_event(trace, "test.worker"), main_tid);
+}
+
+TEST_F(Telemetry, SpanCountsSurviveRingEvictionAndDropsAreReported) {
+  constexpr std::uint64_t kExtra = 10;
+  for (std::uint64_t i = 0; i < telemetry::kSpanRingCapacity + kExtra; ++i) {
+    TELEMETRY_SPAN("test.evicted");
+  }
+  const auto snapshot = telemetry::snapshot_metrics();
+  EXPECT_EQ(snapshot.spans.at("test.evicted").count, telemetry::kSpanRingCapacity + kExtra);
+  EXPECT_EQ(snapshot.counters.at("telemetry.spans_dropped"), kExtra);
+}
+
+TEST_F(Telemetry, ResetForTestsZeroesSeriesButKeepsHandles) {
+  auto& counter = telemetry::counter("test.reset");
+  counter.inc(9);
+  { TELEMETRY_SPAN("test.reset_span"); }
+  telemetry::reset_for_tests();
+  EXPECT_EQ(counter.value(), 0u);
+  const auto snapshot = telemetry::snapshot_metrics();
+  EXPECT_TRUE(snapshot.counters.empty());
+  EXPECT_TRUE(snapshot.spans.empty());
+  counter.inc();  // the old handle still works
+  EXPECT_EQ(counter.value(), 1u);
+}
+
+}  // namespace

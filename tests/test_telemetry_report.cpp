@@ -1,0 +1,220 @@
+// Run-report rendering and the repcheck_campaign --metrics-out/--trace-out
+// flags.
+//
+// The renderer is pinned byte-for-byte against hand-built snapshots (its
+// layout is a stability contract: durations last, everything above them
+// deterministic).  The CLI test fork/execs the real binary on a tiny
+// serial campaign and compares everything before the "durations" key
+// against a checked-in golden file.  To regenerate after an INTENTIONAL
+// metrics change:
+//   REPCHECK_REGEN_GOLDEN=1 ./test_telemetry_report
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/report.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace {
+
+namespace telemetry = repcheck::telemetry;
+
+TEST(RunReport, RendersFixedLayoutWithDurationsLast) {
+  telemetry::MetricsSnapshot snapshot;
+  snapshot.counters["a.count"] = 3;
+  snapshot.counters["b.wait_ns"] = 1500;  // "_ns" => durations section
+  snapshot.gauges["g.depth"] = -2;
+  telemetry::HistogramSnapshot hist;
+  hist.count = 3;
+  hist.buckets = {{1, 2}, {3, 1}};
+  snapshot.histograms["h.sizes"] = hist;
+  snapshot.spans["s.run"] = telemetry::SpanStat{2, 3000};
+  telemetry::ReportMeta meta;
+  meta["campaign"] = "t";
+
+  const std::string expected =
+      "{\n"
+      "  \"schema\": \"repcheck-run-report-v1\",\n"
+      "  \"meta\": {\n"
+      "    \"campaign\": \"t\"\n"
+      "  },\n"
+      "  \"counters\": {\n"
+      "    \"a.count\": 3\n"
+      "  },\n"
+      "  \"gauges\": {\n"
+      "    \"g.depth\": -2\n"
+      "  },\n"
+      "  \"histograms\": {\n"
+      "    \"h.sizes\": { \"buckets\": { \"1\": 2, \"3\": 1 }, \"count\": 3 }\n"
+      "  },\n"
+      "  \"spans\": {\n"
+      "    \"s.run\": 2\n"
+      "  },\n"
+      "  \"durations\": {\n"
+      "    \"counters\": {\n"
+      "      \"b.wait_ns\": 1500\n"
+      "    },\n"
+      "    \"spans\": {\n"
+      "      \"s.run\": { \"mean_us\": 1.500, \"total_us\": 3.000 }\n"
+      "    }\n"
+      "  }\n"
+      "}\n";
+  EXPECT_EQ(telemetry::render_run_report(snapshot, meta), expected);
+}
+
+TEST(RunReport, EmptySnapshotRendersEmptyObjects) {
+  const std::string expected =
+      "{\n"
+      "  \"schema\": \"repcheck-run-report-v1\",\n"
+      "  \"meta\": {},\n"
+      "  \"counters\": {},\n"
+      "  \"gauges\": {},\n"
+      "  \"histograms\": {},\n"
+      "  \"spans\": {},\n"
+      "  \"durations\": {\n"
+      "    \"counters\": {},\n"
+      "    \"spans\": {}\n"
+      "  }\n"
+      "}\n";
+  EXPECT_EQ(telemetry::render_run_report({}, {}), expected);
+}
+
+TEST(RunReport, EscapesMetaStrings) {
+  telemetry::ReportMeta meta;
+  meta["note"] = "a \"quoted\"\npath\\x";
+  const std::string report = telemetry::render_run_report({}, meta);
+  EXPECT_NE(report.find("\"a \\\"quoted\\\"\\npath\\\\x\""), std::string::npos);
+}
+
+#ifdef REPCHECK_CAMPAIGN_CLI
+
+std::optional<std::string> read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int run_cli(const std::vector<std::string>& args_in) {
+  std::vector<std::string> args = args_in;
+  const pid_t pid = fork();
+  if (pid == 0) {
+    FILE* out = std::freopen("/dev/null", "w", stdout);
+    if (out == nullptr) _exit(96);
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (auto& arg : args) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    execv(argv[0], argv.data());
+    _exit(97);  // exec failed
+  }
+  int status = 0;
+  waitpid(pid, &status, 0);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -WTERMSIG(status);
+}
+
+std::filesystem::path fresh_dir(const std::string& name) {
+  const auto dir = std::filesystem::temp_directory_path() / ("repcheck_" + name);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// The deterministic prefix: everything before the "durations" key, which
+/// by the report contract is the only nondeterministic section.
+std::string mask_durations(const std::string& report) {
+  const auto at = report.find(std::string("\n  ") + telemetry::kDurationsKey);
+  EXPECT_NE(at, std::string::npos) << "report has no durations section:\n" << report;
+  return at == std::string::npos ? report : report.substr(0, at);
+}
+
+/// Serial (--threads 0) so pool series stay zero and the shard plan is the
+/// only scheduler: every counter in the masked report is exact.
+TEST(CampaignCliTelemetry, MetricsReportMatchesGoldenModuloDurations) {
+  const auto dir = fresh_dir("cli_metrics_out");
+  const auto report_path = dir / "report.json";
+  const int exit_code = run_cli({REPCHECK_CAMPAIGN_CLI,
+                                 "--grid", "c=60,600",
+                                 "--set", "procs=1000;mtbf_years=5",
+                                 "--runs", "32", "--periods", "10",
+                                 "--shard-size", "8", "--threads", "0",
+                                 "--seed", "7", "--no-progress", "--csv",
+                                 "--cache-dir", (dir / "cache").string(),
+                                 "--metrics-out", report_path.string()});
+  ASSERT_EQ(exit_code, 0);
+  const auto report = read_file(report_path);
+  ASSERT_TRUE(report.has_value());
+  const std::string masked = mask_durations(*report);
+
+  const std::string golden_path = std::string(REPCHECK_GOLDEN_DIR) + "/run_report_grid.json";
+  if (std::getenv("REPCHECK_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << golden_path;
+    out << masked;
+    return;
+  }
+  const auto golden = read_file(golden_path);
+  ASSERT_TRUE(golden.has_value())
+      << "missing golden file " << golden_path
+      << " (run with REPCHECK_REGEN_GOLDEN=1 to create)";
+  EXPECT_EQ(masked, *golden)
+      << "run report (durations masked) differs from run_report_grid.json; if the metrics "
+         "change is intentional, regenerate with REPCHECK_REGEN_GOLDEN=1";
+}
+
+TEST(CampaignCliTelemetry, WarmRerunReportsCacheHitsAndSimulatesNothing) {
+  const auto dir = fresh_dir("cli_metrics_warm");
+  const auto report_path = dir / "report.json";
+  const std::vector<std::string> args = {REPCHECK_CAMPAIGN_CLI,
+                                         "--grid", "c=60,600",
+                                         "--set", "procs=1000;mtbf_years=5",
+                                         "--runs", "32", "--periods", "10",
+                                         "--shard-size", "8", "--threads", "0",
+                                         "--seed", "7", "--no-progress", "--csv",
+                                         "--cache-dir", (dir / "cache").string(),
+                                         "--metrics-out", report_path.string()};
+  ASSERT_EQ(run_cli(args), 0);  // cold run populates the cache
+  ASSERT_EQ(run_cli(args), 0);  // warm rerun
+  const auto report = read_file(report_path);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_NE(report->find("\"campaign.shards_cached\": 8"), std::string::npos) << *report;
+  EXPECT_NE(report->find("\"campaign.cache.records_loaded\": 8"), std::string::npos) << *report;
+  EXPECT_EQ(report->find("\"campaign.shards_simulated\""), std::string::npos) << *report;
+}
+
+TEST(CampaignCliTelemetry, TraceOutWritesChromeTraceEvents) {
+  const auto dir = fresh_dir("cli_trace_out");
+  const auto trace_path = dir / "trace.json";
+  const int exit_code = run_cli({REPCHECK_CAMPAIGN_CLI,
+                                 "--grid", "c=60",
+                                 "--set", "procs=1000;mtbf_years=5",
+                                 "--runs", "16", "--periods", "10",
+                                 "--shard-size", "8", "--threads", "2",
+                                 "--seed", "7", "--no-progress", "--csv",
+                                 "--cache-dir", (dir / "cache").string(),
+                                 "--trace-out", trace_path.string()});
+  ASSERT_EQ(exit_code, 0);
+  const auto trace = read_file(trace_path);
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(trace->find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(trace->find("\"name\":\"campaign.run\""), std::string::npos);
+  EXPECT_NE(trace->find("\"name\":\"campaign.shard\""), std::string::npos);
+  EXPECT_NE(trace->find("\"thread_name\""), std::string::npos);
+  EXPECT_EQ(trace->back(), '\n');
+}
+
+#endif  // REPCHECK_CAMPAIGN_CLI
+
+}  // namespace

@@ -242,6 +242,39 @@ TEST(Log, SetLevelIsObservable) {
   repcheck::util::set_log_level(before);
 }
 
+TEST(Log, SetFormatIsObservable) {
+  using repcheck::util::LogFormat;
+  const auto before = repcheck::util::log_format();
+  repcheck::util::set_log_format(LogFormat::kJsonl);
+  EXPECT_EQ(repcheck::util::log_format(), LogFormat::kJsonl);
+  repcheck::util::set_log_format(before);
+}
+
+TEST(Log, JsonlLineIsStableEscapedAndParseable) {
+  const std::string line =
+      repcheck::util::render_jsonl_log_line(LogLevel::kWarn, "disk \"full\"\nretrying", 1234);
+  EXPECT_EQ(line,
+            "{\"level\":\"warn\",\"msg\":\"disk \\\"full\\\"\\nretrying\",\"ts_ms\":1234}");
+  // The sink's own parser accepts its lines — campaign logs pipe into the
+  // same JSONL tooling as the stores.
+  const auto parsed = repcheck::util::parse_jsonl(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(std::get<std::string>(parsed->at("level")), "warn");
+  EXPECT_EQ(std::get<std::string>(parsed->at("msg")), "disk \"full\"\nretrying");
+  EXPECT_EQ(std::get<double>(parsed->at("ts_ms")), 1234.0);
+}
+
+TEST(Log, JsonlLevelTokensAreLowercase) {
+  for (const auto level :
+       {LogLevel::kError, LogLevel::kWarn, LogLevel::kInfo, LogLevel::kDebug}) {
+    const std::string line = repcheck::util::render_jsonl_log_line(level, "m", 0);
+    EXPECT_EQ(line.find("\"level\":\""), 1u) << line;
+    for (const char ch : line.substr(0, line.find(','))) {
+      EXPECT_FALSE(ch >= 'A' && ch <= 'Z') << line;
+    }
+  }
+}
+
 TEST(Stopwatch, MeasuresNonNegativeElapsedTime) {
   repcheck::util::Stopwatch sw;
   volatile double sink = 0.0;
@@ -249,6 +282,29 @@ TEST(Stopwatch, MeasuresNonNegativeElapsedTime) {
   EXPECT_GE(sw.seconds(), 0.0);
   sw.reset();
   EXPECT_GE(sw.seconds(), 0.0);
+}
+
+TEST(Stopwatch, LapClosesIntervalsWhileTotalKeepsRunning) {
+  repcheck::util::Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const double first_lap = sw.lap();
+  EXPECT_GE(first_lap, 0.002);  // sleep_for guarantees at least this
+  // lap() restarted the lap mark but not the total.
+  EXPECT_LT(sw.lap_seconds(), first_lap + 10.0);  // sanity: finite
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const double second_lap = sw.lap();
+  EXPECT_GE(second_lap, 0.002);
+  EXPECT_GE(sw.seconds(), first_lap + second_lap);  // total spans both laps
+}
+
+TEST(Stopwatch, LapSecondsIsReadOnly) {
+  repcheck::util::Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_GE(sw.lap_seconds(), 0.002);
+  EXPECT_GE(sw.lap_seconds(), 0.002);  // peeking did not reset the mark
+  EXPECT_GE(sw.lap(), 0.002);
+  sw.reset();
+  EXPECT_LT(sw.lap_seconds(), 1.0);  // reset restarts the lap mark too
 }
 
 }  // namespace
