@@ -14,7 +14,9 @@
 #include <cstdlib>
 #include <new>
 
+#include "core/advisor.hpp"
 #include "core/repcheck.hpp"
+#include "serve/service.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/thread_pool.hpp"
 
@@ -186,6 +188,44 @@ void BM_MonteCarloRangeThroughput(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 20);
 }
 BENCHMARK(BM_MonteCarloRangeThroughput)->Unit(benchmark::kMillisecond);
+
+// The analytic advisor alone: what one advisord cache miss costs to
+// compute (model::decide through Advisor::recommend — no simulation).
+// Pairs with BM_AdvisordCachedRequest to show what the memo-cache saves.
+void BM_AdvisorRecommend(benchmark::State& state) {
+  model::PlatformSpec platform;
+  platform.mtbf_proc = model::years(5.0);
+  const model::AmdahlApp app{1e-5, 0.2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::Advisor::recommend(platform, app, 1e6));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AdvisorRecommend)->Unit(benchmark::kMicrosecond);
+
+// One warm advisord request through the full Service pipeline — parse,
+// canonicalize, FNV-128 key, memo-cache hit, response render + frame —
+// everything a served cached query costs except the socket I/O.
+// allocs_per_run must read 0 once buffers are warm: this is the measured
+// backing for the sub-microsecond cached path, and run_benchmarks.sh
+// asserts the counter as a within-run invariant.
+void BM_AdvisordCachedRequest(benchmark::State& state) {
+  serve::Service service(serve::Service::Options{});
+  constexpr std::string_view kQuery =
+      R"({"op":"advise","id":1,"n":200000,"mtbf":1.576e8,"c":60,"w":1e6,"gamma":1e-5})";
+  std::string out;
+  service.process(kQuery, out);  // populate the cache + warm the buffers
+  out.clear();
+  service.process(kQuery, out);
+  const auto calls = g_alloc_calls.load(std::memory_order_relaxed);
+  const auto bytes = g_alloc_bytes.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    out.clear();
+    benchmark::DoNotOptimize(service.process(kQuery, out));
+  }
+  report_allocs(state, calls, bytes);
+}
+BENCHMARK(BM_AdvisordCachedRequest)->Unit(benchmark::kMicrosecond);
 
 // Scheduling overhead of the dynamic fixed-grain parallel_for: near-empty
 // chunks over a large range, so claim/notify costs dominate.  Arg is the

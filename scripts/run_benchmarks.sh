@@ -13,7 +13,7 @@
 # Usage:
 #   scripts/run_benchmarks.sh [options]
 #
-#   --out FILE         snapshot to write        (default: BENCH_PR4.json)
+#   --out FILE         snapshot to write        (default: BENCH_PR6.json)
 #   --baseline FILE    snapshot to compare against
 #                      (default: newest other BENCH_*.json; none = skip gate)
 #   --tolerance PCT    allowed slowdown percent (default: 15)
@@ -25,7 +25,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="BENCH_PR4.json"
+out="BENCH_PR6.json"
 baseline=""
 tolerance="15"
 filter=""
@@ -151,6 +151,21 @@ else:
     if overhead_pct > 10.0:
         print("FAIL: disabled telemetry costs more than 10% on the replicate loop")
         sys.exit(1)
+
+# The advisord cached request path (parse -> canonical key -> memo-cache
+# hit -> render) must stay allocation-free once buffers are warm: that is
+# the mechanism behind the serving layer's sub-microsecond cached answers
+# (docs/SERVING.md).
+cached = benches.get("BM_AdvisordCachedRequest")
+if cached is None:
+    print("==> advisord cached-path invariant skipped (benchmark filtered out)")
+else:
+    allocs_per_req = cached.get("counters", {}).get("allocs_per_run", float("inf"))
+    print(f"==> advisord cached-path invariant: allocs_per_request={allocs_per_req:.3g}, "
+          f"cpu={cached['cpu_time_ns']:.0f} ns")
+    if allocs_per_req >= 1.0:
+        print("FAIL: advisord cached request path allocates")
+        sys.exit(1)
 PY
 
 if [[ -z "$baseline" ]]; then
@@ -168,13 +183,15 @@ with open(new_path) as f:
 with open(base_path) as f:
     base = json.load(f)["benchmarks"]
 
-# Only the engine-run family gates: these are whole-replicate simulations,
-# long enough to be stable, and they are what the paper's figures spend
-# their time in.  BM_EngineRunAllocating is excluded — it is the deliberately
+# Gated families: the engine-run benchmarks (whole-replicate simulations,
+# long enough to be stable — what the paper's figures spend their time in)
+# and the advisor pair (the serving layer's per-request costs).
+# BM_EngineRunAllocating is excluded — it is the deliberately
 # page-fault-heavy pre-arena reference kept for the speedup comparison, and
 # its timing swings with the machine's page cache, not with the code.
 gated = sorted(n for n in new
-               if n.startswith("BM_EngineRun") and "Allocating" not in n and n in base)
+               if (n.startswith("BM_EngineRun") or n.startswith("BM_Advisor"))
+               and "Allocating" not in n and n in base)
 if not gated:
     print("    no gated benchmarks shared with the baseline; nothing to check")
     sys.exit(0)
@@ -191,7 +208,7 @@ for name in gated:
     print(f"    {name}: {old_t:.0f} ns -> {new_t:.0f} ns ({delta_pct:+.1f}%) {verdict}")
 
 if failures:
-    print(f"FAIL: {len(failures)} engine-run benchmark(s) regressed "
+    print(f"FAIL: {len(failures)} gated benchmark(s) regressed "
           f"beyond {tol_pct:.0f}%: {', '.join(failures)}")
     sys.exit(1)
 print("    regression gate passed")

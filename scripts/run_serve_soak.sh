@@ -1,0 +1,152 @@
+#!/usr/bin/env bash
+# Serving-layer soak (docs/SERVING.md, "Soak & failure drills").
+#
+# Two phases against a real repcheck_advisord process on a unix socket:
+#
+#   perf smoke      warm working set, pipelined load; gates on the
+#                   acceptance numbers — >= 100k analytic queries/sec and
+#                   a server-side cached p99 under 50us
+#   failpoint soak  accept failures, injected parse errors and stalled
+#                   evaluators (REPCHECK_FAILPOINTS) against a tiny
+#                   pending queue and a cold, cache-busting workload, so
+#                   the server sheds under pressure; then SIGTERM —
+#                   the drain must exit 0 and the run report must show
+#                   shed traffic and fired failpoints
+#
+# Usage: scripts/run_serve_soak.sh [--quick]
+#   --quick   shorter load phases (CI smoke config; the default gates
+#             still apply)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+duration=5
+min_qps=100000
+max_p99_us=50
+if [[ "${1:-}" == "--quick" ]]; then
+  duration=2
+fi
+
+echo "==> build advisord + bench [release]"
+cmake --preset release >/dev/null
+cmake --build --preset release -j "$(nproc)" --target repcheck_advisord_cli repcheck_advisor_bench_cli
+
+workdir="$(mktemp -d)"
+advisord="build/src/serve/repcheck_advisord"
+bench="build/src/serve/repcheck_advisor_bench"
+server_pid=""
+cleanup() {
+  if [[ -n "$server_pid" ]] && kill -0 "$server_pid" 2>/dev/null; then
+    kill -KILL "$server_pid" 2>/dev/null || true
+    wait "$server_pid" 2>/dev/null || true
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+wait_listening() {
+  for _ in $(seq 1 100); do
+    [[ -S "$1" ]] && return 0
+    sleep 0.05
+  done
+  echo "FAIL: advisord never bound $1" >&2
+  return 1
+}
+
+# ---------------------------------------------------------------- perf smoke
+echo "==> perf smoke: ${duration}s pipelined load, gates: >=${min_qps} qps, cached p99 < ${max_p99_us}us"
+sock="$workdir/perf.sock"
+"$advisord" --listen "unix:$sock" --threads 0 2>"$workdir/perf.log" &
+server_pid=$!
+wait_listening "$sock"
+
+"$bench" --connect "unix:$sock" --connections 2 --duration-s "$duration" \
+  --distinct 512 --window 64 --min-qps "$min_qps" --max-p99-us "$max_p99_us"
+
+kill -TERM "$server_pid"
+perf_exit=0
+wait "$server_pid" || perf_exit=$?
+if [[ "$perf_exit" -ne 0 ]]; then
+  echo "FAIL: advisord drain exited $perf_exit after the perf smoke" >&2
+  exit 1
+fi
+server_pid=""
+echo "==> perf smoke passed (server drained cleanly)"
+
+# ------------------------------------------------------------- failpoint soak
+echo "==> failpoint soak: accept_fail + parse_error + evaluator.stall, max-pending=1"
+sock="$workdir/soak.sock"
+report="$workdir/soak_report.json"
+# max-pending=1: a connection blocks on its own in-flight miss, so queue
+# depth is bounded by the connection count — the queue must be smaller than
+# that for concurrent misses to collide and shed (stalled evaluators hold
+# the dispatcher busy long enough for the collisions to happen).
+REPCHECK_FAILPOINTS="serve.accept_fail=every:3;serve.parse_error=every:100;serve.evaluator.stall=every:50" \
+  "$advisord" --listen "unix:$sock" --threads 0 --max-pending 1 --batch-max 4 \
+  --metrics-out "$report" 2>"$workdir/soak.log" &
+server_pid=$!
+wait_listening "$sock"
+
+# Cold workload: far more distinct queries than the pending queue admits,
+# no prewarm, stalled evaluators — a large fraction of misses must shed.
+# Several short runs also exercise reconnects against accept_fail (each
+# bench invocation retries through dropped accepts).
+for round in 1 2 3; do
+  "$bench" --connect "unix:$sock" --connections 4 --duration-s 1 \
+    --distinct 5000 --window 16 --prewarm=false \
+    > "$workdir/soak_round${round}.txt" || {
+      echo "FAIL: soak round $round bench errored" >&2; exit 1; }
+done
+cat "$workdir/soak_round3.txt"
+
+kill -TERM "$server_pid"
+soak_exit=0
+wait "$server_pid" || soak_exit=$?
+server_pid=""
+if [[ "$soak_exit" -ne 0 ]]; then
+  echo "FAIL: advisord drain exited $soak_exit after the failpoint soak" >&2
+  cat "$workdir/soak.log" >&2
+  exit 1
+fi
+
+python3 - "$report" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+counters = report["counters"]
+
+def require(name, predicate, why):
+    value = counters.get(name, 0)
+    if not predicate(value):
+        print(f"FAIL: {name}={value} ({why})")
+        sys.exit(1)
+    print(f"    {name}={value} ok")
+
+require("serve.requests", lambda v: v > 0, "soak sent no traffic")
+require("serve.shed", lambda v: v > 0, "pressure never triggered load shedding")
+require("failpoint.serve.accept_fail.hits", lambda v: v > 0, "accept failpoint never hit")
+require("failpoint.serve.parse_error.hits", lambda v: v > 0, "parse failpoint never hit")
+require("failpoint.serve.evaluator.stall.hits", lambda v: v > 0, "stall failpoint never hit")
+
+# Outcome conservation: every advise request is a hit, a miss (shed and
+# coalesced misses are counted inside serve.misses at admission), or
+# invalid, and each of those paths appends exactly one response frame.
+# serve.requests additionally counts ping/stats ops — the bench sends one
+# stats query per round — so the residue must be small and non-negative.
+total = counters.get("serve.requests", 0)
+advise = sum(counters.get(k, 0) for k in
+             ("serve.hits", "serve.misses", "serve.invalid"))
+residue = total - advise
+if residue < 0 or residue > 64:
+    print(f"FAIL: outcome counters do not partition requests "
+          f"(requests={total} hits+misses+invalid={advise})")
+    sys.exit(1)
+for subset in ("serve.shed", "serve.coalesced"):
+    if counters.get(subset, 0) > counters.get("serve.misses", 0):
+        print(f"FAIL: {subset} exceeds serve.misses")
+        sys.exit(1)
+print(f"    outcome conservation ok ({total} requests, {residue} control ops)")
+PY
+
+echo "==> failpoint soak passed (clean drain, shedding + failpoints verified)"
+echo "==> serve soak complete"

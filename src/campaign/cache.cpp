@@ -5,6 +5,7 @@
 
 #include "prng/splitmix64.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/canonical_key.hpp"
 #include "util/failpoint.hpp"
 #include "util/hash.hpp"
 #include "util/log.hpp"
@@ -39,14 +40,11 @@ std::uint64_t derive_point_seed(std::uint64_t master_seed, const SweepPoint& poi
 
 namespace {
 
-std::string key_payload(const SweepPoint& point, std::uint64_t master_seed,
-                        std::string_view engine_version) {
-  std::string payload = point.canonical();
-  payload += "|seed=";
-  payload += std::to_string(master_seed);
-  payload += "|engine=";
-  payload += engine_version;
-  return payload;
+util::CanonicalKey key_payload(const SweepPoint& point, std::uint64_t master_seed,
+                               std::string_view engine_version) {
+  util::CanonicalKey key(point.canonical());
+  key.add("seed", master_seed).add("engine", engine_version);
+  return key;
 }
 
 // uint64 seeds don't fit a JSON double losslessly; store them as strings.
@@ -256,17 +254,12 @@ void append_line(std::ofstream& out, bool& dirty, const std::filesystem::path& f
 
 std::string point_key(const SweepPoint& point, std::uint64_t master_seed,
                       std::string_view engine_version) {
-  return util::content_hash_hex(key_payload(point, master_seed, engine_version));
+  return key_payload(point, master_seed, engine_version).hex();
 }
 
 std::string shard_key(const SweepPoint& point, std::uint64_t master_seed, std::uint64_t begin,
                       std::uint64_t end, std::string_view engine_version) {
-  std::string payload = key_payload(point, master_seed, engine_version);
-  payload += "|shard=";
-  payload += std::to_string(begin);
-  payload += '-';
-  payload += std::to_string(end);
-  return util::content_hash_hex(payload);
+  return key_payload(point, master_seed, engine_version).add_range("shard", begin, end).hex();
 }
 
 util::JsonObject summary_to_json(const sim::MonteCarloSummary& summary) {

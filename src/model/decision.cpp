@@ -1,5 +1,6 @@
 #include "model/decision.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "model/overhead.hpp"
@@ -7,14 +8,64 @@
 
 namespace repcheck::model {
 
-Advice decide(const PlatformSpec& platform, const AmdahlApp& app, double w_seq) {
+namespace {
+
+/// NaN never compares, so every bound below is written as !(value in range)
+/// — a NaN input fails the first check that looks at it.
+void require_finite(double value, const char* field, const char* what) {
+  if (std::isnan(value)) throw SpecError(field, std::string(what) + " is NaN");
+}
+
+}  // namespace
+
+void validate(const PlatformSpec& platform) {
   if (platform.n_procs == 0 || platform.n_procs % 2 != 0) {
-    throw std::domain_error("decide requires a positive even processor count");
+    throw SpecError("n_procs", "processor count must be positive and even, got " +
+                                   std::to_string(platform.n_procs));
   }
-  if (!(platform.mtbf_proc > 0.0)) throw std::domain_error("MTBF must be positive");
-  if (!(platform.restart_checkpoint_cost >= platform.checkpoint_cost)) {
-    throw std::domain_error("C^R must be at least C");
+  require_finite(platform.mtbf_proc, "mtbf_proc", "individual MTBF");
+  if (!(platform.mtbf_proc > 0.0)) {
+    throw SpecError("mtbf_proc", "individual MTBF must be positive");
   }
+  require_finite(platform.checkpoint_cost, "checkpoint_cost", "checkpoint cost C");
+  if (!(platform.checkpoint_cost > 0.0) || std::isinf(platform.checkpoint_cost)) {
+    throw SpecError("checkpoint_cost", "checkpoint cost C must be positive and finite");
+  }
+  require_finite(platform.restart_checkpoint_cost, "restart_checkpoint_cost",
+                 "restart checkpoint cost C^R");
+  if (!(platform.restart_checkpoint_cost >= platform.checkpoint_cost) ||
+      !(platform.restart_checkpoint_cost <= 2.0 * platform.checkpoint_cost)) {
+    throw SpecError("restart_checkpoint_cost",
+                    "C^R must lie in [C, 2C] (restarts add at most one extra checkpoint)");
+  }
+  require_finite(platform.recovery_cost, "recovery_cost", "recovery cost R");
+  if (!(platform.recovery_cost >= 0.0) || std::isinf(platform.recovery_cost)) {
+    throw SpecError("recovery_cost", "recovery cost R must be non-negative and finite");
+  }
+  require_finite(platform.downtime, "downtime", "downtime D");
+  if (!(platform.downtime >= 0.0) || std::isinf(platform.downtime)) {
+    throw SpecError("downtime", "downtime D must be non-negative and finite");
+  }
+}
+
+void validate(const AmdahlApp& app, double w_seq) {
+  require_finite(app.gamma, "gamma", "sequential fraction gamma");
+  if (!(app.gamma >= 0.0 && app.gamma <= 1.0)) {
+    throw SpecError("gamma", "sequential fraction gamma must lie in [0, 1]");
+  }
+  require_finite(app.alpha, "alpha", "replication slowdown alpha");
+  if (!(app.alpha >= 0.0) || std::isinf(app.alpha)) {
+    throw SpecError("alpha", "replication slowdown alpha must be non-negative and finite");
+  }
+  require_finite(w_seq, "w_seq", "sequential work");
+  if (!(w_seq > 0.0) || std::isinf(w_seq)) {
+    throw SpecError("w_seq", "sequential work must be positive and finite");
+  }
+}
+
+Advice decide(const PlatformSpec& platform, const AmdahlApp& app, double w_seq) {
+  validate(platform);
+  validate(app, w_seq);
   const std::uint64_t n = platform.n_procs;
   const std::uint64_t pairs = n / 2;
 

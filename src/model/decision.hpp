@@ -14,6 +14,8 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 
 #include "model/amdahl.hpp"
 
@@ -27,6 +29,34 @@ struct PlatformSpec {
   double recovery_cost = 60.0;          ///< R, seconds
   double downtime = 0.0;                ///< D, seconds
 };
+
+/// A platform/application input the model rejects (odd processor count,
+/// non-positive MTBF, C^R outside [C, 2C], NaN, ...).  Derives from
+/// std::domain_error so legacy catch sites keep working, and names the
+/// offending field so protocol servers can surface a 4xx-style error
+/// without string-matching the message.
+class SpecError : public std::domain_error {
+ public:
+  SpecError(std::string field, const std::string& message)
+      : std::domain_error(message), field_(std::move(field)) {}
+
+  /// The input field that failed validation ("n_procs", "mtbf_proc",
+  /// "checkpoint_cost", "restart_checkpoint_cost", "recovery_cost",
+  /// "downtime", "gamma", "alpha", "w_seq").
+  [[nodiscard]] const std::string& field() const noexcept { return field_; }
+
+ private:
+  std::string field_;
+};
+
+/// Validates a PlatformSpec: n_procs positive and even, mtbf_proc positive
+/// and finite, C positive, C^R in [C, 2C], R and D non-negative, nothing
+/// NaN.  Throws SpecError naming the first offending field.
+void validate(const PlatformSpec& platform);
+
+/// Validates the application + work inputs of decide(): gamma in [0, 1],
+/// alpha >= 0, w_seq positive, all finite.  Throws SpecError.
+void validate(const AmdahlApp& app, double w_seq);
 
 enum class Plan { kNoReplication, kReplicatedRestart };
 

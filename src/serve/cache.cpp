@@ -1,0 +1,66 @@
+#include "serve/cache.hpp"
+
+#include "util/hash.hpp"
+
+namespace repcheck::serve {
+
+void query_key(const RequestView& request, util::CanonicalKey& scratch, char* out_hex) {
+  scratch.reset("advise");
+  scratch.add("n", request.platform.n_procs)
+      .add("mtbf", request.platform.mtbf_proc)
+      .add("c", request.platform.checkpoint_cost)
+      .add("cr", request.platform.restart_checkpoint_cost)
+      .add("r", request.platform.recovery_cost)
+      .add("d", request.platform.downtime)
+      .add("gamma", request.app.gamma)
+      .add("alpha", request.app.alpha)
+      .add("w", request.w_seq);
+  if (request.validate) {
+    scratch.add("validate", true).add("runs", request.runs).add("seed", request.seed);
+  }
+  scratch.hex_to(out_hex);
+}
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+MemoCache::MemoCache(std::size_t shards)
+    : mask_(round_up_pow2(shards == 0 ? 1 : shards) - 1),
+      shards_(mask_ + 1) {}
+
+MemoCache::Shard& MemoCache::shard_of(std::string_view key) const {
+  return shards_[util::fnv1a64(key) & mask_];
+}
+
+bool MemoCache::lookup(std::string_view key, CachedAnswer& out) const {
+  Shard& shard = shard_of(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) return false;
+  out = it->second;
+  return true;
+}
+
+void MemoCache::insert(std::string_view key, const CachedAnswer& answer) {
+  Shard& shard = shard_of(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.map.insert_or_assign(std::string(key), answer);
+}
+
+std::size_t MemoCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+}  // namespace repcheck::serve

@@ -1,0 +1,74 @@
+// Advisor memo-cache: interned query keys -> computed advice.
+//
+// Queries canonicalize through the same util::CanonicalKey / FNV-128
+// scheme as the campaign result cache (docs/SERVING.md "Cache keys"): the
+// platform, application and work parameters render shortest-round-trip
+// into a '|'-separated payload whose 128-bit digest is the cache key, so a
+// query asked twice — by any connection, in any order — is answered from
+// memory.  Validated-tier queries key separately (runs and seed are part
+// of the answer's identity).
+//
+// The store is sharded: kShards independent mutex + open-addressed-map
+// pairs, shard chosen by key bits, so concurrent connections rarely
+// contend.  A hit copies one CachedAnswer (~150 bytes) under the shard
+// lock — sub-microsecond, and allocation-free via heterogeneous
+// string_view lookup.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/advisor.hpp"
+#include "serve/protocol.hpp"
+#include "util/canonical_key.hpp"
+
+namespace repcheck::serve {
+
+/// What the cache stores: analytic advice always, simulation cross-check
+/// when the query asked for the validated tier.
+struct CachedAnswer {
+  sim::ValidatedAdvice advice;  ///< .analytic always filled
+  bool validated = false;
+};
+
+/// Canonical cache key of an advise query: payload built into `scratch`
+/// (capacity reused across calls), 32-hex-char digest written to `out_hex`
+/// (util::kContentKeyHexChars bytes, no terminator).  Requires a
+/// structurally valid advise request (defaults already resolved).
+void query_key(const RequestView& request, util::CanonicalKey& scratch, char* out_hex);
+
+class MemoCache {
+ public:
+  /// `shards` is rounded up to a power of two (at least 1).
+  explicit MemoCache(std::size_t shards);
+
+  /// Copies the answer out under the shard lock; false on miss.
+  [[nodiscard]] bool lookup(std::string_view key, CachedAnswer& out) const;
+  void insert(std::string_view key, const CachedAnswer& answer);
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct StringHash {
+    using is_transparent = void;
+    [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct alignas(64) Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, CachedAnswer, StringHash, std::equal_to<>> map;
+  };
+
+  [[nodiscard]] Shard& shard_of(std::string_view key) const;
+
+  std::size_t mask_;
+  mutable std::vector<Shard> shards_;
+};
+
+}  // namespace repcheck::serve

@@ -1,0 +1,378 @@
+#include "serve/protocol.hpp"
+
+#include <charconv>
+#include <cmath>
+
+#include "util/jsonl.hpp"
+
+namespace repcheck::serve {
+
+void append_frame(std::string& out, std::string_view payload) {
+  char digits[kMaxFrameDigits + 1];
+  const auto [end, ec] = std::to_chars(digits, digits + sizeof(digits), payload.size());
+  (void)ec;  // payload.size() <= kMaxFramePayload always fits
+  out.append(digits, end);
+  out += '\n';
+  out.append(payload.data(), payload.size());
+}
+
+void FrameBuffer::append(std::string_view bytes) {
+  // Compact consumed bytes before growing; amortized O(1) per byte.
+  if (pos_ > 0 && (pos_ == buffer_.size() || pos_ >= 4096)) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+FrameBuffer::Status FrameBuffer::next(std::string_view& payload) {
+  const std::size_t size = buffer_.size();
+  std::size_t i = pos_;
+  std::size_t len = 0;
+  std::size_t digits = 0;
+  while (i < size && buffer_[i] >= '0' && buffer_[i] <= '9') {
+    len = len * 10 + static_cast<std::size_t>(buffer_[i] - '0');
+    ++digits;
+    ++i;
+    if (digits > kMaxFrameDigits || len > kMaxFramePayload) return Status::kMalformed;
+  }
+  if (i == size) return Status::kNeedMore;       // still reading the length
+  if (digits == 0 || buffer_[i] != '\n') return Status::kMalformed;
+  ++i;  // consume '\n'
+  if (size - i < len) return Status::kNeedMore;  // partial payload
+  payload = std::string_view(buffer_).substr(i, len);
+  pos_ = i + len;
+  return Status::kFrame;
+}
+
+namespace {
+
+/// In-place scanner over one flat JSON object payload.  No allocation on
+/// the success path; error messages allocate (cold).
+struct Scanner {
+  const char* p;
+  const char* end;
+
+  void skip_ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) ++p;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (p < end && *p == c) {
+      ++p;
+      return true;
+    }
+    return false;
+  }
+
+  /// A JSON string; `contents` excludes the quotes, `token` includes them.
+  /// Escapes are passed through raw (the id token is echoed verbatim), but
+  /// the closing-quote scan honors them.
+  bool string_token(std::string_view& contents, std::string_view& token) {
+    skip_ws();
+    if (p >= end || *p != '"') return false;
+    const char* start = p;
+    ++p;
+    while (p < end && *p != '"') {
+      if (*p == '\\') {
+        ++p;
+        if (p >= end) return false;
+      }
+      ++p;
+    }
+    if (p >= end) return false;
+    ++p;  // closing quote
+    token = std::string_view(start, static_cast<std::size_t>(p - start));
+    contents = token.substr(1, token.size() - 2);
+    return true;
+  }
+
+  /// Any scalar value: string, number, true/false/null.
+  bool value_token(std::string_view& token) {
+    skip_ws();
+    if (p >= end) return false;
+    if (*p == '"') {
+      std::string_view contents;
+      return string_token(contents, token);
+    }
+    const char* start = p;
+    while (p < end && *p != ',' && *p != '}' && *p != ' ' && *p != '\t' && *p != '\n' &&
+           *p != '\r') {
+      if (*p == '{' || *p == '[') return false;  // nesting unsupported
+      ++p;
+    }
+    if (p == start) return false;
+    token = std::string_view(start, static_cast<std::size_t>(p - start));
+    return true;
+  }
+};
+
+bool parse_number(std::string_view token, double& out) {
+  const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), out);
+  return ec == std::errc{} && ptr == token.data() + token.size();
+}
+
+bool parse_uint(std::string_view token, std::uint64_t& out) {
+  const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), out);
+  return ec == std::errc{} && ptr == token.data() + token.size();
+}
+
+std::string bad_field(std::string_view key, std::string_view token, const char* expected) {
+  std::string error = "field '";
+  error.append(key);
+  error += "' expects ";
+  error += expected;
+  error += ", got '";
+  error.append(token.substr(0, 64));
+  error += '\'';
+  return error;
+}
+
+void append_double(std::string& out, double v) {
+  if (std::isnan(v)) {
+    out += "nan";
+    return;
+  }
+  if (std::isinf(v)) {
+    out += v > 0 ? "inf" : "-inf";
+    return;
+  }
+  char buf[64];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec == std::errc{}) out.append(buf, end);
+}
+
+void append_uint(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec == std::errc{}) out.append(buf, end);
+}
+
+void append_id(std::string& out, std::string_view id_token) {
+  if (id_token.empty()) return;
+  out += "\"id\":";
+  out.append(id_token.data(), id_token.size());
+  out += ',';
+}
+
+const char* plan_name(model::Plan plan) {
+  return plan == model::Plan::kReplicatedRestart ? "replicated_restart" : "no_replication";
+}
+
+}  // namespace
+
+bool parse_request(std::string_view payload, RequestView& out, std::string& error) {
+  out = RequestView{};
+  // Sentinels distinguish "absent" from any explicit value, including the
+  // explicit NaN that model::validate must see and reject.
+  bool has_n = false, has_mtbf = false, has_c = false, has_cr = false, has_r = false,
+       has_d = false, has_w = false;
+
+  Scanner s{payload.data(), payload.data() + payload.size()};
+  if (!s.consume('{')) {
+    error = "payload is not a JSON object";
+    return false;
+  }
+  if (s.consume('}')) {
+    error = "empty request";
+    return false;
+  }
+  while (true) {
+    std::string_view key, key_token;
+    if (!s.string_token(key, key_token)) {
+      error = "expected a string key";
+      return false;
+    }
+    if (key.find('\\') != std::string_view::npos) {
+      error = "escaped keys are not supported";
+      return false;
+    }
+    if (!s.consume(':')) {
+      error = "expected ':' after key";
+      return false;
+    }
+    std::string_view token;
+    if (!s.value_token(token)) {
+      error = "malformed value for field '" + std::string(key) + "'";
+      return false;
+    }
+
+    const bool quoted = token.size() >= 2 && token.front() == '"';
+    const std::string_view contents = quoted ? token.substr(1, token.size() - 2) : token;
+    double number = 0.0;
+    std::uint64_t integer = 0;
+    if (key == "op") {
+      if (!quoted) {
+        error = bad_field(key, token, "a string");
+        return false;
+      }
+      if (contents == "advise") {
+        out.op = RequestView::Op::kAdvise;
+      } else if (contents == "stats") {
+        out.op = RequestView::Op::kStats;
+      } else if (contents == "ping") {
+        out.op = RequestView::Op::kPing;
+      } else {
+        error = bad_field(key, token, "one of advise|stats|ping");
+        return false;
+      }
+    } else if (key == "id") {
+      out.id_token = token;
+    } else if (key == "n") {
+      if (quoted || !parse_uint(token, integer)) {
+        error = bad_field(key, token, "an unsigned integer");
+        return false;
+      }
+      out.platform.n_procs = integer;
+      has_n = true;
+    } else if (key == "runs") {
+      if (quoted || !parse_uint(token, integer)) {
+        error = bad_field(key, token, "an unsigned integer");
+        return false;
+      }
+      out.runs = integer;
+    } else if (key == "seed") {
+      if (quoted || !parse_uint(token, integer)) {
+        error = bad_field(key, token, "an unsigned integer");
+        return false;
+      }
+      out.seed = integer;
+    } else if (key == "validate") {
+      if (token == "true") {
+        out.validate = true;
+      } else if (token == "false") {
+        out.validate = false;
+      } else {
+        error = bad_field(key, token, "true or false");
+        return false;
+      }
+    } else if (key == "mtbf" || key == "c" || key == "cr" || key == "r" || key == "d" ||
+               key == "gamma" || key == "alpha" || key == "w") {
+      if (quoted || !parse_number(token, number)) {
+        error = bad_field(key, token, "a number");
+        return false;
+      }
+      if (key == "mtbf") {
+        out.platform.mtbf_proc = number;
+        has_mtbf = true;
+      } else if (key == "c") {
+        out.platform.checkpoint_cost = number;
+        has_c = true;
+      } else if (key == "cr") {
+        out.platform.restart_checkpoint_cost = number;
+        has_cr = true;
+      } else if (key == "r") {
+        out.platform.recovery_cost = number;
+        has_r = true;
+      } else if (key == "d") {
+        out.platform.downtime = number;
+        has_d = true;
+      } else if (key == "gamma") {
+        out.app.gamma = number;
+      } else if (key == "alpha") {
+        out.app.alpha = number;
+      } else {
+        out.w_seq = number;
+        has_w = true;
+      }
+    } else {
+      error = "unknown field '" + std::string(key) + "'";
+      return false;
+    }
+
+    if (s.consume(',')) continue;
+    if (s.consume('}')) break;
+    error = "expected ',' or '}'";
+    return false;
+  }
+  s.skip_ws();
+  if (s.p != s.end) {
+    error = "trailing bytes after the request object";
+    return false;
+  }
+
+  if (out.op != RequestView::Op::kAdvise) return true;
+  if (!has_n || !has_mtbf || !has_c || !has_w) {
+    error = "advise requires fields n, mtbf, c, w";
+    return false;
+  }
+  if (!has_cr) out.platform.restart_checkpoint_cost = out.platform.checkpoint_cost;
+  if (!has_r) out.platform.recovery_cost = out.platform.checkpoint_cost;
+  if (!has_d) out.platform.downtime = 0.0;
+  return true;
+}
+
+void render_advice(std::string& out, std::string_view id_token, const sim::ValidatedAdvice& advice,
+                   bool validated, bool cached) {
+  out += '{';
+  append_id(out, id_token);
+  out += "\"status\":\"ok\",\"plan\":\"";
+  out += plan_name(advice.analytic.plan);
+  out += "\",\"period\":";
+  append_double(out, advice.analytic.period);
+  out += ",\"overhead_norep\":";
+  append_double(out, advice.analytic.overhead_noreplication);
+  out += ",\"overhead_rs\":";
+  append_double(out, advice.analytic.overhead_replicated_restart);
+  out += ",\"tts_norep\":";
+  append_double(out, advice.analytic.tts_noreplication);
+  out += ",\"tts_rs\":";
+  append_double(out, advice.analytic.tts_replicated_restart);
+  out += ",\"tts_norestart\":";
+  append_double(out, advice.analytic.tts_replicated_norestart);
+  out += ",\"advantage\":";
+  append_double(out, advice.analytic.advantage);
+  if (validated) {
+    out += ",\"validated\":true,\"sim_winner\":\"";
+    out += plan_name(advice.simulated_winner);
+    out += "\",\"sim_tts_norep\":";
+    append_double(out, advice.simulated_tts_noreplication);
+    out += ",\"sim_tts_rs\":";
+    append_double(out, advice.simulated_tts_restart);
+    out += ",\"sim_tts_norestart\":";
+    append_double(out, advice.simulated_tts_norestart);
+    out += ",\"stalled_norep\":";
+    append_uint(out, advice.stalled_noreplication);
+    out += ",\"stalled_rs\":";
+    append_uint(out, advice.stalled_restart);
+    out += ",\"stalled_norestart\":";
+    append_uint(out, advice.stalled_norestart);
+  }
+  out += cached ? ",\"cached\":true}" : ",\"cached\":false}";
+}
+
+void render_error(std::string& out, std::string_view id_token, std::string_view status,
+                  std::string_view message, std::string_view field) {
+  out += '{';
+  append_id(out, id_token);
+  out += "\"status\":\"";
+  out.append(status.data(), status.size());
+  out += "\",\"error\":\"";
+  out += util::json_escape(message);
+  out += '"';
+  if (!field.empty()) {
+    out += ",\"field\":\"";
+    out += util::json_escape(field);
+    out += '"';
+  }
+  out += '}';
+}
+
+void render_pong(std::string& out, std::string_view id_token) {
+  out += '{';
+  append_id(out, id_token);
+  out += "\"status\":\"ok\",\"op\":\"ping\"}";
+}
+
+std::string_view response_status(std::string_view payload) {
+  static constexpr std::string_view kNeedle = "\"status\":\"";
+  const std::size_t at = payload.find(kNeedle);
+  if (at == std::string_view::npos) return {};
+  const std::size_t begin = at + kNeedle.size();
+  const std::size_t end = payload.find('"', begin);
+  if (end == std::string_view::npos) return {};
+  return payload.substr(begin, end - begin);
+}
+
+}  // namespace repcheck::serve

@@ -1,0 +1,91 @@
+// repcheck_advisord wire protocol: length-prefixed JSON lines.
+//
+// A frame is `<len>\n<payload>` where <len> is the payload's byte length in
+// ASCII decimal (at most kMaxFrameDigits digits, payload at most
+// kMaxFramePayload bytes) and <payload> is one flat JSON object.  The same
+// framing runs in both directions; docs/SERVING.md is the normative spec.
+//
+// Requests ({"op":"advise","id":7,"n":200000,"mtbf":1.576e8,"c":60,...})
+// parse into a RequestView without heap allocation: the scanner walks the
+// payload in place, the id is kept as a raw token slice and echoed
+// verbatim, and unknown or malformed fields fail loudly (the campaign
+// FlagSet philosophy — typos must not silently run the default query).
+// Responses append into a caller-owned buffer whose capacity survives
+// across requests, which is what keeps the cached path allocation-free
+// (BM_AdvisordCachedRequest).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/advisor.hpp"
+#include "model/decision.hpp"
+
+namespace repcheck::serve {
+
+/// Payload byte-length ceiling; a frame announcing more is malformed and
+/// poisons its connection (the reader cannot resynchronize).
+inline constexpr std::size_t kMaxFramePayload = 1 << 20;
+inline constexpr std::size_t kMaxFrameDigits = 7;
+
+/// Appends `<len>\n<payload>` to `out`.
+void append_frame(std::string& out, std::string_view payload);
+
+/// Incremental frame reader over a byte stream.  Feed bytes with append();
+/// next() hands out complete payloads as views into the internal buffer
+/// (valid until the next append/compact).
+class FrameBuffer {
+ public:
+  enum class Status {
+    kFrame,     ///< `payload` holds one complete frame
+    kNeedMore,  ///< no complete frame buffered yet
+    kMalformed, ///< stream cannot be resynchronized; close the connection
+  };
+
+  void append(std::string_view bytes);
+  [[nodiscard]] Status next(std::string_view& payload);
+
+  /// Bytes buffered but not yet consumed (a partial frame, between reads).
+  [[nodiscard]] std::size_t pending_bytes() const { return buffer_.size() - pos_; }
+
+ private:
+  std::string buffer_;
+  std::size_t pos_ = 0;
+};
+
+/// One parsed request.  Slices (`id_token`) point into the payload the
+/// request was parsed from.
+struct RequestView {
+  enum class Op { kAdvise, kStats, kPing };
+  Op op = Op::kAdvise;
+  std::string_view id_token;  ///< raw JSON token, echoed verbatim; empty = absent
+  model::PlatformSpec platform;
+  model::AmdahlApp app;
+  double w_seq = 0.0;
+  bool validate = false;       ///< simulation-validated tier
+  std::uint64_t runs = 0;      ///< validated tier: replicates per plan (0 = server default)
+  std::uint64_t seed = 1;      ///< validated tier: simulation seed
+};
+
+/// Parses one payload.  On success returns true; on failure fills `error`
+/// (allocates only on that cold path) and leaves `out` unspecified.
+/// Performs structural validation only — model::validate() does the
+/// semantic checks.
+[[nodiscard]] bool parse_request(std::string_view payload, RequestView& out, std::string& error);
+
+/// Response payloads (appended to `out` unframed; callers frame them).
+/// Field order is fixed; absent id omits the "id" field.
+void render_advice(std::string& out, std::string_view id_token, const sim::ValidatedAdvice& advice,
+                   bool validated, bool cached);
+/// `status` is "invalid" (bad request; `field` names the offending input
+/// when known), "shed" (admission control) or "error" (server fault).
+void render_error(std::string& out, std::string_view id_token, std::string_view status,
+                  std::string_view message, std::string_view field = {});
+void render_pong(std::string& out, std::string_view id_token);
+
+/// Client-side helper: parses a response payload's "status" field ("ok",
+/// "invalid", "shed", "error"); empty on malformed payloads.
+[[nodiscard]] std::string_view response_status(std::string_view payload);
+
+}  // namespace repcheck::serve

@@ -1,0 +1,310 @@
+// repcheck_advisor_bench: load generator + latency gate for advisord.
+//
+//   repcheck_advisor_bench --connect unix:/tmp/repcheck_advisord.sock
+//       --connections 4 --duration-s 5 --distinct 512
+//       --min-qps 100000 --max-p99-us 50
+//
+// Drives N connections in lock-step pipelined windows (one write carries
+// --window frames, then the window's responses are read back), cycling a
+// working set of --distinct queries so a --prewarm pass turns the steady
+// state into pure memo-cache hits.  Reports client-side achieved
+// throughput plus the *server's* cached/computed latency percentiles
+// (op=stats, from the serve.latency_* histograms — the number the p99
+// acceptance gate is defined on, free of client scheduling noise).
+//
+// Exit codes: 0 ok; 1 usage/connection error; 3 achieved qps under
+// --min-qps; 4 server cached p99 over --max-p99-us.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "serve/transport.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+using namespace repcheck;
+using Clock = std::chrono::steady_clock;
+
+struct WorkerStats {
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t cached = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t invalid = 0;
+  std::uint64_t errors = 0;
+  bool connection_lost = false;
+};
+
+/// The i-th distinct query: mtbf varies so every index is a different
+/// cache key; everything else stays at the paper's Table 4 shape.
+std::string query_payload(std::size_t index, bool validate, std::uint64_t seed) {
+  std::string payload = "{\"op\":\"advise\",\"n\":200000,\"mtbf\":";
+  payload += std::to_string(1.0e8 * (1.0 + static_cast<double>(index)));
+  payload += ",\"c\":60,\"w\":1e6,\"gamma\":1e-5";
+  if (validate) {
+    payload += ",\"validate\":true,\"runs\":20,\"seed\":";
+    payload += std::to_string(seed);
+  }
+  payload += '}';
+  return payload;
+}
+
+/// Reads until `count` responses arrive; false on EOF/error (drain).
+bool read_responses(const serve::Socket& socket, serve::FrameBuffer& frames, std::size_t count,
+                    WorkerStats& stats) {
+  char chunk[64 * 1024];
+  std::size_t seen = 0;
+  while (seen < count) {
+    std::string_view payload;
+    const auto status = frames.next(payload);
+    if (status == serve::FrameBuffer::Status::kFrame) {
+      ++seen;
+      const std::string_view response_status = serve::response_status(payload);
+      if (response_status == "ok") {
+        ++stats.ok;
+        if (payload.find("\"cached\":true") != std::string_view::npos) ++stats.cached;
+      } else if (response_status == "shed") {
+        ++stats.shed;
+      } else if (response_status == "invalid") {
+        ++stats.invalid;
+      } else {
+        ++stats.errors;
+      }
+      continue;
+    }
+    if (status == serve::FrameBuffer::Status::kMalformed) return false;
+    const ssize_t n = socket.read_some(chunk, sizeof(chunk));
+    if (n <= 0) return false;
+    frames.append(std::string_view(chunk, static_cast<std::size_t>(n)));
+  }
+  return true;
+}
+
+serve::Socket connect_with_retry(const std::string& address, int attempts) {
+  for (int i = 0;; ++i) {
+    try {
+      return serve::connect_to(address);
+    } catch (const std::exception&) {
+      if (i + 1 >= attempts) throw;
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
+}
+
+/// Pulls `"key":<uint>` out of a stats response payload; 0 when absent.
+std::uint64_t stats_field(std::string_view payload, std::string_view key) {
+  std::string needle = "\"";
+  needle.append(key);
+  needle += "\":";
+  const std::size_t at = payload.find(needle);
+  if (at == std::string_view::npos) return 0;
+  std::uint64_t value = 0;
+  for (std::size_t i = at + needle.size(); i < payload.size(); ++i) {
+    const char c = payload[i];
+    if (c < '0' || c > '9') break;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    util::FlagSet flags("repcheck_advisor_bench",
+                        "advisord load generator: pipelined connections, throughput + p99 gates");
+    const auto* connect = flags.add_string("connect", "unix:/tmp/repcheck_advisord.sock",
+                                           "server address (unix:<path> or tcp:[host:]port)");
+    const auto* connections = flags.add_int64("connections", 4, "concurrent client connections");
+    const auto* duration_s =
+        flags.add_int64("duration-s", 5, "run length in seconds (ignored when --requests is set)");
+    const auto* requests =
+        flags.add_int64("requests", 0, "total request budget (0 = run for --duration-s)");
+    const auto* qps = flags.add_int64("qps", 0, "target offered load (0 = unthrottled)");
+    const auto* distinct = flags.add_int64("distinct", 512, "working-set size (distinct queries)");
+    const auto* window =
+        flags.add_int64("window", 64, "pipelining depth: frames per write before reading back");
+    const auto* prewarm = flags.add_bool(
+        "prewarm", true, "ask every distinct query once first so the timed run is all cache hits");
+    const auto* validate =
+        flags.add_bool("validate", false, "send validated-tier queries (simulation cross-check)");
+    const auto* seed = flags.add_int64("seed", 1, "validated-tier simulation seed");
+    const auto* min_qps =
+        flags.add_int64("min-qps", 0, "gate: exit 3 if achieved qps falls below this");
+    const auto* max_p99_us = flags.add_int64(
+        "max-p99-us", 0, "gate: exit 4 if the server's cached p99 exceeds this (microseconds)");
+    if (!flags.parse(argc, argv)) return 0;  // --help
+
+    if (*connections <= 0 || *distinct <= 0 || *window <= 0) {
+      throw std::invalid_argument("--connections, --distinct and --window must be positive");
+    }
+    const std::size_t n_connections = static_cast<std::size_t>(*connections);
+    const std::size_t n_distinct = static_cast<std::size_t>(*distinct);
+    const std::size_t window_size = static_cast<std::size_t>(*window);
+
+    // Pre-render every distinct frame once; the send loop only concatenates.
+    std::vector<std::string> frames_by_index(n_distinct);
+    for (std::size_t i = 0; i < n_distinct; ++i) {
+      serve::append_frame(frames_by_index[i],
+                          query_payload(i, *validate, static_cast<std::uint64_t>(*seed)));
+    }
+
+    if (*prewarm) {
+      serve::Socket socket = connect_with_retry(*connect, 50);
+      serve::FrameBuffer frames;
+      WorkerStats warm;
+      std::string out;
+      for (std::size_t i = 0; i < n_distinct; ++i) {
+        out.clear();
+        out += frames_by_index[i];
+        if (!socket.write_all(out) || !read_responses(socket, frames, 1, warm)) {
+          throw std::runtime_error("prewarm connection lost");
+        }
+      }
+      if (warm.ok != n_distinct) {
+        std::fprintf(stderr, "[bench] warning: prewarm got %llu ok of %zu (shed=%llu)\n",
+                     static_cast<unsigned long long>(warm.ok), n_distinct,
+                     static_cast<unsigned long long>(warm.shed));
+      }
+    }
+
+    const std::uint64_t per_connection_budget =
+        *requests > 0 ? (static_cast<std::uint64_t>(*requests) + n_connections - 1) / n_connections
+                      : 0;
+    const double per_connection_qps =
+        *qps > 0 ? static_cast<double>(*qps) / static_cast<double>(n_connections) : 0.0;
+    const auto deadline = Clock::now() + std::chrono::seconds(*duration_s);
+
+    std::vector<WorkerStats> stats(n_connections);
+    std::vector<std::thread> workers;
+    workers.reserve(n_connections);
+    const auto t_start = Clock::now();
+    for (std::size_t w = 0; w < n_connections; ++w) {
+      workers.emplace_back([&, w] {
+        WorkerStats& mine = stats[w];
+        try {
+          serve::Socket socket = connect_with_retry(*connect, 50);
+          serve::FrameBuffer frames;
+          std::string out;
+          std::size_t next_index = w;  // interleave working sets across connections
+          const auto my_start = Clock::now();
+          while (per_connection_budget == 0 || mine.sent < per_connection_budget) {
+            if (per_connection_budget == 0 && Clock::now() >= deadline) break;
+            std::size_t batch = window_size;
+            if (per_connection_budget != 0) {
+              batch = std::min<std::size_t>(batch, per_connection_budget - mine.sent);
+            }
+            out.clear();
+            for (std::size_t i = 0; i < batch; ++i) {
+              out += frames_by_index[next_index % n_distinct];
+              next_index += n_connections;
+            }
+            if (!socket.write_all(out)) {
+              mine.connection_lost = true;
+              break;
+            }
+            mine.sent += batch;
+            if (!read_responses(socket, frames, batch, mine)) {
+              mine.connection_lost = true;
+              break;
+            }
+            if (per_connection_qps > 0.0) {
+              // Pace: sleep off any lead over the offered-load schedule.
+              const double target_elapsed = static_cast<double>(mine.sent) / per_connection_qps;
+              const double actual_elapsed =
+                  std::chrono::duration<double>(Clock::now() - my_start).count();
+              if (target_elapsed > actual_elapsed) {
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(target_elapsed - actual_elapsed));
+              }
+            }
+          }
+        } catch (const std::exception&) {
+          mine.connection_lost = true;
+        }
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    const double elapsed = std::chrono::duration<double>(Clock::now() - t_start).count();
+
+    WorkerStats total;
+    bool lost = false;
+    for (const auto& s : stats) {
+      total.sent += s.sent;
+      total.ok += s.ok;
+      total.cached += s.cached;
+      total.shed += s.shed;
+      total.invalid += s.invalid;
+      total.errors += s.errors;
+      lost = lost || s.connection_lost;
+    }
+    const std::uint64_t answered = total.ok + total.shed + total.invalid + total.errors;
+    const double achieved_qps = elapsed > 0.0 ? static_cast<double>(answered) / elapsed : 0.0;
+
+    // Server-side latency percentiles (the acceptance-gate numbers).
+    std::uint64_t p50_cached_ns = 0, p99_cached_ns = 0, p50_computed_ns = 0, p99_computed_ns = 0;
+    try {
+      serve::Socket socket = connect_with_retry(*connect, 5);
+      std::string out;
+      serve::append_frame(out, "{\"op\":\"stats\"}");
+      serve::FrameBuffer frames;
+      if (socket.write_all(out)) {
+        char chunk[64 * 1024];
+        std::string_view payload;
+        while (frames.next(payload) != serve::FrameBuffer::Status::kFrame) {
+          const ssize_t n = socket.read_some(chunk, sizeof(chunk));
+          if (n <= 0) break;
+          frames.append(std::string_view(chunk, static_cast<std::size_t>(n)));
+        }
+        if (!payload.empty()) {
+          p50_cached_ns = stats_field(payload, "p50_cached_ns");
+          p99_cached_ns = stats_field(payload, "p99_cached_ns");
+          p50_computed_ns = stats_field(payload, "p50_computed_ns");
+          p99_computed_ns = stats_field(payload, "p99_computed_ns");
+        }
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[bench] stats fetch failed: %s\n", e.what());
+    }
+
+    std::printf("connections=%zu window=%zu distinct=%zu elapsed_s=%.3f\n", n_connections,
+                window_size, n_distinct, elapsed);
+    std::printf("sent=%llu answered=%llu ok=%llu cached=%llu shed=%llu invalid=%llu error=%llu%s\n",
+                static_cast<unsigned long long>(total.sent),
+                static_cast<unsigned long long>(answered),
+                static_cast<unsigned long long>(total.ok),
+                static_cast<unsigned long long>(total.cached),
+                static_cast<unsigned long long>(total.shed),
+                static_cast<unsigned long long>(total.invalid),
+                static_cast<unsigned long long>(total.errors),
+                lost ? " (connection lost: drain?)" : "");
+    std::printf("qps=%.0f\n", achieved_qps);
+    std::printf("server p50_cached_us=%.1f p99_cached_us=%.1f p50_computed_us=%.1f "
+                "p99_computed_us=%.1f\n",
+                static_cast<double>(p50_cached_ns) / 1e3, static_cast<double>(p99_cached_ns) / 1e3,
+                static_cast<double>(p50_computed_ns) / 1e3,
+                static_cast<double>(p99_computed_ns) / 1e3);
+
+    if (*min_qps > 0 && achieved_qps < static_cast<double>(*min_qps)) {
+      std::fprintf(stderr, "[bench] FAIL: qps %.0f < --min-qps %lld\n", achieved_qps,
+                   static_cast<long long>(*min_qps));
+      return 3;
+    }
+    if (*max_p99_us > 0 && p99_cached_ns > static_cast<std::uint64_t>(*max_p99_us) * 1000) {
+      std::fprintf(stderr, "[bench] FAIL: server cached p99 %.1fus > --max-p99-us %lld\n",
+                   static_cast<double>(p99_cached_ns) / 1e3, static_cast<long long>(*max_p99_us));
+      return 4;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

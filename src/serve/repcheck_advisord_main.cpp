@@ -1,0 +1,133 @@
+// repcheck_advisord: single-box replication-advisor server.
+//
+//   repcheck_advisord --listen unix:/tmp/repcheck_advisord.sock
+//   repcheck_advisord --listen tcp:7411 --threads 4 --max-pending 256
+//
+// Speaks the length-prefixed JSON-lines protocol of docs/SERVING.md over a
+// unix-domain socket (default) or loopback TCP.  Analytic queries answer
+// from the FNV-128 memo-cache in well under a microsecond once warm;
+// misses coalesce and batch onto the thread pool; past --max-pending
+// queued misses the server sheds deterministically instead of queueing
+// without bound.  First SIGINT/SIGTERM drains gracefully — in-flight
+// queries finish and are answered, new work sheds, connections flush and
+// close, exit 0 — and a second signal force-exits 128+signo.
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "telemetry/report.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/failpoint.hpp"
+#include "util/flags.hpp"
+#include "util/interrupt.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace repcheck;
+
+void write_text_file(const std::string& path, const std::string& text, const char* what) {
+  std::ofstream out(path, std::ios::trunc);
+  out << text;
+  out.flush();
+  if (!out) throw std::runtime_error(std::string("cannot write ") + what + ": " + path);
+}
+
+std::string render_report(const std::string& listen_address) {
+  auto snapshot = telemetry::snapshot_metrics();
+  for (const auto& site : util::failpoint::armed_sites()) {
+    const std::uint64_t hits = util::failpoint::hit_count(site);
+    if (hits > 0) snapshot.counters["failpoint." + site + ".hits"] = hits;
+  }
+  telemetry::ReportMeta meta;
+  meta["binary"] = "repcheck_advisord";
+  meta["listen"] = listen_address;
+  return telemetry::render_run_report(snapshot, meta);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    util::FlagSet flags("repcheck_advisord",
+                        "replication-advisor server (length-prefixed JSON lines; docs/SERVING.md)");
+    const auto* listen = flags.add_string(
+        "listen", "unix:/tmp/repcheck_advisord.sock", "unix:<path> or tcp:[host:]port (0 = ephemeral)");
+    const auto* threads =
+        flags.add_int64("threads", -1, "compute pool threads (-1 = hardware, 0 = inline)");
+    const auto* max_pending = flags.add_int64(
+        "max-pending", 1024, "queued-miss watermark; at it new misses shed (0 sheds every miss)");
+    const auto* batch_max =
+        flags.add_int64("batch-max", 64, "most distinct misses computed per dispatcher batch");
+    const auto* cache_shards =
+        flags.add_int64("cache-shards", 16, "memo-cache shards (rounded up to a power of two)");
+    const auto* max_validate_runs = flags.add_int64(
+        "max-validate-runs", 10000, "per-request ceiling on validated-tier simulation runs");
+    const auto* validate_default_runs = flags.add_int64(
+        "validate-default-runs", 50, "validated-tier runs when the request omits \"runs\"");
+    const auto* max_connections =
+        flags.add_int64("max-connections", 64, "concurrent connections before shedding new ones");
+    const auto* metrics_out = flags.add_string(
+        "metrics-out", "", "write a JSON run report (serve.* counters/histograms) on exit");
+    const auto* trace_out = flags.add_string(
+        "trace-out", "", "write a Chrome trace-event JSON (load in Perfetto) on exit");
+    if (!flags.parse(argc, argv)) return 0;  // --help
+
+    if (*max_pending < 0 || *batch_max < 0 || *cache_shards < 0 || *max_validate_runs < 0 ||
+        *validate_default_runs < 0 || *max_connections <= 0) {
+      throw std::invalid_argument("serve limits must be non-negative (--max-connections positive)");
+    }
+
+    // The stats endpoint and the drain report are the server's public
+    // observability surface, so telemetry is always on here (unlike the
+    // campaign CLI, where it is opt-in).
+    telemetry::set_enabled(true);
+
+    std::unique_ptr<util::ThreadPool> own_pool;
+    util::ThreadPool* pool = nullptr;
+    if (*threads < 0) {
+      pool = &util::ThreadPool::shared();
+    } else if (*threads > 0) {
+      own_pool = std::make_unique<util::ThreadPool>(static_cast<std::size_t>(*threads));
+      pool = own_pool.get();
+    }
+
+    serve::Service::Options service_options;
+    service_options.cache_shards = static_cast<std::size_t>(*cache_shards);
+    service_options.max_pending = static_cast<std::size_t>(*max_pending);
+    service_options.batch_max = static_cast<std::size_t>(*batch_max);
+    service_options.max_validate_runs = static_cast<std::uint64_t>(*max_validate_runs);
+    service_options.validate_default_runs = static_cast<std::uint64_t>(*validate_default_runs);
+    service_options.pool = pool;
+    serve::Service service(service_options);
+
+    serve::Server::Options server_options;
+    server_options.listen_address = *listen;
+    server_options.max_connections = static_cast<std::size_t>(*max_connections);
+    serve::Server server(server_options, service);
+
+    const auto& drain = util::install_drain_handler();
+    // The e2e test and the bench parse this line to learn the bound
+    // address (tcp:0 resolves to a kernel-assigned port).
+    std::fprintf(stderr, "[advisord] listening on %s\n", server.address().c_str());
+    std::fflush(stderr);
+
+    const std::size_t connections = server.run(drain);
+    std::fprintf(stderr, "[advisord] drained after %zu connection(s)\n", connections);
+
+    if (!metrics_out->empty()) {
+      write_text_file(*metrics_out, render_report(server.address()), "run report");
+    }
+    if (!trace_out->empty()) {
+      write_text_file(*trace_out, telemetry::render_chrome_trace(), "trace");
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,145 @@
+#include "serve/server.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "util/failpoint.hpp"
+
+namespace repcheck::serve {
+
+namespace {
+
+/// Accept-loop poll bound: how fast drain is noticed, worst case.
+constexpr int kAcceptPollMs = 100;
+/// Connection-read poll bound: how fast an idle connection notices drain.
+constexpr int kReadPollMs = 100;
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+}  // namespace
+
+Server::Server(const Options& options, Service& service)
+    : options_(options),
+      service_(service),
+      listener_(Listener::open(options.listen_address)),
+      accepted_(telemetry::counter("serve.connections")),
+      accept_errors_(telemetry::counter("serve.accept_errors")),
+      rejected_connections_(telemetry::counter("serve.rejected_connections")) {}
+
+Server::~Server() {
+  draining_.store(true, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(threads_mutex_);
+  for (auto& connection : connections_) {
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+}
+
+std::size_t Server::run(const std::atomic<bool>& drain) {
+  while (!drain.load(std::memory_order_relaxed)) {
+    Socket socket = listener_.accept_connection(kAcceptPollMs);
+    if (!socket.valid()) continue;  // timeout or transient accept error
+
+    if (REPCHECK_FAILPOINT("serve.accept_fail")) {
+      accept_errors_.inc();
+      socket.close();
+      continue;
+    }
+    if (live_connections_.load(std::memory_order_relaxed) >= options_.max_connections) {
+      // Admission control at the connection level: one deterministic shed
+      // frame, then close.  Clients treat it like a shed response.
+      rejected_connections_.inc();
+      std::string out;
+      std::string payload;
+      render_error(payload, {}, "shed", "connection limit reached");
+      append_frame(out, payload);
+      (void)socket.write_all(out);
+      socket.close();
+      continue;
+    }
+
+    accepted_.inc();
+    ++total_connections_;
+    live_connections_.fetch_add(1, std::memory_order_relaxed);
+    auto connection = std::make_unique<Connection>();
+    Connection* handle = connection.get();
+    {
+      std::lock_guard<std::mutex> lock(threads_mutex_);
+      reap_finished_locked();
+      connections_.push_back(std::move(connection));
+    }
+    handle->thread = std::thread([this, handle, socket = std::move(socket)]() mutable {
+      connection_loop(std::move(socket));
+      handle->finished.store(true, std::memory_order_release);
+    });
+  }
+
+  // Drain: stop accepting (done — we left the loop), let queued queries
+  // finish and shed the rest, wait for every connection to flush and close.
+  service_.begin_drain();
+  draining_.store(true, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    for (auto& connection : connections_) {
+      if (connection->thread.joinable()) connection->thread.join();
+    }
+    connections_.clear();
+  }
+  return total_connections_;
+}
+
+void Server::connection_loop(Socket socket) {
+  FrameBuffer frames;
+  std::string out;
+  char chunk[kReadChunk];
+
+  for (;;) {
+    const int readable = socket.wait_readable(kReadPollMs);
+    if (readable < 0) break;
+    if (readable == 0) {
+      // Idle poll tick: once draining and nothing is buffered mid-frame,
+      // the connection has seen every response it will get — close so the
+      // client observes EOF as the drain signal.
+      if (draining_.load(std::memory_order_relaxed) && frames.pending_bytes() == 0) break;
+      continue;
+    }
+
+    const ssize_t n = socket.read_some(chunk, sizeof(chunk));
+    if (n <= 0) break;  // EOF or error
+    frames.append(std::string_view(chunk, static_cast<std::size_t>(n)));
+
+    // Pipelining: answer every complete frame this read produced, then
+    // flush all responses with one write.
+    out.clear();
+    bool poisoned = false;
+    for (;;) {
+      std::string_view payload;
+      const FrameBuffer::Status status = frames.next(payload);
+      if (status == FrameBuffer::Status::kNeedMore) break;
+      if (status == FrameBuffer::Status::kMalformed) {
+        std::string error;
+        render_error(error, {}, "invalid", "malformed frame; closing connection");
+        append_frame(out, error);
+        poisoned = true;
+        break;
+      }
+      service_.process(payload, out);
+    }
+    if (!out.empty() && !socket.write_all(out)) break;
+    if (poisoned) break;
+  }
+
+  socket.close();
+  live_connections_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Server::reap_finished_locked() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->finished.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace repcheck::serve

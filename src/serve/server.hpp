@@ -1,0 +1,78 @@
+// The advisord socket server: accept loop, connection threads, drain.
+//
+// One thread accepts (bounded poll so the drain flag is noticed within
+// ~100ms); each accepted connection gets a reader thread that feeds a
+// FrameBuffer and runs every complete frame through Service::process,
+// pipelining — all responses for the frames completed by one read() are
+// written back with one write.  A malformed frame poisons its connection
+// (close; the stream cannot be resynchronized).  Excess connections past
+// max_connections are answered with one shed frame and closed.
+//
+// Drain (util/interrupt's first SIGINT/SIGTERM): stop accepting, flip the
+// service to drain mode (in-flight queries finish and are answered, new
+// misses shed), let every connection flush its final responses, join, and
+// return cleanly so main exits 0.
+//
+// Failpoints: serve.accept_fail (accepted connection dropped immediately,
+// counted in serve.accept_errors — connection-storm soak).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hpp"
+#include "serve/transport.hpp"
+
+namespace repcheck::serve {
+
+class Server {
+ public:
+  struct Options {
+    std::string listen_address = "unix:/tmp/repcheck_advisord.sock";
+    std::size_t max_connections = 64;
+  };
+
+  /// Binds the listener (throws on failure, before any thread starts).
+  Server(const Options& options, Service& service);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound address (for tcp:0, includes the kernel-assigned port).
+  [[nodiscard]] const std::string& address() const { return listener_.address(); }
+
+  /// Runs the accept loop on the calling thread until `drain` goes true,
+  /// then drains: service.begin_drain(), connections flush and close,
+  /// threads join.  Returns the number of connections served.
+  std::size_t run(const std::atomic<bool>& drain);
+
+ private:
+  void connection_loop(Socket socket);
+  void reap_finished_locked();
+
+  Options options_;
+  Service& service_;
+  Listener listener_;
+
+  std::mutex threads_mutex_;
+  struct Connection {
+    std::thread thread;
+    std::atomic<bool> finished{false};
+  };
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::atomic<bool> draining_{false};
+  std::atomic<std::size_t> live_connections_{0};
+  std::size_t total_connections_ = 0;
+
+  telemetry::Counter& accepted_;
+  telemetry::Counter& accept_errors_;
+  telemetry::Counter& rejected_connections_;
+};
+
+}  // namespace repcheck::serve

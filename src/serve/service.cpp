@@ -1,0 +1,314 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <chrono>
+#include <utility>
+
+#include "util/failpoint.hpp"
+
+namespace repcheck::serve {
+
+namespace {
+
+[[nodiscard]] std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+void append_uint(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec == std::errc{}) out.append(buf, end);
+}
+
+void append_int(std::string& out, std::int64_t v) {
+  char buf[24];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec == std::errc{}) out.append(buf, end);
+}
+
+/// Render buffers are thread-local so the cached path allocates nothing
+/// once each connection thread has warmed its buffer's capacity.
+[[nodiscard]] std::string& render_scratch() {
+  thread_local std::string buffer;
+  buffer.clear();
+  return buffer;
+}
+
+[[nodiscard]] util::CanonicalKey& key_scratch() {
+  thread_local util::CanonicalKey key("");
+  return key;
+}
+
+}  // namespace
+
+Service::Service(const Options& options)
+    : options_(options),
+      cache_(options.cache_shards),
+      requests_(telemetry::counter("serve.requests")),
+      hits_(telemetry::counter("serve.hits")),
+      misses_(telemetry::counter("serve.misses")),
+      shed_(telemetry::counter("serve.shed")),
+      coalesced_(telemetry::counter("serve.coalesced")),
+      invalid_(telemetry::counter("serve.invalid")),
+      errors_(telemetry::counter("serve.errors")),
+      batches_(telemetry::counter("serve.batches")),
+      pending_(telemetry::gauge("serve.pending")),
+      cached_ns_(telemetry::histogram("serve.latency_cached_ns")),
+      computed_ns_(telemetry::histogram("serve.latency_computed_ns")),
+      batch_size_(telemetry::histogram("serve.batch_size")),
+      dispatcher_([this] { dispatcher_loop(); }) {}
+
+Service::~Service() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  dispatcher_.join();
+}
+
+void Service::begin_drain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  draining_ = true;
+}
+
+bool Service::draining() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return draining_;
+}
+
+Service::Outcome Service::process(std::string_view payload, std::string& out) {
+  const std::uint64_t t0_ns = now_ns();
+  requests_.inc();
+
+  std::string& response = render_scratch();
+  if (REPCHECK_FAILPOINT("serve.parse_error")) {
+    invalid_.inc();
+    render_error(response, {}, "invalid", "injected parse failure (failpoint serve.parse_error)");
+    append_frame(out, response);
+    return Outcome::kInvalid;
+  }
+
+  RequestView request;
+  std::string error;
+  if (!parse_request(payload, request, error)) {
+    invalid_.inc();
+    render_error(response, request.id_token, "invalid", error);
+    append_frame(out, response);
+    return Outcome::kInvalid;
+  }
+
+  switch (request.op) {
+    case RequestView::Op::kPing:
+      render_pong(response, request.id_token);
+      append_frame(out, response);
+      return Outcome::kPing;
+    case RequestView::Op::kStats:
+      render_stats_payload(response, request.id_token);
+      append_frame(out, response);
+      return Outcome::kStats;
+    case RequestView::Op::kAdvise:
+      break;
+  }
+  return process_advise(request, payload, out, t0_ns);
+}
+
+Service::Outcome Service::process_advise(const RequestView& request, std::string_view payload,
+                                         std::string& out, std::uint64_t t0_ns) {
+  (void)payload;
+  std::string& response = render_scratch();
+
+  RequestView query = request;
+  try {
+    model::validate(query.platform);
+    model::validate(query.app, query.w_seq);
+  } catch (const model::SpecError& e) {
+    invalid_.inc();
+    render_error(response, query.id_token, "invalid", e.what(), e.field());
+    append_frame(out, response);
+    return Outcome::kInvalid;
+  }
+  if (query.validate) {
+    if (query.runs == 0) query.runs = options_.validate_default_runs;
+    if (query.runs > options_.max_validate_runs) {
+      invalid_.inc();
+      render_error(response, query.id_token, "invalid",
+                   "runs exceeds the server's --max-validate-runs ceiling", "runs");
+      append_frame(out, response);
+      return Outcome::kInvalid;
+    }
+  } else {
+    // Not part of an analytic query's identity; normalize so the key is
+    // canonical regardless of what the client sent alongside.
+    query.runs = 0;
+    query.seed = 1;
+  }
+
+  char hex[util::kContentKeyHexChars];
+  query_key(query, key_scratch(), hex);
+  const std::string_view key(hex, util::kContentKeyHexChars);
+
+  CachedAnswer answer;
+  if (cache_.lookup(key, answer)) {
+    hits_.inc();
+    render_advice(response, query.id_token, answer.advice, answer.validated, /*cached=*/true);
+    append_frame(out, response);
+    cached_ns_.observe(now_ns() - t0_ns);
+    return Outcome::kHit;
+  }
+  misses_.inc();
+
+  std::shared_ptr<InFlight> inflight;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto it = in_flight_.find(key);
+    if (it != in_flight_.end()) {
+      // An identical query is already computing; ride along.
+      coalesced_.inc();
+      inflight = it->second;
+    } else if (draining_) {
+      lock.unlock();
+      shed_.inc();
+      render_error(response, query.id_token, "shed", "server is draining");
+      append_frame(out, response);
+      return Outcome::kShed;
+    } else if (queue_.size() >= options_.max_pending) {
+      lock.unlock();
+      shed_.inc();
+      render_error(response, query.id_token, "shed", "pending queue is full");
+      append_frame(out, response);
+      return Outcome::kShed;
+    } else {
+      inflight = std::make_shared<InFlight>();
+      inflight->job = ComputeJob{query.platform, query.app,  query.w_seq,
+                                 query.validate, query.runs, query.seed};
+      std::string owned_key(key);
+      in_flight_.emplace(owned_key, inflight);
+      queue_.emplace_back(std::move(owned_key), inflight);
+      pending_.set(static_cast<std::int64_t>(queue_.size()));
+      work_cv_.notify_one();
+    }
+    done_cv_.wait(lock, [&] { return inflight->done; });
+  }
+
+  if (!inflight->error.empty()) {
+    errors_.inc();
+    render_error(response, query.id_token, "error", inflight->error);
+    append_frame(out, response);
+    return Outcome::kError;
+  }
+  render_advice(response, query.id_token, inflight->answer.advice, inflight->answer.validated,
+                /*cached=*/false);
+  append_frame(out, response);
+  computed_ns_.observe(now_ns() - t0_ns);
+  return Outcome::kComputed;
+}
+
+void Service::render_stats_payload(std::string& out, std::string_view id_token) {
+  out += '{';
+  if (!id_token.empty()) {
+    out += "\"id\":";
+    out.append(id_token.data(), id_token.size());
+    out += ',';
+  }
+  out += "\"status\":\"ok\",\"op\":\"stats\",\"requests\":";
+  append_uint(out, requests_.value());
+  out += ",\"hits\":";
+  append_uint(out, hits_.value());
+  out += ",\"misses\":";
+  append_uint(out, misses_.value());
+  out += ",\"shed\":";
+  append_uint(out, shed_.value());
+  out += ",\"coalesced\":";
+  append_uint(out, coalesced_.value());
+  out += ",\"invalid\":";
+  append_uint(out, invalid_.value());
+  out += ",\"errors\":";
+  append_uint(out, errors_.value());
+  out += ",\"batches\":";
+  append_uint(out, batches_.value());
+  out += ",\"pending\":";
+  append_int(out, pending_.value());
+  out += ",\"cache_size\":";
+  append_uint(out, cache_.size());
+  out += ",\"p50_cached_ns\":";
+  append_uint(out, telemetry::histogram_percentile(cached_ns_, 0.50));
+  out += ",\"p99_cached_ns\":";
+  append_uint(out, telemetry::histogram_percentile(cached_ns_, 0.99));
+  out += ",\"p50_computed_ns\":";
+  append_uint(out, telemetry::histogram_percentile(computed_ns_, 0.50));
+  out += ",\"p99_computed_ns\":";
+  append_uint(out, telemetry::histogram_percentile(computed_ns_, 0.99));
+  out += '}';
+}
+
+void Service::dispatcher_loop() {
+  std::vector<std::pair<std::string, std::shared_ptr<InFlight>>> batch;
+  for (;;) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and nothing left to answer
+      const std::size_t take = std::min<std::size_t>(
+          queue_.size(), options_.batch_max == 0 ? 1 : options_.batch_max);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.emplace_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      pending_.set(static_cast<std::int64_t>(queue_.size()));
+    }
+
+    compute_batch(batch);
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (auto& [key, inflight] : batch) {
+        inflight->done = true;
+        in_flight_.erase(key);
+      }
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void Service::compute_batch(std::vector<std::pair<std::string, std::shared_ptr<InFlight>>>& batch) {
+  TELEMETRY_SPAN("serve.batch");
+  batches_.inc();
+  batch_size_.observe(batch.size());
+
+  const auto compute_one = [this](const std::string& key, InFlight& inflight) {
+    if (REPCHECK_FAILPOINT("serve.evaluator.stall")) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    try {
+      const ComputeJob& job = inflight.job;
+      if (job.validate) {
+        inflight.answer.advice = sim::Advisor::recommend_validated(
+            job.platform, job.app, job.w_seq, job.runs, job.seed, options_.pool);
+        inflight.answer.validated = true;
+      } else {
+        inflight.answer.advice.analytic = sim::Advisor::recommend(job.platform, job.app, job.w_seq);
+        inflight.answer.validated = false;
+      }
+      cache_.insert(key, inflight.answer);  // failures are not memoized
+    } catch (const std::exception& e) {
+      inflight.error = e.what()[0] != '\0' ? e.what() : "advisor failure";
+    } catch (...) {
+      inflight.error = "advisor failure";
+    }
+  };
+
+  if (options_.pool != nullptr && batch.size() > 1) {
+    options_.pool->parallel_for(batch.size(), [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) compute_one(batch[i].first, *batch[i].second);
+    });
+  } else {
+    for (auto& [key, inflight] : batch) compute_one(key, *inflight);
+  }
+}
+
+}  // namespace repcheck::serve

@@ -1,0 +1,137 @@
+// The advisord request pipeline, transport-free (and therefore unit-testable
+// without sockets): one frame payload in, exactly one framed response out.
+//
+// Request path:
+//
+//   parse (in-place scanner)  -> "invalid" on malformed input
+//   model::validate           -> "invalid" naming the offending field
+//   canonicalize -> FNV-128 key (the campaign cache's interning scheme)
+//   memo-cache lookup         -> sub-microsecond hit, allocation-free
+//   miss: coalesce identical in-flight queries; enqueue distinct ones for
+//         the dispatcher thread, which drains the queue in batches of
+//         <= batch_max onto the thread pool (Advisor::recommend per query;
+//         recommend_validated for the "validate":true tier)
+//   admission control: once the pending queue reaches max_pending, new
+//         misses get a deterministic {"status":"shed"} reply immediately
+//   drain: after begin_drain(), in-flight queries finish and are answered;
+//         new misses are shed with "draining" (hits and stats still serve)
+//
+// Telemetry (docs/OBSERVABILITY.md "serve.*"): requests/hits/misses/shed/
+// coalesced/invalid/errors/batches counters, serve.pending gauge, log2
+// latency histograms split cached vs computed, one span per batch.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/cache.hpp"
+#include "serve/protocol.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/thread_pool.hpp"
+
+namespace repcheck::serve {
+
+class Service {
+ public:
+  struct Options {
+    std::size_t cache_shards = 16;
+    /// Queued-miss watermark; at or above it new misses shed.  0 sheds
+    /// every miss (a test configuration).
+    std::size_t max_pending = 1024;
+    /// Most distinct misses one dispatcher batch computes together.
+    std::size_t batch_max = 64;
+    /// Validated-tier limits: default when the request omits "runs", and
+    /// the per-request ceiling (above it the request is invalid).
+    std::uint64_t validate_default_runs = 50;
+    std::uint64_t max_validate_runs = 10000;
+    util::ThreadPool* pool = nullptr;  ///< null = compute batches inline
+  };
+
+  /// What process() did with a payload (tests and the connection loop's
+  /// accounting; the response itself is always appended to `out`).
+  enum class Outcome { kHit, kComputed, kShed, kInvalid, kError, kStats, kPing };
+
+  explicit Service(const Options& options);
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Handles one request payload and appends exactly one `<len>\n<json>`
+  /// frame to `out`.  Blocks while a miss computes; never throws on bad
+  /// input (that becomes an "invalid" response).
+  Outcome process(std::string_view payload, std::string& out);
+
+  /// Graceful drain: in-flight queries finish and get answers, new misses
+  /// shed deterministically.  Irreversible.
+  void begin_drain();
+  [[nodiscard]] bool draining() const;
+
+  [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+
+ private:
+  struct ComputeJob {
+    model::PlatformSpec platform;
+    model::AmdahlApp app;
+    double w_seq = 0.0;
+    bool validate = false;
+    std::uint64_t runs = 0;
+    std::uint64_t seed = 1;
+  };
+  struct InFlight {
+    ComputeJob job;
+    CachedAnswer answer;
+    std::string error;  ///< non-empty = compute failed
+    bool done = false;
+  };
+  struct StringHash {
+    using is_transparent = void;
+    [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  Outcome process_advise(const RequestView& request, std::string_view payload, std::string& out,
+                         std::uint64_t t0_ns);
+  void render_stats_payload(std::string& out, std::string_view id_token);
+  void dispatcher_loop();
+  void compute_batch(std::vector<std::pair<std::string, std::shared_ptr<InFlight>>>& batch);
+
+  Options options_;
+  MemoCache cache_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable done_cv_;  ///< waiters: inflight->done flips
+  std::condition_variable work_cv_;  ///< dispatcher: queue grew / stopping
+  std::unordered_map<std::string, std::shared_ptr<InFlight>, StringHash, std::equal_to<>>
+      in_flight_;
+  std::deque<std::pair<std::string, std::shared_ptr<InFlight>>> queue_;
+  bool draining_ = false;
+  bool stopping_ = false;
+
+  // Registry handles resolved once (the registry lookup takes a mutex).
+  telemetry::Counter& requests_;
+  telemetry::Counter& hits_;
+  telemetry::Counter& misses_;
+  telemetry::Counter& shed_;
+  telemetry::Counter& coalesced_;
+  telemetry::Counter& invalid_;
+  telemetry::Counter& errors_;
+  telemetry::Counter& batches_;
+  telemetry::Gauge& pending_;
+  telemetry::Histogram& cached_ns_;
+  telemetry::Histogram& computed_ns_;
+  telemetry::Histogram& batch_size_;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace repcheck::serve

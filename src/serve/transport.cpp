@@ -1,0 +1,231 @@
+#include "serve/transport.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace repcheck::serve {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+struct ParsedAddress {
+  bool is_unix = false;
+  std::string path;        // unix
+  std::string host;        // tcp
+  std::uint16_t port = 0;  // tcp
+};
+
+ParsedAddress parse_address(const std::string& address) {
+  ParsedAddress parsed;
+  if (address.rfind("unix:", 0) == 0) {
+    parsed.is_unix = true;
+    parsed.path = address.substr(5);
+    if (parsed.path.empty()) throw std::runtime_error("unix address needs a path: " + address);
+    if (parsed.path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      throw std::runtime_error("unix socket path too long: " + parsed.path);
+    }
+    return parsed;
+  }
+  if (address.rfind("tcp:", 0) == 0) {
+    const std::string rest = address.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    std::string port_text;
+    if (colon == std::string::npos) {
+      parsed.host = "127.0.0.1";
+      port_text = rest;
+    } else {
+      parsed.host = rest.substr(0, colon);
+      port_text = rest.substr(colon + 1);
+    }
+    unsigned long port = 0;
+    try {
+      port = std::stoul(port_text);
+    } catch (const std::exception&) {
+      throw std::runtime_error("bad tcp port in address: " + address);
+    }
+    if (port > 65535) throw std::runtime_error("bad tcp port in address: " + address);
+    parsed.port = static_cast<std::uint16_t>(port);
+    return parsed;
+  }
+  throw std::runtime_error("address must be unix:<path> or tcp:[host:]port, got: " + address);
+}
+
+sockaddr_un unix_sockaddr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+sockaddr_in tcp_sockaddr(const ParsedAddress& parsed) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(parsed.port);
+  if (inet_pton(AF_INET, parsed.host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("bad tcp host (dotted quad expected): " + parsed.host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+int Socket::wait_readable(int timeout_ms) const {
+  pollfd pfd{fd_, POLLIN, 0};
+  const int rc = ::poll(&pfd, 1, timeout_ms);
+  if (rc < 0) return errno == EINTR ? 0 : -1;
+  return rc;
+}
+
+ssize_t Socket::read_some(char* buffer, std::size_t capacity) const {
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buffer, capacity, 0);
+    if (n < 0 && errno == EINTR) continue;
+    return n;
+  }
+}
+
+bool Socket::write_all(std::string_view bytes) const {
+  const char* p = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    const ssize_t n = ::send(fd_, p, left, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Listener Listener::open(const std::string& address) {
+  const ParsedAddress parsed = parse_address(address);
+  if (parsed.is_unix) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) fail("socket(AF_UNIX)");
+    ::unlink(parsed.path.c_str());  // stale socket file from a prior run
+    const sockaddr_un addr = unix_sockaddr(parsed.path);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      fail("bind(" + parsed.path + ")");
+    }
+    if (::listen(fd, 128) != 0) {
+      ::close(fd);
+      fail("listen(" + parsed.path + ")");
+    }
+    return Listener(fd, address, parsed.path);
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = tcp_sockaddr(parsed);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    fail("bind(" + address + ")");
+  }
+  if (::listen(fd, 128) != 0) {
+    ::close(fd);
+    fail("listen(" + address + ")");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    fail("getsockname");
+  }
+  char host[INET_ADDRSTRLEN] = {};
+  ::inet_ntop(AF_INET, &addr.sin_addr, host, sizeof(host));
+  const std::string bound = "tcp:" + std::string(host) + ":" + std::to_string(ntohs(addr.sin_port));
+  return Listener(fd, bound, {});
+}
+
+Listener::~Listener() {
+  if (fd_ >= 0) ::close(fd_);
+  if (!unlink_path_.empty()) ::unlink(unlink_path_.c_str());
+}
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_),
+      address_(std::move(other.address_)),
+      unlink_path_(std::move(other.unlink_path_)) {
+  other.fd_ = -1;
+  other.unlink_path_.clear();
+}
+
+Socket Listener::accept_connection(int timeout_ms) {
+  pollfd pfd{fd_, POLLIN, 0};
+  const int rc = ::poll(&pfd, 1, timeout_ms);
+  if (rc < 0) {
+    if (errno == EINTR) return Socket{};
+    fail("poll(listener)");
+  }
+  if (rc == 0) return Socket{};
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) {
+    // Transient per-connection failures (peer reset before accept, fd
+    // pressure) must not kill the accept loop.
+    if (errno == EINTR || errno == ECONNABORTED || errno == EMFILE || errno == ENFILE ||
+        errno == EAGAIN) {
+      return Socket{};
+    }
+    fail("accept");
+  }
+  return Socket(fd);
+}
+
+Socket connect_to(const std::string& address) {
+  const ParsedAddress parsed = parse_address(address);
+  if (parsed.is_unix) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) fail("socket(AF_UNIX)");
+    const sockaddr_un addr = unix_sockaddr(parsed.path);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      fail("connect(" + parsed.path + ")");
+    }
+    return Socket(fd);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket(AF_INET)");
+  const sockaddr_in addr = tcp_sockaddr(parsed);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    fail("connect(" + address + ")");
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Socket(fd);
+}
+
+}  // namespace repcheck::serve

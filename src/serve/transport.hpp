@@ -1,0 +1,93 @@
+// Stream transport for repcheck_advisord: a Listener / Socket pair that
+// hides whether the byte stream runs over a unix-domain socket (the
+// default, "unix:/path") or loopback TCP ("tcp:PORT" or "tcp:HOST:PORT").
+// Everything above this layer — framing, protocol, service — sees only
+// file descriptors that read and write bytes.
+//
+// Sockets are blocking; the accept loop and connection readers bound their
+// waits with poll() so drain flags are noticed promptly.  Writes use
+// MSG_NOSIGNAL — a peer that disappears mid-response surfaces as an error
+// return, not SIGPIPE.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include <sys/types.h>
+
+namespace repcheck::serve {
+
+/// RAII stream socket (one connection endpoint).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  /// Blocks up to `timeout_ms` for readability.  1 = readable, 0 = timed
+  /// out, -1 = poll error.
+  [[nodiscard]] int wait_readable(int timeout_ms) const;
+
+  /// One recv(): > 0 bytes read, 0 = orderly EOF, -1 = error.
+  [[nodiscard]] ssize_t read_some(char* buffer, std::size_t capacity) const;
+
+  /// Sends every byte (loops over partial sends, MSG_NOSIGNAL); false on
+  /// any send error (peer gone).
+  [[nodiscard]] bool write_all(std::string_view bytes) const;
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Bound, listening server endpoint.  Addresses:
+///
+///   unix:/some/path.sock   unix-domain stream socket (file is unlinked
+///                          first if stale, and removed on destruction)
+///   tcp:PORT               TCP on 127.0.0.1:PORT (0 = ephemeral)
+///   tcp:HOST:PORT          TCP on HOST:PORT
+class Listener {
+ public:
+  /// Binds and listens; throws std::runtime_error with errno context on
+  /// failure (bad address grammar, bind/listen errors, path too long).
+  static Listener open(const std::string& address);
+
+  ~Listener();
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&&) = delete;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Waits up to `timeout_ms` for a connection.  Returns an invalid Socket
+  /// on timeout (callers poll a drain flag between calls) and throws only
+  /// on unrecoverable listener errors.
+  [[nodiscard]] Socket accept_connection(int timeout_ms);
+
+  /// The bound address in connectable form — for tcp:0 this reports the
+  /// kernel-assigned port.
+  [[nodiscard]] const std::string& address() const { return address_; }
+
+ private:
+  Listener(int fd, std::string address, std::string unlink_path)
+      : fd_(fd), address_(std::move(address)), unlink_path_(std::move(unlink_path)) {}
+
+  int fd_ = -1;
+  std::string address_;
+  std::string unlink_path_;  ///< unix socket file to remove; empty for tcp
+};
+
+/// Client side: connects to an address in the same grammar; throws
+/// std::runtime_error on failure.
+[[nodiscard]] Socket connect_to(const std::string& address);
+
+}  // namespace repcheck::serve

@@ -110,6 +110,56 @@ Counter& counter(std::string_view name) { return Registry::instance().counter(na
 Gauge& gauge(std::string_view name) { return Registry::instance().gauge(name); }
 Histogram& histogram(std::string_view name) { return Registry::instance().histogram(name); }
 
+namespace {
+
+/// Upper edge of bucket k: bucket 0 holds only zeros; bucket k >= 1 holds
+/// [2^(k-1), 2^k), whose largest representable value is 2^k - 1 (bucket 64
+/// saturates at uint64 max).
+std::uint64_t bucket_upper_edge(std::size_t bucket) noexcept {
+  if (bucket == 0) return 0;
+  if (bucket >= 64) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << bucket) - 1;
+}
+
+/// Walks cumulative counts until the rank-th observation (1-based) is
+/// covered.  `total` must be the sum of all `count(bucket)` values.
+template <typename BucketCount>
+std::uint64_t percentile_walk(std::uint64_t total, double p, BucketCount&& count) noexcept {
+  if (total == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // The p-th observation by rank, at least 1 so p = 0 means the minimum.
+  std::uint64_t rank = static_cast<std::uint64_t>(p * static_cast<double>(total) + 0.5);
+  if (rank == 0) rank = 1;
+  if (rank > total) rank = total;
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+    cumulative += count(b);
+    if (cumulative >= rank) return bucket_upper_edge(b);
+  }
+  return bucket_upper_edge(Histogram::kBuckets - 1);
+}
+
+}  // namespace
+
+std::uint64_t histogram_percentile(const Histogram& h, double p) noexcept {
+  return percentile_walk(h.total_count(), p,
+                         [&](std::size_t b) { return h.bucket_count(b); });
+}
+
+std::uint64_t histogram_percentile(std::string_view name, double p) {
+  return histogram_percentile(Registry::instance().histogram(name), p);
+}
+
+std::uint64_t histogram_percentile(const HistogramSnapshot& snap, double p) noexcept {
+  return percentile_walk(snap.count, p, [&](std::size_t b) {
+    for (const auto& [bucket, count] : snap.buckets) {
+      if (bucket == b) return count;
+    }
+    return std::uint64_t{0};
+  });
+}
+
 namespace detail {
 // Implemented in span.cpp; collects per-name aggregates and the eviction
 // total for snapshot_metrics.

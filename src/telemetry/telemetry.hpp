@@ -146,6 +146,15 @@ class Histogram {
 [[nodiscard]] Gauge& gauge(std::string_view name);
 [[nodiscard]] Histogram& histogram(std::string_view name);
 
+/// Percentile estimate from a log₂ histogram: the upper edge of the bucket
+/// containing the p-th observation (p in [0, 1]), i.e. bucket 0 → 0 and
+/// bucket k → 2^k - 1, so the estimate never under-reports.  Returns 0 for
+/// an empty histogram.  The registered-name overload reads the live series
+/// (serve's stats endpoint); the snapshot overload serves run reports and
+/// the bench client.
+[[nodiscard]] std::uint64_t histogram_percentile(const Histogram& h, double p) noexcept;
+[[nodiscard]] std::uint64_t histogram_percentile(std::string_view name, double p);
+
 // ---------------------------------------------------------------------------
 // Scoped spans
 
@@ -189,6 +198,11 @@ struct HistogramSnapshot {
   /// (bucket index, count) for every non-empty bucket, ascending.
   std::vector<std::pair<std::size_t, std::uint64_t>> buckets;
 };
+
+/// Percentile estimate from an already-taken snapshot (same convention as
+/// the live overloads above).
+[[nodiscard]] std::uint64_t histogram_percentile(const HistogramSnapshot& snap,
+                                                 double p) noexcept;
 
 /// A consistent-enough point-in-time copy of every non-zero series, maps
 /// sorted by name.  Counters whose name ends in "_ns" hold wall-clock

@@ -1,0 +1,70 @@
+#include "util/canonical_key.hpp"
+
+#include <charconv>
+#include <cmath>
+
+namespace repcheck::util {
+
+void content_hash_hex_to(std::string_view data, char* out) noexcept {
+  const std::uint64_t lo = fnv1a64(data);
+  const std::uint64_t hi = fnv1a64(data, kFnv1aOffsetBasis ^ 0x9e3779b97f4a7c15ULL);
+  static constexpr char digits[] = "0123456789abcdef";
+  for (int i = 0; i < 16; ++i) {
+    out[15 - i] = digits[(hi >> (4 * i)) & 0xF];
+    out[31 - i] = digits[(lo >> (4 * i)) & 0xF];
+  }
+}
+
+namespace {
+
+/// Appends an integral or floating value via std::to_chars — no locale, no
+/// allocation beyond the payload string's own growth.
+template <typename T>
+void append_chars(std::string& payload, T value) {
+  char buf[64];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  if (ec == std::errc{}) payload.append(buf, end);
+}
+
+}  // namespace
+
+CanonicalKey& CanonicalKey::add(std::string_view name, std::string_view value) {
+  sep(name);
+  payload_.append(value.data(), value.size());
+  return *this;
+}
+
+CanonicalKey& CanonicalKey::add(std::string_view name, std::uint64_t value) {
+  sep(name);
+  append_chars(payload_, value);
+  return *this;
+}
+
+CanonicalKey& CanonicalKey::add(std::string_view name, std::int64_t value) {
+  sep(name);
+  append_chars(payload_, value);
+  return *this;
+}
+
+CanonicalKey& CanonicalKey::add(std::string_view name, double value) {
+  sep(name);
+  if (std::isnan(value)) {
+    payload_ += "nan";
+  } else if (std::isinf(value)) {
+    payload_ += value > 0 ? "inf" : "-inf";
+  } else {
+    append_chars(payload_, value);
+  }
+  return *this;
+}
+
+CanonicalKey& CanonicalKey::add_range(std::string_view name, std::uint64_t begin,
+                                      std::uint64_t end) {
+  sep(name);
+  append_chars(payload_, begin);
+  payload_ += '-';
+  append_chars(payload_, end);
+  return *this;
+}
+
+}  // namespace repcheck::util

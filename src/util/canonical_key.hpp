@@ -1,0 +1,75 @@
+// Canonical "|name=value" payload builder + FNV-128 content keys.
+//
+// Both content-addressed stores in the tree — the campaign result cache
+// and the advisor serving layer's memo-cache — address records by the
+// FNV-128 digest of a canonical parameter string: '|'-separated name=value
+// fragments with doubles rendered in shortest round-trip form, so the same
+// logical inputs always produce the same bytes and therefore the same key.
+// This builder is that one implementation, extracted so the scheme cannot
+// drift between subsystems.
+//
+// The builder is reusable: reset() keeps the payload's capacity, and
+// hex_to() writes the digest into a caller buffer, so a serving hot path
+// that canonicalizes one query per request performs no heap allocation
+// after warm-up (BM_AdvisordCachedRequest holds it to zero).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/hash.hpp"
+
+namespace repcheck::util {
+
+/// Bytes of a content key: 128 bits as lowercase hex.
+inline constexpr std::size_t kContentKeyHexChars = 32;
+
+/// content_hash_hex without the std::string: writes exactly
+/// kContentKeyHexChars lowercase hex chars to `out`.
+void content_hash_hex_to(std::string_view data, char* out) noexcept;
+
+class CanonicalKey {
+ public:
+  CanonicalKey() = default;
+  /// Starts the payload as `head` (e.g. a SweepPoint's canonical string).
+  explicit CanonicalKey(std::string_view head) : payload_(head) {}
+
+  /// Clears the payload (capacity retained) and restarts it as `head`.
+  void reset(std::string_view head = {}) {
+    payload_.assign(head.data(), head.size());
+  }
+
+  CanonicalKey& add(std::string_view name, std::string_view value);
+  CanonicalKey& add(std::string_view name, const char* value) {
+    return add(name, std::string_view(value));
+  }
+  CanonicalKey& add(std::string_view name, std::uint64_t value);
+  CanonicalKey& add(std::string_view name, std::int64_t value);
+  CanonicalKey& add(std::string_view name, bool value) {
+    return add(name, std::string_view(value ? "true" : "false"));
+  }
+  /// Doubles render shortest-round-trip (std::to_chars), matching
+  /// util::format_double: nan / inf / -inf for the non-finite values.
+  CanonicalKey& add(std::string_view name, double value);
+  /// `|name=begin-end` — the campaign cache's shard-range fragment.
+  CanonicalKey& add_range(std::string_view name, std::uint64_t begin, std::uint64_t end);
+
+  [[nodiscard]] const std::string& payload() const { return payload_; }
+
+  /// FNV-128 digest of the payload, 32 lowercase hex chars.
+  [[nodiscard]] std::string hex() const { return content_hash_hex(payload_); }
+  /// Same digest into a caller buffer of kContentKeyHexChars (no alloc).
+  void hex_to(char* out) const noexcept { content_hash_hex_to(payload_, out); }
+
+ private:
+  void sep(std::string_view name) {
+    if (!payload_.empty()) payload_ += '|';
+    payload_.append(name.data(), name.size());
+    payload_ += '=';
+  }
+
+  std::string payload_;
+};
+
+}  // namespace repcheck::util

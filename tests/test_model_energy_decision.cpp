@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
+#include "model/breakeven.hpp"
 #include "model/decision.hpp"
 #include "model/energy.hpp"
 #include "model/periods.hpp"
@@ -194,6 +196,86 @@ TEST(Decision, RejectsBadArguments) {
   spec = paper_platform(5.0, 60.0);
   spec.restart_checkpoint_cost = 30.0;  // below C
   EXPECT_THROW((void)decide(spec, app, 1e9), std::domain_error);
+}
+
+TEST(Decision, SpecErrorNamesTheOffendingField) {
+  // SpecError derives std::domain_error (legacy catch sites keep working)
+  // and carries the field name for typed reporting (the serving layer's
+  // "invalid" responses).
+  auto spec = paper_platform(5.0, 60.0);
+  spec.n_procs = 200001;
+  try {
+    (void)decide(spec, AmdahlApp{1e-5, 0.2}, 1e9);
+    FAIL() << "odd n_procs must throw";
+  } catch (const SpecError& e) {
+    EXPECT_EQ(e.field(), "n_procs");
+  }
+  spec = paper_platform(5.0, 60.0);
+  spec.restart_checkpoint_cost = 3.0 * spec.checkpoint_cost;  // above 2C
+  try {
+    (void)decide(spec, AmdahlApp{1e-5, 0.2}, 1e9);
+    FAIL() << "C^R > 2C must throw";
+  } catch (const SpecError& e) {
+    EXPECT_EQ(e.field(), "restart_checkpoint_cost");
+  }
+  try {
+    (void)decide(paper_platform(5.0, 60.0), AmdahlApp{1e-5, 0.2},
+                 std::numeric_limits<double>::quiet_NaN());
+    FAIL() << "NaN work must throw";
+  } catch (const SpecError& e) {
+    EXPECT_EQ(e.field(), "w_seq");
+  }
+  try {
+    (void)decide(paper_platform(5.0, 60.0), AmdahlApp{1.5, 0.2}, 1e9);
+    FAIL() << "gamma > 1 must throw";
+  } catch (const SpecError& e) {
+    EXPECT_EQ(e.field(), "gamma");
+  }
+}
+
+TEST(Decision, GammaNearOneMakesReplicationMandatory) {
+  // gamma → 1: the app barely scales, so halving the processor count for
+  // replication costs almost nothing while the failure overhead still
+  // drops — replication wins even on a platform where the scalable app
+  // prefers no replication (mu = 20 y at C = 60 s is above Fig. 9's
+  // ~1.8e8 s crossover).
+  const auto spec = paper_platform(20.0, 60.0);
+  const auto scalable = decide(spec, AmdahlApp{1e-5, 0.2}, 1e9);
+  EXPECT_EQ(scalable.plan, Plan::kNoReplication);
+  for (double gamma : {0.9, 0.99, 0.999}) {
+    const auto advice = decide(spec, AmdahlApp{gamma, 0.2}, 1e9);
+    EXPECT_EQ(advice.plan, Plan::kReplicatedRestart) << "gamma = " << gamma;
+  }
+}
+
+TEST(Decision, HugeMtbfMakesNoReplicationWinByConstruction) {
+  // MTBF → ∞ (large finite): failures vanish, so paying the 2x processor
+  // price for replication cannot be recovered; the advantage ratio decays
+  // toward the raw throughput handicap.
+  const auto advice = decide(paper_platform(1e6, 60.0), AmdahlApp{1e-5, 0.2}, 1e9);
+  EXPECT_EQ(advice.plan, Plan::kNoReplication);
+  // tts ratio rep/norep approaches ~2 (half the processors, alpha slowdown).
+  EXPECT_GT(advice.tts_replicated_restart / advice.tts_noreplication, 1.5);
+  EXPECT_LT(advice.overhead_noreplication, 0.01);
+}
+
+TEST(Decision, BreakevenMtbfMatchesTheDecisionCrossover) {
+  // The bisected break-even threshold and decide() must agree: just below
+  // it replication wins, just above it no-replication wins, and at the
+  // threshold the two time-to-solutions tie within bisection tolerance.
+  const auto spec = paper_platform(5.0, 600.0);
+  const AmdahlApp app{1e-5, 0.2};
+  const double threshold = breakeven_mtbf(spec, app);
+  ASSERT_FALSE(std::isnan(threshold));
+  const auto at = [&](double mtbf) {
+    auto p = spec;
+    p.mtbf_proc = mtbf;
+    return decide(p, app, 1e9);
+  };
+  EXPECT_EQ(at(0.99 * threshold).plan, Plan::kReplicatedRestart);
+  EXPECT_EQ(at(1.01 * threshold).plan, Plan::kNoReplication);
+  const auto tie = at(threshold);
+  EXPECT_NEAR(tie.tts_replicated_restart / tie.tts_noreplication, 1.0, 1e-3);
 }
 
 }  // namespace

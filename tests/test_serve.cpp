@@ -1,0 +1,420 @@
+// Unit tests for the serving layer (src/serve/): wire framing, the
+// in-place request parser, query canonicalization, the sharded memo-cache
+// and the Service request pipeline (hit / miss / coalesce / shed / drain /
+// invalid / stats), transport-free — the fork/exec socket round-trips live
+// in test_serve_e2e.cpp.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "serve/cache.hpp"
+#include "serve/protocol.hpp"
+#include "serve/service.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/failpoint.hpp"
+
+namespace {
+
+using namespace repcheck;
+using serve::FrameBuffer;
+using serve::RequestView;
+
+std::string frame(std::string_view payload) {
+  std::string out;
+  serve::append_frame(out, payload);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+
+TEST(Frame, RoundTripsThroughFrameBuffer) {
+  FrameBuffer buffer;
+  buffer.append(frame("{\"op\":\"ping\"}"));
+  std::string_view payload;
+  ASSERT_EQ(buffer.next(payload), FrameBuffer::Status::kFrame);
+  EXPECT_EQ(payload, "{\"op\":\"ping\"}");
+  EXPECT_EQ(buffer.next(payload), FrameBuffer::Status::kNeedMore);
+  EXPECT_EQ(buffer.pending_bytes(), 0u);
+}
+
+TEST(Frame, ReassemblesBytesFedOneAtATime) {
+  const std::string wire = frame("{\"a\":1}") + frame("{\"b\":2}");
+  FrameBuffer buffer;
+  std::vector<std::string> seen;
+  for (const char byte : wire) {
+    buffer.append(std::string_view(&byte, 1));
+    std::string_view payload;
+    while (buffer.next(payload) == FrameBuffer::Status::kFrame) seen.emplace_back(payload);
+  }
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], "{\"a\":1}");
+  EXPECT_EQ(seen[1], "{\"b\":2}");
+}
+
+TEST(Frame, PipelinedFramesDrainInOrder) {
+  FrameBuffer buffer;
+  std::string wire;
+  for (int i = 0; i < 100; ++i) serve::append_frame(wire, "{\"i\":" + std::to_string(i) + "}");
+  buffer.append(wire);
+  std::string_view payload;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(buffer.next(payload), FrameBuffer::Status::kFrame);
+    EXPECT_EQ(payload, "{\"i\":" + std::to_string(i) + "}");
+  }
+  EXPECT_EQ(buffer.next(payload), FrameBuffer::Status::kNeedMore);
+}
+
+TEST(Frame, RejectsNonNumericPrefixAndOversizedLength) {
+  FrameBuffer garbage;
+  garbage.append("hello\n");
+  std::string_view payload;
+  EXPECT_EQ(garbage.next(payload), FrameBuffer::Status::kMalformed);
+
+  FrameBuffer oversized;
+  oversized.append("99999999\n");  // 8 digits > kMaxFrameDigits
+  EXPECT_EQ(oversized.next(payload), FrameBuffer::Status::kMalformed);
+
+  FrameBuffer too_big;
+  too_big.append(std::to_string(serve::kMaxFramePayload + 1) + "\n");
+  EXPECT_EQ(too_big.next(payload), FrameBuffer::Status::kMalformed);
+}
+
+TEST(Frame, PartialLengthThenPayloadNeedsMore) {
+  FrameBuffer buffer;
+  buffer.append("1");  // could be the start of "12\n..."
+  std::string_view payload;
+  EXPECT_EQ(buffer.next(payload), FrameBuffer::Status::kNeedMore);
+  buffer.append("3\n{\"op\":\"pi");
+  EXPECT_EQ(buffer.next(payload), FrameBuffer::Status::kNeedMore);
+  buffer.append("ng\"}");
+  ASSERT_EQ(buffer.next(payload), FrameBuffer::Status::kFrame);
+  EXPECT_EQ(payload, "{\"op\":\"ping\"}");
+}
+
+// ---------------------------------------------------------------------------
+// Request parsing
+
+TEST(ParseRequest, ParsesFullAdviseAndAppliesDefaults) {
+  RequestView request;
+  std::string error;
+  ASSERT_TRUE(serve::parse_request(
+      R"({"op":"advise","id":7,"n":200000,"mtbf":1.576e8,"c":60,"w":1e6,"gamma":1e-5})", request,
+      error))
+      << error;
+  EXPECT_EQ(request.op, RequestView::Op::kAdvise);
+  EXPECT_EQ(request.id_token, "7");
+  EXPECT_EQ(request.platform.n_procs, 200000u);
+  EXPECT_DOUBLE_EQ(request.platform.mtbf_proc, 1.576e8);
+  EXPECT_DOUBLE_EQ(request.platform.checkpoint_cost, 60.0);
+  // Defaults: cr = c, r = c, d = 0.
+  EXPECT_DOUBLE_EQ(request.platform.restart_checkpoint_cost, 60.0);
+  EXPECT_DOUBLE_EQ(request.platform.recovery_cost, 60.0);
+  EXPECT_DOUBLE_EQ(request.platform.downtime, 0.0);
+  EXPECT_DOUBLE_EQ(request.w_seq, 1e6);
+  EXPECT_FALSE(request.validate);
+}
+
+TEST(ParseRequest, ParsesValidatedTierAndStringIds) {
+  RequestView request;
+  std::string error;
+  ASSERT_TRUE(serve::parse_request(
+      R"({"op":"advise","id":"req-9","n":2000,"mtbf":1e7,"c":60,"w":1e5,"validate":true,"runs":40,"seed":11})",
+      request, error))
+      << error;
+  EXPECT_EQ(request.id_token, "\"req-9\"");  // raw token, quotes included
+  EXPECT_TRUE(request.validate);
+  EXPECT_EQ(request.runs, 40u);
+  EXPECT_EQ(request.seed, 11u);
+}
+
+TEST(ParseRequest, RejectsMalformedInputsLoudly) {
+  RequestView request;
+  std::string error;
+  // Unknown field (typo protection — same philosophy as util::FlagSet).
+  EXPECT_FALSE(serve::parse_request(R"({"op":"advise","mtfb":1})", request, error));
+  EXPECT_NE(error.find("unknown field"), std::string::npos);
+  // Missing required fields.
+  EXPECT_FALSE(serve::parse_request(R"({"op":"advise","n":1000})", request, error));
+  EXPECT_NE(error.find("requires"), std::string::npos);
+  // Bad op, wrong types, nesting, trailing bytes, non-object.
+  EXPECT_FALSE(serve::parse_request(R"({"op":"divine"})", request, error));
+  EXPECT_FALSE(serve::parse_request(R"({"op":"advise","n":"many"})", request, error));
+  EXPECT_FALSE(serve::parse_request(R"({"op":"advise","n":{"v":1}})", request, error));
+  EXPECT_FALSE(serve::parse_request(R"({"op":"ping"} trailing)", request, error));
+  EXPECT_FALSE(serve::parse_request("[1,2]", request, error));
+  EXPECT_FALSE(serve::parse_request("", request, error));
+  EXPECT_FALSE(serve::parse_request("{}", request, error));
+}
+
+TEST(ParseRequest, ExplicitNanReachesModelValidationUnmangled) {
+  RequestView request;
+  std::string error;
+  ASSERT_TRUE(serve::parse_request(R"({"op":"advise","n":2000,"mtbf":nan,"c":60,"w":1e5})",
+                                   request, error))
+      << error;
+  EXPECT_TRUE(std::isnan(request.platform.mtbf_proc));
+}
+
+TEST(ResponseStatus, ExtractsStatusToken) {
+  std::string payload;
+  serve::render_error(payload, "3", "shed", "pending queue is full");
+  EXPECT_EQ(serve::response_status(payload), "shed");
+  EXPECT_NE(payload.find("\"id\":3"), std::string::npos);
+  EXPECT_EQ(serve::response_status("not json"), "");
+}
+
+// ---------------------------------------------------------------------------
+// Query canonicalization + memo-cache
+
+RequestView basic_query(double mtbf = 1.576e8) {
+  RequestView request;
+  std::string error;
+  const std::string payload = "{\"op\":\"advise\",\"n\":200000,\"mtbf\":" + std::to_string(mtbf) +
+                              ",\"c\":60,\"w\":1e6,\"gamma\":1e-5}";
+  EXPECT_TRUE(serve::parse_request(payload, request, error)) << error;
+  return request;
+}
+
+std::string key_of(const RequestView& request) {
+  util::CanonicalKey scratch("");
+  char hex[util::kContentKeyHexChars];
+  serve::query_key(request, scratch, hex);
+  return std::string(hex, sizeof(hex));
+}
+
+TEST(QueryKey, IsStableAndDiscriminates) {
+  const std::string key = key_of(basic_query());
+  EXPECT_EQ(key.size(), util::kContentKeyHexChars);
+  EXPECT_EQ(key, key_of(basic_query()));            // deterministic
+  EXPECT_NE(key, key_of(basic_query(1.577e8)));     // mtbf is part of identity
+  RequestView validated = basic_query();
+  validated.validate = true;
+  validated.runs = 50;
+  validated.seed = 1;
+  EXPECT_NE(key, key_of(validated));                // tiers key separately
+  RequestView other_seed = validated;
+  other_seed.seed = 2;
+  EXPECT_NE(key_of(validated), key_of(other_seed));  // seed is part of identity
+}
+
+TEST(MemoCache, InsertThenHeterogeneousLookup) {
+  serve::MemoCache cache(4);
+  const std::string key = key_of(basic_query());
+  serve::CachedAnswer answer;
+  EXPECT_FALSE(cache.lookup(key, answer));
+  serve::CachedAnswer stored;
+  stored.advice.analytic.advantage = 0.5;
+  stored.validated = false;
+  cache.insert(key, stored);
+  ASSERT_TRUE(cache.lookup(std::string_view(key), answer));
+  EXPECT_DOUBLE_EQ(answer.advice.analytic.advantage, 0.5);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Service pipeline
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    telemetry::reset_for_tests();
+    telemetry::set_enabled(true);
+    util::failpoint::disarm_all();
+  }
+  void TearDown() override {
+    util::failpoint::disarm_all();
+    telemetry::set_enabled(false);
+    telemetry::reset_for_tests();
+  }
+
+  static std::string one_payload(std::string& wire) {
+    FrameBuffer buffer;
+    buffer.append(wire);
+    std::string_view payload;
+    EXPECT_EQ(buffer.next(payload), FrameBuffer::Status::kFrame);
+    const std::string copy(payload);
+    EXPECT_EQ(buffer.next(payload), FrameBuffer::Status::kNeedMore) << "more than one response";
+    return copy;
+  }
+
+  static constexpr const char* kQuery =
+      R"({"op":"advise","id":1,"n":200000,"mtbf":1.576e8,"c":60,"w":1e6,"gamma":1e-5})";
+};
+
+TEST_F(ServiceTest, MissComputesThenIdenticalQueryHits) {
+  serve::Service service(serve::Service::Options{});
+  std::string out;
+  EXPECT_EQ(service.process(kQuery, out), serve::Service::Outcome::kComputed);
+  std::string first = one_payload(out);
+  EXPECT_EQ(serve::response_status(first), "ok");
+  EXPECT_NE(first.find("\"cached\":false"), std::string::npos);
+  EXPECT_NE(first.find("\"plan\":"), std::string::npos);
+
+  out.clear();
+  EXPECT_EQ(service.process(kQuery, out), serve::Service::Outcome::kHit);
+  std::string second = one_payload(out);
+  EXPECT_NE(second.find("\"cached\":true"), std::string::npos);
+  // Apart from the cached marker, the answers are byte-identical.
+  const auto strip = [](std::string s) {
+    const auto at = s.find(",\"cached\":");
+    return s.substr(0, at);
+  };
+  EXPECT_EQ(strip(first), strip(second));
+
+  EXPECT_EQ(telemetry::counter("serve.requests").value(), 2u);
+  EXPECT_EQ(telemetry::counter("serve.hits").value(), 1u);
+  EXPECT_EQ(telemetry::counter("serve.misses").value(), 1u);
+  EXPECT_EQ(service.cache_size(), 1u);
+  EXPECT_GE(telemetry::counter("serve.batches").value(), 1u);
+}
+
+TEST_F(ServiceTest, SemanticValidationRejectsWithFieldName) {
+  serve::Service service(serve::Service::Options{});
+  std::string out;
+  // Odd processor count (satellite: model input validation, served as a
+  // typed "invalid" response naming the field).
+  EXPECT_EQ(service.process(
+                R"({"op":"advise","n":200001,"mtbf":1.576e8,"c":60,"w":1e6})", out),
+            serve::Service::Outcome::kInvalid);
+  std::string response = one_payload(out);
+  EXPECT_EQ(serve::response_status(response), "invalid");
+  EXPECT_NE(response.find("\"field\":\"n_procs\""), std::string::npos);
+
+  out.clear();
+  EXPECT_EQ(service.process(
+                R"({"op":"advise","n":2000,"mtbf":nan,"c":60,"w":1e6})", out),
+            serve::Service::Outcome::kInvalid);
+  response = one_payload(out);
+  EXPECT_NE(response.find("\"field\":\"mtbf_proc\""), std::string::npos);
+
+  out.clear();
+  // C^R outside [C, 2C].
+  EXPECT_EQ(service.process(
+                R"({"op":"advise","n":2000,"mtbf":1e8,"c":60,"cr":200,"w":1e6})", out),
+            serve::Service::Outcome::kInvalid);
+  response = one_payload(out);
+  EXPECT_NE(response.find("\"field\":\"restart_checkpoint_cost\""), std::string::npos);
+  EXPECT_EQ(telemetry::counter("serve.invalid").value(), 3u);
+  EXPECT_EQ(telemetry::counter("serve.misses").value(), 0u);
+}
+
+TEST_F(ServiceTest, ZeroMaxPendingShedsEveryMissButStillServesHits) {
+  serve::Service::Options options;
+  options.max_pending = 0;  // deterministic: no miss is ever admitted
+  serve::Service shed_everything(options);
+  std::string out;
+  EXPECT_EQ(shed_everything.process(kQuery, out), serve::Service::Outcome::kShed);
+  std::string response = one_payload(out);
+  EXPECT_EQ(serve::response_status(response), "shed");
+  EXPECT_EQ(telemetry::counter("serve.shed").value(), 1u);
+  EXPECT_EQ(shed_everything.cache_size(), 0u);
+}
+
+TEST_F(ServiceTest, DrainShedsNewMissesButAnswersHitsAndStats) {
+  serve::Service service(serve::Service::Options{});
+  std::string out;
+  ASSERT_EQ(service.process(kQuery, out), serve::Service::Outcome::kComputed);
+  service.begin_drain();
+  EXPECT_TRUE(service.draining());
+
+  out.clear();
+  EXPECT_EQ(service.process(kQuery, out), serve::Service::Outcome::kHit);  // warm key still serves
+  out.clear();
+  EXPECT_EQ(service.process(
+                R"({"op":"advise","n":2000,"mtbf":1e8,"c":60,"w":1e6})", out),
+            serve::Service::Outcome::kShed);
+  EXPECT_NE(one_payload(out).find("draining"), std::string::npos);
+  out.clear();
+  EXPECT_EQ(service.process(R"({"op":"stats"})", out), serve::Service::Outcome::kStats);
+}
+
+TEST_F(ServiceTest, StatsReportsCountersCacheSizeAndPercentiles) {
+  serve::Service service(serve::Service::Options{});
+  std::string out;
+  ASSERT_EQ(service.process(kQuery, out), serve::Service::Outcome::kComputed);
+  out.clear();
+  ASSERT_EQ(service.process(kQuery, out), serve::Service::Outcome::kHit);
+
+  out.clear();
+  ASSERT_EQ(service.process(R"({"op":"stats","id":99})", out), serve::Service::Outcome::kStats);
+  const std::string stats = one_payload(out);
+  EXPECT_EQ(serve::response_status(stats), "ok");
+  EXPECT_NE(stats.find("\"id\":99"), std::string::npos);
+  EXPECT_NE(stats.find("\"hits\":1"), std::string::npos);
+  EXPECT_NE(stats.find("\"misses\":1"), std::string::npos);
+  EXPECT_NE(stats.find("\"cache_size\":1"), std::string::npos);
+  EXPECT_NE(stats.find("\"p99_cached_ns\":"), std::string::npos);
+  EXPECT_NE(stats.find("\"p50_computed_ns\":"), std::string::npos);
+}
+
+TEST_F(ServiceTest, PingPongsWithIdEcho) {
+  serve::Service service(serve::Service::Options{});
+  std::string out;
+  EXPECT_EQ(service.process(R"({"op":"ping","id":"p1"})", out), serve::Service::Outcome::kPing);
+  const std::string response = one_payload(out);
+  EXPECT_EQ(serve::response_status(response), "ok");
+  EXPECT_NE(response.find("\"id\":\"p1\""), std::string::npos);
+}
+
+TEST_F(ServiceTest, ParseErrorFailpointInjectsInvalidResponse) {
+  serve::Service service(serve::Service::Options{});
+  util::failpoint::arm("serve.parse_error", "hit:1");
+  std::string out;
+  EXPECT_EQ(service.process(R"({"op":"ping"})", out), serve::Service::Outcome::kInvalid);
+  EXPECT_EQ(serve::response_status(one_payload(out)), "invalid");
+  out.clear();
+  EXPECT_EQ(service.process(R"({"op":"ping"})", out), serve::Service::Outcome::kPing);
+}
+
+TEST_F(ServiceTest, ValidatedTierSimulatesAndEnforcesRunCeiling) {
+  serve::Service::Options options;
+  options.max_validate_runs = 30;
+  options.validate_default_runs = 10;
+  serve::Service service(options);
+  std::string out;
+  EXPECT_EQ(service.process(
+                R"({"op":"advise","n":2000,"mtbf":1e7,"c":60,"w":1e5,"validate":true})", out),
+            serve::Service::Outcome::kComputed);
+  std::string response = one_payload(out);
+  EXPECT_EQ(serve::response_status(response), "ok");
+  EXPECT_NE(response.find("\"validated\":true"), std::string::npos);
+  EXPECT_NE(response.find("\"sim_winner\":"), std::string::npos);
+
+  out.clear();
+  EXPECT_EQ(
+      service.process(
+          R"({"op":"advise","n":2000,"mtbf":1e7,"c":60,"w":1e5,"validate":true,"runs":31})", out),
+      serve::Service::Outcome::kInvalid);
+  response = one_payload(out);
+  EXPECT_NE(response.find("\"field\":\"runs\""), std::string::npos);
+}
+
+TEST_F(ServiceTest, IdenticalInFlightQueriesCoalesce) {
+  serve::Service service(serve::Service::Options{});
+  // Stall the first compute so the second thread's identical query finds
+  // it in flight and rides along instead of enqueueing a duplicate.
+  util::failpoint::arm("serve.evaluator.stall", "hit:1");
+  std::string out_a, out_b;
+  std::thread first([&] { service.process(kQuery, out_a); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  std::thread second([&] { service.process(kQuery, out_b); });
+  first.join();
+  second.join();
+  EXPECT_EQ(serve::response_status(one_payload(out_a)), "ok");
+  EXPECT_EQ(serve::response_status(one_payload(out_b)), "ok");
+  // Exactly one compute was admitted; the other request coalesced (or, if
+  // the first finished before the second arrived, hit the cache).
+  EXPECT_EQ(telemetry::counter("serve.misses").value() -
+                telemetry::counter("serve.coalesced").value(),
+            1u);
+  EXPECT_EQ(service.cache_size(), 1u);
+}
+
+}  // namespace

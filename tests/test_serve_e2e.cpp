@@ -1,0 +1,209 @@
+// End-to-end advisord tests: fork/exec the real server binary on a
+// unix-domain socket, speak the wire protocol through serve::connect_to /
+// FrameBuffer, and verify the full request surface plus SIGTERM drain
+// (open connections flush, observe EOF, the process exits 0).
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "serve/protocol.hpp"
+#include "serve/transport.hpp"
+
+#ifdef REPCHECK_ADVISORD_CLI
+
+namespace {
+
+using namespace repcheck;
+
+class AdvisordE2E : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("repcheck_advisord_e2e_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    socket_path_ = (dir_ / "advisord.sock").string();
+  }
+
+  void TearDown() override {
+    if (server_pid_ > 0) {
+      ::kill(server_pid_, SIGKILL);
+      int status = 0;
+      ::waitpid(server_pid_, &status, 0);
+      server_pid_ = -1;
+    }
+    std::filesystem::remove_all(dir_);
+  }
+
+  void spawn_server(std::vector<std::string> extra_args = {}) {
+    std::vector<std::string> args = {REPCHECK_ADVISORD_CLI, "--listen", "unix:" + socket_path_,
+                                     "--threads", "0"};
+    args.insert(args.end(), extra_args.begin(), extra_args.end());
+    const std::string log = (dir_ / "advisord.log").string();
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      if (std::freopen(log.c_str(), "w", stderr) == nullptr) ::_exit(96);
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (auto& arg : args) argv.push_back(arg.data());
+      argv.push_back(nullptr);
+      ::execv(argv[0], argv.data());
+      ::_exit(97);  // exec failed
+    }
+    ASSERT_GT(pid, 0);
+    server_pid_ = pid;
+  }
+
+  [[nodiscard]] serve::Socket connect_client() {
+    // The server binds shortly after exec; retry until it is listening.
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      try {
+        return serve::connect_to("unix:" + socket_path_);
+      } catch (const std::exception&) {
+        ::usleep(50 * 1000);
+      }
+    }
+    ADD_FAILURE() << "could not connect to " << socket_path_;
+    return serve::Socket{};
+  }
+
+  /// Sends one request payload and returns the response payload; empty on
+  /// EOF (the drain signal).
+  static std::string round_trip(const serve::Socket& socket, serve::FrameBuffer& frames,
+                                std::string_view request) {
+    std::string wire;
+    serve::append_frame(wire, request);
+    if (!socket.write_all(wire)) return {};
+    return read_one(socket, frames);
+  }
+
+  static std::string read_one(const serve::Socket& socket, serve::FrameBuffer& frames) {
+    char chunk[4096];
+    for (;;) {
+      std::string_view payload;
+      const auto status = frames.next(payload);
+      if (status == serve::FrameBuffer::Status::kFrame) return std::string(payload);
+      if (status == serve::FrameBuffer::Status::kMalformed) {
+        ADD_FAILURE() << "malformed response stream";
+        return {};
+      }
+      const ssize_t n = socket.read_some(chunk, sizeof(chunk));
+      if (n <= 0) return {};  // EOF
+      frames.append(std::string_view(chunk, static_cast<std::size_t>(n)));
+    }
+  }
+
+  int wait_server_exit() {
+    int status = 0;
+    ::waitpid(server_pid_, &status, 0);
+    server_pid_ = -1;
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -WTERMSIG(status);
+  }
+
+  std::filesystem::path dir_;
+  std::string socket_path_;
+  pid_t server_pid_ = -1;
+};
+
+TEST_F(AdvisordE2E, FullRequestSurfaceOverUnixSocket) {
+  spawn_server();
+  serve::Socket socket = connect_client();
+  ASSERT_TRUE(socket.valid());
+  serve::FrameBuffer frames;
+
+  // ping
+  std::string response = round_trip(socket, frames, R"({"op":"ping","id":1})");
+  EXPECT_EQ(serve::response_status(response), "ok");
+  EXPECT_NE(response.find("\"id\":1"), std::string::npos);
+
+  // advise: first compute, then a byte-identical cached answer.
+  const std::string_view query =
+      R"({"op":"advise","id":2,"n":200000,"mtbf":1.576e8,"c":60,"w":1e6,"gamma":1e-5})";
+  const std::string computed = round_trip(socket, frames, query);
+  EXPECT_EQ(serve::response_status(computed), "ok");
+  EXPECT_NE(computed.find("\"cached\":false"), std::string::npos);
+  const std::string cached = round_trip(socket, frames, query);
+  EXPECT_NE(cached.find("\"cached\":true"), std::string::npos);
+
+  // invalid input: typed field in the reply, connection stays usable.
+  response = round_trip(socket, frames,
+                        R"({"op":"advise","id":3,"n":999,"mtbf":1e8,"c":60,"w":1e6})");
+  EXPECT_EQ(serve::response_status(response), "invalid");
+  EXPECT_NE(response.find("\"field\":\"n_procs\""), std::string::npos);
+
+  // malformed payload: still one framed response.
+  response = round_trip(socket, frames, "{not json");
+  EXPECT_EQ(serve::response_status(response), "invalid");
+
+  // stats reflects the traffic above.
+  response = round_trip(socket, frames, R"({"op":"stats","id":4})");
+  EXPECT_EQ(serve::response_status(response), "ok");
+  EXPECT_NE(response.find("\"hits\":1"), std::string::npos);
+  EXPECT_NE(response.find("\"misses\":1"), std::string::npos);
+  EXPECT_NE(response.find("\"cache_size\":1"), std::string::npos);
+}
+
+TEST_F(AdvisordE2E, PipelinedFramesAnswerInOrder) {
+  spawn_server();
+  serve::Socket socket = connect_client();
+  ASSERT_TRUE(socket.valid());
+  serve::FrameBuffer frames;
+
+  std::string wire;
+  for (int i = 0; i < 32; ++i) {
+    serve::append_frame(wire, "{\"op\":\"ping\",\"id\":" + std::to_string(i) + "}");
+  }
+  ASSERT_TRUE(socket.write_all(wire));
+  for (int i = 0; i < 32; ++i) {
+    const std::string response = read_one(socket, frames);
+    EXPECT_NE(response.find("\"id\":" + std::to_string(i)), std::string::npos) << response;
+  }
+}
+
+TEST_F(AdvisordE2E, SigtermDrainsToEofAndExitsZero) {
+  spawn_server({"--metrics-out", (dir_ / "metrics.json").string()});
+  serve::Socket socket = connect_client();
+  ASSERT_TRUE(socket.valid());
+  serve::FrameBuffer frames;
+  ASSERT_EQ(serve::response_status(round_trip(socket, frames, R"({"op":"ping"})")), "ok");
+
+  ASSERT_EQ(::kill(server_pid_, SIGTERM), 0);
+  // The open connection flushes anything pending and closes: the next read
+  // returns EOF (an empty response) — possibly after a final shed frame if
+  // a request were in flight; here nothing is, so EOF is immediate.
+  EXPECT_EQ(read_one(socket, frames), "");
+  EXPECT_EQ(wait_server_exit(), 0);
+  // The drain report was written on the way out.
+  EXPECT_TRUE(std::filesystem::exists(dir_ / "metrics.json"));
+}
+
+TEST_F(AdvisordE2E, ConnectionLimitShedsExcessConnections) {
+  spawn_server({"--max-connections", "1"});
+  serve::Socket first = connect_client();
+  ASSERT_TRUE(first.valid());
+  serve::FrameBuffer first_frames;
+  // Make sure the first connection is fully accepted before the second
+  // connects (accept is sequential in one thread).
+  ASSERT_EQ(serve::response_status(round_trip(first, first_frames, R"({"op":"ping"})")), "ok");
+
+  serve::Socket second = connect_client();
+  ASSERT_TRUE(second.valid());
+  serve::FrameBuffer second_frames;
+  const std::string response = read_one(second, second_frames);
+  EXPECT_EQ(serve::response_status(response), "shed");
+  // The first connection is unaffected.
+  EXPECT_EQ(serve::response_status(round_trip(first, first_frames, R"({"op":"ping"})")), "ok");
+}
+
+}  // namespace
+
+#endif  // REPCHECK_ADVISORD_CLI

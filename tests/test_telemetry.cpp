@@ -171,4 +171,46 @@ TEST_F(Telemetry, ResetForTestsZeroesSeriesButKeepsHandles) {
   EXPECT_EQ(counter.value(), 1u);
 }
 
+TEST_F(Telemetry, PercentileIsTheUpperEdgeOfTheCoveringBucket) {
+  auto& histogram = telemetry::histogram("test.percentile");
+  // Three observations in buckets 1 ([1,2)), 2 ([2,4)) and 3 ([4,8)):
+  // ranks 1, 2, 3 map to upper edges 1, 3 and 7.
+  histogram.observe(1);
+  histogram.observe(2);
+  histogram.observe(5);
+  EXPECT_EQ(telemetry::histogram_percentile(histogram, 0.0), 1u);   // minimum
+  EXPECT_EQ(telemetry::histogram_percentile(histogram, 0.5), 3u);   // median rank 2
+  EXPECT_EQ(telemetry::histogram_percentile(histogram, 1.0), 7u);   // maximum
+  // Out-of-range p clamps rather than throwing (operator input).
+  EXPECT_EQ(telemetry::histogram_percentile(histogram, -1.0), 1u);
+  EXPECT_EQ(telemetry::histogram_percentile(histogram, 2.0), 7u);
+  // The registered-name overload reads the same live series.
+  EXPECT_EQ(telemetry::histogram_percentile("test.percentile", 0.5), 3u);
+}
+
+TEST_F(Telemetry, PercentileNeverUnderReportsAndHandlesEdges) {
+  auto& histogram = telemetry::histogram("test.percentile_edges");
+  EXPECT_EQ(telemetry::histogram_percentile(histogram, 0.99), 0u);  // empty
+  for (int i = 0; i < 1000; ++i) histogram.observe(1000);
+  // Every observation is 1000; the log2 estimate is the bucket's upper
+  // edge 1023 — above the true value, never below it.
+  EXPECT_EQ(telemetry::histogram_percentile(histogram, 0.50), 1023u);
+  EXPECT_EQ(telemetry::histogram_percentile(histogram, 0.99), 1023u);
+  histogram.observe(0);  // zeros land in bucket 0 with upper edge 0
+  EXPECT_EQ(telemetry::histogram_percentile(histogram, 0.0), 0u);
+}
+
+TEST_F(Telemetry, PercentileFromSnapshotMatchesLiveSeries) {
+  auto& histogram = telemetry::histogram("test.percentile_snapshot");
+  const std::uint64_t values[] = {0, 1, 3, 9, 200, 70000};
+  for (const auto v : values) histogram.observe(v);
+  const auto snapshot = telemetry::snapshot_metrics();
+  const auto& snap = snapshot.histograms.at("test.percentile_snapshot");
+  for (const double p : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(telemetry::histogram_percentile(snap, p),
+              telemetry::histogram_percentile(histogram, p))
+        << "p=" << p;
+  }
+}
+
 }  // namespace
