@@ -1,0 +1,150 @@
+#!/usr/bin/env bash
+# Fleet chaos soak (docs/FLEET.md, "Chaos testing").
+#
+# Four rounds against the real repcheck_fleet binary, each compared byte
+# for byte against a single-process reference run (--workers 0):
+#
+#   reference     serial sweep; its result JSONL and cache records are
+#                 the ground truth every chaos round must reproduce
+#   kill -9       a worker is SIGKILLed mid-shard (failpoint-timed); the
+#                 coordinator must detect the death, requeue the lease,
+#                 and finish bit-identical with zero duplicate commits
+#   fence         the only worker stalls past its 100ms lease; the
+#                 re-leased shard wins, the zombie's late commit is
+#                 fenced, and fsck keeps every record
+#   drain+resume  SIGTERM mid-sweep must exit 130 with intact stores; a
+#                 resumed fleet completes bit-identical to the reference
+#
+# Usage: scripts/run_fleet_chaos.sh [--quick]
+#   --quick   smaller sweep (CI smoke config; the same gates apply)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+grid="c=60,600;mtbf_years=5,20"
+set_params="procs=2000;runs=48;periods=30"
+if [[ "${1:-}" == "--quick" ]]; then
+  set_params="procs=2000;runs=24;periods=30"
+fi
+
+echo "==> build repcheck_fleet [release]"
+cmake --preset release >/dev/null
+cmake --build --preset release -j "$(nproc)" --target repcheck_fleet_cli >/dev/null
+
+fleet="build/src/fleet/repcheck_fleet"
+workdir="$(mktemp -d)"
+fleet_pid=""
+cleanup() {
+  if [[ -n "$fleet_pid" ]] && kill -0 "$fleet_pid" 2>/dev/null; then
+    kill -KILL "$fleet_pid" 2>/dev/null || true
+    wait "$fleet_pid" 2>/dev/null || true
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+# fleet_args <tag> <workers>: fills the fleet_cmd array, so foreground
+# rounds can run it directly and the drain round can `exec` it in a
+# backgrounded subshell (making $! the coordinator's real pid).
+fleet_args() {
+  local tag="$1" workers="$2"
+  fleet_cmd=("$fleet" --grid "$grid" --set "$set_params" --shard-size 2 --seed 7
+             --workers "$workers" --cache-dir "$workdir/$tag"
+             --journal "$workdir/$tag/run.journal" --out "$workdir/$tag.jsonl"
+             --listen "unix:$workdir/$tag.sock" --no-progress
+             --metrics-out "$workdir/${tag}_metrics.json")
+}
+
+# run <tag> <workers> [extra flags...]
+run() {
+  fleet_args "$1" "$2"
+  shift 2
+  "${fleet_cmd[@]}" "$@"
+}
+
+# The chaos rounds race workers over the commit order, so cache records
+# are compared as sorted sets; the result JSONL is emitted in expansion
+# order and must match byte for byte.
+expect_identical() {
+  local tag="$1"
+  cmp -s "$workdir/$tag.jsonl" "$workdir/ref.jsonl" || {
+    echo "FAIL: $tag result JSONL diverged from the reference" >&2
+    diff "$workdir/ref.jsonl" "$workdir/$tag.jsonl" | head >&2
+    exit 1
+  }
+  diff <(sort "$workdir/$tag/cache.jsonl") <(sort "$workdir/ref/cache.jsonl") >/dev/null || {
+    echo "FAIL: $tag cache records diverged from the reference" >&2
+    exit 1
+  }
+  local lines keys
+  lines="$(wc -l < "$workdir/$tag/cache.jsonl")"
+  keys="$(grep -o '"key":"[0-9a-f]*"' "$workdir/$tag/cache.jsonl" | sort -u | wc -l)"
+  if [[ "$lines" != "$keys" ]]; then
+    echo "FAIL: $tag committed duplicate shards ($lines records, $keys keys)" >&2
+    exit 1
+  fi
+  echo "    $tag: results + cache bit-identical, $keys shards committed exactly once"
+}
+
+# require <metrics file> <counter> <min>
+require_counter() {
+  python3 - "$workdir/$1" "$2" "$3" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    counters = json.load(f)["counters"]
+name, minimum = sys.argv[2], int(sys.argv[3])
+value = counters.get(name, 0)
+if value < minimum:
+    print(f"FAIL: {name}={value}, wanted >= {minimum}")
+    sys.exit(1)
+print(f"    {name}={value} ok")
+PY
+}
+
+# ------------------------------------------------------------------ reference
+echo "==> reference run (--workers 0)"
+run ref 0
+[[ -s "$workdir/ref.jsonl" ]] || { echo "FAIL: empty reference results" >&2; exit 1; }
+
+# -------------------------------------------------------------------- kill -9
+echo "==> kill -9 round: worker 0 dies mid-shard, fleet of 3"
+run kill9 3 --worker-failpoints "0:fleet.worker.kill9=hit:2"
+require_counter kill9_metrics.json fleet.worker_deaths 1
+require_counter kill9_metrics.json fleet.shards_requeued 1
+expect_identical kill9
+
+# --------------------------------------------------------------------- fence
+echo "==> fence round: lone worker stalls past a 100ms lease"
+# One worker + hit:1 stall is the deterministic fence recipe: the zombie's
+# own unanswered lease blocks its next grant, so its stale result must
+# arrive while the shard is still unresolved and be fenced.
+run fence 1 --lease-ms 100 --worker-failpoints "0:campaign.evaluator.stall=hit:1"
+require_counter fence_metrics.json fleet.lease_expirations 1
+require_counter fence_metrics.json fleet.fenced_commits 1
+expect_identical fence
+"$fleet" --fsck --cache-dir "$workdir/fence" --journal "$workdir/fence/run.journal" || {
+  echo "FAIL: fsck rejected the fenced store" >&2; exit 1; }
+
+# -------------------------------------------------------------- drain+resume
+echo "==> drain round: SIGTERM mid-sweep, then resume"
+fleet_args drain 2
+(exec "${fleet_cmd[@]}" --worker-failpoints \
+  "0:campaign.evaluator.stall=every:2|1:campaign.evaluator.stall=every:2") &
+fleet_pid=$!
+for _ in $(seq 1 300); do
+  [[ -f "$workdir/drain/cache.jsonl" ]] \
+    && (( "$(wc -l < "$workdir/drain/cache.jsonl")" >= 2 )) && break
+  sleep 0.01
+done
+kill -TERM "$fleet_pid"
+drain_exit=0
+wait "$fleet_pid" || drain_exit=$?
+fleet_pid=""
+if [[ "$drain_exit" -ne 130 && "$drain_exit" -ne 0 ]]; then
+  echo "FAIL: drained fleet exited $drain_exit (wanted 130, or 0 if it finished)" >&2
+  exit 1
+fi
+echo "    SIGTERM exit $drain_exit, $(wc -l < "$workdir/drain/cache.jsonl") shards flushed"
+run drain 2  # resume over the same stores, no chaos
+expect_identical drain
+
+echo "==> fleet chaos soak complete"

@@ -6,7 +6,7 @@
 #
 #   --bench  opt-in: after the tests pass, run the perf-regression harness
 #            (scripts/run_benchmarks.sh) against the committed snapshot
-#   label    CTest label to run: unit | oracle | stat | slow | all
+#   label    CTest label to run: unit | oracle | stat | slow | fleet | all
 #            (default: all)
 #   preset   release | asan-ubsan | tsan | all   (default: all)
 #
@@ -16,7 +16,12 @@
 #   scripts/run_tests.sh stat release    # statistical tests, release only
 #   scripts/run_tests.sh unit tsan       # race-check campaign runner, telemetry &c.
 #   scripts/run_tests.sh unit asan-ubsan # sanitize the same suite
+#   scripts/run_tests.sh fleet tsan      # race-check the campaign fleet
 #   scripts/run_tests.sh --bench unit release   # unit tests, then benchmarks
+#
+# The fleet label (test_fleet, test_fleet_chaos) covers the distributed
+# campaign coordinator/worker stack, including the kill -9 / stall chaos
+# harness; scripts/run_fleet_chaos.sh is the longer CLI soak.
 #
 # The telemetry tests (test_telemetry, test_telemetry_report) are part of
 # the unit label; run them under tsan to race-check the sharded counters

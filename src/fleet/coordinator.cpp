@@ -1,0 +1,685 @@
+#include "fleet/coordinator.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "campaign/cache.hpp"
+#include "fleet/wire.hpp"
+#include "serve/protocol.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace repcheck::fleet {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Connection-loop poll quantum: expiry/liveness/drain checks happen at
+/// least this often, so lease terms are honored within ~one quantum.
+constexpr int kPollMs = 20;
+
+/// Mirrors the finished run's fleet counters into the telemetry
+/// registry ("fleet.*" in docs/OBSERVABILITY.md) for --metrics-out.
+void mirror_stats_to_telemetry(const FleetStats& fleet, const campaign::CampaignStats& stats) {
+  if (!telemetry::enabled()) return;
+  telemetry::counter("fleet.workers_connected").inc(fleet.workers_connected);
+  telemetry::counter("fleet.worker_deaths").inc(fleet.worker_deaths);
+  telemetry::counter("fleet.leases_granted").inc(fleet.leases_granted);
+  telemetry::counter("fleet.lease_expirations").inc(fleet.lease_expirations);
+  telemetry::counter("fleet.shards_requeued").inc(fleet.shards_requeued);
+  telemetry::counter("fleet.results_committed").inc(fleet.results_committed);
+  telemetry::counter("fleet.fenced_commits").inc(fleet.fenced_commits);
+  telemetry::counter("fleet.duplicate_results").inc(fleet.duplicate_results);
+  telemetry::counter("fleet.heartbeats").inc(fleet.heartbeats);
+  telemetry::counter("fleet.malformed_frames").inc(fleet.malformed_frames);
+  telemetry::counter("fleet.shards_total").inc(stats.shards_total);
+  telemetry::counter("fleet.shards_cached").inc(stats.shards_cached);
+  telemetry::counter("fleet.shards_failed").inc(stats.shards_failed);
+  telemetry::counter("fleet.failed_points").inc(stats.failed_points);
+  telemetry::counter("fleet.incomplete_points").inc(stats.incomplete_points);
+  telemetry::counter("fleet.store_errors").inc(stats.store_errors);
+  if (stats.drained) telemetry::counter("fleet.drained").inc();
+  telemetry::counter("fleet.run_ns").inc(static_cast<std::uint64_t>(stats.seconds * 1e9));
+}
+
+}  // namespace
+
+class FleetCoordinator::Impl {
+ public:
+  Impl(campaign::SweepSpec spec, CoordinatorOptions options)
+      : spec_(std::move(spec)),
+        options_(std::move(options)),
+        listener_(serve::Listener::open(options_.listen_address)) {
+    if (!options_.runs_for) {
+      throw std::invalid_argument("fleet coordinator needs a runs_for callback");
+    }
+  }
+
+  [[nodiscard]] const std::string& address() const { return listener_.address(); }
+
+  [[nodiscard]] FleetResult run(const std::function<void(std::uint64_t)>& on_ready);
+
+ private:
+  /// One uniquely-keyed shard.  Sweep points that expand to duplicate
+  /// canonical points share shard keys; such shards simulate once and
+  /// credit every referencing point (the runner's duplicate-key
+  /// cache-hit path, resolved at plan time instead of run time).
+  struct Task {
+    std::string key;
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+    std::uint64_t seed = 0;       ///< derived point seed
+    std::size_t point_rep = 0;    ///< index of the point whose params ride the lease
+    std::vector<std::size_t> point_idxs;
+    std::uint64_t epoch = 0;      ///< valid lease epoch; 0 = none outstanding
+    std::uint32_t attempts = 0;   ///< lease grants consumed
+    bool resolved = false;
+  };
+
+  struct Granted {
+    std::size_t task_idx = 0;
+    LeaseMsg lease;
+  };
+
+  void plan();
+  [[nodiscard]] std::optional<Granted> grant_locked();
+  void revoke_locked(std::size_t task_idx, std::uint64_t epoch, bool expired);
+  void commit_locked(const ResultMsg& msg);
+  void fail_task_locked(std::size_t task_idx, const std::string& error);
+  void resolve_task_locked(std::size_t task_idx, bool simulated);
+  void finalize_point_locked(std::size_t point_idx);
+  [[nodiscard]] bool finish_requested_locked() const {
+    return unresolved_ == 0 || draining_ ||
+           (options_.stop != nullptr && options_.stop->load(std::memory_order_relaxed));
+  }
+
+  void connection_loop(serve::Socket socket);
+  void progress_tick_locked();
+
+  campaign::SweepSpec spec_;
+  CoordinatorOptions options_;
+  serve::Listener listener_;
+
+  std::unique_ptr<campaign::ResultCache> cache_;
+  std::unique_ptr<campaign::Journal> journal_;
+
+  std::mutex mutex_;
+  std::vector<Task> tasks_;
+  std::map<std::string, std::size_t, std::less<>> task_by_key_;
+  std::deque<std::size_t> pending_;
+  std::vector<std::uint64_t> shards_left_;            ///< per point
+  std::vector<std::vector<std::string>> shard_keys_;  ///< per point, merge order
+  campaign::CampaignResult result_;
+  FleetStats fstats_;
+  std::uint64_t unresolved_ = 0;
+  std::uint64_t next_epoch_ = 0;
+  std::uint64_t store_errors_ = 0;
+  bool draining_ = false;
+  std::atomic<bool> finishing_{false};
+  std::atomic<std::size_t> workers_live_{0};
+  Clock::time_point last_activity_ = Clock::now();
+  util::Stopwatch progress_watch_;
+
+  struct Connection {
+    std::thread thread;
+    std::atomic<bool> finished{false};
+  };
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  friend class FleetCoordinator;
+};
+
+void FleetCoordinator::Impl::plan() {
+  const auto points = spec_.expand();
+  if (points.empty()) throw std::invalid_argument("fleet campaign expands to zero points");
+
+  cache_ = std::make_unique<campaign::ResultCache>(options_.cache_dir);
+  journal_ = std::make_unique<campaign::Journal>(options_.journal_path);
+
+  result_.stats.points = points.size();
+  result_.stats.quarantined_records =
+      cache_->load_stats().quarantined + journal_->load_stats().quarantined;
+  result_.points.reserve(points.size());
+  shard_keys_.resize(points.size());
+  shards_left_.assign(points.size(), 0);
+
+  for (std::size_t idx = 0; idx < points.size(); ++idx) {
+    campaign::PointOutcome outcome;
+    outcome.point = points[idx];
+    outcome.key = campaign::point_key(outcome.point, options_.master_seed, options_.engine_version);
+    outcome.seed = campaign::derive_point_seed(options_.master_seed, outcome.point);
+
+    const std::uint64_t runs = options_.runs_for(outcome.point);
+    if (runs == 0) {
+      throw std::invalid_argument("evaluator reports zero replicates for " +
+                                  outcome.point.canonical());
+    }
+    // Same shard plan as CampaignRunner: a function of the replicate
+    // count only, so fleet and single-process cache keys coincide.
+    const std::uint64_t size =
+        options_.shard_size > 0 ? options_.shard_size : std::max<std::uint64_t>(1, runs / 16);
+    const std::uint64_t n_shards = (runs + size - 1) / size;
+    outcome.shards = n_shards;
+    result_.stats.shards_total += n_shards;
+
+    if (auto done = journal_->completed(outcome.key)) {
+      outcome.summary = std::move(*done);
+      outcome.from_journal = true;
+      outcome.cached_shards = n_shards;
+      ++result_.stats.journal_points;
+      result_.stats.shards_cached += n_shards;
+      result_.points.push_back(std::move(outcome));
+      continue;
+    }
+
+    auto& keys = shard_keys_[idx];
+    keys.reserve(n_shards);
+    for (std::uint64_t s = 0; s < n_shards; ++s) {
+      const std::uint64_t begin = s * size;
+      const std::uint64_t end = std::min(runs, begin + size);
+      keys.push_back(campaign::shard_key(outcome.point, options_.master_seed, begin, end,
+                                         options_.engine_version));
+      const std::string& key = keys.back();
+      const auto it = task_by_key_.find(key);
+      if (it != task_by_key_.end()) {
+        // Duplicate sweep point: share the existing task; this point's
+        // copy of the shard counts as a cache hit, like the runner's.
+        Task& task = tasks_[it->second];
+        task.point_idxs.push_back(idx);
+        if (task.resolved) {
+          ++outcome.cached_shards;
+          ++result_.stats.shards_cached;
+        } else {
+          ++shards_left_[idx];
+        }
+        continue;
+      }
+      Task task;
+      task.key = key;
+      task.begin = begin;
+      task.end = end;
+      task.seed = outcome.seed;
+      task.point_rep = idx;
+      task.point_idxs.push_back(idx);
+      if (cache_->contains(key)) {
+        task.resolved = true;
+        ++outcome.cached_shards;
+        ++result_.stats.shards_cached;
+      } else {
+        ++shards_left_[idx];
+        ++unresolved_;
+        pending_.push_back(tasks_.size());
+      }
+      task_by_key_.emplace(key, tasks_.size());
+      tasks_.push_back(std::move(task));
+    }
+    result_.points.push_back(std::move(outcome));
+  }
+
+  // Points fully warm from the cache never see a commit; finalize now.
+  for (std::size_t idx = 0; idx < result_.points.size(); ++idx) {
+    if (!result_.points[idx].from_journal && shards_left_[idx] == 0) {
+      finalize_point_locked(idx);
+    }
+  }
+}
+
+std::optional<FleetCoordinator::Impl::Granted> FleetCoordinator::Impl::grant_locked() {
+  if (finish_requested_locked()) return std::nullopt;
+  while (!pending_.empty()) {
+    const std::size_t task_idx = pending_.front();
+    pending_.pop_front();
+    Task& task = tasks_[task_idx];
+    if (task.resolved) continue;
+    task.epoch = ++next_epoch_;
+    ++task.attempts;
+    ++fstats_.leases_granted;
+    Granted granted;
+    granted.task_idx = task_idx;
+    granted.lease.epoch = task.epoch;
+    granted.lease.key = task.key;
+    granted.lease.point = result_.points[task.point_rep].point;
+    granted.lease.seed = task.seed;
+    granted.lease.begin = task.begin;
+    granted.lease.end = task.end;
+    return granted;
+  }
+  return std::nullopt;
+}
+
+void FleetCoordinator::Impl::revoke_locked(std::size_t task_idx, std::uint64_t epoch,
+                                           bool expired) {
+  Task& task = tasks_[task_idx];
+  if (task.resolved || task.epoch != epoch) return;  // already resolved or re-leased
+  task.epoch = 0;  // fence: the old lease can never commit again
+  if (expired) ++fstats_.lease_expirations;
+  if (task.attempts > options_.max_lease_attempts) {
+    fail_task_locked(task_idx, expired ? "lease attempts exhausted (worker stalls)"
+                                       : "lease attempts exhausted (worker deaths)");
+    return;
+  }
+  ++fstats_.shards_requeued;
+  pending_.push_back(task_idx);
+}
+
+void FleetCoordinator::Impl::resolve_task_locked(std::size_t task_idx, bool simulated) {
+  Task& task = tasks_[task_idx];
+  task.resolved = true;
+  task.epoch = 0;
+  --unresolved_;
+  bool first = true;
+  for (const std::size_t point_idx : task.point_idxs) {
+    auto& outcome = result_.points[point_idx];
+    if (!simulated || !first) {
+      ++outcome.cached_shards;
+      ++result_.stats.shards_cached;
+    }
+    first = false;
+    if (--shards_left_[point_idx] == 0) finalize_point_locked(point_idx);
+  }
+}
+
+void FleetCoordinator::Impl::commit_locked(const ResultMsg& msg) {
+  const auto it = task_by_key_.find(msg.key);
+  if (it == task_by_key_.end()) {
+    ++fstats_.malformed_frames;  // a key this campaign never leased
+    return;
+  }
+  const std::size_t task_idx = it->second;
+  Task& task = tasks_[task_idx];
+  if (task.resolved) {
+    ++fstats_.duplicate_results;
+    return;
+  }
+  if (msg.epoch == 0 || msg.epoch != task.epoch) {
+    // The fencing property: a revoked or superseded lease's result is
+    // rejected here, before it can touch the store.
+    ++fstats_.fenced_commits;
+    return;
+  }
+  if (!msg.ok) {
+    task.epoch = 0;
+    ++result_.stats.shard_retries;
+    if (task.attempts > options_.max_lease_attempts) {
+      fail_task_locked(task_idx, msg.error);
+      return;
+    }
+    util::log_warn() << "fleet " << spec_.name << ": shard [" << task.begin << ", " << task.end
+                     << ") failed on a worker (attempt " << task.attempts << "/"
+                     << options_.max_lease_attempts << "): " << msg.error;
+    ++fstats_.shards_requeued;
+    pending_.push_back(task_idx);
+    return;
+  }
+
+  ++fstats_.results_committed;
+  ++result_.stats.shards_simulated;
+  try {
+    if (!cache_->contains(task.key)) {
+      cache_->insert(task.key, result_.points[task.point_rep].point, task.seed, task.begin,
+                     task.end, msg.summary);
+    }
+  } catch (const campaign::StoreWriteError& e) {
+    // The record is correct in the in-memory cache (insert updates the
+    // map before appending); only resumability is impaired.
+    util::log_error() << e.what();
+    ++store_errors_;
+  }
+  resolve_task_locked(task_idx, /*simulated=*/true);
+  progress_tick_locked();
+}
+
+void FleetCoordinator::Impl::fail_task_locked(std::size_t task_idx, const std::string& error) {
+  Task& task = tasks_[task_idx];
+  ++result_.stats.shards_failed;
+  util::log_error() << "fleet " << spec_.name << ": shard [" << task.begin << ", " << task.end
+                    << ") failed permanently after " << task.attempts << " lease(s): " << error;
+  for (const std::size_t point_idx : task.point_idxs) {
+    auto& outcome = result_.points[point_idx];
+    if (outcome.status != campaign::PointStatus::kFailed) {
+      outcome.status = campaign::PointStatus::kFailed;
+      outcome.error = error;
+    }
+  }
+  resolve_task_locked(task_idx, /*simulated=*/false);
+}
+
+void FleetCoordinator::Impl::finalize_point_locked(std::size_t point_idx) {
+  auto& outcome = result_.points[point_idx];
+  if (outcome.status == campaign::PointStatus::kFailed) return;
+  // Merge in shard order from the round-tripped cache records — the
+  // byte-level contract shared with CampaignRunner.
+  sim::MonteCarloSummary merged;
+  for (const auto& key : shard_keys_[point_idx]) {
+    auto shard_summary = cache_->lookup(key);
+    if (!shard_summary) {
+      throw std::logic_error("fleet shard record vanished before merge: " + key);
+    }
+    merged.merge(*shard_summary);
+  }
+  outcome.summary = merged;
+  try {
+    journal_->mark_done(outcome.key, outcome.point, outcome.summary);
+  } catch (const campaign::StoreWriteError& e) {
+    util::log_error() << e.what();
+    ++store_errors_;
+  }
+}
+
+void FleetCoordinator::Impl::progress_tick_locked() {
+  if (!options_.progress) return;
+  if (progress_watch_.lap_seconds() < 1.0) return;
+  progress_watch_.lap();
+  std::fprintf(stderr,
+               "[fleet %s] %llu/%llu shards resolved, %zu worker(s) live, "
+               "%llu fenced, %llu requeued\n",
+               spec_.name.c_str(),
+               static_cast<unsigned long long>(fstats_.results_committed),
+               static_cast<unsigned long long>(result_.stats.shards_total),
+               workers_live_.load(),
+               static_cast<unsigned long long>(fstats_.fenced_commits),
+               static_cast<unsigned long long>(fstats_.shards_requeued));
+}
+
+void FleetCoordinator::Impl::connection_loop(serve::Socket socket) {
+  workers_live_.fetch_add(1);
+  serve::FrameBuffer frames;
+  std::string wbuf;
+  std::string worker_name = "?";
+  bool saw_hello = false;
+  bool shutdown_sent = false;
+  bool counted_death = false;
+
+  struct InFlight {
+    std::size_t task_idx = 0;
+    std::uint64_t epoch = 0;
+    std::string key;
+    Clock::time_point deadline;
+    bool revoked = false;
+  };
+  std::optional<InFlight> inflight;
+  auto last_seen = Clock::now();
+  std::optional<Clock::time_point> finish_seen;
+
+  const auto declare_dead = [&] {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (inflight && !inflight->revoked) {
+      revoke_locked(inflight->task_idx, inflight->epoch, /*expired=*/false);
+      inflight->revoked = true;
+    }
+    if (!counted_death) {
+      ++fstats_.worker_deaths;
+      counted_death = true;
+    }
+  };
+
+  for (;;) {
+    // Drain every frame already buffered.
+    bool poisoned = false;
+    for (;;) {
+      std::string_view payload;
+      const auto status = frames.next(payload);
+      if (status == serve::FrameBuffer::Status::kNeedMore) break;
+      if (status == serve::FrameBuffer::Status::kMalformed) {
+        poisoned = true;
+        break;
+      }
+      last_seen = Clock::now();
+      Message msg;
+      try {
+        msg = parse_message(payload);
+      } catch (const std::exception& e) {
+        util::log_warn() << "fleet " << spec_.name << ": malformed frame from worker "
+                         << worker_name << ": " << e.what();
+        poisoned = true;
+        break;
+      }
+      if (const auto* hello = std::get_if<HelloMsg>(&msg)) {
+        saw_hello = true;
+        worker_name = hello->worker;
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++fstats_.workers_connected;
+        last_activity_ = Clock::now();
+      } else if (std::holds_alternative<HeartbeatMsg>(msg)) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++fstats_.heartbeats;
+      } else if (const auto* result = std::get_if<ResultMsg>(&msg)) {
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          commit_locked(*result);
+          last_activity_ = Clock::now();
+        }
+        if (inflight && inflight->key == result->key && inflight->epoch == result->epoch) {
+          inflight.reset();  // the worker is idle again (even if fenced)
+        }
+      } else {
+        // lease/shutdown from a worker: protocol violation.
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++fstats_.malformed_frames;
+        poisoned = true;
+        break;
+      }
+    }
+    if (poisoned) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++fstats_.malformed_frames;
+      }
+      declare_dead();
+      break;
+    }
+
+    const auto now = Clock::now();
+    bool finish_now = false;
+    std::optional<Granted> granted;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      // Lease-term expiry: revoke, requeue, fence the old epoch.  The
+      // connection stays open — the worker may only be slow, and its
+      // eventual stale result must be observed (and fenced).
+      if (inflight && !inflight->revoked && now >= inflight->deadline) {
+        revoke_locked(inflight->task_idx, inflight->epoch, /*expired=*/true);
+        inflight->revoked = true;
+      }
+      if (saw_hello && !inflight) granted = grant_locked();
+      finish_now = finish_requested_locked();
+    }
+
+    if (granted) {
+      wbuf.clear();
+      append_lease(wbuf, granted->lease);
+      InFlight f;
+      f.task_idx = granted->task_idx;
+      f.epoch = granted->lease.epoch;
+      f.key = granted->lease.key;
+      f.deadline = now + std::chrono::milliseconds(options_.lease_ms);
+      if (!socket.write_all(wbuf)) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        revoke_locked(f.task_idx, f.epoch, /*expired=*/false);
+        declare_dead();
+        break;
+      }
+      inflight = std::move(f);
+      continue;
+    }
+
+    if (finish_now) {
+      if (!finish_seen) finish_seen = now;
+      // A revoked in-flight compute (a zombie) gets one lease term of
+      // grace to surface its result so the fence is observable; an
+      // unrevoked in-flight lease drains normally via expiry/commit.
+      const bool zombie_grace_over =
+          now - *finish_seen > std::chrono::milliseconds(
+                                   options_.lease_ms + options_.liveness_timeout_ms);
+      if ((!inflight || zombie_grace_over) && !shutdown_sent) {
+        wbuf.clear();
+        append_shutdown(wbuf);
+        (void)socket.write_all(wbuf);
+        shutdown_sent = true;
+      }
+    }
+
+    // Liveness: a silent worker is dead.  After shutdown was sent, the
+    // same timeout just bounds how long we wait for the worker's EOF.
+    if (now - last_seen > std::chrono::milliseconds(options_.liveness_timeout_ms)) {
+      if (!shutdown_sent) declare_dead();
+      break;
+    }
+
+    const int readable = socket.wait_readable(kPollMs);
+    if (readable > 0) {
+      char buffer[4096];
+      const ssize_t n = socket.read_some(buffer, sizeof buffer);
+      if (n > 0) {
+        frames.append(std::string_view(buffer, static_cast<std::size_t>(n)));
+      } else {
+        // EOF (or error): expected after shutdown, a death before.
+        if (!shutdown_sent) declare_dead();
+        break;
+      }
+    } else if (readable < 0) {
+      if (!shutdown_sent) declare_dead();
+      break;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (inflight && !inflight->revoked) {
+      revoke_locked(inflight->task_idx, inflight->epoch, /*expired=*/false);
+    }
+  }
+  socket.close();
+  workers_live_.fetch_sub(1);
+}
+
+FleetResult FleetCoordinator::Impl::run(const std::function<void(std::uint64_t)>& on_ready) {
+  const auto t0 = Clock::now();
+  plan();
+  if (on_ready) on_ready(unresolved_);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    last_activity_ = Clock::now();
+  }
+
+  // Accept loop: runs until every shard is resolved, a drain is
+  // requested, or the whole fleet died with work still pending.
+  for (;;) {
+    bool done = false;
+    bool abandoned = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      done = unresolved_ == 0;
+      if (options_.stop != nullptr && options_.stop->load(std::memory_order_relaxed)) {
+        draining_ = true;
+      }
+      done = done || draining_;
+      // Fleet extinct with shards pending: every spawned worker died
+      // (or none ever connected).  Abandon as a drain — the stores are
+      // intact and the rerun resumes.
+      const auto idle = Clock::now() - last_activity_;
+      if (!done && workers_live_.load() == 0 &&
+          idle > std::chrono::milliseconds(
+                     std::max<std::uint32_t>(2 * options_.liveness_timeout_ms, 2000))) {
+        abandoned = true;
+        draining_ = true;
+      }
+    }
+    if (abandoned) {
+      util::log_error() << "fleet " << spec_.name
+                        << ": no live workers and shards still pending; abandoning "
+                           "(stores are resumable)";
+    }
+    if (done || abandoned) break;
+
+    serve::Socket socket = listener_.accept_connection(100);
+    if (socket.valid()) {
+      auto connection = std::make_unique<Connection>();
+      auto* conn = connection.get();
+      connections_.push_back(std::move(connection));
+      conn->thread = std::thread([this, conn, s = std::move(socket)]() mutable {
+        connection_loop(std::move(s));
+        conn->finished.store(true);
+      });
+    }
+    // Reap finished connection threads as we go.
+    for (auto& connection : connections_) {
+      if (connection->finished.load() && connection->thread.joinable()) {
+        connection->thread.join();
+      }
+    }
+  }
+
+  finishing_.store(true);
+  for (auto& connection : connections_) {
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+
+  // Unresolved points were drained (or abandoned): resumable, like the
+  // runner's kIncomplete.
+  for (std::size_t idx = 0; idx < result_.points.size(); ++idx) {
+    if (result_.points[idx].from_journal) continue;
+    if (shards_left_[idx] > 0 &&
+        result_.points[idx].status == campaign::PointStatus::kOk) {
+      result_.points[idx].status = campaign::PointStatus::kIncomplete;
+    }
+  }
+  for (const auto& outcome : result_.points) {
+    if (outcome.status == campaign::PointStatus::kFailed) ++result_.stats.failed_points;
+    if (outcome.status == campaign::PointStatus::kIncomplete) ++result_.stats.incomplete_points;
+  }
+  result_.stats.store_errors = store_errors_;
+  result_.stats.drained = draining_ && result_.stats.incomplete_points > 0;
+  result_.stats.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  result_.build_index();
+
+  FleetResult out;
+  out.campaign = std::move(result_);
+  out.fleet = fstats_;
+  mirror_stats_to_telemetry(out.fleet, out.campaign.stats);
+  if (options_.progress) {
+    std::fprintf(stderr,
+                 "[fleet %s] %s: %llu points (%llu journal), %llu shards "
+                 "(%llu cached, %llu simulated, %llu failed), %llu worker(s), "
+                 "%llu death(s), %llu fenced, in %.1f s\n",
+                 spec_.name.c_str(), out.campaign.stats.drained ? "drained" : "done",
+                 static_cast<unsigned long long>(out.campaign.stats.points),
+                 static_cast<unsigned long long>(out.campaign.stats.journal_points),
+                 static_cast<unsigned long long>(out.campaign.stats.shards_total),
+                 static_cast<unsigned long long>(out.campaign.stats.shards_cached),
+                 static_cast<unsigned long long>(out.campaign.stats.shards_simulated),
+                 static_cast<unsigned long long>(out.campaign.stats.shards_failed),
+                 static_cast<unsigned long long>(out.fleet.workers_connected),
+                 static_cast<unsigned long long>(out.fleet.worker_deaths),
+                 static_cast<unsigned long long>(out.fleet.fenced_commits),
+                 out.campaign.stats.seconds);
+  }
+  return out;
+}
+
+FleetCoordinator::FleetCoordinator(campaign::SweepSpec spec, CoordinatorOptions options)
+    : impl_(new Impl(std::move(spec), std::move(options))) {}
+
+FleetCoordinator::~FleetCoordinator() { delete impl_; }
+
+const std::string& FleetCoordinator::address() const { return impl_->address(); }
+
+FleetResult FleetCoordinator::run(const std::function<void(std::uint64_t)>& on_ready) {
+  return impl_->run(on_ready);
+}
+
+}  // namespace repcheck::fleet

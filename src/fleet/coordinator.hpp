@@ -1,0 +1,121 @@
+// FleetCoordinator: leases campaign shards to worker processes with
+// epoch fencing and exactly-once commit accounting.
+//
+// The coordinator owns the whole campaign state — the pacemaker-style
+// design where only the DC writes the CIB: it expands the sweep, plans
+// the same shard ranges and derives the same per-point seeds as the
+// single-process CampaignRunner (identical content-addressed keys), and
+// is the *only* process that touches the ResultCache and Journal.
+// Workers are stateless evaluators behind a socket: they receive a
+// lease, simulate the replicate range, and send the summary back.
+//
+// Lease / fencing model:
+//   * every grant carries a fresh epoch from a global counter; the
+//     worker echoes it in its result;
+//   * a lease expires lease_ms after the grant.  On expiry the shard is
+//     requeued for another worker and the old epoch is invalidated — a
+//     presumed-dead worker that wakes up later and reports the shard
+//     finds its epoch stale and the commit is *fenced* (rejected and
+//     counted, never written to the store);
+//   * a worker silent past liveness_timeout_ms (no heartbeat, result or
+//     EOF) is declared dead: its lease is revoked the same way.  A
+//     kill -9 surfaces earlier as EOF on the connection;
+//   * commits are exactly-once by construction: a shard resolves at
+//     most once (first valid-epoch result wins; later ones count as
+//     fenced/duplicate), and only resolved-exactly-once shards reach
+//     cache.insert.  Duplicate sweep points sharing a shard key are
+//     deduplicated at plan time, mirroring the runner's cache-hit path.
+//
+// Equivalence guarantee (chaos-tested): because shard plan, seeds, keys
+// and the merge-in-shard-order finalization are byte-compatible with
+// CampaignRunner, a fleet sweep — under any schedule of worker crashes,
+// stalls and revocations — produces bit-identical point summaries and
+// cache/journal records to a single-process run of the same spec.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "campaign/runner.hpp"
+#include "campaign/sweep.hpp"
+#include "serve/transport.hpp"
+
+namespace repcheck::fleet {
+
+struct CoordinatorOptions {
+  std::uint64_t master_seed = 42;
+  /// Replicates per shard; 0 = auto (~runs/16).  Must match the
+  /// single-process run for the caches to interoperate.
+  std::uint64_t shard_size = 0;
+  std::string cache_dir;     ///< empty = in-memory cache only
+  std::string journal_path;  ///< empty = no journal
+  std::string engine_version{campaign::kEngineVersion};
+  /// Where workers connect (serve::Listener grammar, e.g. "unix:/…").
+  std::string listen_address = "unix:/tmp/repcheck_fleet.sock";
+  /// Effective replicate count per point (campaign::standard_runs_for
+  /// for the standard evaluator).  Required.
+  std::function<std::uint64_t(const campaign::SweepPoint&)> runs_for;
+  /// Lease term: a shard not reported within this window is revoked and
+  /// requeued (the old epoch is fenced).
+  std::uint32_t lease_ms = 30000;
+  /// A connection silent this long (no heartbeat/result) is dead.
+  std::uint32_t liveness_timeout_ms = 5000;
+  /// Lease grants a shard may consume (expiry, death or evaluator
+  /// error) before its point is marked failed.
+  std::uint32_t max_lease_attempts = 16;
+  bool progress = true;  ///< 1 Hz commit/worker report on stderr
+  /// Graceful-drain flag (e.g. &util::install_drain_handler()):
+  /// stop granting, finish in-flight leases, exit resumable.
+  const std::atomic<bool>* stop = nullptr;
+};
+
+/// Fleet-layer counters, alongside the campaign-layer CampaignStats.
+struct FleetStats {
+  std::uint64_t workers_connected = 0;
+  std::uint64_t worker_deaths = 0;      ///< EOF or liveness timeout
+  std::uint64_t leases_granted = 0;
+  std::uint64_t lease_expirations = 0;  ///< revoked at lease_ms
+  std::uint64_t shards_requeued = 0;    ///< re-leased after revoke/error
+  std::uint64_t results_committed = 0;  ///< valid-epoch first results
+  std::uint64_t fenced_commits = 0;     ///< stale-epoch results rejected
+  std::uint64_t duplicate_results = 0;  ///< results for resolved shards
+  std::uint64_t heartbeats = 0;
+  std::uint64_t malformed_frames = 0;  ///< poisoned a connection
+};
+
+struct FleetResult {
+  campaign::CampaignResult campaign;  ///< same shape as CampaignRunner::run()
+  FleetStats fleet;
+
+  [[nodiscard]] bool ok() const { return campaign.ok(); }
+};
+
+class FleetCoordinator {
+ public:
+  /// Binds the listener immediately (throws on failure); workers may
+  /// connect as soon as the constructor returns.
+  FleetCoordinator(campaign::SweepSpec spec, CoordinatorOptions options);
+  ~FleetCoordinator();
+
+  FleetCoordinator(const FleetCoordinator&) = delete;
+  FleetCoordinator& operator=(const FleetCoordinator&) = delete;
+
+  /// The bound address workers should connect to.
+  [[nodiscard]] const std::string& address() const;
+
+  /// Runs the sweep to completion (or drain).  `on_ready`, when set, is
+  /// called once after planning with the number of shards that still
+  /// need simulation — the CLI spawns workers there (and skips spawning
+  /// entirely for a 100%-warm cache).  Setup errors throw; everything
+  /// else is reported through the result, exactly like CampaignRunner.
+  [[nodiscard]] FleetResult run(
+      const std::function<void(std::uint64_t pending_shards)>& on_ready = {});
+
+ private:
+  class Impl;
+  Impl* impl_;
+};
+
+}  // namespace repcheck::fleet

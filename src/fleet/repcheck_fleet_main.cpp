@@ -1,0 +1,420 @@
+// repcheck_fleet: run a campaign sweep across leased worker processes.
+//
+//   repcheck_fleet --grid "c=60,600;mtbf_years=1,5,20" --set "procs=200000"
+//       --workers 4 --cache-dir results/cache --journal results/fleet.journal
+//       --out results/fleet.jsonl
+//
+// The coordinator (this process) plans the same shards, seeds and
+// content-addressed keys as repcheck_campaign, leases them to worker
+// subprocesses over the advisord transport, and is the only process that
+// writes the cache/journal — see docs/FLEET.md for the lease/fencing
+// model.  `--workers 0` runs the identical sweep in-process (serial
+// CampaignRunner): the reference the chaos harness compares against,
+// byte for byte.
+//
+// Worker processes are this same binary re-exec'd with --worker-connect;
+// you normally never invoke that mode by hand.  `--worker-failpoints
+// "K:site=policy[;site=policy]"` arms failpoints in worker K only (the
+// chaos harness's crash/stall injection); '|' separates entries for
+// different workers.  SIGINT/SIGTERM drains gracefully (exit 130, rerun
+// resumes); exit 2 = completed with failed points.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/simulate.hpp"
+#include "fleet/coordinator.hpp"
+#include "fleet/worker.hpp"
+#include "telemetry/report.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/failpoint.hpp"
+#include "util/flags.hpp"
+#include "util/interrupt.hpp"
+
+namespace {
+
+using namespace repcheck;
+using campaign::ParamValue;
+using campaign::SweepSpec;
+
+/// Splits "a=1,2;b=x" into name -> values lists (repcheck_campaign's
+/// --grid/--set grammar).
+std::vector<std::pair<std::string, std::vector<ParamValue>>> parse_assignments(
+    const std::string& text, const char* what) {
+  std::vector<std::pair<std::string, std::vector<ParamValue>>> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t semi = text.find(';', pos);
+    const std::string item =
+        text.substr(pos, semi == std::string::npos ? std::string::npos : semi - pos);
+    pos = semi == std::string::npos ? text.size() : semi + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument(std::string(what) + " entry '" + item +
+                                  "' is not name=value[,value...]");
+    }
+    std::vector<ParamValue> values;
+    std::size_t vpos = eq + 1;
+    while (vpos <= item.size()) {
+      const std::size_t comma = item.find(',', vpos);
+      const std::string value =
+          item.substr(vpos, comma == std::string::npos ? std::string::npos : comma - vpos);
+      values.push_back(campaign::parse_param(value));
+      if (comma == std::string::npos) break;
+      vpos = comma + 1;
+    }
+    out.emplace_back(item.substr(0, eq), std::move(values));
+  }
+  return out;
+}
+
+/// Per-worker failpoint injections: "K:site=policy[;site=policy]"
+/// entries separated by '|'.  Only the leading index is split off; the
+/// remainder is a verbatim REPCHECK_FAILPOINTS spec.
+std::vector<std::pair<int, std::string>> parse_worker_failpoints(const std::string& text) {
+  std::vector<std::pair<int, std::string>> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t bar = text.find('|', pos);
+    const std::string item =
+        text.substr(pos, bar == std::string::npos ? std::string::npos : bar - pos);
+    pos = bar == std::string::npos ? text.size() : bar + 1;
+    if (item.empty()) continue;
+    const std::size_t colon = item.find(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= item.size()) {
+      throw std::invalid_argument("--worker-failpoints entry '" + item +
+                                  "' is not K:site=policy[;...]");
+    }
+    out.emplace_back(std::stoi(item.substr(0, colon)), item.substr(colon + 1));
+  }
+  return out;
+}
+
+/// The deterministic per-point result record (one line per sweep point,
+/// expansion order).  Every double renders shortest-round-trip and the
+/// line carries its own checksum, so two runs agree iff their summaries
+/// are bit-identical — the chaos harness compares these files with cmp.
+void write_results_jsonl(std::ostream& out, const campaign::CampaignResult& result) {
+  for (const auto& outcome : result.points) {
+    util::JsonObject record;
+    record["point"] = outcome.point.canonical();
+    record["key"] = outcome.key;
+    record["seed"] = std::to_string(outcome.seed);
+    switch (outcome.status) {
+      case campaign::PointStatus::kOk:
+        record["status"] = std::string("ok");
+        for (auto& [k, v] : campaign::summary_to_json(outcome.summary)) record[k] = v;
+        break;
+      case campaign::PointStatus::kFailed:
+        record["status"] = std::string("failed");
+        record["error"] = outcome.error;
+        break;
+      case campaign::PointStatus::kIncomplete:
+        record["status"] = std::string("incomplete");
+        break;
+    }
+    record[std::string(campaign::kChecksumField)] = campaign::record_checksum(record);
+    out << util::to_jsonl(record) << '\n';
+  }
+}
+
+void print_fsck_report(const campaign::FsckReport& report) {
+  std::fprintf(stderr,
+               "[fsck] %s: kept %zu record(s), quarantined %zu, upgraded %zu legacy, "
+               "%llu -> %llu bytes\n",
+               report.file.string().c_str(), report.kept, report.quarantined,
+               report.legacy_upgraded, static_cast<unsigned long long>(report.bytes_before),
+               static_cast<unsigned long long>(report.bytes_after));
+}
+
+int run_fsck(const std::string& cache_dir, const std::string& journal) {
+  bool any = false;
+  if (!cache_dir.empty()) {
+    const auto file = std::filesystem::path(cache_dir) / "cache.jsonl";
+    if (std::filesystem::exists(file)) {
+      print_fsck_report(campaign::fsck_store(file, "key"));
+      any = true;
+    }
+  }
+  if (!journal.empty() && std::filesystem::exists(journal)) {
+    print_fsck_report(campaign::fsck_store(journal, "done_key"));
+    any = true;
+  }
+  if (!any) {
+    std::fprintf(stderr,
+                 "fsck: nothing to check (no cache.jsonl under --cache-dir, no --journal)\n");
+    return 1;
+  }
+  return 0;
+}
+
+void print_failure_summary(const campaign::CampaignResult& result) {
+  using campaign::PointStatus;
+  if (result.stats.failed_points > 0) {
+    std::fprintf(stderr, "[fleet] %llu point(s) FAILED:\n",
+                 static_cast<unsigned long long>(result.stats.failed_points));
+    for (const auto& outcome : result.points) {
+      if (outcome.status != PointStatus::kFailed) continue;
+      std::fprintf(stderr, "  %s: %s\n", outcome.point.canonical().c_str(),
+                   outcome.error.c_str());
+    }
+  }
+  if (result.stats.incomplete_points > 0) {
+    std::fprintf(stderr,
+                 "[fleet] %llu point(s) incomplete (drained); rerun with the same "
+                 "--seed/--cache-dir/--journal to resume\n",
+                 static_cast<unsigned long long>(result.stats.incomplete_points));
+  }
+  if (result.stats.store_errors > 0) {
+    std::fprintf(stderr,
+                 "[fleet] %llu store append(s) failed — results above are complete but a "
+                 "rerun may resimulate\n",
+                 static_cast<unsigned long long>(result.stats.store_errors));
+  }
+}
+
+void write_text_file(const std::string& path, const std::string& text, const char* what) {
+  std::ofstream out(path, std::ios::trunc);
+  out << text;
+  out.flush();
+  if (!out) throw std::runtime_error(std::string("cannot write ") + what + ": " + path);
+}
+
+std::string render_report(const std::string& name, std::uint64_t seed) {
+  auto snapshot = telemetry::snapshot_metrics();
+  for (const auto& site : util::failpoint::armed_sites()) {
+    const std::uint64_t hits = util::failpoint::hit_count(site);
+    if (hits > 0) snapshot.counters["failpoint." + site + ".hits"] = hits;
+  }
+  telemetry::ReportMeta meta;
+  meta["campaign"] = name;
+  meta["seed"] = std::to_string(seed);
+  meta["engine"] = std::string(campaign::kEngineVersion);
+  return telemetry::render_run_report(snapshot, meta);
+}
+
+struct WorkerChild {
+  pid_t pid = -1;
+  int idx = -1;
+};
+
+/// fork/exec this binary in worker mode.  `failpoint_spec`, when set,
+/// lands in REPCHECK_FAILPOINTS of this child only — that is how the
+/// chaos harness crashes or stalls one specific worker.
+WorkerChild spawn_worker(const std::string& address, int idx, std::int64_t heartbeat_ms,
+                         const std::string& failpoint_spec) {
+  const pid_t pid = ::fork();
+  if (pid < 0) throw std::runtime_error("fork failed for fleet worker");
+  if (pid == 0) {
+    if (!failpoint_spec.empty()) {
+      ::setenv("REPCHECK_FAILPOINTS", failpoint_spec.c_str(), 1);
+    }
+    const std::string id = "w" + std::to_string(idx);
+    const std::string beat = std::to_string(heartbeat_ms);
+    const char* argv[] = {"repcheck_fleet",
+                          "--worker-connect", address.c_str(),
+                          "--worker-id",      id.c_str(),
+                          "--heartbeat-ms",   beat.c_str(),
+                          nullptr};
+    ::execv("/proc/self/exe", const_cast<char* const*>(argv));
+    _exit(97);  // exec failed
+  }
+  return {pid, idx};
+}
+
+/// Reaps every child, escalating to SIGKILL after ~5 s — a drained or
+/// chaos-killed fleet must never wedge the coordinator's exit.
+void reap_workers(std::vector<WorkerChild>& children) {
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  for (;;) {
+    bool alive = false;
+    for (auto& child : children) {
+      if (child.pid < 0) continue;
+      int status = 0;
+      const pid_t r = ::waitpid(child.pid, &status, WNOHANG);
+      if (r == child.pid) {
+        child.pid = -1;
+      } else if (r == 0) {
+        alive = true;
+      } else {
+        child.pid = -1;  // already reaped / gone
+      }
+    }
+    if (!alive) return;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      for (auto& child : children) {
+        if (child.pid >= 0) {
+          ::kill(child.pid, SIGKILL);
+          ::waitpid(child.pid, nullptr, 0);
+          child.pid = -1;
+        }
+      }
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+int worker_main(const std::string& address, const std::string& worker_id,
+                std::int64_t heartbeat_ms) {
+  fleet::WorkerOptions options;
+  options.worker_id = worker_id;
+  options.heartbeat_ms = static_cast<std::uint32_t>(heartbeat_ms <= 0 ? 500 : heartbeat_ms);
+  const auto report = fleet::run_worker(address, campaign::standard_evaluator(), options);
+  (void)report;  // EOF without shutdown is normal when the coordinator wins the race
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    util::FlagSet flags("repcheck_fleet",
+                        "distributed campaign sweeps: coordinator + leased worker processes");
+    const auto* grid = flags.add_string("grid", "", "sweep axes, e.g. \"c=60,600;mtbf_years=5\"");
+    const auto* set = flags.add_string("set", "", "fixed parameters, e.g. \"procs=200000\"");
+    const auto* seed = flags.add_int64("seed", 42, "master seed (same seed => same numbers)");
+    const auto* workers =
+        flags.add_int64("workers", 2, "worker processes to spawn (0 = in-process reference run)");
+    const auto* listen = flags.add_string(
+        "listen", "", "coordinator address (default unix:/tmp/repcheck_fleet.<pid>.sock)");
+    const auto* cache_dir =
+        flags.add_string("cache-dir", "results/cache", "result cache directory ('' = in-memory)");
+    const auto* journal = flags.add_string("journal", "", "campaign journal file for resume");
+    const auto* shard_size = flags.add_int64("shard-size", 0, "replicates per shard (0 = auto)");
+    const auto* out_path =
+        flags.add_string("out", "", "per-point result JSONL ('' = stdout)");
+    const auto* lease_ms =
+        flags.add_int64("lease-ms", 30000, "lease term before a shard is revoked and re-leased");
+    const auto* liveness_ms = flags.add_int64(
+        "liveness-timeout-ms", 5000, "declare a worker dead after this much silence");
+    const auto* heartbeat_ms =
+        flags.add_int64("heartbeat-ms", 500, "worker heartbeat interval");
+    const auto* max_lease_attempts = flags.add_int64(
+        "max-lease-attempts", 16, "lease grants per shard before its point fails");
+    const auto* worker_failpoints = flags.add_string(
+        "worker-failpoints", "",
+        "chaos: \"K:site=policy[;...]\" ('|'-separated) armed in worker K only");
+    const auto* no_progress = flags.add_bool("no-progress", false, "silence the stderr reporter");
+    const auto* fsck =
+        flags.add_bool("fsck", false, "verify + compact --cache-dir / --journal stores and exit");
+    const auto* metrics_out = flags.add_string(
+        "metrics-out", "", "write a JSON run report (counters/spans/timings) to this file");
+    const auto* trace_out = flags.add_string(
+        "trace-out", "", "write a Chrome trace-event JSON (load in Perfetto) to this file");
+    // Worker mode (normally spawned by the coordinator, not by hand).
+    const auto* worker_connect =
+        flags.add_string("worker-connect", "", "worker mode: coordinator address");
+    const auto* worker_id = flags.add_string("worker-id", "worker", "worker mode: name");
+    if (!flags.parse(argc, argv)) return 0;  // --help
+
+    if (!worker_connect->empty()) {
+      return worker_main(*worker_connect, *worker_id, *heartbeat_ms);
+    }
+
+    if (!metrics_out->empty() || !trace_out->empty()) telemetry::set_enabled(true);
+    if (*fsck) return run_fsck(*cache_dir, *journal);
+    if (grid->empty() && set->empty()) {
+      throw std::invalid_argument("nothing to sweep: pass --grid and/or --set (see --help)");
+    }
+
+    SweepSpec spec;
+    spec.name = "fleet";
+    for (auto& [name, values] : parse_assignments(*set, "--set")) {
+      if (values.size() != 1) {
+        throw std::invalid_argument("--set entry '" + name + "' must have exactly one value");
+      }
+      spec.base.set(name, values.front());
+    }
+    for (auto& [name, values] : parse_assignments(*grid, "--grid")) {
+      spec.axes.push_back({name, std::move(values)});
+    }
+
+    campaign::CampaignResult result;
+
+    if (*workers <= 0) {
+      // In-process reference mode: the serial CampaignRunner over the
+      // identical spec/seed/stores.  The chaos harness compares fleet
+      // output to this, byte for byte.
+      campaign::RunnerOptions options;
+      options.master_seed = static_cast<std::uint64_t>(*seed);
+      options.shard_size = static_cast<std::uint64_t>(*shard_size);
+      options.cache_dir = *cache_dir;
+      options.journal_path = *journal;
+      options.pool = nullptr;  // serial
+      options.progress = !*no_progress;
+      options.stop = &util::install_drain_handler();
+      campaign::CampaignRunner runner(spec, campaign::standard_evaluator(), options);
+      result = runner.run();
+    } else {
+      fleet::CoordinatorOptions options;
+      options.master_seed = static_cast<std::uint64_t>(*seed);
+      options.shard_size = static_cast<std::uint64_t>(*shard_size);
+      options.cache_dir = *cache_dir;
+      options.journal_path = *journal;
+      options.listen_address = listen->empty() ? "unix:/tmp/repcheck_fleet." +
+                                                     std::to_string(::getpid()) + ".sock"
+                                               : *listen;
+      options.runs_for = campaign::standard_runs_for;
+      options.lease_ms = static_cast<std::uint32_t>(*lease_ms);
+      options.liveness_timeout_ms = static_cast<std::uint32_t>(*liveness_ms);
+      options.max_lease_attempts = static_cast<std::uint32_t>(*max_lease_attempts);
+      options.progress = !*no_progress;
+      options.stop = &util::install_drain_handler();
+
+      auto chaos = parse_worker_failpoints(*worker_failpoints);
+      fleet::FleetCoordinator coordinator(spec, options);
+      std::vector<WorkerChild> children;
+      const std::string address = coordinator.address();
+      const auto fleet_result = coordinator.run([&](std::uint64_t pending_shards) {
+        if (pending_shards == 0) return;  // 100% warm: nothing to lease
+        for (int i = 0; i < static_cast<int>(*workers); ++i) {
+          std::string spec_for_worker;
+          for (const auto& [idx, fp] : chaos) {
+            if (idx == i) spec_for_worker = fp;
+          }
+          children.push_back(spawn_worker(address, i, *heartbeat_ms, spec_for_worker));
+        }
+      });
+      reap_workers(children);
+      result = fleet_result.campaign;
+    }
+
+    if (out_path->empty()) {
+      write_results_jsonl(std::cout, result);
+    } else {
+      std::ofstream out(*out_path, std::ios::trunc);
+      write_results_jsonl(out, result);
+      out.flush();
+      if (!out) throw std::runtime_error("cannot write results: " + *out_path);
+    }
+    if (!metrics_out->empty()) {
+      write_text_file(*metrics_out, render_report(spec.name, static_cast<std::uint64_t>(*seed)),
+                      "run report");
+    }
+    if (!trace_out->empty()) {
+      write_text_file(*trace_out, telemetry::render_chrome_trace(), "trace");
+    }
+    if (!result.ok()) {
+      print_failure_summary(result);
+      return result.stats.drained ? 130 : 2;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,204 @@
+#include "fleet/wire.hpp"
+
+#include <stdexcept>
+
+#include "campaign/cache.hpp"
+#include "serve/protocol.hpp"
+
+namespace repcheck::fleet {
+
+namespace {
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw std::invalid_argument("fleet message: " + what);
+}
+
+const util::JsonScalar& field(const util::JsonObject& record, std::string_view name) {
+  const auto it = record.find(name);
+  if (it == record.end()) malformed("missing field '" + std::string(name) + "'");
+  return it->second;
+}
+
+std::string get_string(const util::JsonObject& record, std::string_view name) {
+  const auto* s = std::get_if<std::string>(&field(record, name));
+  if (s == nullptr) malformed("field '" + std::string(name) + "' is not a string");
+  return *s;
+}
+
+double get_number(const util::JsonObject& record, std::string_view name) {
+  const auto* d = std::get_if<double>(&field(record, name));
+  if (d == nullptr) malformed("field '" + std::string(name) + "' is not a number");
+  return *d;
+}
+
+std::uint64_t get_u64(const util::JsonObject& record, std::string_view name) {
+  const double d = get_number(record, name);
+  if (d < 0.0) malformed("field '" + std::string(name) + "' is negative");
+  return static_cast<std::uint64_t>(d);
+}
+
+/// uint64 values that may exceed a double's 2^53 integer range (seeds)
+/// travel as decimal strings, mirroring the campaign cache records.
+std::uint64_t get_u64_string(const util::JsonObject& record, std::string_view name) {
+  const std::string text = get_string(record, name);
+  try {
+    std::size_t consumed = 0;
+    const std::uint64_t v = std::stoull(text, &consumed);
+    if (consumed != text.size()) malformed("field '" + std::string(name) + "' has trailing bytes");
+    return v;
+  } catch (const std::invalid_argument&) {
+    malformed("field '" + std::string(name) + "' is not a uint64");
+  } catch (const std::out_of_range&) {
+    malformed("field '" + std::string(name) + "' overflows uint64");
+  }
+}
+
+void frame(std::string& out, const util::JsonObject& record) {
+  serve::append_frame(out, util::to_jsonl(record));
+}
+
+}  // namespace
+
+void point_to_record(const campaign::SweepPoint& point, util::JsonObject& record) {
+  for (const auto& [name, value] : point.params()) {
+    std::string tagged;
+    if (std::holds_alternative<std::int64_t>(value)) {
+      tagged = "i:";
+    } else if (std::holds_alternative<double>(value)) {
+      tagged = "d:";
+    } else if (std::holds_alternative<bool>(value)) {
+      tagged = "b:";
+    } else {
+      tagged = "s:";
+    }
+    tagged += campaign::render_param(value);
+    record["p." + name] = std::move(tagged);
+  }
+}
+
+campaign::SweepPoint point_from_record(const util::JsonObject& record) {
+  campaign::SweepPoint point;
+  for (const auto& [key, value] : record) {
+    if (key.rfind("p.", 0) != 0) continue;
+    const std::string name = key.substr(2);
+    const auto* text = std::get_if<std::string>(&value);
+    if (text == nullptr || text->size() < 2 || (*text)[1] != ':') {
+      malformed("parameter '" + name + "' is not a tagged value");
+    }
+    const std::string_view body(text->data() + 2, text->size() - 2);
+    switch ((*text)[0]) {
+      case 'i': {
+        const auto parsed = campaign::parse_param(body);
+        if (!std::holds_alternative<std::int64_t>(parsed)) {
+          malformed("parameter '" + name + "' is not an int64");
+        }
+        point.set(name, parsed);
+        break;
+      }
+      case 'd': {
+        const auto d = util::parse_double(body);
+        if (!d) malformed("parameter '" + name + "' is not a double");
+        point.set(name, campaign::ParamValue{*d});
+        break;
+      }
+      case 'b':
+        if (body != "true" && body != "false") {
+          malformed("parameter '" + name + "' is not a bool");
+        }
+        point.set(name, campaign::ParamValue{body == "true"});
+        break;
+      case 's':
+        point.set(name, campaign::ParamValue{std::string(body)});
+        break;
+      default:
+        malformed("parameter '" + name + "' has unknown tag '" + (*text)[0] + std::string("'"));
+    }
+  }
+  return point;
+}
+
+void append_hello(std::string& out, const HelloMsg& msg) {
+  util::JsonObject record;
+  record["op"] = std::string("hello");
+  record["worker"] = msg.worker;
+  record["pid"] = static_cast<double>(msg.pid);
+  frame(out, record);
+}
+
+void append_lease(std::string& out, const LeaseMsg& msg) {
+  util::JsonObject record;
+  record["op"] = std::string("lease");
+  record["epoch"] = static_cast<double>(msg.epoch);
+  record["key"] = msg.key;
+  record["seed"] = std::to_string(msg.seed);
+  record["begin"] = static_cast<double>(msg.begin);
+  record["end"] = static_cast<double>(msg.end);
+  point_to_record(msg.point, record);
+  frame(out, record);
+}
+
+void append_result(std::string& out, const ResultMsg& msg) {
+  util::JsonObject record = msg.ok ? campaign::summary_to_json(msg.summary) : util::JsonObject{};
+  record["op"] = std::string("result");
+  record["epoch"] = static_cast<double>(msg.epoch);
+  record["key"] = msg.key;
+  record["status"] = std::string(msg.ok ? "ok" : "error");
+  if (!msg.ok) record["error"] = msg.error;
+  frame(out, record);
+}
+
+void append_heartbeat(std::string& out) {
+  util::JsonObject record;
+  record["op"] = std::string("heartbeat");
+  frame(out, record);
+}
+
+void append_shutdown(std::string& out) {
+  util::JsonObject record;
+  record["op"] = std::string("shutdown");
+  frame(out, record);
+}
+
+Message parse_message(std::string_view payload) {
+  const auto record = util::parse_jsonl(payload);
+  if (!record) malformed("unparseable payload");
+  const std::string op = get_string(*record, "op");
+  if (op == "heartbeat") return HeartbeatMsg{};
+  if (op == "shutdown") return ShutdownMsg{};
+  if (op == "hello") {
+    HelloMsg msg;
+    msg.worker = get_string(*record, "worker");
+    msg.pid = static_cast<std::int64_t>(get_number(*record, "pid"));
+    return msg;
+  }
+  if (op == "lease") {
+    LeaseMsg msg;
+    msg.epoch = get_u64(*record, "epoch");
+    msg.key = get_string(*record, "key");
+    msg.seed = get_u64_string(*record, "seed");
+    msg.begin = get_u64(*record, "begin");
+    msg.end = get_u64(*record, "end");
+    if (msg.end <= msg.begin) malformed("lease range is empty");
+    msg.point = point_from_record(*record);
+    return msg;
+  }
+  if (op == "result") {
+    ResultMsg msg;
+    msg.epoch = get_u64(*record, "epoch");
+    msg.key = get_string(*record, "key");
+    const std::string status = get_string(*record, "status");
+    if (status == "ok") {
+      msg.ok = true;
+      msg.summary = campaign::summary_from_json(*record);
+    } else if (status == "error") {
+      msg.ok = false;
+      msg.error = get_string(*record, "error");
+    } else {
+      malformed("result status '" + status + "' is neither ok nor error");
+    }
+    return msg;
+  }
+  malformed("unknown op '" + op + "'");
+}
+
+}  // namespace repcheck::fleet

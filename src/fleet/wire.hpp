@@ -1,0 +1,85 @@
+// Fleet wire messages: the coordinator <-> worker protocol payloads.
+//
+// The fleet rides on the advisord transport stack — serve::Listener /
+// serve::Socket byte streams carrying serve::protocol length-prefixed
+// frames — but speaks its own small message set, encoded as the flat
+// JSONL objects of util/jsonl (doubles shortest-round-trip, so a
+// MonteCarloSummary survives the wire bit-identically, which the
+// fleet-vs-single-process equivalence guarantee relies on):
+//
+//   hello      worker -> coordinator, once per connection: names the
+//              worker and its pid
+//   lease      coordinator -> worker: one shard of one sweep point —
+//              the typed point parameters, the replicate range, the
+//              derived point seed, the content-addressed shard key and
+//              the lease epoch the result must echo
+//   result     worker -> coordinator: the shard summary (or the
+//              evaluator error), echoing key + epoch; a result whose
+//              epoch is stale is fenced by the coordinator
+//   heartbeat  worker -> coordinator, periodic: liveness signal
+//   shutdown   coordinator -> worker: drain and exit
+//
+// Point parameters cross the wire with explicit type tags
+// ("p.<name>" -> "i:…" | "d:…" | "s:…" | "b:…") because ParamValue's
+// int64/double distinction is part of the canonical point string and
+// therefore of every cache key; untagged JSON would collapse 60.0 and
+// 60 into one token and silently re-key the shard.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "campaign/sweep.hpp"
+#include "core/montecarlo.hpp"
+#include "util/jsonl.hpp"
+
+namespace repcheck::fleet {
+
+struct HelloMsg {
+  std::string worker;  ///< worker name (diagnostics; uniqueness not required)
+  std::int64_t pid = 0;
+};
+
+struct LeaseMsg {
+  std::uint64_t epoch = 0;  ///< fencing token; the result must echo it
+  std::string key;          ///< campaign::shard_key — the shard's content address
+  campaign::SweepPoint point;
+  std::uint64_t seed = 0;  ///< derived point seed (campaign::derive_point_seed)
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+};
+
+struct ResultMsg {
+  std::uint64_t epoch = 0;
+  std::string key;
+  bool ok = false;
+  std::string error;  ///< evaluator failure text when !ok
+  sim::MonteCarloSummary summary;
+};
+
+struct HeartbeatMsg {};
+struct ShutdownMsg {};
+
+using Message = std::variant<HelloMsg, LeaseMsg, ResultMsg, HeartbeatMsg, ShutdownMsg>;
+
+/// Appends one framed message (`<len>\n<payload>`) to `out`.
+void append_hello(std::string& out, const HelloMsg& msg);
+void append_lease(std::string& out, const LeaseMsg& msg);
+void append_result(std::string& out, const ResultMsg& msg);
+void append_heartbeat(std::string& out);
+void append_shutdown(std::string& out);
+
+/// Parses one frame payload.  Throws std::invalid_argument on anything
+/// malformed (unknown op, missing field, bad tag) — a fleet peer that
+/// sends garbage has desynchronized and its connection must close.
+[[nodiscard]] Message parse_message(std::string_view payload);
+
+/// Typed point <-> record round trip (exposed for tests).  Every
+/// parameter lands as "p.<name>" with a one-letter type tag so the
+/// reconstructed point canonicalizes to the same bytes.
+void point_to_record(const campaign::SweepPoint& point, util::JsonObject& record);
+[[nodiscard]] campaign::SweepPoint point_from_record(const util::JsonObject& record);
+
+}  // namespace repcheck::fleet

@@ -1,0 +1,157 @@
+#include "fleet/worker.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "fleet/wire.hpp"
+#include "serve/protocol.hpp"
+#include "serve/transport.hpp"
+#include "util/failpoint.hpp"
+#include "util/log.hpp"
+
+namespace repcheck::fleet {
+
+namespace {
+
+/// Stall in short slices like the runner does, so a drained process is
+/// never stuck inside one long sleep.
+void stall_for_ms(std::uint64_t ms) {
+  while (ms > 0) {
+    const std::uint64_t slice = std::min<std::uint64_t>(ms, 20);
+    std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+    ms -= slice;
+  }
+}
+
+}  // namespace
+
+WorkerReport run_worker(const std::string& address, const campaign::PointEvaluator& evaluator,
+                        const WorkerOptions& options) {
+  if (!evaluator.simulate) {
+    throw std::invalid_argument("fleet worker needs a simulate callback");
+  }
+  serve::Socket socket = serve::connect_to(address);
+
+  // One mutex serializes every socket write: the heartbeat thread and
+  // the lease loop must never interleave frames.
+  std::mutex write_mutex;
+  std::atomic<bool> stop_heartbeat{false};
+  std::mutex hb_mutex;
+  std::condition_variable hb_cv;
+
+  const auto send = [&](const std::string& bytes) {
+    std::lock_guard<std::mutex> lock(write_mutex);
+    return socket.write_all(bytes);
+  };
+
+  {
+    std::string hello;
+    HelloMsg msg;
+    msg.worker = options.worker_id;
+    msg.pid = static_cast<std::int64_t>(::getpid());
+    append_hello(hello, msg);
+    if (!send(hello)) throw std::runtime_error("fleet worker: hello write failed");
+  }
+
+  std::thread heartbeat([&] {
+    std::string beat;
+    append_heartbeat(beat);
+    std::unique_lock<std::mutex> lock(hb_mutex);
+    while (!stop_heartbeat.load()) {
+      hb_cv.wait_for(lock, std::chrono::milliseconds(options.heartbeat_ms),
+                     [&] { return stop_heartbeat.load(); });
+      if (stop_heartbeat.load()) break;
+      if (!send(beat)) break;  // coordinator gone; lease loop sees EOF
+    }
+  });
+  const auto stop_heartbeats = [&] {
+    {
+      std::lock_guard<std::mutex> lock(hb_mutex);
+      stop_heartbeat.store(true);
+    }
+    hb_cv.notify_all();
+    if (heartbeat.joinable()) heartbeat.join();
+  };
+
+  WorkerReport report;
+  serve::FrameBuffer frames;
+  std::string wbuf;
+  bool running = true;
+  try {
+    while (running) {
+      std::string_view payload;
+      const auto status = frames.next(payload);
+      if (status == serve::FrameBuffer::Status::kMalformed) break;
+      if (status == serve::FrameBuffer::Status::kNeedMore) {
+        const int readable = socket.wait_readable(50);
+        if (readable < 0) break;
+        if (readable == 0) continue;
+        char buffer[4096];
+        const ssize_t n = socket.read_some(buffer, sizeof buffer);
+        if (n <= 0) break;  // EOF or error: coordinator gone
+        frames.append(std::string_view(buffer, static_cast<std::size_t>(n)));
+        continue;
+      }
+
+      Message msg;
+      try {
+        msg = parse_message(payload);
+      } catch (const std::exception& e) {
+        util::log_warn() << "fleet worker " << options.worker_id << ": malformed frame: "
+                         << e.what();
+        break;
+      }
+      if (std::holds_alternative<ShutdownMsg>(msg)) {
+        report.clean_shutdown = true;
+        break;
+      }
+      const auto* lease = std::get_if<LeaseMsg>(&msg);
+      if (lease == nullptr) continue;  // hello/heartbeat/result: not for us
+
+      ResultMsg result;
+      result.epoch = lease->epoch;
+      result.key = lease->key;
+      try {
+        if (REPCHECK_FAILPOINT("fleet.worker.kill9")) {
+          // The chaos harness's mid-shard hard crash: no unwinding, no
+          // goodbye — the coordinator sees EOF and requeues the shard.
+          (void)::raise(SIGKILL);
+        }
+        if (REPCHECK_FAILPOINT("campaign.evaluator.throw")) {
+          throw std::runtime_error(
+              "injected evaluator fault (failpoint campaign.evaluator.throw)");
+        }
+        if (REPCHECK_FAILPOINT("campaign.evaluator.stall")) {
+          // Heartbeats keep flowing while we stall — only the lease
+          // term can catch this, which is the fencing test's point.
+          stall_for_ms(400);
+        }
+        result.summary = evaluator.simulate(lease->point, lease->begin, lease->end, lease->seed);
+        result.ok = true;
+        ++report.leases_served;
+      } catch (const std::exception& e) {
+        result.ok = false;
+        result.error = e.what();
+        ++report.errors_reported;
+      }
+      wbuf.clear();
+      append_result(wbuf, result);
+      if (!send(wbuf)) break;  // coordinator gone mid-report
+    }
+  } catch (...) {
+    stop_heartbeats();
+    throw;
+  }
+  stop_heartbeats();
+  return report;
+}
+
+}  // namespace repcheck::fleet

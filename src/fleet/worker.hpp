@@ -1,0 +1,52 @@
+// Fleet worker: the stateless evaluator half of the coordinator/worker
+// pair.  A worker connects to the coordinator, introduces itself, then
+// loops lease -> simulate -> result until it is told to shut down (or
+// the connection drops).  It owns no campaign state and never touches
+// the ResultCache or Journal — commit authority stays with the
+// coordinator, which is what makes fencing airtight.
+//
+// A background thread heartbeats every heartbeat_ms so the coordinator
+// can tell "slow" from "dead".  Note the deliberate asymmetry the
+// fencing tests rely on: a stalled evaluator keeps heartbeating (the
+// heartbeat thread is separate), so only the *lease term* catches it —
+// the coordinator revokes, re-leases, and fences this worker's late
+// result.
+//
+// Chaos sites hit on the worker's evaluation path:
+//   fleet.worker.kill9        raise(SIGKILL) before simulating — the
+//                             mid-shard hard crash of the chaos e2e test
+//   campaign.evaluator.throw  evaluator fault -> error result (the
+//                             coordinator requeues the shard)
+//   campaign.evaluator.stall  sleep ~400 ms before simulating — long
+//                             enough to blow a short test lease while
+//                             heartbeats keep flowing
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "campaign/runner.hpp"
+
+namespace repcheck::fleet {
+
+struct WorkerOptions {
+  std::string worker_id = "worker";  ///< diagnostics name sent in hello
+  std::uint32_t heartbeat_ms = 500;
+};
+
+/// What a worker did before exiting (for tests and the CLI exit path).
+struct WorkerReport {
+  std::uint64_t leases_served = 0;    ///< ok results sent
+  std::uint64_t errors_reported = 0;  ///< error results sent
+  bool clean_shutdown = false;        ///< exited on a shutdown message
+};
+
+/// Connects to `address` and serves leases with `evaluator.simulate`
+/// until shutdown/EOF.  Connection-setup failures throw
+/// std::runtime_error; evaluator failures are reported to the
+/// coordinator as error results and do not end the worker.
+[[nodiscard]] WorkerReport run_worker(const std::string& address,
+                                      const campaign::PointEvaluator& evaluator,
+                                      const WorkerOptions& options = {});
+
+}  // namespace repcheck::fleet

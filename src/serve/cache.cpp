@@ -1,5 +1,8 @@
 #include "serve/cache.hpp"
 
+#include <algorithm>
+
+#include "telemetry/telemetry.hpp"
 #include "util/hash.hpp"
 
 namespace repcheck::serve {
@@ -31,8 +34,10 @@ std::size_t round_up_pow2(std::size_t n) {
 
 }  // namespace
 
-MemoCache::MemoCache(std::size_t shards)
+MemoCache::MemoCache(std::size_t shards, std::size_t max_entries)
     : mask_(round_up_pow2(shards == 0 ? 1 : shards) - 1),
+      per_shard_cap_(max_entries == 0 ? 0
+                                      : std::max<std::size_t>(1, max_entries / (mask_ + 1))),
       shards_(mask_ + 1) {}
 
 MemoCache::Shard& MemoCache::shard_of(std::string_view key) const {
@@ -49,9 +54,19 @@ bool MemoCache::lookup(std::string_view key, CachedAnswer& out) const {
 }
 
 void MemoCache::insert(std::string_view key, const CachedAnswer& answer) {
+  // Registry handle resolved once (the registry lookup takes a mutex).
+  static telemetry::Counter& evictions_counter = telemetry::counter("serve.cache_evictions");
   Shard& shard = shard_of(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
-  shard.map.insert_or_assign(std::string(key), answer);
+  const auto [it, fresh] = shard.map.insert_or_assign(std::string(key), answer);
+  if (per_shard_cap_ == 0 || !fresh) return;
+  shard.fifo.emplace_back(it->first);
+  while (shard.map.size() > per_shard_cap_ && !shard.fifo.empty()) {
+    shard.map.erase(shard.fifo.front());
+    shard.fifo.pop_front();
+    ++shard.evictions;
+    evictions_counter.inc();
+  }
 }
 
 std::size_t MemoCache::size() const {
@@ -59,6 +74,15 @@ std::size_t MemoCache::size() const {
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mutex);
     total += shard.map.size();
+  }
+  return total;
+}
+
+std::uint64_t MemoCache::evictions() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.evictions;
   }
   return total;
 }

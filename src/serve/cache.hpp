@@ -13,9 +13,18 @@
 // contend.  A hit copies one CachedAnswer (~150 bytes) under the shard
 // lock — sub-microsecond, and allocation-free via heterogeneous
 // string_view lookup.
+//
+// Capacity is bounded (--cache-max-entries): each shard keeps a FIFO of
+// its insertion order and evicts its oldest entry once the shard's slice
+// of the budget is full, counting "serve.cache_evictions".  FIFO (not
+// LRU) keeps the hit path allocation- and bookkeeping-free — a hit never
+// touches the eviction queue — which matches the access pattern:
+// advisor answers are immutable and re-insertion after eviction is just
+// a recompute, never an inconsistency.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <string>
@@ -45,13 +54,18 @@ void query_key(const RequestView& request, util::CanonicalKey& scratch, char* ou
 class MemoCache {
  public:
   /// `shards` is rounded up to a power of two (at least 1).
-  explicit MemoCache(std::size_t shards);
+  /// `max_entries` bounds the whole cache (split evenly across shards,
+  /// at least one entry per shard); 0 = unbounded.
+  explicit MemoCache(std::size_t shards, std::size_t max_entries = 0);
 
   /// Copies the answer out under the shard lock; false on miss.
   [[nodiscard]] bool lookup(std::string_view key, CachedAnswer& out) const;
   void insert(std::string_view key, const CachedAnswer& answer);
 
   [[nodiscard]] std::size_t size() const;
+  /// Entries evicted to stay under max_entries (also the
+  /// "serve.cache_evictions" counter).
+  [[nodiscard]] std::uint64_t evictions() const;
 
  private:
   struct StringHash {
@@ -63,11 +77,14 @@ class MemoCache {
   struct alignas(64) Shard {
     mutable std::mutex mutex;
     std::unordered_map<std::string, CachedAnswer, StringHash, std::equal_to<>> map;
+    std::deque<std::string> fifo;  ///< insertion order; unused when unbounded
+    std::uint64_t evictions = 0;
   };
 
   [[nodiscard]] Shard& shard_of(std::string_view key) const;
 
   std::size_t mask_;
+  std::size_t per_shard_cap_;  ///< 0 = unbounded
   mutable std::vector<Shard> shards_;
 };
 

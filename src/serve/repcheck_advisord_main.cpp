@@ -65,6 +65,8 @@ int main(int argc, char** argv) {
         flags.add_int64("batch-max", 64, "most distinct misses computed per dispatcher batch");
     const auto* cache_shards =
         flags.add_int64("cache-shards", 16, "memo-cache shards (rounded up to a power of two)");
+    const auto* cache_max_entries = flags.add_int64(
+        "cache-max-entries", 1 << 20, "memo-cache entry budget; oldest evict (0 = unbounded)");
     const auto* max_validate_runs = flags.add_int64(
         "max-validate-runs", 10000, "per-request ceiling on validated-tier simulation runs");
     const auto* validate_default_runs = flags.add_int64(
@@ -77,8 +79,8 @@ int main(int argc, char** argv) {
         "trace-out", "", "write a Chrome trace-event JSON (load in Perfetto) on exit");
     if (!flags.parse(argc, argv)) return 0;  // --help
 
-    if (*max_pending < 0 || *batch_max < 0 || *cache_shards < 0 || *max_validate_runs < 0 ||
-        *validate_default_runs < 0 || *max_connections <= 0) {
+    if (*max_pending < 0 || *batch_max < 0 || *cache_shards < 0 || *cache_max_entries < 0 ||
+        *max_validate_runs < 0 || *validate_default_runs < 0 || *max_connections <= 0) {
       throw std::invalid_argument("serve limits must be non-negative (--max-connections positive)");
     }
 
@@ -98,6 +100,7 @@ int main(int argc, char** argv) {
 
     serve::Service::Options service_options;
     service_options.cache_shards = static_cast<std::size_t>(*cache_shards);
+    service_options.cache_max_entries = static_cast<std::size_t>(*cache_max_entries);
     service_options.max_pending = static_cast<std::size_t>(*max_pending);
     service_options.batch_max = static_cast<std::size_t>(*batch_max);
     service_options.max_validate_runs = static_cast<std::uint64_t>(*max_validate_runs);

@@ -46,7 +46,7 @@ void append_int(std::string& out, std::int64_t v) {
 
 Service::Service(const Options& options)
     : options_(options),
-      cache_(options.cache_shards),
+      cache_(options.cache_shards, options.cache_max_entries),
       requests_(telemetry::counter("serve.requests")),
       hits_(telemetry::counter("serve.hits")),
       misses_(telemetry::counter("serve.misses")),

@@ -43,6 +43,9 @@ class Service {
  public:
   struct Options {
     std::size_t cache_shards = 16;
+    /// Memo-cache entry budget (--cache-max-entries); 0 = unbounded.
+    /// Oldest entries evict per shard, counted as serve.cache_evictions.
+    std::size_t cache_max_entries = 1u << 20;
     /// Queued-miss watermark; at or above it new misses shed.  0 sheds
     /// every miss (a test configuration).
     std::size_t max_pending = 1024;

@@ -1,0 +1,169 @@
+// util/canonical_key edge cases: the one canonicalization scheme every
+// content-addressed store shares (campaign shard/point keys, the advisor
+// memo-cache, fleet lease keys), probed where floating point and field
+// grammar get weird — non-finite doubles, signed zero, denormals, empty
+// and very long field names — plus the ordering contract: CanonicalKey
+// itself is add-order-sensitive by design, and order independence comes
+// from SweepPoint's sorted parameter map one layer up.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "campaign/cache.hpp"
+#include "campaign/sweep.hpp"
+#include "util/canonical_key.hpp"
+#include "util/jsonl.hpp"
+
+namespace {
+
+using namespace repcheck;
+using campaign::ParamValue;
+using campaign::SweepPoint;
+using util::CanonicalKey;
+
+std::string hex_of(const CanonicalKey& key) {
+  char buffer[util::kContentKeyHexChars];
+  key.hex_to(buffer);
+  return std::string(buffer, sizeof buffer);
+}
+
+TEST(CanonicalKey, HexToMatchesHexAndIsLowercaseFixedWidth) {
+  CanonicalKey key("head");
+  key.add("a", std::uint64_t{1}).add("b", 2.5).add("c", true);
+  const std::string hex = key.hex();
+  ASSERT_EQ(hex.size(), util::kContentKeyHexChars);
+  EXPECT_EQ(hex_of(key), hex);
+  for (const char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << c;
+  }
+}
+
+TEST(CanonicalKey, NonFiniteDoublesRenderAsBareTokens) {
+  CanonicalKey key;
+  key.add("nan", std::nan(""))
+      .add("inf", std::numeric_limits<double>::infinity())
+      .add("ninf", -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(key.payload(), "nan=nan|inf=inf|ninf=-inf");
+}
+
+TEST(CanonicalKey, NegativeZeroIsDistinctFromPositiveZero) {
+  CanonicalKey pos;
+  pos.add("x", 0.0);
+  CanonicalKey neg;
+  neg.add("x", -0.0);
+  EXPECT_EQ(pos.payload(), "x=0");
+  EXPECT_EQ(neg.payload(), "x=-0");
+  // Different bits, different payload, different key: a -0.0 parameter
+  // must never silently alias the +0.0 cache entry.
+  EXPECT_NE(pos.hex(), neg.hex());
+}
+
+TEST(CanonicalKey, DenormalDoublesSurviveShortestRoundTrip) {
+  const double denormals[] = {5e-324,  // smallest subnormal
+                              std::numeric_limits<double>::denorm_min() * 7,
+                              std::numeric_limits<double>::min() / 3};
+  for (const double v : denormals) {
+    const std::string text = util::format_double(v);
+    const auto back = util::parse_double(text);
+    ASSERT_TRUE(back.has_value()) << text;
+    EXPECT_EQ(*back, v) << text;
+    CanonicalKey key;
+    key.add("d", v);
+    EXPECT_EQ(key.payload(), "d=" + text);
+  }
+}
+
+TEST(CanonicalKey, AdjacentDenormalsGetDistinctKeys) {
+  const double lo = std::numeric_limits<double>::denorm_min();
+  const double hi = std::nextafter(lo, 1.0);
+  CanonicalKey a;
+  a.add("d", lo);
+  CanonicalKey b;
+  b.add("d", hi);
+  EXPECT_NE(a.payload(), b.payload());
+  EXPECT_NE(a.hex(), b.hex());
+}
+
+TEST(CanonicalKey, EmptyFieldNamesAndValuesStillSeparateUnambiguously) {
+  CanonicalKey key;
+  key.add("", std::string_view{""});
+  EXPECT_EQ(key.payload(), "=");
+  key.add("a", std::string_view{""});
+  EXPECT_EQ(key.payload(), "=|a=");
+  // "" then "a" must not collide with "a" alone or with a single "|a=".
+  CanonicalKey other;
+  other.add("a", std::string_view{""});
+  EXPECT_NE(key.hex(), other.hex());
+}
+
+TEST(CanonicalKey, LongFieldNamesHashStably) {
+  const std::string long_name(64 * 1024, 'k');
+  CanonicalKey a;
+  a.add(long_name, std::uint64_t{1});
+  CanonicalKey b;
+  b.add(long_name, std::uint64_t{1});
+  EXPECT_EQ(a.payload().size(), long_name.size() + 2);  // name + "=1", no leading '|'
+  EXPECT_EQ(a.hex(), b.hex());
+  CanonicalKey c;
+  c.add(long_name, std::uint64_t{2});
+  EXPECT_NE(a.hex(), c.hex());
+}
+
+TEST(CanonicalKey, AddOrderIsPartOfTheKeyByDesign) {
+  CanonicalKey ab;
+  ab.add("a", std::uint64_t{1}).add("b", std::uint64_t{2});
+  CanonicalKey ba;
+  ba.add("b", std::uint64_t{2}).add("a", std::uint64_t{1});
+  // The builder is a plain payload accumulator: callers are responsible
+  // for a canonical field order (SweepPoint sorts; query_key fixes the
+  // order in code).
+  EXPECT_NE(ab.hex(), ba.hex());
+}
+
+TEST(CanonicalKey, SweepPointKeysAreInsertionOrderFree) {
+  SweepPoint forward;
+  forward.set("c", ParamValue{60.0});
+  forward.set("mtbf_years", ParamValue{5.0});
+  forward.set("procs", ParamValue{std::int64_t{1000}});
+  SweepPoint reverse;
+  reverse.set("procs", ParamValue{std::int64_t{1000}});
+  reverse.set("mtbf_years", ParamValue{5.0});
+  reverse.set("c", ParamValue{60.0});
+
+  EXPECT_EQ(forward.canonical(), reverse.canonical());
+  EXPECT_EQ(campaign::point_key(forward, 42), campaign::point_key(reverse, 42));
+  EXPECT_EQ(campaign::shard_key(forward, 42, 0, 8), campaign::shard_key(reverse, 42, 0, 8));
+}
+
+TEST(CanonicalKey, ShardKeySeparatesRangeSeedAndEngine) {
+  SweepPoint point;
+  point.set("c", ParamValue{60.0});
+  const auto base = campaign::shard_key(point, 42, 0, 8);
+  EXPECT_NE(campaign::shard_key(point, 42, 0, 9), base);   // range
+  EXPECT_NE(campaign::shard_key(point, 43, 0, 8), base);   // master seed
+  EXPECT_NE(campaign::shard_key(point, 42, 0, 8, "v2"), base);  // engine
+  EXPECT_EQ(campaign::shard_key(point, 42, 0, 8), base);   // stable
+}
+
+TEST(CanonicalKey, ResetReusesTheBuilderWithoutResidue) {
+  CanonicalKey key("head");
+  key.add("a", std::uint64_t{1}).add_range("r", 0, 8);
+  const std::string first_payload = key.payload();
+  const std::string first_hex = key.hex();
+  EXPECT_EQ(first_payload, "head|a=1|r=0-8");
+
+  key.reset("head");
+  key.add("a", std::uint64_t{1}).add_range("r", 0, 8);
+  EXPECT_EQ(key.payload(), first_payload);
+  EXPECT_EQ(key.hex(), first_hex);
+
+  key.reset();
+  EXPECT_TRUE(key.payload().empty());
+  key.add("b", false);
+  EXPECT_EQ(key.payload(), "b=false");
+}
+
+}  // namespace

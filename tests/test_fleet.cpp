@@ -1,0 +1,522 @@
+// The fleet layer in-process: wire message round trips (typed points,
+// bit-exact summaries, big seeds), coordinator + worker happy path
+// bit-identical to CampaignRunner, dead-worker requeue, the epoch-fencing
+// property (a stalled worker's late commit is rejected and the stores
+// stay clean), evaluator-error retry and point isolation, graceful
+// drain, and warm-cache reruns.  The fork/exec chaos runs against the
+// real CLI live in test_fleet_chaos.cpp.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/cache.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/sweep.hpp"
+#include "core/montecarlo.hpp"
+#include "fleet/coordinator.hpp"
+#include "fleet/wire.hpp"
+#include "fleet/worker.hpp"
+#include "serve/protocol.hpp"
+#include "serve/transport.hpp"
+#include "util/failpoint.hpp"
+
+namespace {
+
+using namespace repcheck;
+using campaign::CampaignResult;
+using campaign::CampaignRunner;
+using campaign::ParamValue;
+using campaign::PointEvaluator;
+using campaign::PointStatus;
+using campaign::SweepPoint;
+using campaign::SweepSpec;
+namespace fp = util::failpoint;
+
+std::filesystem::path fresh_dir(const std::string& name) {
+  const auto dir = std::filesystem::path(::testing::TempDir()) / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::size_t count_lines(const std::filesystem::path& file) {
+  std::ifstream in(file);
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(in, line)) ++n;
+  return n;
+}
+
+void expect_stats_identical(const stats::RunningStats& a, const stats::RunningStats& b,
+                            const char* what) {
+  const auto sa = a.state();
+  const auto sb = b.state();
+  EXPECT_EQ(sa.count, sb.count) << what;
+  EXPECT_EQ(sa.mean, sb.mean) << what;
+  EXPECT_EQ(sa.m2, sb.m2) << what;
+  EXPECT_EQ(sa.min, sb.min) << what;
+  EXPECT_EQ(sa.max, sb.max) << what;
+}
+
+void expect_summaries_identical(const sim::MonteCarloSummary& a,
+                                const sim::MonteCarloSummary& b) {
+  expect_stats_identical(a.overhead, b.overhead, "overhead");
+  expect_stats_identical(a.makespan, b.makespan, "makespan");
+  expect_stats_identical(a.useful_time, b.useful_time, "useful_time");
+  EXPECT_EQ(a.runs, b.runs);
+  EXPECT_EQ(a.stalled_runs, b.stalled_runs);
+}
+
+/// Deterministic fake evaluator (same construction as the campaign
+/// robustness tests): replicate values derive from the global index.
+PointEvaluator fake_evaluator(std::uint64_t runs) {
+  PointEvaluator ev;
+  ev.runs_for = [runs](const SweepPoint&) { return runs; };
+  ev.simulate = [](const SweepPoint&, std::uint64_t begin, std::uint64_t end,
+                   std::uint64_t seed) {
+    sim::MonteCarloSummary summary;
+    for (std::uint64_t i = begin; i < end; ++i) {
+      const double v =
+          static_cast<double>(sim::derive_run_seed(seed, i)) / 1.8446744073709552e19;
+      summary.overhead.push(v);
+      summary.makespan.push(1000.0 * v);
+      summary.useful_time.push(900.0 * v);
+      ++summary.runs;
+    }
+    return summary;
+  };
+  return ev;
+}
+
+SweepSpec four_point_spec() {
+  SweepSpec spec;
+  spec.name = "fleet-test";
+  spec.base.set("procs", std::int64_t{100});
+  spec.axes.push_back({"c", {ParamValue{60.0}, ParamValue{600.0}}});
+  spec.axes.push_back({"strategy", {ParamValue{std::string("restart")},
+                                    ParamValue{std::string("no-restart")}}});
+  return spec;
+}
+
+fleet::CoordinatorOptions quiet_options(const std::string& socket_name) {
+  fleet::CoordinatorOptions options;
+  options.shard_size = 2;
+  options.progress = false;
+  options.listen_address =
+      "unix:" + (std::filesystem::path(::testing::TempDir()) / socket_name).string();
+  options.lease_ms = 30000;
+  options.liveness_timeout_ms = 3000;
+  return options;
+}
+
+/// Reference result: the single-process runner, in-memory, serial.
+CampaignResult reference_result(std::uint64_t runs = 8) {
+  campaign::RunnerOptions options;
+  options.shard_size = 2;
+  options.progress = false;
+  options.max_retries = 0;
+  return CampaignRunner(four_point_spec(), fake_evaluator(runs), options).run();
+}
+
+struct FleetRun {
+  fleet::FleetResult result;
+  std::vector<fleet::WorkerReport> reports;
+};
+
+/// Runs the coordinator in this thread and `workers` in-process worker
+/// threads spawned from on_ready (exactly the CLI's structure, minus
+/// fork/exec).
+FleetRun run_fleet(const SweepSpec& spec, const PointEvaluator& ev,
+                   fleet::CoordinatorOptions options, int workers) {
+  options.runs_for = ev.runs_for;
+  fleet::FleetCoordinator coordinator(spec, options);
+  std::vector<std::thread> threads;
+  FleetRun out;
+  out.reports.resize(static_cast<std::size_t>(workers));
+  out.result = coordinator.run([&](std::uint64_t pending) {
+    if (pending == 0) return;
+    for (int i = 0; i < workers; ++i) {
+      threads.emplace_back([&, i] {
+        fleet::WorkerOptions wopts;
+        wopts.worker_id = "w" + std::to_string(i);
+        wopts.heartbeat_ms = 100;
+        out.reports[static_cast<std::size_t>(i)] =
+            fleet::run_worker(coordinator.address(), ev, wopts);
+      });
+    }
+  });
+  for (auto& thread : threads) thread.join();
+  return out;
+}
+
+class FleetTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fp::disarm_all(); }
+};
+
+// ---------------------------------------------------------------------------
+// Wire messages
+
+TEST(FleetWire, TypedPointRoundTripPreservesTypesAndCanonicalString) {
+  SweepPoint point;
+  point.set("c", ParamValue{60.0});          // double, integral value
+  point.set("procs", ParamValue{std::int64_t{60}});  // int64 of the same digits
+  point.set("strategy", ParamValue{std::string("restart")});
+  point.set("flag", ParamValue{true});
+
+  util::JsonObject record;
+  fleet::point_to_record(point, record);
+  const SweepPoint back = fleet::point_from_record(record);
+
+  EXPECT_EQ(back.canonical(), point.canonical());
+  EXPECT_TRUE(std::holds_alternative<double>(*back.find("c")));
+  EXPECT_TRUE(std::holds_alternative<std::int64_t>(*back.find("procs")));
+  EXPECT_TRUE(std::holds_alternative<std::string>(*back.find("strategy")));
+  EXPECT_TRUE(std::holds_alternative<bool>(*back.find("flag")));
+  // The whole reason for the tags: 60.0 and 60 must not collapse.
+  EXPECT_EQ(campaign::point_key(back, 1), campaign::point_key(point, 1));
+}
+
+TEST(FleetWire, PointRoundTripSurvivesNonFiniteAndNegativeZeroDoubles) {
+  SweepPoint point;
+  point.set("a", ParamValue{std::nan("")});
+  point.set("b", ParamValue{-0.0});
+  point.set("c", ParamValue{5e-324});  // smallest denormal
+
+  util::JsonObject record;
+  fleet::point_to_record(point, record);
+  const SweepPoint back = fleet::point_from_record(record);
+  EXPECT_EQ(back.canonical(), point.canonical());
+  EXPECT_TRUE(std::isnan(back.get_double("a")));
+  EXPECT_TRUE(std::signbit(back.get_double("b")));
+  EXPECT_EQ(back.get_double("c"), 5e-324);
+}
+
+TEST(FleetWire, LeaseRoundTripCarriesFullSeedPrecision) {
+  fleet::LeaseMsg lease;
+  lease.epoch = 7;
+  lease.key = "0123456789abcdef0123456789abcdef";
+  lease.seed = 0xFFFF'FFFF'FFFF'FFFFull;  // would lose bits as a double
+  lease.begin = 4;
+  lease.end = 6;
+  lease.point.set("c", ParamValue{60.0});
+
+  std::string wire;
+  fleet::append_lease(wire, lease);
+  serve::FrameBuffer frames;
+  frames.append(wire);
+  std::string_view payload;
+  ASSERT_EQ(frames.next(payload), serve::FrameBuffer::Status::kFrame);
+  const auto msg = fleet::parse_message(payload);
+  const auto* back = std::get_if<fleet::LeaseMsg>(&msg);
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->epoch, 7u);
+  EXPECT_EQ(back->key, lease.key);
+  EXPECT_EQ(back->seed, 0xFFFF'FFFF'FFFF'FFFFull);
+  EXPECT_EQ(back->begin, 4u);
+  EXPECT_EQ(back->end, 6u);
+  EXPECT_EQ(back->point.canonical(), lease.point.canonical());
+}
+
+TEST(FleetWire, ResultRoundTripIsBitExact) {
+  const auto ev = fake_evaluator(8);
+  fleet::ResultMsg result;
+  result.epoch = 3;
+  result.key = "k";
+  result.ok = true;
+  result.summary = ev.simulate(SweepPoint{}, 0, 8, 12345);
+
+  std::string wire;
+  fleet::append_result(wire, result);
+  serve::FrameBuffer frames;
+  frames.append(wire);
+  std::string_view payload;
+  ASSERT_EQ(frames.next(payload), serve::FrameBuffer::Status::kFrame);
+  const auto msg = fleet::parse_message(payload);
+  const auto* back = std::get_if<fleet::ResultMsg>(&msg);
+  ASSERT_NE(back, nullptr);
+  EXPECT_TRUE(back->ok);
+  EXPECT_EQ(back->epoch, 3u);
+  expect_summaries_identical(back->summary, result.summary);
+}
+
+TEST(FleetWire, ErrorResultCarriesTheMessage) {
+  fleet::ResultMsg result;
+  result.epoch = 1;
+  result.key = "k";
+  result.ok = false;
+  result.error = "evaluator exploded";
+  std::string wire;
+  fleet::append_result(wire, result);
+  serve::FrameBuffer frames;
+  frames.append(wire);
+  std::string_view payload;
+  ASSERT_EQ(frames.next(payload), serve::FrameBuffer::Status::kFrame);
+  const auto msg = fleet::parse_message(payload);
+  const auto* back = std::get_if<fleet::ResultMsg>(&msg);
+  ASSERT_NE(back, nullptr);
+  EXPECT_FALSE(back->ok);
+  EXPECT_EQ(back->error, "evaluator exploded");
+}
+
+TEST(FleetWire, MalformedMessagesThrow) {
+  EXPECT_THROW((void)fleet::parse_message("not json"), std::invalid_argument);
+  EXPECT_THROW((void)fleet::parse_message("{\"op\":\"warp\"}"), std::invalid_argument);
+  EXPECT_THROW((void)fleet::parse_message("{\"op\":\"hello\"}"), std::invalid_argument);
+  // Empty lease range.
+  EXPECT_THROW((void)fleet::parse_message("{\"op\":\"lease\",\"epoch\":1,\"key\":\"k\","
+                                          "\"seed\":\"1\",\"begin\":4,\"end\":4}"),
+               std::invalid_argument);
+  // Untagged point parameter.
+  EXPECT_THROW((void)fleet::parse_message("{\"op\":\"lease\",\"epoch\":1,\"key\":\"k\","
+                                          "\"seed\":\"1\",\"begin\":0,\"end\":2,"
+                                          "\"p.c\":\"60\"}"),
+               std::invalid_argument);
+  // Result with neither ok nor error status.
+  EXPECT_THROW(
+      (void)fleet::parse_message("{\"op\":\"result\",\"epoch\":1,\"key\":\"k\",\"status\":\"?\"}"),
+      std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator + workers, in-process
+
+TEST_F(FleetTest, FleetSweepIsBitIdenticalToSingleProcessRunner) {
+  const auto run =
+      run_fleet(four_point_spec(), fake_evaluator(8), quiet_options("fleet_happy.sock"), 3);
+  ASSERT_TRUE(run.result.ok());
+  const auto reference = reference_result();
+  ASSERT_EQ(run.result.campaign.points.size(), reference.points.size());
+  for (std::size_t i = 0; i < reference.points.size(); ++i) {
+    EXPECT_EQ(run.result.campaign.points[i].status, PointStatus::kOk);
+    EXPECT_EQ(run.result.campaign.points[i].key, reference.points[i].key);
+    expect_summaries_identical(run.result.campaign.points[i].summary,
+                               reference.points[i].summary);
+  }
+  EXPECT_EQ(run.result.campaign.stats.shards_total, 16u);
+  EXPECT_EQ(run.result.campaign.stats.shards_simulated, 16u);
+  EXPECT_EQ(run.result.fleet.results_committed, 16u);
+  EXPECT_EQ(run.result.fleet.workers_connected, 3u);
+  EXPECT_EQ(run.result.fleet.worker_deaths, 0u);
+  EXPECT_EQ(run.result.fleet.fenced_commits, 0u);
+  std::uint64_t served = 0;
+  for (const auto& report : run.reports) {
+    EXPECT_TRUE(report.clean_shutdown);
+    served += report.leases_served;
+  }
+  EXPECT_EQ(served, 16u);
+}
+
+TEST_F(FleetTest, DeadWorkerLeaseIsRequeuedAndSweepStillMatches) {
+  const auto ev = fake_evaluator(8);
+  auto options = quiet_options("fleet_death.sock");
+  options.runs_for = ev.runs_for;
+  // Death detection must beat this test's patience, not the default 3 s.
+  options.liveness_timeout_ms = 1000;
+  fleet::FleetCoordinator coordinator(four_point_spec(), options);
+
+  std::promise<void> defected;
+  std::thread defector;
+  std::thread worker;
+  const auto result = coordinator.run([&](std::uint64_t) {
+    // A worker that takes a lease and dies (EOF without a result).
+    defector = std::thread([&] {
+      serve::Socket socket = serve::connect_to(coordinator.address());
+      std::string hello;
+      fleet::append_hello(hello, {"defector", 1});
+      ASSERT_TRUE(socket.write_all(hello));
+      serve::FrameBuffer frames;
+      char buffer[4096];
+      for (;;) {
+        std::string_view payload;
+        if (frames.next(payload) == serve::FrameBuffer::Status::kFrame) {
+          if (std::holds_alternative<fleet::LeaseMsg>(fleet::parse_message(payload))) break;
+          continue;
+        }
+        const ssize_t n = socket.read_some(buffer, sizeof buffer);
+        ASSERT_GT(n, 0);
+        frames.append(std::string_view(buffer, static_cast<std::size_t>(n)));
+      }
+      socket.close();  // mid-lease EOF: the coordinator must requeue
+      defected.set_value();
+    });
+    // The real worker only starts once the defector holds its lease, so
+    // the death/requeue path is exercised deterministically.
+    worker = std::thread([&] {
+      defected.get_future().wait();
+      fleet::WorkerOptions wopts;
+      wopts.worker_id = "survivor";
+      wopts.heartbeat_ms = 100;
+      (void)fleet::run_worker(coordinator.address(), ev, wopts);
+    });
+  });
+  defector.join();
+  worker.join();
+
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.fleet.worker_deaths, 1u);
+  EXPECT_GE(result.fleet.shards_requeued, 1u);
+  const auto reference = reference_result();
+  for (std::size_t i = 0; i < reference.points.size(); ++i) {
+    expect_summaries_identical(result.campaign.points[i].summary, reference.points[i].summary);
+  }
+}
+
+// The fencing property (the PR's core safety claim): a worker that
+// out-sleeps its lease keeps heartbeating, so only lease-term revocation
+// catches it; its eventual commit carries a stale epoch and must be
+// rejected *before* touching the store, after which the shard re-leases
+// and the sweep still matches the single-process run bit for bit.
+TEST_F(FleetTest, StalledWorkerCommitIsFencedAndStoresStayClean) {
+  const auto dir = fresh_dir("fleet_fence");
+  auto options = quiet_options("fleet_fence.sock");
+  options.cache_dir = (dir / "cache").string();
+  options.journal_path = (dir / "run.journal").string();
+  options.lease_ms = 100;  // the worker's injected stall is ~400 ms
+
+  fp::arm("campaign.evaluator.stall", "hit:1");
+  const auto run = run_fleet(four_point_spec(), fake_evaluator(8), options, 1);
+
+  ASSERT_TRUE(run.result.ok());
+  EXPECT_GE(run.result.fleet.lease_expirations, 1u);
+  EXPECT_GE(run.result.fleet.fenced_commits, 1u);
+  EXPECT_GE(run.result.fleet.shards_requeued, 1u);
+  // Exactly-once accounting: every shard committed once, the fenced
+  // result was never written, so the cache holds exactly one record per
+  // shard and fsck finds nothing to quarantine.
+  EXPECT_EQ(run.result.fleet.results_committed, 16u);
+  const auto cache_file = dir / "cache" / "cache.jsonl";
+  EXPECT_EQ(count_lines(cache_file), 16u);
+  const auto cache_report = campaign::fsck_store(cache_file, "key");
+  EXPECT_EQ(cache_report.kept, 16u);
+  EXPECT_EQ(cache_report.quarantined, 0u);
+  const auto journal_report = campaign::fsck_store(dir / "run.journal", "done_key");
+  EXPECT_EQ(journal_report.kept, 4u);
+  EXPECT_EQ(journal_report.quarantined, 0u);
+
+  const auto reference = reference_result();
+  for (std::size_t i = 0; i < reference.points.size(); ++i) {
+    expect_summaries_identical(run.result.campaign.points[i].summary,
+                               reference.points[i].summary);
+  }
+}
+
+TEST_F(FleetTest, EvaluatorErrorRequeuesShardAndSweepCompletes) {
+  fp::arm("campaign.evaluator.throw", "hit:1");
+  const auto run =
+      run_fleet(four_point_spec(), fake_evaluator(8), quiet_options("fleet_retry.sock"), 2);
+  ASSERT_TRUE(run.result.ok());
+  EXPECT_EQ(run.result.campaign.stats.shard_retries, 1u);
+  EXPECT_GE(run.result.fleet.shards_requeued, 1u);
+  std::uint64_t errors = 0;
+  for (const auto& report : run.reports) errors += report.errors_reported;
+  EXPECT_EQ(errors, 1u);
+  const auto reference = reference_result();
+  for (std::size_t i = 0; i < reference.points.size(); ++i) {
+    expect_summaries_identical(run.result.campaign.points[i].summary,
+                               reference.points[i].summary);
+  }
+}
+
+TEST_F(FleetTest, PersistentlyFailingPointIsIsolatedFromHealthyOnes) {
+  auto ev = fake_evaluator(8);
+  const auto good_simulate = ev.simulate;
+  ev.simulate = [good_simulate](const SweepPoint& point, std::uint64_t begin, std::uint64_t end,
+                                std::uint64_t seed) {
+    if (point.get_double("c") == 600.0 && point.get_string("strategy") == "restart") {
+      throw std::runtime_error("persistent fault at c=600/restart");
+    }
+    return good_simulate(point, begin, end, seed);
+  };
+  auto options = quiet_options("fleet_failpoint.sock");
+  options.max_lease_attempts = 2;
+  const auto run = run_fleet(four_point_spec(), ev, options, 2);
+
+  EXPECT_FALSE(run.result.ok());
+  EXPECT_EQ(run.result.campaign.stats.failed_points, 1u);
+  const auto reference = reference_result();
+  for (std::size_t i = 0; i < run.result.campaign.points.size(); ++i) {
+    const auto& outcome = run.result.campaign.points[i];
+    if (outcome.point.get_double("c") == 600.0 &&
+        outcome.point.get_string("strategy") == "restart") {
+      EXPECT_EQ(outcome.status, PointStatus::kFailed);
+      EXPECT_NE(outcome.error.find("persistent fault"), std::string::npos);
+    } else {
+      EXPECT_EQ(outcome.status, PointStatus::kOk);
+      expect_summaries_identical(outcome.summary, reference.points[i].summary);
+    }
+  }
+}
+
+TEST_F(FleetTest, StopFlagDrainsBeforeGrantingAnything) {
+  std::atomic<bool> stop{true};
+  const auto ev = fake_evaluator(8);
+  auto options = quiet_options("fleet_drain.sock");
+  options.stop = &stop;
+  options.runs_for = ev.runs_for;
+  fleet::FleetCoordinator coordinator(four_point_spec(), options);
+  const auto result = coordinator.run();
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.campaign.stats.drained);
+  EXPECT_EQ(result.campaign.stats.incomplete_points, 4u);
+  EXPECT_EQ(result.fleet.leases_granted, 0u);
+}
+
+TEST_F(FleetTest, WarmCacheRerunLeasesNothingAndMatches) {
+  const auto dir = fresh_dir("fleet_warm");
+  auto options = quiet_options("fleet_warm.sock");
+  options.cache_dir = (dir / "cache").string();
+
+  const auto cold = run_fleet(four_point_spec(), fake_evaluator(8), options, 2);
+  ASSERT_TRUE(cold.result.ok());
+  EXPECT_EQ(cold.result.campaign.stats.shards_simulated, 16u);
+
+  // Second run: everything is already in the cache, so on_ready reports
+  // zero pending shards and run_fleet spawns no workers at all.
+  options.listen_address =
+      "unix:" + (std::filesystem::path(::testing::TempDir()) / "fleet_warm2.sock").string();
+  const auto warm = run_fleet(four_point_spec(), fake_evaluator(8), options, 2);
+  ASSERT_TRUE(warm.result.ok());
+  EXPECT_EQ(warm.result.campaign.stats.shards_simulated, 0u);
+  EXPECT_EQ(warm.result.campaign.stats.shards_cached, 16u);
+  EXPECT_EQ(warm.result.fleet.workers_connected, 0u);
+  for (std::size_t i = 0; i < cold.result.campaign.points.size(); ++i) {
+    expect_summaries_identical(warm.result.campaign.points[i].summary,
+                               cold.result.campaign.points[i].summary);
+  }
+}
+
+TEST_F(FleetTest, DuplicateSweepPointsShareShardsAndCommitOnce) {
+  auto spec = four_point_spec();
+  // Duplicate one grid point verbatim via `extra`: same canonical point,
+  // same shard keys.
+  SweepPoint duplicate;
+  duplicate.set("procs", std::int64_t{100});
+  duplicate.set("c", ParamValue{60.0});
+  duplicate.set("strategy", ParamValue{std::string("restart")});
+  spec.extra.push_back(duplicate);
+
+  const auto run = run_fleet(spec, fake_evaluator(8), quiet_options("fleet_dup.sock"), 2);
+  ASSERT_TRUE(run.result.ok());
+  ASSERT_EQ(run.result.campaign.points.size(), 5u);
+  // 20 point-shards total but only 16 unique: the duplicate's 4 count
+  // as cache hits and are simulated exactly once.
+  EXPECT_EQ(run.result.campaign.stats.shards_total, 20u);
+  EXPECT_EQ(run.result.campaign.stats.shards_simulated, 16u);
+  EXPECT_EQ(run.result.campaign.stats.shards_cached, 4u);
+  EXPECT_EQ(run.result.fleet.results_committed, 16u);
+  expect_summaries_identical(run.result.campaign.points[0].summary,
+                             run.result.campaign.points[4].summary);
+}
+
+}  // namespace

@@ -1,0 +1,237 @@
+// Chaos harness for the real repcheck_fleet CLI: fork/exec the binary,
+// crash and stall its workers via failpoints, and assert the sweep's
+// result JSONL and cache records are byte-identical to a single-process
+// run (--workers 0) — with zero duplicate shard commits.  Companion to
+// test_fleet.cpp (in-process paths) and scripts/run_fleet_chaos.sh (the
+// longer soak).
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/cache.hpp"
+#include "util/jsonl.hpp"
+
+#ifdef REPCHECK_FLEET_CLI
+
+namespace {
+
+using namespace repcheck;
+
+std::filesystem::path fresh_dir(const std::string& name) {
+  const auto dir = std::filesystem::path(::testing::TempDir()) / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string read_file(const std::filesystem::path& file) {
+  std::ifstream in(file);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::size_t count_lines(const std::filesystem::path& file) {
+  std::ifstream in(file);
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(in, line)) ++n;
+  return n;
+}
+
+/// Cache lines land in commit order, which workers race over — sorted
+/// they must be byte-identical across runs.
+std::vector<std::string> sorted_lines(const std::filesystem::path& file) {
+  std::ifstream in(file);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+pid_t spawn(const std::vector<std::string>& args) {
+  std::vector<std::string> copy = args;
+  const pid_t pid = fork();
+  if (pid == 0) {
+    std::vector<char*> argv;
+    argv.reserve(copy.size() + 1);
+    for (auto& arg : copy) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    execv(argv[0], argv.data());
+    _exit(97);  // exec failed
+  }
+  return pid;
+}
+
+int wait_exit(pid_t pid) {
+  int status = 0;
+  waitpid(pid, &status, 0);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -WTERMSIG(status);
+}
+
+/// Counter value out of a --metrics-out run report ("name": N).
+std::uint64_t report_counter(const std::filesystem::path& report, const std::string& name) {
+  const std::string text = read_file(report);
+  const std::string needle = "\"" + name + "\": ";
+  const auto pos = text.find(needle);
+  if (pos == std::string::npos) return 0;
+  return std::stoull(text.substr(pos + needle.size()));
+}
+
+/// Base sweep: 4 points x 12 shards, small enough for CI, wide enough
+/// that every worker holds several leases.
+std::vector<std::string> fleet_args(const std::filesystem::path& dir, const std::string& tag,
+                                    int workers) {
+  const std::string store = (dir / tag).string();
+  return {REPCHECK_FLEET_CLI,
+          "--grid",        "c=60,600;mtbf_years=5,20",
+          "--set",         "procs=2000;runs=24;periods=30",
+          "--shard-size",  "2",
+          "--seed",        "7",
+          "--workers",     std::to_string(workers),
+          "--cache-dir",   store,
+          "--journal",     store + "/run.journal",
+          "--out",         store + ".jsonl",
+          "--listen",      "unix:" + (dir / (tag + ".sock")).string(),
+          "--no-progress"};
+}
+
+void expect_no_duplicate_commits(const std::filesystem::path& cache_file) {
+  // Exactly-once accounting, observed at the store: every appended
+  // record parses, carries a distinct shard key, and none were written
+  // twice (line count == distinct keys).
+  std::ifstream in(cache_file);
+  std::string line;
+  std::set<std::string> keys;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    const auto record = util::parse_jsonl(line);
+    ASSERT_TRUE(record.has_value()) << "unparseable cache line: " << line;
+    const auto it = record->find("key");
+    ASSERT_NE(it, record->end());
+    keys.insert(std::get<std::string>(it->second));
+  }
+  EXPECT_EQ(keys.size(), lines) << "duplicate shard commit reached " << cache_file;
+}
+
+class FleetChaos : public ::testing::Test {};
+
+/// Satellite: kill -9 one worker mid-shard (failpoint-timed, no external
+/// races) and prove the fleet's sweep is byte-identical to the
+/// single-process run anyway.
+TEST_F(FleetChaos, Kill9MidShardStillBitIdenticalToSingleProcess) {
+  const auto dir = fresh_dir("fleet_chaos_kill9");
+
+  auto ref = fleet_args(dir, "ref", 0);
+  ASSERT_EQ(wait_exit(spawn(ref)), 0);
+
+  auto chaos = fleet_args(dir, "chaos", 3);
+  const auto metrics = dir / "chaos_metrics.json";
+  chaos.insert(chaos.end(), {"--worker-failpoints", "0:fleet.worker.kill9=hit:2",
+                             "--metrics-out", metrics.string()});
+  ASSERT_EQ(wait_exit(spawn(chaos)), 0);
+
+  // The worker did die mid-shard and its lease was requeued.
+  EXPECT_GE(report_counter(metrics, "fleet.worker_deaths"), 1u);
+  EXPECT_GE(report_counter(metrics, "fleet.shards_requeued"), 1u);
+
+  const std::string ref_results = read_file(dir / "ref.jsonl");
+  const std::string chaos_results = read_file(dir / "chaos.jsonl");
+  ASSERT_FALSE(ref_results.empty());
+  EXPECT_EQ(chaos_results, ref_results) << "fleet results diverged from single-process run";
+
+  EXPECT_EQ(sorted_lines(dir / "chaos" / "cache.jsonl"),
+            sorted_lines(dir / "ref" / "cache.jsonl"));
+  expect_no_duplicate_commits(dir / "chaos" / "cache.jsonl");
+}
+
+/// Satellite: stall the only worker past its lease; the coordinator
+/// re-leases, fences the zombie's late commit, and the store stays
+/// clean (fsck quarantines nothing).
+TEST_F(FleetChaos, StalledWorkerIsFencedAndFsckStaysClean) {
+  const auto dir = fresh_dir("fleet_chaos_fence");
+
+  auto ref = fleet_args(dir, "ref", 0);
+  ASSERT_EQ(wait_exit(spawn(ref)), 0);
+
+  // One worker + hit:1 stall is the deterministic fence recipe: the
+  // zombie's own unanswered lease blocks its next grant, so its stale
+  // result must arrive while the shard is still unresolved.
+  auto chaos = fleet_args(dir, "fence", 1);
+  const auto metrics = dir / "fence_metrics.json";
+  chaos.insert(chaos.end(), {"--lease-ms", "100",
+                             "--worker-failpoints", "0:campaign.evaluator.stall=hit:1",
+                             "--metrics-out", metrics.string()});
+  ASSERT_EQ(wait_exit(spawn(chaos)), 0);
+
+  EXPECT_GE(report_counter(metrics, "fleet.lease_expirations"), 1u);
+  EXPECT_GE(report_counter(metrics, "fleet.fenced_commits"), 1u);
+
+  EXPECT_EQ(read_file(dir / "fence.jsonl"), read_file(dir / "ref.jsonl"));
+  EXPECT_EQ(sorted_lines(dir / "fence" / "cache.jsonl"),
+            sorted_lines(dir / "ref" / "cache.jsonl"));
+  expect_no_duplicate_commits(dir / "fence" / "cache.jsonl");
+
+  // --fsck over the survived stores: nothing quarantined, exit 0.
+  const std::string store = (dir / "fence").string();
+  ASSERT_EQ(wait_exit(spawn({REPCHECK_FLEET_CLI, "--fsck", "--cache-dir", store, "--journal",
+                             store + "/run.journal"})),
+            0);
+  const auto report = campaign::fsck_store(dir / "fence" / "cache.jsonl", "key");
+  EXPECT_EQ(report.quarantined, 0u);
+  EXPECT_EQ(report.kept, 48u);  // 4 points x 12 shards
+}
+
+/// SIGTERM mid-sweep drains (exit 130, stores intact), and the resumed
+/// fleet completes bit-identical to the reference.
+TEST_F(FleetChaos, SigtermDrainsAndResumedFleetMatchesReference) {
+  const auto dir = fresh_dir("fleet_chaos_drain");
+
+  auto ref = fleet_args(dir, "ref", 0);
+  ASSERT_EQ(wait_exit(spawn(ref)), 0);
+
+  // Stalls on every second lease keep the sweep slow enough for the
+  // signal to land mid-run (timing only affects how much work is left).
+  auto interrupted = fleet_args(dir, "drain", 2);
+  interrupted.insert(interrupted.end(),
+                     {"--worker-failpoints",
+                      "0:campaign.evaluator.stall=every:2|1:campaign.evaluator.stall=every:2"});
+  const pid_t victim = spawn(interrupted);
+  const auto cache_file = dir / "drain" / "cache.jsonl";
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (std::filesystem::exists(cache_file) && count_lines(cache_file) >= 2) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  kill(victim, SIGTERM);
+  const int victim_exit = wait_exit(victim);
+  // 130 = drained; 0 only if the whole sweep beat the signal.
+  EXPECT_TRUE(victim_exit == 130 || victim_exit == 0) << "exit=" << victim_exit;
+  expect_no_duplicate_commits(cache_file);
+
+  // Resume (no chaos this time) and compare everything byte for byte.
+  auto resume = fleet_args(dir, "drain", 2);
+  ASSERT_EQ(wait_exit(spawn(resume)), 0);
+  EXPECT_EQ(read_file(dir / "drain.jsonl"), read_file(dir / "ref.jsonl"));
+  EXPECT_EQ(sorted_lines(cache_file), sorted_lines(dir / "ref" / "cache.jsonl"));
+  expect_no_duplicate_commits(cache_file);
+}
+
+}  // namespace
+
+#endif  // REPCHECK_FLEET_CLI

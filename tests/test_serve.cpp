@@ -218,6 +218,61 @@ TEST(MemoCache, InsertThenHeterogeneousLookup) {
   EXPECT_EQ(cache.size(), 1u);
 }
 
+TEST(MemoCache, BoundedCacheEvictsOldestFirst) {
+  // One shard so the global FIFO order is the shard's FIFO order.
+  serve::MemoCache cache(1, 3);
+  serve::CachedAnswer answer;
+  for (int i = 0; i < 5; ++i) {
+    answer.advice.analytic.advantage = i;
+    cache.insert("key" + std::to_string(i), answer);
+    EXPECT_LE(cache.size(), 3u);
+  }
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.evictions(), 2u);
+  // key0 and key1 (oldest) are gone; key2..key4 survive with their values.
+  EXPECT_FALSE(cache.lookup("key0", answer));
+  EXPECT_FALSE(cache.lookup("key1", answer));
+  for (int i = 2; i < 5; ++i) {
+    ASSERT_TRUE(cache.lookup("key" + std::to_string(i), answer)) << i;
+    EXPECT_DOUBLE_EQ(answer.advice.analytic.advantage, i);
+  }
+}
+
+TEST(MemoCache, ReinsertingAnExistingKeyDoesNotEvict) {
+  serve::MemoCache cache(1, 2);
+  serve::CachedAnswer answer;
+  answer.advice.analytic.advantage = 1.0;
+  cache.insert("a", answer);
+  cache.insert("b", answer);
+  // Overwriting "a" must not push a duplicate FIFO entry or evict "b".
+  answer.advice.analytic.advantage = 2.0;
+  cache.insert("a", answer);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  ASSERT_TRUE(cache.lookup("a", answer));
+  EXPECT_DOUBLE_EQ(answer.advice.analytic.advantage, 2.0);
+  ASSERT_TRUE(cache.lookup("b", answer));
+}
+
+TEST(MemoCache, BudgetSplitsAcrossShardsWithAtLeastOneEntryEach) {
+  // 4 shards, budget 2 -> each shard keeps max(1, 2/4) = 1 entry, so the
+  // cache never exceeds shard-count entries and tiny budgets still cache.
+  serve::MemoCache cache(4, 2);
+  serve::CachedAnswer answer;
+  for (int i = 0; i < 64; ++i) cache.insert("key" + std::to_string(i), answer);
+  EXPECT_LE(cache.size(), 4u);
+  EXPECT_GE(cache.size(), 1u);
+  EXPECT_EQ(cache.evictions() + cache.size(), 64u);
+}
+
+TEST(MemoCache, UnboundedByDefaultNeverEvicts) {
+  serve::MemoCache cache(1);
+  serve::CachedAnswer answer;
+  for (int i = 0; i < 4096; ++i) cache.insert("key" + std::to_string(i), answer);
+  EXPECT_EQ(cache.size(), 4096u);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
 // ---------------------------------------------------------------------------
 // Service pipeline
 
