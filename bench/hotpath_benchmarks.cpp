@@ -17,6 +17,7 @@
 #include "core/advisor.hpp"
 #include "core/repcheck.hpp"
 #include "serve/service.hpp"
+#include "telemetry/prometheus.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/thread_pool.hpp"
 
@@ -167,6 +168,46 @@ void BM_EngineRunTelemetryOff(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_EngineRunTelemetryOff)->Unit(benchmark::kMicrosecond);
+
+// What one live metrics scrape costs the serving process: snapshotting a
+// populated registry (counters + gauges + histograms + span aggregates).
+// Pairs with BM_PrometheusRender — together they bound the `metrics` op.
+void BM_MetricsSnapshot(benchmark::State& state) {
+  namespace telemetry = repcheck::telemetry;
+  telemetry::set_enabled(true);
+  for (int i = 0; i < 32; ++i) {
+    telemetry::counter("bench.snap.c" + std::to_string(i)).inc(static_cast<std::uint64_t>(i) + 1);
+  }
+  auto& hist = telemetry::histogram("bench.snap.latency_ns");
+  for (std::uint64_t v = 1; v < (1u << 20); v <<= 1) hist.observe(v);
+  telemetry::gauge("bench.snap.depth").set(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(telemetry::snapshot_metrics());
+  }
+  telemetry::set_enabled(false);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsSnapshot)->Unit(benchmark::kMicrosecond);
+
+// Rendering the snapshot as Prometheus text — the other half of a scrape.
+// The renderer is byte-stable, so output size is constant across runs.
+void BM_PrometheusRender(benchmark::State& state) {
+  namespace telemetry = repcheck::telemetry;
+  telemetry::set_enabled(true);
+  for (int i = 0; i < 32; ++i) {
+    telemetry::counter("bench.render.c" + std::to_string(i)).inc(static_cast<std::uint64_t>(i) + 1);
+  }
+  auto& hist = telemetry::histogram("bench.render.latency_ns");
+  for (std::uint64_t v = 1; v < (1u << 20); v <<= 1) hist.observe(v);
+  telemetry::gauge("bench.render.depth").set(7);
+  const auto snapshot = telemetry::snapshot_metrics();
+  telemetry::set_enabled(false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(telemetry::render_prometheus(snapshot, {{"process", "bench"}}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PrometheusRender)->Unit(benchmark::kMicrosecond);
 
 // The full replicate loop as the campaign engine drives it: ReplicateRunner
 // reusing one engine + arena per lane, 20 replicates per iteration.

@@ -13,7 +13,7 @@
 # Usage:
 #   scripts/run_benchmarks.sh [options]
 #
-#   --out FILE         snapshot to write        (default: BENCH_PR6.json)
+#   --out FILE         snapshot to write        (default: BENCH_PR10.json)
 #   --baseline FILE    snapshot to compare against
 #                      (default: newest other BENCH_*.json; none = skip gate)
 #   --tolerance PCT    allowed slowdown percent (default: 15)
@@ -25,7 +25,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="BENCH_PR6.json"
+out="BENCH_PR10.json"
 baseline=""
 tolerance="15"
 filter=""

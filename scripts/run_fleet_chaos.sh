@@ -107,10 +107,41 @@ run ref 0
 
 # -------------------------------------------------------------------- kill -9
 echo "==> kill -9 round: worker 0 dies mid-shard, fleet of 3"
-run kill9 3 --worker-failpoints "0:fleet.worker.kill9=hit:2"
+# Observability gates ride on this round: the flight recorder must leave a
+# post-mortem dump for the SIGKILLed worker, and the merged trace must be
+# valid Chrome-trace JSON with a coordinator lane plus worker lanes.
+run kill9 3 --worker-failpoints "0:fleet.worker.kill9=hit:2" \
+  --flight-recorder "$workdir/kill9_flight" \
+  --merged-trace-out "$workdir/kill9_trace.json"
 require_counter kill9_metrics.json fleet.worker_deaths 1
 require_counter kill9_metrics.json fleet.shards_requeued 1
 expect_identical kill9
+ls "$workdir"/kill9_flight.*.flight >/dev/null 2>&1 || {
+  echo "FAIL: kill -9 left no flight-recorder dump ($workdir/kill9_flight.*.flight)" >&2
+  exit 1
+}
+grep -q "fleet.worker.kill9" "$workdir"/kill9_flight.*.flight || {
+  echo "FAIL: flight-recorder dump does not name the kill9 failpoint" >&2; exit 1; }
+echo "    flight recorder: $(ls "$workdir"/kill9_flight.*.flight | wc -l) dump(s) present"
+python3 - "$workdir/kill9_trace.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    trace = json.load(f)  # must parse: the merged trace is one JSON document
+events = trace["traceEvents"]
+pids = {e["pid"] for e in events}
+lanes = {e["args"]["name"] for e in events
+         if e.get("ph") == "M" and e.get("name") == "process_name"}
+if len(pids) < 2:
+    print(f"FAIL: merged trace has {len(pids)} process lane(s), wanted >= 2")
+    sys.exit(1)
+if "coordinator" not in lanes:
+    print(f"FAIL: merged trace lanes {sorted(lanes)} lack a coordinator lane")
+    sys.exit(1)
+if not any(lane.startswith("w") for lane in lanes if lane != "coordinator"):
+    print(f"FAIL: merged trace lanes {sorted(lanes)} lack a worker lane")
+    sys.exit(1)
+print(f"    merged trace: valid JSON, {len(pids)} process lanes {sorted(lanes)}")
+PY
 
 # --------------------------------------------------------------------- fence
 echo "==> fence round: lone worker stalls past a 100ms lease"
@@ -135,6 +166,31 @@ for _ in $(seq 1 300); do
     && (( "$(wc -l < "$workdir/drain/cache.jsonl")" >= 2 )) && break
   sleep 0.01
 done
+# Mid-run observability gate: scrape the live coordinator over its own
+# socket — any connection may send {"op":"metrics"} and gets one frame of
+# Prometheus text back without disturbing the campaign.
+python3 - "$workdir/drain.sock" <<'PY'
+import socket, sys
+payload = b'{"op":"metrics"}'
+sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+sock.settimeout(5.0)
+sock.connect(sys.argv[1])
+sock.sendall(str(len(payload)).encode() + b"\n" + payload)
+data = b""
+while b"\n" not in data:
+    data += sock.recv(4096)
+head, rest = data.split(b"\n", 1)
+want = int(head)
+while len(rest) < want:
+    rest += sock.recv(4096)
+sock.close()
+text = rest[:want].decode()
+for needle in ("repcheck_", 'process="coordinator"', "repcheck_fleet_workers_live"):
+    if needle not in text:
+        print(f"FAIL: live coordinator scrape is missing {needle!r}")
+        sys.exit(1)
+print(f"    live scrape: {want} bytes of Prometheus text from the running coordinator")
+PY
 kill -TERM "$fleet_pid"
 drain_exit=0
 wait "$fleet_pid" || drain_exit=$?

@@ -6,7 +6,8 @@
 #
 #   --bench  opt-in: after the tests pass, run the perf-regression harness
 #            (scripts/run_benchmarks.sh) against the committed snapshot
-#   label    CTest label to run: unit | oracle | stat | slow | fleet | all
+#   label    CTest label to run: unit | oracle | stat | slow | fleet |
+#            observability | all
 #            (default: all)
 #   preset   release | asan-ubsan | tsan | all   (default: all)
 #
@@ -17,15 +18,17 @@
 #   scripts/run_tests.sh unit tsan       # race-check campaign runner, telemetry &c.
 #   scripts/run_tests.sh unit asan-ubsan # sanitize the same suite
 #   scripts/run_tests.sh fleet tsan      # race-check the campaign fleet
+#   scripts/run_tests.sh observability   # telemetry/exposition/flight-recorder slice
 #   scripts/run_tests.sh --bench unit release   # unit tests, then benchmarks
 #
 # The fleet label (test_fleet, test_fleet_chaos) covers the distributed
 # campaign coordinator/worker stack, including the kill -9 / stall chaos
 # harness; scripts/run_fleet_chaos.sh is the longer CLI soak.
 #
-# The telemetry tests (test_telemetry, test_telemetry_report) are part of
-# the unit label; run them under tsan to race-check the sharded counters
-# and per-thread span rings, and under asan-ubsan for the renderers.
+# The observability label (test_telemetry, test_telemetry_report,
+# test_prometheus, test_flight_recorder) is also part of the unit label;
+# run it under tsan to race-check the sharded counters and per-thread
+# span rings, and under asan-ubsan for the renderers.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

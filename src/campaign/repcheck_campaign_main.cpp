@@ -33,6 +33,7 @@
 #include "util/failpoint.hpp"
 #include "util/flags.hpp"
 #include "util/interrupt.hpp"
+#include "util/log.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
@@ -196,6 +197,22 @@ std::string render_report(const std::string& campaign, std::uint64_t seed) {
   return telemetry::render_run_report(snapshot, meta);
 }
 
+/// WARN once at report time when span rings evicted events (exported
+/// traces truncate; span counts stay exact).
+void warn_on_span_drops() {
+  const auto drops = telemetry::span_drop_stats();
+  if (drops.dropped == 0) return;
+  std::string names;
+  for (const auto& [name, stat] : telemetry::snapshot_metrics().spans) {
+    (void)stat;
+    if (!names.empty()) names += ", ";
+    names += name;
+  }
+  util::log_warn() << "telemetry: " << drops.dropped << " span event(s) evicted from "
+                   << drops.threads_affected << " thread ring(s) (active spans: " << names
+                   << "); exported traces are truncated but span counts remain exact";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -229,11 +246,15 @@ int main(int argc, char** argv) {
         "metrics-out", "", "write a JSON run report (counters/spans/timings) to this file");
     const auto* trace_out = flags.add_string(
         "trace-out", "", "write a Chrome trace-event JSON (load in Perfetto) to this file");
+    const auto* stats_interval_ms = flags.add_int64(
+        "stats-interval-ms", 0, "emit a live one-line stats JSON to stderr this often (0 = off)");
     if (!flags.parse(argc, argv)) return 0;  // --help
 
     // Arm telemetry before any instrumented code runs, so store loads and
     // pool spin-up are captured too.  REPCHECK_TELEMETRY=1 also works.
-    if (!metrics_out->empty() || !trace_out->empty()) telemetry::set_enabled(true);
+    if (!metrics_out->empty() || !trace_out->empty() || *stats_interval_ms > 0) {
+      telemetry::set_enabled(true);
+    }
 
     if (*fsck) return run_fsck(*cache_dir, *journal);
 
@@ -307,11 +328,14 @@ int main(int argc, char** argv) {
     }
 
     campaign::CampaignRunner runner(spec, campaign::standard_evaluator(), options);
+    telemetry::StatsEmitter stats_emitter(
+        *stats_interval_ms > 0 ? static_cast<std::uint64_t>(*stats_interval_ms) : 0);
     const auto result = runner.run();
     const auto table = figure_render ? (*figure_render)(result) : grid_render(spec, result);
     table.print(std::cout, *csv);
     // Reports are written even for drained/failed runs — a run that went
     // wrong is exactly the one whose telemetry you want.
+    if (telemetry::enabled()) warn_on_span_drops();
     if (!metrics_out->empty()) {
       write_text_file(*metrics_out, render_report(spec.name, options.master_seed), "run report");
     }

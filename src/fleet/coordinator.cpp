@@ -17,7 +17,9 @@
 #include "campaign/cache.hpp"
 #include "fleet/wire.hpp"
 #include "serve/protocol.hpp"
+#include "telemetry/prometheus.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
@@ -108,6 +110,7 @@ class FleetCoordinator::Impl {
 
   void connection_loop(serve::Socket socket);
   void progress_tick_locked();
+  [[nodiscard]] std::string render_live_metrics();
 
   campaign::SweepSpec spec_;
   CoordinatorOptions options_;
@@ -124,6 +127,8 @@ class FleetCoordinator::Impl {
   std::vector<std::vector<std::string>> shard_keys_;  ///< per point, merge order
   campaign::CampaignResult result_;
   FleetStats fstats_;
+  std::vector<WorkerTelemetry> worker_reports_;        ///< shutdown telemetry frames
+  std::map<std::string, std::uint64_t> hb_leases_;     ///< per-worker completed leases
   std::uint64_t unresolved_ = 0;
   std::uint64_t next_epoch_ = 0;
   std::uint64_t store_errors_ = 0;
@@ -255,6 +260,7 @@ std::optional<FleetCoordinator::Impl::Granted> FleetCoordinator::Impl::grant_loc
     granted.lease.seed = task.seed;
     granted.lease.begin = task.begin;
     granted.lease.end = task.end;
+    granted.lease.campaign = spec_.name;  // trace context rides every lease
     return granted;
   }
   return std::nullopt;
@@ -394,6 +400,37 @@ void FleetCoordinator::Impl::progress_tick_locked() {
                static_cast<unsigned long long>(fstats_.shards_requeued));
 }
 
+std::string FleetCoordinator::Impl::render_live_metrics() {
+  // Start from the live registry (whatever instrumented code has counted
+  // so far), then overlay the coordinator's own fleet state under the
+  // lock — the scrape works even with REPCHECK_TELEMETRY off, because
+  // the overlay reads the authoritative structs, not the registry.
+  telemetry::MetricsSnapshot snap = telemetry::snapshot_metrics();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snap.counters["fleet.workers_connected"] = fstats_.workers_connected;
+    snap.counters["fleet.worker_deaths"] = fstats_.worker_deaths;
+    snap.counters["fleet.leases_granted"] = fstats_.leases_granted;
+    snap.counters["fleet.lease_expirations"] = fstats_.lease_expirations;
+    snap.counters["fleet.shards_requeued"] = fstats_.shards_requeued;
+    snap.counters["fleet.results_committed"] = fstats_.results_committed;
+    snap.counters["fleet.fenced_commits"] = fstats_.fenced_commits;
+    snap.counters["fleet.duplicate_results"] = fstats_.duplicate_results;
+    snap.counters["fleet.heartbeats"] = fstats_.heartbeats;
+    snap.counters["fleet.malformed_frames"] = fstats_.malformed_frames;
+    snap.counters["fleet.shards_total"] = result_.stats.shards_total;
+    snap.counters["fleet.shards_cached"] = result_.stats.shards_cached;
+    snap.counters["fleet.shards_simulated"] = result_.stats.shards_simulated;
+    snap.gauges["fleet.unresolved_shards"] = static_cast<std::int64_t>(unresolved_);
+    snap.gauges["fleet.pending_queue"] = static_cast<std::int64_t>(pending_.size());
+    for (const auto& [worker, leases] : hb_leases_) {
+      snap.gauges["fleet.worker." + worker + ".leases"] = static_cast<std::int64_t>(leases);
+    }
+  }
+  snap.gauges["fleet.workers_live"] = static_cast<std::int64_t>(workers_live_.load());
+  return telemetry::render_prometheus(snap, {{"process", "coordinator"}});
+}
+
 void FleetCoordinator::Impl::connection_loop(serve::Socket socket) {
   workers_live_.fetch_add(1);
   serve::FrameBuffer frames;
@@ -420,7 +457,10 @@ void FleetCoordinator::Impl::connection_loop(serve::Socket socket) {
       revoke_locked(inflight->task_idx, inflight->epoch, /*expired=*/false);
       inflight->revoked = true;
     }
-    if (!counted_death) {
+    // Only connections that introduced themselves as workers count as
+    // deaths: a metrics scraper (or port prober) disconnecting must not
+    // pollute the chaos counters.
+    if (!counted_death && saw_hello) {
       ++fstats_.worker_deaths;
       counted_death = true;
     }
@@ -429,6 +469,7 @@ void FleetCoordinator::Impl::connection_loop(serve::Socket socket) {
   for (;;) {
     // Drain every frame already buffered.
     bool poisoned = false;
+    bool io_failed = false;
     for (;;) {
       std::string_view payload;
       const auto status = frames.next(payload);
@@ -453,9 +494,31 @@ void FleetCoordinator::Impl::connection_loop(serve::Socket socket) {
         std::lock_guard<std::mutex> lock(mutex_);
         ++fstats_.workers_connected;
         last_activity_ = Clock::now();
-      } else if (std::holds_alternative<HeartbeatMsg>(msg)) {
+      } else if (const auto* heartbeat = std::get_if<HeartbeatMsg>(&msg)) {
         std::lock_guard<std::mutex> lock(mutex_);
         ++fstats_.heartbeats;
+        if (!heartbeat->worker.empty()) hb_leases_[heartbeat->worker] = heartbeat->leases;
+      } else if (const auto* report = std::get_if<TelemetryMsg>(&msg)) {
+        // Clock alignment: sample our own trace-relative "now" at receipt
+        // and subtract the worker's — the difference shifts the worker's
+        // lane onto our timeline (wire latency inflates it slightly).
+        WorkerTelemetry wt;
+        wt.worker = report->worker;
+        wt.pid = report->pid;
+        wt.shift_ns = static_cast<std::int64_t>(telemetry::trace_now_rel_ns()) -
+                      static_cast<std::int64_t>(report->now_rel_ns);
+        wt.counters = report->counters;
+        wt.spans = report->spans;
+        wt.trace = report->trace;
+        std::lock_guard<std::mutex> lock(mutex_);
+        worker_reports_.push_back(std::move(wt));
+      } else if (std::holds_alternative<MetricsRequestMsg>(msg)) {
+        wbuf.clear();
+        serve::append_frame(wbuf, render_live_metrics());
+        if (!socket.write_all(wbuf)) {
+          io_failed = true;
+          break;
+        }
       } else if (const auto* result = std::get_if<ResultMsg>(&msg)) {
         {
           std::lock_guard<std::mutex> lock(mutex_);
@@ -478,6 +541,10 @@ void FleetCoordinator::Impl::connection_loop(serve::Socket socket) {
         std::lock_guard<std::mutex> lock(mutex_);
         ++fstats_.malformed_frames;
       }
+      declare_dead();
+      break;
+    }
+    if (io_failed) {
       declare_dead();
       break;
     }
@@ -650,6 +717,7 @@ FleetResult FleetCoordinator::Impl::run(const std::function<void(std::uint64_t)>
   FleetResult out;
   out.campaign = std::move(result_);
   out.fleet = fstats_;
+  out.workers = std::move(worker_reports_);
   mirror_stats_to_telemetry(out.fleet, out.campaign.stats);
   if (options_.progress) {
     std::fprintf(stderr,

@@ -36,11 +36,15 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "campaign/runner.hpp"
 #include "campaign/sweep.hpp"
 #include "serve/transport.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace repcheck::fleet {
 
@@ -85,9 +89,26 @@ struct FleetStats {
   std::uint64_t malformed_frames = 0;  ///< poisoned a connection
 };
 
+/// One worker's shutdown telemetry report, received over the wire and
+/// clock-aligned: `shift_ns` is the estimated offset to add to the
+/// worker's trace timestamps to land them on the coordinator's timeline
+/// (computed as coordinator-now-rel minus worker-now-rel at receipt, so
+/// it also absorbs the wire latency — good enough for a merged view).
+struct WorkerTelemetry {
+  std::string worker;
+  std::int64_t pid = 0;
+  std::int64_t shift_ns = 0;
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, telemetry::SpanStat> spans;
+  telemetry::TraceSnapshot trace;
+};
+
 struct FleetResult {
   campaign::CampaignResult campaign;  ///< same shape as CampaignRunner::run()
   FleetStats fleet;
+  /// Telemetry reports from workers that drained cleanly (crashed or
+  /// fenced workers simply never report; the merge degrades gracefully).
+  std::vector<WorkerTelemetry> workers;
 
   [[nodiscard]] bool ok() const { return campaign.ok(); }
 };

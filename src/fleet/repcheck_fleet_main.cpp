@@ -37,11 +37,14 @@
 #include "campaign/simulate.hpp"
 #include "fleet/coordinator.hpp"
 #include "fleet/worker.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/report.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 #include "util/failpoint.hpp"
 #include "util/flags.hpp"
 #include "util/interrupt.hpp"
+#include "util/log.hpp"
 
 namespace {
 
@@ -193,17 +196,66 @@ void write_text_file(const std::string& path, const std::string& text, const cha
   if (!out) throw std::runtime_error(std::string("cannot write ") + what + ": " + path);
 }
 
-std::string render_report(const std::string& name, std::uint64_t seed) {
+/// WARN (once, at report-render time) when span rings evicted events:
+/// exported traces are truncated, though span *counts* stay exact.
+void warn_on_span_drops() {
+  const auto drops = telemetry::span_drop_stats();
+  if (drops.dropped == 0) return;
+  std::string names;
+  for (const auto& [name, stat] : telemetry::snapshot_metrics().spans) {
+    (void)stat;
+    if (!names.empty()) names += ", ";
+    names += name;
+  }
+  util::log_warn() << "telemetry: " << drops.dropped << " span event(s) evicted from "
+                   << drops.threads_affected << " thread ring(s) (active spans: " << names
+                   << "); exported traces are truncated but span counts remain exact";
+}
+
+std::string render_report(const std::string& name, std::uint64_t seed,
+                          const std::vector<fleet::WorkerTelemetry>& workers) {
   auto snapshot = telemetry::snapshot_metrics();
   for (const auto& site : util::failpoint::armed_sites()) {
     const std::uint64_t hits = util::failpoint::hit_count(site);
     if (hits > 0) snapshot.counters["failpoint." + site + ".hits"] = hits;
+  }
+  // Fold each worker's shipped telemetry in under a per-worker prefix:
+  // "_ns"-suffixed counters and span durations still land in the
+  // nondeterministic "durations" section via the usual rules.
+  for (const auto& wt : workers) {
+    for (const auto& [cname, value] : wt.counters) {
+      snapshot.counters["worker." + wt.worker + "." + cname] = value;
+    }
+    for (const auto& [sname, stat] : wt.spans) {
+      snapshot.spans["worker." + wt.worker + "." + sname] = stat;
+    }
   }
   telemetry::ReportMeta meta;
   meta["campaign"] = name;
   meta["seed"] = std::to_string(seed);
   meta["engine"] = std::string(campaign::kEngineVersion);
   return telemetry::render_run_report(snapshot, meta);
+}
+
+/// One merged Chrome trace: the coordinator's own spans on a lane named
+/// "coordinator" plus one clock-shifted lane per reporting worker.
+std::string render_merged_trace(const std::vector<fleet::WorkerTelemetry>& workers) {
+  std::vector<telemetry::ProcessLane> lanes;
+  telemetry::ProcessLane coordinator;
+  coordinator.pid = static_cast<std::int64_t>(::getpid());
+  coordinator.name = "coordinator";
+  coordinator.shift_ns = 0;
+  coordinator.trace = telemetry::snapshot_trace();
+  lanes.push_back(std::move(coordinator));
+  for (const auto& wt : workers) {
+    telemetry::ProcessLane lane;
+    lane.pid = wt.pid;
+    lane.name = wt.worker.empty() ? "worker" : wt.worker;
+    lane.shift_ns = wt.shift_ns;
+    lane.trace = wt.trace;
+    lanes.push_back(std::move(lane));
+  }
+  return telemetry::render_merged_chrome_trace(lanes);
 }
 
 struct WorkerChild {
@@ -222,6 +274,10 @@ WorkerChild spawn_worker(const std::string& address, int idx, std::int64_t heart
     if (!failpoint_spec.empty()) {
       ::setenv("REPCHECK_FAILPOINTS", failpoint_spec.c_str(), 1);
     }
+    // Trace-context propagation: a coordinator collecting telemetry
+    // arms its workers too (the env survives the execv re-exec), so
+    // their counters and span rings exist to ship back at shutdown.
+    if (repcheck::telemetry::enabled()) ::setenv("REPCHECK_TELEMETRY", "1", 1);
     const std::string id = "w" + std::to_string(idx);
     const std::string beat = std::to_string(heartbeat_ms);
     const char* argv[] = {"repcheck_fleet",
@@ -315,6 +371,14 @@ int main(int argc, char** argv) {
         "metrics-out", "", "write a JSON run report (counters/spans/timings) to this file");
     const auto* trace_out = flags.add_string(
         "trace-out", "", "write a Chrome trace-event JSON (load in Perfetto) to this file");
+    const auto* merged_trace_out = flags.add_string(
+        "merged-trace-out", "",
+        "write one fleet-wide Chrome trace (coordinator + worker lanes) to this file");
+    const auto* stats_interval_ms = flags.add_int64(
+        "stats-interval-ms", 0, "emit a live one-line stats JSON to stderr this often (0 = off)");
+    const auto* flight_recorder = flags.add_string(
+        "flight-recorder", "",
+        "arm the crash flight recorder; dumps land at <prefix>.<pid>.flight (workers inherit)");
     // Worker mode (normally spawned by the coordinator, not by hand).
     const auto* worker_connect =
         flags.add_string("worker-connect", "", "worker mode: coordinator address");
@@ -325,7 +389,16 @@ int main(int argc, char** argv) {
       return worker_main(*worker_connect, *worker_id, *heartbeat_ms);
     }
 
-    if (!metrics_out->empty() || !trace_out->empty()) telemetry::set_enabled(true);
+    if (!metrics_out->empty() || !trace_out->empty() || !merged_trace_out->empty() ||
+        *stats_interval_ms > 0) {
+      telemetry::set_enabled(true);
+    }
+    if (!flight_recorder->empty()) {
+      telemetry::arm_flight_recorder(*flight_recorder);
+      // Workers inherit the arming through the environment (static init
+      // in the re-exec'd child reads it).
+      ::setenv("REPCHECK_FLIGHT_RECORDER", flight_recorder->c_str(), 1);
+    }
     if (*fsck) return run_fsck(*cache_dir, *journal);
     if (grid->empty() && set->empty()) {
       throw std::invalid_argument("nothing to sweep: pass --grid and/or --set (see --help)");
@@ -344,6 +417,9 @@ int main(int argc, char** argv) {
     }
 
     campaign::CampaignResult result;
+    std::vector<fleet::WorkerTelemetry> worker_reports;
+    telemetry::StatsEmitter stats_emitter(
+        *stats_interval_ms > 0 ? static_cast<std::uint64_t>(*stats_interval_ms) : 0);
 
     if (*workers <= 0) {
       // In-process reference mode: the serial CampaignRunner over the
@@ -391,6 +467,7 @@ int main(int argc, char** argv) {
       });
       reap_workers(children);
       result = fleet_result.campaign;
+      worker_reports = fleet_result.workers;
     }
 
     if (out_path->empty()) {
@@ -401,12 +478,17 @@ int main(int argc, char** argv) {
       out.flush();
       if (!out) throw std::runtime_error("cannot write results: " + *out_path);
     }
+    if (telemetry::enabled()) warn_on_span_drops();
     if (!metrics_out->empty()) {
-      write_text_file(*metrics_out, render_report(spec.name, static_cast<std::uint64_t>(*seed)),
+      write_text_file(*metrics_out,
+                      render_report(spec.name, static_cast<std::uint64_t>(*seed), worker_reports),
                       "run report");
     }
     if (!trace_out->empty()) {
       write_text_file(*trace_out, telemetry::render_chrome_trace(), "trace");
+    }
+    if (!merged_trace_out->empty()) {
+      write_text_file(*merged_trace_out, render_merged_trace(worker_reports), "merged trace");
     }
     if (!result.ok()) {
       print_failure_summary(result);

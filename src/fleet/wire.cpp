@@ -53,8 +53,80 @@ std::uint64_t get_u64_string(const util::JsonObject& record, std::string_view na
   }
 }
 
+/// Optional-field reads: absent fields fall back (older peers omit the
+/// trace-context additions; the protocol stays forward/backward tolerant).
+std::string get_opt_string(const util::JsonObject& record, std::string_view name) {
+  const auto it = record.find(name);
+  if (it == record.end()) return {};
+  const auto* s = std::get_if<std::string>(&it->second);
+  if (s == nullptr) malformed("field '" + std::string(name) + "' is not a string");
+  return *s;
+}
+
+std::uint64_t get_opt_u64(const util::JsonObject& record, std::string_view name) {
+  const auto it = record.find(name);
+  if (it == record.end()) return 0;
+  return get_u64(record, name);
+}
+
 void frame(std::string& out, const util::JsonObject& record) {
   serve::append_frame(out, util::to_jsonl(record));
+}
+
+/// Trace events as one compact field: "tid,start_ns,dur_ns,name;…".
+/// Span names are identifier-like literals (no ',' or ';'), which
+/// parse_trace_events enforces by construction of the split.
+std::string encode_trace_events(const telemetry::TraceSnapshot& trace) {
+  std::string out;
+  const std::size_t begin =
+      trace.events.size() > kMaxTraceEventsOnWire ? trace.events.size() - kMaxTraceEventsOnWire : 0;
+  for (std::size_t i = begin; i < trace.events.size(); ++i) {
+    const auto& event = trace.events[i];
+    if (!out.empty()) out += ';';
+    out += std::to_string(event.tid);
+    out += ',';
+    out += std::to_string(event.start_ns);
+    out += ',';
+    out += std::to_string(event.dur_ns);
+    out += ',';
+    out += event.name;
+  }
+  return out;
+}
+
+std::uint64_t parse_dec_u64(std::string_view text, const char* what) {
+  if (text.empty()) malformed(std::string(what) + " is empty");
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') malformed(std::string(what) + " is not a uint64");
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (~std::uint64_t{0} - digit) / 10) malformed(std::string(what) + " overflows");
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+std::vector<telemetry::TraceEvent> parse_trace_events(std::string_view text) {
+  std::vector<telemetry::TraceEvent> events;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find(';', pos);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view item = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) continue;
+    const std::size_t c1 = item.find(',');
+    const std::size_t c2 = c1 == std::string_view::npos ? c1 : item.find(',', c1 + 1);
+    const std::size_t c3 = c2 == std::string_view::npos ? c2 : item.find(',', c2 + 1);
+    if (c3 == std::string_view::npos) malformed("trace event is not tid,start,dur,name");
+    telemetry::TraceEvent event;
+    event.tid = static_cast<std::uint32_t>(parse_dec_u64(item.substr(0, c1), "trace event tid"));
+    event.start_ns = parse_dec_u64(item.substr(c1 + 1, c2 - c1 - 1), "trace event start");
+    event.dur_ns = parse_dec_u64(item.substr(c2 + 1, c3 - c2 - 1), "trace event dur");
+    event.name = std::string(item.substr(c3 + 1));
+    events.push_back(std::move(event));
+  }
+  return events;
 }
 
 }  // namespace
@@ -133,6 +205,7 @@ void append_lease(std::string& out, const LeaseMsg& msg) {
   record["seed"] = std::to_string(msg.seed);
   record["begin"] = static_cast<double>(msg.begin);
   record["end"] = static_cast<double>(msg.end);
+  if (!msg.campaign.empty()) record["campaign"] = msg.campaign;
   point_to_record(msg.point, record);
   frame(out, record);
 }
@@ -144,12 +217,15 @@ void append_result(std::string& out, const ResultMsg& msg) {
   record["key"] = msg.key;
   record["status"] = std::string(msg.ok ? "ok" : "error");
   if (!msg.ok) record["error"] = msg.error;
+  if (!msg.worker.empty()) record["worker"] = msg.worker;
   frame(out, record);
 }
 
-void append_heartbeat(std::string& out) {
+void append_heartbeat(std::string& out, const HeartbeatMsg& msg) {
   util::JsonObject record;
   record["op"] = std::string("heartbeat");
+  if (!msg.worker.empty()) record["worker"] = msg.worker;
+  record["leases"] = static_cast<double>(msg.leases);
   frame(out, record);
 }
 
@@ -159,12 +235,68 @@ void append_shutdown(std::string& out) {
   frame(out, record);
 }
 
+void append_telemetry(std::string& out, const TelemetryMsg& msg) {
+  util::JsonObject record;
+  record["op"] = std::string("telemetry");
+  record["worker"] = msg.worker;
+  record["pid"] = static_cast<double>(msg.pid);
+  record["now_rel"] = std::to_string(msg.now_rel_ns);
+  for (const auto& [name, value] : msg.counters) {
+    record["c." + name] = std::to_string(value);
+  }
+  for (const auto& [name, stat] : msg.spans) {
+    record["s." + name] = std::to_string(stat.count) + "," + std::to_string(stat.total_ns);
+  }
+  record["events"] = encode_trace_events(msg.trace);
+  frame(out, record);
+}
+
+void append_metrics_request(std::string& out) {
+  util::JsonObject record;
+  record["op"] = std::string("metrics");
+  frame(out, record);
+}
+
 Message parse_message(std::string_view payload) {
   const auto record = util::parse_jsonl(payload);
   if (!record) malformed("unparseable payload");
   const std::string op = get_string(*record, "op");
-  if (op == "heartbeat") return HeartbeatMsg{};
+  if (op == "heartbeat") {
+    HeartbeatMsg msg;
+    msg.worker = get_opt_string(*record, "worker");
+    msg.leases = get_opt_u64(*record, "leases");
+    return msg;
+  }
   if (op == "shutdown") return ShutdownMsg{};
+  if (op == "metrics") return MetricsRequestMsg{};
+  if (op == "telemetry") {
+    TelemetryMsg msg;
+    msg.worker = get_string(*record, "worker");
+    msg.pid = static_cast<std::int64_t>(get_number(*record, "pid"));
+    msg.now_rel_ns = get_u64_string(*record, "now_rel");
+    for (const auto& [key, value] : *record) {
+      const bool is_counter = key.rfind("c.", 0) == 0;
+      const bool is_span = key.rfind("s.", 0) == 0;
+      if (!is_counter && !is_span) continue;
+      const auto* text = std::get_if<std::string>(&value);
+      if (text == nullptr) malformed("telemetry field '" + key + "' is not a string");
+      const std::string name = key.substr(2);
+      if (is_counter) {
+        msg.counters[name] = parse_dec_u64(*text, "telemetry counter");
+      } else {
+        const std::size_t comma = text->find(',');
+        if (comma == std::string::npos) malformed("telemetry span '" + name + "' is not count,ns");
+        telemetry::SpanStat stat;
+        const std::string_view view(*text);
+        stat.count = parse_dec_u64(view.substr(0, comma), "telemetry span count");
+        stat.total_ns = parse_dec_u64(view.substr(comma + 1), "telemetry span total_ns");
+        msg.spans[name] = stat;
+      }
+    }
+    msg.trace.now_rel_ns = msg.now_rel_ns;
+    msg.trace.events = parse_trace_events(get_opt_string(*record, "events"));
+    return msg;
+  }
   if (op == "hello") {
     HelloMsg msg;
     msg.worker = get_string(*record, "worker");
@@ -179,6 +311,7 @@ Message parse_message(std::string_view payload) {
     msg.begin = get_u64(*record, "begin");
     msg.end = get_u64(*record, "end");
     if (msg.end <= msg.begin) malformed("lease range is empty");
+    msg.campaign = get_opt_string(*record, "campaign");
     msg.point = point_from_record(*record);
     return msg;
   }
@@ -196,6 +329,7 @@ Message parse_message(std::string_view payload) {
     } else {
       malformed("result status '" + status + "' is neither ok nor error");
     }
+    msg.worker = get_opt_string(*record, "worker");
     return msg;
   }
   malformed("unknown op '" + op + "'");

@@ -16,8 +16,18 @@
 //   result     worker -> coordinator: the shard summary (or the
 //              evaluator error), echoing key + epoch; a result whose
 //              epoch is stale is fenced by the coordinator
-//   heartbeat  worker -> coordinator, periodic: liveness signal
+//   heartbeat  worker -> coordinator, periodic: liveness signal, now
+//              carrying the worker name and its completed-lease count so
+//              the coordinator's live metrics can attribute progress
 //   shutdown   coordinator -> worker: drain and exit
+//   telemetry  worker -> coordinator, once at shutdown: the worker's
+//              counter totals, span aggregates and retained span ring,
+//              plus its steady-clock "now" relative to its trace epoch so
+//              the coordinator can align lanes into one merged trace
+//              (docs/OBSERVABILITY.md, "Fleet traces")
+//   metrics    scraper -> coordinator: request one Prometheus text
+//              exposition frame (the live `metrics` op; not a worker
+//              message — any client may connect and send it)
 //
 // Point parameters cross the wire with explicit type tags
 // ("p.<name>" -> "i:…" | "d:…" | "s:…" | "b:…") because ParamValue's
@@ -33,6 +43,8 @@
 
 #include "campaign/sweep.hpp"
 #include "core/montecarlo.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 #include "util/jsonl.hpp"
 
 namespace repcheck::fleet {
@@ -49,6 +61,7 @@ struct LeaseMsg {
   std::uint64_t seed = 0;  ///< derived point seed (campaign::derive_point_seed)
   std::uint64_t begin = 0;
   std::uint64_t end = 0;
+  std::string campaign;  ///< trace context: campaign name (may be empty)
 };
 
 struct ResultMsg {
@@ -57,19 +70,49 @@ struct ResultMsg {
   bool ok = false;
   std::string error;  ///< evaluator failure text when !ok
   sim::MonteCarloSummary summary;
+  std::string worker;  ///< trace context: who computed it (may be empty)
 };
 
-struct HeartbeatMsg {};
+struct HeartbeatMsg {
+  std::string worker;         ///< may be empty (older peers)
+  std::uint64_t leases = 0;   ///< shards this worker has completed so far
+};
+
 struct ShutdownMsg {};
 
-using Message = std::variant<HelloMsg, LeaseMsg, ResultMsg, HeartbeatMsg, ShutdownMsg>;
+/// Worker -> coordinator telemetry report, sent once when the worker
+/// drains on shutdown.  Durations are the worker's wall clock; `now_rel_ns`
+/// (nanoseconds since the worker's trace epoch, sampled at send time) lets
+/// the receiver estimate the epoch skew and shift the lane into its own
+/// timeline.
+struct TelemetryMsg {
+  std::string worker;
+  std::int64_t pid = 0;
+  std::uint64_t now_rel_ns = 0;
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, telemetry::SpanStat> spans;
+  telemetry::TraceSnapshot trace;
+};
+
+/// Live metrics scrape request (any client; answered with one Prometheus
+/// text frame and then the connection stays open for more requests).
+struct MetricsRequestMsg {};
+
+using Message = std::variant<HelloMsg, LeaseMsg, ResultMsg, HeartbeatMsg, ShutdownMsg,
+                             TelemetryMsg, MetricsRequestMsg>;
+
+/// Spans shipped per telemetry frame (ring tail beyond this truncates so
+/// the frame stays under serve::protocol's 1 MiB payload cap).
+inline constexpr std::size_t kMaxTraceEventsOnWire = 4096;
 
 /// Appends one framed message (`<len>\n<payload>`) to `out`.
 void append_hello(std::string& out, const HelloMsg& msg);
 void append_lease(std::string& out, const LeaseMsg& msg);
 void append_result(std::string& out, const ResultMsg& msg);
-void append_heartbeat(std::string& out);
+void append_heartbeat(std::string& out, const HeartbeatMsg& msg);
 void append_shutdown(std::string& out);
+void append_telemetry(std::string& out, const TelemetryMsg& msg);
+void append_metrics_request(std::string& out);
 
 /// Parses one frame payload.  Throws std::invalid_argument on anything
 /// malformed (unknown op, missing field, bad tag) — a fleet peer that

@@ -14,6 +14,9 @@
 #include "fleet/wire.hpp"
 #include "serve/protocol.hpp"
 #include "serve/transport.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 #include "util/failpoint.hpp"
 #include "util/log.hpp"
 
@@ -61,14 +64,21 @@ WorkerReport run_worker(const std::string& address, const campaign::PointEvaluat
     if (!send(hello)) throw std::runtime_error("fleet worker: hello write failed");
   }
 
+  // The heartbeat doubles as a progress report: each beat carries the
+  // worker name and its completed-lease count so the coordinator's live
+  // metrics can attribute progress per worker.
+  std::atomic<std::uint64_t> leases_done{0};
   std::thread heartbeat([&] {
-    std::string beat;
-    append_heartbeat(beat);
     std::unique_lock<std::mutex> lock(hb_mutex);
     while (!stop_heartbeat.load()) {
       hb_cv.wait_for(lock, std::chrono::milliseconds(options.heartbeat_ms),
                      [&] { return stop_heartbeat.load(); });
       if (stop_heartbeat.load()) break;
+      std::string beat;
+      HeartbeatMsg hb;
+      hb.worker = options.worker_id;
+      hb.leases = leases_done.load(std::memory_order_relaxed);
+      append_heartbeat(beat, hb);
       if (!send(beat)) break;  // coordinator gone; lease loop sees EOF
     }
   });
@@ -110,6 +120,23 @@ WorkerReport run_worker(const std::string& address, const campaign::PointEvaluat
         break;
       }
       if (std::holds_alternative<ShutdownMsg>(msg)) {
+        // Last words: ship this worker's telemetry (counter totals, span
+        // aggregates, retained span ring) so the coordinator can merge
+        // one fleet-wide trace.  Best-effort — the coordinator may
+        // already be gone, and that must not fail the drain.
+        if (telemetry::enabled()) {
+          TelemetryMsg tel;
+          tel.worker = options.worker_id;
+          tel.pid = static_cast<std::int64_t>(::getpid());
+          tel.trace = telemetry::snapshot_trace();
+          tel.now_rel_ns = tel.trace.now_rel_ns;
+          const auto snap = telemetry::snapshot_metrics();
+          tel.counters = snap.counters;
+          tel.spans = snap.spans;
+          wbuf.clear();
+          append_telemetry(wbuf, tel);
+          (void)send(wbuf);
+        }
         report.clean_shutdown = true;
         break;
       }
@@ -119,10 +146,15 @@ WorkerReport run_worker(const std::string& address, const campaign::PointEvaluat
       ResultMsg result;
       result.epoch = lease->epoch;
       result.key = lease->key;
+      result.worker = options.worker_id;
       try {
+        TELEMETRY_SPAN("fleet.lease");
         if (REPCHECK_FAILPOINT("fleet.worker.kill9")) {
           // The chaos harness's mid-shard hard crash: no unwinding, no
           // goodbye — the coordinator sees EOF and requeues the shard.
+          // SIGKILL is uncatchable, so the flight recorder dumps *now*
+          // (a no-op when unarmed) — the round still leaves forensics.
+          telemetry::flight_recorder_dump("failpoint fleet.worker.kill9");
           (void)::raise(SIGKILL);
         }
         if (REPCHECK_FAILPOINT("campaign.evaluator.throw")) {
@@ -137,6 +169,7 @@ WorkerReport run_worker(const std::string& address, const campaign::PointEvaluat
         result.summary = evaluator.simulate(lease->point, lease->begin, lease->end, lease->seed);
         result.ok = true;
         ++report.leases_served;
+        leases_done.fetch_add(1, std::memory_order_relaxed);
       } catch (const std::exception& e) {
         result.ok = false;
         result.error = e.what();

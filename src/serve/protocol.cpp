@@ -213,8 +213,10 @@ bool parse_request(std::string_view payload, RequestView& out, std::string& erro
         out.op = RequestView::Op::kStats;
       } else if (contents == "ping") {
         out.op = RequestView::Op::kPing;
+      } else if (contents == "metrics") {
+        out.op = RequestView::Op::kMetrics;
       } else {
-        error = bad_field(key, token, "one of advise|stats|ping");
+        error = bad_field(key, token, "one of advise|stats|ping|metrics");
         return false;
       }
     } else if (key == "id") {

@@ -57,7 +57,7 @@ class FrameBuffer {
 /// One parsed request.  Slices (`id_token`) point into the payload the
 /// request was parsed from.
 struct RequestView {
-  enum class Op { kAdvise, kStats, kPing };
+  enum class Op { kAdvise, kStats, kPing, kMetrics };
   Op op = Op::kAdvise;
   std::string_view id_token;  ///< raw JSON token, echoed verbatim; empty = absent
   model::PlatformSpec platform;

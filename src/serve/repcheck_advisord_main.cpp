@@ -24,6 +24,7 @@
 #include "util/failpoint.hpp"
 #include "util/flags.hpp"
 #include "util/interrupt.hpp"
+#include "util/log.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -47,6 +48,22 @@ std::string render_report(const std::string& listen_address) {
   meta["binary"] = "repcheck_advisord";
   meta["listen"] = listen_address;
   return telemetry::render_run_report(snapshot, meta);
+}
+
+/// WARN once at report time when span rings evicted events (exported
+/// traces truncate; span counts stay exact).
+void warn_on_span_drops() {
+  const auto drops = telemetry::span_drop_stats();
+  if (drops.dropped == 0) return;
+  std::string names;
+  for (const auto& [name, stat] : telemetry::snapshot_metrics().spans) {
+    (void)stat;
+    if (!names.empty()) names += ", ";
+    names += name;
+  }
+  util::log_warn() << "telemetry: " << drops.dropped << " span event(s) evicted from "
+                   << drops.threads_affected << " thread ring(s) (active spans: " << names
+                   << "); exported traces are truncated but span counts remain exact";
 }
 
 }  // namespace
@@ -77,6 +94,8 @@ int main(int argc, char** argv) {
         "metrics-out", "", "write a JSON run report (serve.* counters/histograms) on exit");
     const auto* trace_out = flags.add_string(
         "trace-out", "", "write a Chrome trace-event JSON (load in Perfetto) on exit");
+    const auto* stats_interval_ms = flags.add_int64(
+        "stats-interval-ms", 0, "emit a live one-line stats JSON to stderr this often (0 = off)");
     if (!flags.parse(argc, argv)) return 0;  // --help
 
     if (*max_pending < 0 || *batch_max < 0 || *cache_shards < 0 || *cache_max_entries < 0 ||
@@ -113,6 +132,8 @@ int main(int argc, char** argv) {
     server_options.max_connections = static_cast<std::size_t>(*max_connections);
     serve::Server server(server_options, service);
 
+    telemetry::StatsEmitter stats_emitter(
+        *stats_interval_ms > 0 ? static_cast<std::uint64_t>(*stats_interval_ms) : 0);
     const auto& drain = util::install_drain_handler();
     // The e2e test and the bench parse this line to learn the bound
     // address (tcp:0 resolves to a kernel-assigned port).
@@ -122,6 +143,7 @@ int main(int argc, char** argv) {
     const std::size_t connections = server.run(drain);
     std::fprintf(stderr, "[advisord] drained after %zu connection(s)\n", connections);
 
+    warn_on_span_drops();
     if (!metrics_out->empty()) {
       write_text_file(*metrics_out, render_report(server.address()), "run report");
     }

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <utility>
 
+#include "telemetry/prometheus.hpp"
 #include "util/failpoint.hpp"
 
 namespace repcheck::serve {
@@ -56,9 +57,11 @@ Service::Service(const Options& options)
       errors_(telemetry::counter("serve.errors")),
       batches_(telemetry::counter("serve.batches")),
       pending_(telemetry::gauge("serve.pending")),
+      cache_occupancy_(telemetry::gauge("serve.cache_size")),
       cached_ns_(telemetry::histogram("serve.latency_cached_ns")),
       computed_ns_(telemetry::histogram("serve.latency_computed_ns")),
       batch_size_(telemetry::histogram("serve.batch_size")),
+      start_ns_(now_ns()),
       dispatcher_([this] { dispatcher_loop(); }) {}
 
 Service::~Service() {
@@ -110,6 +113,12 @@ Service::Outcome Service::process(std::string_view payload, std::string& out) {
       render_stats_payload(response, request.id_token);
       append_frame(out, response);
       return Outcome::kStats;
+    case RequestView::Op::kMetrics:
+      // Like stats/ping, answered before admission control: a scrape
+      // must succeed even while the server sheds or drains.
+      render_metrics_payload(response);
+      append_frame(out, response);
+      return Outcome::kMetrics;
     case RequestView::Op::kAdvise:
       break;
   }
@@ -242,7 +251,21 @@ void Service::render_stats_payload(std::string& out, std::string_view id_token) 
   append_uint(out, telemetry::histogram_percentile(computed_ns_, 0.50));
   out += ",\"p99_computed_ns\":";
   append_uint(out, telemetry::histogram_percentile(computed_ns_, 0.99));
-  out += '}';
+  out += ",\"uptime_ms\":";
+  append_uint(out, (now_ns() - start_ns_) / 1000000);
+  out += ",\"cache_capacity\":";
+  append_uint(out, options_.cache_max_entries);
+  out += ",\"version\":\"";
+  out += options_.version;  // identifier-like; needs no JSON escaping
+  out += "\"}";
+  cache_occupancy_.set(static_cast<std::int64_t>(cache_.size()));
+}
+
+void Service::render_metrics_payload(std::string& out) {
+  // Refresh the pull-model gauges, then render the whole registry.  The
+  // exposition is plain Prometheus text carried as one frame payload.
+  cache_occupancy_.set(static_cast<std::int64_t>(cache_.size()));
+  out += telemetry::render_prometheus(telemetry::snapshot_metrics(), {{"process", "advisord"}});
 }
 
 void Service::dispatcher_loop() {

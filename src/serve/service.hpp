@@ -56,11 +56,14 @@ class Service {
     std::uint64_t validate_default_runs = 50;
     std::uint64_t max_validate_runs = 10000;
     util::ThreadPool* pool = nullptr;  ///< null = compute batches inline
+    /// Reported by the stats op ("version" field) — the serving build's
+    /// identity for fleet-wide dashboards.
+    std::string version = "repcheck-advisord/1.0.0";
   };
 
   /// What process() did with a payload (tests and the connection loop's
   /// accounting; the response itself is always appended to `out`).
-  enum class Outcome { kHit, kComputed, kShed, kInvalid, kError, kStats, kPing };
+  enum class Outcome { kHit, kComputed, kShed, kInvalid, kError, kStats, kPing, kMetrics };
 
   explicit Service(const Options& options);
   ~Service();
@@ -105,6 +108,7 @@ class Service {
   Outcome process_advise(const RequestView& request, std::string_view payload, std::string& out,
                          std::uint64_t t0_ns);
   void render_stats_payload(std::string& out, std::string_view id_token);
+  void render_metrics_payload(std::string& out);
   void dispatcher_loop();
   void compute_batch(std::vector<std::pair<std::string, std::shared_ptr<InFlight>>>& batch);
 
@@ -130,9 +134,11 @@ class Service {
   telemetry::Counter& errors_;
   telemetry::Counter& batches_;
   telemetry::Gauge& pending_;
+  telemetry::Gauge& cache_occupancy_;  ///< refreshed on stats/metrics reads
   telemetry::Histogram& cached_ns_;
   telemetry::Histogram& computed_ns_;
   telemetry::Histogram& batch_size_;
+  std::uint64_t start_ns_ = 0;  ///< construction time (uptime_ms basis)
 
   std::thread dispatcher_;
 };

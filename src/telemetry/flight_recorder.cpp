@@ -1,0 +1,237 @@
+#include "telemetry/flight_recorder.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+
+#include "telemetry/telemetry.hpp"
+
+namespace repcheck::telemetry {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Armed state.  The prefix lives in a fixed buffer: the dump path must
+// not allocate, and the handler may fire before/after any heap state is
+// coherent.
+
+constexpr std::size_t kPrefixMax = 512;
+char g_prefix[kPrefixMax];
+std::atomic<bool> g_armed{false};
+
+// ---------------------------------------------------------------------------
+// Series side table: every interned Counter/Gauge/Histogram publishes
+// itself here so the dump can walk handles without the registry mutex.
+// Slots are written before the count's release-store publishes them.
+
+struct SeriesEntry {
+  char kind = '\0';
+  const char* name = nullptr;
+  const void* series = nullptr;
+};
+
+constexpr std::size_t kMaxSeries = 512;
+SeriesEntry g_series[kMaxSeries];
+std::atomic<std::size_t> g_series_count{0};
+std::atomic<std::size_t> g_series_reserved{0};
+
+// ---------------------------------------------------------------------------
+// Last-N log-line ring.  Writers claim a slot with fetch_add and guard
+// the copy with a per-slot try-flag (a contended line is dropped rather
+// than torn between two writers); the dump reads without locking — the
+// process is dying anyway.
+
+constexpr std::size_t kLogSlots = 64;
+constexpr std::size_t kLogLineMax = 240;
+
+struct LogSlot {
+  std::atomic_flag busy = ATOMIC_FLAG_INIT;
+  std::atomic<std::uint32_t> size{0};
+  char text[kLogLineMax];
+};
+
+LogSlot g_log[kLogSlots];
+std::atomic<std::uint64_t> g_log_seq{0};
+
+// Re-entrancy guard: a crash inside the dump itself must not recurse.
+std::atomic_flag g_dumping = ATOMIC_FLAG_INIT;
+
+extern "C" void flight_signal_handler(int signo) {
+  const char* reason = "fatal signal";
+  if (signo == SIGSEGV) reason = "SIGSEGV";
+  if (signo == SIGABRT) reason = "SIGABRT";
+  if (signo == SIGBUS) reason = "SIGBUS";
+  flight_recorder_dump(reason);
+  // SA_RESETHAND restored the default action; re-raise so the process
+  // still dies with the original signal (and its core-dump semantics).
+  (void)::raise(signo);
+}
+
+/// Arm from the environment at static init, mirroring REPCHECK_TELEMETRY:
+/// the fleet worker re-exec inherits the variable, so chaos-killed
+/// workers dump without any code asking.
+const bool g_env_armed = [] {
+  const char* env = std::getenv("REPCHECK_FLIGHT_RECORDER");
+  if (env == nullptr || *env == '\0') return false;
+  arm_flight_recorder(env);
+  return true;
+}();
+
+}  // namespace
+
+namespace detail {
+
+void flight_write(int fd, const char* data, std::size_t size) noexcept {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n <= 0) return;
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+void flight_write_cstr(int fd, const char* text) noexcept {
+  flight_write(fd, text, std::strlen(text));
+}
+
+void flight_write_u64(int fd, unsigned long long value) noexcept {
+  char buf[24];
+  std::size_t i = sizeof(buf);
+  do {
+    buf[--i] = static_cast<char>('0' + value % 10);
+    value /= 10;
+  } while (value != 0 && i > 0);
+  flight_write(fd, buf + i, sizeof(buf) - i);
+}
+
+void flight_register_series(char kind, const char* name, const void* series) noexcept {
+  const std::size_t slot = g_series_reserved.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= kMaxSeries) return;  // table full: later series are absent from dumps
+  g_series[slot].kind = kind;
+  g_series[slot].name = name;
+  g_series[slot].series = series;
+  // Publish in order: a reader that sees count > slot sees the slot's
+  // fields.  Registration is serialized by the registry mutex, so the
+  // count advances monotonically with the slots it covers.
+  g_series_count.store(slot + 1, std::memory_order_release);
+}
+
+}  // namespace detail
+
+void arm_flight_recorder(const std::string& path_prefix) {
+  const std::size_t n = path_prefix.size() < kPrefixMax - 1 ? path_prefix.size() : kPrefixMax - 1;
+  std::memcpy(g_prefix, path_prefix.data(), n);
+  g_prefix[n] = '\0';
+
+  struct sigaction action{};
+  action.sa_handler = flight_signal_handler;
+  sigemptyset(&action.sa_mask);
+  // One shot: the handler re-raises, and a crash *inside* the handler
+  // must take the default action, not loop.
+  action.sa_flags = SA_RESETHAND;
+  sigaction(SIGSEGV, &action, nullptr);
+  sigaction(SIGABRT, &action, nullptr);
+  sigaction(SIGBUS, &action, nullptr);
+
+  g_armed.store(true, std::memory_order_release);
+}
+
+bool flight_recorder_armed() noexcept { return g_armed.load(std::memory_order_acquire); }
+
+void flight_record_log_line(const char* data, std::size_t size) noexcept {
+  if (!flight_recorder_armed()) return;
+  const std::uint64_t seq = g_log_seq.fetch_add(1, std::memory_order_relaxed);
+  LogSlot& slot = g_log[seq % kLogSlots];
+  if (slot.busy.test_and_set(std::memory_order_acquire)) return;  // collision: drop
+  const std::size_t n = size < kLogLineMax ? size : kLogLineMax;
+  std::memcpy(slot.text, data, n);
+  slot.size.store(static_cast<std::uint32_t>(n), std::memory_order_release);
+  slot.busy.clear(std::memory_order_release);
+}
+
+void flight_recorder_dump(const char* reason) noexcept {
+  if (!flight_recorder_armed()) return;
+  if (g_dumping.test_and_set(std::memory_order_acquire)) return;
+
+  // "<prefix>.<pid>.flight", composed without allocation.
+  char path[kPrefixMax + 48];
+  std::size_t at = 0;
+  for (; g_prefix[at] != '\0' && at < kPrefixMax; ++at) path[at] = g_prefix[at];
+  path[at++] = '.';
+  unsigned long long pid = static_cast<unsigned long long>(::getpid());
+  char digits[24];
+  std::size_t d = sizeof(digits);
+  do {
+    digits[--d] = static_cast<char>('0' + pid % 10);
+    pid /= 10;
+  } while (pid != 0);
+  for (; d < sizeof(digits); ++d) path[at++] = digits[d];
+  static const char kSuffix[] = ".flight";
+  std::memcpy(path + at, kSuffix, sizeof(kSuffix));
+
+  const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    g_dumping.clear(std::memory_order_release);
+    return;
+  }
+
+  using detail::flight_write;
+  using detail::flight_write_cstr;
+  using detail::flight_write_u64;
+
+  flight_write_cstr(fd, "repcheck flight recorder v1\nreason: ");
+  flight_write_cstr(fd, reason != nullptr ? reason : "unknown");
+  flight_write_cstr(fd, "\npid: ");
+  flight_write_u64(fd, static_cast<unsigned long long>(::getpid()));
+  flight_write_cstr(fd, "\n\n== counters ==\n");
+
+  const std::size_t series = g_series_count.load(std::memory_order_acquire);
+  for (char kind : {'c', 'g', 'h'}) {
+    if (kind == 'g') flight_write_cstr(fd, "\n== gauges ==\n");
+    if (kind == 'h') flight_write_cstr(fd, "\n== histogram totals ==\n");
+    for (std::size_t i = 0; i < series; ++i) {
+      const SeriesEntry& entry = g_series[i];
+      if (entry.kind != kind || entry.name == nullptr || entry.series == nullptr) continue;
+      flight_write_cstr(fd, entry.name);
+      flight_write_cstr(fd, " ");
+      if (kind == 'c') {
+        flight_write_u64(fd, static_cast<const Counter*>(entry.series)->value());
+      } else if (kind == 'g') {
+        const std::int64_t v = static_cast<const Gauge*>(entry.series)->value();
+        if (v < 0) {
+          flight_write_cstr(fd, "-");
+          flight_write_u64(fd, static_cast<unsigned long long>(-(v + 1)) + 1);
+        } else {
+          flight_write_u64(fd, static_cast<unsigned long long>(v));
+        }
+      } else {
+        flight_write_u64(fd, static_cast<const Histogram*>(entry.series)->total_count());
+      }
+      flight_write_cstr(fd, "\n");
+    }
+  }
+
+  flight_write_cstr(fd, "\n== span ring tails ==\n");
+  detail::flight_dump_spans(fd);
+
+  flight_write_cstr(fd, "\n== last log lines ==\n");
+  const std::uint64_t seq = g_log_seq.load(std::memory_order_relaxed);
+  const std::uint64_t kept = seq < kLogSlots ? seq : kLogSlots;
+  for (std::uint64_t i = seq - kept; i < seq; ++i) {
+    const LogSlot& slot = g_log[i % kLogSlots];
+    const std::uint32_t n = slot.size.load(std::memory_order_acquire);
+    if (n == 0 || n > kLogLineMax) continue;
+    flight_write(fd, slot.text, n);
+    flight_write_cstr(fd, "\n");
+  }
+
+  flight_write_cstr(fd, "\n== end ==\n");
+  ::close(fd);
+  g_dumping.clear(std::memory_order_release);
+}
+
+}  // namespace repcheck::telemetry

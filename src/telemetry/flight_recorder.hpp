@@ -1,0 +1,66 @@
+// Crash flight recorder (docs/OBSERVABILITY.md, "Flight recorder").
+//
+// When armed, a crash — SIGSEGV, SIGABRT, the drain handler's forced
+// second-signal exit, or the chaos harness's programmatic kill -9
+// failpoint — dumps a post-mortem text file before the process dies:
+// the crash reason, every counter/gauge total, each recording thread's
+// span-ring tail, and the last few formatted log lines.  A kill/stall
+// chaos round therefore leaves forensic artifacts instead of silence.
+//
+// Arm with arm_flight_recorder("<path prefix>") or the environment
+// variable REPCHECK_FLIGHT_RECORDER=<prefix> (read at static init, so
+// it survives the fleet worker's fork+execv re-exec).  The dump lands
+// at "<prefix>.<pid>.flight" — per-pid, so a whole fleet can share one
+// prefix.
+//
+// Async-signal-safety: the dump path uses only open/write/close and
+// manual integer formatting.  It never takes the registry or span-ring
+// locks; instead, series handles and thread states self-register into
+// fixed-capacity lock-free side tables (release-published, acquire-read)
+// at interning time, and the dump walks those.  Values read mid-update
+// may tear — a forensic artifact trades exactness for existing.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace repcheck::telemetry {
+
+/// Installs the SIGSEGV/SIGABRT dump handlers and records the dump-path
+/// prefix.  Idempotent; the last prefix wins.  Not async-signal-safe
+/// (call from startup code).
+void arm_flight_recorder(const std::string& path_prefix);
+
+/// True once armed (flag read is lock-free; callable anywhere).
+[[nodiscard]] bool flight_recorder_armed() noexcept;
+
+/// Writes the post-mortem dump now.  Async-signal-safe; a no-op when
+/// unarmed.  Called by the crash handlers, the drain handler's forced
+/// exit, and the fleet worker's kill -9 failpoint (SIGKILL itself is
+/// uncatchable, so the dump happens just before the raise).
+void flight_recorder_dump(const char* reason) noexcept;
+
+/// Captures one formatted log line into the last-N ring the dump
+/// prints.  Lock-free; lines over ~240 bytes truncate; a no-op when
+/// unarmed.  util::log_line feeds this.
+void flight_record_log_line(const char* data, std::size_t size) noexcept;
+
+namespace detail {
+
+/// Registry hook (metrics.cpp): publishes a series handle into the dump
+/// side table.  `kind` is 'c' (Counter), 'g' (Gauge) or 'h' (Histogram);
+/// `name` must outlive the process (the registry's interned key does).
+void flight_register_series(char kind, const char* name, const void* series) noexcept;
+
+/// Span hook (span.cpp): writes every registered thread's tid, recorded
+/// count and span-ring tail to `fd`.  Async-signal-safe.
+void flight_dump_spans(int fd) noexcept;
+
+// Signal-safe formatting helpers shared with span.cpp's dump walk.
+void flight_write(int fd, const char* data, std::size_t size) noexcept;
+void flight_write_cstr(int fd, const char* text) noexcept;
+void flight_write_u64(int fd, unsigned long long value) noexcept;
+
+}  // namespace detail
+
+}  // namespace repcheck::telemetry

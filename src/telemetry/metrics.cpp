@@ -4,6 +4,8 @@
 #include <memory>
 #include <mutex>
 
+#include "telemetry/flight_recorder.hpp"
+
 namespace repcheck::telemetry {
 
 namespace detail {
@@ -39,9 +41,9 @@ class Registry {
     return *r;
   }
 
-  Counter& counter(std::string_view name) { return *intern(counters_, name); }
-  Gauge& gauge(std::string_view name) { return *intern(gauges_, name); }
-  Histogram& histogram(std::string_view name) { return *intern(histograms_, name); }
+  Counter& counter(std::string_view name) { return *intern(counters_, name, 'c'); }
+  Gauge& gauge(std::string_view name) { return *intern(gauges_, name, 'g'); }
+  Histogram& histogram(std::string_view name) { return *intern(histograms_, name, 'h'); }
 
   void snapshot(MetricsSnapshot& out) {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -79,12 +81,15 @@ class Registry {
 
   template <typename T>
   T* intern(std::map<std::string, std::unique_ptr<T>, std::less<>>& series,
-            std::string_view name) {
+            std::string_view name, char kind) {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = series.find(name);
     if (it != series.end()) return it->second.get();
     auto [inserted, ok] = series.emplace(std::string(name), std::unique_ptr<T>(new T()));
     (void)ok;
+    // Map nodes are never erased, so the interned key's c_str() and the
+    // handle both live for the process — safe for the crash-dump walk.
+    detail::flight_register_series(kind, inserted->first.c_str(), inserted->second.get());
     return inserted->second.get();
   }
 

@@ -1,0 +1,177 @@
+#include "telemetry/prometheus.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace repcheck::telemetry {
+
+namespace {
+
+bool valid_name_char(char c, bool first) {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':') return true;
+  return !first && c >= '0' && c <= '9';
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec == std::errc{}) out.append(buf, end);
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec == std::errc{}) out.append(buf, end);
+}
+
+/// Upper edge of log₂ bucket k (histogram_percentile's convention):
+/// bucket 0 holds only zeros, bucket k >= 1 holds [2^(k-1), 2^k).
+std::uint64_t bucket_upper_edge(std::size_t bucket) {
+  if (bucket == 0) return 0;
+  if (bucket >= 64) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << bucket) - 1;
+}
+
+/// Renders `{base...,extra}` after a series name; nothing when empty.
+void append_labels(std::string& out, const PrometheusLabels& base,
+                   std::string_view extra_key = {}, std::string_view extra_value = {}) {
+  if (base.empty() && extra_key.empty()) return;
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : base) {
+    if (!first) out += ',';
+    first = false;
+    out += sanitize_metric_name(key);
+    out += "=\"";
+    out += escape_label_value(value);
+    out += '"';
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out.append(extra_key.data(), extra_key.size());
+    out += "=\"";
+    out += escape_label_value(extra_value);
+    out += '"';
+  }
+  out += '}';
+}
+
+void append_type(std::string& out, const std::string& name, const char* type) {
+  out += "# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string sanitize_metric_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (name.empty()) return "_";
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    out += valid_name_char(c, i == 0) ? c : '_';
+  }
+  return out;
+}
+
+std::string escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string render_prometheus(const MetricsSnapshot& snapshot, const PrometheusLabels& labels) {
+  std::string out;
+  out.reserve(1024);
+
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string metric = "repcheck_" + sanitize_metric_name(name);
+    append_type(out, metric, "counter");
+    out += metric;
+    out += "_total";
+    append_labels(out, labels);
+    out += ' ';
+    append_u64(out, value);
+    out += '\n';
+  }
+
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string metric = "repcheck_" + sanitize_metric_name(name);
+    append_type(out, metric, "gauge");
+    out += metric;
+    append_labels(out, labels);
+    out += ' ';
+    append_i64(out, value);
+    out += '\n';
+  }
+
+  for (const auto& [name, hist] : snapshot.histograms) {
+    const std::string metric = "repcheck_" + sanitize_metric_name(name);
+    append_type(out, metric, "histogram");
+    std::uint64_t cumulative = 0;
+    double sum_estimate = 0.0;
+    for (const auto& [bucket, count] : hist.buckets) {
+      cumulative += count;
+      const std::uint64_t edge = bucket_upper_edge(bucket);
+      sum_estimate += static_cast<double>(count) * static_cast<double>(edge);
+      out += metric;
+      out += "_bucket";
+      append_labels(out, labels, "le", std::to_string(edge));
+      out += ' ';
+      append_u64(out, cumulative);
+      out += '\n';
+    }
+    out += metric;
+    out += "_bucket";
+    append_labels(out, labels, "le", "+Inf");
+    out += ' ';
+    append_u64(out, hist.count);
+    out += '\n';
+    out += metric;
+    out += "_sum";
+    append_labels(out, labels);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " %.0f\n", sum_estimate);
+    out += buf;
+    out += metric;
+    out += "_count";
+    append_labels(out, labels);
+    out += ' ';
+    append_u64(out, hist.count);
+    out += '\n';
+  }
+
+  if (!snapshot.spans.empty()) {
+    append_type(out, "repcheck_span_count", "counter");
+    for (const auto& [name, stat] : snapshot.spans) {
+      out += "repcheck_span_count_total";
+      append_labels(out, labels, "span", name);
+      out += ' ';
+      append_u64(out, stat.count);
+      out += '\n';
+    }
+    append_type(out, "repcheck_span_ns", "counter");
+    for (const auto& [name, stat] : snapshot.spans) {
+      out += "repcheck_span_ns_total";
+      append_labels(out, labels, "span", name);
+      out += ' ';
+      append_u64(out, stat.total_ns);
+      out += '\n';
+    }
+  }
+
+  return out;
+}
+
+}  // namespace repcheck::telemetry

@@ -1,0 +1,52 @@
+// Prometheus text-format exposition (docs/OBSERVABILITY.md, "Live
+// metrics").
+//
+// render_prometheus() turns a MetricsSnapshot into the Prometheus text
+// format (version 0.0.4) served by the `metrics` op of repcheck_advisord
+// and the fleet coordinator:
+//
+//   * every series name becomes `repcheck_<sanitized name>` — dots and
+//     any other character outside [a-zA-Z0-9_:] map to '_';
+//   * counters render as `<name>_total`, gauges as `<name>`;
+//   * log₂ histograms render cumulatively: one `<name>_bucket{le="2^k-1"}`
+//     line per non-empty bucket, the mandatory `le="+Inf"` bucket, a
+//     `<name>_count`, and a `<name>_sum` that is the *upper-edge estimate*
+//     (the exact sum is not tracked; the estimate never under-reports,
+//     matching histogram_percentile's convention);
+//   * span aggregates render as two labeled counter families,
+//     `repcheck_span_count_total{span="..."}` and
+//     `repcheck_span_ns_total{span="..."}`.
+//
+// Output is byte-stable for a fixed snapshot: the snapshot maps are
+// sorted, label order is fixed, and every number renders via to_chars /
+// a fixed snprintf format.  Caller-supplied labels attach to every
+// series (the fleet coordinator stamps process="coordinator").
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
+
+namespace repcheck::telemetry {
+
+/// Ordered label set rendered as {k1="v1",k2="v2"} on every series.
+using PrometheusLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Maps a repcheck series name onto the Prometheus charset
+/// [a-zA-Z_:][a-zA-Z0-9_:]*; offending characters (the '.' separators,
+/// a leading digit) become '_'.  Exposed for tests.
+[[nodiscard]] std::string sanitize_metric_name(std::string_view name);
+
+/// Escapes a label value per the text format: backslash, double quote
+/// and newline.  Exposed for tests.
+[[nodiscard]] std::string escape_label_value(std::string_view value);
+
+/// Renders the whole snapshot (counters, gauges, histograms, spans) as
+/// Prometheus text; ends with a trailing newline.
+[[nodiscard]] std::string render_prometheus(const MetricsSnapshot& snapshot,
+                                            const PrometheusLabels& labels = {});
+
+}  // namespace repcheck::telemetry

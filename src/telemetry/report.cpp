@@ -1,6 +1,10 @@
 #include "telemetry/report.hpp"
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <mutex>
+#include <thread>
 
 namespace repcheck::telemetry {
 
@@ -123,6 +127,72 @@ std::string render_run_report(const MetricsSnapshot& snapshot, const ReportMeta&
   });
   out += "\n  }\n}\n";
   return out;
+}
+
+std::string render_stats_line(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"schema\":\"repcheck-stats-v1\",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out += ',';
+    first = false;
+    append_escaped(out, name);
+    out += ':';
+    out += std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) out += ',';
+    first = false;
+    append_escaped(out, name);
+    out += ':';
+    out += std::to_string(value);
+  }
+  out += "},\"spans\":{";
+  first = true;
+  for (const auto& [name, stat] : snapshot.spans) {
+    if (!first) out += ',';
+    first = false;
+    append_escaped(out, name);
+    out += ':';
+    out += std::to_string(stat.count);
+  }
+  out += "}}\n";
+  return out;
+}
+
+struct StatsEmitter::Impl {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool stop = false;
+  std::thread thread;
+};
+
+StatsEmitter::StatsEmitter(std::uint64_t interval_ms) {
+  if (interval_ms == 0) return;
+  impl_ = new Impl();
+  impl_->thread = std::thread([impl = impl_, interval_ms] {
+    std::unique_lock<std::mutex> lock(impl->mutex);
+    while (!impl->cv.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                              [&] { return impl->stop; })) {
+      lock.unlock();
+      const std::string line = render_stats_line(snapshot_metrics());
+      std::fwrite(line.data(), 1, line.size(), stderr);
+      std::fflush(stderr);
+      lock.lock();
+    }
+  });
+}
+
+StatsEmitter::~StatsEmitter() {
+  if (impl_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->cv.notify_all();
+  impl_->thread.join();
+  delete impl_;
 }
 
 }  // namespace repcheck::telemetry

@@ -38,4 +38,26 @@ using ReportMeta = std::map<std::string, std::string>;
 /// is byte-for-byte reproducible.  Exposed for golden-file masking.
 inline constexpr const char* kDurationsKey = "\"durations\"";
 
+/// One-line live-stats JSON ({"schema":"repcheck-stats-v1",...}) — the
+/// periodic heartbeat the CLIs emit to stderr under --stats-interval-ms.
+/// Compact (no indentation, one trailing newline) so each emission is one
+/// greppable JSONL record.
+[[nodiscard]] std::string render_stats_line(const MetricsSnapshot& snapshot);
+
+/// Background thread that emits render_stats_line(snapshot_metrics()) to
+/// stderr every `interval_ms`.  The destructor stops and joins; an
+/// interval of 0 disables the thread entirely (the CLIs construct one
+/// unconditionally and let 0 mean "off").
+class StatsEmitter {
+ public:
+  explicit StatsEmitter(std::uint64_t interval_ms);
+  ~StatsEmitter();
+  StatsEmitter(const StatsEmitter&) = delete;
+  StatsEmitter& operator=(const StatsEmitter&) = delete;
+
+ private:
+  struct Impl;
+  Impl* impl_ = nullptr;
+};
+
 }  // namespace repcheck::telemetry

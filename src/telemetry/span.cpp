@@ -7,7 +7,9 @@
 #include <sstream>
 #include <vector>
 
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 #include "util/ring_buffer.hpp"
 
 namespace repcheck::telemetry {
@@ -36,6 +38,12 @@ struct SpanEvent {
   std::uint64_t dur_ns = 0;
 };
 
+/// Most-recent spans the flight recorder can read without any lock: a
+/// fixed in-place array the owner overwrites round-robin.  The crash
+/// handler reads it raw — entries may tear, but the storage is always
+/// valid and name pointers are string literals or null.
+constexpr std::size_t kFlightTail = 16;
+
 /// A recording thread's state: retained events plus exact per-name
 /// aggregates (counts survive ring eviction).  The mutex is uncontended in
 /// steady state — only the owning thread pushes; the exporter walks all
@@ -48,7 +56,14 @@ struct ThreadState {
   util::RingBuffer<SpanEvent> ring;
   std::map<std::string, SpanStat, std::less<>> aggregates;
   std::uint64_t recorded = 0;  ///< pushes ever; recorded - ring.size() = evicted
+  SpanEvent flight_tail[kFlightTail] = {};
 };
+
+// Flight-recorder side table of thread states (leaked, like the states
+// themselves): lock-free so the crash handler can walk it.
+constexpr std::size_t kMaxFlightThreads = 256;
+ThreadState* g_flight_threads[kMaxFlightThreads] = {};
+std::atomic<std::size_t> g_flight_thread_count{0};
 
 struct ThreadDirectory {
   std::mutex mutex;
@@ -68,7 +83,15 @@ ThreadState& this_thread_state() {
     std::lock_guard<std::mutex> lock(dir.mutex);
     dir.threads.push_back(
         std::make_unique<ThreadState>(static_cast<std::uint32_t>(dir.threads.size())));
-    return dir.threads.back().get();
+    ThreadState* fresh = dir.threads.back().get();
+    // Publish to the flight recorder's lock-free walk (registration is
+    // serialized by dir.mutex, so the count covers its slots).
+    const std::size_t slot = g_flight_thread_count.load(std::memory_order_relaxed);
+    if (slot < kMaxFlightThreads) {
+      g_flight_threads[slot] = fresh;
+      g_flight_thread_count.store(slot + 1, std::memory_order_release);
+    }
+    return fresh;
   }();
   return *state;
 }
@@ -97,6 +120,7 @@ ScopedSpan::~ScopedSpan() {
   auto& state = this_thread_state();
   std::lock_guard<std::mutex> lock(state.mutex);
   state.ring.push({name_, start_ns_, end - start_ns_});
+  state.flight_tail[state.recorded % kFlightTail] = {name_, start_ns_, end - start_ns_};
   ++state.recorded;
   auto& agg = state.aggregates[name_];
   ++agg.count;
@@ -139,6 +163,39 @@ std::string render_chrome_trace() {
 
 void write_chrome_trace(std::ostream& out) { out << render_chrome_trace(); }
 
+SpanDropStats span_drop_stats() {
+  SpanDropStats stats;
+  auto& dir = directory();
+  std::lock_guard<std::mutex> dir_lock(dir.mutex);
+  for (const auto& thread : dir.threads) {
+    std::lock_guard<std::mutex> lock(thread->mutex);
+    const std::uint64_t evicted = thread->recorded - thread->ring.size();
+    if (evicted > 0) {
+      stats.dropped += evicted;
+      ++stats.threads_affected;
+    }
+  }
+  return stats;
+}
+
+TraceSnapshot snapshot_trace() {
+  const std::uint64_t epoch = epoch_ns();
+  TraceSnapshot snap;
+  snap.now_rel_ns = now_ns() - epoch;
+  auto& dir = directory();
+  std::lock_guard<std::mutex> dir_lock(dir.mutex);
+  for (const auto& thread : dir.threads) {
+    std::lock_guard<std::mutex> lock(thread->mutex);
+    for (std::size_t i = 0; i < thread->ring.size(); ++i) {
+      const SpanEvent& event = thread->ring[i];
+      snap.events.push_back({thread->tid, event.name, event.start_ns - epoch, event.dur_ns});
+    }
+  }
+  return snap;
+}
+
+std::uint64_t trace_now_rel_ns() { return now_ns() - epoch_ns(); }
+
 namespace detail {
 
 void collect_span_stats(std::map<std::string, SpanStat>& out, std::uint64_t& dropped) {
@@ -163,6 +220,35 @@ void reset_spans() {
     thread->ring.clear();
     thread->aggregates.clear();
     thread->recorded = 0;
+    for (auto& slot : thread->flight_tail) slot = {};
+  }
+}
+
+void flight_dump_spans(int fd) noexcept {
+  // Lock-free walk: reads may race the owning threads and tear, but the
+  // storage is immortal and name pointers are string literals or null.
+  const std::size_t count = g_flight_thread_count.load(std::memory_order_acquire);
+  for (std::size_t t = 0; t < count; ++t) {
+    const ThreadState* state = g_flight_threads[t];
+    if (state == nullptr) continue;
+    flight_write_cstr(fd, "thread ");
+    flight_write_u64(fd, state->tid);
+    flight_write_cstr(fd, " recorded ");
+    flight_write_u64(fd, state->recorded);
+    flight_write_cstr(fd, "\n");
+    const std::uint64_t recorded = state->recorded;
+    const std::uint64_t kept = recorded < kFlightTail ? recorded : kFlightTail;
+    for (std::uint64_t i = recorded - kept; i < recorded; ++i) {
+      const SpanEvent& event = state->flight_tail[i % kFlightTail];
+      if (event.name == nullptr) continue;
+      flight_write_cstr(fd, "  ");
+      flight_write_cstr(fd, event.name);
+      flight_write_cstr(fd, " start_ns ");
+      flight_write_u64(fd, event.start_ns);
+      flight_write_cstr(fd, " dur_ns ");
+      flight_write_u64(fd, event.dur_ns);
+      flight_write_cstr(fd, "\n");
+    }
   }
 }
 

@@ -186,9 +186,19 @@ inline constexpr std::size_t kSpanRingCapacity = 65536;
 
 /// Retained spans as Chrome trace-event JSON ("X" complete events, one
 /// pid, one tid per recording thread, ts/dur in microseconds).  Open the
-/// file in Perfetto (ui.perfetto.dev) or chrome://tracing.
+/// file in Perfetto (ui.perfetto.dev) or chrome://tracing.  Multi-process
+/// merged traces live in telemetry/trace.hpp.
 [[nodiscard]] std::string render_chrome_trace();
 void write_chrome_trace(std::ostream& out);
+
+/// Ring-eviction accounting: spans evicted so far and how many thread
+/// rings lost at least one.  Counts stay exact either way; only the
+/// exported trace truncates.  The CLIs WARN from this at report time.
+struct SpanDropStats {
+  std::uint64_t dropped = 0;
+  std::uint64_t threads_affected = 0;
+};
+[[nodiscard]] SpanDropStats span_drop_stats();
 
 // ---------------------------------------------------------------------------
 // Snapshots

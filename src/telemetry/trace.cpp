@@ -1,0 +1,77 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+namespace repcheck::telemetry {
+
+namespace {
+
+/// Microseconds with fixed 3-decimal precision (Chrome trace ts/dur).
+void append_us(std::string& out, std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu", static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  out += buf;
+}
+
+void append_escaped(std::string& out, const std::string& text) {
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+}
+
+}  // namespace
+
+std::string render_merged_chrome_trace(const std::vector<ProcessLane>& lanes) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) out += ',';
+    first = false;
+  };
+  for (const auto& lane : lanes) {
+    comma();
+    out += "{\"ph\":\"M\",\"pid\":";
+    out += std::to_string(lane.pid);
+    out += ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"";
+    append_escaped(out, lane.name);
+    out += "\"}}";
+    std::set<std::uint32_t> tids;
+    for (const auto& event : lane.trace.events) tids.insert(event.tid);
+    for (const std::uint32_t tid : tids) {
+      comma();
+      out += "{\"ph\":\"M\",\"pid\":";
+      out += std::to_string(lane.pid);
+      out += ",\"tid\":";
+      out += std::to_string(tid);
+      out += ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+      append_escaped(out, lane.name);
+      out += "-t";
+      out += std::to_string(tid);
+      out += "\"}}";
+    }
+    for (const auto& event : lane.trace.events) {
+      const std::int64_t shifted = static_cast<std::int64_t>(event.start_ns) + lane.shift_ns;
+      const std::uint64_t ts = shifted > 0 ? static_cast<std::uint64_t>(shifted) : 0;
+      comma();
+      out += "{\"ph\":\"X\",\"pid\":";
+      out += std::to_string(lane.pid);
+      out += ",\"tid\":";
+      out += std::to_string(event.tid);
+      out += ",\"name\":\"";
+      append_escaped(out, event.name);
+      out += "\",\"cat\":\"repcheck\",\"ts\":";
+      append_us(out, ts);
+      out += ",\"dur\":";
+      append_us(out, event.dur_ns);
+      out += '}';
+    }
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace repcheck::telemetry

@@ -1,0 +1,63 @@
+// Cross-process trace merging (docs/OBSERVABILITY.md, "Merged traces").
+//
+// render_chrome_trace() (telemetry.hpp) exports one process's spans.
+// This header adds the multi-process form the fleet uses: each worker
+// snapshots its spans with snapshot_trace(), ships the snapshot over the
+// fleet wire, and the coordinator lays every process out as its own
+// named lane in a single Chrome trace-event document — a chaos run
+// (leases, fences, requeues) renders as one Perfetto timeline.
+//
+// Clock alignment: steady_clock epochs differ per process, so every
+// TraceSnapshot timestamp is relative to its *own* process's trace epoch
+// and carries now_rel_ns, the sender's clock reading at snapshot time.
+// The receiver computes shift_ns = its own trace_now_rel_ns() at receipt
+// minus the sender's now_rel_ns; transport latency (a unix-socket frame)
+// bounds the alignment error at well under a millisecond.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace repcheck::telemetry {
+
+/// One finished span, timestamps relative to the process's trace epoch.
+struct TraceEvent {
+  std::uint32_t tid = 0;
+  std::string name;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+};
+
+/// Every span ring's retained events plus the snapshot-time clock
+/// reading (for cross-process alignment).
+struct TraceSnapshot {
+  std::uint64_t now_rel_ns = 0;
+  std::vector<TraceEvent> events;
+};
+
+/// Copies the calling process's retained spans (all threads).
+[[nodiscard]] TraceSnapshot snapshot_trace();
+
+/// Nanoseconds since this process's trace epoch (pins the epoch on
+/// first use, like the first span does).
+[[nodiscard]] std::uint64_t trace_now_rel_ns();
+
+/// One process lane in a merged trace: the Chrome trace pid (use the
+/// real OS pid — it only needs to be distinct), the lane's display name
+/// ("coordinator", "w0", ...), and the timestamp shift that maps this
+/// lane's relative clock onto the merging process's.
+struct ProcessLane {
+  std::int64_t pid = 0;
+  std::string name;
+  std::int64_t shift_ns = 0;
+  TraceSnapshot trace;
+};
+
+/// Renders all lanes into one Chrome trace-event JSON document with
+/// process_name/thread_name metadata per lane; shifted timestamps that
+/// would go negative clamp to zero.  Load in Perfetto (ui.perfetto.dev)
+/// or chrome://tracing.
+[[nodiscard]] std::string render_merged_chrome_trace(const std::vector<ProcessLane>& lanes);
+
+}  // namespace repcheck::telemetry

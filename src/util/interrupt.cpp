@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <unistd.h>
 
+#include "telemetry/flight_recorder.hpp"
+
 namespace repcheck::util {
 
 namespace {
@@ -21,6 +23,9 @@ extern "C" void drain_signal_handler(int signo) {
     const ssize_t ignored = write(STDERR_FILENO, msg, sizeof(msg) - 1);
     (void)ignored;
   } else {
+    // Forced exit: leave a post-mortem when the flight recorder is armed
+    // (the dump path is async-signal-safe and a no-op when unarmed).
+    telemetry::flight_recorder_dump("forced exit on second signal");
     _exit(128 + signo);
   }
 }

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <mutex>
 
+#include "telemetry/flight_recorder.hpp"
 #include "util/jsonl.hpp"
 
 namespace repcheck::util {
@@ -81,13 +82,24 @@ void log_line(LogLevel level, const std::string& message) {
   const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
   if (log_format() == LogFormat::kJsonl) {
     const std::string line = render_jsonl_log_line(level, message, ms);
+    telemetry::flight_record_log_line(line.data(), line.size());
     std::lock_guard<std::mutex> lock(g_write_mutex);
     std::fprintf(stderr, "%s\n", line.c_str());
     return;
   }
+  char head[48];
+  const int head_len =
+      std::snprintf(head, sizeof(head), "[%lld.%03lld %s] ", static_cast<long long>(ms / 1000),
+                    static_cast<long long>(ms % 1000), level_name(level));
+  if (telemetry::flight_recorder_armed() && head_len > 0) {
+    std::string line;
+    line.reserve(static_cast<std::size_t>(head_len) + message.size());
+    line.append(head, static_cast<std::size_t>(head_len));
+    line += message;
+    telemetry::flight_record_log_line(line.data(), line.size());
+  }
   std::lock_guard<std::mutex> lock(g_write_mutex);
-  std::fprintf(stderr, "[%lld.%03lld %s] %s\n", static_cast<long long>(ms / 1000),
-               static_cast<long long>(ms % 1000), level_name(level), message.c_str());
+  std::fprintf(stderr, "%s%s\n", head, message.c_str());
 }
 
 }  // namespace repcheck::util

@@ -7,6 +7,7 @@
 // real CLI live in test_fleet_chaos.cpp.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -28,6 +29,7 @@
 #include "fleet/worker.hpp"
 #include "serve/protocol.hpp"
 #include "serve/transport.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/failpoint.hpp"
 
 namespace {
@@ -288,6 +290,133 @@ TEST(FleetWire, MalformedMessagesThrow) {
       std::invalid_argument);
 }
 
+namespace {
+
+/// Parses the single frame in `wire` (append_* output) back to a Message.
+fleet::Message round_trip(const std::string& wire) {
+  serve::FrameBuffer frames;
+  frames.append(wire);
+  std::string_view payload;
+  EXPECT_EQ(frames.next(payload), serve::FrameBuffer::Status::kFrame);
+  return fleet::parse_message(payload);
+}
+
+}  // namespace
+
+TEST(FleetWire, LeaseCarriesOptionalCampaignContext) {
+  fleet::LeaseMsg lease;
+  lease.epoch = 2;
+  lease.key = "k";
+  lease.seed = 9;
+  lease.begin = 0;
+  lease.end = 2;
+  lease.campaign = "nightly-sweep";
+  std::string wire;
+  fleet::append_lease(wire, lease);
+  const auto parsed = round_trip(wire);
+  const auto* back = std::get_if<fleet::LeaseMsg>(&parsed);
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->campaign, "nightly-sweep");
+
+  // Absent campaign (an older coordinator) parses as empty, not an error.
+  const auto legacy = fleet::parse_message(
+      "{\"op\":\"lease\",\"epoch\":1,\"key\":\"k\",\"seed\":\"1\",\"begin\":0,\"end\":2}");
+  const auto* old = std::get_if<fleet::LeaseMsg>(&legacy);
+  ASSERT_NE(old, nullptr);
+  EXPECT_TRUE(old->campaign.empty());
+}
+
+TEST(FleetWire, ResultCarriesOptionalWorkerIdentity) {
+  fleet::ResultMsg result;
+  result.epoch = 1;
+  result.key = "k";
+  result.ok = true;
+  result.worker = "w7";
+  std::string wire;
+  fleet::append_result(wire, result);
+  const auto parsed = round_trip(wire);
+  const auto* back = std::get_if<fleet::ResultMsg>(&parsed);
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->worker, "w7");
+}
+
+TEST(FleetWire, HeartbeatCarriesWorkerAndLeaseCount) {
+  fleet::HeartbeatMsg beat;
+  beat.worker = "w3";
+  beat.leases = 12;
+  std::string wire;
+  fleet::append_heartbeat(wire, beat);
+  const auto parsed = round_trip(wire);
+  const auto* back = std::get_if<fleet::HeartbeatMsg>(&parsed);
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->worker, "w3");
+  EXPECT_EQ(back->leases, 12u);
+
+  // A bare pre-PR10 heartbeat still parses (fields default).
+  const auto legacy = fleet::parse_message("{\"op\":\"heartbeat\"}");
+  const auto* old = std::get_if<fleet::HeartbeatMsg>(&legacy);
+  ASSERT_NE(old, nullptr);
+  EXPECT_TRUE(old->worker.empty());
+  EXPECT_EQ(old->leases, 0u);
+}
+
+TEST(FleetWire, MetricsRequestParses) {
+  std::string wire;
+  fleet::append_metrics_request(wire);
+  const auto parsed = round_trip(wire);
+  EXPECT_NE(std::get_if<fleet::MetricsRequestMsg>(&parsed), nullptr);
+}
+
+TEST(FleetWire, TelemetryRoundTripPreservesCountersSpansAndTrace) {
+  fleet::TelemetryMsg msg;
+  msg.worker = "w1";
+  msg.pid = 4242;
+  msg.now_rel_ns = 987654321;
+  msg.counters["campaign.shards_simulated"] = 16;
+  msg.counters["engine.replicates"] = 0xFFFF'FFFF'FFFF'FFFFull;  // full u64
+  msg.spans["fleet.lease"] = telemetry::SpanStat{3, 777};
+  msg.trace.events.push_back({1, "fleet.lease", 100, 50});
+  msg.trace.events.push_back({2, "engine.run", 120, 30});
+
+  std::string wire;
+  fleet::append_telemetry(wire, msg);
+  const auto parsed = round_trip(wire);
+  const auto* back = std::get_if<fleet::TelemetryMsg>(&parsed);
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->worker, "w1");
+  EXPECT_EQ(back->pid, 4242u);
+  EXPECT_EQ(back->now_rel_ns, 987654321u);
+  EXPECT_EQ(back->trace.now_rel_ns, 987654321u);
+  EXPECT_EQ(back->counters.at("campaign.shards_simulated"), 16u);
+  EXPECT_EQ(back->counters.at("engine.replicates"), 0xFFFF'FFFF'FFFF'FFFFull);
+  EXPECT_EQ(back->spans.at("fleet.lease").count, 3u);
+  EXPECT_EQ(back->spans.at("fleet.lease").total_ns, 777u);
+  ASSERT_EQ(back->trace.events.size(), 2u);
+  EXPECT_EQ(back->trace.events[0].tid, 1u);
+  EXPECT_EQ(back->trace.events[0].name, "fleet.lease");
+  EXPECT_EQ(back->trace.events[0].start_ns, 100u);
+  EXPECT_EQ(back->trace.events[0].dur_ns, 50u);
+  EXPECT_EQ(back->trace.events[1].name, "engine.run");
+}
+
+TEST(FleetWire, TelemetryTraceCapsAtWireLimitKeepingLatestEvents) {
+  fleet::TelemetryMsg msg;
+  msg.worker = "w";
+  const std::size_t total = fleet::kMaxTraceEventsOnWire + 100;
+  for (std::size_t i = 0; i < total; ++i) {
+    msg.trace.events.push_back({1, "s", i, 1});
+  }
+  std::string wire;
+  fleet::append_telemetry(wire, msg);
+  const auto parsed = round_trip(wire);
+  const auto* back = std::get_if<fleet::TelemetryMsg>(&parsed);
+  ASSERT_NE(back, nullptr);
+  ASSERT_EQ(back->trace.events.size(), fleet::kMaxTraceEventsOnWire);
+  // The oldest 100 were dropped; the tail survives in order.
+  EXPECT_EQ(back->trace.events.front().start_ns, 100u);
+  EXPECT_EQ(back->trace.events.back().start_ns, total - 1);
+}
+
 // ---------------------------------------------------------------------------
 // Coordinator + workers, in-process
 
@@ -315,6 +444,75 @@ TEST_F(FleetTest, FleetSweepIsBitIdenticalToSingleProcessRunner) {
     served += report.leases_served;
   }
   EXPECT_EQ(served, 16u);
+}
+
+TEST_F(FleetTest, MidRunMetricsScrapeServesPrometheusWithoutCountingAsDeath) {
+  // A scraper is any connection that sends {"op":"metrics"}: it gets one
+  // Prometheus text frame back and must not disturb the campaign (no
+  // worker_deaths for a connection that never said hello).
+  auto options = quiet_options("fleet_scrape.sock");
+  const auto ev = fake_evaluator(8);
+  options.runs_for = ev.runs_for;
+  fleet::FleetCoordinator coordinator(four_point_spec(), options);
+  std::vector<std::thread> threads;
+  std::string scraped;
+  const auto result = coordinator.run([&](std::uint64_t pending) {
+    if (pending == 0) return;
+    threads.emplace_back([&] {
+      serve::Socket sock = serve::connect_to(coordinator.address());
+      ASSERT_TRUE(sock.valid());
+      std::string wire;
+      fleet::append_metrics_request(wire);
+      ASSERT_TRUE(sock.write_all(wire));
+      serve::FrameBuffer frames;
+      char buf[4096];
+      std::string_view payload;
+      while (frames.next(payload) != serve::FrameBuffer::Status::kFrame) {
+        const ssize_t n = sock.read_some(buf, sizeof(buf));
+        ASSERT_GT(n, 0);
+        frames.append(std::string_view(buf, static_cast<std::size_t>(n)));
+      }
+      scraped.assign(payload);
+    });
+    for (int i = 0; i < 2; ++i) {
+      threads.emplace_back([&, i] {
+        fleet::WorkerOptions wopts;
+        wopts.worker_id = "w" + std::to_string(i);
+        wopts.heartbeat_ms = 100;
+        (void)fleet::run_worker(coordinator.address(), ev, wopts);
+      });
+    }
+  });
+  for (auto& thread : threads) thread.join();
+
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.fleet.worker_deaths, 0u);  // the scraper is not a worker
+  EXPECT_NE(scraped.find("# TYPE repcheck_fleet_shards_total counter"), std::string::npos)
+      << scraped;
+  EXPECT_NE(scraped.find("process=\"coordinator\""), std::string::npos);
+  EXPECT_NE(scraped.find("repcheck_fleet_workers_live"), std::string::npos);
+}
+
+TEST_F(FleetTest, WorkersShipTelemetryAndCoordinatorCollectsPerWorkerReports) {
+  telemetry::reset_for_tests();
+  telemetry::set_enabled(true);
+  const auto run =
+      run_fleet(four_point_spec(), fake_evaluator(8), quiet_options("fleet_telemetry.sock"), 2);
+  telemetry::set_enabled(false);
+  ASSERT_TRUE(run.result.ok());
+  ASSERT_EQ(run.result.workers.size(), 2u);
+  std::vector<std::string> names;
+  for (const auto& wt : run.result.workers) {
+    names.push_back(wt.worker);
+    EXPECT_GT(wt.pid, 0u);
+    // Every worker ran leases inside TELEMETRY_SPAN("fleet.lease");
+    // in-process workers share one registry, so both report the
+    // process-wide aggregate — non-zero is the contract here.
+    EXPECT_GT(wt.spans.at("fleet.lease").count, 0u);
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"w0", "w1"}));
+  telemetry::reset_for_tests();
 }
 
 TEST_F(FleetTest, DeadWorkerLeaseIsRequeuedAndSweepStillMatches) {

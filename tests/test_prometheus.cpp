@@ -1,0 +1,119 @@
+// Prometheus text exposition (src/telemetry/prometheus.cpp): name
+// sanitization, label escaping, the cumulative-bucket invariant, and
+// byte-stability of the rendered text for a fixed snapshot.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/prometheus.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace telemetry = repcheck::telemetry;
+
+namespace {
+
+telemetry::MetricsSnapshot fixed_snapshot() {
+  telemetry::MetricsSnapshot snap;
+  snap.counters["serve.requests"] = 42;
+  snap.counters["fleet.results_committed"] = 7;
+  snap.gauges["serve.pending"] = -3;
+  snap.gauges["serve.cache_size"] = 128;
+  telemetry::HistogramSnapshot hist;
+  hist.count = 6;
+  hist.buckets = {{0, 1}, {1, 2}, {4, 3}};  // zeros, [1,2), [8,16)
+  snap.histograms["serve.latency_cached_ns"] = hist;
+  snap.spans["serve.batch"] = telemetry::SpanStat{5, 1234};
+  return snap;
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+}  // namespace
+
+TEST(PrometheusTest, SanitizeMetricNameMapsDotsAndLeadingDigits) {
+  EXPECT_EQ(telemetry::sanitize_metric_name("serve.requests"), "serve_requests");
+  EXPECT_EQ(telemetry::sanitize_metric_name("fleet.worker.w-1.leases"), "fleet_worker_w_1_leases");
+  EXPECT_EQ(telemetry::sanitize_metric_name("99th_percentile"), "_9th_percentile");
+  EXPECT_EQ(telemetry::sanitize_metric_name("already_ok:series"), "already_ok:series");
+  EXPECT_EQ(telemetry::sanitize_metric_name(""), "_");
+}
+
+TEST(PrometheusTest, EscapeLabelValueHandlesBackslashQuoteNewline) {
+  EXPECT_EQ(telemetry::escape_label_value("plain"), "plain");
+  EXPECT_EQ(telemetry::escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(telemetry::escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(telemetry::escape_label_value("line1\nline2"), "line1\\nline2");
+}
+
+TEST(PrometheusTest, CounterAndGaugeRendering) {
+  const std::string text = telemetry::render_prometheus(fixed_snapshot());
+  EXPECT_NE(text.find("# TYPE repcheck_serve_requests counter\n"), std::string::npos);
+  EXPECT_NE(text.find("repcheck_serve_requests_total 42\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE repcheck_serve_pending gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("repcheck_serve_pending -3\n"), std::string::npos);
+}
+
+TEST(PrometheusTest, ExtraLabelsAttachToEverySeries) {
+  const std::string text =
+      telemetry::render_prometheus(fixed_snapshot(), {{"process", "advisord"}});
+  // Every non-comment line must carry the process label.
+  for (const auto& line : lines_of(text)) {
+    if (line.empty() || line[0] == '#') continue;
+    EXPECT_NE(line.find("process=\"advisord\""), std::string::npos) << line;
+  }
+  // Histogram bucket lines combine the base label with le=...
+  EXPECT_NE(text.find("_bucket{process=\"advisord\",le=\"0\"} 1\n"), std::string::npos);
+}
+
+TEST(PrometheusTest, HistogramBucketsAreCumulative) {
+  const std::string text = telemetry::render_prometheus(fixed_snapshot());
+  // Buckets {0:1, 1:2, 4:3} -> cumulative 1, 3, 6; upper edges 0, 1, 15.
+  EXPECT_NE(text.find("repcheck_serve_latency_cached_ns_bucket{le=\"0\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("repcheck_serve_latency_cached_ns_bucket{le=\"1\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("repcheck_serve_latency_cached_ns_bucket{le=\"15\"} 6\n"), std::string::npos);
+  // The mandatory +Inf bucket equals _count, and both equal hist.count.
+  EXPECT_NE(text.find("repcheck_serve_latency_cached_ns_bucket{le=\"+Inf\"} 6\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("repcheck_serve_latency_cached_ns_count 6\n"), std::string::npos);
+  // Upper-edge sum estimate: 1*0 + 2*1 + 3*15 = 47.
+  EXPECT_NE(text.find("repcheck_serve_latency_cached_ns_sum 47\n"), std::string::npos);
+}
+
+TEST(PrometheusTest, SpansRenderAsLabeledCounterPair) {
+  const std::string text = telemetry::render_prometheus(fixed_snapshot());
+  EXPECT_NE(text.find("repcheck_span_count_total{span=\"serve.batch\"} 5\n"), std::string::npos);
+  EXPECT_NE(text.find("repcheck_span_ns_total{span=\"serve.batch\"} 1234\n"), std::string::npos);
+}
+
+TEST(PrometheusTest, OutputIsByteStableForFixedSnapshot) {
+  const auto snap = fixed_snapshot();
+  const std::string first = telemetry::render_prometheus(snap, {{"process", "test"}});
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(telemetry::render_prometheus(snap, {{"process", "test"}}), first);
+  }
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first.back(), '\n');
+}
+
+TEST(PrometheusTest, LiveRegistryRoundTrip) {
+  telemetry::reset_for_tests();
+  telemetry::set_enabled(true);
+  telemetry::counter("prom.test.ops").inc(9);
+  telemetry::gauge("prom.test.depth").set(4);
+  telemetry::histogram("prom.test.lat_ns").observe(100);
+  const std::string text = telemetry::render_prometheus(telemetry::snapshot_metrics());
+  telemetry::set_enabled(false);
+  telemetry::reset_for_tests();
+  EXPECT_NE(text.find("repcheck_prom_test_ops_total 9\n"), std::string::npos);
+  EXPECT_NE(text.find("repcheck_prom_test_depth 4\n"), std::string::npos);
+  EXPECT_NE(text.find("repcheck_prom_test_lat_ns_count 1\n"), std::string::npos);
+}

@@ -409,6 +409,40 @@ TEST_F(ServiceTest, StatsReportsCountersCacheSizeAndPercentiles) {
   EXPECT_NE(stats.find("\"p50_computed_ns\":"), std::string::npos);
 }
 
+TEST_F(ServiceTest, StatsReportsUptimeVersionAndCacheCapacity) {
+  serve::Service::Options options;
+  options.cache_max_entries = 4096;
+  serve::Service service(options);
+  std::string out;
+  ASSERT_EQ(service.process(R"({"op":"stats"})", out), serve::Service::Outcome::kStats);
+  const std::string stats = one_payload(out);
+  EXPECT_NE(stats.find("\"uptime_ms\":"), std::string::npos);
+  EXPECT_NE(stats.find("\"cache_capacity\":4096"), std::string::npos);
+  EXPECT_NE(stats.find("\"version\":\"repcheck-advisord/"), std::string::npos);
+}
+
+TEST_F(ServiceTest, MetricsOpReturnsPrometheusTextInOneFrame) {
+  serve::Service service(serve::Service::Options{});
+  std::string out;
+  ASSERT_EQ(service.process(kQuery, out), serve::Service::Outcome::kComputed);
+  out.clear();
+  ASSERT_EQ(service.process(R"({"op":"metrics"})", out), serve::Service::Outcome::kMetrics);
+  const std::string text = one_payload(out);
+  EXPECT_NE(text.find("# TYPE repcheck_serve_requests counter"), std::string::npos);
+  EXPECT_NE(text.find("process=\"advisord\""), std::string::npos);
+  EXPECT_NE(text.find("repcheck_serve_misses_total"), std::string::npos);
+  // The scrape refreshed the cache-occupancy gauge from the live cache.
+  EXPECT_NE(text.find("repcheck_serve_cache_size{process=\"advisord\"} 1"), std::string::npos);
+}
+
+TEST_F(ServiceTest, MetricsServesEvenWhileDraining) {
+  serve::Service service(serve::Service::Options{});
+  service.begin_drain();
+  std::string out;
+  ASSERT_EQ(service.process(R"({"op":"metrics"})", out), serve::Service::Outcome::kMetrics);
+  EXPECT_NE(one_payload(out).find("repcheck_"), std::string::npos);
+}
+
 TEST_F(ServiceTest, PingPongsWithIdEcho) {
   serve::Service service(serve::Service::Options{});
   std::string out;

@@ -152,6 +152,29 @@ TEST_F(AdvisordE2E, FullRequestSurfaceOverUnixSocket) {
   EXPECT_NE(response.find("\"cache_size\":1"), std::string::npos);
 }
 
+TEST_F(AdvisordE2E, LiveMetricsScrapeReturnsPrometheusText) {
+  spawn_server();
+  serve::Socket socket = connect_client();
+  ASSERT_TRUE(socket.valid());
+  serve::FrameBuffer frames;
+
+  // Warm one answer so the scrape shows real traffic.
+  const std::string computed = round_trip(
+      socket, frames,
+      R"({"op":"advise","id":1,"n":200000,"mtbf":1.576e8,"c":60,"w":1e6,"gamma":1e-5})");
+  EXPECT_EQ(serve::response_status(computed), "ok");
+
+  const std::string text = round_trip(socket, frames, R"({"op":"metrics"})");
+  ASSERT_FALSE(text.empty());
+  EXPECT_NE(text.find("# TYPE repcheck_serve_requests counter"), std::string::npos) << text;
+  EXPECT_NE(text.find("repcheck_serve_requests_total{process=\"advisord\"}"), std::string::npos);
+  EXPECT_NE(text.find("repcheck_serve_cache_size{process=\"advisord\"} 1"), std::string::npos);
+  // The stats op carries the new identity/uptime fields alongside.
+  const std::string stats = round_trip(socket, frames, R"({"op":"stats"})");
+  EXPECT_NE(stats.find("\"uptime_ms\":"), std::string::npos);
+  EXPECT_NE(stats.find("\"version\":\"repcheck-advisord/"), std::string::npos);
+}
+
 TEST_F(AdvisordE2E, PipelinedFramesAnswerInOrder) {
   spawn_server();
   serve::Socket socket = connect_client();
